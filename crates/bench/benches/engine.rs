@@ -1,0 +1,121 @@
+//! Executor microbenchmarks: joins, aggregation, correlated subqueries,
+//! witness generation, and the cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squ_engine::{execute_query, witness_database, CostModel};
+use squ_parser::parse_query;
+use squ_schema::schemas::{imdb, sdss};
+
+fn bench_executor(c: &mut Criterion) {
+    let schema = sdss();
+    let db = witness_database(&schema, 42, 15, 25);
+
+    let cases = [
+        (
+            "filter_scan",
+            "SELECT plate, mjd FROM SpecObj WHERE z > 300 AND ra < 700",
+        ),
+        (
+            "two_way_join",
+            "SELECT s.plate, p.ra FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid WHERE p.ra > 100",
+        ),
+        (
+            "group_aggregate",
+            "SELECT class, COUNT(*), AVG(z) FROM SpecObj GROUP BY class HAVING COUNT(*) > 1",
+        ),
+        (
+            "correlated_exists",
+            "SELECT s.plate FROM SpecObj AS s WHERE EXISTS (SELECT 1 FROM PhotoObj AS p WHERE p.objid = s.bestobjid AND p.ra > 200)",
+        ),
+        (
+            "in_subquery",
+            "SELECT fiberid FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj WHERE ra > 180)",
+        ),
+        (
+            "set_op",
+            "SELECT plate FROM SpecObj WHERE z > 400 INTERSECT SELECT plate FROM SpecObj WHERE ra > 300",
+        ),
+    ];
+    let mut group = c.benchmark_group("executor");
+    for (name, sql) in cases {
+        let q = parse_query(sql).expect("bench SQL parses");
+        group.bench_function(name, |b| {
+            b.iter(|| execute_query(&q, &db).expect("executes").0.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_vs_nested_join(c: &mut Criterion) {
+    // a join big enough (120×120 pairs) to take the hash fast path,
+    // contrasted with a non-equi join of the same size that cannot
+    use squ_engine::{Database, Relation, Value};
+    let mut d = Database::new("hj");
+    let rows = |k: usize| -> Vec<Vec<Value>> {
+        (0..120)
+            .map(|i| vec![Value::num((i % k) as f64), Value::num(i as f64)])
+            .collect()
+    };
+    d.insert_table("L", Relation::new(vec!["k".into(), "x".into()], rows(17)));
+    d.insert_table("R", Relation::new(vec!["k".into(), "y".into()], rows(17)));
+    let equi = parse_query("SELECT l.x, r.y FROM L AS l JOIN R AS r ON l.k = r.k").unwrap();
+    let theta = parse_query("SELECT l.x, r.y FROM L AS l JOIN R AS r ON l.k < r.k").unwrap();
+    c.bench_function("executor/hash_equi_join_120x120", |b| {
+        b.iter(|| execute_query(&equi, &d).expect("executes").0.len())
+    });
+    c.bench_function("executor/nested_theta_join_120x120", |b| {
+        b.iter(|| execute_query(&theta, &d).expect("executes").0.len())
+    });
+}
+
+fn bench_wide_implicit_join(c: &mut Criterion) {
+    // the Join-Order stress shape: many comma-joined tables, pushdown
+    // keeps intermediates small
+    let schema = imdb();
+    let db = witness_database(&schema, 7, 10, 18);
+    let sql = "SELECT t1.title FROM title AS t1, movie_companies AS t2, company_name AS t3, movie_info AS t4, info_type AS t5 WHERE t2.movie_id = t1.id AND t2.company_id = t3.id AND t4.movie_id = t1.id AND t4.info_type_id = t5.id AND t1.production_year > 200";
+    let q = parse_query(sql).expect("parses");
+    c.bench_function("executor/five_way_implicit_join", |b| {
+        b.iter(|| execute_query(&q, &db).expect("executes").0.len())
+    });
+}
+
+fn bench_witness_generation(c: &mut Criterion) {
+    let schema = imdb();
+    c.bench_function("witness/imdb_21_tables", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            witness_database(&schema, seed, 10, 20).table_count()
+        })
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let schema = sdss();
+    let ds = squ_workload::build(squ_workload::Workload::Sdss, 2023);
+    let stmts: Vec<_> = ds
+        .queries
+        .iter()
+        .map(|q| squ_parser::parse(&q.sql).expect("parses"))
+        .collect();
+    let model = CostModel::default();
+    c.bench_function("cost_model/estimate_sdss_corpus", |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .map(|s| model.estimate_ms(s, &schema))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_hash_vs_nested_join,
+    bench_wide_implicit_join,
+    bench_witness_generation,
+    bench_cost_model
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Lexer microbenchmarks: tokenization throughput on real workload SQL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use squ_lexer::tokenize;
+use squ_workload::{build, Workload};
+
+fn bench_tokenize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lexer");
+    for w in [Workload::Sdss, Workload::JoinOrder] {
+        let ds = build(w, 2023);
+        let corpus: Vec<String> = ds.queries.iter().map(|q| q.sql.clone()).collect();
+        let bytes: usize = corpus.iter().map(|s| s.len()).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("tokenize_corpus", w.name()),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    let mut tokens = 0usize;
+                    for sql in corpus {
+                        tokens += tokenize(sql).expect("workload SQL lexes").len();
+                    }
+                    tokens
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_word_accounting(c: &mut Criterion) {
+    let ds = build(Workload::JoinOrder, 2023);
+    let sql = ds
+        .queries
+        .iter()
+        .max_by_key(|q| q.sql.len())
+        .expect("non-empty")
+        .sql
+        .clone();
+    c.bench_function("lexer/word_count_longest_job_query", |b| {
+        b.iter(|| squ_lexer::word_count(&sql))
+    });
+}
+
+criterion_group!(benches, bench_tokenize, bench_word_accounting);
+criterion_main!(benches);

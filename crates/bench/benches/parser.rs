@@ -1,0 +1,68 @@
+//! Parser microbenchmarks: parse and print-round-trip throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use squ_parser::{parse, print_statement};
+use squ_workload::{build, Workload};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    for w in [Workload::Sdss, Workload::SqlShare, Workload::JoinOrder] {
+        let ds = build(w, 2023);
+        let corpus: Vec<String> = ds.queries.iter().map(|q| q.sql.clone()).collect();
+        let bytes: usize = corpus.iter().map(|s| s.len()).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("parse_corpus", w.name()),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    let mut nodes = 0usize;
+                    for sql in corpus {
+                        let stmt = parse(sql).expect("workload SQL parses");
+                        nodes += matches!(stmt, squ_parser::Statement::Query(_)) as usize;
+                    }
+                    nodes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let ds = build(Workload::JoinOrder, 2023);
+    let stmts: Vec<_> = ds
+        .queries
+        .iter()
+        .map(|q| parse(&q.sql).expect("parses"))
+        .collect();
+    c.bench_function("parser/print_job_corpus", |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .map(|s| print_statement(s).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_binder(c: &mut Criterion) {
+    let ds = build(Workload::Sdss, 2023);
+    let schema = squ_schema::schemas::sdss();
+    let stmts: Vec<_> = ds
+        .queries
+        .iter()
+        .map(|q| parse(&q.sql).expect("parses"))
+        .collect();
+    c.bench_function("binder/analyze_sdss_corpus", |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .map(|s| squ_schema::analyze(s, &schema).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_round_trip, bench_binder);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Pipeline benchmarks: dataset derivation and full model-evaluation runs
+//! — the costs that dominate `repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squ::pipeline::{dataset_id, run_syntax, run_token};
+use squ::{Suite, PAPER_SEED};
+use squ_llm::{ModelId, SimulatedModel};
+use squ_workload::{build, Workload};
+use std::sync::OnceLock;
+
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(|| Suite::new(PAPER_SEED))
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    c.bench_function("datasets/build_sdss_285", |b| {
+        b.iter(|| build(Workload::Sdss, 2023).len())
+    });
+    c.bench_function("datasets/build_joborder_157", |b| {
+        b.iter(|| build(Workload::JoinOrder, 2023).len())
+    });
+}
+
+fn bench_task_derivation(c: &mut Criterion) {
+    let sdss = build(Workload::Sdss, 2023);
+    c.bench_function("tasks/syntax_injection_sdss", |b| {
+        b.iter(|| squ_tasks::build_syntax_dataset(&sdss, 99).len())
+    });
+    c.bench_function("tasks/token_deletion_sdss", |b| {
+        b.iter(|| squ_tasks::build_token_dataset(&sdss, 99).len())
+    });
+    // equivalence derivation includes differential verification; sample a
+    // slice so the bench stays in the milliseconds
+    let slice = squ_workload::Dataset {
+        workload: sdss.workload,
+        queries: sdss.queries.iter().take(20).cloned().collect(),
+    };
+    c.bench_function("tasks/equiv_verified_20_queries", |b| {
+        b.iter(|| squ_tasks::build_equiv_dataset(&slice, 99).len())
+    });
+}
+
+fn bench_model_runs(c: &mut Criterion) {
+    let s = suite();
+    c.bench_function("pipeline/syntax_gpt4_sdss_285", |b| {
+        b.iter(|| {
+            run_syntax(
+                &SimulatedModel::new(ModelId::Gpt4),
+                dataset_id(Workload::Sdss),
+                s.syntax_for(Workload::Sdss),
+            )
+            .len()
+        })
+    });
+    c.bench_function("pipeline/token_gemini_sqlshare_250", |b| {
+        b.iter(|| {
+            run_token(
+                &SimulatedModel::new(ModelId::Gemini),
+                dataset_id(Workload::SqlShare),
+                s.tokens_for(Workload::SqlShare),
+            )
+            .len()
+        })
+    });
+}
+
+fn bench_full_artifacts(c: &mut Criterion) {
+    let s = suite();
+    c.bench_function("artifacts/table6_perf_all_models", |b| {
+        b.iter(|| squ::run_experiment(s, squ::ExperimentId::Table6).body.len())
+    });
+    c.bench_function("artifacts/fig4_correlations", |b| {
+        b.iter(|| squ::run_experiment(s, squ::ExperimentId::Fig4).body.len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_workload_build,
+    bench_task_derivation,
+    bench_model_runs,
+    bench_full_artifacts
+);
+criterion_main!(benches);

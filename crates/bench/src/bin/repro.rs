@@ -1,0 +1,127 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro                    # run all 20 paper artifacts
+//! repro --only table3      # run one artifact (also accepts ablation slugs)
+//! repro --ablations        # run the ablation / extension studies
+//! repro --export [DIR]     # export every labeled dataset as JSONL
+//! repro --seed 7           # different master seed
+//! repro --list             # list artifact slugs
+//! ```
+//!
+//! Output goes to stdout and to `target/repro/<slug>.txt` (+ `.csv` for
+//! tabular artifacts).
+
+use squ::{run_ablation, run_experiment, AblationId, ExperimentId, Suite, PAPER_SEED};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Option<String> = None;
+    let mut seed = PAPER_SEED;
+    let mut ablations = false;
+    let mut export: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for id in ExperimentId::ALL {
+                    println!("{}", id.slug());
+                }
+                for id in AblationId::ALL {
+                    println!("{}", id.slug());
+                }
+                return;
+            }
+            "--ablations" => ablations = true,
+            "--export" => {
+                export = Some(
+                    args.get(i + 1)
+                        .filter(|a| !a.starts_with("--"))
+                        .cloned()
+                        .unwrap_or_else(|| "target/benchmark-export".to_string()),
+                );
+                if args.get(i + 1).is_some_and(|a| !a.starts_with("--")) {
+                    i += 1;
+                }
+            }
+            "--only" => {
+                i += 1;
+                only = args.get(i).cloned();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            other => die(&format!("unknown argument {other:?} (try --list)")),
+        }
+        i += 1;
+    }
+
+    enum Job {
+        Paper(ExperimentId),
+        Ablation(AblationId),
+    }
+    let jobs: Vec<Job> = match only {
+        Some(slug) => match ExperimentId::from_slug(&slug) {
+            Some(id) => vec![Job::Paper(id)],
+            None => vec![Job::Ablation(AblationId::from_slug(&slug).unwrap_or_else(
+                || die(&format!("unknown artifact {slug:?} (try --list)")),
+            ))],
+        },
+        None if ablations => AblationId::ALL.iter().map(|a| Job::Ablation(*a)).collect(),
+        None => ExperimentId::ALL.iter().map(|e| Job::Paper(*e)).collect(),
+    };
+
+    eprintln!("building benchmark suite (seed {seed})…");
+    let t0 = std::time::Instant::now();
+    let suite = Suite::new(seed);
+    eprintln!("suite ready in {:.1?}", t0.elapsed());
+
+    let out_dir = PathBuf::from("target/repro");
+    fs::create_dir_all(&out_dir).expect("create target/repro");
+
+    if let Some(dir) = export {
+        let dir = std::path::PathBuf::from(dir);
+        let manifest =
+            squ::export_suite(&suite, &dir).unwrap_or_else(|e| die(&format!("export failed: {e}")));
+        println!(
+            "exported {} files / {} records to {}",
+            manifest.files.len(),
+            manifest.files.iter().map(|f| f.records).sum::<usize>(),
+            dir.display()
+        );
+        return;
+    }
+
+    for job in jobs {
+        let t = std::time::Instant::now();
+        let artifact = match job {
+            Job::Paper(id) => run_experiment(&suite, id),
+            Job::Ablation(id) => run_ablation(&suite, id),
+        };
+        println!("\n================================================================");
+        println!("{}  ({:.1?})", artifact.title, t.elapsed());
+        println!("================================================================");
+        println!("{}", artifact.body);
+        fs::write(
+            out_dir.join(format!("{}.txt", artifact.id)),
+            format!("{}\n\n{}", artifact.title, artifact.body),
+        )
+        .expect("write artifact text");
+        if let Some(csv) = &artifact.csv {
+            fs::write(out_dir.join(format!("{}.csv", artifact.id)), csv)
+                .expect("write artifact csv");
+        }
+    }
+    eprintln!("\nartifacts written to {}", out_dir.display());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,158 @@
+//! Benchmark dataset export.
+//!
+//! The paper publishes its task-driven benchmark ("Our SQL task-driven
+//! data benchmark is publicly available"); this module writes the same
+//! deliverable: one JSON-lines file per task dataset plus a manifest, so
+//! the labeled data can be consumed without Rust.
+
+use crate::suite::Suite;
+use serde::Serialize;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Summary of one exported file.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExportedFile {
+    /// File name relative to the export directory.
+    pub file: String,
+    /// Which task the records belong to.
+    pub task: String,
+    /// Which workload the records derive from.
+    pub workload: String,
+    /// Number of JSONL records.
+    pub records: usize,
+}
+
+/// Manifest of a full export.
+#[derive(Debug, Clone, Serialize)]
+pub struct Manifest {
+    /// Master seed the suite was built with.
+    pub seed: u64,
+    /// The exported files.
+    pub files: Vec<ExportedFile>,
+}
+
+fn write_jsonl<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    task: &str,
+    workload: &str,
+    items: &[T],
+) -> std::io::Result<ExportedFile> {
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path)?;
+    for item in items {
+        let line = serde_json::to_string(item).expect("benchmark records serialize");
+        writeln!(f, "{line}")?;
+    }
+    Ok(ExportedFile {
+        file: name.to_string(),
+        task: task.to_string(),
+        workload: workload.to_string(),
+        records: items.len(),
+    })
+}
+
+/// Export every dataset of `suite` as JSONL under `dir`, returning the
+/// manifest (also written to `manifest.json`).
+pub fn export_suite(suite: &Suite, dir: &Path) -> std::io::Result<Manifest> {
+    fs::create_dir_all(dir)?;
+    let mut files = Vec::new();
+
+    for w in [
+        squ_workload::Workload::Sdss,
+        squ_workload::Workload::SqlShare,
+        squ_workload::Workload::JoinOrder,
+        squ_workload::Workload::Spider,
+    ] {
+        let ds = suite.dataset(w);
+        let name = format!(
+            "workload_{}.jsonl",
+            w.name().to_lowercase().replace('-', "")
+        );
+        files.push(write_jsonl(dir, &name, "workload", w.name(), &ds.queries)?);
+    }
+    for (w, examples) in &suite.syntax {
+        let name = format!("syntax_{}.jsonl", w.name().to_lowercase().replace('-', ""));
+        files.push(write_jsonl(dir, &name, "syntax_error", w.name(), examples)?);
+    }
+    for (w, examples) in &suite.tokens {
+        let name = format!(
+            "miss_token_{}.jsonl",
+            w.name().to_lowercase().replace('-', "")
+        );
+        files.push(write_jsonl(dir, &name, "miss_token", w.name(), examples)?);
+    }
+    for (w, examples) in &suite.equiv {
+        let name = format!(
+            "query_equiv_{}.jsonl",
+            w.name().to_lowercase().replace('-', "")
+        );
+        files.push(write_jsonl(dir, &name, "query_equiv", w.name(), examples)?);
+    }
+    files.push(write_jsonl(
+        dir,
+        "performance_pred_sdss.jsonl",
+        "performance_pred",
+        "SDSS",
+        &suite.perf,
+    )?);
+    files.push(write_jsonl(
+        dir,
+        "query_exp_spider.jsonl",
+        "query_exp",
+        "Spider",
+        &suite.explain,
+    )?);
+
+    let manifest = Manifest {
+        seed: suite.seed,
+        files,
+    };
+    fs::write(
+        dir.join("manifest.json"),
+        serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
+    )?;
+    Ok(manifest)
+}
+
+/// Default export directory.
+pub fn default_export_dir() -> PathBuf {
+    PathBuf::from("target/benchmark-export")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::PAPER_SEED;
+    use std::sync::OnceLock;
+
+    fn suite() -> &'static Suite {
+        static SUITE: OnceLock<Suite> = OnceLock::new();
+        SUITE.get_or_init(|| Suite::new(PAPER_SEED))
+    }
+
+    #[test]
+    fn export_writes_all_datasets() {
+        let dir = std::env::temp_dir().join(format!("squ-export-{}", std::process::id()));
+        let manifest = export_suite(suite(), &dir).expect("export succeeds");
+        // 4 workloads + 3 syntax + 3 token + 3 equiv + perf + explain = 15
+        assert_eq!(manifest.files.len(), 15);
+        let total: usize = manifest.files.iter().map(|f| f.records).sum();
+        assert!(total > 2000, "only {total} records exported");
+        // manifest exists and round-trips as JSON
+        let manifest_text = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&manifest_text).unwrap();
+        assert_eq!(parsed["seed"], PAPER_SEED);
+
+        // a record is valid JSON with the expected fields
+        let syntax = std::fs::read_to_string(dir.join("syntax_sdss.jsonl")).unwrap();
+        let first: serde_json::Value =
+            serde_json::from_str(syntax.lines().next().unwrap()).unwrap();
+        assert!(first.get("sql").is_some());
+        assert!(first.get("has_error").is_some());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,45 @@
+//! # squ — the SQL-understanding evaluation benchmark
+//!
+//! A full Rust reproduction of *Evaluating SQL Understanding in Large
+//! Language Models* (EDBT 2025): four sampled SQL workloads, five derived
+//! task datasets with machine-verified labels, five calibrated LLM
+//! simulators, the prompt → response → extraction pipeline, and a
+//! reproduction function for **every table and figure** in the paper.
+//!
+//! ```no_run
+//! use squ::{run_experiment, ExperimentId, Suite, PAPER_SEED};
+//!
+//! let suite = Suite::new(PAPER_SEED);
+//! let artifact = run_experiment(&suite, ExperimentId::Table6);
+//! println!("{}\n{}", artifact.title, artifact.body);
+//! ```
+//!
+//! Quick orientation:
+//!
+//! * [`Suite`] — builds all datasets from one master seed;
+//! * [`pipeline`] — runs any [`squ_llm::LanguageModel`] over a task
+//!   dataset and extracts predictions from its verbose responses;
+//! * [`run_experiment`] / [`run_all`] — regenerate the paper's artifacts;
+//! * [`render`] — plain-text table / bar-chart / CSV rendering.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod export;
+pub mod pipeline;
+#[cfg(test)]
+mod pipeline_tests;
+pub mod render;
+mod suite;
+
+pub use ablations::{run_ablation, run_all_ablations, AblationId};
+pub use experiments::{run_all, run_experiment, Artifact, ExperimentId};
+pub use export::{export_suite, Manifest};
+pub use suite::{Suite, PAPER_SEED};
+
+// Re-export the layers a downstream user composes with.
+pub use squ_eval as eval;
+pub use squ_llm as llm;
+pub use squ_tasks as tasks;
+pub use squ_workload as workload;

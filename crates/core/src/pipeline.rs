@@ -1,0 +1,310 @@
+//! The model-evaluation pipeline: labeled example → prompt → model →
+//! verbose response → extraction → prediction record.
+//!
+//! Everything downstream of the response string is *measured* — the same
+//! extraction code would process a real API's output. Responses the
+//! extractor cannot parse are flagged `needs_review` and default to the
+//! negative answer (the paper routed these to manual review).
+
+use squ_llm::{
+    extract_binary, extract_label, extract_position, extract_word, prompts, GroundTruth,
+    LanguageModel, Request, Task,
+};
+use squ_llm::{DatasetId, ModelId};
+use squ_tasks::{EquivExample, ExplainExample, PerfExample, SyntaxExample, TokenExample};
+use squ_workload::Workload;
+
+/// Map a workload to its dataset id.
+pub fn dataset_id(w: Workload) -> DatasetId {
+    match w {
+        Workload::Sdss => DatasetId::Sdss,
+        Workload::SqlShare => DatasetId::SqlShare,
+        Workload::JoinOrder => DatasetId::JoinOrder,
+        Workload::Spider => DatasetId::Spider,
+    }
+}
+
+/// Outcome of one syntax-task example.
+#[derive(Debug, Clone)]
+pub struct SyntaxOutcome {
+    /// The labeled example.
+    pub example: SyntaxExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted binary answer (false when unparseable).
+    pub said_error: bool,
+    /// Extracted error-type label, if the model named one.
+    pub said_type: Option<String>,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+}
+
+/// Run a model over the syntax dataset.
+pub fn run_syntax(
+    model: &dyn LanguageModel,
+    ds: DatasetId,
+    examples: &[SyntaxExample],
+) -> Vec<SyntaxOutcome> {
+    let instruction = prompts::task_prompt(Task::Syntax);
+    examples
+        .iter()
+        .map(|e| {
+            let req = Request {
+                task: Task::Syntax,
+                dataset: ds,
+                example_id: e.query_id.clone(),
+                prompt: prompts::render_prompt(instruction, &e.sql),
+                truth: GroundTruth::Syntax {
+                    has_error: e.has_error,
+                    error_type: e.error_type.map(|t| t.label().to_string()),
+                },
+                props: e.props.clone(),
+            };
+            let response = model.respond(&req);
+            let bin = extract_binary(&response);
+            let said_error = bin.value().unwrap_or(false);
+            let labels: Vec<&str> = squ_tasks::SyntaxErrorType::ALL
+                .iter()
+                .map(|t| t.label())
+                .collect();
+            let said_type = if said_error {
+                extract_label(&response, &labels).value()
+            } else {
+                None
+            };
+            SyntaxOutcome {
+                example: e.clone(),
+                said_error,
+                said_type,
+                needs_review: bin.value().is_none(),
+                response,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one missing-token example.
+#[derive(Debug, Clone)]
+pub struct TokenOutcome {
+    /// The labeled example.
+    pub example: TokenExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted binary answer.
+    pub said_missing: bool,
+    /// Extracted token-type label.
+    pub said_type: Option<String>,
+    /// Extracted position.
+    pub said_position: Option<usize>,
+    /// Extracted guess for the missing word itself.
+    pub said_word: Option<String>,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+}
+
+/// Run a model over the missing-token dataset.
+pub fn run_token(
+    model: &dyn LanguageModel,
+    ds: DatasetId,
+    examples: &[TokenExample],
+) -> Vec<TokenOutcome> {
+    let instruction = prompts::task_prompt(Task::MissToken);
+    examples
+        .iter()
+        .map(|e| {
+            let req = Request {
+                task: Task::MissToken,
+                dataset: ds,
+                example_id: e.query_id.clone(),
+                prompt: prompts::render_prompt(instruction, &e.sql),
+                truth: GroundTruth::Token {
+                    missing: e.has_missing,
+                    token_type: e.token_type.map(|t| t.label().to_string()),
+                    removed: e.removed_text.clone(),
+                    position: e.position,
+                    word_count: e.props.word_count,
+                },
+                props: e.props.clone(),
+            };
+            let response = model.respond(&req);
+            let bin = extract_binary(&response);
+            let said_missing = bin.value().unwrap_or(false);
+            let labels: Vec<&str> = squ_tasks::TokenType::ALL
+                .iter()
+                .map(|t| t.label())
+                .collect();
+            let (said_type, said_position, said_word) = if said_missing {
+                (
+                    extract_label(&response, &labels).value(),
+                    extract_position(&response).value(),
+                    extract_word(&response).value(),
+                )
+            } else {
+                (None, None, None)
+            };
+            TokenOutcome {
+                example: e.clone(),
+                said_missing,
+                said_type,
+                said_position,
+                said_word,
+                needs_review: bin.value().is_none(),
+                response,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one equivalence example.
+#[derive(Debug, Clone)]
+pub struct EquivOutcome {
+    /// The labeled pair.
+    pub example: EquivExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted answer.
+    pub said_equivalent: bool,
+    /// Extracted transform label.
+    pub said_type: Option<String>,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+}
+
+/// Run a model over the equivalence dataset.
+pub fn run_equiv(
+    model: &dyn LanguageModel,
+    ds: DatasetId,
+    examples: &[EquivExample],
+) -> Vec<EquivOutcome> {
+    let instruction = prompts::task_prompt(Task::Equiv);
+    let equiv_labels: Vec<&str> = squ_tasks::EquivType::ALL
+        .iter()
+        .map(|t| t.label())
+        .collect();
+    examples
+        .iter()
+        .map(|e| {
+            let payload = format!("Query 1: {}\nQuery 2: {}", e.sql1, e.sql2);
+            let req = Request {
+                task: Task::Equiv,
+                dataset: ds,
+                example_id: e.query_id.clone(),
+                prompt: prompts::render_prompt(instruction, &payload),
+                truth: GroundTruth::Equiv {
+                    equivalent: e.equivalent,
+                    transform: e.transform.clone(),
+                },
+                props: e.props.clone(),
+            };
+            let response = model.respond(&req);
+            let bin = extract_binary(&response);
+            let said_equivalent = bin.value().unwrap_or(false);
+            let said_type = if said_equivalent {
+                extract_label(&response, &equiv_labels).value()
+            } else {
+                None
+            };
+            EquivOutcome {
+                example: e.clone(),
+                said_equivalent,
+                said_type,
+                needs_review: bin.value().is_none(),
+                response,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one performance-prediction example.
+#[derive(Debug, Clone)]
+pub struct PerfOutcome {
+    /// The labeled example.
+    pub example: PerfExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted answer.
+    pub said_costly: bool,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+}
+
+/// Run a model over the performance dataset.
+pub fn run_perf(model: &dyn LanguageModel, examples: &[PerfExample]) -> Vec<PerfOutcome> {
+    let instruction = prompts::task_prompt(Task::Perf);
+    examples
+        .iter()
+        .map(|e| {
+            let req = Request {
+                task: Task::Perf,
+                dataset: DatasetId::Sdss,
+                example_id: e.query_id.clone(),
+                prompt: prompts::render_prompt(instruction, &e.sql),
+                truth: GroundTruth::Perf {
+                    costly: e.is_costly,
+                },
+                props: e.props.clone(),
+            };
+            let response = model.respond(&req);
+            let bin = extract_binary(&response);
+            PerfOutcome {
+                example: e.clone(),
+                said_costly: bin.value().unwrap_or(false),
+                needs_review: bin.value().is_none(),
+                response,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one explanation example.
+#[derive(Debug, Clone)]
+pub struct ExplainOutcome {
+    /// The labeled example.
+    pub example: ExplainExample,
+    /// The model's explanation.
+    pub explanation: String,
+    /// Rubric score.
+    pub rubric: squ_eval::RubricScore,
+}
+
+/// Run a model over the explanation dataset.
+pub fn run_explain(model: &dyn LanguageModel, examples: &[ExplainExample]) -> Vec<ExplainOutcome> {
+    let instruction = prompts::task_prompt(Task::Explain);
+    examples
+        .iter()
+        .map(|e| {
+            let req = Request {
+                task: Task::Explain,
+                dataset: DatasetId::Spider,
+                example_id: e.query_id.clone(),
+                prompt: prompts::render_prompt(instruction, &e.sql),
+                truth: GroundTruth::Explain {
+                    reference: e.reference.clone(),
+                    facts: e.facts.clone(),
+                    sql: e.sql.clone(),
+                },
+                props: e.props.clone(),
+            };
+            let explanation = model.respond(&req);
+            let rubric = squ_eval::score_explanation(&explanation, &e.facts);
+            ExplainOutcome {
+                example: e.clone(),
+                explanation,
+                rubric,
+            }
+        })
+        .collect()
+}
+
+/// A model registry entry: the five simulated paper models.
+pub fn all_models() -> Vec<(ModelId, Box<dyn LanguageModel>)> {
+    ModelId::ALL
+        .into_iter()
+        .map(|id| {
+            (
+                id,
+                Box::new(squ_llm::SimulatedModel::new(id)) as Box<dyn LanguageModel>,
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,114 @@
+//! The benchmark suite: all sampled workloads and derived task datasets,
+//! built deterministically from one master seed.
+
+use squ_tasks::{
+    build_equiv_dataset, build_explain_dataset, build_perf_dataset, build_syntax_dataset,
+    build_token_dataset, EquivExample, ExplainExample, PerfExample, SyntaxExample, TokenExample,
+};
+use squ_workload::{build, Dataset, Workload};
+
+/// The paper's master seed (the year of the SDSS log slice).
+pub const PAPER_SEED: u64 = 2023;
+
+/// All datasets of the benchmark, fully materialized.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Master seed.
+    pub seed: u64,
+    /// SDSS sampled workload (285 queries, with elapsed times).
+    pub sdss: Dataset,
+    /// SQLShare sampled workload (250 queries).
+    pub sqlshare: Dataset,
+    /// Join-Order workload (157 queries).
+    pub joborder: Dataset,
+    /// Spider sampled workload (200 queries, with descriptions).
+    pub spider: Dataset,
+    /// Syntax-error task data per task workload.
+    pub syntax: Vec<(Workload, Vec<SyntaxExample>)>,
+    /// Missing-token task data per task workload.
+    pub tokens: Vec<(Workload, Vec<TokenExample>)>,
+    /// Equivalence task data per task workload.
+    pub equiv: Vec<(Workload, Vec<EquivExample>)>,
+    /// Performance task data (SDSS only).
+    pub perf: Vec<PerfExample>,
+    /// Explanation task data (Spider only).
+    pub explain: Vec<ExplainExample>,
+}
+
+impl Suite {
+    /// Build the full suite from a master seed. Building includes the
+    /// differential verification of every equivalence pair, so this takes
+    /// a few seconds.
+    pub fn new(seed: u64) -> Suite {
+        let sdss = build(Workload::Sdss, seed);
+        let sqlshare = build(Workload::SqlShare, seed);
+        let joborder = build(Workload::JoinOrder, seed);
+        let spider = build(Workload::Spider, seed);
+
+        let task_sets = [&sdss, &sqlshare, &joborder];
+        let syntax = task_sets
+            .iter()
+            .map(|ds| (ds.workload, build_syntax_dataset(ds, seed)))
+            .collect();
+        let tokens = task_sets
+            .iter()
+            .map(|ds| (ds.workload, build_token_dataset(ds, seed)))
+            .collect();
+        let equiv = task_sets
+            .iter()
+            .map(|ds| (ds.workload, build_equiv_dataset(ds, seed)))
+            .collect();
+        let perf = build_perf_dataset(&sdss);
+        let explain = build_explain_dataset(&spider);
+
+        Suite {
+            seed,
+            sdss,
+            sqlshare,
+            joborder,
+            spider,
+            syntax,
+            tokens,
+            equiv,
+            perf,
+            explain,
+        }
+    }
+
+    /// The sampled dataset for a workload.
+    pub fn dataset(&self, w: Workload) -> &Dataset {
+        match w {
+            Workload::Sdss => &self.sdss,
+            Workload::SqlShare => &self.sqlshare,
+            Workload::JoinOrder => &self.joborder,
+            Workload::Spider => &self.spider,
+        }
+    }
+
+    /// Syntax task examples for a workload.
+    pub fn syntax_for(&self, w: Workload) -> &[SyntaxExample] {
+        self.syntax
+            .iter()
+            .find(|(wk, _)| *wk == w)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Token task examples for a workload.
+    pub fn tokens_for(&self, w: Workload) -> &[TokenExample] {
+        self.tokens
+            .iter()
+            .find(|(wk, _)| *wk == w)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Equivalence task examples for a workload.
+    pub fn equiv_for(&self, w: Workload) -> &[EquivExample] {
+        self.equiv
+            .iter()
+            .find(|(wk, _)| *wk == w)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+}

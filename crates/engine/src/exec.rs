@@ -1,0 +1,1488 @@
+//! Tree-walking SQL executor.
+//!
+//! Executes the parsed AST directly against an in-memory [`Database`]. The
+//! engine exists to *verify labels*: equivalence transforms must preserve
+//! results and non-equivalence transforms must change them on witness
+//! databases, and the cost model is sanity-checked against row counting.
+//! Witness databases are small (tens of rows), so the executor favours
+//! clarity over performance: nested-loop joins, per-row expression
+//! interpretation, full materialization.
+//!
+//! Supported: implicit/explicit joins (inner, left, right, full, cross,
+//! `USING`), `WHERE`, `GROUP BY` + aggregates, `HAVING`, `DISTINCT`,
+//! `ORDER BY`/`LIMIT`/`TOP`, set operations, CTEs, correlated subqueries
+//! (scalar, `IN`, `EXISTS`), `CASE`, `CAST`, `LIKE`, `BETWEEN`, arithmetic,
+//! and a library of scalar functions.
+
+use crate::{Database, Relation, Value};
+use squ_parser::ast::*;
+use squ_parser::CompareOp;
+use std::collections::HashMap;
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Referenced table missing from the database.
+    UnknownTable(String),
+    /// Referenced column not found in scope.
+    UnknownColumn(String),
+    /// A scalar subquery returned more than one row.
+    ScalarSubqueryMultiRow,
+    /// Feature not covered by the engine.
+    Unsupported(String),
+    /// An intermediate result exceeded the executor's row budget (the
+    /// guard that turns accidental cross-product blow-ups into clean
+    /// errors instead of hangs).
+    ResourceLimit,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            ExecError::ScalarSubqueryMultiRow => {
+                f.write_str("scalar subquery returned more than one row")
+            }
+            ExecError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            ExecError::ResourceLimit => f.write_str("intermediate result exceeded the row budget"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Counters accumulated during execution; input to cost-model validation
+/// and the Criterion benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Base-table rows materialized into the pipeline.
+    pub rows_scanned: u64,
+    /// Row pairs considered by join loops.
+    pub join_pairs: u64,
+    /// Rows in the final result.
+    pub rows_output: u64,
+    /// Subquery (re-)executions, counting correlated re-evaluation.
+    pub subquery_evals: u64,
+}
+
+/// Execute a statement. `CREATE TABLE … AS` / `CREATE VIEW` execute their
+/// defining query (the relation that *would* be stored).
+pub fn execute(stmt: &Statement, db: &Database) -> Result<Relation, ExecError> {
+    let q = stmt
+        .query()
+        .ok_or_else(|| ExecError::Unsupported("CREATE TABLE without AS SELECT".into()))?;
+    execute_query(q, db).map(|(rel, _)| rel)
+}
+
+/// Execute a query, returning the result relation and execution statistics.
+pub fn execute_query(q: &Query, db: &Database) -> Result<(Relation, ExecStats), ExecError> {
+    let mut cx = Cx {
+        db,
+        ctes: Vec::new(),
+        stats: ExecStats::default(),
+    };
+    let rel = cx.query(q, &[])?;
+    cx.stats.rows_output = rel.rows.len() as u64;
+    Ok((rel, cx.stats))
+}
+
+/// A qualified column in a working row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QCol {
+    binding: Option<String>,
+    name: String,
+}
+
+/// One working relation: qualified columns + rows.
+#[derive(Debug, Clone)]
+struct Working {
+    cols: Vec<QCol>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// A correlation frame: the columns and the current row of an enclosing
+/// query, visible to subqueries.
+struct Frame<'a> {
+    cols: &'a [QCol],
+    row: &'a [Value],
+}
+
+struct Cx<'a> {
+    db: &'a Database,
+    /// CTE environments (stack; inner queries see outer CTEs).
+    ctes: Vec<HashMap<String, Relation>>,
+    stats: ExecStats,
+}
+
+impl<'a> Cx<'a> {
+    fn lookup_cte(&self, name: &str) -> Option<&Relation> {
+        self.ctes
+            .iter()
+            .rev()
+            .find_map(|env| env.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)))
+            .map(|(_, v)| v)
+    }
+
+    fn query(&mut self, q: &Query, env: &[Frame]) -> Result<Relation, ExecError> {
+        self.ctes.push(HashMap::new());
+        let result = (|| {
+            for cte in &q.ctes {
+                let rel = self.query(&cte.query, env)?;
+                self.ctes
+                    .last_mut()
+                    .expect("pushed above")
+                    .insert(cte.name.clone(), rel);
+            }
+            let mut rel = self.set_expr(&q.body, &q.order_by, env)?;
+            // LIMIT / TOP (TOP binds to the outermost select of the body).
+            let effective_limit = q.limit.or(match &q.body {
+                SetExpr::Select(s) => s.top,
+                _ => None,
+            });
+            if let Some(n) = effective_limit {
+                rel.rows.truncate(n as usize);
+            }
+            Ok(rel)
+        })();
+        self.ctes.pop();
+        result
+    }
+
+    fn set_expr(
+        &mut self,
+        body: &SetExpr,
+        order_by: &[OrderItem],
+        env: &[Frame],
+    ) -> Result<Relation, ExecError> {
+        match body {
+            SetExpr::Select(s) => self.select(s, order_by, env),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.set_expr(left, &[], env)?;
+                let r = self.set_expr(right, &[], env)?;
+                let mut rel = combine_set(op, *all, l, r);
+                if !order_by.is_empty() {
+                    // set-op ORDER BY references output column positions/names
+                    sort_by_output_columns(&mut rel, order_by)?;
+                }
+                Ok(rel)
+            }
+        }
+    }
+
+    fn select(
+        &mut self,
+        s: &Select,
+        order_by: &[OrderItem],
+        env: &[Frame],
+    ) -> Result<Relation, ExecError> {
+        // Split WHERE into conjuncts so filters can be applied as soon as
+        // their columns become available during FROM accumulation — without
+        // this, comma-joined FROM lists (the Join-Order workload joins up
+        // to 12 tables implicitly) would materialize the full cross
+        // product before filtering.
+        let mut conjuncts: Vec<&Expr> = Vec::new();
+        if let Some(pred) = &s.selection {
+            split_conjuncts(pred, &mut conjuncts);
+        }
+        let mut applied = vec![false; conjuncts.len()];
+
+        // FROM
+        let mut working = Working {
+            cols: Vec::new(),
+            rows: vec![Vec::new()], // one empty row for table-less SELECT
+        };
+        for (i, tr) in s.from.iter().enumerate() {
+            let next = self.table_ref(tr, env)?;
+            working = if i == 0 && working.cols.is_empty() {
+                next
+            } else {
+                cross_product(&mut self.stats, working, next)?
+            };
+            // eagerly apply every not-yet-applied conjunct whose columns
+            // (and subqueries — deferred) are now resolvable
+            for (ci, c) in conjuncts.iter().enumerate() {
+                if !applied[ci] && conjunct_resolvable(c, &working.cols) {
+                    working.rows = self.filter_rows(c, working.cols.clone(), working.rows, env)?;
+                    applied[ci] = true;
+                }
+            }
+        }
+
+        // WHERE: remaining conjuncts (correlated / subquery-bearing ones)
+        for (ci, c) in conjuncts.iter().enumerate() {
+            if !applied[ci] {
+                working.rows = self.filter_rows(c, working.cols.clone(), working.rows, env)?;
+            }
+        }
+
+        // grouping?
+        let has_aggregate = s
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || s.having.as_ref().is_some_and(|h| h.contains_aggregate())
+            || order_by.iter().any(|o| o.expr.contains_aggregate());
+
+        let (out_cols, mut out_rows) = if !s.group_by.is_empty() || has_aggregate {
+            self.grouped_projection(s, order_by, env, &working)?
+        } else {
+            self.plain_projection(s, order_by, env, &working)?
+        };
+
+        // DISTINCT (keys kept alongside rows: Vec<(row, sortkeys)>)
+        if s.distinct {
+            let mut seen = std::collections::HashSet::new();
+            out_rows.retain(|(row, _)| seen.insert(row.clone()));
+        }
+
+        // ORDER BY via the carried sort keys
+        if !order_by.is_empty() {
+            out_rows.sort_by(|(_, ka), (_, kb)| {
+                for ((va, item), vb) in ka.iter().zip(order_by).zip(kb.iter()) {
+                    let ord = va.total_cmp(vb);
+                    let ord = if item.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        Ok(Relation::new(
+            out_cols,
+            out_rows.into_iter().map(|(r, _)| r).collect(),
+        ))
+    }
+
+    /// Project without grouping. Returns output columns plus
+    /// `(row, sort_keys)` pairs.
+    #[allow(clippy::type_complexity)]
+    fn plain_projection(
+        &mut self,
+        s: &Select,
+        order_by: &[OrderItem],
+        env: &[Frame],
+        working: &Working,
+    ) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), ExecError> {
+        let out_cols = projection_names(s, &working.cols);
+        let mut out = Vec::with_capacity(working.rows.len());
+        for row in &working.rows {
+            let mut frames: Vec<Frame> = env
+                .iter()
+                .map(|f| Frame {
+                    cols: f.cols,
+                    row: f.row,
+                })
+                .collect();
+            frames.push(Frame {
+                cols: &working.cols,
+                row,
+            });
+            let mut vals = Vec::with_capacity(s.items.len());
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => vals.extend(row.iter().cloned()),
+                    SelectItem::QualifiedWildcard(q) => {
+                        for (c, v) in working.cols.iter().zip(row) {
+                            if c.binding
+                                .as_deref()
+                                .is_some_and(|b| b.eq_ignore_ascii_case(q))
+                            {
+                                vals.push(v.clone());
+                            }
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => vals.push(self.expr_single(expr, &frames)?),
+                }
+            }
+            let mut keys = Vec::with_capacity(order_by.len());
+            for o in order_by {
+                keys.push(self.order_key(&o.expr, &frames, s, &vals)?);
+            }
+            out.push((vals, keys));
+        }
+        Ok((out_cols, out))
+    }
+
+    /// Project with grouping and aggregates.
+    #[allow(clippy::type_complexity)]
+    fn grouped_projection(
+        &mut self,
+        s: &Select,
+        order_by: &[OrderItem],
+        env: &[Frame],
+        working: &Working,
+    ) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), ExecError> {
+        // group rows by the GROUP BY key (empty key = single global group)
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for (ri, row) in working.rows.iter().enumerate() {
+            let mut frames: Vec<Frame> = env
+                .iter()
+                .map(|f| Frame {
+                    cols: f.cols,
+                    row: f.row,
+                })
+                .collect();
+            frames.push(Frame {
+                cols: &working.cols,
+                row,
+            });
+            let mut key = Vec::with_capacity(s.group_by.len());
+            for g in &s.group_by {
+                key.push(self.expr_single(g, &frames)?);
+            }
+            match index.get(&key) {
+                Some(&gi) => groups[gi].1.push(ri),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![ri]));
+                }
+            }
+        }
+        // a global aggregate over zero rows still yields one group
+        if groups.is_empty() && s.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        let out_cols = projection_names(s, &working.cols);
+        let mut out = Vec::with_capacity(groups.len());
+        for (_key, row_ids) in &groups {
+            let rows: Vec<&Vec<Value>> = row_ids.iter().map(|&i| &working.rows[i]).collect();
+            // HAVING
+            if let Some(h) = &s.having {
+                let v = self.expr_grouped(h, env, &working.cols, &rows)?;
+                if !v.is_truthy() {
+                    continue;
+                }
+            }
+            let mut vals = Vec::with_capacity(s.items.len());
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                        return Err(ExecError::Unsupported(
+                            "wildcard projection with GROUP BY".into(),
+                        ))
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        vals.push(self.expr_grouped(expr, env, &working.cols, &rows)?)
+                    }
+                }
+            }
+            let mut keys = Vec::with_capacity(order_by.len());
+            for o in order_by {
+                // alias fast-path first, else grouped evaluation
+                if let Some(v) = alias_key(&o.expr, s, &vals) {
+                    keys.push(v);
+                } else {
+                    keys.push(self.expr_grouped(&o.expr, env, &working.cols, &rows)?);
+                }
+            }
+            out.push((vals, keys));
+        }
+        Ok((out_cols, out))
+    }
+
+    /// Evaluate an ORDER BY key for a plain (non-grouped) row.
+    fn order_key(
+        &mut self,
+        expr: &Expr,
+        frames: &[Frame],
+        s: &Select,
+        out_vals: &[Value],
+    ) -> Result<Value, ExecError> {
+        if let Some(v) = alias_key(expr, s, out_vals) {
+            return Ok(v);
+        }
+        self.expr_single(expr, frames)
+    }
+
+    // ----- FROM handling -----
+
+    fn table_ref(&mut self, tr: &TableRef, env: &[Frame]) -> Result<Working, ExecError> {
+        match tr {
+            TableRef::Named { name, alias } => {
+                let rel = if let Some(r) = self.lookup_cte(name) {
+                    r.clone()
+                } else {
+                    self.db
+                        .table(name)
+                        .ok_or_else(|| ExecError::UnknownTable(name.clone()))?
+                        .clone()
+                };
+                self.stats.rows_scanned += rel.rows.len() as u64;
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                Ok(Working {
+                    cols: rel
+                        .columns
+                        .iter()
+                        .map(|c| QCol {
+                            binding: Some(binding.clone()),
+                            name: c.clone(),
+                        })
+                        .collect(),
+                    rows: rel.rows,
+                })
+            }
+            TableRef::Derived { query, alias } => {
+                let rel = self.query(query, env)?;
+                let binding = alias.clone().unwrap_or_default();
+                Ok(Working {
+                    cols: rel
+                        .columns
+                        .iter()
+                        .map(|c| QCol {
+                            binding: Some(binding.clone()),
+                            name: c.clone(),
+                        })
+                        .collect(),
+                    rows: rel.rows,
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
+                let l = self.table_ref(left, env)?;
+                let r = self.table_ref(right, env)?;
+                self.join(l, r, *kind, constraint, env)
+            }
+        }
+    }
+
+    fn join(
+        &mut self,
+        l: Working,
+        r: Working,
+        kind: JoinKind,
+        constraint: &JoinConstraint,
+        env: &[Frame],
+    ) -> Result<Working, ExecError> {
+        let mut cols = l.cols.clone();
+        cols.extend(r.cols.clone());
+
+        let on_matches = |cx: &mut Cx, lrow: &[Value], rrow: &[Value]| -> Result<bool, ExecError> {
+            match constraint {
+                JoinConstraint::None => Ok(true),
+                JoinConstraint::On(e) => {
+                    let mut combined = lrow.to_vec();
+                    combined.extend(rrow.iter().cloned());
+                    let mut frames: Vec<Frame> = env
+                        .iter()
+                        .map(|f| Frame {
+                            cols: f.cols,
+                            row: f.row,
+                        })
+                        .collect();
+                    frames.push(Frame {
+                        cols: &cols,
+                        row: &combined,
+                    });
+                    Ok(cx.expr_single(e, &frames)?.is_truthy())
+                }
+                JoinConstraint::Using(names) => {
+                    for n in names {
+                        let li = l
+                            .cols
+                            .iter()
+                            .position(|c| c.name.eq_ignore_ascii_case(n))
+                            .ok_or_else(|| ExecError::UnknownColumn(n.clone()))?;
+                        let ri = r
+                            .cols
+                            .iter()
+                            .position(|c| c.name.eq_ignore_ascii_case(n))
+                            .ok_or_else(|| ExecError::UnknownColumn(n.clone()))?;
+                        if lrow[li].sql_eq(&rrow[ri]) != Some(true) {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+            }
+        };
+
+        if l.rows.len().saturating_mul(r.rows.len()) > MAX_INTERMEDIATE_ROWS {
+            return Err(ExecError::ResourceLimit);
+        }
+
+        // Hash fast path: a single-equality ON clause between one column of
+        // each side turns the O(|L|·|R|) nested loop into O(|L|+|R|). Only
+        // taken past a small size product — below it the loop is cheaper
+        // than building the table, and per-pair stats stay exact for tests.
+        let hash_cols = match constraint {
+            JoinConstraint::On(e) => equi_join_columns(e, &l.cols, &r.cols),
+            _ => None,
+        };
+        if let Some((li, ri_col)) = hash_cols {
+            if l.rows.len().saturating_mul(r.rows.len()) > 4096 {
+                return Ok(self.hash_join(l, r, kind, cols, li, ri_col));
+            }
+        }
+
+        let mut rows = Vec::new();
+        let mut right_matched = vec![false; r.rows.len()];
+        for lrow in &l.rows {
+            let mut matched = false;
+            for (ri, rrow) in r.rows.iter().enumerate() {
+                self.stats.join_pairs += 1;
+                if on_matches(self, lrow, rrow)? {
+                    matched = true;
+                    right_matched[ri] = true;
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                let mut row = lrow.clone();
+                row.extend(std::iter::repeat(Value::Null).take(r.cols.len()));
+                rows.push(row);
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (ri, rrow) in r.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut row: Vec<Value> =
+                        std::iter::repeat(Value::Null).take(l.cols.len()).collect();
+                    row.extend(rrow.iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+        Ok(Working { cols, rows })
+    }
+
+    /// Equi-join via a hash table on the right side. Preserves left-row
+    /// order (and right-row order within a key), so output is deterministic.
+    fn hash_join(
+        &mut self,
+        l: Working,
+        r: Working,
+        kind: JoinKind,
+        cols: Vec<QCol>,
+        li: usize,
+        ri_col: usize,
+    ) -> Working {
+        let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
+        for (i, rrow) in r.rows.iter().enumerate() {
+            let key = &rrow[ri_col];
+            if !key.is_null() {
+                table.entry(key).or_default().push(i);
+            }
+        }
+        let mut rows = Vec::new();
+        let mut right_matched = vec![false; r.rows.len()];
+        for lrow in &l.rows {
+            let key = &lrow[li];
+            let matches = if key.is_null() { None } else { table.get(key) };
+            match matches {
+                Some(idxs) => {
+                    self.stats.join_pairs += idxs.len() as u64;
+                    for &ri in idxs {
+                        right_matched[ri] = true;
+                        let mut row = lrow.clone();
+                        row.extend(r.rows[ri].iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                None => {
+                    if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                        let mut row = lrow.clone();
+                        row.extend(std::iter::repeat(Value::Null).take(r.cols.len()));
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (ri, rrow) in r.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut row: Vec<Value> =
+                        std::iter::repeat(Value::Null).take(l.cols.len()).collect();
+                    row.extend(rrow.iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+        Working { cols, rows }
+    }
+
+    // ----- expression evaluation -----
+
+    /// Evaluate an expression against a single-row context.
+    fn expr_single(&mut self, e: &Expr, frames: &[Frame]) -> Result<Value, ExecError> {
+        match e {
+            Expr::Column(c) => resolve_value(c, frames),
+            Expr::Literal(l) => Ok(match l {
+                Literal::Number(v) => Value::Num(*v),
+                Literal::String(s) => Value::Str(s.clone()),
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Null => Value::Null,
+            }),
+            Expr::Compare { op, left, right } => {
+                let l = self.expr_single(left, frames)?;
+                let r = self.expr_single(right, frames)?;
+                Ok(compare(*op, &l, &r))
+            }
+            Expr::And(a, b) => {
+                let ta = tri(&self.expr_single(a, frames)?);
+                if ta == Some(false) {
+                    return Ok(Value::Bool(false)); // short-circuit
+                }
+                let tb = tri(&self.expr_single(b, frames)?);
+                Ok(from_tri(and3(ta, tb)))
+            }
+            Expr::Or(a, b) => {
+                let ta = tri(&self.expr_single(a, frames)?);
+                if ta == Some(true) {
+                    return Ok(Value::Bool(true)); // short-circuit
+                }
+                let tb = tri(&self.expr_single(b, frames)?);
+                Ok(from_tri(or3(ta, tb)))
+            }
+            Expr::Not(inner) => {
+                let t = tri(&self.expr_single(inner, frames)?);
+                Ok(from_tri(not3(t)))
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.expr_single(expr, frames)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.expr_single(expr, frames)?;
+                let lo = self.expr_single(low, frames)?;
+                let hi = self.expr_single(high, frames)?;
+                let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+                let inside = and3(ge, le);
+                Ok(from_tri(if *negated { not3(inside) } else { inside }))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.expr_single(expr, frames)?;
+                // x IN (…): TRUE on a match, UNKNOWN if no match but some
+                // comparison was NULL, else FALSE; NOT IN negates in 3VL
+                let mut base: Option<bool> = Some(false);
+                for item in list {
+                    let iv = self.expr_single(item, frames)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => {
+                            base = Some(true);
+                            break;
+                        }
+                        None => base = None,
+                        Some(false) => {}
+                    }
+                }
+                Ok(from_tri(if *negated { not3(base) } else { base }))
+            }
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                let v = self.expr_single(expr, frames)?;
+                self.stats.subquery_evals += 1;
+                let rel = self.query(subquery, frames)?;
+                let mut base: Option<bool> = Some(false);
+                for r in &rel.rows {
+                    match r.first().map(|x| v.sql_eq(x)) {
+                        Some(Some(true)) => {
+                            base = Some(true);
+                            break;
+                        }
+                        Some(None) | None => base = None,
+                        Some(Some(false)) => {}
+                    }
+                }
+                Ok(from_tri(if *negated { not3(base) } else { base }))
+            }
+            Expr::Exists { subquery, negated } => {
+                self.stats.subquery_evals += 1;
+                let rel = self.query(subquery, frames)?;
+                Ok(Value::Bool(rel.rows.is_empty() == *negated))
+            }
+            Expr::ScalarSubquery(q) => {
+                self.stats.subquery_evals += 1;
+                let rel = self.query(q, frames)?;
+                match rel.rows.len() {
+                    0 => Ok(Value::Null),
+                    1 => Ok(rel.rows[0].first().cloned().unwrap_or(Value::Null)),
+                    _ => Err(ExecError::ScalarSubqueryMultiRow),
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.expr_single(expr, frames)?;
+                let p = self.expr_single(pattern, frames)?;
+                match (&v, &p) {
+                    (Value::Str(s), Value::Str(pat)) => {
+                        Ok(Value::Bool(like_match(s, pat) != *negated))
+                    }
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    _ => Ok(Value::Bool(false)),
+                }
+            }
+            Expr::Function { name, args, .. } => {
+                if is_aggregate_name(name) {
+                    // aggregate in a single-row context: treat the row as a
+                    // one-row group (occurs in ORDER BY of grouped selects
+                    // handled elsewhere; here be lenient)
+                    return Err(ExecError::Unsupported(format!(
+                        "aggregate {name} outside GROUP BY context"
+                    )));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr_single(a, frames)?);
+                }
+                scalar_function(name, &vals)
+            }
+            Expr::Wildcard => Err(ExecError::Unsupported("bare * in expression".into())),
+            Expr::Arith { op, left, right } => {
+                let l = self.expr_single(left, frames)?;
+                let r = self.expr_single(right, frames)?;
+                Ok(arith(*op, &l, &r))
+            }
+            Expr::Neg(inner) => {
+                let v = self.expr_single(inner, frames)?;
+                Ok(match v {
+                    Value::Num(x) => Value::Num(-x),
+                    _ => Value::Null,
+                })
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                let op_val = match operand {
+                    Some(op) => Some(self.expr_single(op, frames)?),
+                    None => None,
+                };
+                for (w, t) in branches {
+                    let wv = self.expr_single(w, frames)?;
+                    let hit = match &op_val {
+                        Some(ov) => ov.sql_eq(&wv) == Some(true),
+                        None => wv.is_truthy(),
+                    };
+                    if hit {
+                        return self.expr_single(t, frames);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.expr_single(e, frames),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Cast { expr, type_name } => {
+                let v = self.expr_single(expr, frames)?;
+                Ok(cast(&v, type_name))
+            }
+        }
+    }
+
+    /// Evaluate an expression in a grouped context: aggregates run over
+    /// `rows`, other column references use the first row of the group.
+    fn expr_grouped(
+        &mut self,
+        e: &Expr,
+        env: &[Frame],
+        cols: &[QCol],
+        rows: &[&Vec<Value>],
+    ) -> Result<Value, ExecError> {
+        match e {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } if is_aggregate_name(name) => self.aggregate(name, args, *distinct, env, cols, rows),
+            Expr::And(a, b) => {
+                let ta = tri(&self.expr_grouped(a, env, cols, rows)?);
+                if ta == Some(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let tb = tri(&self.expr_grouped(b, env, cols, rows)?);
+                Ok(from_tri(and3(ta, tb)))
+            }
+            Expr::Or(a, b) => {
+                let ta = tri(&self.expr_grouped(a, env, cols, rows)?);
+                if ta == Some(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let tb = tri(&self.expr_grouped(b, env, cols, rows)?);
+                Ok(from_tri(or3(ta, tb)))
+            }
+            Expr::Not(inner) => {
+                let t = tri(&self.expr_grouped(inner, env, cols, rows)?);
+                Ok(from_tri(not3(t)))
+            }
+            Expr::Compare { op, left, right } => {
+                let l = self.expr_grouped(left, env, cols, rows)?;
+                let r = self.expr_grouped(right, env, cols, rows)?;
+                Ok(compare(*op, &l, &r))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = self.expr_grouped(left, env, cols, rows)?;
+                let r = self.expr_grouped(right, env, cols, rows)?;
+                Ok(arith(*op, &l, &r))
+            }
+            other => {
+                // non-aggregate leaf: evaluate against the group's first row
+                match rows.first() {
+                    Some(first) => {
+                        let mut frames: Vec<Frame> = env
+                            .iter()
+                            .map(|f| Frame {
+                                cols: f.cols,
+                                row: f.row,
+                            })
+                            .collect();
+                        frames.push(Frame { cols, row: first });
+                        self.expr_single(other, &frames)
+                    }
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    fn aggregate(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        distinct: bool,
+        env: &[Frame],
+        cols: &[QCol],
+        rows: &[&Vec<Value>],
+    ) -> Result<Value, ExecError> {
+        let upper = name.to_ascii_uppercase();
+        // COUNT(*) — group size
+        if upper == "COUNT" && matches!(args.first(), Some(Expr::Wildcard) | None) {
+            return Ok(Value::Num(rows.len() as f64));
+        }
+        let arg = args
+            .first()
+            .ok_or_else(|| ExecError::Unsupported(format!("{name}()")))?;
+        let mut vals = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut frames: Vec<Frame> = env
+                .iter()
+                .map(|f| Frame {
+                    cols: f.cols,
+                    row: f.row,
+                })
+                .collect();
+            frames.push(Frame { cols, row });
+            let v = self.expr_single(arg, &frames)?;
+            if !v.is_null() {
+                vals.push(v);
+            }
+        }
+        if distinct {
+            let mut seen = std::collections::HashSet::new();
+            vals.retain(|v| seen.insert(v.clone()));
+        }
+        Ok(match upper.as_str() {
+            "COUNT" => Value::Num(vals.len() as f64),
+            "SUM" => {
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Num(vals.iter().filter_map(|v| v.as_num()).sum())
+                }
+            }
+            "AVG" => {
+                let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Num(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            "MIN" => vals
+                .iter()
+                .min_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null),
+            "MAX" => vals
+                .iter()
+                .max_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null),
+            "STDEV" | "STDDEV" | "VAR" | "VARIANCE" => {
+                let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
+                if nums.len() < 2 {
+                    Value::Null
+                } else {
+                    let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+                    let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                        / (nums.len() - 1) as f64;
+                    if upper.starts_with("VAR") {
+                        Value::Num(var)
+                    } else {
+                        Value::Num(var.sqrt())
+                    }
+                }
+            }
+            _ => return Err(ExecError::Unsupported(format!("aggregate {name}"))),
+        })
+    }
+}
+
+impl<'a> Cx<'a> {
+    /// Keep rows on which the conjunct is truthy.
+    fn filter_rows(
+        &mut self,
+        pred: &Expr,
+        cols: Vec<QCol>,
+        rows: Vec<Vec<Value>>,
+        env: &[Frame],
+    ) -> Result<Vec<Vec<Value>>, ExecError> {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut frames: Vec<Frame> = Vec::with_capacity(env.len() + 1);
+            frames.extend(env.iter().map(|f| Frame {
+                cols: f.cols,
+                row: f.row,
+            }));
+            frames.push(Frame {
+                cols: &cols,
+                row: &row,
+            });
+            if self.expr_single(pred, &frames)?.is_truthy() {
+                kept.push(row);
+            }
+        }
+        Ok(kept)
+    }
+}
+
+/// If `e` is a single equality between one column of `lcols` and one of
+/// `rcols`, return their indices (left, right).
+fn equi_join_columns(e: &Expr, lcols: &[QCol], rcols: &[QCol]) -> Option<(usize, usize)> {
+    let Expr::Compare {
+        op: CompareOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return None;
+    };
+    let (Expr::Column(a), Expr::Column(b)) = (&**left, &**right) else {
+        return None;
+    };
+    // only qualified references take the fast path: an unqualified name
+    // could resolve into either side, and expression evaluation always
+    // picks the leftmost occurrence — the hash path must not diverge
+    let find = |cols: &[QCol], c: &ColumnRef| -> Option<usize> {
+        let q = c.qualifier.as_deref()?;
+        cols.iter().position(|qc| {
+            qc.name.eq_ignore_ascii_case(&c.name)
+                && qc
+                    .binding
+                    .as_deref()
+                    .is_some_and(|bn| bn.eq_ignore_ascii_case(q))
+        })
+    };
+    match (find(lcols, a), find(rcols, b)) {
+        (Some(li), Some(ri)) => Some((li, ri)),
+        _ => match (find(lcols, b), find(rcols, a)) {
+            (Some(li), Some(ri)) => Some((li, ri)),
+            _ => None,
+        },
+    }
+}
+
+/// Flatten a WHERE tree into its top-level AND conjuncts.
+fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::And(a, b) => {
+            split_conjuncts(a, out);
+            split_conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Can the conjunct be evaluated with only `cols` available? Conjuncts
+/// containing subqueries are deferred to the end (they may be correlated
+/// against columns of later FROM items).
+fn conjunct_resolvable(e: &Expr, cols: &[QCol]) -> bool {
+    fn check(e: &Expr, cols: &[QCol], ok: &mut bool) {
+        if !*ok {
+            return;
+        }
+        match e {
+            Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => *ok = false,
+            Expr::Column(c) => {
+                let hit = cols.iter().any(|qc| {
+                    qc.name.eq_ignore_ascii_case(&c.name)
+                        && match &c.qualifier {
+                            Some(q) => qc
+                                .binding
+                                .as_deref()
+                                .is_some_and(|b| b.eq_ignore_ascii_case(q)),
+                            None => true,
+                        }
+                });
+                if !hit {
+                    *ok = false;
+                }
+            }
+            other => other.for_each_child(&mut |ch| check(ch, cols, ok)),
+        }
+    }
+    let mut ok = true;
+    check(e, cols, &mut ok);
+    ok
+}
+
+// ----- helpers -----
+
+fn projection_names(s: &Select, working_cols: &[QCol]) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in &s.items {
+        match item {
+            SelectItem::Wildcard => out.extend(working_cols.iter().map(|c| c.name.clone())),
+            SelectItem::QualifiedWildcard(q) => out.extend(
+                working_cols
+                    .iter()
+                    .filter(|c| {
+                        c.binding
+                            .as_deref()
+                            .is_some_and(|b| b.eq_ignore_ascii_case(q))
+                    })
+                    .map(|c| c.name.clone()),
+            ),
+            SelectItem::Expr { expr, alias } => {
+                out.push(alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column(c) => c.name.clone(),
+                    Expr::Function { name, .. } => name.clone(),
+                    _ => "expr".to_string(),
+                }))
+            }
+        }
+    }
+    out
+}
+
+/// If `expr` is a bare column naming a projection alias (or the projected
+/// column itself), return the already-computed output value.
+fn alias_key(expr: &Expr, s: &Select, out_vals: &[Value]) -> Option<Value> {
+    if let Expr::Column(c) = expr {
+        if c.qualifier.is_none() {
+            for (i, item) in s.items.iter().enumerate() {
+                if let SelectItem::Expr { alias: Some(a), .. } = item {
+                    if a.eq_ignore_ascii_case(&c.name) {
+                        return out_vals.get(i).cloned();
+                    }
+                }
+            }
+        }
+    }
+    // expression identical to a projected expression (e.g. ORDER BY count(*))
+    for (i, item) in s.items.iter().enumerate() {
+        if let SelectItem::Expr { expr: pe, .. } = item {
+            if exprs_equal_modulo_case(pe, expr) {
+                return out_vals.get(i).cloned();
+            }
+        }
+    }
+    None
+}
+
+/// Structural equality with case-insensitive function names (ORDER BY
+/// `count(*)` must match projected `COUNT(*)`).
+fn exprs_equal_modulo_case(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (
+            Expr::Function {
+                name: n1,
+                args: a1,
+                distinct: d1,
+            },
+            Expr::Function {
+                name: n2,
+                args: a2,
+                distinct: d2,
+            },
+        ) => {
+            n1.eq_ignore_ascii_case(n2)
+                && d1 == d2
+                && a1.len() == a2.len()
+                && a1
+                    .iter()
+                    .zip(a2)
+                    .all(|(x, y)| exprs_equal_modulo_case(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+fn resolve_value(c: &ColumnRef, frames: &[Frame]) -> Result<Value, ExecError> {
+    for frame in frames.iter().rev() {
+        for (qc, v) in frame.cols.iter().zip(frame.row.iter()) {
+            let name_ok = qc.name.eq_ignore_ascii_case(&c.name);
+            if !name_ok {
+                continue;
+            }
+            match &c.qualifier {
+                Some(q) => {
+                    if qc
+                        .binding
+                        .as_deref()
+                        .is_some_and(|b| b.eq_ignore_ascii_case(q))
+                    {
+                        return Ok(v.clone());
+                    }
+                }
+                None => return Ok(v.clone()),
+            }
+        }
+    }
+    Err(ExecError::UnknownColumn(format!("{c}")))
+}
+
+/// Three-valued (Kleene) boolean view of a value: `Some(bool)` or `None`
+/// for NULL/unknown. Non-boolean values are falsy.
+fn tri(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        _ => Some(false),
+    }
+}
+
+fn from_tri(t: Option<bool>) -> Value {
+    match t {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn not3(t: Option<bool>) -> Option<bool> {
+    t.map(|b| !b)
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn compare(op: CompareOp, l: &Value, r: &Value) -> Value {
+    let res = match op {
+        CompareOp::Eq => l.sql_eq(r),
+        CompareOp::NotEq => l.sql_eq(r).map(|b| !b),
+        CompareOp::Lt => l.sql_cmp(r).map(|o| o == std::cmp::Ordering::Less),
+        CompareOp::LtEq => l.sql_cmp(r).map(|o| o != std::cmp::Ordering::Greater),
+        CompareOp::Gt => l.sql_cmp(r).map(|o| o == std::cmp::Ordering::Greater),
+        CompareOp::GtEq => l.sql_cmp(r).map(|o| o != std::cmp::Ordering::Less),
+    };
+    // SQL three-valued logic: NULL / incomparable comparisons are UNKNOWN
+    from_tri(res)
+}
+
+fn arith(op: char, l: &Value, r: &Value) -> Value {
+    match (l.as_num(), r.as_num()) {
+        (Some(a), Some(b)) => match op {
+            '+' => Value::Num(a + b),
+            '-' => Value::Num(a - b),
+            '*' => Value::Num(a * b),
+            '/' => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Num(a / b)
+                }
+            }
+            '%' => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Num(a % b)
+                }
+            }
+            _ => Value::Null,
+        },
+        _ => Value::Null,
+    }
+}
+
+fn cast(v: &Value, type_name: &str) -> Value {
+    use squ_schema::SqlType;
+    match SqlType::from_name(type_name) {
+        SqlType::Int => match v {
+            Value::Num(x) => Value::Num(x.trunc()),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(|x| Value::Num(x.trunc()))
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        },
+        SqlType::Float => match v {
+            Value::Num(x) => Value::Num(*x),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Num)
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        },
+        SqlType::Text => Value::Str(v.to_string()),
+        SqlType::Bool => match v {
+            Value::Bool(b) => Value::Bool(*b),
+            Value::Num(x) => Value::Bool(*x != 0.0),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// SQL LIKE with `%` and `_` wildcards (case-sensitive).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some((b'%', rest)) => (0..=s.len()).any(|i| rec(&s[i..], rest)),
+            Some((b'_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+fn scalar_function(name: &str, vals: &[Value]) -> Result<Value, ExecError> {
+    let s0 = || match vals.first() {
+        Some(Value::Str(s)) => Some(s.clone()),
+        Some(v) if !v.is_null() => Some(v.to_string()),
+        _ => None,
+    };
+    let n0 = || vals.first().and_then(|v| v.as_num());
+    let n = |i: usize| vals.get(i).and_then(|v| v.as_num());
+    Ok(match name.to_ascii_uppercase().as_str() {
+        "UPPER" | "UCASE" => s0()
+            .map(|s| Value::Str(s.to_uppercase()))
+            .unwrap_or(Value::Null),
+        "LOWER" | "LCASE" => s0()
+            .map(|s| Value::Str(s.to_lowercase()))
+            .unwrap_or(Value::Null),
+        "LEN" | "LENGTH" | "DATALENGTH" => s0()
+            .map(|s| Value::Num(s.chars().count() as f64))
+            .unwrap_or(Value::Null),
+        "ABS" => n0().map(|x| Value::Num(x.abs())).unwrap_or(Value::Null),
+        "ROUND" => match (n0(), n(1)) {
+            (Some(x), Some(d)) => {
+                let m = 10f64.powi(d as i32);
+                Value::Num((x * m).round() / m)
+            }
+            (Some(x), None) => Value::Num(x.round()),
+            _ => Value::Null,
+        },
+        "FLOOR" => n0().map(|x| Value::Num(x.floor())).unwrap_or(Value::Null),
+        "CEILING" | "CEIL" => n0().map(|x| Value::Num(x.ceil())).unwrap_or(Value::Null),
+        "SQRT" => n0()
+            .filter(|x| *x >= 0.0)
+            .map(|x| Value::Num(x.sqrt()))
+            .unwrap_or(Value::Null),
+        "POWER" | "POW" => match (n0(), n(1)) {
+            (Some(x), Some(y)) => Value::Num(x.powf(y)),
+            _ => Value::Null,
+        },
+        "LOG" | "LOG10" => n0()
+            .filter(|x| *x > 0.0)
+            .map(|x| Value::Num(x.log10()))
+            .unwrap_or(Value::Null),
+        "EXP" => n0().map(|x| Value::Num(x.exp())).unwrap_or(Value::Null),
+        "SUBSTR" | "SUBSTRING" => match (s0(), n(1), n(2)) {
+            (Some(s), Some(start), len) => {
+                let start = (start.max(1.0) as usize).saturating_sub(1);
+                let chars: Vec<char> = s.chars().collect();
+                let end = match len {
+                    Some(l) => (start + l.max(0.0) as usize).min(chars.len()),
+                    None => chars.len(),
+                };
+                if start >= chars.len() {
+                    Value::Str(String::new())
+                } else {
+                    Value::Str(chars[start..end].iter().collect())
+                }
+            }
+            _ => Value::Null,
+        },
+        "LEFT" => match (s0(), n(1)) {
+            (Some(s), Some(k)) => Value::Str(s.chars().take(k.max(0.0) as usize).collect()),
+            _ => Value::Null,
+        },
+        "RIGHT" => match (s0(), n(1)) {
+            (Some(s), Some(k)) => {
+                let chars: Vec<char> = s.chars().collect();
+                let k = (k.max(0.0) as usize).min(chars.len());
+                Value::Str(chars[chars.len() - k..].iter().collect())
+            }
+            _ => Value::Null,
+        },
+        "TRIM" => s0()
+            .map(|s| Value::Str(s.trim().to_string()))
+            .unwrap_or(Value::Null),
+        "LTRIM" => s0()
+            .map(|s| Value::Str(s.trim_start().to_string()))
+            .unwrap_or(Value::Null),
+        "RTRIM" => s0()
+            .map(|s| Value::Str(s.trim_end().to_string()))
+            .unwrap_or(Value::Null),
+        "CONCAT" => {
+            let mut out = String::new();
+            for v in vals {
+                if !v.is_null() {
+                    out.push_str(&v.to_string());
+                }
+            }
+            Value::Str(out)
+        }
+        "REPLACE" => match (vals.first(), vals.get(1), vals.get(2)) {
+            (Some(Value::Str(s)), Some(Value::Str(from)), Some(Value::Str(to))) => {
+                Value::Str(s.replace(from.as_str(), to))
+            }
+            _ => Value::Null,
+        },
+        "COALESCE" => vals
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null),
+        "NULLIF" => match (vals.first(), vals.get(1)) {
+            (Some(a), Some(b)) if a.sql_eq(b) == Some(true) => Value::Null,
+            (Some(a), _) => a.clone(),
+            _ => Value::Null,
+        },
+        "STR" => vals
+            .first()
+            .map(|v| Value::Str(v.to_string()))
+            .unwrap_or(Value::Null),
+        "SIGN" => n0().map(|x| Value::Num(x.signum())).unwrap_or(Value::Null),
+        other => return Err(ExecError::Unsupported(format!("function {other}"))),
+    })
+}
+
+/// Hard ceiling on any intermediate relation. Witness databases have tens
+/// of rows per table, so legitimate plans stay far below this; only
+/// accidental cross products (e.g. a rewrite that destroys predicate
+/// pushdown on a 12-table Join-Order query) can reach it.
+const MAX_INTERMEDIATE_ROWS: usize = 120_000;
+
+fn cross_product(stats: &mut ExecStats, l: Working, r: Working) -> Result<Working, ExecError> {
+    if l.rows.len().saturating_mul(r.rows.len()) > MAX_INTERMEDIATE_ROWS {
+        return Err(ExecError::ResourceLimit);
+    }
+    let mut cols = l.cols;
+    cols.extend(r.cols);
+    let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
+    for lrow in &l.rows {
+        for rrow in &r.rows {
+            stats.join_pairs += 1;
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Ok(Working { cols, rows })
+}
+
+fn combine_set(op: &SetOp, all: bool, l: Relation, r: Relation) -> Relation {
+    use std::collections::HashSet;
+    let cols = l.columns.clone();
+    match op {
+        SetOp::Union => {
+            let mut rows = l.rows;
+            rows.extend(r.rows);
+            if !all {
+                let mut seen = HashSet::new();
+                rows.retain(|row| seen.insert(row.clone()));
+            }
+            Relation::new(cols, rows)
+        }
+        SetOp::Intersect => {
+            let rset: HashSet<Vec<Value>> = r.rows.into_iter().collect();
+            let mut seen = HashSet::new();
+            let rows = l
+                .rows
+                .into_iter()
+                .filter(|row| rset.contains(row) && (all || seen.insert(row.clone())))
+                .collect();
+            Relation::new(cols, rows)
+        }
+        SetOp::Except => {
+            let rset: HashSet<Vec<Value>> = r.rows.into_iter().collect();
+            let mut seen = HashSet::new();
+            let rows = l
+                .rows
+                .into_iter()
+                .filter(|row| !rset.contains(row) && (all || seen.insert(row.clone())))
+                .collect();
+            Relation::new(cols, rows)
+        }
+    }
+}
+
+fn sort_by_output_columns(rel: &mut Relation, order_by: &[OrderItem]) -> Result<(), ExecError> {
+    let mut keys = Vec::new();
+    for item in order_by {
+        match &item.expr {
+            Expr::Column(c) if c.qualifier.is_none() => {
+                let idx = rel
+                    .column_index(&c.name)
+                    .ok_or_else(|| ExecError::UnknownColumn(c.name.clone()))?;
+                keys.push((idx, item.desc));
+            }
+            other => {
+                return Err(ExecError::Unsupported(format!(
+                    "set-operation ORDER BY on expression {}",
+                    squ_parser::print_expr(other)
+                )))
+            }
+        }
+    }
+    rel.rows.sort_by(|a, b| {
+        for (idx, desc) in &keys {
+            let ord = a[*idx].total_cmp(&b[*idx]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}

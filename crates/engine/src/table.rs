@@ -1,0 +1,157 @@
+//! In-memory relations and databases.
+
+use crate::Value;
+use std::collections::HashMap;
+
+/// A materialized relation: named columns plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// Column names (case preserved; lookups are case-insensitive).
+    pub columns: Vec<String>,
+    /// Row data; every row has `columns.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Construct a relation, checking row arity in debug builds.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == columns.len()));
+        Relation { columns, rows }
+    }
+
+    /// An empty relation with the given column names.
+    pub fn empty(columns: Vec<String>) -> Self {
+        Relation {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Case-insensitive index of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows as a canonically sorted multiset — the comparison form used for
+    /// result equivalence (row order is irrelevant unless ORDER BY is the
+    /// outermost operator, and the benchmark's equivalence notion follows
+    /// the paper in comparing result *contents*).
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+
+    /// Multiset equality of results, ignoring row order and column-name
+    /// case. Column *order* must match — equivalent queries must produce
+    /// the same output schema (paper §3.1: "same schema and … same results").
+    pub fn result_equal(&self, other: &Relation) -> bool {
+        self.columns.len() == other.columns.len() && self.sorted_rows() == other.sorted_rows()
+    }
+}
+
+/// A named database instance: tables with data.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    /// Database name.
+    pub name: String,
+    tables: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// Construct an empty database.
+    pub fn new(name: &str) -> Self {
+        Database {
+            name: name.to_string(),
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Insert (or replace) a table.
+    pub fn insert_table(&mut self, name: &str, rel: Relation) {
+        self.tables.insert(name.to_ascii_lowercase(), rel);
+    }
+
+    /// Case-insensitive table lookup.
+    pub fn table(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over `(name, relation)` pairs (names lower-cased).
+    pub fn tables(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.tables.iter()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::new(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![Value::num(2.0), Value::str("y")],
+                vec![Value::num(1.0), Value::str("x")],
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let r = rel();
+        assert_eq!(r.column_index("A"), Some(0));
+        assert_eq!(r.column_index("b"), Some(1));
+        assert_eq!(r.column_index("c"), None);
+    }
+
+    #[test]
+    fn result_equality_ignores_row_order() {
+        let r1 = rel();
+        let mut r2 = rel();
+        r2.rows.reverse();
+        assert!(r1.result_equal(&r2));
+    }
+
+    #[test]
+    fn result_equality_respects_content() {
+        let r1 = rel();
+        let mut r2 = rel();
+        r2.rows[0][0] = Value::num(99.0);
+        assert!(!r1.result_equal(&r2));
+    }
+
+    #[test]
+    fn database_case_insensitive() {
+        let mut db = Database::new("t");
+        db.insert_table("SpecObj", rel());
+        assert!(db.table("specobj").is_some());
+        assert!(db.table("SPECOBJ").is_some());
+        assert_eq!(db.table_count(), 1);
+    }
+}

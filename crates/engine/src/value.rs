@@ -1,0 +1,193 @@
+//! Runtime values.
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// A runtime SQL value. Numbers are uniformly `f64`, matching the parser's
+/// literal representation; the engine only needs value semantics faithful
+/// enough for differential testing of query transformations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Numeric value.
+    Num(f64),
+    /// String value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Construct a numeric value.
+    pub fn num(v: f64) -> Value {
+        Value::Num(v)
+    }
+
+    /// Construct a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view, if the value is numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for WHERE/HAVING contexts: only `Bool(true)` passes;
+    /// NULL and type confusion are falsy (SQL's three-valued logic collapsed
+    /// onto the "row is kept" decision, which is what it means operationally).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// SQL equality: NULL never equals anything (returns `None`), values of
+    /// different classes are incomparable (`None`), otherwise `Some(bool)`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Num(a), Value::Num(b)) => Some(a == b),
+            (Value::Str(a), Value::Str(b)) => Some(a == b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            _ => None,
+        }
+    }
+
+    /// SQL ordering comparison; `None` for NULLs or incomparable classes.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used for ORDER BY and set operations: NULLs first,
+    /// then by class (num < str < bool), then by value. Deterministic for
+    /// any pair — unlike [`Value::sql_cmp`], which is three-valued.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Num(_) => 1,
+                Value::Str(_) => 2,
+                Value::Bool(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Num(v) => {
+                1u8.hash(state);
+                // normalize -0.0 to 0.0 so equal numbers hash equally
+                let v = if *v == 0.0 { 0.0 } else { *v };
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_eq_null_semantics() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::num(1.0).sql_eq(&Value::Null), None);
+        assert_eq!(Value::num(1.0).sql_eq(&Value::num(1.0)), Some(true));
+        assert_eq!(Value::str("a").sql_eq(&Value::str("b")), Some(false));
+        assert_eq!(Value::num(1.0).sql_eq(&Value::str("1")), None);
+    }
+
+    #[test]
+    fn total_order_is_total() {
+        let vals = [
+            Value::Null,
+            Value::num(1.0),
+            Value::num(2.0),
+            Value::str("a"),
+            Value::Bool(false),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let _ = a.total_cmp(b); // must not panic
+            }
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+        }
+        assert_eq!(Value::Null.total_cmp(&Value::num(0.0)), Ordering::Less);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::num(0.0));
+        assert!(s.contains(&Value::num(-0.0)) || Value::num(0.0) != Value::num(-0.0));
+        s.insert(Value::str("x"));
+        assert!(s.contains(&Value::str("x")));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::num(1.0).is_truthy());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::num(3.0).to_string(), "3");
+        assert_eq!(Value::num(0.5).to_string(), "0.5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,169 @@
+//! Witness-database generation.
+//!
+//! A *witness database* is a small random instance of a [`Schema`] used for
+//! differential testing: an equivalence-preserving transformation must give
+//! identical results on every witness, and a non-equivalence transformation
+//! should give a different result on at least one witness. Witnesses are
+//! deliberately adversarial for that purpose:
+//!
+//! * id-like columns draw from a small domain (`1..=ID_DOMAIN`) so joins
+//!   both hit *and* miss — `LEFT JOIN` vs `INNER JOIN` differ;
+//! * a fraction of nullable values are NULL so null semantics matter;
+//! * numeric columns span `0..1000`, the same range the workload
+//!   generators draw comparison literals from, so predicates have
+//!   mid-range selectivity;
+//! * text columns draw from a small shared vocabulary so string equality
+//!   predicates can match.
+
+use crate::{Database, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use squ_schema::{Schema, SqlType};
+
+/// Domain size for id-like columns; small enough that equi-joins on ids
+/// produce both matches and misses at witness scale.
+const ID_DOMAIN: u64 = 12;
+
+/// Probability that a nullable (non-id) value is NULL.
+const NULL_PROB: f64 = 0.08;
+
+/// Shared text vocabulary. Includes the words the workload generators use
+/// in string predicates so equality filters can be non-empty.
+pub const TEXT_VOCAB: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "high", "low", "north", "south", "east", "west",
+    "GALAXY", "STAR", "QSO", "volvo", "ford", "red", "blue", "green", "open",
+];
+
+/// Is a column id-like (participates in joins)? Heuristic: name is `id`,
+/// ends in `id`, or ends in `_id`.
+pub fn is_id_column(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower == "id" || lower.ends_with("id")
+}
+
+/// Generate one witness database for `schema` with the given seed.
+/// Table sizes are drawn from `min_rows..=max_rows` (dimension tables with
+/// tiny declared cardinality stay tiny).
+pub fn witness_database(schema: &Schema, seed: u64, min_rows: usize, max_rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_4E45_5353u64); // "WITNESS"
+    let mut db = Database::new(&schema.name);
+    for table in &schema.tables {
+        let declared = table.row_count as usize;
+        let n = rng.gen_range(min_rows..=max_rows).min(declared.max(2));
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(table.columns.len());
+            for col in &table.columns {
+                row.push(random_value(&mut rng, &col.name, col.ty));
+            }
+            rows.push(row);
+        }
+        let rel = Relation::new(table.columns.iter().map(|c| c.name.clone()).collect(), rows);
+        db.insert_table(&table.name, rel);
+    }
+    db
+}
+
+/// A standard batch of witnesses for differential testing. Five witnesses
+/// with varied sizes give non-equivalence checks enough diversity to
+/// distinguish every transformation type in the benchmark.
+pub fn witness_batch(schema: &Schema, seed: u64) -> Vec<Database> {
+    (0..5)
+        .map(|i| {
+            let (lo, hi) = match i {
+                0 => (2, 5),   // tiny: edge cases (empty-ish groups)
+                1 => (6, 12),  // small
+                _ => (10, 24), // medium
+            };
+            witness_database(schema, seed.wrapping_add(i as u64 * 7919), lo, hi)
+        })
+        .collect()
+}
+
+fn random_value(rng: &mut StdRng, col_name: &str, ty: SqlType) -> Value {
+    if is_id_column(col_name) {
+        // ids: never NULL, small domain
+        return Value::Num(rng.gen_range(1..=ID_DOMAIN) as f64);
+    }
+    if rng.gen_bool(NULL_PROB) {
+        return Value::Null;
+    }
+    match ty {
+        SqlType::Int => Value::Num(rng.gen_range(0..1000) as f64),
+        SqlType::Float => {
+            // one decimal place keeps printing/parsing of literals exact
+            Value::Num((rng.gen_range(0.0..1000.0_f64) * 10.0).round() / 10.0)
+        }
+        SqlType::Text => Value::Str(TEXT_VOCAB[rng.gen_range(0..TEXT_VOCAB.len())].to_string()),
+        SqlType::Bool => Value::Bool(rng.gen_bool(0.5)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_schema::schemas::sdss;
+
+    #[test]
+    fn witness_is_deterministic() {
+        let schema = sdss();
+        let a = witness_database(&schema, 42, 5, 10);
+        let b = witness_database(&schema, 42, 5, 10);
+        for (name, rel) in a.tables() {
+            assert_eq!(Some(rel), b.table(name));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let schema = sdss();
+        let a = witness_database(&schema, 1, 5, 10);
+        let b = witness_database(&schema, 2, 5, 10);
+        let differs = a
+            .tables()
+            .any(|(name, rel)| b.table(name).map(|r| r != rel).unwrap_or(true));
+        assert!(differs);
+    }
+
+    #[test]
+    fn every_table_materialized_with_bounded_rows() {
+        let schema = sdss();
+        let db = witness_database(&schema, 7, 5, 10);
+        assert_eq!(db.table_count(), schema.tables.len());
+        for (_, rel) in db.tables() {
+            assert!(rel.len() >= 2 && rel.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn id_columns_never_null_and_small_domain() {
+        let schema = sdss();
+        let db = witness_database(&schema, 9, 10, 20);
+        let spec = db.table("SpecObj").unwrap();
+        let idx = spec.column_index("bestobjid").unwrap();
+        for row in &spec.rows {
+            match &row[idx] {
+                Value::Num(v) => assert!(*v >= 1.0 && *v <= ID_DOMAIN as f64),
+                other => panic!("id column contained {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn id_heuristic() {
+        assert!(is_id_column("id"));
+        assert!(is_id_column("objid"));
+        assert!(is_id_column("movie_id"));
+        assert!(!is_id_column("plate"));
+        assert!(!is_id_column("idx"));
+    }
+
+    #[test]
+    fn batch_has_varied_sizes() {
+        let batch = witness_batch(&sdss(), 3);
+        assert_eq!(batch.len(), 5);
+        let t0 = batch[0].table("SpecObj").unwrap().len();
+        let t4 = batch[4].table("SpecObj").unwrap().len();
+        assert!(t0 <= 5 && t4 >= 10);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests: algebraic invariants of the executor, checked by
+//! differential execution on random witness databases. These are the same
+//! invariants the benchmark's equivalence transformations rely on, so a
+//! violation here would silently corrupt task labels.
+
+use proptest::prelude::*;
+use squ_engine::{execute_query, witness_database, Database};
+use squ_parser::parse_query;
+use squ_schema::schemas::sdss;
+
+fn db(seed: u64) -> Database {
+    witness_database(&sdss(), seed, 5, 15)
+}
+
+fn results_equal(sql_a: &str, sql_b: &str, seed: u64) -> Result<bool, String> {
+    let qa = parse_query(sql_a).map_err(|e| e.to_string())?;
+    let qb = parse_query(sql_b).map_err(|e| e.to_string())?;
+    let d = db(seed);
+    let (ra, _) = execute_query(&qa, &d).map_err(|e| e.to_string())?;
+    let (rb, _) = execute_query(&qb, &d).map_err(|e| e.to_string())?;
+    Ok(ra.result_equal(&rb))
+}
+
+proptest! {
+    /// Reordering AND conjuncts never changes results.
+    #[test]
+    fn and_commutes(seed in 0u64..500, a in 0.0f64..1000.0, b in 0.0f64..1000.0) {
+        let s1 = format!("SELECT plate FROM SpecObj WHERE z > {a:.1} AND ra < {b:.1}");
+        let s2 = format!("SELECT plate FROM SpecObj WHERE ra < {b:.1} AND z > {a:.1}");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// De Morgan: NOT (p OR q) == NOT p AND NOT q.
+    #[test]
+    fn de_morgan(seed in 0u64..500, a in 0.0f64..1000.0, b in 0.0f64..1000.0) {
+        let s1 = format!("SELECT plate FROM SpecObj WHERE NOT (z > {a:.1} OR ra > {b:.1})");
+        let s2 = format!("SELECT plate FROM SpecObj WHERE NOT z > {a:.1} AND NOT ra > {b:.1}");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// BETWEEN is the closed-range conjunction.
+    #[test]
+    fn between_equals_range(seed in 0u64..500, lo in 0.0f64..500.0, width in 0.0f64..500.0) {
+        let hi = lo + width;
+        let s1 = format!("SELECT plate FROM SpecObj WHERE z BETWEEN {lo:.1} AND {hi:.1}");
+        let s2 = format!("SELECT plate FROM SpecObj WHERE z >= {lo:.1} AND z <= {hi:.1}");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// Comparison flip: a > c == c < a.
+    #[test]
+    fn comparison_flip(seed in 0u64..500, c in 0.0f64..1000.0) {
+        let s1 = format!("SELECT plate FROM SpecObj WHERE z > {c:.1}");
+        let s2 = format!("SELECT plate FROM SpecObj WHERE {c:.1} < z");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// IN (v1, v2, …) == OR chain of equalities.
+    #[test]
+    fn in_list_equals_or_chain(seed in 0u64..500, vals in prop::collection::vec(0u32..1000, 1..4)) {
+        let list = vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        let ors = vals.iter().map(|v| format!("plate = {v}")).collect::<Vec<_>>().join(" OR ");
+        let s1 = format!("SELECT bestobjid FROM SpecObj WHERE plate IN ({list})");
+        let s2 = format!("SELECT bestobjid FROM SpecObj WHERE {ors}");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// Join commutes (result columns reordered accordingly).
+    #[test]
+    fn join_commutes(seed in 0u64..500) {
+        let s1 = "SELECT s.plate, p.ra FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid";
+        let s2 = "SELECT s.plate, p.ra FROM PhotoObj AS p JOIN SpecObj AS s ON s.bestobjid = p.objid";
+        prop_assert!(results_equal(s1, s2, seed).unwrap());
+    }
+
+    /// A semi-join via IN equals the projected inner join when the join key
+    /// is unique-ish on the probe side — use DISTINCT to force set semantics
+    /// on both sides.
+    #[test]
+    fn in_subquery_equals_distinct_join(seed in 0u64..500, cutoff in 0.0f64..1000.0) {
+        let s1 = format!(
+            "SELECT DISTINCT plate FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj WHERE ra > {cutoff:.1})"
+        );
+        let s2 = format!(
+            "SELECT DISTINCT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid WHERE p.ra > {cutoff:.1}"
+        );
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// CTE wrapping is a no-op.
+    #[test]
+    fn cte_wrapping_noop(seed in 0u64..500, cutoff in 0.0f64..1000.0) {
+        let s1 = format!("SELECT plate, mjd FROM SpecObj WHERE z > {cutoff:.1}");
+        let s2 = format!(
+            "WITH w AS (SELECT plate, mjd FROM SpecObj WHERE z > {cutoff:.1}) SELECT plate, mjd FROM w"
+        );
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// Derived-table wrapping is a no-op.
+    #[test]
+    fn derived_wrapping_noop(seed in 0u64..500, cutoff in 0.0f64..1000.0) {
+        let s1 = format!("SELECT plate FROM SpecObj WHERE z > {cutoff:.1}");
+        let s2 = format!("SELECT plate FROM (SELECT plate FROM SpecObj WHERE z > {cutoff:.1}) AS d");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// UNION is idempotent on one operand: Q UNION Q == SELECT DISTINCT Q.
+    #[test]
+    fn union_idempotent(seed in 0u64..500, cutoff in 0.0f64..1000.0) {
+        let s1 = format!(
+            "SELECT plate FROM SpecObj WHERE z > {cutoff:.1} UNION SELECT plate FROM SpecObj WHERE z > {cutoff:.1}"
+        );
+        let s2 = format!("SELECT DISTINCT plate FROM SpecObj WHERE z > {cutoff:.1}");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// Comparison negation: NOT (a > c) == a <= c, including NULL rows
+    /// (requires three-valued logic — both sides are UNKNOWN on NULL).
+    #[test]
+    fn negated_comparison_identity(seed in 0u64..500, c in 0.0f64..1000.0) {
+        let s1 = format!("SELECT plate FROM SpecObj WHERE NOT z > {c:.1}");
+        let s2 = format!("SELECT plate FROM SpecObj WHERE z <= {c:.1}");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// NOT IN is the 3VL negation of IN: both filter NULL probes.
+    #[test]
+    fn not_in_is_negation(seed in 0u64..500, vals in prop::collection::vec(0u32..1000, 1..4)) {
+        let list = vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        let s1 = format!("SELECT bestobjid FROM SpecObj WHERE plate NOT IN ({list})");
+        let s2 = format!("SELECT bestobjid FROM SpecObj WHERE NOT plate IN ({list})");
+        prop_assert!(results_equal(&s1, &s2, seed).unwrap());
+    }
+
+    /// The executor is deterministic: same query, same database, same rows.
+    #[test]
+    fn executor_deterministic(seed in 0u64..500) {
+        let q = parse_query("SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate").unwrap();
+        let d = db(seed);
+        let (r1, _) = execute_query(&q, &d).unwrap();
+        let (r2, _) = execute_query(&q, &d).unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Classification metrics: binary precision/recall/F1 and weighted
+//! multi-class scores (the paper's Tables 3, 4, 6, 7).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryCounts {
+    /// Accumulate one example.
+    pub fn record(&mut self, truth: bool, predicted: bool) {
+        match (truth, predicted) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Build from `(truth, predicted)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (bool, bool)>) -> Self {
+        let mut c = BinaryCounts::default();
+        for (t, p) in pairs {
+            c.record(t, p);
+        }
+        c
+    }
+
+    /// Precision = TP / (TP + FP); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall = TP / (TP + FN); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all examples.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Multi-class confusion matrix over string labels.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+impl Confusion {
+    /// Accumulate one `(truth, predicted)` pair.
+    pub fn record(&mut self, truth: &str, predicted: &str) {
+        *self
+            .counts
+            .entry((truth.to_string(), predicted.to_string()))
+            .or_insert(0) += 1;
+    }
+
+    /// Build from `(truth, predicted)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let mut c = Confusion::default();
+        for (t, p) in pairs {
+            c.record(t, p);
+        }
+        c
+    }
+
+    /// All labels seen (truth or predicted), sorted.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .counts
+            .keys()
+            .flat_map(|(t, p)| [t.clone(), p.clone()])
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Count of a specific cell.
+    pub fn get(&self, truth: &str, predicted: &str) -> usize {
+        self.counts
+            .get(&(truth.to_string(), predicted.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Support (truth count) of a label.
+    pub fn support(&self, label: &str) -> usize {
+        self.counts
+            .iter()
+            .filter(|((t, _), _)| t == label)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Per-class precision / recall / F1.
+    pub fn class_metrics(&self, label: &str) -> (f64, f64, f64) {
+        let tp = self.get(label, label);
+        let truth_total = self.support(label);
+        let pred_total: usize = self
+            .counts
+            .iter()
+            .filter(|((_, p), _)| p == label)
+            .map(|(_, n)| n)
+            .sum();
+        let precision = ratio(tp, pred_total);
+        let recall = ratio(tp, truth_total);
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        (precision, recall, f1)
+    }
+
+    /// Support-weighted precision / recall / F1 over all classes — the
+    /// paper's "weighted accuracy" for the `_type` tasks.
+    pub fn weighted_metrics(&self) -> (f64, f64, f64) {
+        let labels = self.labels();
+        let total: usize = labels.iter().map(|l| self.support(l)).sum();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut wp = 0.0;
+        let mut wr = 0.0;
+        let mut wf = 0.0;
+        for l in &labels {
+            let sup = self.support(l) as f64;
+            if sup == 0.0 {
+                continue;
+            }
+            let (p, r, f) = self.class_metrics(l);
+            wp += p * sup;
+            wr += r * sup;
+            wf += f * sup;
+        }
+        let t = total as f64;
+        (wp / t, wr / t, wf / t)
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_metrics() {
+        let c = BinaryCounts {
+            tp: 80,
+            fp: 10,
+            tn: 50,
+            fn_: 20,
+        };
+        assert!((c.precision() - 80.0 / 90.0).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!(c.f1() > 0.8 && c.f1() < 0.9);
+        assert!((c.accuracy() - 130.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_edge_cases() {
+        let empty = BinaryCounts::default();
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        let perfect = BinaryCounts::from_pairs([(true, true), (false, false)]);
+        assert_eq!(perfect.f1(), 1.0);
+    }
+
+    #[test]
+    fn confusion_weighted() {
+        let mut c = Confusion::default();
+        // class a: 8/10 right, 2 confused as b
+        for _ in 0..8 {
+            c.record("a", "a");
+        }
+        for _ in 0..2 {
+            c.record("a", "b");
+        }
+        // class b: all right
+        for _ in 0..10 {
+            c.record("b", "b");
+        }
+        let (p, r, _) = c.weighted_metrics();
+        // recall: a 0.8 (sup 10), b 1.0 (sup 10) → 0.9
+        assert!((r - 0.9).abs() < 1e-12);
+        // precision: a 1.0, b 10/12
+        assert!((p - (1.0 * 10.0 + 10.0 / 12.0 * 10.0) / 20.0).abs() < 1e-12);
+        assert_eq!(c.support("a"), 10);
+        assert_eq!(c.get("a", "b"), 2);
+        assert_eq!(c.total(), 20);
+    }
+
+    #[test]
+    fn perfect_multiclass() {
+        let c = Confusion::from_pairs([("x", "x"), ("y", "y"), ("z", "z")]);
+        let (p, r, f) = c.weighted_metrics();
+        assert_eq!((p, r, f), (1.0, 1.0, 1.0));
+    }
+}

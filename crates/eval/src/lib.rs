@@ -1,0 +1,27 @@
+//! # squ-eval — evaluation metrics and failure analyses
+//!
+//! Everything the paper's §4 measures:
+//!
+//! * [`BinaryCounts`] / [`Confusion`] — precision, recall, F1, weighted
+//!   multi-class scores (Tables 3, 4, 6, 7);
+//! * [`LocationStats`] — MAE + hit rate for `miss_token_loc` (Table 5);
+//! * [`PropertySlice`] — TP/TN/FP/FN slicing by syntactic property
+//!   (Figures 6, 8, 10–12);
+//! * [`SubtypeBreakdown`] — per-subtype false-negative analysis
+//!   (Figures 7, 9);
+//! * [`score_explanation`] — the machine-checkable rubric behind the
+//!   query-explanation case study (§4.5).
+
+#![warn(missing_docs)]
+
+mod classify;
+mod location;
+mod rubric;
+mod slice;
+mod subtype;
+
+pub use classify::{BinaryCounts, Confusion};
+pub use location::LocationStats;
+pub use rubric::{score_explanation, RubricScore};
+pub use slice::{Cell, CellSummary, PropertySlice};
+pub use subtype::{SubtypeBreakdown, SubtypeRow};

@@ -1,0 +1,80 @@
+//! Location metrics for `miss_token_loc` (paper Table 5): Mean Absolute
+//! Error over word positions and Hit Rate (exact-position accuracy).
+
+use serde::{Deserialize, Serialize};
+
+/// MAE + hit-rate accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LocationStats {
+    abs_errors: Vec<f64>,
+    hits: usize,
+}
+
+impl LocationStats {
+    /// Record one `(true, predicted)` position pair.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        let err = (truth as f64 - predicted as f64).abs();
+        self.abs_errors.push(err);
+        if truth == predicted {
+            self.hits += 1;
+        }
+    }
+
+    /// Build from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut s = LocationStats::default();
+        for (t, p) in pairs {
+            s.record(t, p);
+        }
+        s
+    }
+
+    /// Mean absolute error; 0 when empty.
+    pub fn mae(&self) -> f64 {
+        if self.abs_errors.is_empty() {
+            0.0
+        } else {
+            self.abs_errors.iter().sum::<f64>() / self.abs_errors.len() as f64
+        }
+    }
+
+    /// Exact-position hit rate; 0 when empty.
+    pub fn hit_rate(&self) -> f64 {
+        if self.abs_errors.is_empty() {
+            0.0
+        } else {
+            self.hits as f64 / self.abs_errors.len() as f64
+        }
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.abs_errors.len()
+    }
+
+    /// Is the accumulator empty?
+    pub fn is_empty(&self) -> bool {
+        self.abs_errors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_and_hit_rate() {
+        let s = LocationStats::from_pairs([(5, 5), (10, 12), (3, 0)]);
+        assert!((s.mae() - (0.0 + 2.0 + 3.0) / 3.0).abs() < 1e-12);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let s = LocationStats::default();
+        assert_eq!(s.mae(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert!(s.is_empty());
+    }
+}

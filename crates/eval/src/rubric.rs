@@ -1,0 +1,231 @@
+//! Rubric scoring for query explanations (paper §4.5).
+//!
+//! The paper's explanation analysis is qualitative; this module makes its
+//! rubric machine-checkable: an explanation is scored on whether it
+//! mentions the query's *key facts* — tables, projected attributes,
+//! aggregates, filter values, the ordering superlative, and set-operation
+//! semantics. Missing facts are reported individually, which is exactly
+//! what the paper's Q15–Q18 discussion calls out (Gemini dropping the
+//! tryout context, GPT4 dropping selected attributes, Llama3 flipping
+//! "least" to "fastest").
+
+use serde::{Deserialize, Serialize};
+use squ_tasks::KeyFacts;
+
+/// Outcome of scoring one explanation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RubricScore {
+    /// Fraction of applicable fact groups covered, in `[0, 1]`.
+    pub score: f64,
+    /// Facts that were covered.
+    pub covered: Vec<String>,
+    /// Facts that were missing or contradicted.
+    pub missing: Vec<String>,
+}
+
+impl RubricScore {
+    /// Is the explanation complete under the rubric?
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+fn mentions(text_lower: &str, needle: &str) -> bool {
+    text_lower.contains(&needle.to_lowercase())
+}
+
+/// Score an explanation against the key facts.
+pub fn score_explanation(explanation: &str, facts: &KeyFacts) -> RubricScore {
+    let lower = explanation.to_lowercase();
+    let mut covered = Vec::new();
+    let mut missing = Vec::new();
+    let mut groups = 0.0;
+    let mut hit = 0.0;
+
+    // tables (context) — at least one base table must be named
+    if !facts.tables.is_empty() {
+        groups += 1.0;
+        if facts.tables.iter().any(|t| mentions(&lower, t)) {
+            hit += 1.0;
+            covered.push("tables".to_string());
+        } else {
+            missing.push(format!("table context ({})", facts.tables.join(", ")));
+        }
+    }
+
+    // projected attributes — all of them
+    if !facts.projected_columns.is_empty() {
+        groups += 1.0;
+        let found: Vec<&String> = facts
+            .projected_columns
+            .iter()
+            .filter(|c| mentions(&lower, c))
+            .collect();
+        if found.len() == facts.projected_columns.len() {
+            hit += 1.0;
+            covered.push("projected attributes".to_string());
+        } else {
+            let absent: Vec<String> = facts
+                .projected_columns
+                .iter()
+                .filter(|c| !mentions(&lower, c))
+                .cloned()
+                .collect();
+            missing.push(format!("selected attributes ({})", absent.join(", ")));
+        }
+    }
+
+    // aggregates
+    if !facts.aggregates.is_empty() {
+        groups += 1.0;
+        if facts.aggregates.iter().all(|a| mentions(&lower, a)) {
+            hit += 1.0;
+            covered.push("aggregates".to_string());
+        } else {
+            missing.push("aggregate semantics".to_string());
+        }
+    }
+
+    // filter values
+    if !facts.filter_values.is_empty() {
+        groups += 1.0;
+        let all = facts
+            .filter_values
+            .iter()
+            .all(|v| mentions(&lower, &v.replace('\'', "")));
+        if all {
+            hit += 1.0;
+            covered.push("filter values".to_string());
+        } else {
+            missing.push("filter conditions".to_string());
+        }
+    }
+
+    // superlative (ORDER BY … LIMIT 1): the direction word must be right
+    // and not contradicted ("fastest" for ASC acceleration is the paper's
+    // Q18 failure)
+    if let Some((word, col)) = &facts.superlative {
+        groups += 1.0;
+        let opposite = if word == "least" { "greatest" } else { "least" };
+        let says_right = mentions(&lower, word) && mentions(&lower, col);
+        let says_wrong = mentions(&lower, opposite)
+            || (word == "least" && (mentions(&lower, "fastest") || mentions(&lower, "highest")))
+            || (word == "greatest" && (mentions(&lower, "slowest") || mentions(&lower, "lowest")));
+        if says_right && !says_wrong {
+            hit += 1.0;
+            covered.push("ordering superlative".to_string());
+        } else {
+            missing.push(format!("ordering direction (expected '{word} {col}')"));
+        }
+    }
+
+    // set-operation semantics (e.g. "both" for INTERSECT)
+    if let Some(word) = &facts.set_op {
+        groups += 1.0;
+        if mentions(&lower, word) {
+            hit += 1.0;
+            covered.push("set operation".to_string());
+        } else {
+            missing.push(format!("set-operation semantics ('{word}')"));
+        }
+    }
+
+    RubricScore {
+        score: if groups == 0.0 { 1.0 } else { hit / groups },
+        covered,
+        missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q18_facts() -> KeyFacts {
+        KeyFacts {
+            tables: vec!["CARS_DATA".into(), "CAR_NAMES".into()],
+            projected_columns: vec!["cylinders".into()],
+            aggregates: vec![],
+            filter_values: vec!["'volvo'".into()],
+            superlative: Some(("least".into(), "accelerate".into())),
+            set_op: None,
+        }
+    }
+
+    #[test]
+    fn correct_explanation_scores_full() {
+        let s = score_explanation(
+            "The query retrieves the cylinders of the volvo in CARS_DATA with the least accelerate value.",
+            &q18_facts(),
+        );
+        assert!(s.is_complete(), "missing: {:?}", s.missing);
+        assert_eq!(s.score, 1.0);
+    }
+
+    #[test]
+    fn paper_q18_llama_failure_detected() {
+        // "fastest acceleration" contradicts ORDER BY … ASC LIMIT 1
+        let s = score_explanation(
+            "This SQL query retrieves the cylinders of the Volvo car in CARS_DATA with the fastest accelerate.",
+            &q18_facts(),
+        );
+        assert!(!s.is_complete());
+        assert!(
+            s.missing.iter().any(|m| m.contains("ordering direction")),
+            "{:?}",
+            s.missing
+        );
+    }
+
+    #[test]
+    fn paper_q17_dropped_attributes_detected() {
+        let facts = KeyFacts {
+            tables: vec!["concert".into(), "stadium".into()],
+            projected_columns: vec!["name".into(), "loc".into()],
+            aggregates: vec![],
+            filter_values: vec!["2014".into(), "2015".into()],
+            superlative: None,
+            set_op: Some("both".into()),
+        };
+        // GPT4's Q17 answer mentions the semantics but not the attributes
+        let s = score_explanation(
+            "The query identifies stadiums that hosted concerts in both 2014 and 2015.",
+            &facts,
+        );
+        assert!(
+            s.missing.iter().any(|m| m.contains("selected attributes")),
+            "{:?}",
+            s.missing
+        );
+        // but the set-op and filters are covered
+        assert!(s.covered.contains(&"set operation".to_string()));
+    }
+
+    #[test]
+    fn paper_q15_gemini_reduction_detected() {
+        let facts = KeyFacts {
+            tables: vec!["tryout".into()],
+            projected_columns: vec!["cName".into()],
+            aggregates: vec!["number".into()],
+            filter_values: vec![],
+            superlative: None,
+            set_op: None,
+        };
+        let s = score_explanation(
+            "Counts the occurrences of each unique value in the cName column.",
+            &facts,
+        );
+        assert!(
+            s.missing.iter().any(|m| m.contains("table context")),
+            "{:?}",
+            s.missing
+        );
+        assert!(s.score < 1.0);
+    }
+
+    #[test]
+    fn empty_facts_scores_one() {
+        let s = score_explanation("anything", &KeyFacts::default());
+        assert_eq!(s.score, 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Failure slicing by syntactic property (paper Figures 6, 8, 10–12).
+//!
+//! For a binary task, the paper groups examples into the four confusion
+//! cells (TP, TN, FP, FN) and compares the distribution of a syntactic
+//! property (word_count, predicate_count, …) across cells — e.g. "FN
+//! queries are significantly longer than TP queries". [`PropertySlice`]
+//! computes per-cell average, median, count, and the raw values (the
+//! figures' scatter points).
+
+use serde::{Deserialize, Serialize};
+
+/// The four confusion cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cell {
+    /// True positive.
+    Tp,
+    /// True negative.
+    Tn,
+    /// False positive.
+    Fp,
+    /// False negative.
+    Fn,
+}
+
+impl Cell {
+    /// All cells in the paper's display order.
+    pub const ALL: [Cell; 4] = [Cell::Tp, Cell::Tn, Cell::Fp, Cell::Fn];
+
+    /// Classify one example.
+    pub fn of(truth: bool, predicted: bool) -> Cell {
+        match (truth, predicted) {
+            (true, true) => Cell::Tp,
+            (false, false) => Cell::Tn,
+            (false, true) => Cell::Fp,
+            (true, false) => Cell::Fn,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Cell::Tp => "TP",
+            Cell::Tn => "TN",
+            Cell::Fp => "FP",
+            Cell::Fn => "FN",
+        }
+    }
+}
+
+/// Summary of one property within one cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Which cell.
+    pub cell: String,
+    /// Number of examples in the cell.
+    pub count: usize,
+    /// Average property value (the figures' top number).
+    pub average: f64,
+    /// Median property value (the figures' middle number).
+    pub median: f64,
+    /// Raw values (the scatter points).
+    pub values: Vec<f64>,
+}
+
+/// A full four-cell slice of one property.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropertySlice {
+    /// Property name.
+    pub property: String,
+    /// Summaries in TP, TN, FP, FN order.
+    pub cells: Vec<CellSummary>,
+}
+
+impl PropertySlice {
+    /// Build from `(truth, predicted, property_value)` triples.
+    pub fn build(
+        property: &str,
+        examples: impl IntoIterator<Item = (bool, bool, f64)>,
+    ) -> PropertySlice {
+        let mut buckets: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for (t, p, v) in examples {
+            let idx = Cell::ALL
+                .iter()
+                .position(|c| *c == Cell::of(t, p))
+                .expect("cell in ALL");
+            buckets[idx].push(v);
+        }
+        let cells = Cell::ALL
+            .iter()
+            .zip(buckets)
+            .map(|(cell, mut values)| {
+                values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let count = values.len();
+                let average = if count == 0 {
+                    0.0
+                } else {
+                    values.iter().sum::<f64>() / count as f64
+                };
+                let median = median_of_sorted(&values);
+                CellSummary {
+                    cell: cell.label().to_string(),
+                    count,
+                    average,
+                    median,
+                    values,
+                }
+            })
+            .collect();
+        PropertySlice {
+            property: property.to_string(),
+            cells,
+        }
+    }
+
+    /// Summary of a specific cell.
+    pub fn cell(&self, cell: Cell) -> &CellSummary {
+        &self.cells[Cell::ALL
+            .iter()
+            .position(|c| *c == cell)
+            .expect("cell in ALL")]
+    }
+}
+
+fn median_of_sorted(v: &[f64]) -> f64 {
+    match v.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => v[n / 2],
+        n => (v[n / 2 - 1] + v[n / 2]) / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_partition_examples() {
+        let slice = PropertySlice::build(
+            "word_count",
+            vec![
+                (true, true, 10.0),
+                (true, true, 20.0),
+                (true, false, 100.0),
+                (false, false, 15.0),
+                (false, true, 90.0),
+            ],
+        );
+        assert_eq!(slice.cell(Cell::Tp).count, 2);
+        assert_eq!(slice.cell(Cell::Fn).count, 1);
+        assert_eq!(slice.cell(Cell::Fp).count, 1);
+        assert_eq!(slice.cell(Cell::Tn).count, 1);
+        assert_eq!(slice.cell(Cell::Tp).average, 15.0);
+        assert_eq!(slice.cell(Cell::Tp).median, 15.0);
+        assert_eq!(slice.cell(Cell::Fn).average, 100.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median_of_sorted(&[]), 0.0);
+    }
+
+    #[test]
+    fn figure6_pattern_detectable() {
+        // FN longer than TP (the paper's word_count correlation) should be
+        // visible as a higher FN average
+        let mut examples = Vec::new();
+        for i in 0..100 {
+            examples.push((true, true, 40.0 + (i % 10) as f64));
+        }
+        for i in 0..30 {
+            examples.push((true, false, 90.0 + (i % 20) as f64));
+        }
+        let slice = PropertySlice::build("word_count", examples);
+        assert!(slice.cell(Cell::Fn).average > slice.cell(Cell::Tp).average + 30.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Failure breakdown by subtype (paper Figures 7 and 9): which error /
+//! token types the models miss most.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-subtype false-negative statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubtypeRow {
+    /// Subtype label.
+    pub subtype: String,
+    /// Positives of this subtype.
+    pub positives: usize,
+    /// Missed positives (FN).
+    pub false_negatives: usize,
+    /// FN rate within the subtype (`fn / positives`).
+    pub fn_rate: f64,
+    /// Share of all FN belonging to this subtype.
+    pub fn_share: f64,
+}
+
+/// Full subtype breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubtypeBreakdown {
+    /// Rows in descending FN-rate order.
+    pub rows: Vec<SubtypeRow>,
+}
+
+impl SubtypeBreakdown {
+    /// Build from `(subtype, predicted_positive)` pairs over the *positive*
+    /// examples of a task (e.g. for each injected error: its type and
+    /// whether the model detected it).
+    pub fn build<'a>(positives: impl IntoIterator<Item = (&'a str, bool)>) -> Self {
+        let mut per: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for (subtype, detected) in positives {
+            let e = per.entry(subtype.to_string()).or_insert((0, 0));
+            e.0 += 1;
+            if !detected {
+                e.1 += 1;
+            }
+        }
+        let total_fn: usize = per.values().map(|(_, f)| f).sum();
+        let mut rows: Vec<SubtypeRow> = per
+            .into_iter()
+            .map(|(subtype, (pos, fns))| SubtypeRow {
+                subtype,
+                positives: pos,
+                false_negatives: fns,
+                fn_rate: if pos == 0 {
+                    0.0
+                } else {
+                    fns as f64 / pos as f64
+                },
+                fn_share: if total_fn == 0 {
+                    0.0
+                } else {
+                    fns as f64 / total_fn as f64
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| b.fn_rate.partial_cmp(&a.fn_rate).expect("finite"));
+        SubtypeBreakdown { rows }
+    }
+
+    /// The hardest subtype (highest FN rate), if any rows exist.
+    pub fn hardest(&self) -> Option<&SubtypeRow> {
+        self.rows.first()
+    }
+
+    /// Row for a given subtype.
+    pub fn get(&self, subtype: &str) -> Option<&SubtypeRow> {
+        self.rows.iter().find(|r| r.subtype == subtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_shares() {
+        let b = SubtypeBreakdown::build([
+            ("hard", false),
+            ("hard", false),
+            ("hard", true),
+            ("easy", true),
+            ("easy", true),
+            ("easy", false),
+        ]);
+        let hard = b.get("hard").unwrap();
+        assert_eq!(hard.positives, 3);
+        assert_eq!(hard.false_negatives, 2);
+        assert!((hard.fn_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((hard.fn_share - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.hardest().unwrap().subtype, "hard");
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = SubtypeBreakdown::build(std::iter::empty::<(&str, bool)>());
+        assert!(b.hardest().is_none());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let b = SubtypeBreakdown::build([("a", false), ("b", false), ("c", true), ("a", true)]);
+        let sum: f64 = b.rows.iter().map(|r| r.fn_share).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

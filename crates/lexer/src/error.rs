@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// A lexical error, carrying the byte offset at which it occurred.
+///
+/// The benchmark pipeline routinely lexes deliberately-broken SQL, so lexical
+/// errors are ordinary values, not panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A string literal was opened (`'…`) but never closed.
+    UnterminatedString {
+        /// Byte offset of the opening quote.
+        start: usize,
+    },
+    /// A quoted identifier (`"…"` or `[…]`) was opened but never closed.
+    UnterminatedQuotedIdent {
+        /// Byte offset of the opening delimiter.
+        start: usize,
+    },
+    /// A block comment (`/* …`) was opened but never closed.
+    UnterminatedComment {
+        /// Byte offset of the `/*`.
+        start: usize,
+    },
+    /// A byte that cannot begin any SQL token.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Its byte offset.
+        offset: usize,
+    },
+    /// A malformed numeric literal, e.g. `1.2.3` or `1e+`.
+    MalformedNumber {
+        /// The literal text as written.
+        text: String,
+        /// Byte offset where it starts.
+        offset: usize,
+    },
+}
+
+impl LexError {
+    /// Byte offset in the source at which the error starts.
+    pub fn offset(&self) -> usize {
+        match self {
+            LexError::UnterminatedString { start }
+            | LexError::UnterminatedQuotedIdent { start }
+            | LexError::UnterminatedComment { start } => *start,
+            LexError::UnexpectedChar { offset, .. } => *offset,
+            LexError::MalformedNumber { offset, .. } => *offset,
+        }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnterminatedString { start } => {
+                write!(f, "unterminated string literal starting at byte {start}")
+            }
+            LexError::UnterminatedQuotedIdent { start } => {
+                write!(f, "unterminated quoted identifier starting at byte {start}")
+            }
+            LexError::UnterminatedComment { start } => {
+                write!(f, "unterminated block comment starting at byte {start}")
+            }
+            LexError::UnexpectedChar { ch, offset } => {
+                write!(f, "unexpected character {ch:?} at byte {offset}")
+            }
+            LexError::MalformedNumber { text, offset } => {
+                write!(f, "malformed numeric literal {text:?} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}

@@ -1,0 +1,289 @@
+/// Closed set of SQL keywords recognized by the lexer.
+///
+/// Keywords are matched case-insensitively. Anything not in this set lexes as
+/// an identifier. The set covers the dialect exercised by the four benchmark
+/// workloads (SDSS CasJobs T-SQL-flavoured SELECTs, SQLShare, Join-Order,
+/// Spider): query clauses, joins, set operations, CTEs, DDL for `CREATE
+/// TABLE/VIEW`, and the operators-as-words (`AND`, `OR`, `NOT`, `IN`,
+/// `BETWEEN`, `LIKE`, `EXISTS`, `IS`, `NULL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    Offset,
+    Top,
+    Distinct,
+    All,
+    As,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Outer,
+    Cross,
+    On,
+    Using,
+    Union,
+    Intersect,
+    Except,
+    With,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Exists,
+    Is,
+    Null,
+    True,
+    False,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Asc,
+    Desc,
+    Create,
+    Table,
+    View,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Drop,
+    Alter,
+    Primary,
+    Foreign,
+    Key,
+    References,
+    Cast,
+    Nulls,
+    First,
+    Last,
+}
+
+impl Keyword {
+    /// Attempt to classify a word as a keyword (case-insensitive).
+    pub fn from_str_ci(s: &str) -> Option<Keyword> {
+        // Fast-path length filter: all keywords are 2..=10 chars.
+        if s.len() < 2 || s.len() > 10 {
+            return None;
+        }
+        let mut buf = [0u8; 10];
+        for (i, b) in s.bytes().enumerate() {
+            buf[i] = b.to_ascii_uppercase();
+        }
+        let up = &buf[..s.len()];
+        Some(match up {
+            b"SELECT" => Keyword::Select,
+            b"FROM" => Keyword::From,
+            b"WHERE" => Keyword::Where,
+            b"GROUP" => Keyword::Group,
+            b"BY" => Keyword::By,
+            b"HAVING" => Keyword::Having,
+            b"ORDER" => Keyword::Order,
+            b"LIMIT" => Keyword::Limit,
+            b"OFFSET" => Keyword::Offset,
+            b"TOP" => Keyword::Top,
+            b"DISTINCT" => Keyword::Distinct,
+            b"ALL" => Keyword::All,
+            b"AS" => Keyword::As,
+            b"JOIN" => Keyword::Join,
+            b"INNER" => Keyword::Inner,
+            b"LEFT" => Keyword::Left,
+            b"RIGHT" => Keyword::Right,
+            b"FULL" => Keyword::Full,
+            b"OUTER" => Keyword::Outer,
+            b"CROSS" => Keyword::Cross,
+            b"ON" => Keyword::On,
+            b"USING" => Keyword::Using,
+            b"UNION" => Keyword::Union,
+            b"INTERSECT" => Keyword::Intersect,
+            b"EXCEPT" => Keyword::Except,
+            b"WITH" => Keyword::With,
+            b"AND" => Keyword::And,
+            b"OR" => Keyword::Or,
+            b"NOT" => Keyword::Not,
+            b"IN" => Keyword::In,
+            b"BETWEEN" => Keyword::Between,
+            b"LIKE" => Keyword::Like,
+            b"EXISTS" => Keyword::Exists,
+            b"IS" => Keyword::Is,
+            b"NULL" => Keyword::Null,
+            b"TRUE" => Keyword::True,
+            b"FALSE" => Keyword::False,
+            b"CASE" => Keyword::Case,
+            b"WHEN" => Keyword::When,
+            b"THEN" => Keyword::Then,
+            b"ELSE" => Keyword::Else,
+            b"END" => Keyword::End,
+            b"ASC" => Keyword::Asc,
+            b"DESC" => Keyword::Desc,
+            b"CREATE" => Keyword::Create,
+            b"TABLE" => Keyword::Table,
+            b"VIEW" => Keyword::View,
+            b"INSERT" => Keyword::Insert,
+            b"INTO" => Keyword::Into,
+            b"VALUES" => Keyword::Values,
+            b"UPDATE" => Keyword::Update,
+            b"SET" => Keyword::Set,
+            b"DELETE" => Keyword::Delete,
+            b"DROP" => Keyword::Drop,
+            b"ALTER" => Keyword::Alter,
+            b"PRIMARY" => Keyword::Primary,
+            b"FOREIGN" => Keyword::Foreign,
+            b"KEY" => Keyword::Key,
+            b"REFERENCES" => Keyword::References,
+            b"CAST" => Keyword::Cast,
+            b"NULLS" => Keyword::Nulls,
+            b"FIRST" => Keyword::First,
+            b"LAST" => Keyword::Last,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case spelling, used by the pretty-printer.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Order => "ORDER",
+            Keyword::Limit => "LIMIT",
+            Keyword::Offset => "OFFSET",
+            Keyword::Top => "TOP",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::All => "ALL",
+            Keyword::As => "AS",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::Left => "LEFT",
+            Keyword::Right => "RIGHT",
+            Keyword::Full => "FULL",
+            Keyword::Outer => "OUTER",
+            Keyword::Cross => "CROSS",
+            Keyword::On => "ON",
+            Keyword::Using => "USING",
+            Keyword::Union => "UNION",
+            Keyword::Intersect => "INTERSECT",
+            Keyword::Except => "EXCEPT",
+            Keyword::With => "WITH",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Between => "BETWEEN",
+            Keyword::Like => "LIKE",
+            Keyword::Exists => "EXISTS",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::Case => "CASE",
+            Keyword::When => "WHEN",
+            Keyword::Then => "THEN",
+            Keyword::Else => "ELSE",
+            Keyword::End => "END",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::Create => "CREATE",
+            Keyword::Table => "TABLE",
+            Keyword::View => "VIEW",
+            Keyword::Insert => "INSERT",
+            Keyword::Into => "INTO",
+            Keyword::Values => "VALUES",
+            Keyword::Update => "UPDATE",
+            Keyword::Set => "SET",
+            Keyword::Delete => "DELETE",
+            Keyword::Drop => "DROP",
+            Keyword::Alter => "ALTER",
+            Keyword::Primary => "PRIMARY",
+            Keyword::Foreign => "FOREIGN",
+            Keyword::Key => "KEY",
+            Keyword::References => "REFERENCES",
+            Keyword::Cast => "CAST",
+            Keyword::Nulls => "NULLS",
+            Keyword::First => "FIRST",
+            Keyword::Last => "LAST",
+        }
+    }
+
+    /// True for keywords that open a clause (`SELECT`, `FROM`, `WHERE`, …) —
+    /// the "structural" keywords whose deletion the `miss_token` task targets
+    /// most often.
+    pub fn is_clause_starter(&self) -> bool {
+        matches!(
+            self,
+            Keyword::Select
+                | Keyword::From
+                | Keyword::Where
+                | Keyword::Group
+                | Keyword::Having
+                | Keyword::Order
+                | Keyword::Limit
+                | Keyword::With
+        )
+    }
+}
+
+impl std::fmt::Display for Keyword {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_match() {
+        assert_eq!(Keyword::from_str_ci("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str_ci("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str_ci("SELECT"), Some(Keyword::Select));
+    }
+
+    #[test]
+    fn non_keywords_rejected() {
+        assert_eq!(Keyword::from_str_ci("plate"), None);
+        assert_eq!(Keyword::from_str_ci("selects"), None);
+        assert_eq!(Keyword::from_str_ci(""), None);
+        assert_eq!(Keyword::from_str_ci("x"), None);
+        assert_eq!(Keyword::from_str_ci("averyverylongword"), None);
+    }
+
+    #[test]
+    fn round_trip_spelling() {
+        for kw in [
+            Keyword::Select,
+            Keyword::Intersect,
+            Keyword::References,
+            Keyword::Between,
+        ] {
+            assert_eq!(Keyword::from_str_ci(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn clause_starters() {
+        assert!(Keyword::Select.is_clause_starter());
+        assert!(Keyword::Where.is_clause_starter());
+        assert!(!Keyword::And.is_clause_starter());
+        assert!(!Keyword::Join.is_clause_starter());
+    }
+}

@@ -1,0 +1,40 @@
+//! # squ-lexer — SQL tokenizer
+//!
+//! A from-scratch SQL lexer that is the substrate for every task in the
+//! SQL-understanding benchmark: token deletion (`miss_token`), word-position
+//! accounting (`miss_token_loc`), syntactic property extraction
+//! (`word_count`, `char_count`, …), and parsing.
+//!
+//! Design goals:
+//!
+//! * **Lossless positions** — every token carries a byte [`Span`] into the
+//!   source plus its *word index* (index within the whitespace-separated word
+//!   sequence, the unit the paper uses for "word count position").
+//! * **Never panics** — malformed input (unterminated strings, stray bytes)
+//!   produces [`LexError`] values, because the benchmark deliberately feeds
+//!   the pipeline broken SQL.
+//! * **Keyword classification** — SQL keywords are recognized
+//!   case-insensitively into a closed [`Keyword`] enum so that downstream
+//!   token-type classification (keyword vs. identifier vs. literal) is exact.
+//!
+//! ```
+//! use squ_lexer::{tokenize, TokenKind, Keyword};
+//! let toks = tokenize("SELECT plate FROM SpecObj WHERE z > 0.5").unwrap();
+//! assert_eq!(toks[0].kind, TokenKind::Keyword(Keyword::Select));
+//! assert_eq!(toks[1].text, "plate");
+//! assert_eq!(toks[1].word_index, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod keyword;
+mod lexer;
+mod token;
+mod words;
+
+pub use error::LexError;
+pub use keyword::Keyword;
+pub use lexer::{tokenize, tokenize_lossy, Lexer};
+pub use token::{CompareOp, Span, Token, TokenKind};
+pub use words::{char_count, word_count, word_index_at, words};

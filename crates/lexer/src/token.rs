@@ -1,0 +1,195 @@
+use crate::Keyword;
+
+/// Half-open byte range `[start, end)` into the source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span; `start <= end` is the caller's responsibility.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Slice `src` with this span.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A recognized SQL keyword.
+    Keyword(Keyword),
+    /// A bare identifier (table, column, alias, function name).
+    Ident,
+    /// A quoted identifier: `"name"` or `[name]` (brackets appear in the
+    /// SDSS / CasJobs T-SQL dialect). `text` holds the *unquoted* content.
+    QuotedIdent,
+    /// Numeric literal; the parsed value is kept to avoid re-parsing.
+    Number(f64),
+    /// String literal; `text` holds the *unquoted, unescaped* content.
+    String,
+    /// `=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`
+    CompareOp(CompareOp),
+    /// `+ - * / %` (note `*` doubles as the SELECT wildcard; the parser
+    /// disambiguates by context).
+    ArithOp(char),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `||` string concatenation.
+    Concat,
+}
+
+/// Comparison operators, shared with the AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CompareOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CompareOp {
+    /// SQL spelling of the operator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::NotEq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::LtEq => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::GtEq => ">=",
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(&self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::NotEq => CompareOp::NotEq,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::LtEq => CompareOp::GtEq,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::GtEq => CompareOp::LtEq,
+        }
+    }
+
+    /// Logical negation (`a < b` ⇔ NOT `a >= b`).
+    pub fn negated(&self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::NotEq,
+            CompareOp::NotEq => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::GtEq,
+            CompareOp::LtEq => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::LtEq,
+            CompareOp::GtEq => CompareOp::Lt,
+        }
+    }
+}
+
+impl std::fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Normalized text: unquoted content for quoted idents and strings,
+    /// raw source text otherwise.
+    pub text: String,
+    /// Byte span in the original source.
+    pub span: Span,
+    /// Index of the whitespace-separated *word* this token starts in
+    /// (0-based). Several tokens can share a word index (`s.plate` is one
+    /// word, three tokens); this is the unit the paper's `miss_token_loc`
+    /// task measures positions in.
+    pub word_index: usize,
+}
+
+impl Token {
+    /// Is this token a keyword (any)?
+    pub fn is_keyword(&self) -> bool {
+        matches!(self.kind, TokenKind::Keyword(_))
+    }
+
+    /// Is this token the given keyword?
+    pub fn is_kw(&self, kw: Keyword) -> bool {
+        self.kind == TokenKind::Keyword(kw)
+    }
+
+    /// Is this token an identifier (bare or quoted)?
+    pub fn is_ident(&self) -> bool {
+        matches!(self.kind, TokenKind::Ident | TokenKind::QuotedIdent)
+    }
+
+    /// Is this a literal (number or string)?
+    pub fn is_literal(&self) -> bool {
+        matches!(self.kind, TokenKind::Number(_) | TokenKind::String)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_slice() {
+        let s = "SELECT x";
+        let sp = Span::new(7, 8);
+        assert_eq!(sp.slice(s), "x");
+        assert_eq!(sp.len(), 1);
+        assert!(!sp.is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn compare_op_flip_negate() {
+        assert_eq!(CompareOp::Lt.flipped(), CompareOp::Gt);
+        assert_eq!(CompareOp::Lt.negated(), CompareOp::GtEq);
+        assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
+        // flipping twice is identity
+        for op in [
+            CompareOp::Eq,
+            CompareOp::NotEq,
+            CompareOp::Lt,
+            CompareOp::LtEq,
+            CompareOp::Gt,
+            CompareOp::GtEq,
+        ] {
+            assert_eq!(op.flipped().flipped(), op);
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+}

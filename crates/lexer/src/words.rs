@@ -1,0 +1,80 @@
+//! Word-level accounting.
+//!
+//! The paper measures query length and token positions in *words* —
+//! whitespace-separated chunks of the raw SQL text (`word_count`,
+//! `char_count`, and the "word count position" answer format of
+//! `miss_token_loc`). These helpers define that unit once so the lexer,
+//! property extraction, and task generators all agree.
+
+/// Split SQL into its whitespace-separated words, preserving order.
+pub fn words(sql: &str) -> Vec<&str> {
+    sql.split_whitespace().collect()
+}
+
+/// Number of whitespace-separated words (the paper's `word_count`).
+pub fn word_count(sql: &str) -> usize {
+    sql.split_whitespace().count()
+}
+
+/// Number of characters (the paper's `char_count`). Counted in Unicode
+/// scalar values; workload queries are ASCII so this equals byte length
+/// there, but the definition stays correct for arbitrary input.
+pub fn char_count(sql: &str) -> usize {
+    sql.chars().count()
+}
+
+/// The 0-based word index containing byte offset `byte`, or the index of the
+/// nearest following word when `byte` falls in whitespace. Offsets past the
+/// end map to the word count (i.e. "after the last word").
+pub fn word_index_at(sql: &str, byte: usize) -> usize {
+    let byte = byte.min(sql.len());
+    let prefix = &sql[..byte];
+    let started = prefix.split_whitespace().count();
+    let at_non_ws = sql[byte..]
+        .chars()
+        .next()
+        .is_some_and(|c| !c.is_whitespace());
+    let prefix_ends_in_word = prefix
+        .chars()
+        .next_back()
+        .is_some_and(|c| !c.is_whitespace());
+    if at_non_ws && prefix_ends_in_word {
+        // `byte` continues the word that already started in the prefix.
+        started - 1
+    } else {
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_basic() {
+        assert_eq!(words("SELECT x FROM t"), vec!["SELECT", "x", "FROM", "t"]);
+        assert_eq!(word_count("  a   b  "), 2);
+        assert_eq!(word_count(""), 0);
+    }
+
+    #[test]
+    fn char_count_unicode() {
+        assert_eq!(char_count("abc"), 3);
+        assert_eq!(char_count("héllo"), 5);
+    }
+
+    #[test]
+    fn word_index_lookup() {
+        let s = "SELECT plate FROM SpecObj";
+        // byte 0 = 'S' of SELECT
+        assert_eq!(word_index_at(s, 0), 0);
+        // byte 7 = 'p' of plate
+        assert_eq!(word_index_at(s, 7), 1);
+        // byte 13 = 'F' of FROM
+        assert_eq!(word_index_at(s, 13), 2);
+        // byte 18 = 'S' of SpecObj
+        assert_eq!(word_index_at(s, 18), 3);
+        // whitespace between words maps to the following word
+        assert_eq!(word_index_at(s, 6), 1);
+    }
+}

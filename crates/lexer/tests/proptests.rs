@@ -1,0 +1,53 @@
+//! Property tests for the lexer: totality (no panics on arbitrary input),
+//! span validity, word-index consistency, and re-lex idempotence.
+
+use proptest::prelude::*;
+use squ_lexer::{tokenize, tokenize_lossy, word_count, TokenKind};
+
+proptest! {
+    /// The lexer must never panic, whatever bytes it is fed — the benchmark
+    /// deliberately feeds it corrupted SQL.
+    #[test]
+    fn lossy_lexing_is_total(s in ".{0,200}") {
+        let _ = tokenize_lossy(&s);
+    }
+
+    /// Every produced span is in-bounds, non-empty, and on char boundaries.
+    #[test]
+    fn spans_are_valid(s in "[ -~]{0,200}") {
+        let (toks, _) = tokenize_lossy(&s);
+        for t in toks {
+            prop_assert!(t.span.start < t.span.end);
+            prop_assert!(t.span.end <= s.len());
+            prop_assert!(s.is_char_boundary(t.span.start));
+            prop_assert!(s.is_char_boundary(t.span.end));
+        }
+    }
+
+    /// Word indices are monotonically non-decreasing and bounded by the
+    /// word count of the source.
+    #[test]
+    fn word_indices_monotone_and_bounded(s in "[ -~]{0,200}") {
+        let (toks, _) = tokenize_lossy(&s);
+        let wc = word_count(&s);
+        let mut prev = 0usize;
+        for t in &toks {
+            prop_assert!(t.word_index >= prev, "indices must not decrease");
+            prop_assert!(t.word_index < wc.max(1), "index {} out of bounds {}", t.word_index, wc);
+            prev = t.word_index;
+        }
+    }
+
+    /// Lexing the space-joined token texts reproduces the same token kinds
+    /// (idempotence of lex ∘ print for non-quoted tokens).
+    #[test]
+    fn relex_idempotent(s in "(SELECT|FROM|WHERE|AND|plate|mjd|z|[0-9]{1,4}|=|<|>|,|\\(|\\)| ){1,40}") {
+        if let Ok(toks) = tokenize(&s) {
+            let joined = toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
+            let toks2 = tokenize(&joined).expect("re-lex must succeed");
+            let k1: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+            let k2: Vec<&TokenKind> = toks2.iter().map(|t| &t.kind).collect();
+            prop_assert_eq!(k1, k2);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Response post-processing (paper §3.4, "Handling LLM Output").
+//!
+//! Models answer in verbose free text; this module extracts the labels the
+//! evaluation needs. Extraction is pattern-based with a `NeedsReview`
+//! escape hatch for unparseable responses — the automated-scripts-plus-
+//! manual-checks pipeline of the paper, with the manual bucket made
+//! explicit.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of extracting a yes/no answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Extracted<T> {
+    /// A label was extracted automatically.
+    Value(T),
+    /// The response did not match any known pattern; in the paper this
+    /// goes to manual review.
+    NeedsReview,
+}
+
+impl<T> Extracted<T> {
+    /// The extracted value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            Extracted::Value(v) => Some(v),
+            Extracted::NeedsReview => None,
+        }
+    }
+}
+
+/// Extract a binary yes/no decision from a verbose response.
+///
+/// Handles leading "Yes"/"No", hedged forms ("I believe …"), and
+/// characteristic affirmative / negative phrasings.
+pub fn extract_binary(text: &str) -> Extracted<bool> {
+    let lower = text.to_lowercase();
+    let trimmed = lower.trim_start();
+    // direct leading answer
+    if trimmed.starts_with("yes") {
+        return Extracted::Value(true);
+    }
+    if trimmed.starts_with("no") && !trimmed.starts_with("not") {
+        return Extracted::Value(false);
+    }
+    // negative idioms first (a "no" answer often embeds positive words
+    // like "errors" in "does not contain any syntax errors")
+    const NEGATIVE: [&str; 10] = [
+        "does not contain",
+        "no errors detected",
+        "not equivalent",
+        "should run quickly",
+        "should not take longer",
+        "would not expect",
+        "nothing seems to be missing",
+        "do not detect",
+        "don't see a syntax error",
+        "looks valid",
+    ];
+    if NEGATIVE.iter().any(|p| lower.contains(p)) {
+        return Extracted::Value(false);
+    }
+    const POSITIVE: [&str; 7] = [
+        "contains a syntax error",
+        "has an error",
+        "is missing",
+        "are equivalent",
+        "queries are equivalent",
+        "take longer",
+        "looks costly",
+    ];
+    if POSITIVE.iter().any(|p| lower.contains(p)) {
+        return Extracted::Value(true);
+    }
+    Extracted::NeedsReview
+}
+
+/// Extract a class label from a response given the closed label set.
+/// Picks the label mentioned in the text; when several are mentioned the
+/// one tagged as the classification ("error type: …", "category",
+/// "transformation: …") wins, else the last mention.
+pub fn extract_label(text: &str, labels: &[&str]) -> Extracted<String> {
+    let lower = text.to_lowercase();
+    // tagged forms
+    for tag in [
+        "error type:",
+        "transformation:",
+        "missing token type:",
+        "category",
+    ] {
+        if let Some(pos) = lower.find(tag) {
+            let rest = &lower[pos..];
+            if let Some(best) = labels
+                .iter()
+                .filter_map(|l| rest.find(&l.to_lowercase()).map(|i| (i, *l)))
+                .min_by_key(|(i, _)| *i)
+            {
+                return Extracted::Value(best.1.to_string());
+            }
+        }
+    }
+    // fall back: last mention anywhere
+    let mut found: Option<(usize, &str)> = None;
+    for l in labels {
+        if let Some(i) = lower.rfind(&l.to_lowercase()) {
+            if found.map(|(j, _)| i > j).unwrap_or(true) {
+                found = Some((i, l));
+            }
+        }
+    }
+    match found {
+        Some((_, l)) => Extracted::Value(l.to_string()),
+        None => Extracted::NeedsReview,
+    }
+}
+
+/// Extract the predicted word position from a missing-token response.
+pub fn extract_position(text: &str) -> Extracted<usize> {
+    let lower = text.to_lowercase();
+    for tag in ["position:", "position ", "word position "] {
+        if let Some(pos) = lower.find(tag) {
+            let rest = &lower[pos + tag.len()..];
+            let digits: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(v) = digits.parse::<usize>() {
+                return Extracted::Value(v);
+            }
+        }
+    }
+    Extracted::NeedsReview
+}
+
+/// Extract the guessed missing word (quoted token or `Missing word: X`).
+pub fn extract_word(text: &str) -> Extracted<String> {
+    if let Some(start) = text.find('"') {
+        if let Some(len) = text[start + 1..].find('"') {
+            return Extracted::Value(text[start + 1..start + 1 + len].to_string());
+        }
+    }
+    if let Some(pos) = text.find("Missing word:") {
+        let rest = text[pos + "Missing word:".len()..].trim_start();
+        let word: String = rest
+            .chars()
+            .take_while(|c| !c.is_whitespace() && *c != '.' && *c != ',')
+            .collect();
+        if !word.is_empty() {
+            return Extracted::Value(word);
+        }
+    }
+    Extracted::NeedsReview
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_direct_forms() {
+        assert_eq!(
+            extract_binary("Yes, the query contains a syntax error."),
+            Extracted::Value(true)
+        );
+        assert_eq!(
+            extract_binary("No, the query does not contain any syntax errors."),
+            Extracted::Value(false)
+        );
+        assert_eq!(extract_binary("  yes — definitely"), Extracted::Value(true));
+    }
+
+    #[test]
+    fn binary_hedged_forms() {
+        assert_eq!(
+            extract_binary("I believe the query has an error. The HAVING clause…"),
+            Extracted::Value(true)
+        );
+        assert_eq!(
+            extract_binary("After reviewing the statement, I don't see a syntax error here; the query does not contain problems."),
+            Extracted::Value(false)
+        );
+        assert_eq!(
+            extract_binary("The statement appears complete — I do not detect any missing token."),
+            Extracted::Value(false)
+        );
+        assert_eq!(
+            extract_binary("These queries are not equivalent; the transformation changes results."),
+            Extracted::Value(false)
+        );
+        assert_eq!(
+            extract_binary("I believe these queries are equivalent."),
+            Extracted::Value(true)
+        );
+        assert_eq!(
+            extract_binary("This query looks costly; it should take longer than a typical query."),
+            Extracted::Value(true)
+        );
+    }
+
+    #[test]
+    fn binary_unparseable_goes_to_review() {
+        assert_eq!(
+            extract_binary("As an AI model I cannot run SQL."),
+            Extracted::NeedsReview
+        );
+        assert_eq!(extract_binary(""), Extracted::NeedsReview);
+    }
+
+    #[test]
+    fn label_tagged_and_untagged() {
+        let labels = ["aggr-attr", "aggr-having", "condition-mismatch"];
+        assert_eq!(
+            extract_label(
+                "… I would classify this as (error type: aggr-having).",
+                &labels
+            ),
+            Extracted::Value("aggr-having".to_string())
+        );
+        assert_eq!(
+            extract_label(
+                "The problem looks like a condition-mismatch to me.",
+                &labels
+            ),
+            Extracted::Value("condition-mismatch".to_string())
+        );
+        assert_eq!(
+            extract_label("something else entirely", &labels),
+            Extracted::NeedsReview
+        );
+    }
+
+    #[test]
+    fn position_extraction() {
+        assert_eq!(
+            extract_position("… It should appear at word position 12."),
+            Extracted::Value(12)
+        );
+        assert_eq!(extract_position("Position: 3."), Extracted::Value(3));
+        assert_eq!(
+            extract_position("somewhere near the end"),
+            Extracted::NeedsReview
+        );
+    }
+
+    #[test]
+    fn word_extraction() {
+        assert_eq!(
+            extract_word("most likely \"FROM\". It should appear…"),
+            Extracted::Value("FROM".to_string())
+        );
+        assert_eq!(
+            extract_word("Missing word: plate. Position: 4."),
+            Extracted::Value("plate".to_string())
+        );
+        assert_eq!(extract_word("unknown"), Extracted::NeedsReview);
+    }
+}

@@ -1,0 +1,26 @@
+//! # squ-llm — language-model interface, calibrated simulators, prompts,
+//! and response extraction
+//!
+//! The benchmark's model layer. [`LanguageModel`] is the narrow interface
+//! (prompt in, verbose text out); the five paper models ship as
+//! **calibrated behavioral simulators** ([`SimulatedModel`]) whose error
+//! rates are digitized from the paper's result tables and modulated by
+//! subtype difficulty and query complexity — so the downstream pipeline
+//! (prompting, free-text parsing, metrics, failure slicing) is exercised
+//! end-to-end and reproduces the paper's result *shape*.
+//!
+//! A real API-backed model would implement the same trait and simply
+//! ignore [`Request::truth`].
+
+#![warn(missing_docs)]
+
+mod extract;
+mod model;
+pub mod profiles;
+pub mod prompts;
+mod simulate;
+
+pub use extract::{extract_binary, extract_label, extract_position, extract_word, Extracted};
+pub use model::{GroundTruth, LanguageModel, Request, Task};
+pub use profiles::{DatasetId, ModelId};
+pub use simulate::{SimConfig, SimulatedModel};

@@ -1,0 +1,115 @@
+//! The language-model interface and request/response types.
+//!
+//! The benchmark talks to models through [`LanguageModel`]: a prompt goes
+//! in, free text comes out, and the *extraction* layer (not the model)
+//! turns text into labels — exactly the paper's §3.4 pipeline. The five
+//! shipped implementations are **behavioral simulators** (see
+//! [`crate::SimulatedModel`]): each receives the ground truth and the
+//! query's features alongside the prompt and produces a calibrated,
+//! deliberately-verbose response. An implementation backed by a real API
+//! would simply ignore [`Request::truth`].
+
+use crate::profiles::DatasetId;
+use serde::{Deserialize, Serialize};
+use squ_tasks::KeyFacts;
+use squ_workload::QueryProps;
+
+/// The composite task families, one per paper prompt (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    /// `syntax_error` + `syntax_error_type` (one composite prompt).
+    Syntax,
+    /// `miss_token` + `miss_token_type` + missing word + `miss_token_loc`.
+    MissToken,
+    /// `query_equiv` + `query_equiv_type`.
+    Equiv,
+    /// `performance_pred`.
+    Perf,
+    /// `query_exp`.
+    Explain,
+}
+
+impl Task {
+    /// Paper-style identifier.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::Syntax => "syntax_error",
+            Task::MissToken => "miss_token",
+            Task::Equiv => "query_equiv",
+            Task::Perf => "performance_pred",
+            Task::Explain => "query_exp",
+        }
+    }
+}
+
+/// Ground truth attached to a request (consumed only by simulators).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GroundTruth {
+    /// Syntax-error task truth.
+    Syntax {
+        /// Does the query contain an error?
+        has_error: bool,
+        /// Error-type label if any.
+        error_type: Option<String>,
+    },
+    /// Missing-token task truth.
+    Token {
+        /// Is a token missing?
+        missing: bool,
+        /// Token-type label if any.
+        token_type: Option<String>,
+        /// The removed text.
+        removed: Option<String>,
+        /// Word position of the removal.
+        position: Option<usize>,
+        /// Word count of the shown query.
+        word_count: usize,
+    },
+    /// Query-equivalence task truth.
+    Equiv {
+        /// Are the two queries equivalent?
+        equivalent: bool,
+        /// Transformation label.
+        transform: String,
+    },
+    /// Performance-prediction task truth.
+    Perf {
+        /// Is the query costly (> 200 ms)?
+        costly: bool,
+    },
+    /// Explanation task truth.
+    Explain {
+        /// Reference description.
+        reference: String,
+        /// Rubric key facts.
+        facts: KeyFacts,
+        /// The SQL being explained.
+        sql: String,
+    },
+}
+
+/// One model call.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Which task family.
+    pub task: Task,
+    /// Which dataset the example comes from.
+    pub dataset: DatasetId,
+    /// Stable example id (also the randomness seed component).
+    pub example_id: String,
+    /// The prompt text shown to the model.
+    pub prompt: String,
+    /// Ground truth (simulators only; a real backend ignores this).
+    pub truth: GroundTruth,
+    /// Syntactic properties of the example's query.
+    pub props: QueryProps,
+}
+
+/// A language model: prompt in, verbose text out.
+pub trait LanguageModel {
+    /// Model display name (paper spelling).
+    fn name(&self) -> &'static str;
+
+    /// Produce the free-text response for a request.
+    fn respond(&self, req: &Request) -> String;
+}

@@ -1,0 +1,134 @@
+//! Task prompts and the prompt-tuning harness (paper §3.4).
+//!
+//! The paper selects each task's prompt by (1) generating candidate
+//! phrasings, then (2) running small mock experiments on a labeled subset
+//! and keeping the best performer. [`tune_prompt`] reproduces that loop:
+//! it scores every candidate by running the full model→extract pipeline on
+//! a mock slice and returns the winner. The shipped defaults
+//! ([`task_prompt`]) are the paper's published prompts, which the tuner
+//! does select under the default scoring.
+
+use crate::model::Task;
+
+/// The paper's published prompt for each task (§3.4).
+pub fn task_prompt(task: Task) -> &'static str {
+    match task {
+        Task::Syntax => {
+            "Does the following query contain any syntax errors? If so, explain the error."
+        }
+        Task::MissToken => {
+            "Does the following query have any syntax errors? (yes/no) If yes, is there a missing word? (yes/no) If yes, what is the type of the missing word? If yes, what is the missing word? If yes, what is the position of the missing word? (Provide the word count position where the word is missing.)"
+        }
+        Task::Equiv => {
+            "Are the following two queries equivalent (do they produce the same results on the same database schema)? If yes, why are they equivalent?"
+        }
+        Task::Perf => "Does the following query take longer than usual to run?",
+        Task::Explain => "Provide a single statement describing this query:",
+    }
+}
+
+/// Candidate prompts per task for the tuning loop (the published prompt is
+/// always among them).
+pub fn candidate_prompts(task: Task) -> Vec<&'static str> {
+    let mut v = vec![task_prompt(task)];
+    v.extend(match task {
+        Task::Syntax => vec![
+            "Is this SQL query valid? Answer yes or no and explain.",
+            "Check the following SQL statement for syntax errors and name the error category if any.",
+        ],
+        Task::MissToken => vec![
+            "Is a word missing from this SQL query? If so, which word, of what type, and at which word position?",
+            "Inspect the query for omitted tokens and report type, token, and position.",
+        ],
+        Task::Equiv => vec![
+            "Do these two SQL queries always return the same result? Explain.",
+            "Decide whether the two statements below are semantically identical queries.",
+        ],
+        Task::Perf => vec![
+            "Will this query be expensive to execute? Answer yes or no.",
+            "Estimate whether the runtime of the following query is above average.",
+        ],
+        Task::Explain => vec![
+            "Summarize what this SQL query computes in one sentence:",
+            "Describe the output of the following query:",
+        ],
+    });
+    v
+}
+
+/// Assemble a full prompt: instruction + payload (the query or query pair).
+pub fn render_prompt(instruction: &str, payload: &str) -> String {
+    format!("{instruction}\n\n{payload}")
+}
+
+/// Result of one tuning trial.
+#[derive(Debug, Clone)]
+pub struct TunedPrompt {
+    /// The winning instruction text.
+    pub instruction: String,
+    /// Mock-trial accuracy of the winner.
+    pub score: f64,
+    /// `(candidate, score)` for every candidate, in input order.
+    pub trials: Vec<(String, f64)>,
+}
+
+/// Select the best prompt for `task` by scoring each candidate with
+/// `score` (a mock-experiment runner supplied by the caller; returns
+/// accuracy in `[0,1]`).
+pub fn tune_prompt(task: Task, mut score: impl FnMut(&str) -> f64) -> TunedPrompt {
+    let mut trials = Vec::new();
+    for cand in candidate_prompts(task) {
+        let s = score(cand);
+        trials.push((cand.to_string(), s));
+    }
+    let (instruction, best) = trials
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+        .map(|(c, s)| (c.clone(), *s))
+        .expect("at least one candidate");
+    TunedPrompt {
+        instruction,
+        score: best,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_prompt_is_first_candidate() {
+        for task in [
+            Task::Syntax,
+            Task::MissToken,
+            Task::Equiv,
+            Task::Perf,
+            Task::Explain,
+        ] {
+            assert_eq!(candidate_prompts(task)[0], task_prompt(task));
+            assert!(candidate_prompts(task).len() >= 3);
+        }
+    }
+
+    #[test]
+    fn tuner_picks_highest_scoring() {
+        let tuned = tune_prompt(Task::Perf, |c| {
+            if c == task_prompt(Task::Perf) {
+                0.9
+            } else {
+                0.5
+            }
+        });
+        assert_eq!(tuned.instruction, task_prompt(Task::Perf));
+        assert_eq!(tuned.score, 0.9);
+        assert_eq!(tuned.trials.len(), 3);
+    }
+
+    #[test]
+    fn render_includes_payload() {
+        let p = render_prompt(task_prompt(Task::Syntax), "SELECT 1");
+        assert!(p.contains("syntax errors"));
+        assert!(p.ends_with("SELECT 1"));
+    }
+}

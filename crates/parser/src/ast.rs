@@ -1,0 +1,675 @@
+//! Typed SQL abstract syntax tree.
+//!
+//! The AST covers the dialect exercised by the four benchmark workloads:
+//! full `SELECT` queries (explicit and implicit joins, `WHERE`, `GROUP BY`,
+//! `HAVING`, `ORDER BY`, `LIMIT`/`TOP`, `DISTINCT`), subqueries (scalar,
+//! `IN`, `EXISTS`, derived tables), common table expressions (`WITH`), set
+//! operations (`UNION`/`INTERSECT`/`EXCEPT`), and the `CREATE TABLE`/`CREATE
+//! VIEW` statements that appear in SDSS/CasJobs and Join-Order logs.
+
+pub use squ_lexer::{CompareOp, Keyword};
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A (possibly CTE-prefixed, set-op-combined) query.
+    Query(Query),
+    /// `CREATE TABLE name (col type, …)` or `CREATE TABLE name AS query`.
+    CreateTable {
+        /// Table name (may include a `#` prefix in CasJobs temp tables).
+        name: String,
+        /// Column definitions (empty when created `AS` a query).
+        columns: Vec<ColumnDef>,
+        /// `AS SELECT …` source, if any.
+        source: Option<Box<Query>>,
+    },
+    /// `CREATE VIEW name AS query`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining query.
+        query: Box<Query>,
+    },
+}
+
+impl Statement {
+    /// The query type label used by the paper's `query_type` property.
+    pub fn query_type(&self) -> QueryType {
+        match self {
+            Statement::Query(_) => QueryType::Select,
+            Statement::CreateTable { .. } | Statement::CreateView { .. } => QueryType::Create,
+        }
+    }
+
+    /// The inner query, if this statement contains one.
+    pub fn query(&self) -> Option<&Query> {
+        match self {
+            Statement::Query(q) => Some(q),
+            Statement::CreateTable { source, .. } => source.as_deref(),
+            Statement::CreateView { query, .. } => Some(query),
+        }
+    }
+
+    /// Mutable access to the inner query, if any.
+    pub fn query_mut(&mut self) -> Option<&mut Query> {
+        match self {
+            Statement::Query(q) => Some(q),
+            Statement::CreateTable { source, .. } => source.as_deref_mut(),
+            Statement::CreateView { query, .. } => Some(query),
+        }
+    }
+}
+
+/// Coarse query-type classification (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// Plain `SELECT` query.
+    Select,
+    /// `CREATE TABLE` / `CREATE VIEW`.
+    Create,
+}
+
+impl std::fmt::Display for QueryType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryType::Select => f.write_str("SELECT"),
+            QueryType::Create => f.write_str("CREATE"),
+        }
+    }
+}
+
+/// A column definition inside `CREATE TABLE (…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Raw type name, e.g. `INT`, `FLOAT`, `VARCHAR`.
+    pub type_name: String,
+}
+
+/// A full query: optional CTE prologue, a set-expression body, and optional
+/// `ORDER BY` / `LIMIT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `WITH name AS (…)` definitions, in order.
+    pub ctes: Vec<Cte>,
+    /// The query body (a bare `SELECT` or a set-op tree).
+    pub body: SetExpr,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// A query that is just a `SELECT` body with no CTEs / ordering / limit.
+    pub fn from_select(select: Select) -> Self {
+        Query {
+            ctes: Vec::new(),
+            body: SetExpr::Select(Box::new(select)),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// The sole `SELECT` body, if the query is a simple (non-set-op) query.
+    pub fn as_select(&self) -> Option<&Select> {
+        match &self.body {
+            SetExpr::Select(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the sole `SELECT` body, if simple.
+    pub fn as_select_mut(&mut self) -> Option<&mut Select> {
+        match &mut self.body {
+            SetExpr::Select(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One `WITH` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    /// CTE name.
+    pub name: String,
+    /// Defining query.
+    pub query: Box<Query>,
+}
+
+/// Query body: either a `SELECT` or a binary set operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A plain `SELECT … FROM …`.
+    Select(Box<Select>),
+    /// `left UNION/INTERSECT/EXCEPT [ALL] right`.
+    SetOp {
+        /// Which set operation.
+        op: SetOp,
+        /// `ALL` (bag) semantics instead of set semantics.
+        all: bool,
+        /// Left operand.
+        left: Box<SetExpr>,
+        /// Right operand.
+        right: Box<SetExpr>,
+    },
+}
+
+/// Set operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+impl SetOp {
+    /// SQL spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SetOp::Union => "UNION",
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+        }
+    }
+}
+
+/// A `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// T-SQL `SELECT TOP n` (common in SDSS/CasJobs logs).
+    pub top: Option<u64>,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` items (comma-separated; each may be a join tree).
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub selection: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+impl Select {
+    /// An empty select (used as a builder seed).
+    pub fn new() -> Self {
+        Select {
+            distinct: false,
+            top: None,
+            items: Vec::new(),
+            from: Vec::new(),
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+        }
+    }
+}
+
+impl Default for Select {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression, optionally aliased: `expr [AS alias]`.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if present.
+        alias: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// A bare column projection.
+    pub fn column(qualifier: Option<&str>, name: &str) -> Self {
+        SelectItem::Expr {
+            expr: Expr::column(qualifier, name),
+            alias: None,
+        }
+    }
+}
+
+/// A table reference in `FROM` (possibly a join tree or derived table).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named base table or CTE reference, optionally aliased.
+    Named {
+        /// Table (or CTE) name.
+        name: String,
+        /// `AS alias`, if present.
+        alias: Option<String>,
+    },
+    /// `( subquery ) AS alias` — a derived table.
+    Derived {
+        /// The subquery.
+        query: Box<Query>,
+        /// Alias (SQL requires one; we tolerate its absence for
+        /// error-injection corpora).
+        alias: Option<String>,
+    },
+    /// An explicit join.
+    Join {
+        /// Left operand.
+        left: Box<TableRef>,
+        /// Right operand.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// `ON …` / `USING (…)` / nothing (cross join).
+        constraint: JoinConstraint,
+    },
+}
+
+impl TableRef {
+    /// A named table with optional alias.
+    pub fn named(name: &str, alias: Option<&str>) -> Self {
+        TableRef::Named {
+            name: name.to_string(),
+            alias: alias.map(str::to_string),
+        }
+    }
+
+    /// The binding name this table ref is visible under (alias if present,
+    /// else the table name for `Named`).
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Derived { alias, .. } => alias.as_deref(),
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+/// Join kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Full,
+    Cross,
+}
+
+impl JoinKind {
+    /// SQL spelling (including the JOIN word).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+            JoinKind::Right => "RIGHT JOIN",
+            JoinKind::Full => "FULL JOIN",
+            JoinKind::Cross => "CROSS JOIN",
+        }
+    }
+}
+
+/// Join constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinConstraint {
+    /// `ON expr`
+    On(Expr),
+    /// `USING (col, …)`
+    Using(Vec<String>),
+    /// No constraint (cross join).
+    None,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// `DESC` if true, `ASC` otherwise.
+    pub desc: bool,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier (`s` in `s.plate`).
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal (SQL numerics are modeled as f64 end-to-end).
+    Number(f64),
+    /// String literal.
+    String(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+}
+
+/// Scalar / boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal.
+    Literal(Literal),
+    /// Comparison: `left op right`.
+    Compare {
+        /// Comparison operator.
+        op: CompareOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` if true.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery.
+        subquery: Box<Query>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// The subquery.
+        subquery: Box<Query>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `( subquery )` used as a scalar.
+    ScalarSubquery(Box<Query>),
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern (with `%`/`_` wildcards).
+        pattern: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// Function call: `name(args)`, `COUNT(*)`, `COUNT(DISTINCT x)`.
+    Function {
+        /// Function name as written (case preserved).
+        name: String,
+        /// Arguments; `Expr::Wildcard` models `*`.
+        args: Vec<Expr>,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+    },
+    /// `*` as a function argument (`COUNT(*)`).
+    Wildcard,
+    /// Binary arithmetic: `left op right` with `op ∈ {+,-,*,/,%}`.
+    Arith {
+        /// Operator character.
+        op: char,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Optional `CASE operand` (simple form).
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` expression.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// The casted expression.
+        expr: Box<Expr>,
+        /// Target type name.
+        type_name: String,
+    },
+}
+
+impl Expr {
+    /// A column reference expression.
+    pub fn column(qualifier: Option<&str>, name: &str) -> Expr {
+        Expr::Column(ColumnRef {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+        })
+    }
+
+    /// A numeric literal.
+    pub fn number(v: f64) -> Expr {
+        Expr::Literal(Literal::Number(v))
+    }
+
+    /// A string literal.
+    pub fn string(s: &str) -> Expr {
+        Expr::Literal(Literal::String(s.to_string()))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self op other`.
+    pub fn compare(self, op: CompareOp, other: Expr) -> Expr {
+        Expr::Compare {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// True if the expression is (or contains at the top level of a call) an
+    /// aggregate function: COUNT, SUM, AVG, MIN, MAX.
+    pub fn is_aggregate_call(&self) -> bool {
+        match self {
+            Expr::Function { name, .. } => is_aggregate_name(name),
+            _ => false,
+        }
+    }
+
+    /// Whether any node in this expression subtree is an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        if self.is_aggregate_call() {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_child(&mut |c| {
+            if c.contains_aggregate() {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Visit the direct child expressions (not descending into subqueries).
+    pub fn for_each_child(&self, f: &mut dyn FnMut(&Expr)) {
+        match self {
+            Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => {}
+            Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                f(a);
+                f(b);
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::Cast { expr: e, .. } => f(e),
+            Expr::IsNull { expr, .. } => f(expr),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                f(expr);
+                f(low);
+                f(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                f(expr);
+                for e in list {
+                    f(e);
+                }
+            }
+            Expr::InSubquery { expr, .. } => f(expr),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+            Expr::Like { expr, pattern, .. } => {
+                f(expr);
+                f(pattern);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(op) = operand {
+                    f(op);
+                }
+                for (w, t) in branches {
+                    f(w);
+                    f(t);
+                }
+                if let Some(e) = else_expr {
+                    f(e);
+                }
+            }
+        }
+    }
+}
+
+/// Is `name` one of the standard aggregate functions?
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "STDEV" | "STDDEV" | "VAR" | "VARIANCE"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let e = Expr::column(Some("s"), "z").compare(CompareOp::Gt, Expr::number(0.5));
+        match &e {
+            Expr::Compare { op, left, .. } => {
+                assert_eq!(*op, CompareOp::Gt);
+                assert!(matches!(**left, Expr::Column(_)));
+            }
+            _ => panic!("expected compare"),
+        }
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "AVG".into(),
+            args: vec![Expr::column(None, "z")],
+            distinct: false,
+        };
+        assert!(agg.is_aggregate_call());
+        assert!(agg.contains_aggregate());
+        let wrapped = Expr::Arith {
+            op: '+',
+            left: Box::new(agg),
+            right: Box::new(Expr::number(1.0)),
+        };
+        assert!(!wrapped.is_aggregate_call());
+        assert!(wrapped.contains_aggregate());
+        assert!(!Expr::column(None, "z").contains_aggregate());
+        assert!(is_aggregate_name("count"));
+        assert!(!is_aggregate_name("substr"));
+    }
+
+    #[test]
+    fn statement_query_type() {
+        let q = Statement::Query(Query::from_select(Select::new()));
+        assert_eq!(q.query_type(), QueryType::Select);
+        let c = Statement::CreateTable {
+            name: "t".into(),
+            columns: vec![],
+            source: None,
+        };
+        assert_eq!(c.query_type(), QueryType::Create);
+        assert_eq!(QueryType::Select.to_string(), "SELECT");
+    }
+
+    #[test]
+    fn binding_name() {
+        assert_eq!(
+            TableRef::named("SpecObj", Some("s")).binding_name(),
+            Some("s")
+        );
+        assert_eq!(
+            TableRef::named("SpecObj", None).binding_name(),
+            Some("SpecObj")
+        );
+    }
+}

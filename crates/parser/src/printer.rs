@@ -1,0 +1,511 @@
+//! Pretty-printer: AST → canonical SQL text.
+//!
+//! The printer produces single-line SQL in canonical form (upper-case
+//! keywords, minimal parentheses inserted by operator precedence). The
+//! round-trip property `parse(print(ast)) == ast` is enforced by tests and
+//! proptests and is what the benchmark's transformation machinery relies on:
+//! every injected error / deleted token / rewritten query is printed from an
+//! AST, so printer fidelity is label fidelity.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a statement as canonical SQL.
+pub fn print_statement(stmt: &Statement) -> String {
+    let mut s = String::new();
+    write_statement(&mut s, stmt);
+    s
+}
+
+/// Render a query as canonical SQL.
+pub fn print_query(q: &Query) -> String {
+    let mut s = String::new();
+    write_query(&mut s, q);
+    s
+}
+
+/// Render an expression as canonical SQL.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+fn write_statement(out: &mut String, stmt: &Statement) {
+    match stmt {
+        Statement::Query(q) => write_query(out, q),
+        Statement::CreateTable {
+            name,
+            columns,
+            source,
+        } => {
+            let _ = write!(out, "CREATE TABLE {name}");
+            if let Some(q) = source {
+                out.push_str(" AS ");
+                write_query(out, q);
+            } else {
+                out.push_str(" (");
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{} {}", c.name, c.type_name);
+                }
+                out.push(')');
+            }
+        }
+        Statement::CreateView { name, query } => {
+            let _ = write!(out, "CREATE VIEW {name} AS ");
+            write_query(out, query);
+        }
+    }
+}
+
+fn write_query(out: &mut String, q: &Query) {
+    if !q.ctes.is_empty() {
+        out.push_str("WITH ");
+        for (i, cte) in q.ctes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} AS (", cte.name);
+            write_query(out, &cte.query);
+            out.push(')');
+        }
+        out.push(' ');
+    }
+    write_set_expr(out, &q.body);
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, item) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, &item.expr, 0);
+            if item.desc {
+                out.push_str(" DESC");
+            } else {
+                out.push_str(" ASC");
+            }
+        }
+    }
+    if let Some(n) = q.limit {
+        let _ = write!(out, " LIMIT {n}");
+    }
+}
+
+fn write_set_expr(out: &mut String, body: &SetExpr) {
+    match body {
+        SetExpr::Select(s) => write_select(out, s),
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            write_set_expr(out, left);
+            let _ = write!(out, " {}", op.as_str());
+            if *all {
+                out.push_str(" ALL");
+            }
+            out.push(' ');
+            // set operators associate left; a set-op on the right needs
+            // parentheses to round-trip
+            if matches!(**right, SetExpr::SetOp { .. }) {
+                out.push('(');
+                write_set_expr(out, right);
+                out.push(')');
+            } else {
+                write_set_expr(out, right);
+            }
+        }
+    }
+}
+
+fn write_select(out: &mut String, s: &Select) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    if let Some(n) = s.top {
+        let _ = write!(out, "TOP {n} ");
+    }
+    for (i, item) in s.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(q) => {
+                let _ = write!(out, "{q}.*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(out, expr, 0);
+                if let Some(a) = alias {
+                    let _ = write!(out, " AS {a}");
+                }
+            }
+        }
+    }
+    if !s.from.is_empty() {
+        out.push_str(" FROM ");
+        for (i, tr) in s.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_table_ref(out, tr);
+        }
+    }
+    if let Some(w) = &s.selection {
+        out.push_str(" WHERE ");
+        write_expr(out, w, 0);
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, e) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, e, 0);
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        write_expr(out, h, 0);
+    }
+}
+
+fn write_table_ref(out: &mut String, tr: &TableRef) {
+    match tr {
+        TableRef::Named { name, alias } => {
+            out.push_str(name);
+            if let Some(a) = alias {
+                let _ = write!(out, " AS {a}");
+            }
+        }
+        TableRef::Derived { query, alias } => {
+            out.push('(');
+            write_query(out, query);
+            out.push(')');
+            if let Some(a) = alias {
+                let _ = write!(out, " AS {a}");
+            }
+        }
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            constraint,
+        } => {
+            write_table_ref(out, left);
+            let _ = write!(out, " {} ", kind.as_str());
+            write_table_ref(out, right);
+            match constraint {
+                JoinConstraint::On(e) => {
+                    out.push_str(" ON ");
+                    write_expr(out, e, 0);
+                }
+                JoinConstraint::Using(cols) => {
+                    let _ = write!(out, " USING ({})", cols.join(", "));
+                }
+                JoinConstraint::None => {}
+            }
+        }
+    }
+}
+
+/// Binding power of the *context*; a child with lower binding power than its
+/// context must be parenthesized. Levels: 1 OR, 2 AND, 3 NOT, 4 predicates,
+/// 5 additive, 6 multiplicative, 7 unary, 8 atoms.
+fn expr_level(e: &Expr) -> u8 {
+    match e {
+        Expr::Or(..) => 1,
+        Expr::And(..) => 2,
+        Expr::Not(..) => 3,
+        Expr::Compare { .. }
+        | Expr::IsNull { .. }
+        | Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Like { .. } => 4,
+        Expr::Arith { op: '+', .. } | Expr::Arith { op: '-', .. } => 5,
+        Expr::Arith { .. } => 6,
+        Expr::Neg(..) => 7,
+        _ => 8,
+    }
+}
+
+fn write_child(out: &mut String, e: &Expr, min_level: u8) {
+    if expr_level(e) < min_level {
+        out.push('(');
+        write_expr(out, e, 0);
+        out.push(')');
+    } else {
+        write_expr(out, e, min_level);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
+    match e {
+        Expr::Column(c) => {
+            let _ = write!(out, "{c}");
+        }
+        Expr::Literal(l) => write_literal(out, l),
+        Expr::Compare { op, left, right } => {
+            write_child(out, left, 5);
+            let _ = write!(out, " {} ", op.as_str());
+            write_child(out, right, 5);
+        }
+        Expr::And(a, b) => {
+            write_child(out, a, 2);
+            out.push_str(" AND ");
+            write_child(out, b, 3);
+        }
+        Expr::Or(a, b) => {
+            write_child(out, a, 1);
+            out.push_str(" OR ");
+            write_child(out, b, 2);
+        }
+        Expr::Not(inner) => {
+            out.push_str("NOT ");
+            write_child(out, inner, 4);
+        }
+        Expr::IsNull { expr, negated } => {
+            write_child(out, expr, 5);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            write_child(out, expr, 5);
+            out.push_str(if *negated {
+                " NOT BETWEEN "
+            } else {
+                " BETWEEN "
+            });
+            write_child(out, low, 5);
+            out.push_str(" AND ");
+            write_child(out, high, 5);
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            write_child(out, expr, 5);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 0);
+            }
+            out.push(')');
+        }
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            write_child(out, expr, 5);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            write_query(out, subquery);
+            out.push(')');
+        }
+        Expr::Exists { subquery, negated } => {
+            out.push_str(if *negated { "NOT EXISTS (" } else { "EXISTS (" });
+            write_query(out, subquery);
+            out.push(')');
+        }
+        Expr::ScalarSubquery(q) => {
+            out.push('(');
+            write_query(out, q);
+            out.push(')');
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            write_child(out, expr, 5);
+            out.push_str(if *negated { " NOT LIKE " } else { " LIKE " });
+            write_child(out, pattern, 5);
+        }
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
+            let _ = write!(out, "{name}(");
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Wildcard => out.push('*'),
+        Expr::Arith { op, left, right } => {
+            let (lmin, rmin) = match op {
+                '+' => (5, 6),
+                '-' => (5, 6),
+                '*' | '/' | '%' => (6, 7),
+                _ => (5, 6),
+            };
+            write_child(out, left, lmin);
+            let _ = write!(out, " {op} ");
+            write_child(out, right, rmin);
+        }
+        Expr::Neg(inner) => {
+            out.push('-');
+            write_child(out, inner, 8);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            out.push_str("CASE");
+            if let Some(op) = operand {
+                out.push(' ');
+                write_expr(out, op, 0);
+            }
+            for (w, t) in branches {
+                out.push_str(" WHEN ");
+                write_expr(out, w, 0);
+                out.push_str(" THEN ");
+                write_expr(out, t, 0);
+            }
+            if let Some(e) = else_expr {
+                out.push_str(" ELSE ");
+                write_expr(out, e, 0);
+            }
+            out.push_str(" END");
+        }
+        Expr::Cast { expr, type_name } => {
+            out.push_str("CAST(");
+            write_expr(out, expr, 0);
+            let _ = write!(out, " AS {type_name})");
+        }
+    }
+}
+
+fn write_literal(out: &mut String, l: &Literal) {
+    match l {
+        Literal::Number(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                let _ = write!(out, "{}", *v as i64);
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Literal::String(s) => {
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+        Literal::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+        Literal::Null => out.push_str("NULL"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_query};
+
+    fn round_trip(sql: &str) {
+        let q1 = parse(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
+        let printed = print_statement(&q1);
+        let q2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse {printed:?} (from {sql:?}): {e}"));
+        assert_eq!(q1, q2, "round-trip mismatch: {sql:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn round_trips_paper_examples() {
+        // Queries from the paper's listings (1, 2, 3)
+        for sql in [
+            "SELECT plate, mjd, COUNT(*), AVG(z) FROM SpecObj WHERE z > 0.5",
+            "SELECT plate, COUNT(*) AS NumSpectra FROM SpecObj GROUP BY plate HAVING z > 0.5",
+            "SELECT p.ra, p.dec, s.z FROM PhotoObj AS p JOIN SpecObj AS s ON s.bestobjid = (SELECT bestobjid FROM SpecObj)",
+            "SELECT plate, mjd, fiberid FROM SpecObj WHERE z = 'high'",
+            "SELECT s.plate, s.mjd, z FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = photoobj.bestobjid",
+            "SELECT plate, fid FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.bestobjid WHERE bestobjid > 1000",
+            "SELECT s.plate, s.mjd FROM SpecObj AS s WHERE s.plate IN (SELECT p.plate FROM PhotoObj AS p WHERE p.ra > 180)",
+            "SELECT fiberid FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj WHERE ra > 180)",
+            "WITH HighRedshift AS (SELECT plate, mjd FROM SpecObj WHERE z > 0.5) SELECT plate, mjd FROM HighRedshift",
+            "SELECT * FROM SpecObj WHERE plate = 1000 AND mjd > 55000",
+            "SELECT plate, AVG(z) FROM SpecObj GROUP BY plate",
+            "SELECT s.plate, s.mjd FROM SpecObj AS s LEFT JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+            "SELECT plate, mjd, fiberid FROM SpecObj WHERE z > 0.5 OR ra > 180",
+            "SELECT count(*), cName FROM tryout GROUP BY cName ORDER BY count(*) DESC",
+            "SELECT count(*), student_course_id FROM Transcript_Cnt GROUP BY student_course_id ORDER BY count(*) DESC LIMIT 1",
+            "SELECT S.name, S.loc FROM concert AS C JOIN stadium AS S ON C.stadium_id = S.stadium_id WHERE C.Year = 2014 INTERSECT SELECT S.name, S.loc FROM concert AS C JOIN stadium AS S ON C.stadium_id = S.stadium_id WHERE C.Year = 2015",
+            "SELECT C.cylinders FROM CARS_DATA AS C JOIN CAR_NAMES AS T ON C.Id = T.MakeId WHERE T.Model = 'volvo' ORDER BY C.accelerate ASC LIMIT 1",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn round_trips_structures() {
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT DISTINCT x FROM t",
+            "SELECT TOP 10 x FROM t",
+            "SELECT a.x, b.y FROM a, b WHERE a.id = b.id",
+            "SELECT x FROM a LEFT JOIN b ON a.id = b.id RIGHT JOIN c ON b.id = c.id",
+            "SELECT x FROM a CROSS JOIN b",
+            "SELECT x FROM t WHERE NOT (a = 1 OR b = 2)",
+            "SELECT x FROM t WHERE a IS NULL AND b IS NOT NULL",
+            "SELECT x FROM t WHERE a NOT BETWEEN 1 AND 2",
+            "SELECT x FROM t WHERE name NOT LIKE '%x%'",
+            "SELECT x FROM t WHERE a IN (1, 2, 3)",
+            "SELECT x FROM (SELECT x FROM t WHERE y > 0) AS d WHERE x < 5",
+            "SELECT x FROM a UNION ALL SELECT x FROM b EXCEPT SELECT x FROM c",
+            "SELECT x FROM a UNION (SELECT x FROM b INTERSECT SELECT x FROM c)",
+            "(SELECT x FROM a UNION SELECT x FROM b) EXCEPT SELECT x FROM c",
+            "SELECT CASE WHEN z > 0.5 THEN 'high' ELSE 'low' END AS bucket FROM SpecObj",
+            "SELECT CAST(z AS INT) FROM t",
+            "SELECT -x, a + b * c, (a + b) * c FROM t",
+            "SELECT x FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+            "CREATE TABLE t (id INT, name VARCHAR)",
+            "CREATE TABLE hot AS SELECT x FROM t WHERE y > 1",
+            "CREATE VIEW v AS SELECT x FROM t",
+            "SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3)",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn parentheses_only_when_needed() {
+        let q = parse_query("SELECT x FROM t WHERE a = 1 AND b = 2 OR c = 3").unwrap();
+        let printed = print_query(&q);
+        // left-assoc OR over AND needs no parens
+        assert_eq!(printed, "SELECT x FROM t WHERE a = 1 AND b = 2 OR c = 3");
+
+        let q = parse_query("SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3)").unwrap();
+        let printed = print_query(&q);
+        assert_eq!(printed, "SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3)");
+    }
+
+    #[test]
+    fn numbers_printed_canonically() {
+        let q = parse_query("SELECT x FROM t WHERE a = 1000 AND b > 0.5").unwrap();
+        let printed = print_query(&q);
+        assert!(printed.contains("= 1000"));
+        assert!(printed.contains("> 0.5"));
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        round_trip("SELECT x FROM t WHERE name = 'it''s'");
+    }
+}

@@ -1,0 +1,287 @@
+//! AST walking utilities.
+//!
+//! [`walk_queries`], [`walk_exprs`], and [`walk_table_refs`] traverse the
+//! whole statement tree, *including* subqueries nested inside expressions,
+//! derived tables, and CTEs. The workload crate builds all of the paper's
+//! syntactic properties (table_count, join_count, predicate_count,
+//! nestedness, …) on top of these.
+
+use crate::ast::*;
+
+/// Visit every [`Query`] in the statement, with its nesting depth.
+///
+/// Depth 0 is the outermost query; each step into a subquery (scalar, `IN`,
+/// `EXISTS`, derived table, or CTE body) adds one. This is the paper's
+/// `nestedness` measure (CTE bodies count as depth like any subquery).
+pub fn walk_queries(stmt: &Statement, f: &mut dyn FnMut(&Query, usize)) {
+    if let Some(q) = stmt.query() {
+        walk_query(q, 0, f);
+    }
+}
+
+fn walk_query(q: &Query, depth: usize, f: &mut dyn FnMut(&Query, usize)) {
+    f(q, depth);
+    for cte in &q.ctes {
+        walk_query(&cte.query, depth + 1, f);
+    }
+    walk_set_expr(&q.body, depth, f);
+    for item in &q.order_by {
+        walk_expr_queries(&item.expr, depth, f);
+    }
+}
+
+fn walk_set_expr(body: &SetExpr, depth: usize, f: &mut dyn FnMut(&Query, usize)) {
+    match body {
+        SetExpr::Select(s) => walk_select(s, depth, f),
+        SetExpr::SetOp { left, right, .. } => {
+            walk_set_expr(left, depth, f);
+            walk_set_expr(right, depth, f);
+        }
+    }
+}
+
+fn walk_select(s: &Select, depth: usize, f: &mut dyn FnMut(&Query, usize)) {
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr_queries(expr, depth, f);
+        }
+    }
+    for tr in &s.from {
+        walk_table_ref_queries(tr, depth, f);
+    }
+    if let Some(w) = &s.selection {
+        walk_expr_queries(w, depth, f);
+    }
+    for g in &s.group_by {
+        walk_expr_queries(g, depth, f);
+    }
+    if let Some(h) = &s.having {
+        walk_expr_queries(h, depth, f);
+    }
+}
+
+fn walk_table_ref_queries(tr: &TableRef, depth: usize, f: &mut dyn FnMut(&Query, usize)) {
+    match tr {
+        TableRef::Named { .. } => {}
+        TableRef::Derived { query, .. } => walk_query(query, depth + 1, f),
+        TableRef::Join {
+            left,
+            right,
+            constraint,
+            ..
+        } => {
+            walk_table_ref_queries(left, depth, f);
+            walk_table_ref_queries(right, depth, f);
+            if let JoinConstraint::On(e) = constraint {
+                walk_expr_queries(e, depth, f);
+            }
+        }
+    }
+}
+
+fn walk_expr_queries(e: &Expr, depth: usize, f: &mut dyn FnMut(&Query, usize)) {
+    match e {
+        Expr::InSubquery { subquery, expr, .. } => {
+            walk_expr_queries(expr, depth, f);
+            walk_query(subquery, depth + 1, f);
+        }
+        Expr::Exists { subquery, .. } => walk_query(subquery, depth + 1, f),
+        Expr::ScalarSubquery(q) => walk_query(q, depth + 1, f),
+        other => other.for_each_child(&mut |c| walk_expr_queries(c, depth, f)),
+    }
+}
+
+/// Visit every expression in the statement (descending into subqueries).
+pub fn walk_exprs(stmt: &Statement, f: &mut dyn FnMut(&Expr)) {
+    walk_queries(stmt, &mut |q, _| {
+        for_each_query_expr(q, &mut |e| walk_expr_tree(e, f));
+    });
+}
+
+/// Visit the *top-level* expressions of a single query (projection, WHERE,
+/// GROUP BY, HAVING, ORDER BY, join conditions) without descending into its
+/// subqueries — those are visited as their own queries by [`walk_queries`].
+pub fn for_each_query_expr(q: &Query, f: &mut dyn FnMut(&Expr)) {
+    if let SetExpr::Select(s) = &q.body {
+        for item in &s.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                f(expr);
+            }
+        }
+        for tr in &s.from {
+            for_each_join_condition(tr, f);
+        }
+        if let Some(w) = &s.selection {
+            f(w);
+        }
+        for g in &s.group_by {
+            f(g);
+        }
+        if let Some(h) = &s.having {
+            f(h);
+        }
+    }
+    if let SetExpr::SetOp { left, right, .. } = &q.body {
+        for_each_set_exprs(left, f);
+        for_each_set_exprs(right, f);
+    }
+    for item in &q.order_by {
+        f(&item.expr);
+    }
+}
+
+fn for_each_set_exprs(body: &SetExpr, f: &mut dyn FnMut(&Expr)) {
+    match body {
+        SetExpr::Select(s) => {
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    f(expr);
+                }
+            }
+            for tr in &s.from {
+                for_each_join_condition(tr, f);
+            }
+            if let Some(w) = &s.selection {
+                f(w);
+            }
+            for g in &s.group_by {
+                f(g);
+            }
+            if let Some(h) = &s.having {
+                f(h);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            for_each_set_exprs(left, f);
+            for_each_set_exprs(right, f);
+        }
+    }
+}
+
+fn for_each_join_condition(tr: &TableRef, f: &mut dyn FnMut(&Expr)) {
+    if let TableRef::Join {
+        left,
+        right,
+        constraint,
+        ..
+    } = tr
+    {
+        for_each_join_condition(left, f);
+        for_each_join_condition(right, f);
+        if let JoinConstraint::On(e) = constraint {
+            f(e);
+        }
+    }
+}
+
+fn walk_expr_tree(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(e);
+    e.for_each_child(&mut |c| walk_expr_tree(c, f));
+}
+
+/// Visit every [`TableRef`] in the statement, including those inside
+/// subqueries. Join nodes are visited as well as their leaves.
+pub fn walk_table_refs(stmt: &Statement, f: &mut dyn FnMut(&TableRef)) {
+    walk_queries(stmt, &mut |q, _| {
+        walk_set_table_refs(&q.body, f);
+    });
+}
+
+fn walk_set_table_refs(body: &SetExpr, f: &mut dyn FnMut(&TableRef)) {
+    match body {
+        SetExpr::Select(s) => {
+            for tr in &s.from {
+                walk_one_table_ref(tr, f);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            walk_set_table_refs(left, f);
+            walk_set_table_refs(right, f);
+        }
+    }
+}
+
+fn walk_one_table_ref(tr: &TableRef, f: &mut dyn FnMut(&TableRef)) {
+    f(tr);
+    if let TableRef::Join { left, right, .. } = tr {
+        walk_one_table_ref(left, f);
+        walk_one_table_ref(right, f);
+    }
+}
+
+/// Maximum subquery nesting depth of the statement (the paper's
+/// `nestedness`): 0 for flat queries, 1 for one level of subquery, etc.
+pub fn nestedness(stmt: &Statement) -> usize {
+    let mut max = 0;
+    walk_queries(stmt, &mut |_, d| max = max.max(d));
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn nestedness_counts_depth() {
+        let flat = parse("SELECT x FROM t WHERE y = 1").unwrap();
+        assert_eq!(nestedness(&flat), 0);
+
+        let one = parse("SELECT x FROM t WHERE y IN (SELECT y FROM u)").unwrap();
+        assert_eq!(nestedness(&one), 1);
+
+        let two =
+            parse("SELECT x FROM t WHERE y IN (SELECT y FROM u WHERE z IN (SELECT z FROM v))")
+                .unwrap();
+        assert_eq!(nestedness(&two), 2);
+
+        let derived = parse("SELECT d.x FROM (SELECT x FROM t) AS d").unwrap();
+        assert_eq!(nestedness(&derived), 1);
+
+        let cte = parse("WITH c AS (SELECT x FROM t) SELECT x FROM c").unwrap();
+        assert_eq!(nestedness(&cte), 1);
+    }
+
+    #[test]
+    fn walk_table_refs_sees_subquery_tables() {
+        let stmt =
+            parse("SELECT x FROM a WHERE y IN (SELECT y FROM b JOIN c ON b.id = c.id)").unwrap();
+        let mut names = Vec::new();
+        walk_table_refs(&stmt, &mut |tr| {
+            if let TableRef::Named { name, .. } = tr {
+                names.push(name.clone());
+            }
+        });
+        names.sort();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn walk_exprs_descends_everywhere() {
+        let stmt = parse(
+            "SELECT AVG(z) FROM t JOIN u ON t.id = u.id WHERE a = 1 GROUP BY g HAVING COUNT(*) > 2 ORDER BY m",
+        )
+        .unwrap();
+        let mut count_columns = 0;
+        walk_exprs(&stmt, &mut |e| {
+            if matches!(e, Expr::Column(_)) {
+                count_columns += 1;
+            }
+        });
+        // z, t.id, u.id, a, g, m + COUNT(*) has no column
+        assert_eq!(count_columns, 6);
+    }
+
+    #[test]
+    fn set_op_branches_visited() {
+        let stmt =
+            parse("SELECT x FROM a WHERE p = 1 INTERSECT SELECT x FROM b WHERE q = 2").unwrap();
+        let mut tables = 0;
+        walk_table_refs(&stmt, &mut |tr| {
+            if matches!(tr, TableRef::Named { .. }) {
+                tables += 1;
+            }
+        });
+        assert_eq!(tables, 2);
+    }
+}

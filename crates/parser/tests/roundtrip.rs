@@ -1,0 +1,76 @@
+//! Property tests: print→parse round-trip stability and parser totality.
+
+use proptest::prelude::*;
+use squ_parser::{parse, print_statement};
+
+/// Strategy producing syntactically valid-ish SQL from a small grammar.
+/// Not everything it emits parses (e.g. an alias colliding with a keyword);
+/// that is fine — the property under test is conditional on a first parse.
+fn sqlish() -> impl Strategy<Value = String> {
+    let col = prop_oneof![
+        Just("plate".to_string()),
+        Just("mjd".to_string()),
+        Just("z".to_string()),
+        Just("s.plate".to_string()),
+        Just("p.ra".to_string()),
+    ];
+    let lit = prop_oneof![
+        Just("1".to_string()),
+        Just("0.5".to_string()),
+        Just("'high'".to_string()),
+        Just("180".to_string()),
+    ];
+    let cmp = prop_oneof![
+        Just("="),
+        Just("<>"),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">=")
+    ];
+    let pred = (col.clone(), cmp, lit).prop_map(|(c, op, l)| format!("{c} {op} {l}"));
+    let cond = prop::collection::vec(pred, 1..4).prop_map(|ps| ps.join(" AND "));
+    let cols = prop::collection::vec(col, 1..4).prop_map(|cs| cs.join(", "));
+    (cols, cond).prop_map(|(cols, cond)| {
+        format!("SELECT {cols} FROM SpecObj AS s JOIN PhotoObj AS p ON s.id = p.id WHERE {cond}")
+    })
+}
+
+proptest! {
+    /// parse ∘ print ∘ parse == parse (printer is a fix-point).
+    #[test]
+    fn print_parse_round_trip(sql in sqlish()) {
+        let ast1 = parse(&sql).expect("grammar strings parse");
+        let printed = print_statement(&ast1);
+        let ast2 = parse(&printed).expect("printed SQL re-parses");
+        prop_assert_eq!(&ast1, &ast2);
+        // printing again is bit-identical (canonical form)
+        prop_assert_eq!(printed.clone(), print_statement(&ast2));
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_is_total(s in "[ -~]{0,300}") {
+        let _ = parse(&s);
+    }
+
+    /// The parser never panics on keyword soup — sequences that look like
+    /// SQL but are structurally broken (the shape of the benchmark's
+    /// error-injected corpora).
+    #[test]
+    fn parser_total_on_keyword_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("HAVING"), Just("JOIN"), Just("ON"),
+                Just("AND"), Just("OR"), Just("NOT"), Just("IN"),
+                Just("("), Just(")"), Just(","), Just("="), Just(">"),
+                Just("t"), Just("x"), Just("1"), Just("'s'"), Just("*"),
+            ],
+            0..40,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = parse(&sql);
+    }
+}

@@ -1,0 +1,895 @@
+//! Semantic analyzer ("binder").
+//!
+//! Resolves table and column references against a [`Schema`], tracks alias
+//! scopes (including correlated subqueries and CTEs), infers expression
+//! types, and emits [`Diagnostic`]s. The diagnostic kinds map one-to-one
+//! onto the six syntax-error categories of the paper (§3.1, Listing 1) plus
+//! two generic resolution errors:
+//!
+//! | paper type | [`DiagnosticKind`] |
+//! |---|---|
+//! | `aggr-attr` | [`AggrWithoutGroupBy`](DiagnosticKind::AggrWithoutGroupBy) |
+//! | `aggr-having` | [`HavingNonAggregate`](DiagnosticKind::HavingNonAggregate) |
+//! | `nested-mismatch` | [`ScalarSubqueryMultiRow`](DiagnosticKind::ScalarSubqueryMultiRow) |
+//! | `condition-mismatch` | [`ComparisonTypeMismatch`](DiagnosticKind::ComparisonTypeMismatch) |
+//! | `alias-undefined` | [`UndefinedAlias`](DiagnosticKind::UndefinedAlias) |
+//! | `alias-ambiguous` | [`AmbiguousColumn`](DiagnosticKind::AmbiguousColumn) |
+
+use crate::{Column, Schema, SqlType};
+use squ_parser::ast::*;
+use std::collections::HashMap;
+
+/// The kind of semantic problem found by the binder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticKind {
+    /// Aggregate functions mixed with non-aggregated, non-grouped columns
+    /// (paper: `aggr-attr`).
+    AggrWithoutGroupBy,
+    /// `HAVING` filters a column that is neither aggregated nor grouped
+    /// (paper: `aggr-having`).
+    HavingNonAggregate,
+    /// A scalar comparison against a subquery that may return multiple rows
+    /// (paper: `nested-mismatch`).
+    ScalarSubqueryMultiRow,
+    /// Comparison between incompatible types, e.g. numeric vs. string
+    /// (paper: `condition-mismatch`).
+    ComparisonTypeMismatch,
+    /// A qualifier that names no table or alias in scope
+    /// (paper: `alias-undefined`).
+    UndefinedAlias,
+    /// An unqualified column name found in several tables in scope
+    /// (paper: `alias-ambiguous`).
+    AmbiguousColumn,
+    /// Table name not found in the schema (and not a CTE).
+    UnknownTable,
+    /// Column name not found in any table in scope.
+    UnknownColumn,
+}
+
+impl DiagnosticKind {
+    /// The paper's label for this error type, when it is one of the six
+    /// studied categories.
+    pub fn paper_label(&self) -> Option<&'static str> {
+        match self {
+            DiagnosticKind::AggrWithoutGroupBy => Some("aggr-attr"),
+            DiagnosticKind::HavingNonAggregate => Some("aggr-having"),
+            DiagnosticKind::ScalarSubqueryMultiRow => Some("nested-mismatch"),
+            DiagnosticKind::ComparisonTypeMismatch => Some("condition-mismatch"),
+            DiagnosticKind::UndefinedAlias => Some("alias-undefined"),
+            DiagnosticKind::AmbiguousColumn => Some("alias-ambiguous"),
+            DiagnosticKind::UnknownTable | DiagnosticKind::UnknownColumn => None,
+        }
+    }
+}
+
+/// A semantic diagnostic: kind plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub kind: DiagnosticKind,
+    /// Explanation referencing the offending names.
+    pub message: String,
+}
+
+/// Run semantic analysis of `stmt` against `schema`, returning every
+/// diagnostic found (empty = semantically clean).
+pub fn analyze(stmt: &Statement, schema: &Schema) -> Vec<Diagnostic> {
+    let mut b = Binder::new(schema);
+    match stmt {
+        Statement::Query(q) => b.bind_query(q),
+        Statement::CreateTable { source, .. } => {
+            if let Some(q) = source {
+                b.bind_query(q);
+            }
+        }
+        Statement::CreateView { query, .. } => b.bind_query(query),
+    }
+    b.diags
+}
+
+/// One visible relation in a scope: its binding name and (if known) its
+/// columns. `columns == None` marks a relation we could not resolve; later
+/// lookups through it succeed with unknown type so one bad table does not
+/// cascade into dozens of spurious column errors.
+#[derive(Debug, Clone)]
+struct Binding {
+    name: String,
+    columns: Option<Vec<Column>>,
+}
+
+struct Binder<'a> {
+    schema: &'a Schema,
+    /// CTE environments; inner queries see outer CTEs.
+    ctes: Vec<HashMap<String, Vec<Column>>>,
+    /// Scope stack; inner scopes (subqueries) may reference outer ones
+    /// (correlation).
+    scopes: Vec<Vec<Binding>>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> Binder<'a> {
+    fn new(schema: &'a Schema) -> Self {
+        Binder {
+            schema,
+            ctes: vec![HashMap::new()],
+            scopes: Vec::new(),
+            diags: Vec::new(),
+        }
+    }
+
+    fn diag(&mut self, kind: DiagnosticKind, message: String) {
+        self.diags.push(Diagnostic { kind, message });
+    }
+
+    fn lookup_cte(&self, name: &str) -> Option<&Vec<Column>> {
+        self.ctes
+            .iter()
+            .rev()
+            .find_map(|env| env.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)))
+            .map(|(_, v)| v)
+    }
+
+    fn bind_query(&mut self, q: &Query) {
+        self.ctes.push(HashMap::new());
+        for cte in &q.ctes {
+            self.bind_query(&cte.query);
+            let cols = self.infer_output_columns(&cte.query);
+            self.ctes
+                .last_mut()
+                .expect("env pushed above")
+                .insert(cte.name.clone(), cols);
+        }
+        self.bind_set_expr(&q.body, &q.order_by);
+        self.ctes.pop();
+    }
+
+    fn bind_set_expr(&mut self, body: &SetExpr, order_by: &[OrderItem]) {
+        match body {
+            SetExpr::Select(s) => self.bind_select(s, order_by),
+            SetExpr::SetOp { left, right, .. } => {
+                self.bind_set_expr(left, &[]);
+                self.bind_set_expr(right, order_by);
+            }
+        }
+    }
+
+    fn bind_select(&mut self, s: &Select, order_by: &[OrderItem]) {
+        // 1. Build scope from FROM.
+        let mut scope = Vec::new();
+        for tr in &s.from {
+            self.collect_bindings(tr, &mut scope);
+        }
+        self.scopes.push(scope);
+
+        // 2. Join conditions.
+        for tr in &s.from {
+            self.check_join_conditions(tr);
+        }
+
+        // 3. Projection, WHERE, GROUP BY, HAVING, ORDER BY expressions.
+        for item in &s.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.check_expr(expr);
+            }
+        }
+        if let Some(w) = &s.selection {
+            self.check_expr(w);
+        }
+        for g in &s.group_by {
+            self.check_expr(g);
+        }
+        if let Some(h) = &s.having {
+            self.check_expr(h);
+        }
+        // ORDER BY may reference projection aliases and output column
+        // names (which resolve unambiguously to the projected value even
+        // when several scope tables share the name).
+        let output_names: Vec<String> = s
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Expr { alias: Some(a), .. } => Some(a.clone()),
+                SelectItem::Expr {
+                    expr: Expr::Column(c),
+                    ..
+                } => Some(c.name.clone()),
+                _ => None,
+            })
+            .collect();
+        for item in order_by {
+            if let Expr::Column(c) = &item.expr {
+                if c.qualifier.is_none()
+                    && output_names.iter().any(|a| a.eq_ignore_ascii_case(&c.name))
+                {
+                    continue;
+                }
+            }
+            self.check_expr(&item.expr);
+        }
+
+        // 4. Aggregation / grouping rules.
+        self.check_grouping(s);
+
+        self.scopes.pop();
+    }
+
+    fn collect_bindings(&mut self, tr: &TableRef, scope: &mut Vec<Binding>) {
+        match tr {
+            TableRef::Named { name, alias } => {
+                let binding_name = alias.clone().unwrap_or_else(|| name.clone());
+                let columns = if let Some(cols) = self.lookup_cte(name) {
+                    Some(cols.clone())
+                } else if let Some(t) = self.schema.table(name) {
+                    Some(t.columns.clone())
+                } else {
+                    self.diag(
+                        DiagnosticKind::UnknownTable,
+                        format!("table '{name}' not found in schema '{}'", self.schema.name),
+                    );
+                    None
+                };
+                scope.push(Binding {
+                    name: binding_name,
+                    columns,
+                });
+            }
+            TableRef::Derived { query, alias } => {
+                self.bind_query(query);
+                let cols = self.infer_output_columns(query);
+                scope.push(Binding {
+                    name: alias.clone().unwrap_or_default(),
+                    columns: Some(cols),
+                });
+            }
+            TableRef::Join { left, right, .. } => {
+                self.collect_bindings(left, scope);
+                self.collect_bindings(right, scope);
+            }
+        }
+    }
+
+    fn check_join_conditions(&mut self, tr: &TableRef) {
+        if let TableRef::Join {
+            left,
+            right,
+            constraint,
+            ..
+        } = tr
+        {
+            self.check_join_conditions(left);
+            self.check_join_conditions(right);
+            if let JoinConstraint::On(e) = constraint {
+                self.check_expr(e);
+            }
+        }
+    }
+
+    // ----- column resolution -----
+
+    /// Resolve a column reference, emitting diagnostics; returns its type if
+    /// known.
+    fn resolve_column(&mut self, c: &ColumnRef) -> Option<SqlType> {
+        match &c.qualifier {
+            Some(q) => {
+                // innermost scope containing the binding wins
+                for scope in self.scopes.iter().rev() {
+                    if let Some(b) = scope.iter().find(|b| b.name.eq_ignore_ascii_case(q)) {
+                        return match &b.columns {
+                            Some(cols) => {
+                                match cols
+                                    .iter()
+                                    .find(|col| col.name.eq_ignore_ascii_case(&c.name))
+                                {
+                                    Some(col) => Some(col.ty),
+                                    None => {
+                                        let q = q.clone();
+                                        let name = c.name.clone();
+                                        self.diag(
+                                            DiagnosticKind::UnknownColumn,
+                                            format!("column '{name}' not found in '{q}'"),
+                                        );
+                                        None
+                                    }
+                                }
+                            }
+                            None => None, // unknown table: suppress cascade
+                        };
+                    }
+                }
+                let q = q.clone();
+                self.diag(
+                    DiagnosticKind::UndefinedAlias,
+                    format!("alias or table '{q}' is not defined in this scope"),
+                );
+                None
+            }
+            None => {
+                // search scopes inner -> outer; ambiguity only within one scope
+                for scope in self.scopes.iter().rev() {
+                    let mut matches: Vec<(String, Option<SqlType>)> = Vec::new();
+                    let mut any_unknown = false;
+                    for b in scope {
+                        match &b.columns {
+                            Some(cols) => {
+                                if let Some(col) = cols
+                                    .iter()
+                                    .find(|col| col.name.eq_ignore_ascii_case(&c.name))
+                                {
+                                    matches.push((b.name.clone(), Some(col.ty)));
+                                }
+                            }
+                            None => any_unknown = true,
+                        }
+                    }
+                    match matches.len() {
+                        0 => {
+                            if any_unknown {
+                                // could belong to the unresolved table
+                                return None;
+                            }
+                        }
+                        1 => return matches[0].1,
+                        _ => {
+                            let name = c.name.clone();
+                            let holders: Vec<String> =
+                                matches.iter().map(|(n, _)| n.clone()).collect();
+                            self.diag(
+                                DiagnosticKind::AmbiguousColumn,
+                                format!(
+                                    "column '{name}' is ambiguous; found in {}",
+                                    holders.join(", ")
+                                ),
+                            );
+                            return matches[0].1;
+                        }
+                    }
+                }
+                if !self.scopes.is_empty() {
+                    let name = c.name.clone();
+                    self.diag(
+                        DiagnosticKind::UnknownColumn,
+                        format!("column '{name}' not found in any table in scope"),
+                    );
+                }
+                None
+            }
+        }
+    }
+
+    // ----- expression checking & type inference -----
+
+    /// Check an expression tree: resolve columns, check comparisons, and
+    /// recurse into subqueries. Returns the inferred type if known.
+    fn check_expr(&mut self, e: &Expr) -> Option<SqlType> {
+        match e {
+            Expr::Column(c) => self.resolve_column(c),
+            Expr::Literal(l) => literal_type(l),
+            Expr::Compare { op: _, left, right } => {
+                let lt = self.check_expr(left);
+                let rt = self.check_expr(right);
+                self.check_comparable(lt, rt, left, right);
+                self.check_scalar_subquery_cardinality(left);
+                self.check_scalar_subquery_cardinality(right);
+                Some(SqlType::Bool)
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                self.check_expr(a);
+                self.check_expr(b);
+                Some(SqlType::Bool)
+            }
+            Expr::Not(inner) => {
+                self.check_expr(inner);
+                Some(SqlType::Bool)
+            }
+            Expr::IsNull { expr, .. } => {
+                self.check_expr(expr);
+                Some(SqlType::Bool)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                let t = self.check_expr(expr);
+                let lt = self.check_expr(low);
+                let ht = self.check_expr(high);
+                self.check_comparable(t, lt, expr, low);
+                self.check_comparable(t, ht, expr, high);
+                Some(SqlType::Bool)
+            }
+            Expr::InList { expr, list, .. } => {
+                let t = self.check_expr(expr);
+                for item in list {
+                    let it = self.check_expr(item);
+                    self.check_comparable(t, it, expr, item);
+                }
+                Some(SqlType::Bool)
+            }
+            Expr::InSubquery { expr, subquery, .. } => {
+                let t = self.check_expr(expr);
+                self.bind_query(subquery);
+                let sub_cols = self.infer_output_columns(subquery);
+                if let (Some(t), Some(first)) = (t, sub_cols.first()) {
+                    if !t.comparable_with(first.ty) {
+                        self.diag(
+                            DiagnosticKind::ComparisonTypeMismatch,
+                            format!(
+                                "IN compares {t} with subquery column '{}' of type {}",
+                                first.name, first.ty
+                            ),
+                        );
+                    }
+                }
+                Some(SqlType::Bool)
+            }
+            Expr::Exists { subquery, .. } => {
+                self.bind_query(subquery);
+                Some(SqlType::Bool)
+            }
+            Expr::ScalarSubquery(q) => {
+                self.bind_query(q);
+                self.infer_output_columns(q).first().map(|c| c.ty)
+            }
+            Expr::Like { expr, pattern, .. } => {
+                self.check_expr(expr);
+                self.check_expr(pattern);
+                Some(SqlType::Bool)
+            }
+            Expr::Function { name, args, .. } => {
+                for a in args {
+                    if !matches!(a, Expr::Wildcard) {
+                        self.check_expr(a);
+                    }
+                }
+                Some(function_type(name, args, |arg| self.infer_type_quiet(arg)))
+            }
+            Expr::Wildcard => None,
+            Expr::Arith { left, right, .. } => {
+                self.check_expr(left);
+                self.check_expr(right);
+                Some(SqlType::Float)
+            }
+            Expr::Neg(inner) => {
+                self.check_expr(inner);
+                Some(SqlType::Float)
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(op) = operand {
+                    self.check_expr(op);
+                }
+                let mut out = None;
+                for (w, t) in branches {
+                    self.check_expr(w);
+                    let tt = self.check_expr(t);
+                    out = out.or(tt);
+                }
+                if let Some(e) = else_expr {
+                    let tt = self.check_expr(e);
+                    out = out.or(tt);
+                }
+                out
+            }
+            Expr::Cast { expr, type_name } => {
+                self.check_expr(expr);
+                Some(SqlType::from_name(type_name))
+            }
+        }
+    }
+
+    /// Type of an expression without emitting diagnostics (used inside
+    /// function-type inference to avoid double-reporting).
+    fn infer_type_quiet(&mut self, e: &Expr) -> Option<SqlType> {
+        match e {
+            Expr::Column(c) => {
+                let before = self.diags.len();
+                let t = self.resolve_column(c);
+                self.diags.truncate(before);
+                t
+            }
+            Expr::Literal(l) => literal_type(l),
+            Expr::Cast { type_name, .. } => Some(SqlType::from_name(type_name)),
+            Expr::Arith { .. } | Expr::Neg(_) => Some(SqlType::Float),
+            _ => None,
+        }
+    }
+
+    fn check_comparable(
+        &mut self,
+        lt: Option<SqlType>,
+        rt: Option<SqlType>,
+        left: &Expr,
+        right: &Expr,
+    ) {
+        if let (Some(a), Some(b)) = (lt, rt) {
+            if !a.comparable_with(b) {
+                self.diag(
+                    DiagnosticKind::ComparisonTypeMismatch,
+                    format!(
+                        "cannot compare {a} ({}) with {b} ({})",
+                        squ_parser::print_expr(left),
+                        squ_parser::print_expr(right)
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_scalar_subquery_cardinality(&mut self, e: &Expr) {
+        if let Expr::ScalarSubquery(q) = e {
+            if may_return_multiple_rows(q) {
+                self.diag(
+                    DiagnosticKind::ScalarSubqueryMultiRow,
+                    format!(
+                        "scalar subquery ({}) may return more than one row",
+                        squ_parser::print_query(q)
+                    ),
+                );
+            }
+        }
+    }
+
+    // ----- grouping rules -----
+
+    fn check_grouping(&mut self, s: &Select) {
+        let has_aggregate = s
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || s.having.as_ref().is_some_and(|h| h.contains_aggregate());
+        let grouped = !s.group_by.is_empty();
+
+        if has_aggregate || grouped {
+            // every bare column in the projection must be grouped
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    let mut bare = Vec::new();
+                    collect_nonaggregate_columns(expr, &mut bare);
+                    for c in bare {
+                        if !group_by_covers(&s.group_by, &c) {
+                            self.diag(
+                                DiagnosticKind::AggrWithoutGroupBy,
+                                format!(
+                                    "column '{c}' must appear in GROUP BY or inside an aggregate"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(h) = &s.having {
+            // HAVING may reference aggregates and grouped columns only.
+            let mut bare = Vec::new();
+            collect_nonaggregate_columns(h, &mut bare);
+            for c in bare {
+                if !group_by_covers(&s.group_by, &c) {
+                    self.diag(
+                        DiagnosticKind::HavingNonAggregate,
+                        format!(
+                            "HAVING references '{c}', which is neither aggregated nor in GROUP BY (use WHERE instead)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // ----- output column inference (for derived tables / CTEs) -----
+
+    fn infer_output_columns(&mut self, q: &Query) -> Vec<Column> {
+        // Build the query's own scope quietly to type its projection.
+        let mut out = Vec::new();
+        let select = match &q.body {
+            SetExpr::Select(s) => s,
+            SetExpr::SetOp { left, .. } => {
+                // output schema = left branch's schema
+                let mut cur = left;
+                loop {
+                    match &**cur {
+                        SetExpr::Select(s) => break s,
+                        SetExpr::SetOp { left, .. } => cur = left,
+                    }
+                }
+            }
+        };
+        let mut scope = Vec::new();
+        let before = self.diags.len();
+        for tr in &select.from {
+            self.collect_bindings(tr, &mut scope);
+        }
+        self.diags.truncate(before); // quiet pass
+        self.scopes.push(scope);
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    let scope = self.scopes.last().expect("pushed above").clone();
+                    for b in &scope {
+                        if let Some(cols) = &b.columns {
+                            out.extend(cols.iter().cloned());
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let scope = self.scopes.last().expect("pushed above").clone();
+                    if let Some(b) = scope.iter().find(|b| b.name.eq_ignore_ascii_case(q)) {
+                        if let Some(cols) = &b.columns {
+                            out.extend(cols.iter().cloned());
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias.clone().unwrap_or_else(|| match expr {
+                        Expr::Column(c) => c.name.clone(),
+                        Expr::Function { name, .. } => name.clone(),
+                        _ => "expr".to_string(),
+                    });
+                    let before = self.diags.len();
+                    let ty = self.check_expr(expr).unwrap_or(SqlType::Float);
+                    self.diags.truncate(before); // quiet pass
+                    out.push(Column::new(&name, ty));
+                }
+            }
+        }
+        self.scopes.pop();
+        out
+    }
+}
+
+fn literal_type(l: &Literal) -> Option<SqlType> {
+    match l {
+        Literal::Number(_) => Some(SqlType::Float),
+        Literal::String(_) => Some(SqlType::Text),
+        Literal::Bool(_) => Some(SqlType::Bool),
+        Literal::Null => None,
+    }
+}
+
+/// Result type of a function call. `arg_type` is consulted lazily for the
+/// aggregate functions whose type follows their argument.
+fn function_type(
+    name: &str,
+    args: &[Expr],
+    arg_type: impl FnMut(&Expr) -> Option<SqlType>,
+) -> SqlType {
+    match name.to_ascii_uppercase().as_str() {
+        "COUNT" => SqlType::Int,
+        "SUM" | "AVG" | "MIN" | "MAX" => args.first().and_then(arg_type).unwrap_or(SqlType::Float),
+        "UPPER" | "LOWER" | "SUBSTR" | "SUBSTRING" | "TRIM" | "CONCAT" | "LEFT" | "RIGHT"
+        | "REPLACE" | "LTRIM" | "RTRIM" | "STR" => SqlType::Text,
+        "LEN" | "LENGTH" | "CHARINDEX" | "DATALENGTH" => SqlType::Int,
+        _ => SqlType::Float,
+    }
+}
+
+/// Conservative cardinality analysis for scalar subqueries: a subquery is
+/// single-row when it is `LIMIT 1`/`TOP 1`, or an ungrouped aggregate-only
+/// projection. Everything else *may* return multiple rows.
+pub fn may_return_multiple_rows(q: &Query) -> bool {
+    if q.limit == Some(1) {
+        return false;
+    }
+    if let SetExpr::Select(s) = &q.body {
+        if s.top == Some(1) {
+            return false;
+        }
+        if s.group_by.is_empty()
+            && !s.items.is_empty()
+            && s.items
+                .iter()
+                .all(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.is_aggregate_call()))
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Collect columns that appear outside any aggregate call (and outside
+/// subqueries — those have their own grouping context).
+fn collect_nonaggregate_columns(e: &Expr, out: &mut Vec<ColumnRef>) {
+    match e {
+        Expr::Column(c) => out.push(c.clone()),
+        Expr::Function { name, args, .. } => {
+            if !is_aggregate_name(name) {
+                for a in args {
+                    collect_nonaggregate_columns(a, out);
+                }
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_nonaggregate_columns(expr, out),
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+        other => other.for_each_child(&mut |c| collect_nonaggregate_columns(c, out)),
+    }
+}
+
+/// Does the GROUP BY list cover column `c`? Qualifiers are compared only
+/// when both sides carry one (matching SQL's name-resolution leniency).
+fn group_by_covers(group_by: &[Expr], c: &ColumnRef) -> bool {
+    group_by.iter().any(|g| match g {
+        Expr::Column(gc) => {
+            gc.name.eq_ignore_ascii_case(&c.name)
+                && match (&gc.qualifier, &c.qualifier) {
+                    (Some(a), Some(b)) => a.eq_ignore_ascii_case(b),
+                    _ => true,
+                }
+        }
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::sdss;
+    use squ_parser::parse;
+
+    fn kinds(sql: &str) -> Vec<DiagnosticKind> {
+        let stmt = parse(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
+        analyze(&stmt, &sdss())
+            .into_iter()
+            .map(|d| d.kind)
+            .collect()
+    }
+
+    #[test]
+    fn clean_queries_have_no_diagnostics() {
+        for sql in [
+            "SELECT plate, mjd FROM SpecObj WHERE z > 0.5",
+            "SELECT s.plate, p.ra FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+            "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate HAVING COUNT(*) > 10",
+            "SELECT class, AVG(z) FROM SpecObj GROUP BY class",
+            "SELECT fiberid FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj WHERE ra > 180)",
+            "WITH h AS (SELECT plate, z FROM SpecObj WHERE z > 1) SELECT plate FROM h WHERE z < 2",
+            "SELECT plate FROM SpecObj WHERE z = (SELECT MAX(z) FROM SpecObj)",
+            "SELECT TOP 10 ra, dec FROM PhotoObj ORDER BY ra",
+            "SELECT COUNT(*) AS n FROM SpecObj",
+        ] {
+            assert_eq!(kinds(sql), vec![], "expected clean: {sql}");
+        }
+    }
+
+    #[test]
+    fn paper_q1_aggr_attr() {
+        // Listing 1 Q1: aggregation without GROUP BY
+        let ks = kinds("SELECT plate, mjd, COUNT(*), AVG(z) FROM SpecObj WHERE z > 0.5");
+        assert!(ks.contains(&DiagnosticKind::AggrWithoutGroupBy), "{ks:?}");
+    }
+
+    #[test]
+    fn paper_q2_aggr_having() {
+        // Listing 1 Q2: HAVING on a non-aggregated column
+        let ks = kinds(
+            "SELECT plate, COUNT(*) AS NumSpectra FROM SpecObj GROUP BY plate HAVING z > 0.5",
+        );
+        assert!(ks.contains(&DiagnosticKind::HavingNonAggregate), "{ks:?}");
+    }
+
+    #[test]
+    fn paper_q3_nested_mismatch() {
+        // Listing 1 Q3: scalar subquery may return multiple rows
+        let ks = kinds(
+            "SELECT p.ra, p.dec, s.z FROM PhotoObj AS p JOIN SpecObj AS s ON s.bestobjid = (SELECT bestobjid FROM SpecObj)",
+        );
+        assert!(
+            ks.contains(&DiagnosticKind::ScalarSubqueryMultiRow),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn paper_q4_condition_mismatch() {
+        // Listing 1 Q4: numeric column compared to string
+        let ks = kinds("SELECT plate, mjd, fiberid FROM SpecObj WHERE z = 'high'");
+        assert!(
+            ks.contains(&DiagnosticKind::ComparisonTypeMismatch),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn paper_q5_alias_undefined() {
+        // Listing 1 Q5: `photoobj` qualifier after aliasing to `p`
+        let ks = kinds(
+            "SELECT s.plate, s.mjd, z FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = photoobj.bestobjid",
+        );
+        assert!(ks.contains(&DiagnosticKind::UndefinedAlias), "{ks:?}");
+    }
+
+    #[test]
+    fn paper_q6_alias_ambiguous() {
+        // Listing 1 Q6: `bestobjid` exists in both joined tables
+        let ks = kinds(
+            "SELECT plate, fiberid FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.bestobjid WHERE bestobjid > 1000",
+        );
+        assert!(ks.contains(&DiagnosticKind::AmbiguousColumn), "{ks:?}");
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        assert!(kinds("SELECT x FROM NoSuchTable").contains(&DiagnosticKind::UnknownTable));
+        assert!(kinds("SELECT nosuchcolumn FROM SpecObj").contains(&DiagnosticKind::UnknownColumn));
+    }
+
+    #[test]
+    fn unknown_table_does_not_cascade_column_errors() {
+        let ks = kinds("SELECT a, b, c FROM NoSuchTable WHERE d > 1");
+        assert_eq!(
+            ks,
+            vec![DiagnosticKind::UnknownTable],
+            "one diagnostic only, no cascade"
+        );
+    }
+
+    #[test]
+    fn correlated_subquery_sees_outer_alias() {
+        let ks = kinds(
+            "SELECT s.plate FROM SpecObj AS s WHERE EXISTS (SELECT 1 FROM PhotoObj AS p WHERE p.bestobjid = s.bestobjid)",
+        );
+        assert_eq!(ks, vec![]);
+    }
+
+    #[test]
+    fn scalar_subquery_with_aggregate_or_limit_is_fine() {
+        assert_eq!(
+            kinds("SELECT plate FROM SpecObj WHERE z = (SELECT MAX(z) FROM SpecObj)"),
+            vec![]
+        );
+        assert_eq!(
+            kinds("SELECT plate FROM SpecObj WHERE z > (SELECT z FROM SpecObj ORDER BY z DESC LIMIT 1)"),
+            vec![]
+        );
+        assert_eq!(
+            kinds(
+                "SELECT plate FROM SpecObj WHERE z > (SELECT TOP 1 z FROM SpecObj ORDER BY z DESC)"
+            ),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn group_by_qualified_covers_unqualified() {
+        assert_eq!(
+            kinds("SELECT s.plate, COUNT(*) FROM SpecObj AS s GROUP BY plate"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn derived_table_columns_visible() {
+        assert_eq!(
+            kinds("SELECT d.plate FROM (SELECT plate FROM SpecObj WHERE z > 1) AS d"),
+            vec![]
+        );
+        assert!(kinds("SELECT d.mjd FROM (SELECT plate FROM SpecObj) AS d")
+            .contains(&DiagnosticKind::UnknownColumn));
+    }
+
+    #[test]
+    fn in_subquery_type_mismatch() {
+        let ks = kinds("SELECT plate FROM SpecObj WHERE z IN (SELECT class FROM SpecObj)");
+        assert!(
+            ks.contains(&DiagnosticKind::ComparisonTypeMismatch),
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn order_by_alias_is_visible() {
+        assert_eq!(
+            kinds("SELECT COUNT(*) AS n, plate FROM SpecObj GROUP BY plate ORDER BY n DESC"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn paper_labels() {
+        assert_eq!(
+            DiagnosticKind::AggrWithoutGroupBy.paper_label(),
+            Some("aggr-attr")
+        );
+        assert_eq!(DiagnosticKind::UnknownTable.paper_label(), None);
+    }
+}

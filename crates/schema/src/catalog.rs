@@ -1,0 +1,160 @@
+//! Relational catalog: schemas, tables, and columns.
+//!
+//! All name lookups are case-insensitive, matching the behaviour of the
+//! engines behind the original workloads (SQL Server for SDSS/SQLShare,
+//! PostgreSQL with default folding for JOB).
+
+use crate::SqlType;
+
+/// A column: name plus type class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name as declared.
+    pub name: String,
+    /// Type class.
+    pub ty: SqlType,
+}
+
+impl Column {
+    /// Construct a column.
+    pub fn new(name: &str, ty: SqlType) -> Self {
+        Column {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// A base table: name, columns, and an estimated cardinality used by the
+/// cost model and the witness-database generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name as declared.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Estimated base cardinality (rows). Drives the engine's cost model;
+    /// roughly scaled from the real workloads' table sizes.
+    pub row_count: u64,
+}
+
+impl Table {
+    /// Construct a table from `(name, type)` column pairs.
+    pub fn new(name: &str, row_count: u64, cols: &[(&str, SqlType)]) -> Self {
+        Table {
+            name: name.to_string(),
+            columns: cols.iter().map(|(n, t)| Column::new(n, *t)).collect(),
+            row_count,
+        }
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Does the table have a column with this name (case-insensitive)?
+    pub fn has_column(&self, name: &str) -> bool {
+        self.column(name).is_some()
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+}
+
+/// A database schema: a named collection of tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Schema (database) name.
+    pub name: String,
+    /// Tables.
+    pub tables: Vec<Table>,
+}
+
+impl Schema {
+    /// Construct an empty schema.
+    pub fn new(name: &str) -> Self {
+        Schema {
+            name: name.to_string(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Add a table (builder style).
+    pub fn with_table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Case-insensitive table lookup.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Does the schema contain this table (case-insensitive)?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.table(name).is_some()
+    }
+
+    /// All tables that contain a column with the given name — the input to
+    /// ambiguity detection.
+    pub fn tables_with_column<'a>(&'a self, col: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.tables.iter().filter(move |t| t.has_column(col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new("test")
+            .with_table(Table::new(
+                "SpecObj",
+                1000,
+                &[
+                    ("specobjid", SqlType::Int),
+                    ("bestobjid", SqlType::Int),
+                    ("plate", SqlType::Int),
+                    ("z", SqlType::Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "PhotoObj",
+                5000,
+                &[
+                    ("objid", SqlType::Int),
+                    ("bestobjid", SqlType::Int),
+                    ("ra", SqlType::Float),
+                ],
+            ))
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = sample();
+        assert!(s.table("specobj").is_some());
+        assert!(s.table("SPECOBJ").is_some());
+        assert!(s.table("nope").is_none());
+        let t = s.table("SpecObj").unwrap();
+        assert_eq!(t.column("PLATE").unwrap().ty, SqlType::Int);
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    fn ambiguity_source() {
+        let s = sample();
+        let holders: Vec<_> = s
+            .tables_with_column("bestobjid")
+            .map(|t| t.name.as_str())
+            .collect();
+        assert_eq!(holders, vec!["SpecObj", "PhotoObj"]);
+        assert_eq!(s.tables_with_column("plate").count(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # squ-schema — catalogs, workload schemas, and the semantic analyzer
+//!
+//! This crate provides:
+//!
+//! * the relational **catalog** model ([`Schema`], [`Table`], [`Column`],
+//!   [`SqlType`]) with case-insensitive lookups and cardinality estimates;
+//! * the four benchmark **workload schemas** ([`schemas::sdss`],
+//!   [`schemas::imdb`], [`schemas::sqlshare_zoo`], [`schemas::spider_zoo`]);
+//! * the **binder** ([`analyze`]) — a scope-aware semantic analyzer whose
+//!   diagnostics map one-to-one onto the paper's six syntax-error types.
+//!
+//! ```
+//! use squ_schema::{analyze, schemas::sdss, DiagnosticKind};
+//! let stmt = squ_parser::parse("SELECT plate, mjd, fiberid FROM SpecObj WHERE z = 'high'").unwrap();
+//! let diags = analyze(&stmt, &sdss());
+//! assert_eq!(diags[0].kind, DiagnosticKind::ComparisonTypeMismatch);
+//! ```
+
+#![warn(missing_docs)]
+
+mod binder;
+mod catalog;
+pub mod schemas;
+mod types;
+
+pub use binder::{analyze, may_return_multiple_rows, Diagnostic, DiagnosticKind};
+pub use catalog::{Column, Schema, Table};
+pub use types::SqlType;

@@ -1,0 +1,986 @@
+//! The four workloads' database schemas.
+//!
+//! * [`sdss`] — the Sloan Digital Sky Survey "BestDR" subset that the vast
+//!   majority of logged SDSS queries touch (SpecObj, PhotoObj, …), with
+//!   deliberately overlapping column names (`bestobjid`, `ra`, `dec`) that
+//!   make alias-ambiguity errors realistic.
+//! * [`imdb`] — the full 21-table IMDB schema of the Join-Order Benchmark.
+//! * [`sqlshare_zoo`] — a zoo of small single-user databases mirroring
+//!   SQLShare's defining property: *many* distinct schemas with short table
+//!   names and heavy aliasing.
+//! * [`spider_zoo`] — cross-domain Spider databases, including the exact
+//!   domains behind the paper's Q15–Q18 case study (college tryouts,
+//!   transcripts, concerts, cars).
+//!
+//! Cardinalities are order-of-magnitude scale models of the real data,
+//! which is all the cost model needs.
+
+use crate::{Schema, SqlType, Table};
+use SqlType::{Float, Int, Text};
+
+/// SDSS BestDR subset (8 tables).
+pub fn sdss() -> Schema {
+    Schema::new("sdss")
+        .with_table(Table::new(
+            "SpecObj",
+            2_000_000,
+            &[
+                ("specobjid", Int),
+                ("bestobjid", Int),
+                ("plate", Int),
+                ("mjd", Int),
+                ("fiberid", Int),
+                ("z", Float),
+                ("zerr", Float),
+                ("zwarning", Int),
+                ("ra", Float),
+                ("dec", Float),
+                ("class", Text),
+                ("subclass", Text),
+                ("veldisp", Float),
+                ("snmedian", Float),
+            ],
+        ))
+        .with_table(Table::new(
+            "PhotoObj",
+            80_000_000,
+            &[
+                ("objid", Int),
+                ("bestobjid", Int),
+                ("ra", Float),
+                ("dec", Float),
+                ("run", Int),
+                ("rerun", Int),
+                ("camcol", Int),
+                ("field", Int),
+                ("type", Int),
+                ("mode", Int),
+                ("psfmag_r", Float),
+                ("modelmag_u", Float),
+                ("modelmag_g", Float),
+                ("modelmag_r", Float),
+                ("modelmag_i", Float),
+                ("modelmag_z", Float),
+                ("petrorad_r", Float),
+                ("extinction_r", Float),
+                ("flags", Int),
+                ("clean", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "Galaxy",
+            30_000_000,
+            &[
+                ("objid", Int),
+                ("ra", Float),
+                ("dec", Float),
+                ("modelmag_r", Float),
+                ("petrorad_r", Float),
+                ("fracdev_r", Float),
+                ("expab_r", Float),
+                ("flags", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "Star",
+            40_000_000,
+            &[
+                ("objid", Int),
+                ("ra", Float),
+                ("dec", Float),
+                ("psfmag_u", Float),
+                ("psfmag_g", Float),
+                ("psfmag_r", Float),
+                ("flags", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "SpecPhotoAll",
+            2_000_000,
+            &[
+                ("specobjid", Int),
+                ("objid", Int),
+                ("z", Float),
+                ("class", Text),
+                ("plate", Int),
+                ("mjd", Int),
+                ("fiberid", Int),
+                ("modelmag_r", Float),
+            ],
+        ))
+        .with_table(Table::new(
+            "PhotoTag",
+            80_000_000,
+            &[
+                ("objid", Int),
+                ("ra", Float),
+                ("dec", Float),
+                ("type", Int),
+                ("modelmag_r", Float),
+            ],
+        ))
+        .with_table(Table::new(
+            "Neighbors",
+            300_000_000,
+            &[
+                ("objid", Int),
+                ("neighborobjid", Int),
+                ("distance", Float),
+                ("type", Int),
+                ("neighbortype", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "Field",
+            1_000_000,
+            &[
+                ("fieldid", Int),
+                ("run", Int),
+                ("camcol", Int),
+                ("field", Int),
+                ("ra", Float),
+                ("dec", Float),
+                ("quality", Int),
+            ],
+        ))
+}
+
+/// IMDB schema of the Join-Order Benchmark (all 21 tables).
+pub fn imdb() -> Schema {
+    Schema::new("imdb")
+        .with_table(Table::new(
+            "title",
+            2_528_312,
+            &[
+                ("id", Int),
+                ("title", Text),
+                ("imdb_index", Text),
+                ("kind_id", Int),
+                ("production_year", Int),
+                ("phonetic_code", Text),
+                ("episode_of_id", Int),
+                ("season_nr", Int),
+                ("episode_nr", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "movie_companies",
+            2_609_129,
+            &[
+                ("id", Int),
+                ("movie_id", Int),
+                ("company_id", Int),
+                ("company_type_id", Int),
+                ("note", Text),
+            ],
+        ))
+        .with_table(Table::new(
+            "company_name",
+            234_997,
+            &[
+                ("id", Int),
+                ("name", Text),
+                ("country_code", Text),
+                ("imdb_id", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "company_type",
+            4,
+            &[("id", Int), ("kind", Text)],
+        ))
+        .with_table(Table::new(
+            "movie_info",
+            14_835_720,
+            &[
+                ("id", Int),
+                ("movie_id", Int),
+                ("info_type_id", Int),
+                ("info", Text),
+                ("note", Text),
+            ],
+        ))
+        .with_table(Table::new(
+            "movie_info_idx",
+            1_380_035,
+            &[
+                ("id", Int),
+                ("movie_id", Int),
+                ("info_type_id", Int),
+                ("info", Text),
+            ],
+        ))
+        .with_table(Table::new("info_type", 113, &[("id", Int), ("info", Text)]))
+        .with_table(Table::new(
+            "cast_info",
+            36_244_344,
+            &[
+                ("id", Int),
+                ("person_id", Int),
+                ("movie_id", Int),
+                ("person_role_id", Int),
+                ("note", Text),
+                ("nr_order", Int),
+                ("role_id", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "name",
+            4_167_491,
+            &[
+                ("id", Int),
+                ("name", Text),
+                ("imdb_index", Text),
+                ("gender", Text),
+                ("name_pcode_cf", Text),
+            ],
+        ))
+        .with_table(Table::new(
+            "aka_name",
+            901_343,
+            &[("id", Int), ("person_id", Int), ("name", Text)],
+        ))
+        .with_table(Table::new(
+            "char_name",
+            3_140_339,
+            &[("id", Int), ("name", Text), ("imdb_index", Text)],
+        ))
+        .with_table(Table::new("role_type", 12, &[("id", Int), ("role", Text)]))
+        .with_table(Table::new(
+            "movie_keyword",
+            4_523_930,
+            &[("id", Int), ("movie_id", Int), ("keyword_id", Int)],
+        ))
+        .with_table(Table::new(
+            "keyword",
+            134_170,
+            &[("id", Int), ("keyword", Text), ("phonetic_code", Text)],
+        ))
+        .with_table(Table::new(
+            "person_info",
+            2_963_664,
+            &[
+                ("id", Int),
+                ("person_id", Int),
+                ("info_type_id", Int),
+                ("info", Text),
+                ("note", Text),
+            ],
+        ))
+        .with_table(Table::new(
+            "movie_link",
+            29_997,
+            &[
+                ("id", Int),
+                ("movie_id", Int),
+                ("linked_movie_id", Int),
+                ("link_type_id", Int),
+            ],
+        ))
+        .with_table(Table::new("link_type", 18, &[("id", Int), ("link", Text)]))
+        .with_table(Table::new(
+            "aka_title",
+            361_472,
+            &[
+                ("id", Int),
+                ("movie_id", Int),
+                ("title", Text),
+                ("kind_id", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "complete_cast",
+            135_086,
+            &[
+                ("id", Int),
+                ("movie_id", Int),
+                ("subject_id", Int),
+                ("status_id", Int),
+            ],
+        ))
+        .with_table(Table::new(
+            "comp_cast_type",
+            4,
+            &[("id", Int), ("kind", Text)],
+        ))
+        .with_table(Table::new("kind_type", 7, &[("id", Int), ("kind", Text)]))
+}
+
+/// SQLShare-style zoo: twelve small user databases across varied domains.
+pub fn sqlshare_zoo() -> Vec<Schema> {
+    vec![
+        Schema::new("oceanography")
+            .with_table(Table::new(
+                "samples",
+                50_000,
+                &[
+                    ("sample_id", Int),
+                    ("cruise_id", Int),
+                    ("depth", Float),
+                    ("temp", Float),
+                    ("salinity", Float),
+                    ("lat", Float),
+                    ("lon", Float),
+                    ("collected", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "cruises",
+                400,
+                &[
+                    ("cruise_id", Int),
+                    ("vessel", Text),
+                    ("year", Int),
+                    ("region", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "stations",
+                1_200,
+                &[
+                    ("station_id", Int),
+                    ("cruise_id", Int),
+                    ("lat", Float),
+                    ("lon", Float),
+                ],
+            )),
+        Schema::new("genomics")
+            .with_table(Table::new(
+                "genes",
+                25_000,
+                &[
+                    ("gene_id", Int),
+                    ("symbol", Text),
+                    ("chromosome", Text),
+                    ("start_pos", Int),
+                    ("end_pos", Int),
+                    ("strand", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "expression",
+                900_000,
+                &[
+                    ("gene_id", Int),
+                    ("sample_id", Int),
+                    ("tpm", Float),
+                    ("fold_change", Float),
+                    ("pvalue", Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "samples",
+                600,
+                &[
+                    ("sample_id", Int),
+                    ("tissue", Text),
+                    ("condition", Text),
+                    ("batch", Int),
+                ],
+            )),
+        Schema::new("citybikes")
+            .with_table(Table::new(
+                "trips",
+                2_000_000,
+                &[
+                    ("trip_id", Int),
+                    ("bike_id", Int),
+                    ("start_station", Int),
+                    ("end_station", Int),
+                    ("duration", Int),
+                    ("started", Text),
+                    ("member", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "stations",
+                800,
+                &[
+                    ("station_id", Int),
+                    ("name", Text),
+                    ("docks", Int),
+                    ("lat", Float),
+                    ("lon", Float),
+                ],
+            )),
+        Schema::new("retail")
+            .with_table(Table::new(
+                "orders",
+                500_000,
+                &[
+                    ("order_id", Int),
+                    ("customer_id", Int),
+                    ("order_date", Text),
+                    ("total", Float),
+                    ("status", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "order_items",
+                1_800_000,
+                &[
+                    ("order_id", Int),
+                    ("product_id", Int),
+                    ("quantity", Int),
+                    ("unit_price", Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "products",
+                12_000,
+                &[
+                    ("product_id", Int),
+                    ("name", Text),
+                    ("category", Text),
+                    ("price", Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "customers",
+                60_000,
+                &[
+                    ("customer_id", Int),
+                    ("name", Text),
+                    ("city", Text),
+                    ("segment", Text),
+                ],
+            )),
+        Schema::new("sensors")
+            .with_table(Table::new(
+                "readings",
+                5_000_000,
+                &[
+                    ("reading_id", Int),
+                    ("sensor_id", Int),
+                    ("ts", Text),
+                    ("value", Float),
+                    ("quality", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "sensors",
+                2_000,
+                &[
+                    ("sensor_id", Int),
+                    ("kind", Text),
+                    ("building", Text),
+                    ("floor", Int),
+                ],
+            )),
+        Schema::new("courses")
+            .with_table(Table::new(
+                "enrollments",
+                150_000,
+                &[
+                    ("student_id", Int),
+                    ("course_id", Int),
+                    ("term", Text),
+                    ("grade", Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "students",
+                20_000,
+                &[
+                    ("student_id", Int),
+                    ("name", Text),
+                    ("major", Text),
+                    ("year", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "courses",
+                900,
+                &[
+                    ("course_id", Int),
+                    ("title", Text),
+                    ("dept", Text),
+                    ("credits", Int),
+                ],
+            )),
+        Schema::new("hospital")
+            .with_table(Table::new(
+                "visits",
+                300_000,
+                &[
+                    ("visit_id", Int),
+                    ("patient_id", Int),
+                    ("admitted", Text),
+                    ("ward", Text),
+                    ("cost", Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "patients",
+                40_000,
+                &[
+                    ("patient_id", Int),
+                    ("name", Text),
+                    ("age", Int),
+                    ("city", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "diagnoses",
+                450_000,
+                &[("visit_id", Int), ("code", Text), ("severity", Int)],
+            )),
+        Schema::new("weather")
+            .with_table(Table::new(
+                "observations",
+                3_000_000,
+                &[
+                    ("station_id", Int),
+                    ("obs_date", Text),
+                    ("tmax", Float),
+                    ("tmin", Float),
+                    ("precip", Float),
+                    ("wind", Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "stations",
+                1_500,
+                &[
+                    ("station_id", Int),
+                    ("name", Text),
+                    ("state", Text),
+                    ("elevation", Float),
+                ],
+            )),
+        Schema::new("finance")
+            .with_table(Table::new(
+                "trades",
+                4_000_000,
+                &[
+                    ("trade_id", Int),
+                    ("symbol", Text),
+                    ("price", Float),
+                    ("volume", Int),
+                    ("side", Text),
+                    ("traded_at", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "companies",
+                5_000,
+                &[
+                    ("symbol", Text),
+                    ("name", Text),
+                    ("sector", Text),
+                    ("market_cap", Float),
+                ],
+            )),
+        Schema::new("socialnet")
+            .with_table(Table::new(
+                "posts",
+                1_200_000,
+                &[
+                    ("post_id", Int),
+                    ("user_id", Int),
+                    ("created", Text),
+                    ("likes", Int),
+                    ("topic", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "users",
+                90_000,
+                &[
+                    ("user_id", Int),
+                    ("handle", Text),
+                    ("joined", Text),
+                    ("followers", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "follows",
+                2_500_000,
+                &[("follower_id", Int), ("followee_id", Int), ("since", Text)],
+            )),
+        Schema::new("logistics")
+            .with_table(Table::new(
+                "shipments",
+                700_000,
+                &[
+                    ("shipment_id", Int),
+                    ("origin", Text),
+                    ("destination", Text),
+                    ("weight", Float),
+                    ("shipped", Text),
+                    ("carrier_id", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "carriers",
+                300,
+                &[("carrier_id", Int), ("name", Text), ("rating", Float)],
+            ))
+            .with_table(Table::new(
+                "events",
+                5_000_000,
+                &[
+                    ("shipment_id", Int),
+                    ("event_type", Text),
+                    ("ts", Text),
+                    ("location", Text),
+                ],
+            )),
+        Schema::new("library")
+            .with_table(Table::new(
+                "loans",
+                220_000,
+                &[
+                    ("loan_id", Int),
+                    ("book_id", Int),
+                    ("member_id", Int),
+                    ("out_date", Text),
+                    ("due_date", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "books",
+                80_000,
+                &[
+                    ("book_id", Int),
+                    ("title", Text),
+                    ("author", Text),
+                    ("year", Int),
+                    ("genre", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "members",
+                15_000,
+                &[("member_id", Int), ("name", Text), ("joined", Text)],
+            )),
+    ]
+}
+
+/// Spider-style cross-domain databases, including the four domains of the
+/// paper's case-study queries Q15–Q18.
+pub fn spider_zoo() -> Vec<Schema> {
+    vec![
+        // Q15: college tryouts
+        Schema::new("soccer_tryouts")
+            .with_table(Table::new(
+                "tryout",
+                1_000,
+                &[
+                    ("pid", Int),
+                    ("cname", Text),
+                    ("ppos", Text),
+                    ("decision", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "college",
+                50,
+                &[("cname", Text), ("state", Text), ("enr", Int)],
+            ))
+            .with_table(Table::new(
+                "player",
+                800,
+                &[("pid", Int), ("pname", Text), ("ycard", Text), ("hs", Int)],
+            )),
+        // Q16: transcripts
+        Schema::new("student_transcripts")
+            .with_table(Table::new(
+                "Transcript_Cnt",
+                5_000,
+                &[("transcript_id", Int), ("student_course_id", Int)],
+            ))
+            .with_table(Table::new(
+                "Transcripts",
+                900,
+                &[
+                    ("transcript_id", Int),
+                    ("transcript_date", Text),
+                    ("other_details", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "Student_Enrolment_Courses",
+                3_000,
+                &[
+                    ("student_course_id", Int),
+                    ("course_id", Int),
+                    ("student_enrolment_id", Int),
+                ],
+            )),
+        // Q17: concerts
+        Schema::new("concert_singer")
+            .with_table(Table::new(
+                "concert",
+                200,
+                &[
+                    ("concert_id", Int),
+                    ("concert_name", Text),
+                    ("theme", Text),
+                    ("stadium_id", Int),
+                    ("year", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "stadium",
+                40,
+                &[
+                    ("stadium_id", Int),
+                    ("name", Text),
+                    ("loc", Text),
+                    ("capacity", Int),
+                    ("average", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "singer",
+                150,
+                &[
+                    ("singer_id", Int),
+                    ("name", Text),
+                    ("country", Text),
+                    ("age", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "singer_in_concert",
+                400,
+                &[("concert_id", Int), ("singer_id", Int)],
+            )),
+        // Q18: cars
+        Schema::new("car_1")
+            .with_table(Table::new(
+                "CARS_DATA",
+                400,
+                &[
+                    ("id", Int),
+                    ("mpg", Float),
+                    ("cylinders", Int),
+                    ("edispl", Float),
+                    ("horsepower", Int),
+                    ("weight", Int),
+                    ("accelerate", Float),
+                    ("year", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "CAR_NAMES",
+                400,
+                &[("makeid", Int), ("model", Text), ("make", Text)],
+            ))
+            .with_table(Table::new(
+                "MODEL_LIST",
+                40,
+                &[("modelid", Int), ("maker", Int), ("model", Text)],
+            ))
+            .with_table(Table::new(
+                "CAR_MAKERS",
+                25,
+                &[
+                    ("id", Int),
+                    ("maker", Text),
+                    ("fullname", Text),
+                    ("country", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "COUNTRIES",
+                30,
+                &[
+                    ("countryid", Int),
+                    ("countryname", Text),
+                    ("continent", Int),
+                ],
+            )),
+        Schema::new("flight_2")
+            .with_table(Table::new(
+                "flights",
+                12_000,
+                &[
+                    ("flno", Int),
+                    ("origin", Text),
+                    ("destination", Text),
+                    ("distance", Int),
+                    ("airline", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "airports",
+                400,
+                &[
+                    ("airportcode", Text),
+                    ("airportname", Text),
+                    ("city", Text),
+                    ("country", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "airlines",
+                60,
+                &[
+                    ("uid", Int),
+                    ("airline", Text),
+                    ("abbreviation", Text),
+                    ("country", Text),
+                ],
+            )),
+        Schema::new("pets_1")
+            .with_table(Table::new(
+                "student",
+                300,
+                &[
+                    ("stuid", Int),
+                    ("lname", Text),
+                    ("fname", Text),
+                    ("age", Int),
+                    ("major", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "has_pet",
+                150,
+                &[("stuid", Int), ("petid", Int)],
+            ))
+            .with_table(Table::new(
+                "pets",
+                120,
+                &[
+                    ("petid", Int),
+                    ("pettype", Text),
+                    ("pet_age", Int),
+                    ("weight", Float),
+                ],
+            )),
+        Schema::new("employee_hire_evaluation")
+            .with_table(Table::new(
+                "employee",
+                500,
+                &[
+                    ("employee_id", Int),
+                    ("name", Text),
+                    ("age", Int),
+                    ("city", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "shop",
+                80,
+                &[
+                    ("shop_id", Int),
+                    ("name", Text),
+                    ("location", Text),
+                    ("district", Text),
+                    ("number_products", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "hiring",
+                300,
+                &[
+                    ("shop_id", Int),
+                    ("employee_id", Int),
+                    ("start_from", Text),
+                    ("is_full_time", Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "evaluation",
+                200,
+                &[
+                    ("employee_id", Int),
+                    ("year_awarded", Int),
+                    ("bonus", Float),
+                ],
+            )),
+        Schema::new("world_1")
+            .with_table(Table::new(
+                "city",
+                4_000,
+                &[
+                    ("id", Int),
+                    ("name", Text),
+                    ("countrycode", Text),
+                    ("district", Text),
+                    ("population", Int),
+                ],
+            ))
+            .with_table(Table::new(
+                "country",
+                240,
+                &[
+                    ("code", Text),
+                    ("name", Text),
+                    ("continent", Text),
+                    ("region", Text),
+                    ("population", Int),
+                    ("lifeexpectancy", Float),
+                    ("gnp", Float),
+                ],
+            ))
+            .with_table(Table::new(
+                "countrylanguage",
+                1_000,
+                &[
+                    ("countrycode", Text),
+                    ("language", Text),
+                    ("isofficial", Text),
+                    ("percentage", Float),
+                ],
+            )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdss_has_shared_columns_for_ambiguity() {
+        let s = sdss();
+        assert!(s.tables_with_column("bestobjid").count() >= 2);
+        assert!(s.tables_with_column("ra").count() >= 4);
+        assert!(s.table("SpecObj").unwrap().column("z").unwrap().ty == SqlType::Float);
+    }
+
+    #[test]
+    fn imdb_has_all_21_tables() {
+        let s = imdb();
+        assert_eq!(s.tables.len(), 21);
+        for t in [
+            "title",
+            "movie_companies",
+            "cast_info",
+            "kind_type",
+            "comp_cast_type",
+        ] {
+            assert!(s.has_table(t), "missing {t}");
+        }
+        // movie_id is the hub column of JOB joins
+        assert!(s.tables_with_column("movie_id").count() >= 7);
+    }
+
+    #[test]
+    fn zoos_have_distinct_names() {
+        let zoo = sqlshare_zoo();
+        assert!(zoo.len() >= 10);
+        let mut names: Vec<_> = zoo.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), zoo.len());
+
+        let spider = spider_zoo();
+        assert!(spider.len() >= 8);
+        assert!(spider.iter().any(|s| s.name == "concert_singer"));
+        assert!(spider.iter().any(|s| s.name == "car_1"));
+    }
+
+    #[test]
+    fn case_study_schemas_match_paper_queries() {
+        let spider = spider_zoo();
+        let tryouts = spider.iter().find(|s| s.name == "soccer_tryouts").unwrap();
+        assert!(tryouts.table("tryout").unwrap().has_column("cname"));
+        let cars = spider.iter().find(|s| s.name == "car_1").unwrap();
+        assert!(cars.table("CARS_DATA").unwrap().has_column("accelerate"));
+        assert!(cars.table("CAR_NAMES").unwrap().has_column("model"));
+    }
+}

@@ -1,0 +1,87 @@
+/// SQL column types, reduced to the four classes the benchmark needs.
+///
+/// The paper's `condition-mismatch` error type is about comparing
+/// incompatible classes (numeric column against a string literal), so the
+/// type lattice here is deliberately coarse: numeric (int/float), text,
+/// and boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// Integer-valued column.
+    Int,
+    /// Floating-point column.
+    Float,
+    /// Character data (also used for dates, which the workloads store as
+    /// ISO strings).
+    Text,
+    /// Boolean flag.
+    Bool,
+}
+
+impl SqlType {
+    /// Is this a numeric type?
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, SqlType::Int | SqlType::Float)
+    }
+
+    /// Can values of the two types be compared without a type error?
+    ///
+    /// Numerics compare with numerics, text with text, bool with bool.
+    pub fn comparable_with(&self, other: SqlType) -> bool {
+        match (self, other) {
+            (a, b) if *a == b => true,
+            (a, b) => a.is_numeric() && b.is_numeric(),
+        }
+    }
+
+    /// Parse a SQL type name (e.g. from `CREATE TABLE`) into a class.
+    /// Unknown names default to [`SqlType::Text`].
+    pub fn from_name(name: &str) -> SqlType {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" | "SERIAL" => SqlType::Int,
+            "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" | "MONEY" => SqlType::Float,
+            "BOOL" | "BOOLEAN" | "BIT" => SqlType::Bool,
+            _ => SqlType::Text,
+        }
+    }
+
+    /// Canonical SQL spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SqlType::Int => "INT",
+            SqlType::Float => "FLOAT",
+            SqlType::Text => "VARCHAR",
+            SqlType::Bool => "BOOLEAN",
+        }
+    }
+}
+
+impl std::fmt::Display for SqlType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparability() {
+        assert!(SqlType::Int.comparable_with(SqlType::Float));
+        assert!(SqlType::Float.comparable_with(SqlType::Int));
+        assert!(SqlType::Text.comparable_with(SqlType::Text));
+        assert!(!SqlType::Int.comparable_with(SqlType::Text));
+        assert!(!SqlType::Text.comparable_with(SqlType::Float));
+        assert!(!SqlType::Bool.comparable_with(SqlType::Int));
+    }
+
+    #[test]
+    fn parse_type_names() {
+        assert_eq!(SqlType::from_name("int"), SqlType::Int);
+        assert_eq!(SqlType::from_name("BIGINT"), SqlType::Int);
+        assert_eq!(SqlType::from_name("real"), SqlType::Float);
+        assert_eq!(SqlType::from_name("varchar"), SqlType::Text);
+        assert_eq!(SqlType::from_name("date"), SqlType::Text);
+        assert_eq!(SqlType::from_name("bit"), SqlType::Bool);
+    }
+}

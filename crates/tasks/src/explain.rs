@@ -1,0 +1,258 @@
+//! Query-explanation dataset (paper §3.1.3 `query_exp`, §4.5 case study).
+//!
+//! Spider queries paired with their reference descriptions, plus the *key
+//! facts* an explanation must mention to be judged complete — the
+//! machine-checkable core of the paper's otherwise-qualitative rubric:
+//! tables touched, aggregate phrases, filter values, the ordering
+//! superlative (`ORDER BY … ASC LIMIT 1` = "least …"), and the projected
+//! attributes.
+
+use serde::{Deserialize, Serialize};
+use squ_parser::ast::*;
+use squ_parser::parse;
+use squ_workload::{Dataset, Workload};
+
+/// One query-explanation example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainExample {
+    /// Source workload query id.
+    pub query_id: String,
+    /// Schema name.
+    pub schema_name: String,
+    /// The SQL to explain.
+    pub sql: String,
+    /// Reference description (Spider ground truth).
+    pub reference: String,
+    /// Key facts a complete explanation must mention.
+    pub facts: KeyFacts,
+    /// Query properties.
+    pub props: squ_workload::QueryProps,
+}
+
+/// The rubric's key facts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KeyFacts {
+    /// Base tables referenced.
+    pub tables: Vec<String>,
+    /// Projected column names (the detail GPT4 dropped in the paper's Q17).
+    pub projected_columns: Vec<String>,
+    /// Aggregate phrases ("the number of rows", "the average z", …).
+    pub aggregates: Vec<String>,
+    /// Literal values appearing in filters ("'volvo'", "2014", …).
+    pub filter_values: Vec<String>,
+    /// Ordering superlative for `ORDER BY … LIMIT 1` queries:
+    /// `Some(("least"|"greatest", column))`.
+    pub superlative: Option<(String, String)>,
+    /// Set-operation keyword if any ("both" for INTERSECT, etc.).
+    pub set_op: Option<String>,
+}
+
+/// Extract the rubric facts from a statement.
+pub fn key_facts(stmt: &Statement) -> KeyFacts {
+    let mut facts = KeyFacts::default();
+    squ_parser::visit::walk_table_refs(stmt, &mut |tr| {
+        if let TableRef::Named { name, .. } = tr {
+            let n = name.clone();
+            if !facts.tables.iter().any(|t| t.eq_ignore_ascii_case(&n)) {
+                facts.tables.push(n);
+            }
+        }
+    });
+    if let Some(q) = stmt.query() {
+        collect_body_facts(&q.body, &mut facts);
+        if let SetExpr::SetOp { op, .. } = &q.body {
+            facts.set_op = Some(
+                match op {
+                    SetOp::Intersect => "both",
+                    SetOp::Union => "combined",
+                    SetOp::Except => "not",
+                }
+                .to_string(),
+            );
+        }
+        if q.limit == Some(1) {
+            if let Some(item) = q.order_by.first() {
+                if let Expr::Column(c) = &item.expr {
+                    let word = if item.desc { "greatest" } else { "least" };
+                    facts.superlative = Some((word.to_string(), c.name.clone()));
+                }
+            }
+        }
+    }
+    squ_parser::visit::walk_exprs(stmt, &mut |e| match e {
+        Expr::Function { name, args, .. } if e.is_aggregate_call() => {
+            let phrase = match name.to_ascii_uppercase().as_str() {
+                "COUNT" => "number".to_string(),
+                "AVG" => "average".to_string(),
+                "SUM" => "total".to_string(),
+                "MIN" => "minimum".to_string(),
+                "MAX" => "maximum".to_string(),
+                other => other.to_lowercase(),
+            };
+            let _ = args;
+            if !facts.aggregates.contains(&phrase) {
+                facts.aggregates.push(phrase);
+            }
+        }
+        Expr::Compare { right, .. } => {
+            if let Expr::Literal(l) = &**right {
+                let v = match l {
+                    Literal::Number(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+                    Literal::Number(n) => format!("{n}"),
+                    Literal::String(s) => format!("'{s}'"),
+                    Literal::Bool(b) => b.to_string(),
+                    Literal::Null => "null".to_string(),
+                };
+                if !facts.filter_values.contains(&v) {
+                    facts.filter_values.push(v);
+                }
+            }
+        }
+        _ => {}
+    });
+    facts
+}
+
+fn collect_body_facts(body: &SetExpr, facts: &mut KeyFacts) {
+    match body {
+        SetExpr::Select(s) => {
+            for item in &s.items {
+                if let SelectItem::Expr {
+                    expr: Expr::Column(c),
+                    ..
+                } = item
+                {
+                    if !facts
+                        .projected_columns
+                        .iter()
+                        .any(|p| p.eq_ignore_ascii_case(&c.name))
+                    {
+                        facts.projected_columns.push(c.name.clone());
+                    }
+                }
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            collect_body_facts(left, facts);
+            collect_body_facts(right, facts);
+        }
+    }
+}
+
+/// Build the query-explanation dataset from the Spider workload.
+pub fn build_explain_dataset(ds: &Dataset) -> Vec<ExplainExample> {
+    assert_eq!(ds.workload, Workload::Spider, "query_exp uses Spider");
+    ds.queries
+        .iter()
+        .map(|q| {
+            let stmt = parse(&q.sql).expect("workload queries parse");
+            ExplainExample {
+                query_id: q.id.clone(),
+                schema_name: q.schema_name.clone(),
+                sql: q.sql.clone(),
+                reference: q
+                    .description
+                    .clone()
+                    .expect("Spider queries carry descriptions"),
+                facts: key_facts(&stmt),
+                props: q.props.clone(),
+            }
+        })
+        .collect()
+}
+
+/// The paper's four case-study queries (Listing 3), verbatim, with the
+/// paper's ground-truth descriptions.
+pub fn case_study_queries() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "Q15",
+            "SELECT count(*), cName FROM tryout GROUP BY cName ORDER BY count(*) DESC",
+            "The query finds the number of students who participate in the tryout for each college, ordered by descending count.",
+        ),
+        (
+            "Q16",
+            "SELECT count(*), student_course_id FROM Transcript_Cnt GROUP BY student_course_id ORDER BY count(*) DESC LIMIT 1",
+            "The query identifies the maximum number of times a course enrollment result can appear in different transcripts and displays the course enrollment ID.",
+        ),
+        (
+            "Q17",
+            "SELECT S.name, S.loc FROM concert AS C JOIN stadium AS S ON C.stadium_id = S.stadium_id WHERE C.Year = 2014 INTERSECT SELECT S.name, S.loc FROM concert AS C JOIN stadium AS S ON C.stadium_id = S.stadium_id WHERE C.Year = 2015",
+            "The query finds the name and location of stadiums where concerts took place in both 2014 and 2015.",
+        ),
+        (
+            "Q18",
+            "SELECT C.cylinders FROM CARS_DATA AS C JOIN CAR_NAMES AS T ON C.Id = T.MakeId WHERE T.Model = 'volvo' ORDER BY C.accelerate ASC LIMIT 1",
+            "The query retrieves the number of cylinders for the Volvo car with the least acceleration.",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_workload::build;
+
+    #[test]
+    fn facts_for_paper_q18() {
+        let (_, sql, _) = case_study_queries()[3];
+        let stmt = parse(sql).unwrap();
+        let f = key_facts(&stmt);
+        assert!(f.tables.iter().any(|t| t == "CARS_DATA"));
+        assert!(f.projected_columns.iter().any(|c| c == "cylinders"));
+        assert!(f.filter_values.contains(&"'volvo'".to_string()));
+        assert_eq!(
+            f.superlative,
+            Some(("least".to_string(), "accelerate".to_string()))
+        );
+    }
+
+    #[test]
+    fn facts_for_paper_q17() {
+        let (_, sql, _) = case_study_queries()[2];
+        let stmt = parse(sql).unwrap();
+        let f = key_facts(&stmt);
+        assert_eq!(f.set_op.as_deref(), Some("both"));
+        assert!(f.filter_values.contains(&"2014".to_string()));
+        assert!(f.filter_values.contains(&"2015".to_string()));
+        assert!(f.projected_columns.iter().any(|c| c == "name"));
+        assert!(f.projected_columns.iter().any(|c| c == "loc"));
+    }
+
+    #[test]
+    fn facts_for_paper_q15() {
+        let (_, sql, _) = case_study_queries()[0];
+        let stmt = parse(sql).unwrap();
+        let f = key_facts(&stmt);
+        assert!(f.aggregates.contains(&"number".to_string()));
+        assert!(f.tables.iter().any(|t| t == "tryout"));
+    }
+
+    #[test]
+    fn dataset_builds_with_facts() {
+        let ds = build(Workload::Spider, 2023);
+        let examples = build_explain_dataset(&ds);
+        assert_eq!(examples.len(), 200);
+        for e in &examples {
+            assert!(!e.facts.tables.is_empty(), "{}: no tables", e.query_id);
+            assert!(!e.reference.is_empty());
+        }
+    }
+
+    #[test]
+    fn case_study_queries_parse_against_their_schemas() {
+        use squ_workload::schema_for;
+        let schemas = [
+            "soccer_tryouts",
+            "student_transcripts",
+            "concert_singer",
+            "car_1",
+        ];
+        for ((_, sql, _), schema_name) in case_study_queries().iter().zip(schemas) {
+            let stmt = parse(sql).unwrap();
+            let schema = schema_for(Workload::Spider, schema_name);
+            let diags = squ_schema::analyze(&stmt, &schema);
+            assert!(diags.is_empty(), "{sql}: {diags:?}");
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! Canonical query normalization — a classical equivalence baseline.
+//!
+//! Rewrites a query into a canonical form such that two queries with equal
+//! normal forms are equivalent (the converse does not hold). Canonicalized
+//! aspects, mirroring the benchmark's equivalence-preserving transforms:
+//!
+//! * commutative `AND`/`OR` conjunct order (sorted by printed form);
+//! * `BETWEEN` → closed-range conjunction;
+//! * `IN (v1, …)` → sorted value list;
+//! * mirrored comparisons (`5 < a` → `a > 5`);
+//! * double negation and De Morgan (`NOT` pushed to the leaves);
+//! * table aliases renamed positionally (`n1`, `n2`, …);
+//! * pass-through CTEs and derived tables (`SELECT * FROM (q)`) unwrapped.
+//!
+//! Used by the `ext-baselines` study: a checker that answers "equivalent"
+//! iff the normal forms match gets perfect precision on `query_equiv` and
+//! recall equal to the share of transforms normalization covers — the
+//! inverse error profile of the LLMs.
+
+use squ_parser::ast::*;
+use squ_parser::{print_expr, print_query, CompareOp};
+
+/// Normalize a query to canonical form.
+pub fn normalize(q: &Query) -> Query {
+    let mut out = q.clone();
+    // iterate to a fixpoint: unwrapping may expose more rewrites
+    for _ in 0..4 {
+        out = unwrap_passthrough(&out);
+        normalize_query(&mut out);
+        let again = unwrap_passthrough(&out);
+        if again == out {
+            break;
+        }
+        out = again;
+    }
+    rename_aliases(&mut out);
+    normalize_query(&mut out);
+    out
+}
+
+/// Are the two queries syntactically equivalent after normalization?
+/// `true` is a sound equivalence verdict; `false` means "unknown".
+pub fn normal_forms_equal(q1: &Query, q2: &Query) -> bool {
+    normalize(q1) == normalize(q2)
+}
+
+// ---------------- pass-through unwrapping ----------------
+
+/// Unwrap `WITH w AS (q) SELECT * FROM w` and `SELECT * FROM (q) AS d`
+/// into `q` (hoisting outer ORDER BY / LIMIT back in when the inner has
+/// none).
+fn unwrap_passthrough(q: &Query) -> Query {
+    let Some(select) = q.as_select() else {
+        return q.clone();
+    };
+    // plain star projection, no filters/grouping at the outer level
+    let is_plain = select.items.len() == 1
+        && matches!(select.items[0], SelectItem::Wildcard)
+        && select.selection.is_none()
+        && select.group_by.is_empty()
+        && select.having.is_none()
+        && !select.distinct
+        && select.top.is_none()
+        && select.from.len() == 1;
+    if !is_plain {
+        return q.clone();
+    }
+    let inner: Option<Query> = match (&select.from[0], q.ctes.as_slice()) {
+        // WITH w AS (inner) SELECT * FROM w
+        (TableRef::Named { name, .. }, [cte]) if cte.name.eq_ignore_ascii_case(name) => {
+            Some((*cte.query).clone())
+        }
+        // SELECT * FROM (inner) AS d
+        (TableRef::Derived { query, .. }, []) => Some((**query).clone()),
+        _ => None,
+    };
+    match inner {
+        Some(mut inner) if inner.order_by.is_empty() && inner.limit.is_none() => {
+            inner.order_by = q.order_by.clone();
+            inner.limit = q.limit;
+            inner
+        }
+        _ => q.clone(),
+    }
+}
+
+// ---------------- expression canonicalization ----------------
+
+fn normalize_query(q: &mut Query) {
+    for cte in &mut q.ctes {
+        normalize_query(&mut cte.query);
+    }
+    normalize_set_expr(&mut q.body);
+    for o in &mut q.order_by {
+        o.expr = normalize_expr(o.expr.clone());
+    }
+}
+
+fn normalize_set_expr(body: &mut SetExpr) {
+    match body {
+        SetExpr::Select(s) => normalize_select(s),
+        SetExpr::SetOp { left, right, .. } => {
+            normalize_set_expr(left);
+            normalize_set_expr(right);
+        }
+    }
+}
+
+fn normalize_select(s: &mut Select) {
+    for item in &mut s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            *expr = normalize_expr(expr.clone());
+        }
+    }
+    for tr in &mut s.from {
+        normalize_table_ref(tr);
+    }
+    if let Some(w) = s.selection.take() {
+        s.selection = Some(normalize_expr(w));
+    }
+    for g in &mut s.group_by {
+        *g = normalize_expr(g.clone());
+    }
+    if let Some(h) = s.having.take() {
+        s.having = Some(normalize_expr(h));
+    }
+}
+
+fn normalize_table_ref(tr: &mut TableRef) {
+    match tr {
+        TableRef::Derived { query, .. } => normalize_query(query),
+        TableRef::Join {
+            left,
+            right,
+            constraint,
+            ..
+        } => {
+            normalize_table_ref(left);
+            normalize_table_ref(right);
+            if let JoinConstraint::On(e) = constraint {
+                *e = normalize_expr(e.clone());
+            }
+        }
+        TableRef::Named { .. } => {}
+    }
+}
+
+/// Canonicalize one expression tree.
+fn normalize_expr(e: Expr) -> Expr {
+    let e = push_not(e, false);
+    canonical(e)
+}
+
+/// Push `NOT` down to the leaves (De Morgan + comparison negation).
+fn push_not(e: Expr, negate: bool) -> Expr {
+    match e {
+        Expr::Not(inner) => push_not(*inner, !negate),
+        Expr::And(a, b) => {
+            let a = push_not(*a, negate);
+            let b = push_not(*b, negate);
+            if negate {
+                Expr::Or(Box::new(a), Box::new(b))
+            } else {
+                Expr::And(Box::new(a), Box::new(b))
+            }
+        }
+        Expr::Or(a, b) => {
+            let a = push_not(*a, negate);
+            let b = push_not(*b, negate);
+            if negate {
+                Expr::And(Box::new(a), Box::new(b))
+            } else {
+                Expr::Or(Box::new(a), Box::new(b))
+            }
+        }
+        Expr::Compare { op, left, right } if negate => Expr::Compare {
+            op: op.negated(),
+            left,
+            right,
+        },
+        Expr::IsNull { expr, negated } if negate => Expr::IsNull {
+            expr,
+            negated: !negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } if negate => Expr::InList {
+            expr,
+            list,
+            negated: !negated,
+        },
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } if negate => Expr::InSubquery {
+            expr,
+            subquery,
+            negated: !negated,
+        },
+        Expr::Exists { subquery, negated } if negate => Expr::Exists {
+            subquery,
+            negated: !negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } if negate => Expr::Like {
+            expr,
+            pattern,
+            negated: !negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } if negate => Expr::Between {
+            expr,
+            low,
+            high,
+            negated: !negated,
+        },
+        other if negate => Expr::Not(Box::new(other)),
+        other => other,
+    }
+}
+
+/// Structural canonicalization after NOT-pushing.
+fn canonical(e: Expr) -> Expr {
+    match e {
+        // BETWEEN → range conjunction (handled before AND sorting)
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let lo = Expr::Compare {
+                op: CompareOp::GtEq,
+                left: expr.clone(),
+                right: low,
+            };
+            let hi = Expr::Compare {
+                op: CompareOp::LtEq,
+                left: expr,
+                right: high,
+            };
+            canonical(lo.and(hi))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: true,
+        } => {
+            let lo = Expr::Compare {
+                op: CompareOp::Lt,
+                left: expr.clone(),
+                right: low,
+            };
+            let hi = Expr::Compare {
+                op: CompareOp::Gt,
+                left: expr,
+                right: high,
+            };
+            canonical(lo.or(hi))
+        }
+        Expr::And(..) => {
+            let mut parts = flatten(e, true);
+            parts = parts.into_iter().map(canonical).collect();
+            parts.sort_by_key(print_expr);
+            parts.dedup();
+            rebuild(parts, true)
+        }
+        Expr::Or(..) => {
+            let mut parts = flatten(e, false);
+            parts = parts.into_iter().map(canonical).collect();
+            parts.sort_by_key(print_expr);
+            parts.dedup();
+            rebuild(parts, false)
+        }
+        Expr::Compare { op, left, right } => {
+            let left = canonical(*left);
+            let right = canonical(*right);
+            // mirror so the lexically smaller operand is on the left for
+            // symmetric ops, and literals go right for ordered ops
+            let should_flip = match (&left, &right) {
+                (Expr::Literal(_), Expr::Column(_)) => true,
+                (Expr::Column(a), Expr::Column(b)) if op == CompareOp::Eq => {
+                    print_expr(&Expr::Column(a.clone())) > print_expr(&Expr::Column(b.clone()))
+                }
+                _ => false,
+            };
+            if should_flip {
+                Expr::Compare {
+                    op: op.flipped(),
+                    left: Box::new(right),
+                    right: Box::new(left),
+                }
+            } else {
+                Expr::Compare {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+        }
+        Expr::InList {
+            expr,
+            mut list,
+            negated,
+        } => {
+            list = list.into_iter().map(canonical).collect();
+            list.sort_by_key(print_expr);
+            list.dedup();
+            if list.len() == 1 && !negated {
+                // IN (v) ≡ = v
+                return canonical(Expr::Compare {
+                    op: CompareOp::Eq,
+                    left: expr,
+                    right: Box::new(list.pop().expect("len 1")),
+                });
+            }
+            Expr::InList {
+                expr: Box::new(canonical(*expr)),
+                list,
+                negated,
+            }
+        }
+        Expr::InSubquery {
+            expr,
+            mut subquery,
+            negated,
+        } => {
+            normalize_query(&mut subquery);
+            Expr::InSubquery {
+                expr: Box::new(canonical(*expr)),
+                subquery,
+                negated,
+            }
+        }
+        Expr::Exists {
+            mut subquery,
+            negated,
+        } => {
+            normalize_query(&mut subquery);
+            Expr::Exists { subquery, negated }
+        }
+        Expr::ScalarSubquery(mut q) => {
+            normalize_query(&mut q);
+            Expr::ScalarSubquery(q)
+        }
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => Expr::Function {
+            name: name.to_ascii_uppercase(),
+            args: args.into_iter().map(canonical).collect(),
+            distinct,
+        },
+        Expr::Arith { op, left, right } => Expr::Arith {
+            op,
+            left: Box::new(canonical(*left)),
+            right: Box::new(canonical(*right)),
+        },
+        Expr::Neg(inner) => Expr::Neg(Box::new(canonical(*inner))),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(canonical(*expr)),
+            pattern: Box::new(canonical(*pattern)),
+            negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(canonical(*expr)),
+            negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
+            operand: operand.map(|o| Box::new(canonical(*o))),
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (canonical(w), canonical(t)))
+                .collect(),
+            else_expr: else_expr.map(|x| Box::new(canonical(*x))),
+        },
+        Expr::Cast { expr, type_name } => Expr::Cast {
+            expr: Box::new(canonical(*expr)),
+            type_name: type_name.to_ascii_uppercase(),
+        },
+        other => other,
+    }
+}
+
+fn flatten(e: Expr, conj: bool) -> Vec<Expr> {
+    match (e, conj) {
+        (Expr::And(a, b), true) => {
+            let mut out = flatten(*a, true);
+            out.extend(flatten(*b, true));
+            out
+        }
+        (Expr::Or(a, b), false) => {
+            let mut out = flatten(*a, false);
+            out.extend(flatten(*b, false));
+            out
+        }
+        (other, _) => vec![other],
+    }
+}
+
+fn rebuild(parts: Vec<Expr>, conj: bool) -> Expr {
+    let mut it = parts.into_iter();
+    let first = it.next().expect("flatten never yields empty");
+    it.fold(first, |acc, p| if conj { acc.and(p) } else { acc.or(p) })
+}
+
+// ---------------- alias canonicalization ----------------
+
+/// Rename every table alias positionally (`n1`, `n2`, … in FROM order),
+/// rewriting all qualified references. Only the outer query's aliases are
+/// renamed (subqueries in the benchmark's pairs use bare table names).
+fn rename_aliases(q: &mut Query) {
+    let Some(select) = q.as_select_mut() else {
+        return;
+    };
+    let mut mapping: Vec<(String, String)> = Vec::new();
+    fn collect(tr: &mut TableRef, mapping: &mut Vec<(String, String)>) {
+        match tr {
+            TableRef::Named { alias: Some(a), .. } | TableRef::Derived { alias: Some(a), .. } => {
+                let new = format!("n{}", mapping.len() + 1);
+                mapping.push((a.clone(), new.clone()));
+                *a = new;
+            }
+            TableRef::Join { left, right, .. } => {
+                collect(left, mapping);
+                collect(right, mapping);
+            }
+            _ => {}
+        }
+    }
+    for tr in &mut select.from {
+        collect(tr, &mut mapping);
+    }
+    if mapping.is_empty() {
+        return;
+    }
+    let rewrite = |e: &mut Expr| {
+        rewrite_qualifiers(e, &mapping);
+    };
+    for tr in &mut select.from {
+        rewrite_join_conditions(tr, &mapping);
+    }
+    for item in &mut select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            rewrite(expr);
+        }
+        if let SelectItem::QualifiedWildcard(qw) = item {
+            if let Some((_, n)) = mapping.iter().find(|(o, _)| o.eq_ignore_ascii_case(qw)) {
+                *qw = n.clone();
+            }
+        }
+    }
+    if let Some(w) = &mut select.selection {
+        rewrite(w);
+    }
+    for g in &mut select.group_by {
+        rewrite(g);
+    }
+    if let Some(h) = &mut select.having {
+        rewrite(h);
+    }
+    for o in &mut q.order_by {
+        rewrite_qualifiers(&mut o.expr, &mapping);
+    }
+}
+
+fn rewrite_join_conditions(tr: &mut TableRef, mapping: &[(String, String)]) {
+    if let TableRef::Join {
+        left,
+        right,
+        constraint,
+        ..
+    } = tr
+    {
+        rewrite_join_conditions(left, mapping);
+        rewrite_join_conditions(right, mapping);
+        if let JoinConstraint::On(e) = constraint {
+            rewrite_qualifiers(e, mapping);
+        }
+    }
+}
+
+fn rewrite_qualifiers(e: &mut Expr, mapping: &[(String, String)]) {
+    if let Expr::Column(c) = e {
+        if let Some(qual) = &c.qualifier {
+            if let Some((_, n)) = mapping.iter().find(|(o, _)| o.eq_ignore_ascii_case(qual)) {
+                c.qualifier = Some(n.clone());
+            }
+        }
+    }
+    // do not descend into subqueries: their scopes are independent
+    match e {
+        Expr::InSubquery { expr, .. } => rewrite_qualifiers(expr, mapping),
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+        Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+            rewrite_qualifiers(left, mapping);
+            rewrite_qualifiers(right, mapping);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            rewrite_qualifiers(a, mapping);
+            rewrite_qualifiers(b, mapping);
+        }
+        Expr::Not(x) | Expr::Neg(x) | Expr::Cast { expr: x, .. } => rewrite_qualifiers(x, mapping),
+        Expr::IsNull { expr, .. } => rewrite_qualifiers(expr, mapping),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            rewrite_qualifiers(expr, mapping);
+            rewrite_qualifiers(low, mapping);
+            rewrite_qualifiers(high, mapping);
+        }
+        Expr::InList { expr, list, .. } => {
+            rewrite_qualifiers(expr, mapping);
+            for x in list {
+                rewrite_qualifiers(x, mapping);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            rewrite_qualifiers(expr, mapping);
+            rewrite_qualifiers(pattern, mapping);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                rewrite_qualifiers(a, mapping);
+            }
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(op) = operand {
+                rewrite_qualifiers(op, mapping);
+            }
+            for (w, t) in branches {
+                rewrite_qualifiers(w, mapping);
+                rewrite_qualifiers(t, mapping);
+            }
+            if let Some(x) = else_expr {
+                rewrite_qualifiers(x, mapping);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Debug helper: canonical SQL of the normal form.
+pub fn normal_form_sql(q: &Query) -> String {
+    print_query(&normalize(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_parser::parse_query;
+
+    fn eq(a: &str, b: &str) -> bool {
+        normal_forms_equal(&parse_query(a).unwrap(), &parse_query(b).unwrap())
+    }
+
+    #[test]
+    fn reordered_conditions_normalize_equal() {
+        assert!(eq(
+            "SELECT * FROM SpecObj WHERE plate = 1000 AND mjd > 55000",
+            "SELECT * FROM SpecObj WHERE mjd > 55000 AND plate = 1000",
+        ));
+    }
+
+    #[test]
+    fn between_and_range_normalize_equal() {
+        assert!(eq(
+            "SELECT plate FROM SpecObj WHERE z BETWEEN 1 AND 5",
+            "SELECT plate FROM SpecObj WHERE z >= 1 AND z <= 5",
+        ));
+    }
+
+    #[test]
+    fn comparison_flip_normalizes_equal() {
+        assert!(eq(
+            "SELECT plate FROM SpecObj WHERE z > 0.5",
+            "SELECT plate FROM SpecObj WHERE 0.5 < z",
+        ));
+    }
+
+    #[test]
+    fn de_morgan_normalizes_equal() {
+        assert!(eq(
+            "SELECT plate FROM SpecObj WHERE z > 1 AND ra < 2",
+            "SELECT plate FROM SpecObj WHERE NOT (NOT z > 1 OR NOT ra < 2)",
+        ));
+    }
+
+    #[test]
+    fn in_list_sorted_and_or_chain() {
+        assert!(eq(
+            "SELECT plate FROM SpecObj WHERE plate IN (3, 1, 2)",
+            "SELECT plate FROM SpecObj WHERE plate IN (1, 2, 3)",
+        ));
+        // single-element IN = equality
+        assert!(eq(
+            "SELECT plate FROM SpecObj WHERE plate IN (7)",
+            "SELECT plate FROM SpecObj WHERE plate = 7",
+        ));
+    }
+
+    #[test]
+    fn cte_and_derived_wrappers_unwrap() {
+        assert!(eq(
+            "SELECT plate, mjd FROM SpecObj WHERE z > 0.5",
+            "WITH w AS (SELECT plate, mjd FROM SpecObj WHERE z > 0.5) SELECT * FROM w",
+        ));
+        assert!(eq(
+            "SELECT plate FROM SpecObj WHERE z > 0.5",
+            "SELECT * FROM (SELECT plate FROM SpecObj WHERE z > 0.5) AS d",
+        ));
+    }
+
+    #[test]
+    fn alias_renaming_normalizes_equal() {
+        assert!(eq(
+            "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+            "SELECT a.plate FROM SpecObj AS a JOIN PhotoObj AS b ON a.bestobjid = b.objid",
+        ));
+    }
+
+    #[test]
+    fn non_equivalent_pairs_stay_distinct() {
+        // value change
+        assert!(!eq(
+            "SELECT plate FROM SpecObj WHERE z > 0.5",
+            "SELECT plate FROM SpecObj WHERE z > 5",
+        ));
+        // AND vs OR
+        assert!(!eq(
+            "SELECT plate FROM SpecObj WHERE z > 1 AND ra < 2",
+            "SELECT plate FROM SpecObj WHERE z > 1 OR ra < 2",
+        ));
+        // aggregate swap
+        assert!(!eq(
+            "SELECT plate, AVG(z) FROM SpecObj GROUP BY plate",
+            "SELECT plate, SUM(z) FROM SpecObj GROUP BY plate",
+        ));
+        // join kind
+        assert!(!eq(
+            "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+            "SELECT s.plate FROM SpecObj AS s LEFT JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+        ));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for sql in [
+            "SELECT plate FROM SpecObj WHERE z BETWEEN 1 AND 5 AND plate IN (3, 1)",
+            "SELECT s.plate FROM SpecObj AS s WHERE NOT (s.z > 1 AND s.ra < 2)",
+            "WITH w AS (SELECT plate FROM SpecObj) SELECT * FROM w ORDER BY plate",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let n1 = normalize(&q);
+            let n2 = normalize(&n1);
+            assert_eq!(n1, n2, "{sql}");
+        }
+    }
+
+    #[test]
+    fn normal_form_is_executable_and_equivalent() {
+        use squ_engine::{execute_query, witness_batch};
+        let schema = squ_schema::schemas::sdss();
+        let witnesses = witness_batch(&schema, 404);
+        for sql in [
+            "SELECT plate FROM SpecObj WHERE z BETWEEN 100 AND 600 AND plate IN (3, 1, 2)",
+            "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid WHERE NOT (p.ra > 500 OR s.z < 100)",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let n = normalize(&q);
+            for db in &witnesses {
+                let (r1, _) = execute_query(&q, db).unwrap();
+                let (r2, _) = execute_query(&n, db).unwrap();
+                assert!(r1.result_equal(&r2), "{sql} vs {}", print_query(&n));
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Query-performance-prediction dataset (paper §3.1 `performance_pred`).
+//!
+//! Only SDSS carries elapsed-time ground truth (paper Figure 5). Queries
+//! running longer than 200 ms are the positive ("costly") class.
+
+use serde::{Deserialize, Serialize};
+use squ_workload::{Dataset, Workload};
+
+/// The paper's cost threshold in milliseconds.
+pub const COST_THRESHOLD_MS: f64 = 200.0;
+
+/// One labeled example of the `performance_pred` task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfExample {
+    /// Source workload query id.
+    pub query_id: String,
+    /// The SQL shown to the model.
+    pub sql: String,
+    /// Recorded elapsed time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Ground truth: does the query exceed the 200 ms threshold?
+    pub is_costly: bool,
+    /// Query properties (used for failure slicing).
+    pub props: squ_workload::QueryProps,
+}
+
+/// Build the performance dataset from the SDSS workload.
+///
+/// # Panics
+/// Panics if called with a non-SDSS dataset (no runtime ground truth).
+pub fn build_perf_dataset(ds: &Dataset) -> Vec<PerfExample> {
+    assert_eq!(
+        ds.workload,
+        Workload::Sdss,
+        "performance_pred requires SDSS elapsed times"
+    );
+    ds.queries
+        .iter()
+        .map(|q| {
+            let elapsed = q
+                .elapsed_ms
+                .expect("every SDSS query carries an elapsed time");
+            PerfExample {
+                query_id: q.id.clone(),
+                sql: q.sql.clone(),
+                elapsed_ms: elapsed,
+                is_costly: elapsed > COST_THRESHOLD_MS,
+                props: q.props.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_workload::build;
+
+    #[test]
+    fn labels_follow_threshold() {
+        let ds = build(Workload::Sdss, 2023);
+        let examples = build_perf_dataset(&ds);
+        assert_eq!(examples.len(), 285);
+        for e in &examples {
+            assert_eq!(e.is_costly, e.elapsed_ms > COST_THRESHOLD_MS);
+        }
+        let costly = examples.iter().filter(|e| e.is_costly).count();
+        assert!(
+            costly > 40 && costly < 245,
+            "degenerate split: {costly}/285"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "performance_pred requires SDSS")]
+    fn non_sdss_panics() {
+        let ds = build(Workload::SqlShare, 2023);
+        let _ = build_perf_dataset(&ds);
+    }
+}

@@ -1,0 +1,734 @@
+//! Syntax-error injection (paper §3.1 `syntax_error`, Listing 1).
+//!
+//! Injects the paper's six error types into semantically-clean workload
+//! queries. Injection is AST-level and schema-aware, and every injected
+//! error is **verified**: the binder must report the intended diagnostic on
+//! the corrupted query, so labels are machine-checked rather than assumed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use squ_parser::ast::*;
+use squ_parser::{parse, print_statement, CompareOp};
+use squ_schema::{analyze, DiagnosticKind, Schema, SqlType};
+use squ_workload::{schema_for, Dataset, WorkloadQuery};
+
+/// The paper's six syntax-error categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntaxErrorType {
+    /// Aggregates mixed with ungrouped columns (`aggr-attr`).
+    AggrAttr,
+    /// `HAVING` on a non-aggregated column (`aggr-having`).
+    AggrHaving,
+    /// Scalar comparison with a multi-row subquery (`nested-mismatch`).
+    NestedMismatch,
+    /// Type-incompatible comparison (`condition-mismatch`).
+    ConditionMismatch,
+    /// Use of an undefined alias (`alias-undefined`).
+    AliasUndefined,
+    /// Ambiguous unqualified column (`alias-ambiguous`).
+    AliasAmbiguous,
+}
+
+impl SyntaxErrorType {
+    /// All six types.
+    pub const ALL: [SyntaxErrorType; 6] = [
+        SyntaxErrorType::AggrAttr,
+        SyntaxErrorType::AggrHaving,
+        SyntaxErrorType::NestedMismatch,
+        SyntaxErrorType::ConditionMismatch,
+        SyntaxErrorType::AliasUndefined,
+        SyntaxErrorType::AliasAmbiguous,
+    ];
+
+    /// The paper's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyntaxErrorType::AggrAttr => "aggr-attr",
+            SyntaxErrorType::AggrHaving => "aggr-having",
+            SyntaxErrorType::NestedMismatch => "nested-mismatch",
+            SyntaxErrorType::ConditionMismatch => "condition-mismatch",
+            SyntaxErrorType::AliasUndefined => "alias-undefined",
+            SyntaxErrorType::AliasAmbiguous => "alias-ambiguous",
+        }
+    }
+
+    /// Parse a paper label.
+    pub fn from_label(s: &str) -> Option<SyntaxErrorType> {
+        Self::ALL.iter().copied().find(|t| t.label() == s)
+    }
+
+    /// The binder diagnostic this error type must trigger.
+    pub fn expected_diagnostic(&self) -> DiagnosticKind {
+        match self {
+            SyntaxErrorType::AggrAttr => DiagnosticKind::AggrWithoutGroupBy,
+            SyntaxErrorType::AggrHaving => DiagnosticKind::HavingNonAggregate,
+            SyntaxErrorType::NestedMismatch => DiagnosticKind::ScalarSubqueryMultiRow,
+            SyntaxErrorType::ConditionMismatch => DiagnosticKind::ComparisonTypeMismatch,
+            SyntaxErrorType::AliasUndefined => DiagnosticKind::UndefinedAlias,
+            SyntaxErrorType::AliasAmbiguous => DiagnosticKind::AmbiguousColumn,
+        }
+    }
+}
+
+impl std::fmt::Display for SyntaxErrorType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One labeled example of the `syntax_error` / `syntax_error_type` tasks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntaxExample {
+    /// Source workload query id.
+    pub query_id: String,
+    /// Schema the query targets.
+    pub schema_name: String,
+    /// The (possibly corrupted) SQL shown to the model.
+    pub sql: String,
+    /// Ground truth: does the query contain an error?
+    pub has_error: bool,
+    /// Ground truth error type (None for error-free examples).
+    pub error_type: Option<SyntaxErrorType>,
+    /// Properties of the *shown* query text (used for failure slicing).
+    pub props: squ_workload::QueryProps,
+}
+
+/// Inject `ty` into `stmt` (clean, bound against `schema`). Returns `None`
+/// when the query offers no injection site for this type.
+pub fn inject_error(
+    stmt: &Statement,
+    schema: &Schema,
+    ty: SyntaxErrorType,
+    rng: &mut StdRng,
+) -> Option<Statement> {
+    let mut out = stmt.clone();
+    let ok = match ty {
+        SyntaxErrorType::AggrAttr => inject_aggr_attr(&mut out, schema),
+        SyntaxErrorType::AggrHaving => inject_aggr_having(&mut out, schema, rng),
+        SyntaxErrorType::NestedMismatch => inject_nested_mismatch(&mut out, schema, rng),
+        SyntaxErrorType::ConditionMismatch => inject_condition_mismatch(&mut out, schema, rng),
+        SyntaxErrorType::AliasUndefined => inject_alias_undefined(&mut out),
+        SyntaxErrorType::AliasAmbiguous => inject_alias_ambiguous(&mut out, schema),
+    };
+    ok.then_some(out)
+}
+
+/// First (outermost) SELECT of a statement, mutable.
+fn main_select(stmt: &mut Statement) -> Option<&mut Select> {
+    stmt.query_mut().and_then(|q| q.as_select_mut())
+}
+
+/// The base tables visible in a select's FROM, with binding names.
+fn scope_tables<'s>(select: &Select, schema: &'s Schema) -> Vec<(String, &'s squ_schema::Table)> {
+    let mut out = Vec::new();
+    fn walk<'s>(tr: &TableRef, schema: &'s Schema, out: &mut Vec<(String, &'s squ_schema::Table)>) {
+        match tr {
+            TableRef::Named { name, alias } => {
+                if let Some(t) = schema.table(name) {
+                    out.push((alias.clone().unwrap_or_else(|| name.clone()), t));
+                }
+            }
+            TableRef::Derived { .. } => {}
+            TableRef::Join { left, right, .. } => {
+                walk(left, schema, out);
+                walk(right, schema, out);
+            }
+        }
+    }
+    for tr in &select.from {
+        walk(tr, schema, &mut out);
+    }
+    out
+}
+
+/// Q1 pattern: aggregates alongside ungrouped columns.
+fn inject_aggr_attr(stmt: &mut Statement, schema: &Schema) -> bool {
+    let Some(select) = main_select(stmt) else {
+        return false;
+    };
+    // need at least one bare-column projection item
+    let has_bare = select.items.iter().any(|i| {
+        matches!(
+            i,
+            SelectItem::Expr {
+                expr: Expr::Column(_),
+                ..
+            }
+        )
+    });
+    if !has_bare {
+        return false;
+    }
+    if select
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+    {
+        // already aggregating: dropping GROUP BY recreates Q1 exactly
+        select.group_by.clear();
+        select.having = None;
+        return true;
+    }
+    // add COUNT(*) (and AVG over a numeric column if available), no GROUP BY
+    select.items.push(SelectItem::Expr {
+        expr: Expr::Function {
+            name: "COUNT".into(),
+            args: vec![Expr::Wildcard],
+            distinct: false,
+        },
+        alias: None,
+    });
+    let tables = scope_tables(select, schema);
+    if let Some((binding, col)) = tables.iter().find_map(|(b, t)| {
+        t.columns
+            .iter()
+            .find(|c| c.ty == SqlType::Float)
+            .map(|c| (b.clone(), c.name.clone()))
+    }) {
+        let q = (tables.len() > 1).then_some(binding);
+        select.items.push(SelectItem::Expr {
+            expr: Expr::Function {
+                name: "AVG".into(),
+                args: vec![Expr::column(q.as_deref(), &col)],
+                distinct: false,
+            },
+            alias: None,
+        });
+    }
+    select.group_by.clear();
+    select.having = None;
+    true
+}
+
+/// Q2 pattern: HAVING filters an ungrouped, unaggregated column.
+fn inject_aggr_having(stmt: &mut Statement, schema: &Schema, rng: &mut StdRng) -> bool {
+    let Some(select) = main_select(stmt) else {
+        return false;
+    };
+    let tables = scope_tables(select, schema);
+    if tables.is_empty() {
+        return false;
+    }
+    // ensure a grouping context exists
+    if select.group_by.is_empty() {
+        let Some(SelectItem::Expr {
+            expr: key @ Expr::Column(_),
+            ..
+        }) = select.items.iter().find(|i| {
+            matches!(
+                i,
+                SelectItem::Expr {
+                    expr: Expr::Column(_),
+                    ..
+                }
+            )
+        })
+        else {
+            return false;
+        };
+        let key = key.clone();
+        select
+            .items
+            .retain(|i| matches!(i, SelectItem::Expr { expr, .. } if *expr == key));
+        select.items.push(SelectItem::Expr {
+            expr: Expr::Function {
+                name: "COUNT".into(),
+                args: vec![Expr::Wildcard],
+                distinct: false,
+            },
+            alias: None,
+        });
+        select.group_by = vec![key];
+    }
+    // pick a column NOT in the group-by list
+    let grouped: Vec<String> = select
+        .group_by
+        .iter()
+        .filter_map(|g| match g {
+            Expr::Column(c) => Some(c.name.to_ascii_lowercase()),
+            _ => None,
+        })
+        .collect();
+    let mut candidates = Vec::new();
+    for (binding, t) in &tables {
+        for c in &t.columns {
+            if c.ty.is_numeric() && !grouped.contains(&c.name.to_ascii_lowercase()) {
+                candidates.push((binding.clone(), c.name.clone()));
+            }
+        }
+    }
+    let Some((binding, col)) = candidates.choose(rng).cloned() else {
+        return false;
+    };
+    let q = (tables.len() > 1).then_some(binding);
+    select.having = Some(
+        Expr::column(q.as_deref(), &col)
+            .compare(CompareOp::Gt, Expr::number(rng.gen_range(0..500) as f64)),
+    );
+    true
+}
+
+/// Q3 pattern: scalar comparison against a multi-row subquery.
+fn inject_nested_mismatch(stmt: &mut Statement, schema: &Schema, rng: &mut StdRng) -> bool {
+    let Some(select) = main_select(stmt) else {
+        return false;
+    };
+    let tables = scope_tables(select, schema);
+    let Some((binding, table)) = tables.first() else {
+        return false;
+    };
+    let Some(col) = table
+        .columns
+        .iter()
+        .find(|c| squ_engine::is_id_column(&c.name) || c.ty.is_numeric())
+    else {
+        return false;
+    };
+    // subquery over a (possibly different) table, unaggregated, unlimited
+    let inner_table = schema.tables[rng.gen_range(0..schema.tables.len())].clone();
+    let Some(inner_col) = inner_table
+        .columns
+        .iter()
+        .find(|c| c.ty.is_numeric())
+        .map(|c| c.name.clone())
+    else {
+        return false;
+    };
+    let sub = Query::from_select(Select {
+        items: vec![SelectItem::column(None, &inner_col)],
+        from: vec![TableRef::named(&inner_table.name, None)],
+        ..Select::new()
+    });
+    let q = (tables.len() > 1).then(|| binding.clone());
+    let pred = Expr::column(q.as_deref(), &col.name)
+        .compare(CompareOp::Eq, Expr::ScalarSubquery(Box::new(sub)));
+    select.selection = Some(match select.selection.take() {
+        Some(w) => w.and(pred),
+        None => pred,
+    });
+    true
+}
+
+/// Q4 pattern: numeric column compared with a string literal.
+fn inject_condition_mismatch(stmt: &mut Statement, schema: &Schema, rng: &mut StdRng) -> bool {
+    let Some(select) = main_select(stmt) else {
+        return false;
+    };
+    // prefer mutating an existing numeric comparison's literal
+    if let Some(w) = &mut select.selection {
+        if mutate_numeric_literal_to_string(w, rng) {
+            return true;
+        }
+    }
+    // otherwise add a fresh mismatched predicate
+    let tables = scope_tables(select, schema);
+    let mut candidates = Vec::new();
+    for (binding, t) in &tables {
+        for c in &t.columns {
+            if c.ty.is_numeric() {
+                candidates.push((binding.clone(), c.name.clone()));
+            }
+        }
+    }
+    let Some((binding, col)) = candidates.choose(rng).cloned() else {
+        return false;
+    };
+    let q = (tables.len() > 1).then_some(binding);
+    let word = *["high", "low", "fast", "bright"]
+        .choose(rng)
+        .expect("non-empty");
+    let pred = Expr::column(q.as_deref(), &col).compare(CompareOp::Eq, Expr::string(word));
+    select.selection = Some(match select.selection.take() {
+        Some(w) => w.and(pred),
+        None => pred,
+    });
+    true
+}
+
+/// Replace the numeric literal of some comparison with a string.
+fn mutate_numeric_literal_to_string(e: &mut Expr, rng: &mut StdRng) -> bool {
+    match e {
+        Expr::Compare { right, .. } => {
+            if let Expr::Literal(Literal::Number(_)) = **right {
+                let word = *["high", "low", "fast", "bright"]
+                    .choose(rng)
+                    .expect("non-empty");
+                **right = Expr::string(word);
+                return true;
+            }
+            false
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            mutate_numeric_literal_to_string(a, rng) || mutate_numeric_literal_to_string(b, rng)
+        }
+        Expr::Not(inner) => mutate_numeric_literal_to_string(inner, rng),
+        _ => false,
+    }
+}
+
+/// Q5 pattern: rewrite a qualified reference to an undefined qualifier
+/// (the table's original name when it is aliased, as in the paper).
+fn inject_alias_undefined(stmt: &mut Statement) -> bool {
+    let Some(select) = main_select(stmt) else {
+        return false;
+    };
+    // map alias -> original table name
+    let mut aliased: Vec<(String, String)> = Vec::new();
+    fn walk(tr: &TableRef, out: &mut Vec<(String, String)>) {
+        match tr {
+            TableRef::Named {
+                name,
+                alias: Some(a),
+            } => out.push((a.clone(), name.clone())),
+            TableRef::Join { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            _ => {}
+        }
+    }
+    for tr in &select.from {
+        walk(tr, &mut aliased);
+    }
+    if aliased.is_empty() {
+        return false;
+    }
+    // rewrite the first qualified column using that alias
+    let mut done = false;
+    rewrite_exprs_in_select(select, &mut |e| {
+        if done {
+            return;
+        }
+        if let Expr::Column(c) = e {
+            if let Some(q) = &c.qualifier {
+                if let Some((_, orig)) = aliased.iter().find(|(a, _)| a.eq_ignore_ascii_case(q)) {
+                    c.qualifier = Some(orig.to_ascii_lowercase());
+                    done = true;
+                }
+            }
+        }
+    });
+    done
+}
+
+/// Q6 pattern: drop the qualifier from a column whose name exists in
+/// several scope tables.
+fn inject_alias_ambiguous(stmt: &mut Statement, schema: &Schema) -> bool {
+    let Some(select) = main_select(stmt) else {
+        return false;
+    };
+    let tables = scope_tables(select, schema);
+    if tables.len() < 2 {
+        return false;
+    }
+    // column names present in >= 2 scope tables
+    let mut shared = Vec::new();
+    for (i, (_, a)) in tables.iter().enumerate() {
+        for c in &a.columns {
+            if tables
+                .iter()
+                .skip(i + 1)
+                .any(|(_, b)| b.has_column(&c.name))
+            {
+                shared.push(c.name.to_ascii_lowercase());
+            }
+        }
+    }
+    if shared.is_empty() {
+        return false;
+    }
+    // strip the qualifier from an existing reference to a shared column …
+    let mut done = false;
+    rewrite_exprs_in_select(select, &mut |e| {
+        if done {
+            return;
+        }
+        if let Expr::Column(c) = e {
+            if c.qualifier.is_some() && shared.contains(&c.name.to_ascii_lowercase()) {
+                c.qualifier = None;
+                done = true;
+            }
+        }
+    });
+    if done {
+        return true;
+    }
+    // … or add an unqualified predicate on a shared column
+    let col = shared[0].clone();
+    let pred = Expr::column(None, &col).compare(CompareOp::Gt, Expr::number(100.0));
+    select.selection = Some(match select.selection.take() {
+        Some(w) => w.and(pred),
+        None => pred,
+    });
+    true
+}
+
+/// Apply `f` to every expression node in the select (projection, WHERE,
+/// GROUP BY, HAVING, join conditions), mutably.
+fn rewrite_exprs_in_select(select: &mut Select, f: &mut dyn FnMut(&mut Expr)) {
+    fn walk_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+        f(e);
+        match e {
+            Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+                walk_expr(left, f);
+                walk_expr(right, f);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                walk_expr(a, f);
+                walk_expr(b, f);
+            }
+            Expr::Not(x) | Expr::Neg(x) | Expr::Cast { expr: x, .. } => walk_expr(x, f),
+            Expr::IsNull { expr, .. } => walk_expr(expr, f),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk_expr(expr, f);
+                walk_expr(low, f);
+                walk_expr(high, f);
+            }
+            Expr::InList { expr, list, .. } => {
+                walk_expr(expr, f);
+                for x in list {
+                    walk_expr(x, f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => walk_expr(expr, f),
+            Expr::Like { expr, pattern, .. } => {
+                walk_expr(expr, f);
+                walk_expr(pattern, f);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    walk_expr(a, f);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(op) = operand {
+                    walk_expr(op, f);
+                }
+                for (w, t) in branches {
+                    walk_expr(w, f);
+                    walk_expr(t, f);
+                }
+                if let Some(x) = else_expr {
+                    walk_expr(x, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn walk_tr(tr: &mut TableRef, f: &mut dyn FnMut(&mut Expr)) {
+        if let TableRef::Join {
+            left,
+            right,
+            constraint,
+            ..
+        } = tr
+        {
+            walk_tr(left, f);
+            walk_tr(right, f);
+            if let JoinConstraint::On(e) = constraint {
+                walk_expr(e, f);
+            }
+        }
+    }
+    for item in &mut select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr(expr, f);
+        }
+    }
+    for tr in &mut select.from {
+        walk_tr(tr, f);
+    }
+    if let Some(w) = &mut select.selection {
+        walk_expr(w, f);
+    }
+    for g in &mut select.group_by {
+        walk_expr(g, f);
+    }
+    if let Some(h) = &mut select.having {
+        walk_expr(h, f);
+    }
+}
+
+/// Build the `syntax_error` dataset from a workload: roughly 40% of
+/// examples stay error-free (the negative class); the rest receive a
+/// uniformly chosen error type. Every injected example is verified against
+/// the binder before being emitted.
+pub fn build_syntax_dataset(ds: &Dataset, seed: u64) -> Vec<SyntaxExample> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E01);
+    let mut out = Vec::with_capacity(ds.queries.len());
+    for wq in &ds.queries {
+        out.push(make_example(wq, &mut rng));
+    }
+    out
+}
+
+fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> SyntaxExample {
+    let schema = schema_for(wq.workload, &wq.schema_name);
+    let stmt = parse(&wq.sql).expect("workload queries parse");
+    let error_free = rng.gen_bool(0.4);
+    if !error_free {
+        // try a shuffled order of types until one applies and verifies
+        let mut types = SyntaxErrorType::ALL;
+        types.shuffle(rng);
+        for ty in types {
+            if let Some(corrupted) = inject_error(&stmt, &schema, ty, rng) {
+                let sql = print_statement(&corrupted);
+                let diags = analyze(&corrupted, &schema);
+                if diags.iter().any(|d| d.kind == ty.expected_diagnostic()) {
+                    let props = squ_workload::query_props(&sql, &corrupted);
+                    return SyntaxExample {
+                        query_id: wq.id.clone(),
+                        schema_name: wq.schema_name.clone(),
+                        sql,
+                        has_error: true,
+                        error_type: Some(ty),
+                        props,
+                    };
+                }
+            }
+        }
+        // no type applied: fall through to error-free
+    }
+    SyntaxExample {
+        query_id: wq.id.clone(),
+        schema_name: wq.schema_name.clone(),
+        sql: wq.sql.clone(),
+        has_error: false,
+        error_type: None,
+        props: wq.props.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_schema::schemas::sdss;
+    use squ_workload::{build, Workload};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn check_inject(sql: &str, ty: SyntaxErrorType) {
+        let schema = sdss();
+        let stmt = parse(sql).unwrap();
+        assert!(analyze(&stmt, &schema).is_empty(), "precondition: clean");
+        let out = inject_error(&stmt, &schema, ty, &mut rng())
+            .unwrap_or_else(|| panic!("{ty} not applicable to {sql}"));
+        let diags = analyze(&out, &schema);
+        assert!(
+            diags.iter().any(|d| d.kind == ty.expected_diagnostic()),
+            "{ty} on {sql} gave {:?}\n→ {}",
+            diags,
+            print_statement(&out)
+        );
+    }
+
+    #[test]
+    fn inject_each_type_on_representative_queries() {
+        check_inject(
+            "SELECT plate, mjd FROM SpecObj WHERE z > 0.5",
+            SyntaxErrorType::AggrAttr,
+        );
+        check_inject(
+            "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate",
+            SyntaxErrorType::AggrHaving,
+        );
+        check_inject("SELECT plate FROM SpecObj", SyntaxErrorType::NestedMismatch);
+        check_inject(
+            "SELECT plate FROM SpecObj WHERE z > 0.5",
+            SyntaxErrorType::ConditionMismatch,
+        );
+        check_inject(
+            "SELECT s.plate FROM SpecObj AS s WHERE s.z > 1",
+            SyntaxErrorType::AliasUndefined,
+        );
+        check_inject(
+            "SELECT s.plate, p.ra FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+            SyntaxErrorType::AliasAmbiguous,
+        );
+    }
+
+    #[test]
+    fn inapplicable_types_return_none() {
+        let schema = sdss();
+        // no aliases -> alias-undefined has no site
+        let stmt = parse("SELECT plate FROM SpecObj").unwrap();
+        assert!(
+            inject_error(&stmt, &schema, SyntaxErrorType::AliasUndefined, &mut rng()).is_none()
+        );
+        // single table -> no ambiguity possible
+        assert!(
+            inject_error(&stmt, &schema, SyntaxErrorType::AliasAmbiguous, &mut rng()).is_none()
+        );
+        // no bare column projection -> aggr-attr has no site
+        let stmt = parse("SELECT COUNT(*) FROM SpecObj").unwrap();
+        assert!(inject_error(&stmt, &schema, SyntaxErrorType::AggrAttr, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn dataset_is_labeled_and_verified() {
+        let ds = build(Workload::Sdss, 2023);
+        let examples = build_syntax_dataset(&ds, 99);
+        assert_eq!(examples.len(), ds.len());
+        let with_error = examples.iter().filter(|e| e.has_error).count();
+        assert!(
+            with_error > 100,
+            "should inject into most of the 60%: {with_error}"
+        );
+        // labels verified by binder
+        for e in &examples {
+            let schema = schema_for(Workload::Sdss, &e.schema_name);
+            let stmt = parse(&e.sql).unwrap();
+            let diags = analyze(&stmt, &schema);
+            match e.error_type {
+                Some(ty) => assert!(
+                    diags.iter().any(|d| d.kind == ty.expected_diagnostic()),
+                    "{}: expected {ty}: {}",
+                    e.query_id,
+                    e.sql
+                ),
+                None => assert!(
+                    diags.is_empty(),
+                    "{} should be clean: {}",
+                    e.query_id,
+                    e.sql
+                ),
+            }
+        }
+        // every error type is represented
+        for ty in SyntaxErrorType::ALL {
+            assert!(
+                examples.iter().any(|e| e.error_type == Some(ty)),
+                "type {ty} never injected"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let ds = build(Workload::SqlShare, 2023);
+        let a = build_syntax_dataset(&ds, 5);
+        let b = build_syntax_dataset(&ds, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.error_type, y.error_type);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for ty in SyntaxErrorType::ALL {
+            assert_eq!(SyntaxErrorType::from_label(ty.label()), Some(ty));
+        }
+        assert_eq!(SyntaxErrorType::from_label("nope"), None);
+    }
+}

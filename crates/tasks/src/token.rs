@@ -1,0 +1,516 @@
+//! Missing-token datasets (paper §3.1 `miss_token`, `miss_token_type`,
+//! `miss_token_loc`).
+//!
+//! Deletes one token (or one whole predicate) from a clean workload query
+//! and records the deleted text, its type, and its *word position* — the
+//! coordinate the paper's `miss_token_loc` task asks models to predict.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use squ_lexer::{tokenize, Keyword, Token, TokenKind};
+use squ_parser::parse;
+use squ_schema::Schema;
+use squ_workload::{schema_for, Dataset, WorkloadQuery};
+
+/// The paper's six missing-token categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenType {
+    /// A SQL keyword (`SELECT`, `WHERE`, `JOIN`, …).
+    Keyword,
+    /// A table name.
+    Table,
+    /// A column name.
+    Column,
+    /// A literal value.
+    Value,
+    /// A table alias (definition or use).
+    Alias,
+    /// A whole comparison predicate.
+    Predicate,
+}
+
+impl TokenType {
+    /// All six types.
+    pub const ALL: [TokenType; 6] = [
+        TokenType::Keyword,
+        TokenType::Table,
+        TokenType::Column,
+        TokenType::Value,
+        TokenType::Alias,
+        TokenType::Predicate,
+    ];
+
+    /// The paper's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TokenType::Keyword => "keyword",
+            TokenType::Table => "table",
+            TokenType::Column => "column",
+            TokenType::Value => "value",
+            TokenType::Alias => "alias",
+            TokenType::Predicate => "predicate",
+        }
+    }
+
+    /// Parse a paper label.
+    pub fn from_label(s: &str) -> Option<TokenType> {
+        Self::ALL.iter().copied().find(|t| t.label() == s)
+    }
+}
+
+impl std::fmt::Display for TokenType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One labeled example of the missing-token tasks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenExample {
+    /// Source workload query id.
+    pub query_id: String,
+    /// Schema the query targets.
+    pub schema_name: String,
+    /// The (possibly token-deleted) SQL shown to the model.
+    pub sql: String,
+    /// Ground truth: is a token missing?
+    pub has_missing: bool,
+    /// Type of the missing token.
+    pub token_type: Option<TokenType>,
+    /// Exact text that was removed.
+    pub removed_text: Option<String>,
+    /// Word position (0-based index into the whitespace-word sequence of
+    /// the *shown* query) where the token is missing.
+    pub position: Option<usize>,
+    /// Properties of the shown query text.
+    pub props: squ_workload::QueryProps,
+}
+
+/// Keywords whose deletion leaves the query obviously incomplete. Silent
+/// removals (`AS`, `INNER`, `ASC`, `DISTINCT`, …) are excluded — deleting
+/// them yields valid SQL, which would poison the binary labels.
+fn is_removable_keyword(kw: Keyword) -> bool {
+    matches!(
+        kw,
+        Keyword::Select
+            | Keyword::From
+            | Keyword::Where
+            | Keyword::Group
+            | Keyword::By
+            | Keyword::Having
+            | Keyword::Order
+            | Keyword::Join
+            | Keyword::On
+            | Keyword::And
+            | Keyword::Or
+            | Keyword::In
+            | Keyword::Between
+            | Keyword::Like
+            | Keyword::Exists
+            | Keyword::With
+            | Keyword::Create
+            | Keyword::Table
+            | Keyword::Limit
+    )
+}
+
+/// Is the token a whole whitespace word (deletable without leaving a
+/// fragment like `.plate` behind)?
+fn is_whole_word(sql: &str, tok: &Token) -> bool {
+    let before_ok = tok.span.start == 0
+        || sql[..tok.span.start]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_whitespace());
+    let after_ok = tok.span.end >= sql.len()
+        || sql[tok.span.end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_whitespace());
+    before_ok && after_ok
+}
+
+/// Classification context derived from the statement: which identifiers
+/// are tables, aliases, and columns.
+struct NameClasses {
+    tables: Vec<String>,
+    aliases: Vec<String>,
+}
+
+fn name_classes(sql: &str, schema: &Schema) -> NameClasses {
+    let mut tables = Vec::new();
+    let mut aliases = Vec::new();
+    if let Ok(stmt) = parse(sql) {
+        squ_parser::visit::walk_table_refs(&stmt, &mut |tr| {
+            if let squ_parser::TableRef::Named { name, alias } = tr {
+                if schema.has_table(name) {
+                    tables.push(name.to_ascii_lowercase());
+                }
+                if let Some(a) = alias {
+                    aliases.push(a.to_ascii_lowercase());
+                }
+            }
+        });
+    }
+    NameClasses { tables, aliases }
+}
+
+/// Candidate token indices for a deletion type.
+fn candidates(
+    sql: &str,
+    tokens: &[Token],
+    classes: &NameClasses,
+    schema: &Schema,
+    ty: TokenType,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let whole = is_whole_word(sql, t);
+        let hit = match ty {
+            TokenType::Keyword => {
+                whole && matches!(t.kind, TokenKind::Keyword(kw) if is_removable_keyword(kw))
+            }
+            TokenType::Table => {
+                whole
+                    && t.kind == TokenKind::Ident
+                    && classes.tables.contains(&t.text.to_ascii_lowercase())
+            }
+            TokenType::Column => {
+                t.kind == TokenKind::Ident
+                    && !classes.tables.contains(&t.text.to_ascii_lowercase())
+                    && !classes.aliases.contains(&t.text.to_ascii_lowercase())
+                    && schema.tables.iter().any(|tb| tb.has_column(&t.text))
+            }
+            TokenType::Value => t.is_literal(),
+            TokenType::Alias => {
+                t.kind == TokenKind::Ident && classes.aliases.contains(&t.text.to_ascii_lowercase())
+            }
+            TokenType::Predicate => false, // handled structurally below
+        };
+        if hit {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Delete the byte range `[start, end)` from the SQL, collapsing the
+/// surrounding whitespace to a single space.
+fn splice_out(sql: &str, start: usize, end: usize) -> String {
+    let mut s = start;
+    let mut e = end;
+    while s > 0 && sql.as_bytes()[s - 1] == b' ' {
+        s -= 1;
+    }
+    while e < sql.len() && sql.as_bytes()[e] == b' ' {
+        e += 1;
+    }
+    let sep = if s > 0 && e < sql.len() { " " } else { "" };
+    format!("{}{sep}{}", &sql[..s], &sql[e..])
+}
+
+/// Find a whole leaf comparison predicate in the token stream:
+/// returns `(start_token, end_token_exclusive)` spanning
+/// `<operand> <cmp> <operand>` where the operands are simple
+/// (column/qualified column/literal).
+fn find_predicate_range(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    // only inside WHERE … (up to GROUP/ORDER/HAVING or end)
+    let mut in_where = false;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Keyword(Keyword::Where) => in_where = true,
+            TokenKind::Keyword(
+                Keyword::Group | Keyword::Order | Keyword::Having | Keyword::Limit,
+            ) => in_where = false,
+            TokenKind::CompareOp(_) if in_where => {
+                // walk left: [ident] or [ident . ident] or literal
+                let lhs_start = match i.checked_sub(1) {
+                    Some(j) if tokens[j].is_ident() || tokens[j].is_literal() => {
+                        if j >= 2
+                            && tokens[j - 1].kind == TokenKind::Dot
+                            && tokens[j - 2].is_ident()
+                        {
+                            Some(j - 2)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                    _ => None,
+                };
+                // walk right
+                let rhs_end = match tokens.get(i + 1) {
+                    Some(t) if t.is_ident() || t.is_literal() => {
+                        if tokens.get(i + 2).map(|t| &t.kind) == Some(&TokenKind::Dot)
+                            && tokens.get(i + 3).is_some_and(|t| t.is_ident())
+                        {
+                            Some(i + 4)
+                        } else {
+                            Some(i + 2)
+                        }
+                    }
+                    _ => None,
+                };
+                if let (Some(s), Some(e)) = (lhs_start, rhs_end) {
+                    // must be bracketed by AND/OR/WHERE on the left and
+                    // AND/OR/end-of-clause on the right to be a whole leaf
+                    let left_ok = s == 0
+                        || matches!(
+                            tokens[s - 1].kind,
+                            TokenKind::Keyword(Keyword::Where)
+                                | TokenKind::Keyword(Keyword::And)
+                                | TokenKind::Keyword(Keyword::Or)
+                        );
+                    let right_ok = e >= tokens.len()
+                        || matches!(
+                            tokens[e].kind,
+                            TokenKind::Keyword(Keyword::And)
+                                | TokenKind::Keyword(Keyword::Or)
+                                | TokenKind::Keyword(Keyword::Group)
+                                | TokenKind::Keyword(Keyword::Order)
+                                | TokenKind::Keyword(Keyword::Limit)
+                                | TokenKind::Semicolon
+                        );
+                    if left_ok && right_ok {
+                        out.push((s, e));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Delete a token of type `ty` from `sql`. Returns the corrupted SQL, the
+/// removed text, and the word position — or `None` if the query has no
+/// deletable token of that type.
+pub fn delete_token(
+    sql: &str,
+    schema: &Schema,
+    ty: TokenType,
+    rng: &mut StdRng,
+) -> Option<(String, String, usize)> {
+    let tokens = tokenize(sql).ok()?;
+    if ty == TokenType::Predicate {
+        let ranges = find_predicate_range(&tokens);
+        let &(s, e) = ranges.choose(rng)?;
+        let byte_start = tokens[s].span.start;
+        let byte_end = tokens[e - 1].span.end;
+        // also remove a dangling AND/OR on one side
+        let (byte_start, byte_end) = if e < tokens.len()
+            && matches!(
+                tokens[e].kind,
+                TokenKind::Keyword(Keyword::And) | TokenKind::Keyword(Keyword::Or)
+            ) {
+            (byte_start, tokens[e].span.end)
+        } else if s > 0
+            && matches!(
+                tokens[s - 1].kind,
+                TokenKind::Keyword(Keyword::And) | TokenKind::Keyword(Keyword::Or)
+            )
+        {
+            (tokens[s - 1].span.start, byte_end)
+        } else {
+            (byte_start, byte_end)
+        };
+        let removed = sql[byte_start..byte_end].to_string();
+        // position = word index of the first removed byte (recomputed after
+        // the range may have been extended to swallow a dangling AND/OR)
+        let pos = squ_lexer::word_index_at(sql, byte_start);
+        return Some((splice_out(sql, byte_start, byte_end), removed, pos));
+    }
+    let classes = name_classes(sql, schema);
+    let cand = candidates(sql, &tokens, &classes, schema, ty);
+    let &i = cand.choose(rng)?;
+    let t = &tokens[i];
+    let removed = sql[t.span.start..t.span.end].to_string();
+    Some((
+        splice_out(sql, t.span.start, t.span.end),
+        removed,
+        t.word_index,
+    ))
+}
+
+/// Build the missing-token dataset: ~40% untouched (negative class), the
+/// rest with one token of a uniformly chosen type removed.
+pub fn build_token_dataset(ds: &Dataset, seed: u64) -> Vec<TokenExample> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x70C3);
+    let mut out = Vec::with_capacity(ds.queries.len());
+    for wq in &ds.queries {
+        out.push(make_example(wq, &mut rng));
+    }
+    out
+}
+
+fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> TokenExample {
+    let schema = schema_for(wq.workload, &wq.schema_name);
+    let untouched = rng.gen_bool(0.4);
+    if !untouched {
+        let mut types = TokenType::ALL;
+        types.shuffle(rng);
+        for ty in types {
+            if let Some((sql, removed, pos)) = delete_token(&wq.sql, &schema, ty, rng) {
+                // properties of the shown (corrupted) text; AST-derived
+                // props fall back to the original when it no longer parses
+                let props = match parse(&sql) {
+                    Ok(stmt) => squ_workload::query_props(&sql, &stmt),
+                    Err(_) => {
+                        let mut p = wq.props.clone();
+                        p.char_count = squ_lexer::char_count(&sql);
+                        p.word_count = squ_lexer::word_count(&sql);
+                        p
+                    }
+                };
+                return TokenExample {
+                    query_id: wq.id.clone(),
+                    schema_name: wq.schema_name.clone(),
+                    sql,
+                    has_missing: true,
+                    token_type: Some(ty),
+                    removed_text: Some(removed),
+                    position: Some(pos),
+                    props,
+                };
+            }
+        }
+    }
+    TokenExample {
+        query_id: wq.id.clone(),
+        schema_name: wq.schema_name.clone(),
+        sql: wq.sql.clone(),
+        has_missing: false,
+        token_type: None,
+        removed_text: None,
+        position: None,
+        props: wq.props.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_schema::schemas::sdss;
+    use squ_workload::{build, Workload};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn delete_each_type() {
+        let schema = sdss();
+        let sql = "SELECT s.plate, s.mjd FROM SpecObj AS s WHERE s.z > 0.5 AND s.plate = 100";
+        for ty in TokenType::ALL {
+            let (out, removed, pos) = delete_token(sql, &schema, ty, &mut rng())
+                .unwrap_or_else(|| panic!("{ty} not applicable"));
+            assert!(out.len() < sql.len(), "{ty}: nothing removed");
+            assert!(!removed.is_empty());
+            assert!(
+                pos < squ_lexer::word_count(sql),
+                "{ty}: pos {pos} out of range"
+            );
+            // the removed text must actually be gone at that site
+            assert_ne!(out, sql);
+        }
+    }
+
+    #[test]
+    fn keyword_deletion_prefers_breaking_keywords() {
+        let schema = sdss();
+        let sql = "SELECT plate FROM SpecObj WHERE z > 0.5";
+        for seed in 0..20 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let (_, removed, _) = delete_token(sql, &schema, TokenType::Keyword, &mut r).unwrap();
+            assert!(
+                ["SELECT", "FROM", "WHERE"].contains(&removed.as_str()),
+                "removed {removed}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_deletion_targets_literals() {
+        let schema = sdss();
+        let sql = "SELECT plate FROM SpecObj WHERE z > 0.5 AND class = 'QSO'";
+        let (_, removed, _) = delete_token(sql, &schema, TokenType::Value, &mut rng()).unwrap();
+        assert!(removed == "0.5" || removed == "'QSO'", "removed {removed}");
+    }
+
+    #[test]
+    fn predicate_deletion_removes_whole_condition() {
+        let schema = sdss();
+        let sql = "SELECT plate FROM SpecObj WHERE z > 0.5 AND plate = 100";
+        let (out, removed, _) =
+            delete_token(sql, &schema, TokenType::Predicate, &mut rng()).unwrap();
+        assert!(
+            removed.contains('>') || removed.contains('='),
+            "removed {removed:?}"
+        );
+        // remaining SQL still parses (one predicate left)
+        assert!(parse(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn alias_deletion_needs_alias() {
+        let schema = sdss();
+        assert!(delete_token(
+            "SELECT plate FROM SpecObj",
+            &schema,
+            TokenType::Alias,
+            &mut rng()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn position_matches_removed_site() {
+        let schema = sdss();
+        let sql = "SELECT plate FROM SpecObj WHERE z > 0.5";
+        // FROM is word 2
+        for seed in 0..30 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let (_, removed, pos) = delete_token(sql, &schema, TokenType::Keyword, &mut r).unwrap();
+            let words: Vec<&str> = sql.split_whitespace().collect();
+            assert_eq!(words[pos], removed, "pos {pos} for {removed}");
+        }
+    }
+
+    #[test]
+    fn dataset_labels_consistent() {
+        let ds = build(Workload::SqlShare, 2023);
+        let examples = build_token_dataset(&ds, 17);
+        assert_eq!(examples.len(), ds.len());
+        let missing = examples.iter().filter(|e| e.has_missing).count();
+        assert!(missing > 100);
+        for e in &examples {
+            if e.has_missing {
+                assert!(e.token_type.is_some() && e.position.is_some());
+                assert!(e.removed_text.as_deref().is_some_and(|t| !t.is_empty()));
+            } else {
+                assert!(e.token_type.is_none() && e.position.is_none());
+            }
+        }
+        for ty in TokenType::ALL {
+            assert!(
+                examples.iter().any(|e| e.token_type == Some(ty)),
+                "type {ty} never used"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_deterministic() {
+        let ds = build(Workload::JoinOrder, 2023);
+        let a = build_token_dataset(&ds, 9);
+        let b = build_token_dataset(&ds, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.position, y.position);
+        }
+    }
+}

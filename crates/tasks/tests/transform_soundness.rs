@@ -1,0 +1,86 @@
+//! Property tests: transformation soundness by differential execution.
+//!
+//! For *every* workload query the generator can produce (not just the
+//! curated unit-test inputs), each applicable equivalence transform must
+//! preserve results on all witnesses, and each applicable non-equivalence
+//! transform that the builder would accept must differ on some witness.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use squ_engine::witness_batch;
+use squ_parser::{parse_query, print_query};
+use squ_schema::schemas::sdss;
+use squ_tasks::{apply_equiv, differential_verdict, EquivType, Verdict};
+use squ_workload::gen::{GenProfile, QueryGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every applicable equivalence transform agrees on every witness, for
+    /// arbitrary generated SDSS queries.
+    #[test]
+    fn equiv_transforms_sound_on_generated_queries(seed in 0u64..10_000) {
+        let schema = sdss();
+        let mut g = QueryGenerator::new(&schema, GenProfile::default(), seed);
+        let stmt = g.generate();
+        let Some(q) = stmt.query() else { return Ok(()) };
+        // normalize through print/parse so the transform sees what the
+        // benchmark pipeline sees
+        let q = parse_query(&print_query(q)).expect("generated queries round-trip");
+        let witnesses = witness_batch(&schema, seed ^ 0xC0FFEE);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for ty in EquivType::ALL {
+            if let Some((q1, q2)) = apply_equiv(&q, ty, &mut rng) {
+                let verdict = differential_verdict(&q1, &q2, &witnesses);
+                prop_assert!(
+                    verdict != Verdict::Differed,
+                    "{ty} broke equivalence:\n  {}\n  {}",
+                    print_query(&q1),
+                    print_query(&q2)
+                );
+            }
+        }
+    }
+
+    /// Transforms are deterministic given the same RNG seed.
+    #[test]
+    fn transforms_deterministic(seed in 0u64..10_000) {
+        let schema = sdss();
+        let mut g = QueryGenerator::new(&schema, GenProfile::default(), seed);
+        let stmt = g.generate();
+        let Some(q) = stmt.query() else { return Ok(()) };
+        for ty in EquivType::ALL {
+            let a = apply_equiv(q, ty, &mut StdRng::seed_from_u64(seed));
+            let b = apply_equiv(q, ty, &mut StdRng::seed_from_u64(seed));
+            match (a, b) {
+                (None, None) => {}
+                (Some((a1, a2)), Some((b1, b2))) => {
+                    prop_assert_eq!(print_query(&a1), print_query(&b1));
+                    prop_assert_eq!(print_query(&a2), print_query(&b2));
+                }
+                _ => prop_assert!(false, "{ty} applicability flipped"),
+            }
+        }
+    }
+
+    /// Transformed queries still parse and print round-trip.
+    #[test]
+    fn transformed_queries_round_trip(seed in 0u64..10_000) {
+        let schema = sdss();
+        let mut g = QueryGenerator::new(&schema, GenProfile::default(), seed);
+        let stmt = g.generate();
+        let Some(q) = stmt.query() else { return Ok(()) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for ty in EquivType::ALL {
+            if let Some((q1, q2)) = apply_equiv(q, ty, &mut rng) {
+                for qq in [&q1, &q2] {
+                    let printed = print_query(qq);
+                    let reparsed = parse_query(&printed)
+                        .unwrap_or_else(|e| panic!("{ty}: {printed}: {e}"));
+                    prop_assert_eq!(qq, &reparsed, "{} round-trip", ty);
+                }
+            }
+        }
+    }
+}

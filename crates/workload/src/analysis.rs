@@ -1,0 +1,269 @@
+//! Workload analysis: histograms (paper Figures 1–3) and pairwise Pearson
+//! correlations between syntactic properties (paper Figure 4).
+
+use crate::{Dataset, QueryProps};
+use serde::Serialize;
+
+/// The numeric properties entering the correlation analysis, in the
+/// paper's order.
+pub const NUMERIC_PROPS: [&str; 8] = [
+    "char_count",
+    "word_count",
+    "table_count",
+    "join_count",
+    "column_count",
+    "function_count",
+    "predicate_count",
+    "nestedness",
+];
+
+/// Value of a numeric property by name.
+pub fn prop_value(p: &QueryProps, name: &str) -> f64 {
+    match name {
+        "char_count" => p.char_count as f64,
+        "word_count" => p.word_count as f64,
+        "table_count" => p.table_count as f64,
+        "join_count" => p.join_count as f64,
+        "column_count" => p.column_count as f64,
+        "function_count" => p.function_count as f64,
+        "predicate_count" => p.predicate_count as f64,
+        "nestedness" => p.nestedness as f64,
+        other => panic!("unknown property {other}"),
+    }
+}
+
+/// A histogram over bucketed value ranges.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Property name.
+    pub property: String,
+    /// `(label, count)` per bucket, in range order.
+    pub buckets: Vec<(String, usize)>,
+}
+
+/// Bucket `values` into ranges delimited by `edges` (ascending). Produces
+/// `edges.len() + 1` buckets: `< e0`, `[e0, e1)`, …, `>= e_last`.
+pub fn histogram(property: &str, values: &[f64], edges: &[f64]) -> Histogram {
+    debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+    let mut counts = vec![0usize; edges.len() + 1];
+    for &v in values {
+        let idx = edges.iter().position(|&e| v < e).unwrap_or(edges.len());
+        counts[idx] += 1;
+    }
+    let mut buckets = Vec::with_capacity(counts.len());
+    for (i, &c) in counts.iter().enumerate() {
+        let label = if i == 0 {
+            format!("<{}", fmt_edge(edges[0]))
+        } else if i == edges.len() {
+            format!(">={}", fmt_edge(edges[edges.len() - 1]))
+        } else {
+            format!("{}-{}", fmt_edge(edges[i - 1]), fmt_edge(edges[i]))
+        };
+        buckets.push((label, c));
+    }
+    Histogram {
+        property: property.to_string(),
+        buckets,
+    }
+}
+
+fn fmt_edge(e: f64) -> String {
+    if e.fract() == 0.0 {
+        format!("{}", e as i64)
+    } else {
+        format!("{e}")
+    }
+}
+
+/// Default bucket edges per property, chosen to mirror the paper's figures.
+pub fn default_edges(property: &str) -> Vec<f64> {
+    match property {
+        "char_count" => vec![100.0, 200.0, 400.0, 800.0, 1600.0],
+        "word_count" => vec![10.0, 25.0, 50.0, 100.0, 200.0],
+        "table_count" => vec![2.0, 3.0, 4.0, 6.0, 9.0],
+        "join_count" => vec![1.0, 2.0, 4.0, 8.0, 12.0],
+        "column_count" => vec![2.0, 3.0, 5.0, 8.0, 12.0],
+        "function_count" => vec![1.0, 2.0, 3.0, 5.0, 8.0],
+        "predicate_count" => vec![1.0, 3.0, 6.0, 10.0, 20.0],
+        "nestedness" => vec![1.0, 2.0, 3.0],
+        _ => vec![1.0, 2.0, 4.0, 8.0, 16.0],
+    }
+}
+
+/// Histograms of every numeric property of a dataset (one paper sub-figure
+/// each).
+pub fn dataset_histograms(ds: &Dataset) -> Vec<Histogram> {
+    NUMERIC_PROPS
+        .iter()
+        .map(|prop| {
+            let values: Vec<f64> = ds
+                .queries
+                .iter()
+                .map(|q| prop_value(&q.props, prop))
+                .collect();
+            histogram(prop, &values, &default_edges(prop))
+        })
+        .collect()
+}
+
+/// Pearson correlation coefficient of two samples; 0 when either side is
+/// constant (no linear relationship measurable).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// A full pairwise correlation matrix over [`NUMERIC_PROPS`].
+#[derive(Debug, Clone, Serialize)]
+pub struct CorrelationMatrix {
+    /// Property names (row/column labels).
+    pub labels: Vec<String>,
+    /// `matrix[i][j]` = Pearson(labels\[i\], labels\[j\]).
+    pub matrix: Vec<Vec<f64>>,
+}
+
+impl CorrelationMatrix {
+    /// Correlation between two properties by name.
+    pub fn get(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.labels.iter().position(|l| l == a)?;
+        let j = self.labels.iter().position(|l| l == b)?;
+        Some(self.matrix[i][j])
+    }
+
+    /// Pairs exceeding the paper's 0.7 strong-correlation threshold
+    /// (upper triangle only).
+    pub fn strong_pairs(&self, threshold: f64) -> Vec<(String, String, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.labels.len() {
+            for j in (i + 1)..self.labels.len() {
+                if self.matrix[i][j].abs() >= threshold {
+                    out.push((
+                        self.labels[i].clone(),
+                        self.labels[j].clone(),
+                        self.matrix[i][j],
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compute the dataset's property correlation matrix (paper Figure 4).
+pub fn correlation_matrix(ds: &Dataset) -> CorrelationMatrix {
+    let columns: Vec<Vec<f64>> = NUMERIC_PROPS
+        .iter()
+        .map(|prop| {
+            ds.queries
+                .iter()
+                .map(|q| prop_value(&q.props, prop))
+                .collect()
+        })
+        .collect();
+    let k = NUMERIC_PROPS.len();
+    let mut matrix = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in 0..k {
+            matrix[i][j] = if i == j {
+                1.0
+            } else {
+                pearson(&columns[i], &columns[j])
+            };
+        }
+    }
+    CorrelationMatrix {
+        labels: NUMERIC_PROPS.iter().map(|s| s.to_string()).collect(),
+        matrix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, Workload};
+
+    #[test]
+    fn pearson_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &inv) + 1.0).abs() < 1e-12);
+        let constant = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &constant), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_partition() {
+        let h = histogram(
+            "word_count",
+            &[1.0, 12.0, 30.0, 30.0, 500.0],
+            &[10.0, 25.0, 50.0],
+        );
+        let total: usize = h.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert_eq!(h.buckets[0], ("<10".to_string(), 1));
+        assert_eq!(h.buckets[2].1, 2, "two values in [25,50)");
+        assert_eq!(h.buckets[3], (">=50".to_string(), 1));
+    }
+
+    #[test]
+    fn char_word_correlation_is_strong_everywhere() {
+        // paper Figure 4: char_count × word_count > 0.7 in all workloads
+        for w in [Workload::Sdss, Workload::SqlShare, Workload::JoinOrder] {
+            let ds = build(w, 2023);
+            let m = correlation_matrix(&ds);
+            let r = m.get("char_count", "word_count").unwrap();
+            assert!(r > 0.7, "{w}: char×word r={r:.2}");
+        }
+    }
+
+    #[test]
+    fn table_join_correlation_is_strong() {
+        // paper Figure 4: table_count × join_count strongly correlated
+        for w in [Workload::Sdss, Workload::JoinOrder] {
+            let ds = build(w, 2023);
+            let m = correlation_matrix(&ds);
+            let r = m.get("table_count", "join_count").unwrap();
+            assert!(r > 0.7, "{w}: table×join r={r:.2}");
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let ds = build(Workload::SqlShare, 2023);
+        let m = correlation_matrix(&ds);
+        for i in 0..m.labels.len() {
+            assert!((m.matrix[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..m.labels.len() {
+                assert!((m.matrix[i][j] - m.matrix[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn strong_pairs_respects_threshold() {
+        let ds = build(Workload::Sdss, 2023);
+        let m = correlation_matrix(&ds);
+        for (_, _, r) in m.strong_pairs(0.7) {
+            assert!(r.abs() >= 0.7);
+        }
+    }
+}

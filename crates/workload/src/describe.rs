@@ -1,0 +1,359 @@
+//! Natural-language query descriptions.
+//!
+//! Generates the ground-truth English description of a query from its AST —
+//! the Spider workload's per-query descriptions, which the paper uses as
+//! the reference for the `query_exp` (query explanation) case study. The
+//! same templates are reused by the rubric scorer in `squ-eval` to extract
+//! the *key facts* an explanation must mention (tables, aggregates, filter
+//! conditions, ordering direction, limit).
+
+use squ_parser::ast::*;
+
+/// Produce the reference natural-language description of a statement.
+pub fn describe_statement(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Query(q) => describe_query(q),
+        Statement::CreateTable { name, source, .. } => match source {
+            Some(q) => format!(
+                "Create a table named {name} containing the result of: {}",
+                lowercase_first(&describe_query(q))
+            ),
+            None => format!("Create a table named {name}."),
+        },
+        Statement::CreateView { name, query } => format!(
+            "Create a view named {name} defined as: {}",
+            lowercase_first(&describe_query(query))
+        ),
+    }
+}
+
+/// Describe a query.
+pub fn describe_query(q: &Query) -> String {
+    let mut s = match &q.body {
+        SetExpr::Select(sel) => describe_select(sel),
+        SetExpr::SetOp {
+            op, left, right, ..
+        } => {
+            let l = describe_set_arm(left);
+            let r = describe_set_arm(right);
+            match op {
+                SetOp::Intersect => format!("Find the results common to both: {l} and {r}"),
+                SetOp::Union => format!("Combine the results of: {l} and {r}"),
+                SetOp::Except => format!("Find the results of {l} that do not appear in {r}"),
+            }
+        }
+    };
+    if let Some(item) = q.order_by.first() {
+        let dir = if item.desc { "descending" } else { "ascending" };
+        s.push_str(&format!(
+            ", ordered by {} in {dir} order",
+            describe_expr(&item.expr)
+        ));
+    }
+    if let Some(n) = q.limit {
+        if n == 1 {
+            if let Some(item) = q.order_by.first() {
+                // the paper's Q18 pattern: ORDER BY x ASC LIMIT 1 = "least x"
+                let superlative = if item.desc { "greatest" } else { "least" };
+                s.push_str(&format!(
+                    " — i.e. the single row with the {superlative} {}",
+                    describe_expr(&item.expr)
+                ));
+            } else {
+                s.push_str(", returning a single row");
+            }
+        } else {
+            s.push_str(&format!(", limited to {n} rows"));
+        }
+    }
+    s.push('.');
+    s
+}
+
+fn describe_set_arm(body: &SetExpr) -> String {
+    match body {
+        SetExpr::Select(s) => lowercase_first(&describe_select(s)),
+        SetExpr::SetOp { .. } => "a combined query".to_string(),
+    }
+}
+
+fn describe_select(s: &Select) -> String {
+    let what = describe_projection(&s.items, s.distinct);
+    let tables = describe_tables(&s.from);
+    let mut out = format!("Find {what} from {tables}");
+    if let Some(w) = &s.selection {
+        out.push_str(&format!(" where {}", describe_expr(w)));
+    }
+    if !s.group_by.is_empty() {
+        let keys: Vec<String> = s.group_by.iter().map(describe_expr).collect();
+        out.push_str(&format!(", for each {}", keys.join(" and ")));
+    }
+    if let Some(h) = &s.having {
+        out.push_str(&format!(", keeping only groups with {}", describe_expr(h)));
+    }
+    out
+}
+
+fn describe_projection(items: &[SelectItem], distinct: bool) -> String {
+    let parts: Vec<String> = items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Wildcard => "all columns".to_string(),
+            SelectItem::QualifiedWildcard(q) => format!("all columns of {q}"),
+            SelectItem::Expr { expr, .. } => describe_expr(expr),
+        })
+        .collect();
+    let joined = join_natural(&parts);
+    if distinct {
+        format!("the distinct {joined}")
+    } else {
+        joined
+    }
+}
+
+fn describe_tables(from: &[TableRef]) -> String {
+    let mut names = Vec::new();
+    for tr in from {
+        collect_table_names(tr, &mut names);
+    }
+    join_natural(&names)
+}
+
+fn collect_table_names(tr: &TableRef, out: &mut Vec<String>) {
+    match tr {
+        TableRef::Named { name, .. } => out.push(name.clone()),
+        TableRef::Derived { .. } => out.push("a derived subquery".to_string()),
+        TableRef::Join {
+            left, right, kind, ..
+        } => {
+            collect_table_names(left, out);
+            if matches!(kind, JoinKind::Left | JoinKind::Right | JoinKind::Full) {
+                if let Some(last) = out.last_mut() {
+                    *last = format!("{last} (outer-joined)");
+                }
+            }
+            collect_table_names(right, out);
+        }
+    }
+}
+
+/// Describe an expression in English.
+pub fn describe_expr(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.name.clone(),
+        Expr::Literal(l) => match l {
+            Literal::Number(v) => {
+                if v.fract() == 0.0 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            }
+            Literal::String(s) => format!("'{s}'"),
+            Literal::Bool(b) => b.to_string(),
+            Literal::Null => "null".to_string(),
+        },
+        Expr::Compare { op, left, right } => {
+            use squ_parser::CompareOp::*;
+            let rel = match op {
+                Eq => "equals",
+                NotEq => "is not",
+                Lt => "is less than",
+                LtEq => "is at most",
+                Gt => "is greater than",
+                GtEq => "is at least",
+            };
+            format!("{} {rel} {}", describe_expr(left), describe_expr(right))
+        }
+        Expr::And(a, b) => format!("{} and {}", describe_expr(a), describe_expr(b)),
+        Expr::Or(a, b) => format!("{} or {}", describe_expr(a), describe_expr(b)),
+        Expr::Not(inner) => format!("not ({})", describe_expr(inner)),
+        Expr::IsNull { expr, negated } => format!(
+            "{} is {}missing",
+            describe_expr(expr),
+            if *negated { "not " } else { "" }
+        ),
+        Expr::Between {
+            expr, low, high, ..
+        } => format!(
+            "{} is between {} and {}",
+            describe_expr(expr),
+            describe_expr(low),
+            describe_expr(high)
+        ),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let items: Vec<String> = list.iter().map(describe_expr).collect();
+            format!(
+                "{} is {}one of ({})",
+                describe_expr(expr),
+                if *negated { "not " } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => format!(
+            "{} {}appears in the result of a subquery ({})",
+            describe_expr(expr),
+            if *negated { "never " } else { "" },
+            lowercase_first(&describe_query(subquery))
+        ),
+        Expr::Exists { subquery, negated } => format!(
+            "a matching row {}exists ({})",
+            if *negated { "never " } else { "" },
+            lowercase_first(&describe_query(subquery))
+        ),
+        Expr::ScalarSubquery(q) => {
+            format!(
+                "the value computed by ({})",
+                lowercase_first(&describe_query(q))
+            )
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
+            "{} {}matches the pattern {}",
+            describe_expr(expr),
+            if *negated { "never " } else { "" },
+            describe_expr(pattern)
+        ),
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
+            let upper = name.to_ascii_uppercase();
+            match upper.as_str() {
+                "COUNT" if matches!(args.first(), Some(Expr::Wildcard) | None) => {
+                    "the number of rows".to_string()
+                }
+                "COUNT" => {
+                    let arg = describe_expr(&args[0]);
+                    if *distinct {
+                        format!("the number of distinct {arg}")
+                    } else {
+                        format!("the number of {arg}")
+                    }
+                }
+                "AVG" => format!("the average {}", describe_expr(&args[0])),
+                "SUM" => format!("the total {}", describe_expr(&args[0])),
+                "MIN" => format!("the minimum {}", describe_expr(&args[0])),
+                "MAX" => format!("the maximum {}", describe_expr(&args[0])),
+                _ => {
+                    let parts: Vec<String> = args.iter().map(describe_expr).collect();
+                    format!("{}({})", name.to_lowercase(), parts.join(", "))
+                }
+            }
+        }
+        Expr::Wildcard => "rows".to_string(),
+        Expr::Arith { op, left, right } => {
+            format!("{} {op} {}", describe_expr(left), describe_expr(right))
+        }
+        Expr::Neg(inner) => format!("-{}", describe_expr(inner)),
+        Expr::Case { .. } => "a conditional value".to_string(),
+        Expr::Cast { expr, type_name } => {
+            format!("{} as {}", describe_expr(expr), type_name.to_lowercase())
+        }
+    }
+}
+
+fn join_natural(parts: &[String]) -> String {
+    match parts.len() {
+        0 => "nothing".to_string(),
+        1 => parts[0].clone(),
+        2 => format!("{} and {}", parts[0], parts[1]),
+        _ => {
+            let head = parts[..parts.len() - 1].join(", ");
+            format!("{head}, and {}", parts[parts.len() - 1])
+        }
+    }
+}
+
+fn lowercase_first(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_parser::parse;
+
+    fn d(sql: &str) -> String {
+        describe_statement(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = d("SELECT plate, mjd FROM SpecObj WHERE z > 0.5");
+        assert_eq!(
+            s,
+            "Find plate and mjd from SpecObj where z is greater than 0.5."
+        );
+    }
+
+    #[test]
+    fn paper_q15_tryouts() {
+        let s = d("SELECT count(*), cName FROM tryout GROUP BY cName ORDER BY count(*) DESC");
+        assert!(s.contains("the number of rows"), "{s}");
+        assert!(s.contains("tryout"), "{s}");
+        assert!(s.contains("for each cName"), "{s}");
+        assert!(s.contains("descending"), "{s}");
+    }
+
+    #[test]
+    fn paper_q18_least_acceleration() {
+        let s = d(
+            "SELECT C.cylinders FROM CARS_DATA AS C JOIN CAR_NAMES AS T ON C.Id = T.MakeId WHERE T.Model = 'volvo' ORDER BY C.accelerate ASC LIMIT 1",
+        );
+        assert!(s.contains("least accelerate"), "{s}");
+        assert!(s.contains("cylinders"), "{s}");
+        assert!(s.contains("'volvo'"), "{s}");
+    }
+
+    #[test]
+    fn intersect_description() {
+        let s = d("SELECT name FROM a WHERE y = 2014 INTERSECT SELECT name FROM b WHERE y = 2015");
+        assert!(s.starts_with("Find the results common to both:"), "{s}");
+        assert!(s.contains("2014") && s.contains("2015"), "{s}");
+    }
+
+    #[test]
+    fn aggregates_and_groups() {
+        let s = d("SELECT class, AVG(z) FROM SpecObj GROUP BY class HAVING COUNT(*) > 5");
+        assert!(s.contains("the average z"), "{s}");
+        assert!(s.contains("for each class"), "{s}");
+        assert!(s.contains("keeping only groups"), "{s}");
+    }
+
+    #[test]
+    fn order_desc_limit_1_is_greatest() {
+        let s = d("SELECT name FROM t ORDER BY score DESC LIMIT 1");
+        assert!(s.contains("greatest score"), "{s}");
+    }
+
+    #[test]
+    fn create_table_described() {
+        let s = d("CREATE TABLE hot AS SELECT plate FROM SpecObj WHERE z > 1");
+        assert!(s.starts_with("Create a table named hot"), "{s}");
+        assert!(s.contains("find plate"), "{s}");
+    }
+
+    #[test]
+    fn subquery_described() {
+        let s = d("SELECT fiberid FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj WHERE ra > 180)");
+        assert!(s.contains("appears in the result of a subquery"), "{s}");
+        assert!(s.contains("PhotoObj"), "{s}");
+    }
+}

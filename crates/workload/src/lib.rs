@@ -1,0 +1,28 @@
+//! # squ-workload — the four benchmark workloads and their analysis
+//!
+//! Builds the paper's sampled query datasets (SDSS 285, SQLShare 250,
+//! Join-Order 157, Spider 200) with quota-controlled, schema-aware random
+//! generation; extracts the ten syntactic query properties of §2.1; and
+//! provides the histogram / Pearson-correlation analyses behind the paper's
+//! Figures 1–4 and Table 2.
+//!
+//! ```
+//! use squ_workload::{build, Workload};
+//! let sdss = build(Workload::Sdss, 2023);
+//! assert_eq!(sdss.len(), 285);
+//! assert!(sdss.queries[0].elapsed_ms.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod describe;
+pub mod gen;
+mod props;
+mod workloads;
+
+pub use props::{
+    function_count, join_count, predicate_count, query_props, select_column_count, table_count,
+    uses_aggregate, QueryProps,
+};
+pub use workloads::{build, build_all, schema_for, Dataset, Workload, WorkloadQuery};

@@ -1,0 +1,281 @@
+//! Syntactic query properties (paper §2.1).
+//!
+//! For every query the paper measures: `char_count`, `word_count`,
+//! `query_type`, `table_count`, `join_count`, `column_count`,
+//! `function_count`, `predicate_count`, `nestedness`, and `aggregate`.
+//! This module computes them from the raw SQL plus the parsed AST, with
+//! each definition matching the paper's prose.
+
+use serde::{Deserialize, Serialize};
+use squ_lexer::{char_count, word_count};
+use squ_parser::ast::*;
+use squ_parser::visit::{nestedness, walk_exprs, walk_queries, walk_table_refs};
+use std::collections::BTreeSet;
+
+/// The paper's ten syntactic properties of one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryProps {
+    /// Number of characters in the query text.
+    pub char_count: usize,
+    /// Number of whitespace-separated words.
+    pub word_count: usize,
+    /// SELECT vs CREATE.
+    pub query_type: String,
+    /// Number of *distinct* tables referenced anywhere in the query.
+    pub table_count: usize,
+    /// Total joins: explicit `JOIN` operators plus implicit joins (extra
+    /// comma-separated FROM items with join conditions).
+    pub join_count: usize,
+    /// Distinct columns referenced in the SELECT clause(s).
+    pub column_count: usize,
+    /// Total function calls (built-in or user-defined), aggregates included.
+    pub function_count: usize,
+    /// Conditions in WHERE clauses (AND/OR leaves, summed over subqueries).
+    pub predicate_count: usize,
+    /// Maximum subquery nesting depth.
+    pub nestedness: usize,
+    /// Does the query use aggregate functions?
+    pub aggregate: bool,
+}
+
+/// Compute all properties for a statement and its source text.
+pub fn query_props(sql: &str, stmt: &Statement) -> QueryProps {
+    QueryProps {
+        char_count: char_count(sql),
+        word_count: word_count(sql),
+        query_type: stmt.query_type().to_string(),
+        table_count: table_count(stmt),
+        join_count: join_count(stmt),
+        column_count: select_column_count(stmt),
+        function_count: function_count(stmt),
+        predicate_count: predicate_count(stmt),
+        nestedness: nestedness(stmt),
+        aggregate: uses_aggregate(stmt),
+    }
+}
+
+/// Number of distinct tables referenced (by name, case-insensitive),
+/// anywhere in the statement including subqueries.
+pub fn table_count(stmt: &Statement) -> usize {
+    let mut names = BTreeSet::new();
+    walk_table_refs(stmt, &mut |tr| {
+        if let TableRef::Named { name, .. } = tr {
+            names.insert(name.to_ascii_lowercase());
+        }
+    });
+    names.len()
+}
+
+/// Total join count: explicit join operators + implicit joins. An implicit
+/// join is an extra comma-separated item in a FROM clause when the query
+/// also has join conditions (the paper's definition).
+pub fn join_count(stmt: &Statement) -> usize {
+    let mut explicit = 0usize;
+    walk_table_refs(stmt, &mut |tr| {
+        if matches!(tr, TableRef::Join { .. }) {
+            explicit += 1;
+        }
+    });
+    let mut implicit = 0usize;
+    walk_queries(stmt, &mut |q, _| {
+        if let SetExpr::Select(s) = &q.body {
+            if s.from.len() > 1 && s.selection.is_some() {
+                implicit += s.from.len() - 1;
+            }
+        }
+        if let SetExpr::SetOp { .. } = &q.body {
+            count_setop_implicit(&q.body, &mut implicit);
+        }
+    });
+    explicit + implicit
+}
+
+fn count_setop_implicit(body: &SetExpr, implicit: &mut usize) {
+    match body {
+        SetExpr::Select(s) => {
+            if s.from.len() > 1 && s.selection.is_some() {
+                *implicit += s.from.len() - 1;
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            count_setop_implicit(left, implicit);
+            count_setop_implicit(right, implicit);
+        }
+    }
+}
+
+/// Distinct columns referenced in SELECT clauses (all query blocks).
+pub fn select_column_count(stmt: &Statement) -> usize {
+    let mut names = BTreeSet::new();
+    walk_queries(stmt, &mut |q, _| {
+        collect_select_cols(&q.body, &mut names);
+    });
+    names.len()
+}
+
+fn collect_select_cols(body: &SetExpr, names: &mut BTreeSet<String>) {
+    match body {
+        SetExpr::Select(s) => {
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_cols(expr, names);
+                }
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            collect_select_cols(left, names);
+            collect_select_cols(right, names);
+        }
+    }
+}
+
+fn collect_cols(e: &Expr, names: &mut BTreeSet<String>) {
+    if let Expr::Column(c) = e {
+        names.insert(c.name.to_ascii_lowercase());
+    }
+    e.for_each_child(&mut |child| collect_cols(child, names));
+}
+
+/// Total function calls anywhere in the statement.
+pub fn function_count(stmt: &Statement) -> usize {
+    let mut n = 0;
+    walk_exprs(stmt, &mut |e| {
+        if matches!(e, Expr::Function { .. }) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Conditions in WHERE clauses: AND/OR leaf predicates, summed over all
+/// query blocks (subqueries included).
+pub fn predicate_count(stmt: &Statement) -> usize {
+    let mut n = 0;
+    walk_queries(stmt, &mut |q, _| {
+        count_where(&q.body, &mut n);
+    });
+    n
+}
+
+fn count_where(body: &SetExpr, n: &mut usize) {
+    match body {
+        SetExpr::Select(s) => {
+            if let Some(w) = &s.selection {
+                *n += leaf_predicates(w);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            count_where(left, n);
+            count_where(right, n);
+        }
+    }
+}
+
+fn leaf_predicates(e: &Expr) -> usize {
+    match e {
+        Expr::And(a, b) | Expr::Or(a, b) => leaf_predicates(a) + leaf_predicates(b),
+        Expr::Not(inner) => leaf_predicates(inner),
+        _ => 1,
+    }
+}
+
+/// Does the statement use aggregate functions anywhere?
+pub fn uses_aggregate(stmt: &Statement) -> bool {
+    let mut found = false;
+    walk_exprs(stmt, &mut |e| {
+        if e.is_aggregate_call() {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_parser::parse;
+
+    fn props(sql: &str) -> QueryProps {
+        query_props(sql, &parse(sql).unwrap())
+    }
+
+    #[test]
+    fn counts_basic() {
+        let p = props("SELECT plate, mjd FROM SpecObj WHERE z > 0.5");
+        assert_eq!(p.word_count, 9);
+        assert_eq!(p.query_type, "SELECT");
+        assert_eq!(p.table_count, 1);
+        assert_eq!(p.join_count, 0);
+        assert_eq!(p.column_count, 2);
+        assert_eq!(p.predicate_count, 1);
+        assert_eq!(p.nestedness, 0);
+        assert!(!p.aggregate);
+    }
+
+    #[test]
+    fn explicit_and_implicit_joins() {
+        let p =
+            props("SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid");
+        assert_eq!(p.join_count, 1);
+        assert_eq!(p.table_count, 2);
+
+        let p =
+            props("SELECT a.x FROM t1 AS a, t2 AS b, t3 AS c WHERE a.id = b.id AND b.id = c.id");
+        assert_eq!(p.join_count, 2, "two implicit joins from three FROM items");
+
+        // comma FROM without any join condition is a cross product, not a join
+        let p = props("SELECT a.x FROM t1 AS a, t2 AS b");
+        assert_eq!(p.join_count, 0);
+    }
+
+    #[test]
+    fn distinct_tables_counted_once() {
+        let p = props(
+            "SELECT s.z FROM SpecObj AS s WHERE s.plate IN (SELECT plate FROM SpecObj WHERE z > 1)",
+        );
+        assert_eq!(p.table_count, 1);
+        assert_eq!(p.nestedness, 1);
+        assert_eq!(p.predicate_count, 2, "outer IN predicate + inner z > 1");
+    }
+
+    #[test]
+    fn aggregates_and_functions() {
+        let p = props("SELECT plate, COUNT(*), AVG(z) FROM SpecObj GROUP BY plate");
+        assert!(p.aggregate);
+        assert_eq!(p.function_count, 2);
+        assert_eq!(p.column_count, 2, "plate and z");
+
+        let p = props("SELECT UPPER(class) FROM SpecObj");
+        assert!(!p.aggregate);
+        assert_eq!(p.function_count, 1);
+    }
+
+    #[test]
+    fn create_query_type() {
+        let p = props("CREATE TABLE hot AS SELECT plate FROM SpecObj WHERE z > 1");
+        assert_eq!(p.query_type, "CREATE");
+        assert_eq!(p.table_count, 1);
+    }
+
+    #[test]
+    fn predicates_counted_across_or() {
+        let p = props("SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3) AND NOT d = 4");
+        assert_eq!(p.predicate_count, 4);
+    }
+
+    #[test]
+    fn set_op_branches_counted() {
+        let p =
+            props("SELECT x FROM a WHERE p = 1 INTERSECT SELECT x FROM b WHERE q = 2 AND r = 3");
+        assert_eq!(p.table_count, 2);
+        assert_eq!(p.predicate_count, 3);
+        assert_eq!(p.column_count, 1);
+    }
+
+    #[test]
+    fn join_condition_columns_not_select_columns() {
+        let p =
+            props("SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid");
+        assert_eq!(p.column_count, 1, "only the projection column counts");
+    }
+}

@@ -1,0 +1,586 @@
+//! The four benchmark workloads (paper §2, Table 2).
+//!
+//! Each builder generates the *sampled* dataset the paper experiments on:
+//! SDSS (285 queries with elapsed times), SQLShare (250 queries across many
+//! small schemas), Join-Order (157 queries: 113 SELECT + 44 CREATE over
+//! IMDB), and Spider (200 queries with natural-language descriptions).
+//!
+//! Quota-controlled generation pins the headline Table-2 statistics to the
+//! paper's exact values (e.g. SDSS: 21 aggregate queries; Join-Order: 44
+//! CREATE statements; Spider: 15 nested queries), while everything else
+//! (lengths, join fan-out, predicates) follows the per-workload profile
+//! distributions.
+
+use crate::describe::describe_statement;
+use crate::gen::{Force, GenProfile, QueryGenerator};
+use crate::props::{query_props, QueryProps};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use squ_engine::CostModel;
+use squ_parser::print_statement;
+use squ_schema::{schemas, Schema};
+
+/// Which workload a query belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Sloan Digital Sky Survey query log.
+    Sdss,
+    /// SQLShare multi-schema user queries.
+    SqlShare,
+    /// Join-Order Benchmark (IMDB).
+    JoinOrder,
+    /// Spider text-to-SQL benchmark (used for query explanation).
+    Spider,
+}
+
+impl Workload {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Sdss => "SDSS",
+            Workload::SqlShare => "SQLShare",
+            Workload::JoinOrder => "Join-Order",
+            Workload::Spider => "Spider",
+        }
+    }
+
+    /// The three workloads used for the classification tasks (Spider is
+    /// explanation-only in the paper).
+    pub fn task_workloads() -> [Workload; 3] {
+        [Workload::Sdss, Workload::SqlShare, Workload::JoinOrder]
+    }
+
+    /// Number of queries in the paper's *original* workload (Table 2).
+    pub fn original_size(&self) -> u64 {
+        match self {
+            Workload::Sdss => 5_081_188,
+            Workload::SqlShare => 9_623,
+            Workload::JoinOrder => 157,
+            Workload::Spider => 4_486,
+        }
+    }
+
+    /// Number of sampled queries (Table 2).
+    pub fn sampled_size(&self) -> usize {
+        match self {
+            Workload::Sdss => 285,
+            Workload::SqlShare => 250,
+            Workload::JoinOrder => 157,
+            Workload::Spider => 200,
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One sampled workload query with its derived metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadQuery {
+    /// Stable id, e.g. `sdss-0042`.
+    pub id: String,
+    /// Owning workload.
+    pub workload: Workload,
+    /// Name of the schema the query runs against (SQLShare/Spider have
+    /// many; SDSS/Join-Order have one).
+    pub schema_name: String,
+    /// The SQL text.
+    pub sql: String,
+    /// The paper's ten syntactic properties.
+    pub props: QueryProps,
+    /// Elapsed execution time in ms (SDSS only — the `performance_pred`
+    /// ground truth; paper Figure 5).
+    pub elapsed_ms: Option<f64>,
+    /// Reference natural-language description (Spider only — the
+    /// `query_exp` ground truth).
+    pub description: Option<String>,
+}
+
+/// A sampled workload dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Which workload.
+    pub workload: Workload,
+    /// The sampled queries.
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl Dataset {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Is the dataset empty?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Resolve a schema by workload + name (SQLShare/Spider queries carry the
+/// specific sub-schema they run against).
+pub fn schema_for(workload: Workload, schema_name: &str) -> Schema {
+    match workload {
+        Workload::Sdss => schemas::sdss(),
+        Workload::JoinOrder => schemas::imdb(),
+        Workload::SqlShare => schemas::sqlshare_zoo()
+            .into_iter()
+            .find(|s| s.name == schema_name)
+            .unwrap_or_else(|| panic!("unknown SQLShare schema {schema_name}")),
+        Workload::Spider => schemas::spider_zoo()
+            .into_iter()
+            .find(|s| s.name == schema_name)
+            .unwrap_or_else(|| panic!("unknown Spider schema {schema_name}")),
+    }
+}
+
+/// Build a workload's sampled dataset with the given seed. The paper's
+/// datasets correspond to seed 2023 (the year of the SDSS log slice used).
+pub fn build(workload: Workload, seed: u64) -> Dataset {
+    match workload {
+        Workload::Sdss => build_sdss(seed),
+        Workload::SqlShare => build_sqlshare(seed),
+        Workload::JoinOrder => build_joborder(seed),
+        Workload::Spider => build_spider(seed),
+    }
+}
+
+/// Build all four datasets.
+pub fn build_all(seed: u64) -> Vec<Dataset> {
+    vec![
+        build(Workload::Sdss, seed),
+        build(Workload::SqlShare, seed),
+        build(Workload::JoinOrder, seed),
+        build(Workload::Spider, seed),
+    ]
+}
+
+/// Deterministic quota assignment: exactly `k` of `n` slots are `true`,
+/// shuffled by the seed.
+fn quota_flags(n: usize, k: usize, seed: u64) -> Vec<bool> {
+    let mut flags = vec![false; n];
+    for f in flags.iter_mut().take(k) {
+        *f = true;
+    }
+    flags.shuffle(&mut StdRng::seed_from_u64(seed));
+    flags
+}
+
+fn build_sdss(seed: u64) -> Dataset {
+    let schema = schemas::sdss();
+    let n = Workload::Sdss.sampled_size();
+    let profile = GenProfile {
+        create_prob: 0.0, // driven by quota below
+        aggregate_prob: 0.0,
+        nested_prob: 0.0,
+        cte_prob: 0.03,
+        table_count_weights: vec![(1, 0.45), (2, 0.35), (3, 0.15), (4, 0.05)],
+        extra_pred_range: (1, 7),
+        explicit_join_prob: 0.65,
+        alias_prob: 0.6,
+        top_prob: 0.3,
+        order_by_prob: 0.25,
+        limit_prob: 0.0,
+        scalar_fn_prob: 0.12,
+        star_prob: 0.06,
+        distinct_prob: 0.08,
+        proj_cols_range: (2, 7),
+    };
+    // Table 2: 21 aggregate / 264 non-aggregate; nesting levels 0 and 1
+    // (Fig 1e); a small CREATE share (Fig 1a).
+    let agg = quota_flags(n, 21, seed ^ 0xA66);
+    let create = quota_flags(n, 24, seed ^ 0xC0EA7E);
+    let nested = quota_flags(n, 38, seed ^ 0x0E57);
+    let mut g = QueryGenerator::new(&schema, profile, seed ^ 0x5D55);
+    let cost = CostModel::default();
+    let mut noise = StdRng::seed_from_u64(seed ^ 0x0015E);
+    let queries = (0..n)
+        .map(|i| {
+            let stmt = g.generate_forced(Force {
+                create: Some(create[i] && !agg[i]),
+                aggregate: Some(agg[i]),
+                nested: Some(nested[i]),
+            });
+            let sql = print_statement(&stmt);
+            let props = query_props(&sql, &stmt);
+            // elapsed time: analytical cost × log-normal noise (the query
+            // mix produces Figure 5's bimodal separation at 200 ms)
+            let base = cost.estimate_ms(&stmt, &schema);
+            let ln: f64 = noise.gen_range(-1.0..1.0_f64) * 0.6;
+            let elapsed = (base * ln.exp()).max(0.05);
+            WorkloadQuery {
+                id: format!("sdss-{i:04}"),
+                workload: Workload::Sdss,
+                schema_name: schema.name.clone(),
+                sql,
+                props,
+                elapsed_ms: Some(elapsed),
+                description: None,
+            }
+        })
+        .collect();
+    Dataset {
+        workload: Workload::Sdss,
+        queries,
+    }
+}
+
+fn build_sqlshare(seed: u64) -> Dataset {
+    let zoo = schemas::sqlshare_zoo();
+    let n = Workload::SqlShare.sampled_size();
+    let profile = GenProfile {
+        create_prob: 0.0,
+        aggregate_prob: 0.0,
+        nested_prob: 0.0,
+        cte_prob: 0.04,
+        table_count_weights: vec![(1, 0.55), (2, 0.3), (3, 0.15)],
+        extra_pred_range: (0, 3),
+        explicit_join_prob: 0.8,
+        alias_prob: 0.9, // SQLShare's defining trait: heavy aliasing
+        top_prob: 0.05,
+        order_by_prob: 0.25,
+        limit_prob: 0.15,
+        scalar_fn_prob: 0.2,
+        star_prob: 0.12,
+        distinct_prob: 0.12,
+        proj_cols_range: (1, 4),
+    };
+    // Table 2: 59 aggregate / 192 non-aggregate (shares of 250), small
+    // CREATE share (Fig 2a), nesting levels 0/1 (Fig 2e).
+    let agg = quota_flags(n, 59, seed ^ 0xA66A);
+    let create = quota_flags(n, 18, seed ^ 0xC0EA);
+    let nested = quota_flags(n, 25, seed ^ 0x0E58);
+    // deterministic schema rotation, shuffled
+    let mut schema_order: Vec<usize> = (0..n).map(|i| i % zoo.len()).collect();
+    schema_order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5C1E));
+    let mut gens: Vec<QueryGenerator> = zoo
+        .iter()
+        .enumerate()
+        .map(|(i, s)| QueryGenerator::new(s, profile.clone(), seed ^ (0x50A5 + i as u64)))
+        .collect();
+    let queries = (0..n)
+        .map(|i| {
+            let si = schema_order[i];
+            let stmt = gens[si].generate_forced(Force {
+                create: Some(create[i] && !agg[i]),
+                aggregate: Some(agg[i]),
+                nested: Some(nested[i]),
+            });
+            let sql = print_statement(&stmt);
+            let props = query_props(&sql, &stmt);
+            WorkloadQuery {
+                id: format!("sqlshare-{i:04}"),
+                workload: Workload::SqlShare,
+                schema_name: zoo[si].name.clone(),
+                sql,
+                props,
+                elapsed_ms: None,
+                description: None,
+            }
+        })
+        .collect();
+    Dataset {
+        workload: Workload::SqlShare,
+        queries,
+    }
+}
+
+fn build_joborder(seed: u64) -> Dataset {
+    let schema = schemas::imdb();
+    let n = Workload::JoinOrder.sampled_size();
+    let profile = GenProfile {
+        create_prob: 0.0,
+        aggregate_prob: 0.0,
+        nested_prob: 0.0, // Table 2: Join-Order has no nesting ("-")
+        cte_prob: 0.0,
+        table_count_weights: vec![
+            (4, 0.15),
+            (5, 0.15),
+            (6, 0.2),
+            (7, 0.15),
+            (8, 0.15),
+            (9, 0.1),
+            (10, 0.05),
+            (11, 0.03),
+            (12, 0.02),
+        ],
+        extra_pred_range: (3, 16),
+        explicit_join_prob: 0.25, // JOB famously uses implicit joins
+        alias_prob: 1.0,
+        top_prob: 0.0,
+        order_by_prob: 0.05,
+        limit_prob: 0.0,
+        scalar_fn_prob: 0.05,
+        star_prob: 0.0,
+        distinct_prob: 0.05,
+        proj_cols_range: (1, 4),
+    };
+    // Table 2: 113 SELECT + 44 CREATE; 119 aggregate / 38 non-aggregate.
+    let create = quota_flags(n, 44, seed ^ 0xC0EA8);
+    let agg = quota_flags(n, 119, seed ^ 0xA66B);
+    let mut g = QueryGenerator::new(&schema, profile, seed ^ 0x10B);
+    let queries = (0..n)
+        .map(|i| {
+            let stmt = g.generate_forced(Force {
+                create: Some(create[i]),
+                aggregate: Some(agg[i]),
+                nested: Some(false),
+            });
+            let sql = print_statement(&stmt);
+            let props = query_props(&sql, &stmt);
+            WorkloadQuery {
+                id: format!("job-{i:04}"),
+                workload: Workload::JoinOrder,
+                schema_name: schema.name.clone(),
+                sql,
+                props,
+                elapsed_ms: None,
+                description: None,
+            }
+        })
+        .collect();
+    Dataset {
+        workload: Workload::JoinOrder,
+        queries,
+    }
+}
+
+fn build_spider(seed: u64) -> Dataset {
+    let zoo = schemas::spider_zoo();
+    let n = Workload::Spider.sampled_size();
+    let profile = GenProfile {
+        create_prob: 0.0, // Table 2: Spider is 200 SELECT / 0 CREATE
+        aggregate_prob: 0.0,
+        nested_prob: 0.0,
+        cte_prob: 0.0,
+        table_count_weights: vec![(1, 0.4), (2, 0.4), (3, 0.2)],
+        extra_pred_range: (0, 3),
+        explicit_join_prob: 0.95,
+        alias_prob: 0.5,
+        top_prob: 0.0,
+        order_by_prob: 0.4,
+        limit_prob: 0.35, // Spider's ORDER BY … LIMIT 1 idiom
+        scalar_fn_prob: 0.05,
+        star_prob: 0.05,
+        distinct_prob: 0.1,
+        proj_cols_range: (1, 3),
+    };
+    // Table 2: 96 aggregate / 104 non-aggregate; 185 level-0 / 15 level-1.
+    let agg = quota_flags(n, 96, seed ^ 0xA66C);
+    let nested = quota_flags(n, 15, seed ^ 0x0E59);
+    let mut schema_order: Vec<usize> = (0..n).map(|i| i % zoo.len()).collect();
+    schema_order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5C1F));
+    let mut gens: Vec<QueryGenerator> = zoo
+        .iter()
+        .enumerate()
+        .map(|(i, s)| QueryGenerator::new(s, profile.clone(), seed ^ (0x5B1D + i as u64)))
+        .collect();
+    let queries = (0..n)
+        .map(|i| {
+            let si = schema_order[i];
+            let stmt = gens[si].generate_forced(Force {
+                create: Some(false),
+                aggregate: Some(agg[i]),
+                nested: Some(nested[i]),
+            });
+            let sql = print_statement(&stmt);
+            let props = query_props(&sql, &stmt);
+            let description = Some(describe_statement(&stmt));
+            WorkloadQuery {
+                id: format!("spider-{i:04}"),
+                workload: Workload::Spider,
+                schema_name: zoo[si].name.clone(),
+                sql,
+                props,
+                elapsed_ms: None,
+                description,
+            }
+        })
+        .collect();
+    Dataset {
+        workload: Workload::Spider,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_sizes_match_table_2() {
+        for (w, n) in [
+            (Workload::Sdss, 285),
+            (Workload::SqlShare, 250),
+            (Workload::JoinOrder, 157),
+            (Workload::Spider, 200),
+        ] {
+            assert_eq!(build(w, 2023).len(), n);
+        }
+    }
+
+    #[test]
+    fn quotas_match_table_2() {
+        let sdss = build(Workload::Sdss, 2023);
+        assert_eq!(
+            sdss.queries.iter().filter(|q| q.props.aggregate).count(),
+            21
+        );
+
+        let job = build(Workload::JoinOrder, 2023);
+        assert_eq!(
+            job.queries
+                .iter()
+                .filter(|q| q.props.query_type == "CREATE")
+                .count(),
+            44
+        );
+        assert_eq!(
+            job.queries.iter().filter(|q| q.props.aggregate).count(),
+            119
+        );
+        assert!(job.queries.iter().all(|q| q.props.nestedness == 0));
+
+        let spider = build(Workload::Spider, 2023);
+        assert_eq!(
+            spider.queries.iter().filter(|q| q.props.aggregate).count(),
+            96
+        );
+        assert_eq!(
+            spider
+                .queries
+                .iter()
+                .filter(|q| q.props.nestedness >= 1)
+                .count(),
+            15
+        );
+        assert!(spider
+            .queries
+            .iter()
+            .all(|q| q.props.query_type == "SELECT"));
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = build(Workload::SqlShare, 7);
+        let b = build(Workload::SqlShare, 7);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.sql, qb.sql);
+        }
+    }
+
+    #[test]
+    fn all_queries_parse_and_bind_clean() {
+        for ds in build_all(2023) {
+            for q in &ds.queries {
+                let stmt = squ_parser::parse(&q.sql)
+                    .unwrap_or_else(|e| panic!("{}: {}: {e}", q.id, q.sql));
+                let schema = schema_for(ds.workload, &q.schema_name);
+                let diags = squ_schema::analyze(&stmt, &schema);
+                assert!(diags.is_empty(), "{} not clean: {}\n{diags:?}", q.id, q.sql);
+            }
+        }
+    }
+
+    #[test]
+    fn sdss_has_elapsed_and_bimodal_costs() {
+        let ds = build(Workload::Sdss, 2023);
+        assert!(ds.queries.iter().all(|q| q.elapsed_ms.is_some()));
+        let high = ds
+            .queries
+            .iter()
+            .filter(|q| q.elapsed_ms.unwrap() > 200.0)
+            .count();
+        let low = ds.len() - high;
+        // Figure 5: a clear two-population split, neither side degenerate
+        assert!(high >= 40, "only {high} high-cost queries");
+        assert!(low >= 40, "only {low} low-cost queries");
+    }
+
+    #[test]
+    fn spider_has_descriptions() {
+        let ds = build(Workload::Spider, 2023);
+        assert!(ds
+            .queries
+            .iter()
+            .all(|q| q.description.as_deref().is_some_and(|d| !d.is_empty())));
+    }
+
+    #[test]
+    fn joborder_queries_are_join_heavy() {
+        let ds = build(Workload::JoinOrder, 2023);
+        let avg_tables: f64 = ds
+            .queries
+            .iter()
+            .map(|q| q.props.table_count as f64)
+            .sum::<f64>()
+            / ds.len() as f64;
+        assert!(
+            avg_tables > 4.0,
+            "JOB should average >4 tables, got {avg_tables:.1}"
+        );
+        let avg_preds: f64 = ds
+            .queries
+            .iter()
+            .map(|q| q.props.predicate_count as f64)
+            .sum::<f64>()
+            / ds.len() as f64;
+        assert!(
+            avg_preds > 6.0,
+            "JOB should average >6 predicates, got {avg_preds:.1}"
+        );
+    }
+
+    #[test]
+    fn all_workload_queries_execute_on_witnesses() {
+        // every workload's queries run on a witness of their own schema
+        // (the resource budget is the only accepted failure, on the widest
+        // Join-Order joins)
+        for ds in build_all(2023) {
+            for q in ds.queries.iter().step_by(9) {
+                let Some(query) = squ_parser::parse(&q.sql).unwrap().query().cloned() else {
+                    continue;
+                };
+                let schema = schema_for(ds.workload, &q.schema_name);
+                let db = squ_engine::witness_database(&schema, 1234, 4, 9);
+                match squ_engine::execute_query(&query, &db) {
+                    Ok(_) | Err(squ_engine::ExecError::ResourceLimit) => {}
+                    Err(e) => panic!("{}: {}: {e}", q.id, q.sql),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_queries_have_plan_and_cost() {
+        let model = squ_engine::CostModel::default();
+        for ds in build_all(2023) {
+            for q in ds.queries.iter().step_by(25) {
+                let stmt = squ_parser::parse(&q.sql).unwrap();
+                let schema = schema_for(ds.workload, &q.schema_name);
+                let ms = model.estimate_ms(&stmt, &schema);
+                assert!(ms.is_finite() && ms >= 0.0, "{}: cost {ms}", q.id);
+                let plan = squ_engine::explain(&stmt, &schema);
+                assert!(
+                    plan.contains("Scan") || plan.contains("no query plan"),
+                    "{}",
+                    q.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sqlshare_spans_many_schemas() {
+        let ds = build(Workload::SqlShare, 2023);
+        let mut names: Vec<_> = ds.queries.iter().map(|q| q.schema_name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert!(names.len() >= 10);
+    }
+}

@@ -1,0 +1,85 @@
+//! Audit a SQL query the way the benchmark's substrates do: parse it,
+//! run semantic analysis against the SDSS schema, extract its syntactic
+//! properties, print its EXPLAIN-style plan, and estimate its runtime — the
+//! building blocks a query-recommendation tool (the paper's motivating
+//! application) would use.
+//!
+//! ```text
+//! cargo run --release --example audit_query
+//! cargo run --release --example audit_query -- "SELECT plate FROM SpecObj WHERE z = 'high'"
+//! ```
+
+use squ_engine::CostModel;
+use squ_parser::parse;
+use squ_schema::{analyze, schemas::sdss};
+use squ_workload::query_props;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        vec![
+            // clean and cheap
+            "SELECT plate, mjd FROM SpecObj WHERE z > 0.5".to_string(),
+            // clean but expensive (big photometric join)
+            "SELECT s.plate, p.ra, p.dec FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid WHERE p.modelmag_r < 17".to_string(),
+            // the paper's Listing-1 errors
+            "SELECT plate, mjd, COUNT(*), AVG(z) FROM SpecObj WHERE z > 0.5".to_string(),
+            "SELECT plate, mjd, fiberid FROM SpecObj WHERE z = 'high'".to_string(),
+            "SELECT plate, fiberid FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.bestobjid WHERE bestobjid > 1000".to_string(),
+        ]
+    } else {
+        args
+    };
+
+    let schema = sdss();
+    let cost = CostModel::default();
+
+    for sql in queries {
+        println!("query: {sql}");
+        let stmt = match parse(&sql) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("  ✗ parse error: {e}\n");
+                continue;
+            }
+        };
+
+        let props = query_props(&sql, &stmt);
+        println!(
+            "  shape: {} | {} words, {} tables, {} joins, {} predicates, nestedness {}",
+            props.query_type,
+            props.word_count,
+            props.table_count,
+            props.join_count,
+            props.predicate_count,
+            props.nestedness
+        );
+
+        let diags = analyze(&stmt, &schema);
+        if diags.is_empty() {
+            println!("  ✓ semantically clean");
+        } else {
+            for d in &diags {
+                let label = d
+                    .kind
+                    .paper_label()
+                    .map(|l| format!(" [{l}]"))
+                    .unwrap_or_default();
+                println!("  ✗ {}{label}", d.message);
+            }
+        }
+
+        let ms = cost.estimate_ms(&stmt, &schema);
+        let verdict = if ms > squ_tasks::COST_THRESHOLD_MS {
+            "costly"
+        } else {
+            "cheap"
+        };
+        println!("  cost: ~{ms:.1} ms → {verdict}");
+        let plan = squ_engine::explain(&stmt, &schema);
+        for line in plan.lines().skip(1) {
+            println!("    {line}");
+        }
+        println!();
+    }
+}

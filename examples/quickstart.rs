@@ -1,0 +1,39 @@
+//! Quickstart: build the benchmark suite and reproduce one paper table.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use squ::{run_experiment, ExperimentId, Suite, PAPER_SEED};
+
+fn main() {
+    println!("Building the benchmark suite (seed {PAPER_SEED})…");
+    let suite = Suite::new(PAPER_SEED);
+
+    println!(
+        "Sampled workloads: SDSS {} / SQLShare {} / Join-Order {} / Spider {}\n",
+        suite.sdss.len(),
+        suite.sqlshare.len(),
+        suite.joborder.len(),
+        suite.spider.len()
+    );
+
+    // a taste of the data
+    let q = &suite.sdss.queries[0];
+    println!("example SDSS query ({}):\n  {}", q.id, q.sql);
+    println!(
+        "  word_count={} tables={} predicates={} elapsed={:.1} ms\n",
+        q.props.word_count,
+        q.props.table_count,
+        q.props.predicate_count,
+        q.elapsed_ms.unwrap_or(0.0)
+    );
+
+    // reproduce the paper's performance-prediction table
+    let artifact = run_experiment(&suite, ExperimentId::Table6);
+    println!("{}\n{}", artifact.title, artifact.body);
+
+    // and the qualitative case study
+    let cs = run_experiment(&suite, ExperimentId::CaseStudy);
+    println!("{}\n{}", cs.title, cs.body);
+}

@@ -1,0 +1,173 @@
+//! Cross-crate dataset-quality checks: every benchmark example must be
+//! well-formed, and labels must survive independent re-verification.
+
+use squ::{Suite, PAPER_SEED};
+use squ_engine::{execute_query, witness_batch};
+use squ_parser::parse;
+use squ_schema::analyze;
+use squ_workload::{schema_for, Workload};
+use std::sync::OnceLock;
+
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(|| Suite::new(PAPER_SEED))
+}
+
+/// Every sampled workload query parses, binds cleanly, and round-trips
+/// through the printer.
+#[test]
+fn workload_queries_are_clean() {
+    for w in [
+        Workload::Sdss,
+        Workload::SqlShare,
+        Workload::JoinOrder,
+        Workload::Spider,
+    ] {
+        for q in &suite().dataset(w).queries {
+            let stmt = parse(&q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            let schema = schema_for(w, &q.schema_name);
+            let diags = analyze(&stmt, &schema);
+            assert!(diags.is_empty(), "{}: {:?}\n{}", q.id, diags, q.sql);
+            let printed = squ_parser::print_statement(&stmt);
+            let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{}: reparse: {e}", q.id));
+            assert_eq!(stmt, reparsed, "{}: round-trip", q.id);
+        }
+    }
+}
+
+/// Error-injected examples trigger exactly the intended binder diagnostic;
+/// error-free examples stay clean.
+#[test]
+fn syntax_labels_verified_by_binder() {
+    for w in Workload::task_workloads() {
+        for e in suite().syntax_for(w) {
+            let stmt = parse(&e.sql).unwrap_or_else(|err| panic!("{}: {err}", e.query_id));
+            let schema = schema_for(w, &e.schema_name);
+            let diags = analyze(&stmt, &schema);
+            match e.error_type {
+                Some(ty) => assert!(
+                    diags.iter().any(|d| d.kind == ty.expected_diagnostic()),
+                    "{}: wanted {ty}, got {diags:?}\n{}",
+                    e.query_id,
+                    e.sql
+                ),
+                None => assert!(diags.is_empty(), "{}: {:?}", e.query_id, diags),
+            }
+        }
+    }
+}
+
+/// Token-deleted examples: the removed text is truly absent at the
+/// recorded position, and positive examples differ from their source.
+#[test]
+fn token_labels_are_consistent() {
+    for w in Workload::task_workloads() {
+        for e in suite().tokens_for(w) {
+            if e.has_missing {
+                let removed = e
+                    .removed_text
+                    .as_deref()
+                    .expect("positive has removed text");
+                let pos = e.position.expect("positive has position");
+                assert!(!removed.is_empty());
+                // the position is within the (shortened) query
+                let wc = squ_lexer::word_count(&e.sql);
+                assert!(pos <= wc, "{}: pos {pos} > {wc}", e.query_id);
+            } else {
+                assert!(e.removed_text.is_none() && e.position.is_none());
+                // negatives still parse and bind cleanly
+                let stmt = parse(&e.sql).expect("negatives parse");
+                let schema = schema_for(w, &e.schema_name);
+                assert!(analyze(&stmt, &schema).is_empty());
+            }
+        }
+    }
+}
+
+/// Equivalence labels survive an independent differential re-check on a
+/// *fresh* witness batch (different seeds than the builder used).
+#[test]
+fn equiv_labels_survive_fresh_witnesses() {
+    use squ_tasks::{differential_verdict, Verdict};
+    let mut checked = 0;
+    let mut confirmed = 0;
+    for w in Workload::task_workloads() {
+        // sample every 7th pair to keep runtime modest
+        for e in suite().equiv_for(w).iter().step_by(7) {
+            let q1 = squ_parser::parse_query(&e.sql1).expect("pairs parse");
+            let q2 = squ_parser::parse_query(&e.sql2).expect("pairs parse");
+            let schema = schema_for(w, &e.schema_name);
+            let witnesses = witness_batch(&schema, 0xF2E54 ^ checked as u64);
+            match differential_verdict(&q1, &q2, &witnesses) {
+                Verdict::AgreedEverywhere => {
+                    // a non-equivalent pair may coincidentally agree on a
+                    // fresh witness; an equivalent pair must always agree
+                    if e.equivalent {
+                        confirmed += 1;
+                    }
+                }
+                Verdict::Differed => {
+                    assert!(
+                        !e.equivalent,
+                        "{} labeled equivalent but differed: {} vs {}",
+                        e.query_id, e.sql1, e.sql2
+                    );
+                    confirmed += 1;
+                }
+                Verdict::Failed => {} // resource limits on fresh witnesses are tolerated
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "too few pairs sampled: {checked}");
+    assert!(
+        confirmed as f64 >= checked as f64 * 0.6,
+        "only {confirmed}/{checked} labels confirmed on fresh witnesses"
+    );
+}
+
+/// Equivalent pairs must execute successfully on the builder's witnesses
+/// (no pair is labeled from failed executions).
+#[test]
+fn equiv_pairs_execute() {
+    for w in Workload::task_workloads() {
+        for e in suite().equiv_for(w).iter().step_by(11) {
+            let q1 = squ_parser::parse_query(&e.sql1).unwrap();
+            let schema = schema_for(w, &e.schema_name);
+            let db = squ_engine::witness_database(&schema, 424242, 4, 8);
+            // small witness: execution must at worst hit the row budget,
+            // never crash
+            match execute_query(&q1, &db) {
+                Ok(_) | Err(squ_engine::ExecError::ResourceLimit) => {}
+                Err(other) => panic!("{}: {other}", e.query_id),
+            }
+        }
+    }
+}
+
+/// Perf labels follow the threshold; the class split is non-degenerate.
+#[test]
+fn perf_labels_consistent() {
+    let perf = &suite().perf;
+    assert_eq!(perf.len(), 285);
+    let costly = perf.iter().filter(|e| e.is_costly).count();
+    assert!(costly > 85 && costly < 230, "degenerate split {costly}/285");
+    for e in perf {
+        assert_eq!(e.is_costly, e.elapsed_ms > squ_tasks::COST_THRESHOLD_MS);
+    }
+}
+
+/// Explanation examples carry non-trivial references and facts, and the
+/// rubric accepts each reference as (near-)complete.
+#[test]
+fn explain_references_satisfy_rubric_mostly() {
+    let mut total = 0.0;
+    for e in &suite().explain {
+        // the generated reference text is produced by the same template
+        // vocabulary the rubric checks, so it should score highly
+        let s = squ_eval::score_explanation(&e.reference, &e.facts);
+        total += s.score;
+    }
+    let avg = total / suite().explain.len() as f64;
+    assert!(avg > 0.9, "reference descriptions only score {avg:.2}");
+}
