@@ -6,87 +6,145 @@
 //! repro --ablations        # run the ablation / extension studies
 //! repro --export [DIR]     # export every labeled dataset as JSONL
 //! repro --seed 7           # different master seed
+//! repro --jobs 4           # worker threads (default: all cores, 1 = sequential)
+//! repro --timings          # print a per-phase wall-clock report
 //! repro --list             # list artifact slugs
 //! ```
 //!
 //! Output goes to stdout and to `target/repro/<slug>.txt` (+ `.csv` for
-//! tabular artifacts).
+//! tabular artifacts). Suite construction and artifact execution fan out
+//! over `--jobs` threads; output order and content are identical for
+//! every job count. Each run also writes machine-readable span timings to
+//! `target/repro/timings.json`.
 
-use squ::{run_ablation, run_experiment, AblationId, ExperimentId, Suite, PAPER_SEED};
+use squ::{run_ablation, run_experiment, AblationId, Artifact, ExperimentId, Suite, PAPER_SEED};
 use std::fs;
 use std::path::PathBuf;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut only: Option<String> = None;
-    let mut seed = PAPER_SEED;
-    let mut ablations = false;
-    let mut export: Option<String> = None;
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Opts {
+    list: bool,
+    ablations: bool,
+    timings: bool,
+    export: Option<String>,
+    only: Option<String>,
+    seed: u64,
+    /// Worker threads; `None` means all available cores.
+    jobs: Option<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            list: false,
+            ablations: false,
+            timings: false,
+            export: None,
+            only: None,
+            seed: PAPER_SEED,
+            jobs: None,
+        }
+    }
+}
+
+/// Parse arguments (everything after the binary name).
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
     let mut i = 0;
+    // a flag's value is the next token unless it is another flag
+    let value_of =
+        |args: &[String], i: usize| args.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
     while i < args.len() {
         match args[i].as_str() {
-            "--list" => {
-                for id in ExperimentId::ALL {
-                    println!("{}", id.slug());
-                }
-                for id in AblationId::ALL {
-                    println!("{}", id.slug());
-                }
-                return;
-            }
-            "--ablations" => ablations = true,
+            "--list" => opts.list = true,
+            "--ablations" => opts.ablations = true,
+            "--timings" => opts.timings = true,
             "--export" => {
-                export = Some(
-                    args.get(i + 1)
-                        .filter(|a| !a.starts_with("--"))
-                        .cloned()
-                        .unwrap_or_else(|| "target/benchmark-export".to_string()),
-                );
-                if args.get(i + 1).is_some_and(|a| !a.starts_with("--")) {
+                let dir = value_of(args, i);
+                if dir.is_some() {
                     i += 1;
                 }
+                opts.export = Some(dir.unwrap_or_else(|| "target/benchmark-export".to_string()));
             }
             "--only" => {
+                opts.only =
+                    Some(value_of(args, i).ok_or_else(|| "--only needs a slug".to_string())?);
                 i += 1;
-                only = args.get(i).cloned();
             }
             "--seed" => {
+                let raw = value_of(args, i).ok_or_else(|| "--seed needs an integer".to_string())?;
+                opts.seed = raw
+                    .parse()
+                    .map_err(|_| format!("--seed needs an integer, got {raw:?}"))?;
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
             }
-            other => die(&format!("unknown argument {other:?} (try --list)")),
+            "--jobs" => {
+                let raw = value_of(args, i)
+                    .ok_or_else(|| "--jobs needs a positive integer".to_string())?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a positive integer, got {raw:?}"))?;
+                if n == 0 {
+                    return Err("--jobs needs a positive integer, got 0".to_string());
+                }
+                opts.jobs = Some(n);
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other:?} (try --list)")),
         }
         i += 1;
     }
+    Ok(opts)
+}
 
-    enum Job {
-        Paper(ExperimentId),
-        Ablation(AblationId),
+#[derive(Clone, Copy)]
+enum Job {
+    Paper(ExperimentId),
+    Ablation(AblationId),
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args).unwrap_or_else(|e| die(&e));
+
+    if opts.list {
+        for id in ExperimentId::ALL {
+            println!("{}", id.slug());
+        }
+        for id in AblationId::ALL {
+            println!("{}", id.slug());
+        }
+        return;
     }
-    let jobs: Vec<Job> = match only {
-        Some(slug) => match ExperimentId::from_slug(&slug) {
+
+    let jobs_n = opts.jobs.unwrap_or_else(squ::par::available_jobs);
+    let run_start = std::time::Instant::now();
+
+    let queue: Vec<Job> = match &opts.only {
+        Some(slug) => match ExperimentId::from_slug(slug) {
             Some(id) => vec![Job::Paper(id)],
-            None => vec![Job::Ablation(AblationId::from_slug(&slug).unwrap_or_else(
+            None => vec![Job::Ablation(AblationId::from_slug(slug).unwrap_or_else(
                 || die(&format!("unknown artifact {slug:?} (try --list)")),
             ))],
         },
-        None if ablations => AblationId::ALL.iter().map(|a| Job::Ablation(*a)).collect(),
+        None if opts.ablations => AblationId::ALL.iter().map(|a| Job::Ablation(*a)).collect(),
         None => ExperimentId::ALL.iter().map(|e| Job::Paper(*e)).collect(),
     };
 
-    eprintln!("building benchmark suite (seed {seed})…");
+    eprintln!(
+        "building benchmark suite (seed {}, {} jobs)…",
+        opts.seed, jobs_n
+    );
     let t0 = std::time::Instant::now();
-    let suite = Suite::new(seed);
+    let suite = Suite::new_with_jobs(opts.seed, jobs_n);
     eprintln!("suite ready in {:.1?}", t0.elapsed());
 
     let out_dir = PathBuf::from("target/repro");
     fs::create_dir_all(&out_dir).expect("create target/repro");
 
-    if let Some(dir) = export {
-        let dir = std::path::PathBuf::from(dir);
+    if let Some(dir) = &opts.export {
+        let dir = PathBuf::from(dir);
         let manifest =
             squ::export_suite(&suite, &dir).unwrap_or_else(|e| die(&format!("export failed: {e}")));
         println!(
@@ -95,17 +153,28 @@ fn main() {
             manifest.files.iter().map(|f| f.records).sum::<usize>(),
             dir.display()
         );
+        finish_timings(&opts, &out_dir, jobs_n, run_start);
         return;
     }
 
-    for job in jobs {
+    // run artifacts on the worker pool; results come back in queue order,
+    // so stdout is identical whatever the job count
+    let artifacts: Vec<(Artifact, std::time::Duration)> = squ::par::map(jobs_n, queue, |job| {
         let t = std::time::Instant::now();
         let artifact = match job {
-            Job::Paper(id) => run_experiment(&suite, id),
-            Job::Ablation(id) => run_ablation(&suite, id),
+            Job::Paper(id) => squ::timing::time(&format!("artifact.{}", id.slug()), || {
+                run_experiment(&suite, id)
+            }),
+            Job::Ablation(id) => squ::timing::time(&format!("artifact.{}", id.slug()), || {
+                run_ablation(&suite, id)
+            }),
         };
+        (artifact, t.elapsed())
+    });
+
+    for (artifact, elapsed) in &artifacts {
         println!("\n================================================================");
-        println!("{}  ({:.1?})", artifact.title, t.elapsed());
+        println!("{}  ({:.1?})", artifact.title, elapsed);
         println!("================================================================");
         println!("{}", artifact.body);
         fs::write(
@@ -119,9 +188,94 @@ fn main() {
         }
     }
     eprintln!("\nartifacts written to {}", out_dir.display());
+    finish_timings(&opts, &out_dir, jobs_n, run_start);
+}
+
+/// Drain the span registry: always persist `timings.json`, and print the
+/// plain-text report when `--timings` was given.
+fn finish_timings(opts: &Opts, out_dir: &PathBuf, jobs_n: usize, run_start: std::time::Instant) {
+    let spans = squ::timing::drain();
+    let json = squ::timing::to_json(&spans, jobs_n, run_start.elapsed());
+    let path = out_dir.join("timings.json");
+    fs::write(&path, &json).expect("write timings.json");
+    if opts.timings {
+        eprintln!("\nphase timings ({jobs_n} jobs):");
+        eprint!("{}", squ::timing::report(&spans));
+        eprintln!("timings written to {}", path.display());
+    }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse_args(&[]).unwrap();
+        assert_eq!(opts, Opts::default());
+        assert_eq!(opts.seed, PAPER_SEED);
+    }
+
+    #[test]
+    fn export_with_and_without_directory() {
+        // bare --export falls back to the default directory
+        let opts = parse_args(&argv(&["--export"])).unwrap();
+        assert_eq!(opts.export.as_deref(), Some("target/benchmark-export"));
+        // --export DIR consumes the directory
+        let opts = parse_args(&argv(&["--export", "out/data"])).unwrap();
+        assert_eq!(opts.export.as_deref(), Some("out/data"));
+        // a following flag is not swallowed as the directory
+        let opts = parse_args(&argv(&["--export", "--timings"])).unwrap();
+        assert_eq!(opts.export.as_deref(), Some("target/benchmark-export"));
+        assert!(opts.timings);
+    }
+
+    #[test]
+    fn only_seed_jobs() {
+        let opts = parse_args(&argv(&[
+            "--only",
+            "table3",
+            "--seed",
+            "7",
+            "--jobs",
+            "4",
+            "--timings",
+        ]))
+        .unwrap();
+        assert_eq!(opts.only.as_deref(), Some("table3"));
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.jobs, Some(4));
+        assert!(opts.timings);
+    }
+
+    #[test]
+    fn flag_values_are_validated() {
+        assert!(parse_args(&argv(&["--only"])).is_err());
+        assert!(parse_args(&argv(&["--seed"])).is_err());
+        assert!(parse_args(&argv(&["--seed", "abc"])).is_err());
+        assert!(parse_args(&argv(&["--jobs"])).is_err());
+        assert!(parse_args(&argv(&["--jobs", "0"])).is_err());
+        assert!(parse_args(&argv(&["--jobs", "-2"])).is_err());
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+        // flags as values are rejected, not consumed
+        assert!(parse_args(&argv(&["--seed", "--jobs"])).is_err());
+    }
+
+    #[test]
+    fn list_and_ablations_flags() {
+        let opts = parse_args(&argv(&["--list"])).unwrap();
+        assert!(opts.list);
+        let opts = parse_args(&argv(&["--ablations", "--jobs", "2"])).unwrap();
+        assert!(opts.ablations);
+        assert_eq!(opts.jobs, Some(2));
+    }
 }

@@ -27,11 +27,13 @@
 pub mod ablations;
 pub mod experiments;
 pub mod export;
+pub mod par;
 pub mod pipeline;
 #[cfg(test)]
 mod pipeline_tests;
 pub mod render;
 mod suite;
+pub mod timing;
 
 pub use ablations::{run_ablation, run_all_ablations, AblationId};
 pub use experiments::{run_all, run_experiment, Artifact, ExperimentId};

@@ -1,0 +1,95 @@
+//! Deterministic parallel execution over OS threads.
+//!
+//! A dependency-free worker pool built on [`std::thread::scope`]: results
+//! land in slots indexed by input position, so the output order — and
+//! therefore everything derived from it — is byte-identical whatever the
+//! job count or OS scheduling. `jobs <= 1` short-circuits to a plain
+//! sequential map with no thread machinery at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `jobs` worker threads.
+///
+/// Output position `i` always holds `f(items[i])`, so results are
+/// identical to the sequential `items.into_iter().map(f).collect()` for
+/// any `jobs`. Workers pull the next unclaimed index from a shared
+/// counter, which keeps long-running items from serializing behind a
+/// static partition. A panic inside `f` propagates after all workers
+/// finish (the [`std::thread::scope`] join contract).
+pub fn map<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot lock")
+                    .take()
+                    .expect("each index claimed once");
+                let result = f(item);
+                *out[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * v + 1).collect();
+        for jobs in [1, 2, 3, 8, 64, 200] {
+            let got = map(jobs, items.clone(), |v| v * v + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(map(8, Vec::<u8>::new(), |v| v), Vec::<u8>::new());
+        assert_eq!(map(8, vec![41], |v| v + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_workloads_keep_order() {
+        // later items finish first; slots must still line up
+        let got = map(4, vec![30u64, 20, 10, 0], |ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(got, vec![30, 20, 10, 0]);
+    }
+}

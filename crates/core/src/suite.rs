@@ -1,6 +1,7 @@
 //! The benchmark suite: all sampled workloads and derived task datasets,
 //! built deterministically from one master seed.
 
+use crate::{par, timing};
 use squ_tasks::{
     build_equiv_dataset, build_explain_dataset, build_perf_dataset, build_syntax_dataset,
     build_token_dataset, EquivExample, ExplainExample, PerfExample, SyntaxExample, TokenExample,
@@ -35,31 +36,110 @@ pub struct Suite {
     pub explain: Vec<ExplainExample>,
 }
 
-impl Suite {
-    /// Build the full suite from a master seed. Building includes the
-    /// differential verification of every equivalence pair, so this takes
-    /// a few seconds.
-    pub fn new(seed: u64) -> Suite {
-        let sdss = build(Workload::Sdss, seed);
-        let sqlshare = build(Workload::SqlShare, seed);
-        let joborder = build(Workload::JoinOrder, seed);
-        let spider = build(Workload::Spider, seed);
+/// One derived-dataset build job; the enum lets heterogeneous builds
+/// share a single deterministic worker pool.
+enum DerivedJob<'a> {
+    Syntax(&'a Dataset),
+    Tokens(&'a Dataset),
+    Equiv(&'a Dataset),
+    Perf(&'a Dataset),
+    Explain(&'a Dataset),
+}
 
+/// Result of a [`DerivedJob`]; variants mirror the job list one-to-one.
+enum DerivedOut {
+    Syntax(Workload, Vec<SyntaxExample>),
+    Tokens(Workload, Vec<TokenExample>),
+    Equiv(Workload, Vec<EquivExample>),
+    Perf(Vec<PerfExample>),
+    Explain(Vec<ExplainExample>),
+}
+
+impl Suite {
+    /// Build the full suite from a master seed, using all available
+    /// cores. Building includes the differential verification of every
+    /// equivalence pair, so this is the dominant cost of a run.
+    ///
+    /// Equivalent to `new_with_jobs(seed, par::available_jobs())`; the
+    /// result is byte-identical for every job count.
+    pub fn new(seed: u64) -> Suite {
+        Suite::new_with_jobs(seed, par::available_jobs())
+    }
+
+    /// Build the full suite on up to `jobs` worker threads (`1` =
+    /// sequential). Determinism is unconditional: every dataset is built
+    /// from its own seeded generator and results are reassembled in
+    /// canonical declaration order, so the suite content does not depend
+    /// on `jobs` or thread scheduling.
+    pub fn new_with_jobs(seed: u64, jobs: usize) -> Suite {
+        let start = std::time::Instant::now();
+
+        // phase 1: the four sampled workloads, mutually independent
+        let workloads = par::map(
+            jobs,
+            vec![
+                Workload::Sdss,
+                Workload::SqlShare,
+                Workload::JoinOrder,
+                Workload::Spider,
+            ],
+            |w| timing::time(&format!("suite.workload.{}", w.name()), || build(w, seed)),
+        );
+        let [sdss, sqlshare, joborder, spider]: [Dataset; 4] =
+            workloads.try_into().expect("four workloads in, four out");
+
+        // phase 2: derived task datasets. Equivalence jobs lead the queue
+        // because differential verification dominates the wall-clock, so
+        // they get threads first; output order is fixed by the job list.
         let task_sets = [&sdss, &sqlshare, &joborder];
-        let syntax = task_sets
-            .iter()
-            .map(|ds| (ds.workload, build_syntax_dataset(ds, seed)))
-            .collect();
-        let tokens = task_sets
-            .iter()
-            .map(|ds| (ds.workload, build_token_dataset(ds, seed)))
-            .collect();
-        let equiv = task_sets
-            .iter()
-            .map(|ds| (ds.workload, build_equiv_dataset(ds, seed)))
-            .collect();
-        let perf = build_perf_dataset(&sdss);
-        let explain = build_explain_dataset(&spider);
+        let mut jobs_list: Vec<DerivedJob<'_>> = Vec::new();
+        jobs_list.extend(task_sets.iter().map(|ds| DerivedJob::Equiv(ds)));
+        jobs_list.extend(task_sets.iter().map(|ds| DerivedJob::Syntax(ds)));
+        jobs_list.extend(task_sets.iter().map(|ds| DerivedJob::Tokens(ds)));
+        jobs_list.push(DerivedJob::Perf(&sdss));
+        jobs_list.push(DerivedJob::Explain(&spider));
+
+        let outputs = par::map(jobs, jobs_list, |job| match job {
+            DerivedJob::Syntax(ds) => {
+                timing::time(&format!("suite.task.syntax.{}", ds.workload.name()), || {
+                    DerivedOut::Syntax(ds.workload, build_syntax_dataset(ds, seed))
+                })
+            }
+            DerivedJob::Tokens(ds) => {
+                timing::time(&format!("suite.task.tokens.{}", ds.workload.name()), || {
+                    DerivedOut::Tokens(ds.workload, build_token_dataset(ds, seed))
+                })
+            }
+            DerivedJob::Equiv(ds) => {
+                timing::time(&format!("suite.task.equiv.{}", ds.workload.name()), || {
+                    DerivedOut::Equiv(ds.workload, build_equiv_dataset(ds, seed))
+                })
+            }
+            DerivedJob::Perf(ds) => timing::time("suite.task.perf", || {
+                DerivedOut::Perf(build_perf_dataset(ds))
+            }),
+            DerivedJob::Explain(ds) => timing::time("suite.task.explain", || {
+                DerivedOut::Explain(build_explain_dataset(ds))
+            }),
+        });
+
+        // reassemble in canonical field order (syntax, tokens, equiv each
+        // in task-workload order) regardless of the queue order above
+        let mut syntax = Vec::new();
+        let mut tokens = Vec::new();
+        let mut equiv = Vec::new();
+        let mut perf = Vec::new();
+        let mut explain = Vec::new();
+        for out in outputs {
+            match out {
+                DerivedOut::Syntax(w, v) => syntax.push((w, v)),
+                DerivedOut::Tokens(w, v) => tokens.push((w, v)),
+                DerivedOut::Equiv(w, v) => equiv.push((w, v)),
+                DerivedOut::Perf(v) => perf = v,
+                DerivedOut::Explain(v) => explain = v,
+            }
+        }
+        timing::record("suite.total", start.elapsed());
 
         Suite {
             seed,

@@ -1,0 +1,131 @@
+//! Lightweight wall-clock phase timing.
+//!
+//! A process-global span registry: any layer can wrap work in
+//! [`time`] (or [`record`] a measured duration), and the driver decides at
+//! the end whether to [`drain`] the spans into a human-readable report
+//! ([`report`]) and machine-readable JSON ([`to_json`]). When nothing
+//! drains the registry the overhead is one mutex push per span.
+//!
+//! Span names are dotted paths (`suite.task.equiv.sdss`) so reports group
+//! naturally when sorted.
+
+use serde::Serialize;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One timed phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct Span {
+    /// Dotted phase name, e.g. `suite.workload.sdss`.
+    pub name: String,
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+}
+
+fn registry() -> &'static Mutex<Vec<Span>> {
+    static SPANS: OnceLock<Mutex<Vec<Span>>> = OnceLock::new();
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Record an already-measured duration under `name`.
+pub fn record(name: &str, elapsed: Duration) {
+    registry().lock().expect("timing registry lock").push(Span {
+        name: name.to_string(),
+        ms: elapsed.as_secs_f64() * 1e3,
+    });
+}
+
+/// Run `f`, recording its wall-clock time under `name`.
+pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    record(name, start.elapsed());
+    out
+}
+
+/// Take all recorded spans, sorted by name (ties keep record order).
+/// Sorting makes the report stable however threads interleaved.
+pub fn drain() -> Vec<Span> {
+    let mut spans = std::mem::take(&mut *registry().lock().expect("timing registry lock"));
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+    spans
+}
+
+/// Render spans as an aligned plain-text table.
+pub fn report(spans: &[Span]) -> String {
+    let width = spans.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&format!(
+            "{:<width$}  {:>10.1} ms\n",
+            span.name,
+            span.ms,
+            width = width
+        ));
+    }
+    out
+}
+
+/// Render spans plus run metadata as a JSON document:
+/// `{"jobs": N, "total_ms": T, "spans": [{"name": …, "ms": …}, …]}`.
+pub fn to_json(spans: &[Span], jobs: usize, total: Duration) -> String {
+    let doc = TimingsDoc {
+        jobs,
+        total_ms: total.as_secs_f64() * 1e3,
+        spans: spans.to_vec(),
+    };
+    serde_json::to_string_pretty(&doc).expect("timings serialize")
+}
+
+#[derive(Serialize)]
+struct TimingsDoc {
+    jobs: usize,
+    total_ms: f64,
+    spans: Vec<Span>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_sorted() {
+        time("test.timing.z", || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        time("test.timing.a", || ());
+        record("test.timing.m", Duration::from_millis(5));
+        // other tests share the process-global registry; judge only ours
+        let spans: Vec<Span> = drain()
+            .into_iter()
+            .filter(|s| s.name.starts_with("test.timing."))
+            .collect();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["test.timing.a", "test.timing.m", "test.timing.z"]
+        );
+        assert!(spans[1].ms >= 5.0);
+    }
+
+    #[test]
+    fn report_and_json_render() {
+        let spans = vec![
+            Span {
+                name: "suite.total".into(),
+                ms: 1234.5,
+            },
+            Span {
+                name: "x".into(),
+                ms: 0.25,
+            },
+        ];
+        let text = report(&spans);
+        assert!(text.contains("suite.total") && text.contains("1234.5 ms"));
+        let json = to_json(&spans, 8, Duration::from_millis(1500));
+        let doc = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc["jobs"], 8u64);
+        assert_eq!(doc["spans"][0]["name"], "suite.total");
+        assert!(doc["total_ms"].as_f64().unwrap() >= 1500.0);
+    }
+}

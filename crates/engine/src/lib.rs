@@ -38,4 +38,6 @@ pub use exec::{execute, execute_query, like_match, ExecError, ExecStats};
 pub use plan::{explain, plan_query, Plan};
 pub use table::{Database, Relation};
 pub use value::Value;
-pub use witness::{is_id_column, witness_batch, witness_database, TEXT_VOCAB};
+pub use witness::{
+    is_id_column, witness_batch, witness_batch_cached, witness_database, TEXT_VOCAB,
+};

@@ -19,6 +19,8 @@ use crate::{Database, Relation, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use squ_schema::{Schema, SqlType};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Domain size for id-like columns; small enough that equi-joins on ids
 /// produce both matches and misses at witness scale.
@@ -78,6 +80,37 @@ pub fn witness_batch(schema: &Schema, seed: u64) -> Vec<Database> {
             witness_database(schema, seed.wrapping_add(i as u64 * 7919), lo, hi)
         })
         .collect()
+}
+
+/// Memoized [`witness_batch`]: one generation per distinct
+/// `(schema, seed)` pair, shared through an [`Arc`].
+///
+/// Differential testing re-uses the *same* witness batch for every
+/// transformation pair derived from one schema, so callers that key their
+/// witness seed by schema (rather than by query) hit this cache on all but
+/// the first call. The cache is process-global and thread-safe; generation
+/// happens outside the lock so concurrent first requests never serialize
+/// behind each other (a lost race costs one redundant generation, and both
+/// results are identical by determinism of [`witness_batch`]).
+pub fn witness_batch_cached(schema: &Schema, seed: u64) -> Arc<Vec<Database>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), Arc<Vec<Database>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (schema_fingerprint(schema), seed);
+    if let Some(hit) = cache.lock().expect("witness cache lock").get(&key) {
+        return Arc::clone(hit);
+    }
+    let batch = Arc::new(witness_batch(schema, seed));
+    let mut guard = cache.lock().expect("witness cache lock");
+    Arc::clone(guard.entry(key).or_insert(batch))
+}
+
+/// Structural fingerprint of a schema (name, tables, columns, types),
+/// used as the cache key so same-named but different schemas never alias.
+fn schema_fingerprint(schema: &Schema) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{schema:?}").hash(&mut h);
+    h.finish()
 }
 
 fn random_value(rng: &mut StdRng, col_name: &str, ty: SqlType) -> Value {
@@ -165,5 +198,24 @@ mod tests {
         let t0 = batch[0].table("SpecObj").unwrap().len();
         let t4 = batch[4].table("SpecObj").unwrap().len();
         assert!(t0 <= 5 && t4 >= 10);
+    }
+
+    #[test]
+    fn cached_batch_matches_uncached() {
+        let schema = sdss();
+        let direct = witness_batch(&schema, 77);
+        let cached = witness_batch_cached(&schema, 77);
+        assert_eq!(direct.len(), cached.len());
+        for (a, b) in direct.iter().zip(cached.iter()) {
+            for (name, rel) in a.tables() {
+                assert_eq!(Some(rel), b.table(name));
+            }
+        }
+        // second call is served from the cache: same allocation
+        let again = witness_batch_cached(&schema, 77);
+        assert!(Arc::ptr_eq(&cached, &again));
+        // a different seed is a different entry
+        let other = witness_batch_cached(&schema, 78);
+        assert!(!Arc::ptr_eq(&cached, &other));
     }
 }

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use squ_engine::{execute_query, witness_batch, Database};
+use squ_engine::{execute_query, witness_batch_cached, Database};
 use squ_parser::ast::*;
 use squ_parser::{parse_query, print_query, CompareOp};
 use squ_workload::{schema_for, Dataset, WorkloadQuery};
@@ -1065,7 +1065,11 @@ pub fn build_equiv_dataset(ds: &Dataset, seed: u64) -> Vec<EquivExample> {
 fn make_pair(wq: &WorkloadQuery, want_equiv: bool, rng: &mut StdRng) -> Option<EquivExample> {
     let q = parse_query(&wq.sql).ok()?;
     let schema = schema_for(wq.workload, &wq.schema_name);
-    let witnesses = witness_batch(&schema, 0xBEE5 ^ seed_of(&wq.id));
+    // Witness seed is keyed by schema, not by query: every pair over the
+    // same schema shares one differential-testing batch, so the memoized
+    // generator does the expensive work once per schema instead of once
+    // per query.
+    let witnesses = witness_batch_cached(&schema, 0xBEE5 ^ seed_of(&wq.schema_name));
     if want_equiv {
         let mut types = EquivType::ALL;
         types.shuffle(rng);
@@ -1121,6 +1125,7 @@ fn example(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use squ_engine::witness_batch;
     use squ_schema::schemas::sdss;
 
     fn rng() -> StdRng {
@@ -1260,7 +1265,8 @@ mod tests {
             let q1 = parse_query(&p.sql1).unwrap();
             let q2 = parse_query(&p.sql2).unwrap();
             let schema = schema_for(squ_workload::Workload::Sdss, &p.schema_name);
-            let witnesses = witness_batch(&schema, 0xBEE5 ^ seed_of(&p.query_id));
+            // same schema-keyed seed formula as make_pair
+            let witnesses = witness_batch(&schema, 0xBEE5 ^ seed_of(&p.schema_name));
             let v = differential_verdict(&q1, &q2, &witnesses);
             if p.equivalent {
                 assert_eq!(v, Verdict::AgreedEverywhere);

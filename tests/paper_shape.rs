@@ -462,8 +462,7 @@ fn word_guess_accuracy_tracks_type_accuracy() {
     let mut correct_type = 0usize;
     let mut correct_word = 0usize;
     for o in &outcomes {
-        let (Some(truth_ty), Some(said_ty)) = (o.example.token_type, o.said_type.as_deref())
-        else {
+        let (Some(truth_ty), Some(said_ty)) = (o.example.token_type, o.said_type.as_deref()) else {
             continue;
         };
         if truth_ty.label() != said_ty {
@@ -476,8 +475,5 @@ fn word_guess_accuracy_tracks_type_accuracy() {
     }
     assert!(correct_type > 50, "too few typed answers: {correct_type}");
     let rate = correct_word as f64 / correct_type as f64;
-    assert!(
-        rate > 0.7,
-        "word guess only {rate:.2} given a correct type"
-    );
+    assert!(rate > 0.7, "word guess only {rate:.2} given a correct type");
 }

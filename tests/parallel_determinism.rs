@@ -1,0 +1,78 @@
+//! Parallel suite construction must be a pure optimization: the suite
+//! built on N worker threads is byte-identical to the sequential build.
+//!
+//! The comparison is end-to-end through [`squ::export_suite`]: every
+//! JSONL dataset file and the manifest are compared byte-for-byte, so any
+//! scheduling-dependent reordering or content drift anywhere in the
+//! pipeline fails the test.
+
+use squ::{export_suite, Suite, PAPER_SEED};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// All exported files as `relative name -> bytes`.
+fn export_to_bytes(suite: &Suite, dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let manifest = export_suite(suite, dir).expect("export suite");
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read export dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        files.insert(name, fs::read(entry.path()).expect("read exported file"));
+    }
+    assert!(
+        files.len() > manifest.files.len(),
+        "expected dataset files plus manifest, got {}",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn parallel_build_is_byte_identical_to_sequential() {
+    let sequential = Suite::new_with_jobs(PAPER_SEED, 1);
+    let parallel = Suite::new_with_jobs(PAPER_SEED, 8);
+
+    let dir_seq = Path::new("target/test-determinism/jobs1");
+    let dir_par = Path::new("target/test-determinism/jobs8");
+    for d in [dir_seq, dir_par] {
+        if d.exists() {
+            fs::remove_dir_all(d).expect("clean old export");
+        }
+        fs::create_dir_all(d).expect("create export dir");
+    }
+
+    let files_seq = export_to_bytes(&sequential, dir_seq);
+    let files_par = export_to_bytes(&parallel, dir_par);
+
+    let names_seq: Vec<&String> = files_seq.keys().collect();
+    let names_par: Vec<&String> = files_par.keys().collect();
+    assert_eq!(names_seq, names_par, "exported file sets differ");
+
+    for (name, bytes_seq) in &files_seq {
+        let bytes_par = &files_par[name];
+        assert_eq!(
+            bytes_seq, bytes_par,
+            "{name} differs between jobs=1 and jobs=8"
+        );
+    }
+}
+
+#[test]
+fn default_build_matches_explicit_jobs() {
+    // Suite::new delegates to new_with_jobs(available_jobs); spot-check a
+    // cheap cross-section rather than re-exporting everything.
+    let a = Suite::new(PAPER_SEED);
+    let b = Suite::new_with_jobs(PAPER_SEED, 3);
+    assert_eq!(a.sdss.queries.len(), b.sdss.queries.len());
+    assert_eq!(a.perf.len(), b.perf.len());
+    for (wa, wb) in a.equiv.iter().zip(b.equiv.iter()) {
+        assert_eq!(wa.0, wb.0);
+        assert_eq!(wa.1.len(), wb.1.len());
+        for (ea, eb) in wa.1.iter().zip(wb.1.iter()) {
+            assert_eq!(ea.query_id, eb.query_id);
+            assert_eq!(ea.sql2, eb.sql2);
+            assert_eq!(ea.equivalent, eb.equivalent);
+        }
+    }
+}

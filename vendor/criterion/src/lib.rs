@@ -1,0 +1,202 @@
+//! Offline, dependency-free subset of the `criterion` API.
+//!
+//! The registry is unreachable in this build environment, so the bench
+//! harness is vendored as a minimal-but-real measurement loop: each
+//! benchmark runs a short warm-up, then timed iterations, and prints the
+//! mean wall-clock time per iteration with throughput when configured.
+//! There is no statistical analysis, HTML report, or CLI filtering.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter display value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("parse", 1024)` → `parse/1024`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its result live via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(full_id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // warm-up: run until ~50ms elapsed to pick an iteration count
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warmup = Instant::now();
+    let mut total_iters = 0u64;
+    while warmup.elapsed() < Duration::from_millis(50) {
+        f(&mut probe);
+        total_iters += probe.iters;
+        probe.iters = (probe.iters * 2).min(1 << 20);
+    }
+    let per_iter = warmup.elapsed().as_nanos() as u64 / total_iters.max(1);
+    // measurement: aim for ~200ms of work
+    let iters = (200_000_000u64 / per_iter.max(1)).clamp(1, 1 << 22);
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let nanos = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    let time = if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    };
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (nanos / 1e9) / (1024.0 * 1024.0);
+            println!("{full_id:<48} {time:>12}/iter  {mib_s:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (nanos / 1e9);
+            println!("{full_id:<48} {time:>12}/iter  {elem_s:>10.0} elem/s");
+        }
+        None => println!("{full_id:<48} {time:>12}/iter"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmark `routine` with an explicit input value.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark a closure under this group's name.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, &mut routine);
+        self
+    }
+
+    /// Finish the group (no-op; parity with upstream).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single named closure.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) -> &mut Self {
+        run_one(id, None, &mut routine);
+        self
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Bytes(100));
+        g.bench_with_input(BenchmarkId::new("len", 100), &100usize, |b, n| {
+            b.iter(|| "x".repeat(*n).len())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        tiny(&mut c);
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

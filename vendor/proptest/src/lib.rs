@@ -1,0 +1,581 @@
+//! Offline, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest its property tests use (see `vendor/README.md`):
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros, `Strategy` with `prop_map`, `Just`, numeric-range strategies,
+//! regex-string strategies, tuple strategies, and `collection::vec`.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case reports
+//! the case index and message. Case generation is fully deterministic, so
+//! a failure reproduces on every run.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------- runner ----------------
+
+/// A failed property assertion.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type a property-test body produces.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Execute `cases` deterministic cases of a property. Panics (failing the
+/// enclosing `#[test]`) on the first case whose body returns an error.
+pub fn run_cases(cases: u32, mut body: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    for case in 0..cases {
+        let mut rng = TestRng::new(0x5EED_0000_0000_0000u64 ^ (case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest case {case}/{cases} failed: {e}");
+        }
+    }
+}
+
+// ---------------- strategies ----------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+/// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Rc<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from pre-wrapped arms (used by `prop_oneof!`).
+    pub fn from_arms(arms: Vec<Rc<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].sample(rng)
+    }
+}
+
+/// Wrap a strategy for use as a `prop_oneof!` arm.
+pub fn __rc_strategy<S: Strategy + 'static>(s: S) -> Rc<dyn Strategy<Value = S::Value>> {
+    Rc::new(s)
+}
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — lengths are sampled from the half-open
+    /// range, matching proptest's `SizeRange` semantics for `a..b`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------- regex string strategies ----------------
+
+/// `&str` strategies are interpreted as a small regex dialect, like
+/// upstream proptest: literals, `.`, `[a-z ]` classes, `(a|bc|d)` groups,
+/// escapes, and `{m,n}` / `*` / `+` / `?` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let nodes = regex::parse_alternatives(&mut self.chars().peekable());
+        regex::sample_alternatives(&nodes, rng)
+    }
+}
+
+mod regex {
+    use super::TestRng;
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    pub(super) enum Node {
+        Lit(char),
+        Dot,
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Repeated>>),
+    }
+
+    pub(super) struct Repeated {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    type Alternatives = Vec<Vec<Repeated>>;
+
+    pub(super) fn parse_alternatives(chars: &mut Peekable<Chars<'_>>) -> Alternatives {
+        let mut alts = vec![Vec::new()];
+        while let Some(&c) = chars.peek() {
+            match c {
+                ')' => break,
+                '|' => {
+                    chars.next();
+                    alts.push(Vec::new());
+                }
+                _ => {
+                    let node = parse_atom(chars);
+                    let (min, max) = parse_repetition(chars);
+                    alts.last_mut()
+                        .expect("non-empty")
+                        .push(Repeated { node, min, max });
+                }
+            }
+        }
+        alts
+    }
+
+    fn parse_atom(chars: &mut Peekable<Chars<'_>>) -> Node {
+        match chars.next().expect("atom") {
+            '(' => {
+                let alts = parse_alternatives(chars);
+                chars.next(); // closing ')'
+                Node::Group(alts)
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ']' {
+                        chars.next();
+                        break;
+                    }
+                    let lo = if c == '\\' {
+                        chars.next();
+                        chars.next().expect("escaped class char")
+                    } else {
+                        chars.next();
+                        c
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("class range end");
+                        if hi == ']' {
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                            break;
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Node::Class(ranges)
+            }
+            '.' => Node::Dot,
+            '\\' => Node::Lit(chars.next().expect("escaped char")),
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_repetition(chars: &mut Peekable<Chars<'_>>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                for c in chars.by_ref() {
+                    match c {
+                        '}' => break,
+                        ',' => in_max = true,
+                        d => {
+                            if in_max {
+                                max.push(d);
+                            } else {
+                                min.push(d);
+                            }
+                        }
+                    }
+                }
+                let lo: u32 = min.parse().unwrap_or(0);
+                let hi: u32 = if in_max {
+                    max.parse().unwrap_or(lo)
+                } else {
+                    lo
+                };
+                (lo, hi)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    pub(super) fn sample_alternatives(alts: &Alternatives, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        sample_into(alts, rng, &mut out);
+        out
+    }
+
+    fn sample_into(alts: &Alternatives, rng: &mut TestRng, out: &mut String) {
+        let seq = &alts[rng.below(alts.len() as u64) as usize];
+        for rep in seq {
+            let span = (rep.max - rep.min + 1) as u64;
+            let n = rep.min + rng.below(span) as u32;
+            for _ in 0..n {
+                sample_node(&rep.node, rng, out);
+            }
+        }
+    }
+
+    fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Dot => {
+                // mostly printable ASCII, occasionally multi-byte chars, so
+                // totality tests see non-trivial encodings (never newline,
+                // matching regex `.`)
+                if rng.below(10) == 0 {
+                    const WIDE: &[char] = &['é', 'λ', '中', '🙂', '\u{7f}', '\u{a0}'];
+                    out.push(WIDE[rng.below(WIDE.len() as u64) as usize]);
+                } else {
+                    out.push((0x20 + rng.below(0x5f) as u8) as char);
+                }
+            }
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = (hi as u32).saturating_sub(lo as u32) + 1;
+                let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo);
+                out.push(c);
+            }
+            Node::Group(alts) => sample_into(alts, rng, out),
+        }
+    }
+}
+
+// ---------------- macros ----------------
+
+/// Define deterministic property tests over strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg).cases ; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default().cases ; $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cases:expr ; $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = $cases;
+                $crate::run_cases(__cases, |__rng| {
+                    $( let $arg = $crate::Strategy::sample(&($strat), __rng); )+
+                    let __body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    __body()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body; failure aborts only this case set.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} != {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::from_arms(vec![ $( $crate::__rc_strategy($arm) ),+ ])
+    };
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+
+    /// Namespace mirror of upstream's `prop::…` paths.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = crate::TestRng::new(1);
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn regex_class_and_group() {
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..50 {
+            let s = "[ -~]{0,20}".sample(&mut rng);
+            assert!(s.len() <= 20 && s.chars().all(|c| (' '..='~').contains(&c)));
+            let t = "(ab|cd){1,3}".sample(&mut rng);
+            assert!(!t.is_empty() && t.len() % 2 == 0);
+            let u = "[0-9]{1,4}".sample(&mut rng);
+            assert!((1..=4).contains(&u.len()) && u.chars().all(|c| c.is_ascii_digit()));
+            let w = "(\\(|\\)|x){1,2}".sample(&mut rng);
+            assert!(w.chars().all(|c| "()x".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u32..100, s in "x{1,5}", v in prop::collection::vec(0i32..3, 1..4)) {
+            prop_assert!(a < 100);
+            prop_assert!((1..=5).contains(&s.len()));
+            prop_assert!((1..=3).contains(&v.len()));
+            prop_assert_eq!(s.chars().filter(|c| *c == 'x').count(), s.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_tuples(pair in (prop_oneof![Just(1u8), Just(2u8)], 0u8..3)) {
+            prop_assert!(pair.0 == 1 || pair.0 == 2);
+            prop_assert!(pair.1 < 3);
+        }
+    }
+}

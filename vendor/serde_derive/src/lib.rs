@@ -1,0 +1,320 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stub. Implemented directly over `proc_macro::TokenStream` (no
+//! syn/quote — the registry is unreachable in this build environment).
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! * structs with named fields,
+//! * enums with unit, one-field tuple, and struct variants,
+//! * an optional simple generic parameter list (`<T>`).
+//!
+//! JSON layout matches serde's externally-tagged default:
+//! * struct           → `{"field": value, …}`
+//! * unit variant     → `"Variant"`
+//! * tuple variant    → `{"Variant": value}`
+//! * struct variant   → `{"Variant": {"field": value, …}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    item: Item,
+}
+
+/// Skip attributes (`#[...]` / `#![...]`) and visibility (`pub`,
+/// `pub(crate)`, …) at the current position.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Parse a simple generic parameter list `<A, B, 'a>` starting at `<`.
+/// Returns (type-parameter names, index after the closing `>`).
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut params = Vec::new();
+    if !is_punct(tokens.get(i), '<') {
+        return (params, i);
+    }
+    i += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_param = true,
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expecting_param = false,
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                params.push(id.to_string());
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (params, i)
+}
+
+/// Parse named fields inside a brace group: returns the field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(name) = ident_at(&tokens, i) else { break };
+        fields.push(name);
+        i += 1;
+        // expect ':', then consume the type up to a top-level ','
+        if is_punct(tokens.get(i), ':') {
+            i += 1;
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parse enum variants inside a brace group.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(name) = ident_at(&tokens, i) else { break };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut count = if inner.is_empty() { 0 } else { 1 };
+                let mut angle = 0i32;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                VariantKind::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // skip a possible discriminant and the trailing comma
+        while i < tokens.len() && !is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let keyword = ident_at(&tokens, i).expect("derive input starts with struct/enum");
+    i += 1;
+    let name = ident_at(&tokens, i).expect("type name after struct/enum");
+    i += 1;
+    let (generics, after_generics) = parse_generics(&tokens, i);
+    i = after_generics;
+    // skip a possible `where` clause up to the body group
+    while i < tokens.len()
+        && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+        && !is_punct(tokens.get(i), ';')
+    {
+        i += 1;
+    }
+    let item = match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) => Item::Struct {
+            fields: parse_named_fields(g.stream()),
+        },
+        ("struct", _) => Item::Struct { fields: Vec::new() },
+        ("enum", Some(TokenTree::Group(g))) => Item::Enum {
+            variants: parse_variants(g.stream()),
+        },
+        other => panic!("unsupported derive input: {other:?}"),
+    };
+    Parsed {
+        name,
+        generics,
+        item,
+    }
+}
+
+fn impl_header(p: &Parsed, trait_path: &str, bound: Option<&str>) -> String {
+    if p.generics.is_empty() {
+        format!("impl {} for {}", trait_path, p.name)
+    } else {
+        let params = p.generics.join(", ");
+        let bounds = match bound {
+            Some(b) => p
+                .generics
+                .iter()
+                .map(|g| format!("{g}: {b}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            None => params.clone(),
+        };
+        format!(
+            "impl<{bounds}> {trait_path} for {}<{params}>",
+            p.name
+        )
+    }
+}
+
+/// `#[derive(Serialize)]` — lowers the type to a `serde::Json` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    let body = match &p.item {
+        Item::Struct { fields } => {
+            let pushes = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f})));"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Json)> = Vec::new();\n{pushes}\n::serde::Json::Object(__fields)"
+            )
+        }
+        Item::Enum { variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let ty = &p.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{ty}::{vname} => ::serde::Json::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{ty}::{vname}(__v0) => ::serde::Json::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_json_value(__v0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|k| format!("__v{k}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_json_value(__v{k})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{ty}::{vname}({binds}) => ::serde::Json::Object(vec![({vname:?}.to_string(), ::serde::Json::Array(vec![{items}]))]),"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_json_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{ty}::{vname} {{ {binds} }} => ::serde::Json::Object(vec![({vname:?}.to_string(), ::serde::Json::Object(vec![{pushes}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let header = impl_header(&p, "::serde::Serialize", Some("::serde::Serialize"));
+    let out = format!(
+        "#[automatically_derived]\n{header} {{\n    fn to_json_value(&self) -> ::serde::Json {{\n{body}\n    }}\n}}"
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — marker impl (the workspace only decodes
+/// untyped `serde_json::Value`s).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    let header = impl_header(&p, "::serde::Deserialize", None);
+    let out = format!("#[automatically_derived]\n{header} {{}}");
+    out.parse().expect("derived Deserialize impl parses")
+}
