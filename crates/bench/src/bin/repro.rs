@@ -5,6 +5,7 @@
 //! repro --only table3      # run one artifact (also accepts ablation slugs)
 //! repro --ablations        # run the ablation / extension studies
 //! repro --export [DIR]     # export every labeled dataset as JSONL
+//! repro --audit            # statically audit every ground-truth label
 //! repro --seed 7           # different master seed
 //! repro --jobs 4           # worker threads (default: all cores, 1 = sequential)
 //! repro --timings          # print a per-phase wall-clock report
@@ -19,13 +20,14 @@
 
 use squ::{run_ablation, run_experiment, AblationId, Artifact, ExperimentId, Suite, PAPER_SEED};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Opts {
     list: bool,
     ablations: bool,
+    audit: bool,
     timings: bool,
     export: Option<String>,
     only: Option<String>,
@@ -39,6 +41,7 @@ impl Default for Opts {
         Opts {
             list: false,
             ablations: false,
+            audit: false,
             timings: false,
             export: None,
             only: None,
@@ -59,6 +62,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         match args[i].as_str() {
             "--list" => opts.list = true,
             "--ablations" => opts.ablations = true,
+            "--audit" => opts.audit = true,
             "--timings" => opts.timings = true,
             "--export" => {
                 let dir = value_of(args, i);
@@ -143,6 +147,31 @@ fn main() {
     let out_dir = PathBuf::from("target/repro");
     fs::create_dir_all(&out_dir).expect("create target/repro");
 
+    if opts.audit {
+        let report = squ::timing::time("audit.total", || squ::audit_suite(&suite, jobs_n));
+        let path = out_dir.join("audit.json");
+        fs::write(&path, report.to_json()).expect("write audit.json");
+        println!(
+            "audited {} artifacts: {} rule hits across {} rules, {} violations",
+            report.checked,
+            report.rule_hits.values().sum::<usize>(),
+            report.rule_hits.len(),
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!(
+                "  {} {} {}: {}",
+                v.dataset, v.query_id, v.invariant, v.detail
+            );
+        }
+        println!("audit report written to {}", path.display());
+        finish_timings(&opts, &out_dir, jobs_n, run_start);
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if let Some(dir) = &opts.export {
         let dir = PathBuf::from(dir);
         let manifest =
@@ -193,7 +222,7 @@ fn main() {
 
 /// Drain the span registry: always persist `timings.json`, and print the
 /// plain-text report when `--timings` was given.
-fn finish_timings(opts: &Opts, out_dir: &PathBuf, jobs_n: usize, run_start: std::time::Instant) {
+fn finish_timings(opts: &Opts, out_dir: &Path, jobs_n: usize, run_start: std::time::Instant) {
     let spans = squ::timing::drain();
     let json = squ::timing::to_json(&spans, jobs_n, run_start.elapsed());
     let path = out_dir.join("timings.json");
@@ -268,6 +297,17 @@ mod tests {
         assert!(parse_args(&argv(&["--frobnicate"])).is_err());
         // flags as values are rejected, not consumed
         assert!(parse_args(&argv(&["--seed", "--jobs"])).is_err());
+    }
+
+    #[test]
+    fn audit_flag() {
+        let opts = parse_args(&argv(&["--audit"])).unwrap();
+        assert!(opts.audit);
+        // composes with seed/jobs like the other standalone modes
+        let opts = parse_args(&argv(&["--audit", "--jobs", "2", "--seed", "9"])).unwrap();
+        assert!(opts.audit);
+        assert_eq!(opts.jobs, Some(2));
+        assert_eq!(opts.seed, 9);
     }
 
     #[test]

@@ -804,7 +804,7 @@ fn case_study() -> Artifact {
     use squ_llm::{GroundTruth, Request, Task};
     let mut body = String::new();
     for (name, sql, reference) in squ_tasks::case_study_queries() {
-        let stmt = squ_parser::parse(sql).expect("case-study queries parse");
+        let stmt = squ_parser::parse(sql).expect("case-study queries parse"); // lint:allow: generated/fixed SQL, parse covered by tests
         let facts = squ_tasks::key_facts(&stmt);
         let props = squ_workload::query_props(sql, &stmt);
         body.push_str(&format!(

@@ -43,7 +43,7 @@ fn write_jsonl<T: Serialize>(
     let path = dir.join(name);
     let mut f = fs::File::create(&path)?;
     for item in items {
-        let line = serde_json::to_string(item).expect("benchmark records serialize");
+        let line = serde_json::to_string(item).expect("benchmark records serialize"); // lint:allow: plain data structs always serialize
         writeln!(f, "{line}")?;
     }
     Ok(ExportedFile {
@@ -112,7 +112,7 @@ pub fn export_suite(suite: &Suite, dir: &Path) -> std::io::Result<Manifest> {
     };
     fs::write(
         dir.join("manifest.json"),
-        serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
+        serde_json::to_string_pretty(&manifest).expect("manifest serializes"), // lint:allow: plain data structs always serialize
     )?;
     Ok(manifest)
 }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod audit;
 pub mod experiments;
 pub mod export;
 pub mod par;
@@ -36,6 +37,7 @@ mod suite;
 pub mod timing;
 
 pub use ablations::{run_ablation, run_all_ablations, AblationId};
+pub use audit::{audit_suite, AuditReport, Violation};
 pub use experiments::{run_all, run_experiment, Artifact, ExperimentId};
 pub use export::{export_suite, Manifest};
 pub use suite::{Suite, PAPER_SEED};

@@ -46,19 +46,19 @@ where
                 }
                 let item = work[i]
                     .lock()
-                    .expect("work slot lock")
+                    .expect("work slot lock") // lint:allow: poisoned only if a worker already panicked
                     .take()
-                    .expect("each index claimed once");
+                    .expect("each index claimed once"); // lint:allow: slot counter hands out each index once
                 let result = f(item);
-                *out[i].lock().expect("result slot lock") = Some(result);
+                *out[i].lock().expect("result slot lock") = Some(result); // lint:allow: poisoned only if a worker already panicked
             });
         }
     });
     out.into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot lock")
-                .expect("every slot filled")
+                .expect("result slot lock") // lint:allow: poisoned only if a worker already panicked
+                .expect("every slot filled") // lint:allow: every worker fills the slots it claimed
         })
         .collect()
 }

@@ -41,6 +41,7 @@ fn syntax_example(has_error: bool) -> SyntaxExample {
         sql: "SELECT plate FROM SpecObj".into(),
         has_error,
         error_type: has_error.then_some(SyntaxErrorType::AggrAttr),
+        expected_span: None,
         props: props(),
     }
 }
@@ -54,6 +55,7 @@ fn token_example() -> TokenExample {
         token_type: Some(TokenType::Keyword),
         removed_text: Some("FROM".into()),
         position: Some(2),
+        removed_at: Some(13),
         props: props(),
     }
 }

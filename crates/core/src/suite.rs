@@ -86,7 +86,7 @@ impl Suite {
             |w| timing::time(&format!("suite.workload.{}", w.name()), || build(w, seed)),
         );
         let [sdss, sqlshare, joborder, spider]: [Dataset; 4] =
-            workloads.try_into().expect("four workloads in, four out");
+            workloads.try_into().expect("four workloads in, four out"); // lint:allow: map preserves length
 
         // phase 2: derived task datasets. Equivalence jobs lead the queue
         // because differential verification dominates the wall-clock, so

@@ -29,7 +29,8 @@ fn registry() -> &'static Mutex<Vec<Span>> {
 
 /// Record an already-measured duration under `name`.
 pub fn record(name: &str, elapsed: Duration) {
-    registry().lock().expect("timing registry lock").push(Span {
+    let mut spans = registry().lock().expect("timing registry lock"); // lint:allow: poisoned only if a worker already panicked
+    spans.push(Span {
         name: name.to_string(),
         ms: elapsed.as_secs_f64() * 1e3,
     });
@@ -46,7 +47,7 @@ pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
 /// Take all recorded spans, sorted by name (ties keep record order).
 /// Sorting makes the report stable however threads interleaved.
 pub fn drain() -> Vec<Span> {
-    let mut spans = std::mem::take(&mut *registry().lock().expect("timing registry lock"));
+    let mut spans = std::mem::take(&mut *registry().lock().expect("timing registry lock")); // lint:allow: poisoned only if a worker already panicked
     spans.sort_by(|a, b| a.name.cmp(&b.name));
     spans
 }
@@ -74,7 +75,7 @@ pub fn to_json(spans: &[Span], jobs: usize, total: Duration) -> String {
         total_ms: total.as_secs_f64() * 1e3,
         spans: spans.to_vec(),
     };
-    serde_json::to_string_pretty(&doc).expect("timings serialize")
+    serde_json::to_string_pretty(&doc).expect("timings serialize") // lint:allow: plain data structs always serialize
 }
 
 #[derive(Serialize)]

@@ -131,7 +131,7 @@ impl<'a> Cx<'a> {
                 let rel = self.query(&cte.query, env)?;
                 self.ctes
                     .last_mut()
-                    .expect("pushed above")
+                    .expect("pushed above") // lint:allow: pushed earlier in this function
                     .insert(cte.name.clone(), rel);
             }
             let mut rel = self.set_expr(&q.body, &q.order_by, env)?;

@@ -93,14 +93,17 @@ pub fn witness_batch(schema: &Schema, seed: u64) -> Vec<Database> {
 /// behind each other (a lost race costs one redundant generation, and both
 /// results are identical by determinism of [`witness_batch`]).
 pub fn witness_batch_cached(schema: &Schema, seed: u64) -> Arc<Vec<Database>> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), Arc<Vec<Database>>>>> = OnceLock::new();
+    type Cache = Mutex<HashMap<(u64, u64), Arc<Vec<Database>>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (schema_fingerprint(schema), seed);
-    if let Some(hit) = cache.lock().expect("witness cache lock").get(&key) {
+    let guard = cache.lock().expect("witness cache lock"); // lint:allow: poisoned only if a worker already panicked
+    if let Some(hit) = guard.get(&key) {
         return Arc::clone(hit);
     }
+    drop(guard);
     let batch = Arc::new(witness_batch(schema, seed));
-    let mut guard = cache.lock().expect("witness cache lock");
+    let mut guard = cache.lock().expect("witness cache lock"); // lint:allow: poisoned only if a worker already panicked
     Arc::clone(guard.entry(key).or_insert(batch))
 }
 

@@ -82,14 +82,14 @@ impl PropertySlice {
             let idx = Cell::ALL
                 .iter()
                 .position(|c| *c == Cell::of(t, p))
-                .expect("cell in ALL");
+                .expect("cell in ALL"); // lint:allow: cells are enumerated from ALL
             buckets[idx].push(v);
         }
         let cells = Cell::ALL
             .iter()
             .zip(buckets)
             .map(|(cell, mut values)| {
-                values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                values.sort_by(|a, b| a.partial_cmp(b).expect("finite")); // lint:allow: values are finite by construction
                 let count = values.len();
                 let average = if count == 0 {
                     0.0
@@ -117,7 +117,7 @@ impl PropertySlice {
         &self.cells[Cell::ALL
             .iter()
             .position(|c| *c == cell)
-            .expect("cell in ALL")]
+            .expect("cell in ALL")] // lint:allow: cells are enumerated from ALL
     }
 }
 

@@ -58,7 +58,7 @@ impl SubtypeBreakdown {
                 },
             })
             .collect();
-        rows.sort_by(|a, b| b.fn_rate.partial_cmp(&a.fn_rate).expect("finite"));
+        rows.sort_by(|a, b| b.fn_rate.partial_cmp(&a.fn_rate).expect("finite")); // lint:allow: values are finite by construction
         SubtypeBreakdown { rows }
     }
 

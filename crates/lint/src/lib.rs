@@ -1,0 +1,284 @@
+//! `squ-lint`: span-precise static analysis for benchmark SQL.
+//!
+//! A thin rule-registry layer over the existing lexer → parser →
+//! `squ-schema` binder pipeline. Every problem is reported as a
+//! [`LintDiagnostic`] with a stable `SQU0xx` code (see [`rules::REGISTRY`]),
+//! a [`Severity`], and — whenever the underlying AST node carries a
+//! position — a byte [`Span`] into the analyzed SQL text.
+//!
+//! The primary consumer is the dataset auditor (`squ::audit`), which uses
+//! [`lint`] to *prove* ground-truth labels: injected errors must produce a
+//! diagnostic of the expected paper category overlapping the labeled span,
+//! and correct samples must produce no error-severity diagnostics at all.
+//! Warnings (`SQU1xx`) are style advisories and never fail an audit.
+
+#![warn(missing_docs)]
+
+pub mod rules;
+
+pub use rules::{rule, RuleInfo, Severity, REGISTRY};
+
+use squ_lexer::{tokenize, Span};
+use squ_parser::{parse, ParseError};
+use squ_schema::{analyze_statement, ResolutionSignature, Schema};
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// Stable rule code (`SQU0xx`).
+    pub code: &'static str,
+    /// Severity (fixed per code).
+    pub severity: Severity,
+    /// Byte span in the analyzed SQL, when the source position is known.
+    pub span: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl LintDiagnostic {
+    /// Does this diagnostic's span overlap the half-open byte range
+    /// `[start, end)`? `false` when the diagnostic carries no span.
+    pub fn overlaps(&self, start: usize, end: usize) -> bool {
+        match self.span {
+            Some(s) => s.start < end && start < s.end,
+            None => false,
+        }
+    }
+}
+
+/// Everything one [`lint`] pass produced.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in pipeline order (lex, parse, then binder).
+    pub diagnostics: Vec<LintDiagnostic>,
+    /// Resolution signature of the statement; `None` when it did not parse.
+    pub resolution: Option<ResolutionSignature>,
+}
+
+impl LintReport {
+    /// Error-severity findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &LintDiagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// True when no error-severity finding exists (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+}
+
+/// Analyze one SQL statement against `schema` through the whole pipeline.
+///
+/// Stops at the first failing layer: a lexical error yields a single
+/// `SQU001`, a structural parse error a single `SQU002`; otherwise the
+/// binder runs and its diagnostics are mapped to their stable codes, then
+/// the style advisories (`SQU1xx`) are appended.
+pub fn lint(sql: &str, schema: &Schema) -> LintReport {
+    let mut report = LintReport::default();
+
+    // Lex first so parse errors can be located via token spans.
+    let tokens = match tokenize(sql) {
+        Ok(t) => t,
+        Err(e) => {
+            let at = e.offset().min(sql.len());
+            report.diagnostics.push(LintDiagnostic {
+                code: "SQU001",
+                severity: Severity::Error,
+                span: Some(Span::new(at, sql.len())),
+                message: format!("lex error: {e}"),
+            });
+            return report;
+        }
+    };
+
+    let stmt = match parse(sql) {
+        Ok(s) => s,
+        Err(e) => {
+            // locate the failure at the reported word's first token, or at
+            // end of input for EOF errors
+            let span = e
+                .word_index()
+                .and_then(|wi| tokens.iter().find(|t| t.word_index == wi).map(|t| t.span));
+            let span = span.or_else(|| {
+                matches!(e, ParseError::UnexpectedEof { .. })
+                    .then(|| Span::new(sql.len(), sql.len()))
+            });
+            report.diagnostics.push(LintDiagnostic {
+                code: match e {
+                    ParseError::Lex(_) => "SQU001",
+                    _ => "SQU002",
+                },
+                severity: Severity::Error,
+                span,
+                message: format!("parse error: {e}"),
+            });
+            return report;
+        }
+    };
+
+    let analysis = analyze_statement(&stmt, schema);
+    for d in analysis.diagnostics {
+        report.diagnostics.push(LintDiagnostic {
+            code: d.kind.code(),
+            severity: Severity::Error,
+            span: d.span,
+            message: d.message,
+        });
+    }
+    report.resolution = Some(analysis.resolution);
+
+    advisories(&stmt, &mut report.diagnostics);
+    report
+}
+
+/// Append the `SQU1xx` style advisories for a parsed statement.
+fn advisories(stmt: &squ_parser::Statement, out: &mut Vec<LintDiagnostic>) {
+    use squ_parser::{SelectItem, SetExpr};
+    squ_parser::visit::walk_queries(stmt, &mut |q, _| {
+        let span = if q.span.is_empty() {
+            None
+        } else {
+            Some(q.span)
+        };
+        if let SetExpr::Select(s) = &q.body {
+            if s.items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+                out.push(LintDiagnostic {
+                    code: "SQU100",
+                    severity: Severity::Warning,
+                    span,
+                    message: "SELECT * makes the output shape depend on the schema".into(),
+                });
+            }
+            if s.from.len() > 1 {
+                out.push(LintDiagnostic {
+                    code: "SQU101",
+                    severity: Severity::Warning,
+                    span,
+                    message: format!(
+                        "implicit cross join of {} comma-separated FROM items",
+                        s.from.len()
+                    ),
+                });
+            }
+            let has_limit = q.limit.is_some() || s.top.is_some();
+            if has_limit && q.order_by.is_empty() {
+                out.push(LintDiagnostic {
+                    code: "SQU102",
+                    severity: Severity::Warning,
+                    span,
+                    message: "LIMIT/TOP without ORDER BY picks rows non-deterministically".into(),
+                });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_schema::schemas::sdss;
+
+    fn codes(sql: &str) -> Vec<&'static str> {
+        lint(sql, &sdss())
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_query_is_clean() {
+        let r = lint("SELECT plate, mjd FROM SpecObj WHERE z > 0.5", &sdss());
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert!(r.resolution.is_some());
+    }
+
+    #[test]
+    fn lex_error_reports_squ001_at_offset() {
+        let r = lint("SELECT plate FROM SpecObj WHERE class = 'GAL", &sdss());
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "SQU001");
+        assert_eq!(d.span.map(|s| s.start), Some(40));
+    }
+
+    #[test]
+    fn parse_error_reports_squ002_with_span() {
+        let sql = "SELECT plate FROM WHERE z > 1";
+        let r = lint(sql, &sdss());
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "SQU002");
+        let span = d.span.expect("parse errors at a token carry a span");
+        assert_eq!(span.slice(sql), "WHERE");
+    }
+
+    #[test]
+    fn eof_parse_error_spans_end_of_input() {
+        let sql = "SELECT plate FROM";
+        let r = lint(sql, &sdss());
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "SQU002");
+        assert_eq!(d.span, Some(Span::new(sql.len(), sql.len())));
+    }
+
+    #[test]
+    fn binder_diagnostics_carry_codes_and_spans() {
+        let sql = "SELECT plate, mjd, COUNT(*) FROM SpecObj";
+        let r = lint(sql, &sdss());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "SQU020")
+            .expect("aggr-attr diagnostic");
+        assert_eq!(d.span.map(|s| s.slice(sql)), Some("plate"));
+    }
+
+    #[test]
+    fn advisories_are_warnings() {
+        let sql = "SELECT * FROM SpecObj, PhotoObj";
+        let r = lint(sql, &sdss());
+        let cs = codes(sql);
+        assert!(cs.contains(&"SQU100"), "{cs:?}");
+        assert!(cs.contains(&"SQU101"), "{cs:?}");
+        // warnings never make a query unclean by themselves… but the
+        // implicit cross join also trips an ambiguity here, so check a
+        // simpler one for cleanliness
+        let r2 = lint("SELECT TOP 5 * FROM SpecObj", &sdss());
+        assert!(r2.is_clean(), "{:?}", r2.diagnostics);
+        assert!(r2.diagnostics.iter().any(|d| d.code == "SQU100"));
+        assert!(r2.diagnostics.iter().any(|d| d.code == "SQU102"));
+        drop(r);
+    }
+
+    #[test]
+    fn every_emitted_code_is_registered() {
+        for sql in [
+            "SELECT plate FROM SpecObj WHERE class = 'GAL",
+            "SELECT plate FROM WHERE",
+            "SELECT x FROM NoSuchTable",
+            "SELECT nosuch FROM SpecObj",
+            "SELECT plate, COUNT(*) FROM SpecObj",
+            "SELECT * FROM SpecObj, PhotoObj LIMIT 3",
+        ] {
+            for d in lint(sql, &sdss()).diagnostics {
+                let info = rule(d.code).unwrap_or_else(|| panic!("unregistered {}", d.code));
+                assert_eq!(info.severity, d.severity, "{}", d.code);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let d = LintDiagnostic {
+            code: "SQU011",
+            severity: Severity::Error,
+            span: Some(Span::new(10, 15)),
+            message: String::new(),
+        };
+        assert!(d.overlaps(12, 13));
+        assert!(d.overlaps(0, 11));
+        assert!(!d.overlaps(15, 20));
+        assert!(!d.overlaps(0, 10));
+    }
+}

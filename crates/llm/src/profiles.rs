@@ -133,7 +133,7 @@ fn cell<T: Copy>(table: &[[T; 3]; 5], model: ModelId, ds: DatasetId) -> T {
     let mi = ModelId::ALL
         .iter()
         .position(|m| *m == model)
-        .expect("model in ALL");
+        .expect("model in ALL"); // lint:allow: ids are enumerated from ALL
     let di = match ds {
         DatasetId::Sdss => 0,
         DatasetId::SqlShare => 1,

@@ -83,9 +83,9 @@ pub fn tune_prompt(task: Task, mut score: impl FnMut(&str) -> f64) -> TunedPromp
     }
     let (instruction, best) = trials
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite")) // lint:allow: values are finite by construction
         .map(|(c, s)| (c.clone(), *s))
-        .expect("at least one candidate");
+        .expect("at least one candidate"); // lint:allow: candidate list built non-empty
     TunedPrompt {
         instruction,
         score: best,

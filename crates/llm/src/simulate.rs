@@ -267,7 +267,7 @@ fn confuse_syntax_type(actual: &str, rng: &mut StdRng) -> String {
         _ => &[],
     };
     if !near.is_empty() && rng.gen_bool(0.7) {
-        (*near.choose(rng).expect("non-empty")).to_string()
+        (*near.choose(rng).expect("non-empty")).to_string() // lint:allow: drawn from a non-empty set
     } else {
         random_syntax_type(rng)
     }
@@ -283,7 +283,7 @@ fn random_syntax_type(rng: &mut StdRng) -> String {
         "alias-ambiguous",
     ]
     .choose(rng)
-    .expect("non-empty"))
+    .expect("non-empty")) // lint:allow: drawn from a non-empty set
     .to_string()
 }
 
@@ -390,7 +390,7 @@ fn confuse_token_type(actual: &str, rng: &mut StdRng) -> String {
         _ => &[],
     };
     if !near.is_empty() && rng.gen_bool(0.75) {
-        (*near.choose(rng).expect("non-empty")).to_string()
+        (*near.choose(rng).expect("non-empty")).to_string() // lint:allow: drawn from a non-empty set
     } else {
         random_token_type(rng)
     }
@@ -399,7 +399,7 @@ fn confuse_token_type(actual: &str, rng: &mut StdRng) -> String {
 fn random_token_type(rng: &mut StdRng) -> String {
     (*["keyword", "table", "column", "value", "alias", "predicate"]
         .choose(rng)
-        .expect("non-empty"))
+        .expect("non-empty")) // lint:allow: drawn from a non-empty set
     .to_string()
 }
 
@@ -413,7 +413,7 @@ fn plausible_word(ty: &str, rng: &mut StdRng) -> String {
         "predicate" => &["x = 1", "z > 0.5"],
         _ => &["token"],
     };
-    (*options.choose(rng).expect("non-empty")).to_string()
+    (*options.choose(rng).expect("non-empty")).to_string() // lint:allow: drawn from a non-empty set
 }
 
 fn sample_exponential(rng: &mut StdRng, mean: f64) -> f64 {
@@ -494,7 +494,7 @@ fn random_equiv_type(rng: &mut StdRng) -> String {
         "derived-table",
     ]
     .choose(rng)
-    .expect("non-empty"))
+    .expect("non-empty")) // lint:allow: drawn from a non-empty set
     .to_string()
 }
 
@@ -661,11 +661,11 @@ fn respond_explain(id: ModelId, facts: &KeyFacts, sql: &str, rng: &mut StdRng) -
 // ---------------- phrasing helpers ----------------
 
 fn pick(rng: &mut StdRng, options: &[&str]) -> String {
-    (*options.choose(rng).expect("non-empty")).to_string()
+    (*options.choose(rng).expect("non-empty")).to_string() // lint:allow: drawn from a non-empty set
 }
 
 fn pick_fmt(rng: &mut StdRng, options: &[String]) -> String {
-    options.choose(rng).expect("non-empty").clone()
+    options.choose(rng).expect("non-empty").clone() // lint:allow: drawn from a non-empty set
 }
 
 #[cfg(test)]

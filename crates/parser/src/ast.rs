@@ -7,7 +7,7 @@
 //! operations (`UNION`/`INTERSECT`/`EXCEPT`), and the `CREATE TABLE`/`CREATE
 //! VIEW` statements that appear in SDSS/CasJobs and Join-Order logs.
 
-pub use squ_lexer::{CompareOp, Keyword};
+pub use squ_lexer::{CompareOp, Keyword, Span};
 
 /// A top-level SQL statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +89,7 @@ pub struct ColumnDef {
 
 /// A full query: optional CTE prologue, a set-expression body, and optional
 /// `ORDER BY` / `LIMIT`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Query {
     /// `WITH name AS (…)` definitions, in order.
     pub ctes: Vec<Cte>,
@@ -99,6 +99,20 @@ pub struct Query {
     pub order_by: Vec<OrderItem>,
     /// `LIMIT n`.
     pub limit: Option<u64>,
+    /// Byte span of the query text in the source it was parsed from.
+    /// [`Span::default()`] (empty) for synthesized queries. Excluded from
+    /// equality: two queries are equal iff their structure is, wherever
+    /// they came from.
+    pub span: Span,
+}
+
+impl PartialEq for Query {
+    fn eq(&self, other: &Self) -> bool {
+        self.ctes == other.ctes
+            && self.body == other.body
+            && self.order_by == other.order_by
+            && self.limit == other.limit
+    }
 }
 
 impl Query {
@@ -109,6 +123,7 @@ impl Query {
             body: SetExpr::Select(Box::new(select)),
             order_by: Vec::new(),
             limit: None,
+            span: Span::default(),
         }
     }
 
@@ -338,12 +353,44 @@ pub struct OrderItem {
 }
 
 /// A possibly-qualified column reference.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone)]
 pub struct ColumnRef {
     /// Table name or alias qualifier (`s` in `s.plate`).
     pub qualifier: Option<String>,
     /// Column name.
     pub name: String,
+    /// Byte span of `qualifier.name` in the source it was parsed from.
+    /// [`Span::default()`] (empty) for synthesized references. Excluded
+    /// from equality/ordering/hashing so that structural comparisons (and
+    /// the print→parse roundtrip) are position-independent.
+    pub span: Span,
+}
+
+impl PartialEq for ColumnRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.qualifier == other.qualifier && self.name == other.name
+    }
+}
+
+impl Eq for ColumnRef {}
+
+impl std::hash::Hash for ColumnRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.qualifier.hash(state);
+        self.name.hash(state);
+    }
+}
+
+impl PartialOrd for ColumnRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ColumnRef {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.qualifier, &self.name).cmp(&(&other.qualifier, &other.name))
+    }
 }
 
 impl std::fmt::Display for ColumnRef {
@@ -490,6 +537,7 @@ impl Expr {
         Expr::Column(ColumnRef {
             qualifier: qualifier.map(str::to_string),
             name: name.to_string(),
+            span: Span::default(),
         })
     }
 
@@ -600,6 +648,41 @@ impl Expr {
                 }
             }
         }
+    }
+}
+
+/// Byte span of the first position-carrying node inside an expression,
+/// searching pre-order (the node itself, then children left to right).
+/// Column references and subqueries carry positions; returns `None` when
+/// the expression contains neither, or only synthesized (empty-span) nodes.
+pub fn expr_span(e: &Expr) -> Option<Span> {
+    let mut found = None;
+    find_expr_span(e, &mut found);
+    found
+}
+
+fn find_expr_span(e: &Expr, out: &mut Option<Span>) {
+    if out.is_some() {
+        return;
+    }
+    match e {
+        Expr::Column(c) => {
+            if !c.span.is_empty() {
+                *out = Some(c.span);
+            }
+        }
+        Expr::ScalarSubquery(q) | Expr::Exists { subquery: q, .. } => {
+            if !q.span.is_empty() {
+                *out = Some(q.span);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            find_expr_span(expr, out);
+            if out.is_none() && !subquery.span.is_empty() {
+                *out = Some(subquery.span);
+            }
+        }
+        other => other.for_each_child(&mut |c| find_expr_span(c, out)),
     }
 }
 

@@ -18,7 +18,7 @@
 
 use crate::ast::*;
 use crate::error::ParseError;
-use squ_lexer::{tokenize, Keyword, Token, TokenKind};
+use squ_lexer::{tokenize, Keyword, Span, Token, TokenKind};
 
 /// Parse a single SQL statement (trailing `;` tolerated).
 pub fn parse(sql: &str) -> Result<Statement, ParseError> {
@@ -120,6 +120,27 @@ impl Parser {
         while self.eat(&TokenKind::Semicolon) {}
     }
 
+    /// Span of the token about to be consumed (degenerate end-of-input
+    /// span after the last token).
+    fn cur_span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| {
+                let end = self.prev_span().end;
+                Span::new(end, end)
+            })
+    }
+
+    /// Span of the most recently consumed token (empty at position 0).
+    fn prev_span(&self) -> Span {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.tokens.get(i))
+            .map(|t| t.span)
+            .unwrap_or_default()
+    }
+
     fn unexpected(&self, expected: &str) -> ParseError {
         match self.peek() {
             Some(t) => ParseError::Unexpected {
@@ -136,7 +157,7 @@ impl Parser {
     fn ident(&mut self, what: &str) -> Result<String, ParseError> {
         match self.peek_kind() {
             Some(TokenKind::Ident) | Some(TokenKind::QuotedIdent) => {
-                Ok(self.bump().expect("peeked").text)
+                Ok(self.bump().expect("peeked").text) // lint:allow: caller peeked this token
             }
             _ => Err(self.unexpected(what)),
         }
@@ -221,6 +242,7 @@ impl Parser {
     // ---------------- queries ----------------
 
     fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let start = self.cur_span().start;
         let mut ctes = Vec::new();
         if self.eat_kw(Keyword::With) {
             loop {
@@ -266,6 +288,7 @@ impl Parser {
             body,
             order_by,
             limit,
+            span: Span::new(start, self.prev_span().end),
         })
     }
 
@@ -389,7 +412,7 @@ impl Parser {
             (self.peek_kind(), self.peek_at(1), self.peek_at(2))
         {
             if t1.kind == TokenKind::Dot && t2.kind == TokenKind::ArithOp('*') {
-                let q = self.bump().expect("peeked").text;
+                let q = self.bump().expect("peeked").text; // lint:allow: caller peeked this token
                 self.bump(); // .
                 self.bump(); // *
                 return Ok(SelectItem::QualifiedWildcard(q));
@@ -400,7 +423,7 @@ impl Parser {
             Some(self.ident("alias after AS")?)
         } else if matches!(self.peek_kind(), Some(TokenKind::Ident)) {
             // bare alias: `SELECT COUNT(*) cnt`
-            Some(self.bump().expect("peeked").text)
+            Some(self.bump().expect("peeked").text) // lint:allow: caller peeked this token
         } else {
             None
         };
@@ -486,12 +509,12 @@ impl Parser {
             // After AS, accept any identifier.
             match self.peek_kind() {
                 Some(TokenKind::Ident) | Some(TokenKind::QuotedIdent) => {
-                    Some(self.bump().expect("peeked").text)
+                    Some(self.bump().expect("peeked").text) // lint:allow: caller peeked this token
                 }
                 _ => None,
             }
         } else if matches!(self.peek_kind(), Some(TokenKind::Ident)) {
-            Some(self.bump().expect("peeked").text)
+            Some(self.bump().expect("peeked").text) // lint:allow: caller peeked this token
         } else {
             None
         }
@@ -704,7 +727,7 @@ impl Parser {
                 Ok(Expr::Literal(Literal::Number(v)))
             }
             Some(TokenKind::String) => {
-                let t = self.bump().expect("peeked");
+                let t = self.bump().expect("peeked"); // lint:allow: caller peeked this token
                 Ok(Expr::Literal(Literal::String(t.text)))
             }
             Some(TokenKind::Keyword(Keyword::Null)) => {
@@ -767,7 +790,9 @@ impl Parser {
     }
 
     fn parse_ident_expr(&mut self) -> Result<Expr, ParseError> {
-        let first = self.bump().expect("caller checked ident").text;
+        let tok = self.bump().expect("caller checked ident"); // lint:allow: caller matched an ident token
+        let first_span = tok.span;
+        let first = tok.text;
         // function call?
         if self.peek_kind() == Some(&TokenKind::LParen) {
             return self.parse_call(first);
@@ -778,11 +803,13 @@ impl Parser {
             return Ok(Expr::Column(ColumnRef {
                 qualifier: Some(first),
                 name,
+                span: Span::new(first_span.start, self.prev_span().end),
             }));
         }
         Ok(Expr::Column(ColumnRef {
             qualifier: None,
             name: first,
+            span: first_span,
         }))
     }
 

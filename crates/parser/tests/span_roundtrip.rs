@@ -1,0 +1,104 @@
+//! Property tests for AST spans: every position-carrying node must point
+//! at the text it was parsed from, and spans must be transparent to AST
+//! equality so the print→parse round-trip is unaffected by them.
+
+use proptest::prelude::*;
+use squ_parser::ast::{expr_span, Expr, SetExpr};
+use squ_parser::visit::{walk_exprs, walk_queries};
+use squ_parser::{parse, print_statement, Statement};
+
+/// Strategy producing parseable SQL with qualified and bare columns,
+/// subqueries, and multi-conjunct conditions — the nodes that carry spans.
+fn sqlish() -> impl Strategy<Value = String> {
+    let col = prop_oneof![
+        Just("plate".to_string()),
+        Just("mjd".to_string()),
+        Just("z".to_string()),
+        Just("s.plate".to_string()),
+        Just("s.z".to_string()),
+    ];
+    let lit = prop_oneof![
+        Just("1".to_string()),
+        Just("0.5".to_string()),
+        Just("180".to_string()),
+    ];
+    let cmp = prop_oneof![Just("="), Just("<"), Just(">="), Just("<>")];
+    let pred = (col.clone(), cmp, lit).prop_map(|(c, op, l)| format!("{c} {op} {l}"));
+    let sub = prop_oneof![
+        Just(String::new()),
+        Just(" AND z IN (SELECT z FROM PhotoObj)".to_string()),
+        Just(" AND EXISTS (SELECT 1 FROM PhotoObj AS p WHERE p.ra > 1)".to_string()),
+    ];
+    let cond = prop::collection::vec(pred, 1..4).prop_map(|ps| ps.join(" AND "));
+    let cols = prop::collection::vec(col, 1..4).prop_map(|cs| cs.join(", "));
+    (cols, cond, sub).prop_map(|(cols, cond, sub)| {
+        format!("SELECT {cols} FROM SpecObj AS s WHERE {cond}{sub} ORDER BY plate")
+    })
+}
+
+/// Collect every column reference in the statement.
+fn column_refs(stmt: &Statement) -> Vec<(Option<String>, String, squ_parser::ast::Span)> {
+    let mut out = Vec::new();
+    walk_exprs(stmt, &mut |e| {
+        if let Expr::Column(c) = e {
+            out.push((c.qualifier.clone(), c.name.clone(), c.span));
+        }
+    });
+    out
+}
+
+proptest! {
+    /// Every column reference's span slices the source to exactly its
+    /// printed `qualifier.name` form.
+    #[test]
+    fn column_spans_slice_their_text(sql in sqlish()) {
+        let stmt = parse(&sql).expect("grammar strings parse");
+        for (qualifier, name, span) in column_refs(&stmt) {
+            prop_assert!(!span.is_empty(), "column {name} has an empty span");
+            let text = &sql[span.start..span.end];
+            let expect = match &qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.clone(),
+            };
+            prop_assert_eq!(text, expect.as_str());
+        }
+    }
+
+    /// Every query node's span starts at its SELECT keyword and covers a
+    /// parseable query suffix.
+    #[test]
+    fn query_spans_start_at_select(sql in sqlish()) {
+        let stmt = parse(&sql).expect("grammar strings parse");
+        walk_queries(&stmt, &mut |q, _| {
+            assert!(!q.span.is_empty(), "query has an empty span");
+            let text = &sql[q.span.start..q.span.end];
+            assert!(
+                text.starts_with("SELECT") || text.starts_with("WITH"),
+                "query span starts with {:?}",
+                &text[..text.len().min(12)]
+            );
+        });
+    }
+
+    /// Spans never leak into equality: re-parsing the printed form (which
+    /// has different byte offsets) yields an equal AST, and `expr_span`
+    /// still finds positions in both.
+    #[test]
+    fn spans_are_equality_transparent(sql in sqlish()) {
+        let ast1 = parse(&sql).expect("grammar strings parse");
+        let printed = print_statement(&ast1);
+        let ast2 = parse(&printed).expect("printed SQL re-parses");
+        prop_assert_eq!(&ast1, &ast2);
+        // equal ASTs may still disagree on offsets — both must have them
+        if let (Statement::Query(q1), Statement::Query(q2)) = (&ast1, &ast2) {
+            if let SetExpr::Select(s) = &q1.body {
+                if let Some(w1) = &s.selection {
+                    prop_assert!(expr_span(w1).is_some());
+                }
+            }
+            prop_assert!(!q2.span.is_empty());
+            let t2 = &printed[q2.span.start..q2.span.end];
+            prop_assert!(t2.starts_with("SELECT") || t2.starts_with("WITH"));
+        }
+    }
+}

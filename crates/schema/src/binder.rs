@@ -17,7 +17,7 @@
 
 use crate::{Column, Schema, SqlType};
 use squ_parser::ast::*;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// The kind of semantic problem found by the binder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,20 +60,85 @@ impl DiagnosticKind {
             DiagnosticKind::UnknownTable | DiagnosticKind::UnknownColumn => None,
         }
     }
+
+    /// Stable diagnostic code for this kind (the `SQU0xx` registry shared
+    /// with `squ-lint`; codes `SQU001`/`SQU002` are reserved for lex/parse
+    /// errors, which never reach the binder).
+    pub fn code(&self) -> &'static str {
+        match self {
+            DiagnosticKind::UnknownTable => "SQU010",
+            DiagnosticKind::UnknownColumn => "SQU011",
+            DiagnosticKind::UndefinedAlias => "SQU012",
+            DiagnosticKind::AmbiguousColumn => "SQU013",
+            DiagnosticKind::AggrWithoutGroupBy => "SQU020",
+            DiagnosticKind::HavingNonAggregate => "SQU021",
+            DiagnosticKind::ScalarSubqueryMultiRow => "SQU030",
+            DiagnosticKind::ComparisonTypeMismatch => "SQU031",
+        }
+    }
 }
 
-/// A semantic diagnostic: kind plus a human-readable message.
+/// A semantic diagnostic: kind, optional source span, and a human-readable
+/// message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// What went wrong.
     pub kind: DiagnosticKind,
+    /// Byte span of the offending reference in the analyzed SQL text, when
+    /// the AST node carried one (synthesized nodes do not).
+    pub span: Option<Span>,
     /// Explanation referencing the offending names.
     pub message: String,
+}
+
+/// Which base-schema objects a statement's references resolve to.
+///
+/// Equivalence-preserving rewrites (CTE wrapping, join ↔ nested subquery,
+/// alias renames, …) restructure a query without changing *what* it reads,
+/// so their signatures must be identical — the dataset auditor uses this
+/// as a structural invariant on every rewrite pair. Names are lowercased;
+/// only resolutions that reach a real schema table are recorded (CTE and
+/// derived-table hops are transparent).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResolutionSignature {
+    /// Base tables referenced anywhere in the statement.
+    pub tables: BTreeSet<String>,
+    /// `(base_table, column)` pairs resolved anywhere in the statement.
+    pub columns: BTreeSet<(String, String)>,
+}
+
+impl ResolutionSignature {
+    /// Canonical one-line rendering (stable across runs and job counts).
+    pub fn render(&self) -> String {
+        let tables: Vec<&str> = self.tables.iter().map(String::as_str).collect();
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|(t, c)| format!("{t}.{c}"))
+            .collect();
+        format!("tables[{}] columns[{}]", tables.join(","), cols.join(","))
+    }
+}
+
+/// Full result of one binder pass: diagnostics plus the resolution
+/// signature of the statement.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Every diagnostic found (empty = semantically clean).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Which schema objects the statement's references resolve to.
+    pub resolution: ResolutionSignature,
 }
 
 /// Run semantic analysis of `stmt` against `schema`, returning every
 /// diagnostic found (empty = semantically clean).
 pub fn analyze(stmt: &Statement, schema: &Schema) -> Vec<Diagnostic> {
+    analyze_statement(stmt, schema).diagnostics
+}
+
+/// Run semantic analysis of `stmt` against `schema`, returning diagnostics
+/// *and* the statement's [`ResolutionSignature`].
+pub fn analyze_statement(stmt: &Statement, schema: &Schema) -> Analysis {
     let mut b = Binder::new(schema);
     match stmt {
         Statement::Query(q) => b.bind_query(q),
@@ -84,17 +149,23 @@ pub fn analyze(stmt: &Statement, schema: &Schema) -> Vec<Diagnostic> {
         }
         Statement::CreateView { query, .. } => b.bind_query(query),
     }
-    b.diags
+    Analysis {
+        diagnostics: b.diags,
+        resolution: b.resolution,
+    }
 }
 
 /// One visible relation in a scope: its binding name and (if known) its
 /// columns. `columns == None` marks a relation we could not resolve; later
 /// lookups through it succeed with unknown type so one bad table does not
-/// cascade into dozens of spurious column errors.
+/// cascade into dozens of spurious column errors. `base` is the lowercased
+/// schema-table name when the binding is backed directly by one (not a CTE
+/// or derived table), feeding the [`ResolutionSignature`].
 #[derive(Debug, Clone)]
 struct Binding {
     name: String,
     columns: Option<Vec<Column>>,
+    base: Option<String>,
 }
 
 struct Binder<'a> {
@@ -105,6 +176,7 @@ struct Binder<'a> {
     /// (correlation).
     scopes: Vec<Vec<Binding>>,
     diags: Vec<Diagnostic>,
+    resolution: ResolutionSignature,
 }
 
 impl<'a> Binder<'a> {
@@ -114,11 +186,16 @@ impl<'a> Binder<'a> {
             ctes: vec![HashMap::new()],
             scopes: Vec::new(),
             diags: Vec::new(),
+            resolution: ResolutionSignature::default(),
         }
     }
 
-    fn diag(&mut self, kind: DiagnosticKind, message: String) {
-        self.diags.push(Diagnostic { kind, message });
+    fn diag(&mut self, kind: DiagnosticKind, span: Option<Span>, message: String) {
+        self.diags.push(Diagnostic {
+            kind,
+            span,
+            message,
+        });
     }
 
     fn lookup_cte(&self, name: &str) -> Option<&Vec<Column>> {
@@ -136,7 +213,7 @@ impl<'a> Binder<'a> {
             let cols = self.infer_output_columns(&cte.query);
             self.ctes
                 .last_mut()
-                .expect("env pushed above")
+                .expect("env pushed above") // lint:allow: pushed earlier in this function
                 .insert(cte.name.clone(), cols);
         }
         self.bind_set_expr(&q.body, &q.order_by);
@@ -217,13 +294,19 @@ impl<'a> Binder<'a> {
         match tr {
             TableRef::Named { name, alias } => {
                 let binding_name = alias.clone().unwrap_or_else(|| name.clone());
+                let mut base = None;
                 let columns = if let Some(cols) = self.lookup_cte(name) {
                     Some(cols.clone())
                 } else if let Some(t) = self.schema.table(name) {
-                    Some(t.columns.clone())
+                    let cols = t.columns.clone();
+                    let canonical = t.name.to_lowercase();
+                    self.resolution.tables.insert(canonical.clone());
+                    base = Some(canonical);
+                    Some(cols)
                 } else {
                     self.diag(
                         DiagnosticKind::UnknownTable,
+                        None,
                         format!("table '{name}' not found in schema '{}'", self.schema.name),
                     );
                     None
@@ -231,6 +314,7 @@ impl<'a> Binder<'a> {
                 scope.push(Binding {
                     name: binding_name,
                     columns,
+                    base,
                 });
             }
             TableRef::Derived { query, alias } => {
@@ -239,6 +323,7 @@ impl<'a> Binder<'a> {
                 scope.push(Binding {
                     name: alias.clone().unwrap_or_default(),
                     columns: Some(cols),
+                    base: None,
                 });
             }
             TableRef::Join { left, right, .. } => {
@@ -272,20 +357,27 @@ impl<'a> Binder<'a> {
         match &c.qualifier {
             Some(q) => {
                 // innermost scope containing the binding wins
-                for scope in self.scopes.iter().rev() {
-                    if let Some(b) = scope.iter().find(|b| b.name.eq_ignore_ascii_case(q)) {
+                for (si, scope) in self.scopes.iter().enumerate().rev() {
+                    if let Some(bi) = scope.iter().position(|b| b.name.eq_ignore_ascii_case(q)) {
+                        let b = &self.scopes[si][bi];
+                        let base = b.base.clone();
                         return match &b.columns {
                             Some(cols) => {
                                 match cols
                                     .iter()
                                     .find(|col| col.name.eq_ignore_ascii_case(&c.name))
                                 {
-                                    Some(col) => Some(col.ty),
+                                    Some(col) => {
+                                        let ty = col.ty;
+                                        self.record_resolution(base, &c.name);
+                                        Some(ty)
+                                    }
                                     None => {
                                         let q = q.clone();
                                         let name = c.name.clone();
                                         self.diag(
                                             DiagnosticKind::UnknownColumn,
+                                            some_span(c.span),
                                             format!("column '{name}' not found in '{q}'"),
                                         );
                                         None
@@ -299,6 +391,7 @@ impl<'a> Binder<'a> {
                 let q = q.clone();
                 self.diag(
                     DiagnosticKind::UndefinedAlias,
+                    some_span(c.span),
                     format!("alias or table '{q}' is not defined in this scope"),
                 );
                 None
@@ -306,7 +399,7 @@ impl<'a> Binder<'a> {
             None => {
                 // search scopes inner -> outer; ambiguity only within one scope
                 for scope in self.scopes.iter().rev() {
-                    let mut matches: Vec<(String, Option<SqlType>)> = Vec::new();
+                    let mut matches: Vec<(String, Option<String>, Option<SqlType>)> = Vec::new();
                     let mut any_unknown = false;
                     for b in scope {
                         match &b.columns {
@@ -315,7 +408,7 @@ impl<'a> Binder<'a> {
                                     .iter()
                                     .find(|col| col.name.eq_ignore_ascii_case(&c.name))
                                 {
-                                    matches.push((b.name.clone(), Some(col.ty)));
+                                    matches.push((b.name.clone(), b.base.clone(), Some(col.ty)));
                                 }
                             }
                             None => any_unknown = true,
@@ -328,19 +421,24 @@ impl<'a> Binder<'a> {
                                 return None;
                             }
                         }
-                        1 => return matches[0].1,
+                        1 => {
+                            let (_, base, ty) = matches.swap_remove(0);
+                            self.record_resolution(base, &c.name);
+                            return ty;
+                        }
                         _ => {
                             let name = c.name.clone();
                             let holders: Vec<String> =
-                                matches.iter().map(|(n, _)| n.clone()).collect();
+                                matches.iter().map(|(n, _, _)| n.clone()).collect();
                             self.diag(
                                 DiagnosticKind::AmbiguousColumn,
+                                some_span(c.span),
                                 format!(
                                     "column '{name}' is ambiguous; found in {}",
                                     holders.join(", ")
                                 ),
                             );
-                            return matches[0].1;
+                            return matches[0].2;
                         }
                     }
                 }
@@ -348,11 +446,23 @@ impl<'a> Binder<'a> {
                     let name = c.name.clone();
                     self.diag(
                         DiagnosticKind::UnknownColumn,
+                        some_span(c.span),
                         format!("column '{name}' not found in any table in scope"),
                     );
                 }
                 None
             }
+        }
+    }
+
+    /// Record a successful column resolution against a base schema table
+    /// (resolutions through CTEs and derived tables carry no base and are
+    /// intentionally not part of the signature).
+    fn record_resolution(&mut self, base: Option<String>, column: &str) {
+        if let Some(base) = base {
+            self.resolution
+                .columns
+                .insert((base, column.to_lowercase()));
         }
     }
 
@@ -411,6 +521,7 @@ impl<'a> Binder<'a> {
                     if !t.comparable_with(first.ty) {
                         self.diag(
                             DiagnosticKind::ComparisonTypeMismatch,
+                            expr_span(expr).or_else(|| some_span(subquery.span)),
                             format!(
                                 "IN compares {t} with subquery column '{}' of type {}",
                                 first.name, first.ty
@@ -506,6 +617,7 @@ impl<'a> Binder<'a> {
             if !a.comparable_with(b) {
                 self.diag(
                     DiagnosticKind::ComparisonTypeMismatch,
+                    expr_span(left).or_else(|| expr_span(right)),
                     format!(
                         "cannot compare {a} ({}) with {b} ({})",
                         squ_parser::print_expr(left),
@@ -521,6 +633,7 @@ impl<'a> Binder<'a> {
             if may_return_multiple_rows(q) {
                 self.diag(
                     DiagnosticKind::ScalarSubqueryMultiRow,
+                    some_span(q.span),
                     format!(
                         "scalar subquery ({}) may return more than one row",
                         squ_parser::print_query(q)
@@ -550,6 +663,7 @@ impl<'a> Binder<'a> {
                         if !group_by_covers(&s.group_by, &c) {
                             self.diag(
                                 DiagnosticKind::AggrWithoutGroupBy,
+                                some_span(c.span),
                                 format!(
                                     "column '{c}' must appear in GROUP BY or inside an aggregate"
                                 ),
@@ -568,6 +682,7 @@ impl<'a> Binder<'a> {
                 if !group_by_covers(&s.group_by, &c) {
                     self.diag(
                         DiagnosticKind::HavingNonAggregate,
+                        some_span(c.span),
                         format!(
                             "HAVING references '{c}', which is neither aggregated nor in GROUP BY (use WHERE instead)"
                         ),
@@ -605,7 +720,7 @@ impl<'a> Binder<'a> {
         for item in &select.items {
             match item {
                 SelectItem::Wildcard => {
-                    let scope = self.scopes.last().expect("pushed above").clone();
+                    let scope = self.scopes.last().expect("pushed above").clone(); // lint:allow: pushed earlier in this function
                     for b in &scope {
                         if let Some(cols) = &b.columns {
                             out.extend(cols.iter().cloned());
@@ -613,7 +728,7 @@ impl<'a> Binder<'a> {
                     }
                 }
                 SelectItem::QualifiedWildcard(q) => {
-                    let scope = self.scopes.last().expect("pushed above").clone();
+                    let scope = self.scopes.last().expect("pushed above").clone(); // lint:allow: pushed earlier in this function
                     if let Some(b) = scope.iter().find(|b| b.name.eq_ignore_ascii_case(q)) {
                         if let Some(cols) = &b.columns {
                             out.extend(cols.iter().cloned());
@@ -635,6 +750,16 @@ impl<'a> Binder<'a> {
         }
         self.scopes.pop();
         out
+    }
+}
+
+/// `Some(span)` when the span carries a real position, `None` for the
+/// empty spans of synthesized AST nodes.
+fn some_span(s: Span) -> Option<Span> {
+    if s.is_empty() {
+        None
+    } else {
+        Some(s)
     }
 }
 

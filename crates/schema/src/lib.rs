@@ -23,6 +23,9 @@ mod catalog;
 pub mod schemas;
 mod types;
 
-pub use binder::{analyze, may_return_multiple_rows, Diagnostic, DiagnosticKind};
+pub use binder::{
+    analyze, analyze_statement, may_return_multiple_rows, Analysis, Diagnostic, DiagnosticKind,
+    ResolutionSignature,
+};
 pub use catalog::{Column, Schema, Table};
 pub use types::SqlType;

@@ -1,0 +1,100 @@
+//! Golden fixtures: one minimal query per paper error category, asserting
+//! the exact [`DiagnosticKind`], its stable `SQU0xx` code, and the byte
+//! span the diagnostic points at. These pin the analyzer's observable
+//! contract — the dataset auditor and the `squ-lint` code registry both
+//! rely on precisely these (kind, code, span) triples.
+
+use squ_parser::parse;
+use squ_schema::schemas::sdss;
+use squ_schema::{analyze, Diagnostic, DiagnosticKind};
+
+/// Analyze `sql` against the SDSS schema and return the single diagnostic
+/// of `kind`, panicking (with the full list) if it is absent.
+fn diag_of(sql: &str, kind: DiagnosticKind) -> Diagnostic {
+    let stmt = parse(sql).expect("fixture parses");
+    let diags = analyze(&stmt, &sdss());
+    diags
+        .iter()
+        .find(|d| d.kind == kind)
+        .cloned()
+        .unwrap_or_else(|| panic!("no {kind:?} in {diags:?} for `{sql}`"))
+}
+
+/// The span must be present and slice `sql` to exactly `text`.
+fn assert_span(sql: &str, d: &Diagnostic, text: &str) {
+    let span = d
+        .span
+        .unwrap_or_else(|| panic!("{:?} carries no span: {}", d.kind, d.message));
+    assert_eq!(
+        &sql[span.start..span.end],
+        text,
+        "span {}..{} of `{sql}`",
+        span.start,
+        span.end
+    );
+}
+
+#[test]
+fn aggr_attr() {
+    let sql = "SELECT plate, COUNT(*) FROM SpecObj";
+    let d = diag_of(sql, DiagnosticKind::AggrWithoutGroupBy);
+    assert_eq!(d.kind.code(), "SQU020");
+    assert_span(sql, &d, "plate");
+}
+
+#[test]
+fn aggr_having() {
+    let sql = "SELECT class, COUNT(*) FROM SpecObj GROUP BY class HAVING mjd > 5";
+    let d = diag_of(sql, DiagnosticKind::HavingNonAggregate);
+    assert_eq!(d.kind.code(), "SQU021");
+    assert_span(sql, &d, "mjd");
+}
+
+#[test]
+fn nested_mismatch() {
+    let sql = "SELECT plate FROM SpecObj WHERE z = (SELECT z FROM SpecObj)";
+    let d = diag_of(sql, DiagnosticKind::ScalarSubqueryMultiRow);
+    assert_eq!(d.kind.code(), "SQU030");
+    assert_span(sql, &d, "SELECT z FROM SpecObj");
+}
+
+#[test]
+fn condition_mismatch() {
+    let sql = "SELECT plate FROM SpecObj WHERE z > 'high'";
+    let d = diag_of(sql, DiagnosticKind::ComparisonTypeMismatch);
+    assert_eq!(d.kind.code(), "SQU031");
+    assert_span(sql, &d, "z");
+}
+
+#[test]
+fn alias_undefined() {
+    let sql = "SELECT s.plate FROM SpecObj";
+    let d = diag_of(sql, DiagnosticKind::UndefinedAlias);
+    assert_eq!(d.kind.code(), "SQU012");
+    assert_span(sql, &d, "s.plate");
+}
+
+#[test]
+fn alias_ambiguous() {
+    let sql = "SELECT ra FROM SpecObj JOIN PhotoObj ON SpecObj.bestobjid = PhotoObj.objid";
+    let d = diag_of(sql, DiagnosticKind::AmbiguousColumn);
+    assert_eq!(d.kind.code(), "SQU013");
+    assert_span(sql, &d, "ra");
+}
+
+#[test]
+fn unknown_table_and_column_codes() {
+    // not paper categories, but part of the stable code surface
+    let d = diag_of("SELECT x FROM NoSuchTable", DiagnosticKind::UnknownTable);
+    assert_eq!(d.kind.code(), "SQU010");
+    let sql = "SELECT nosuch FROM SpecObj";
+    let d = diag_of(sql, DiagnosticKind::UnknownColumn);
+    assert_eq!(d.kind.code(), "SQU011");
+    assert_span(sql, &d, "nosuch");
+}
+
+#[test]
+fn clean_fixture_has_no_diagnostics() {
+    let stmt = parse("SELECT plate, mjd FROM SpecObj WHERE z > 0.5").expect("parses");
+    assert!(analyze(&stmt, &sdss()).is_empty());
+}

@@ -279,6 +279,7 @@ fn wrap_cte(q: &Query) -> Option<Query> {
         })),
         order_by,
         limit,
+        span: Span::default(),
     })
 }
 
@@ -299,6 +300,7 @@ fn wrap_derived(q: &Query) -> Option<Query> {
         })),
         order_by,
         limit,
+        span: Span::default(),
     })
 }
 
@@ -509,6 +511,7 @@ fn in_to_exists(q: &Query) -> Option<(Query, Query)> {
                     Expr::Column(ColumnRef {
                         qualifier: Some(outer_bindings[0].clone()),
                         name: c.name.clone(),
+                        span: Span::default(),
                     })
                 }
                 Expr::Column(c) => Expr::Column(c.clone()),
@@ -526,6 +529,7 @@ fn in_to_exists(q: &Query) -> Option<(Query, Query)> {
             let corr = Expr::Column(ColumnRef {
                 qualifier: Some(ibind),
                 name: icol.name,
+                span: Span::default(),
             })
             .compare(CompareOp::Eq, outer_expr);
             let mut new_inner = inner.clone();
@@ -593,7 +597,7 @@ fn in_list_to_or(q: &Query) -> Option<(Query, Query)> {
             let mut ors = list
                 .iter()
                 .map(|v| (**expr).clone().compare(CompareOp::Eq, v.clone()));
-            let first = ors.next().expect("non-empty checked");
+            let first = ors.next().expect("non-empty checked"); // lint:allow: emptiness checked above
             *e = ors.fold(first, |acc, p| acc.or(p));
             done = true;
         }
@@ -831,19 +835,35 @@ fn change_value(q: &mut Query, rng: &mut StdRng) -> bool {
     let Some(w) = select.selection.as_mut() else {
         return false;
     };
+    // Count candidate literal sites first, then edit one drawn at random,
+    // so each retry can explore a different comparison instead of always
+    // re-shifting the first one.
+    let mut sites = 0usize;
+    rewrite_expr(w, &mut |e| {
+        if let Expr::Compare { right, .. } = e {
+            if matches!(&**right, Expr::Literal(Literal::Number(_))) {
+                sites += 1;
+            }
+        }
+    });
+    if sites == 0 {
+        return false;
+    }
+    let target = rng.gen_range(0..sites);
+    let mut seen = 0usize;
     let mut done = false;
     rewrite_expr(w, &mut |e| {
-        if done {
-            return;
-        }
         if let Expr::Compare { right, .. } = e {
             if let Expr::Literal(Literal::Number(v)) = &mut **right {
-                // shift far enough to move the cut-point across the witness
-                // value range (0..1000)
-                let delta = rng.gen_range(200.0..600.0_f64);
-                *v = if *v > 500.0 { *v - delta } else { *v + delta };
-                *v = (*v * 10.0).round() / 10.0;
-                done = true;
+                if seen == target {
+                    // shift far enough to move the cut-point across the
+                    // witness value range (0..1000)
+                    let delta = rng.gen_range(200.0..600.0_f64);
+                    *v = if *v > 500.0 { *v - delta } else { *v + delta };
+                    *v = (*v * 10.0).round() / 10.0;
+                    done = true;
+                }
+                seen += 1;
             }
         }
     });
@@ -1050,11 +1070,16 @@ pub fn build_equiv_dataset(ds: &Dataset, seed: u64) -> Vec<EquivExample> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xE001);
     let mut out = Vec::new();
     let mut want_equiv = true;
+    // Per-subtype success counts for the non-equivalent class. Transform
+    // order inside `make_pair` prefers the least-represented subtype, so
+    // hard-to-land edits (value changes only differ where a witness row
+    // actually matches the predicate) are not crowded out by easy ones.
+    let mut non_equiv_counts = [0usize; NonEquivType::ALL.len()];
     for wq in &ds.queries {
         if wq.props.query_type != "SELECT" {
             continue;
         }
-        if let Some(ex) = make_pair(wq, want_equiv, &mut rng) {
+        if let Some(ex) = make_pair(wq, want_equiv, &mut rng, &mut non_equiv_counts) {
             out.push(ex);
             want_equiv = !want_equiv;
         }
@@ -1062,7 +1087,12 @@ pub fn build_equiv_dataset(ds: &Dataset, seed: u64) -> Vec<EquivExample> {
     out
 }
 
-fn make_pair(wq: &WorkloadQuery, want_equiv: bool, rng: &mut StdRng) -> Option<EquivExample> {
+fn make_pair(
+    wq: &WorkloadQuery,
+    want_equiv: bool,
+    rng: &mut StdRng,
+    non_equiv_counts: &mut [usize; NonEquivType::ALL.len()],
+) -> Option<EquivExample> {
     let q = parse_query(&wq.sql).ok()?;
     let schema = schema_for(wq.workload, &wq.schema_name);
     // Witness seed is keyed by schema, not by query: every pair over the
@@ -1070,24 +1100,53 @@ fn make_pair(wq: &WorkloadQuery, want_equiv: bool, rng: &mut StdRng) -> Option<E
     // generator does the expensive work once per schema instead of once
     // per query.
     let witnesses = witness_batch_cached(&schema, 0xBEE5 ^ seed_of(&wq.schema_name));
+    // A produced pair must also be statically valid: the transforms edit
+    // ASTs structurally and can strand a reference (e.g. dropping the
+    // projection item an ORDER BY key named). The lenient execution engine
+    // still runs such queries, so differential verification alone would
+    // let them through — gate on a clean binder analysis instead.
+    let analyzes_clean =
+        |q: &Query| squ_schema::analyze(&Statement::Query(q.clone()), &schema).is_empty();
     if want_equiv {
         let mut types = EquivType::ALL;
         types.shuffle(rng);
         for ty in types {
             if let Some((q1, q2)) = apply_equiv(&q, ty, rng) {
-                if differential_verdict(&q1, &q2, &witnesses) == Verdict::AgreedEverywhere {
+                if analyzes_clean(&q1)
+                    && analyzes_clean(&q2)
+                    && differential_verdict(&q1, &q2, &witnesses) == Verdict::AgreedEverywhere
+                {
                     return Some(example(wq, &q1, &q2, true, ty.label()));
                 }
             }
         }
         None
     } else {
-        let mut types = NonEquivType::ALL;
-        types.shuffle(rng);
-        for ty in types {
-            if let Some((q1, q2)) = apply_non_equiv(&q, ty, rng) {
-                if differential_verdict(&q1, &q2, &witnesses) == Verdict::Differed {
-                    return Some(example(wq, &q1, &q2, false, ty.label()));
+        // Try the least-represented subtype first (random tie-break via a
+        // shuffle before the stable sort), so the class stays balanced even
+        // though some transforms succeed far more often than others.
+        let mut order: Vec<usize> = (0..NonEquivType::ALL.len()).collect();
+        order.shuffle(rng);
+        order.sort_by_key(|&i| non_equiv_counts[i]);
+        for i in order {
+            let ty = NonEquivType::ALL[i];
+            // Value changes draw the edit site and replacement from the rng,
+            // so a retry can land on a literal the witnesses discriminate;
+            // the other transforms are deterministic and get one shot.
+            let attempts = if ty == NonEquivType::ValueChange {
+                4
+            } else {
+                1
+            };
+            for _ in 0..attempts {
+                if let Some((q1, q2)) = apply_non_equiv(&q, ty, rng) {
+                    if analyzes_clean(&q1)
+                        && analyzes_clean(&q2)
+                        && differential_verdict(&q1, &q2, &witnesses) == Verdict::Differed
+                    {
+                        non_equiv_counts[i] += 1;
+                        return Some(example(wq, &q1, &q2, false, ty.label()));
+                    }
                 }
             }
         }
@@ -1260,6 +1319,18 @@ mod tests {
         let eq = pairs.iter().filter(|p| p.equivalent).count();
         let ne = pairs.len() - eq;
         assert!(eq >= 15 && ne >= 15, "balance {eq}/{ne}");
+        // Least-represented-first selection must keep every non-equivalent
+        // subtype populated — a uniform shuffle used to leave value-change
+        // with a handful of pairs, starving the paper's per-subtype FP
+        // analysis (tests/paper_shape.rs).
+        let mut counts = std::collections::BTreeMap::new();
+        for p in pairs.iter().filter(|p| !p.equivalent) {
+            *counts.entry(p.transform.as_str()).or_insert(0usize) += 1;
+        }
+        for ty in NonEquivType::ALL {
+            let n = counts.get(ty.label()).copied().unwrap_or(0);
+            assert!(n >= 1, "subtype {} unrepresented ({counts:?})", ty.label());
+        }
         // re-verify a sample
         for p in pairs.iter().take(10) {
             let q1 = parse_query(&p.sql1).unwrap();

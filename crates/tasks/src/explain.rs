@@ -145,7 +145,7 @@ pub fn build_explain_dataset(ds: &Dataset) -> Vec<ExplainExample> {
     ds.queries
         .iter()
         .map(|q| {
-            let stmt = parse(&q.sql).expect("workload queries parse");
+            let stmt = parse(&q.sql).expect("workload queries parse"); // lint:allow: generated/fixed SQL, parse covered by tests
             ExplainExample {
                 query_id: q.id.clone(),
                 schema_name: q.schema_name.clone(),
@@ -153,7 +153,7 @@ pub fn build_explain_dataset(ds: &Dataset) -> Vec<ExplainExample> {
                 reference: q
                     .description
                     .clone()
-                    .expect("Spider queries carry descriptions"),
+                    .expect("Spider queries carry descriptions"), // lint:allow: the Spider corpus always sets them
                 facts: key_facts(&stmt),
                 props: q.props.clone(),
             }

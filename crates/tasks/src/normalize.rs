@@ -322,7 +322,7 @@ fn canonical(e: Expr) -> Expr {
                 return canonical(Expr::Compare {
                     op: CompareOp::Eq,
                     left: expr,
-                    right: Box::new(list.pop().expect("len 1")),
+                    right: Box::new(list.pop().expect("len 1")), // lint:allow: length checked on the previous line
                 });
             }
             Expr::InList {
@@ -420,7 +420,7 @@ fn flatten(e: Expr, conj: bool) -> Vec<Expr> {
 
 fn rebuild(parts: Vec<Expr>, conj: bool) -> Expr {
     let mut it = parts.into_iter();
-    let first = it.next().expect("flatten never yields empty");
+    let first = it.next().expect("flatten never yields empty"); // lint:allow: flatten of a non-empty input
     it.fold(first, |acc, p| if conj { acc.and(p) } else { acc.or(p) })
 }
 

@@ -39,7 +39,7 @@ pub fn build_perf_dataset(ds: &Dataset) -> Vec<PerfExample> {
         .map(|q| {
             let elapsed = q
                 .elapsed_ms
-                .expect("every SDSS query carries an elapsed time");
+                .expect("every SDSS query carries an elapsed time"); // lint:allow: workload construction sets it
             PerfExample {
                 query_id: q.id.clone(),
                 sql: q.sql.clone(),

@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use squ_parser::ast::*;
 use squ_parser::{parse, print_statement, CompareOp};
-use squ_schema::{analyze, DiagnosticKind, Schema, SqlType};
+use squ_schema::{analyze, may_return_multiple_rows, DiagnosticKind, Schema, SqlType};
 use squ_workload::{schema_for, Dataset, WorkloadQuery};
 
 /// The paper's six syntax-error categories.
@@ -91,6 +91,11 @@ pub struct SyntaxExample {
     pub has_error: bool,
     /// Ground truth error type (None for error-free examples).
     pub error_type: Option<SyntaxErrorType>,
+    /// Byte range `[start, end)` in `sql` at which the expected diagnostic
+    /// must point (located from the injection site itself, independently of
+    /// the binder; None for error-free examples).
+    #[serde(default)]
+    pub expected_span: Option<(usize, usize)>,
     /// Properties of the *shown* query text (used for failure slicing).
     pub props: squ_workload::QueryProps,
 }
@@ -338,7 +343,7 @@ fn inject_condition_mismatch(stmt: &mut Statement, schema: &Schema, rng: &mut St
     let q = (tables.len() > 1).then_some(binding);
     let word = *["high", "low", "fast", "bright"]
         .choose(rng)
-        .expect("non-empty");
+        .expect("non-empty"); // lint:allow: drawn from a non-empty set
     let pred = Expr::column(q.as_deref(), &col).compare(CompareOp::Eq, Expr::string(word));
     select.selection = Some(match select.selection.take() {
         Some(w) => w.and(pred),
@@ -354,7 +359,7 @@ fn mutate_numeric_literal_to_string(e: &mut Expr, rng: &mut StdRng) -> bool {
             if let Expr::Literal(Literal::Number(_)) = **right {
                 let word = *["high", "low", "fast", "bright"]
                     .choose(rng)
-                    .expect("non-empty");
+                    .expect("non-empty"); // lint:allow: drawn from a non-empty set
                 **right = Expr::string(word);
                 return true;
             }
@@ -557,6 +562,180 @@ fn rewrite_exprs_in_select(select: &mut Select, f: &mut dyn FnMut(&mut Expr)) {
     }
 }
 
+/// Locate, from the corrupted statement alone, the byte span at which the
+/// expected diagnostic for `ty` must point. This mirrors each injector's
+/// site (first bare projection column, the HAVING column, the multi-row
+/// subquery, …) without consulting the binder's own span bookkeeping, so
+/// generation — and later the dataset auditor — can cross-check the two
+/// independently. Returns `None` when no site can be identified.
+pub fn locate_expected(stmt: &Statement, schema: &Schema, ty: SyntaxErrorType) -> Option<Span> {
+    let query = stmt.query()?;
+    let select = query.as_select()?;
+    match ty {
+        // every bare projection column is ungrouped after injection; the
+        // binder flags them in projection order
+        SyntaxErrorType::AggrAttr => select.items.iter().find_map(|i| match i {
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => Some(c.span),
+            _ => None,
+        }),
+        // the injector replaces HAVING with `col > n`
+        SyntaxErrorType::AggrHaving => {
+            let mut bare = Vec::new();
+            collect_bare_columns(select.having.as_ref()?, &mut bare);
+            bare.first().map(|c| c.span)
+        }
+        // the injected subquery is the only multi-row scalar subquery (the
+        // source query was verified clean)
+        SyntaxErrorType::NestedMismatch => {
+            let mut found = None;
+            if let Some(w) = &select.selection {
+                find_multirow_subquery(w, &mut found);
+            }
+            found
+        }
+        SyntaxErrorType::ConditionMismatch => {
+            let tables = scope_tables(select, schema);
+            find_mismatched_compare(select.selection.as_ref()?, &tables)
+        }
+        SyntaxErrorType::AliasUndefined => {
+            let names = binding_names(select);
+            first_column_span(query, &|c| {
+                c.qualifier
+                    .as_deref()
+                    .is_some_and(|q| !names.iter().any(|n| n.eq_ignore_ascii_case(q)))
+            })
+        }
+        SyntaxErrorType::AliasAmbiguous => {
+            let tables = scope_tables(select, schema);
+            first_column_span(query, &|c| {
+                c.qualifier.is_none()
+                    && tables.iter().filter(|(_, t)| t.has_column(&c.name)).count() >= 2
+            })
+        }
+    }
+}
+
+/// Columns appearing outside aggregate calls (locator-side mirror of the
+/// binder's grouping walk; does not descend into subqueries).
+fn collect_bare_columns(e: &Expr, out: &mut Vec<ColumnRef>) {
+    match e {
+        Expr::Column(c) => out.push(c.clone()),
+        Expr::Function { name, args, .. } => {
+            if !is_aggregate_name(name) {
+                for a in args {
+                    collect_bare_columns(a, out);
+                }
+            }
+        }
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+        Expr::InSubquery { expr, .. } => collect_bare_columns(expr, out),
+        other => other.for_each_child(&mut |c| collect_bare_columns(c, out)),
+    }
+}
+
+fn find_multirow_subquery(e: &Expr, out: &mut Option<Span>) {
+    if out.is_some() {
+        return;
+    }
+    match e {
+        Expr::ScalarSubquery(q) => {
+            if may_return_multiple_rows(q) {
+                *out = Some(q.span);
+            }
+        }
+        other => other.for_each_child(&mut |c| find_multirow_subquery(c, out)),
+    }
+}
+
+/// First comparison of a numeric operand against a string literal; the
+/// span is the operand's, matching where the binder anchors the mismatch.
+fn find_mismatched_compare(e: &Expr, tables: &[(String, &squ_schema::Table)]) -> Option<Span> {
+    match e {
+        Expr::Compare { left, right, .. } => {
+            if matches!(**right, Expr::Literal(Literal::String(_)))
+                && is_numeric_operand(left, tables)
+            {
+                return expr_span(left).or_else(|| expr_span(right));
+            }
+            None
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            find_mismatched_compare(a, tables).or_else(|| find_mismatched_compare(b, tables))
+        }
+        Expr::Not(inner) => find_mismatched_compare(inner, tables),
+        _ => None,
+    }
+}
+
+fn is_numeric_operand(e: &Expr, tables: &[(String, &squ_schema::Table)]) -> bool {
+    match e {
+        Expr::Column(c) => tables
+            .iter()
+            .filter(|(b, _)| {
+                c.qualifier
+                    .as_deref()
+                    .map_or(true, |q| b.eq_ignore_ascii_case(q))
+            })
+            .find_map(|(_, t)| {
+                t.columns
+                    .iter()
+                    .find(|col| col.name.eq_ignore_ascii_case(&c.name))
+            })
+            .is_some_and(|col| col.ty.is_numeric()),
+        Expr::Arith { .. } | Expr::Neg(_) => true,
+        _ => false,
+    }
+}
+
+/// Every binding name visible in the select's FROM (schema tables, CTE
+/// references, and derived-table aliases alike).
+fn binding_names(select: &Select) -> Vec<String> {
+    fn walk(tr: &TableRef, out: &mut Vec<String>) {
+        match tr {
+            TableRef::Named { name, alias } => {
+                out.push(alias.clone().unwrap_or_else(|| name.clone()));
+            }
+            TableRef::Derived { alias, .. } => {
+                if let Some(a) = alias {
+                    out.push(a.clone());
+                }
+            }
+            TableRef::Join { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for tr in &select.from {
+        walk(tr, &mut out);
+    }
+    out
+}
+
+/// Span of the first top-level column of `q` satisfying `pred` (projection,
+/// join conditions, WHERE, GROUP BY, HAVING, ORDER BY; not subqueries).
+fn first_column_span(q: &Query, pred: &dyn Fn(&ColumnRef) -> bool) -> Option<Span> {
+    fn walk(e: &Expr, pred: &dyn Fn(&ColumnRef) -> bool, out: &mut Option<Span>) {
+        if out.is_some() {
+            return;
+        }
+        if let Expr::Column(c) = e {
+            if pred(c) {
+                *out = Some(c.span);
+            }
+            return;
+        }
+        e.for_each_child(&mut |child| walk(child, pred, out));
+    }
+    let mut out = None;
+    squ_parser::visit::for_each_query_expr(q, &mut |e| walk(e, pred, &mut out));
+    out
+}
+
 /// Build the `syntax_error` dataset from a workload: roughly 40% of
 /// examples stay error-free (the negative class); the rest receive a
 /// uniformly chosen error type. Every injected example is verified against
@@ -572,7 +751,7 @@ pub fn build_syntax_dataset(ds: &Dataset, seed: u64) -> Vec<SyntaxExample> {
 
 fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> SyntaxExample {
     let schema = schema_for(wq.workload, &wq.schema_name);
-    let stmt = parse(&wq.sql).expect("workload queries parse");
+    let stmt = parse(&wq.sql).expect("workload queries parse"); // lint:allow: generated/fixed SQL, parse covered by tests
     let error_free = rng.gen_bool(0.4);
     if !error_free {
         // try a shuffled order of types until one applies and verifies
@@ -580,16 +759,28 @@ fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> SyntaxExample {
         types.shuffle(rng);
         for ty in types {
             if let Some(corrupted) = inject_error(&stmt, &schema, ty, rng) {
+                // re-parse the printed text so spans refer to the SQL the
+                // model (and the auditor) actually sees
                 let sql = print_statement(&corrupted);
-                let diags = analyze(&corrupted, &schema);
-                if diags.iter().any(|d| d.kind == ty.expected_diagnostic()) {
-                    let props = squ_workload::query_props(&sql, &corrupted);
+                let reparsed = parse(&sql).expect("printed SQL reparses"); // lint:allow: printer-parser roundtrip is test-covered
+                let diags = analyze(&reparsed, &schema);
+                let Some(span) = locate_expected(&reparsed, &schema, ty) else {
+                    continue;
+                };
+                let verified = diags.iter().any(|d| {
+                    d.kind == ty.expected_diagnostic()
+                        && d.span
+                            .is_some_and(|s| s.start < span.end && span.start < s.end)
+                });
+                if verified {
+                    let props = squ_workload::query_props(&sql, &reparsed);
                     return SyntaxExample {
                         query_id: wq.id.clone(),
                         schema_name: wq.schema_name.clone(),
                         sql,
                         has_error: true,
                         error_type: Some(ty),
+                        expected_span: Some((span.start, span.end)),
                         props,
                     };
                 }
@@ -603,6 +794,7 @@ fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> SyntaxExample {
         sql: wq.sql.clone(),
         has_error: false,
         error_type: None,
+        expected_span: None,
         props: wq.props.clone(),
     }
 }

@@ -84,6 +84,10 @@ pub struct TokenExample {
     /// Word position (0-based index into the whitespace-word sequence of
     /// the *shown* query) where the token is missing.
     pub position: Option<usize>,
+    /// Byte offset in the shown `sql` at which the removal happened (the
+    /// splice point; text from here on shifted left).
+    #[serde(default)]
+    pub removed_at: Option<usize>,
     /// Properties of the shown query text.
     pub props: squ_workload::QueryProps,
 }
@@ -197,8 +201,9 @@ fn candidates(
 }
 
 /// Delete the byte range `[start, end)` from the SQL, collapsing the
-/// surrounding whitespace to a single space.
-fn splice_out(sql: &str, start: usize, end: usize) -> String {
+/// surrounding whitespace to a single space. Returns the spliced text and
+/// the byte offset of the splice point in it.
+fn splice_out(sql: &str, start: usize, end: usize) -> (String, usize) {
     let mut s = start;
     let mut e = end;
     while s > 0 && sql.as_bytes()[s - 1] == b' ' {
@@ -208,7 +213,7 @@ fn splice_out(sql: &str, start: usize, end: usize) -> String {
         e += 1;
     }
     let sep = if s > 0 && e < sql.len() { " " } else { "" };
-    format!("{}{sep}{}", &sql[..s], &sql[e..])
+    (format!("{}{sep}{}", &sql[..s], &sql[e..]), s)
 }
 
 /// Find a whole leaf comparison predicate in the token stream:
@@ -287,14 +292,15 @@ fn find_predicate_range(tokens: &[Token]) -> Vec<(usize, usize)> {
 }
 
 /// Delete a token of type `ty` from `sql`. Returns the corrupted SQL, the
-/// removed text, and the word position — or `None` if the query has no
-/// deletable token of that type.
+/// removed text, the word position, and the byte offset of the splice
+/// point in the corrupted text — or `None` if the query has no deletable
+/// token of that type.
 pub fn delete_token(
     sql: &str,
     schema: &Schema,
     ty: TokenType,
     rng: &mut StdRng,
-) -> Option<(String, String, usize)> {
+) -> Option<(String, String, usize, usize)> {
     let tokens = tokenize(sql).ok()?;
     if ty == TokenType::Predicate {
         let ranges = find_predicate_range(&tokens);
@@ -322,18 +328,16 @@ pub fn delete_token(
         // position = word index of the first removed byte (recomputed after
         // the range may have been extended to swallow a dangling AND/OR)
         let pos = squ_lexer::word_index_at(sql, byte_start);
-        return Some((splice_out(sql, byte_start, byte_end), removed, pos));
+        let (out, at) = splice_out(sql, byte_start, byte_end);
+        return Some((out, removed, pos, at));
     }
     let classes = name_classes(sql, schema);
     let cand = candidates(sql, &tokens, &classes, schema, ty);
     let &i = cand.choose(rng)?;
     let t = &tokens[i];
     let removed = sql[t.span.start..t.span.end].to_string();
-    Some((
-        splice_out(sql, t.span.start, t.span.end),
-        removed,
-        t.word_index,
-    ))
+    let (out, at) = splice_out(sql, t.span.start, t.span.end);
+    Some((out, removed, t.word_index, at))
 }
 
 /// Build the missing-token dataset: ~40% untouched (negative class), the
@@ -347,6 +351,19 @@ pub fn build_token_dataset(ds: &Dataset, seed: u64) -> Vec<TokenExample> {
     out
 }
 
+/// Is a (non-predicate) deletion statically detectable? The corrupted text
+/// must fail to parse — no earlier than just before the splice word, since
+/// a recursive-descent parser cannot reject an unchanged prefix (a 2-word
+/// margin covers its bounded lookahead) — or parse but fail the binder.
+/// Predicate deletions are exempt: removing a whole leaf predicate usually
+/// leaves a well-formed, well-typed query (the paper's hardest class).
+pub fn deletion_detectable(sql: &str, schema: &Schema, position: usize) -> bool {
+    match parse(sql) {
+        Err(e) => e.word_index().map_or(true, |wi| wi + 2 >= position),
+        Ok(stmt) => !squ_schema::analyze(&stmt, schema).is_empty(),
+    }
+}
+
 fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> TokenExample {
     let schema = schema_for(wq.workload, &wq.schema_name);
     let untouched = rng.gen_bool(0.4);
@@ -354,7 +371,12 @@ fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> TokenExample {
         let mut types = TokenType::ALL;
         types.shuffle(rng);
         for ty in types {
-            if let Some((sql, removed, pos)) = delete_token(&wq.sql, &schema, ty, rng) {
+            if let Some((sql, removed, pos, at)) = delete_token(&wq.sql, &schema, ty, rng) {
+                // a deletion that leaves valid, clean SQL would poison the
+                // positive label; only predicate drops are allowed to
+                if ty != TokenType::Predicate && !deletion_detectable(&sql, &schema, pos) {
+                    continue;
+                }
                 // properties of the shown (corrupted) text; AST-derived
                 // props fall back to the original when it no longer parses
                 let props = match parse(&sql) {
@@ -374,6 +396,7 @@ fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> TokenExample {
                     token_type: Some(ty),
                     removed_text: Some(removed),
                     position: Some(pos),
+                    removed_at: Some(at),
                     props,
                 };
             }
@@ -387,6 +410,7 @@ fn make_example(wq: &WorkloadQuery, rng: &mut StdRng) -> TokenExample {
         token_type: None,
         removed_text: None,
         position: None,
+        removed_at: None,
         props: wq.props.clone(),
     }
 }
@@ -406,8 +430,9 @@ mod tests {
         let schema = sdss();
         let sql = "SELECT s.plate, s.mjd FROM SpecObj AS s WHERE s.z > 0.5 AND s.plate = 100";
         for ty in TokenType::ALL {
-            let (out, removed, pos) = delete_token(sql, &schema, ty, &mut rng())
+            let (out, removed, pos, at) = delete_token(sql, &schema, ty, &mut rng())
                 .unwrap_or_else(|| panic!("{ty} not applicable"));
+            assert!(at <= out.len(), "{ty}: splice offset out of range");
             assert!(out.len() < sql.len(), "{ty}: nothing removed");
             assert!(!removed.is_empty());
             assert!(
@@ -425,7 +450,8 @@ mod tests {
         let sql = "SELECT plate FROM SpecObj WHERE z > 0.5";
         for seed in 0..20 {
             let mut r = StdRng::seed_from_u64(seed);
-            let (_, removed, _) = delete_token(sql, &schema, TokenType::Keyword, &mut r).unwrap();
+            let (_, removed, _, _) =
+                delete_token(sql, &schema, TokenType::Keyword, &mut r).unwrap();
             assert!(
                 ["SELECT", "FROM", "WHERE"].contains(&removed.as_str()),
                 "removed {removed}"
@@ -437,7 +463,7 @@ mod tests {
     fn value_deletion_targets_literals() {
         let schema = sdss();
         let sql = "SELECT plate FROM SpecObj WHERE z > 0.5 AND class = 'QSO'";
-        let (_, removed, _) = delete_token(sql, &schema, TokenType::Value, &mut rng()).unwrap();
+        let (_, removed, _, _) = delete_token(sql, &schema, TokenType::Value, &mut rng()).unwrap();
         assert!(removed == "0.5" || removed == "'QSO'", "removed {removed}");
     }
 
@@ -445,7 +471,7 @@ mod tests {
     fn predicate_deletion_removes_whole_condition() {
         let schema = sdss();
         let sql = "SELECT plate FROM SpecObj WHERE z > 0.5 AND plate = 100";
-        let (out, removed, _) =
+        let (out, removed, _, _) =
             delete_token(sql, &schema, TokenType::Predicate, &mut rng()).unwrap();
         assert!(
             removed.contains('>') || removed.contains('='),
@@ -474,7 +500,8 @@ mod tests {
         // FROM is word 2
         for seed in 0..30 {
             let mut r = StdRng::seed_from_u64(seed);
-            let (_, removed, pos) = delete_token(sql, &schema, TokenType::Keyword, &mut r).unwrap();
+            let (_, removed, pos, _) =
+                delete_token(sql, &schema, TokenType::Keyword, &mut r).unwrap();
             let words: Vec<&str> = sql.split_whitespace().collect();
             assert_eq!(words[pos], removed, "pos {pos} for {removed}");
         }

@@ -28,7 +28,7 @@ pub fn prop_value(p: &QueryProps, name: &str) -> f64 {
         "function_count" => p.function_count as f64,
         "predicate_count" => p.predicate_count as f64,
         "nestedness" => p.nestedness as f64,
-        other => panic!("unknown property {other}"),
+        other => panic!("unknown property {other}"), // lint:allow: names come from the fixed property list
     }
 }
 

@@ -285,6 +285,7 @@ impl<'a> QueryGenerator<'a> {
             })),
             order_by,
             limit,
+            span: Span::default(),
         }
     }
 
@@ -304,14 +305,14 @@ impl<'a> QueryGenerator<'a> {
                 s.top = Some(
                     *[1u64, 5, 10, 50, 100, 1000]
                         .choose(&mut self.rng)
-                        .expect("non-empty"),
+                        .expect("non-empty"), // lint:allow: drawn from a non-empty set
                 );
             }
         } else if self.rng.gen_bool(self.profile.limit_prob) {
             q.limit = Some(
                 *[1u64, 5, 10, 20, 100]
                     .choose(&mut self.rng)
-                    .expect("non-empty"),
+                    .expect("non-empty"), // lint:allow: drawn from a non-empty set
             );
         }
     }
@@ -333,7 +334,7 @@ impl<'a> QueryGenerator<'a> {
         // 2. FROM clause
         let from = if explicit && chosen.len() > 1 {
             let mut it = chosen.iter();
-            let first = it.next().expect("k >= 1");
+            let first = it.next().expect("k >= 1"); // lint:allow: k is validated at entry
             let mut tree = TableRef::named(&first.table, first.alias.as_deref());
             for (i, c) in it.enumerate() {
                 let constraint = join_conds
@@ -427,7 +428,7 @@ impl<'a> QueryGenerator<'a> {
             .schema
             .tables
             .choose(&mut self.rng)
-            .expect("schema has tables")
+            .expect("schema has tables") // lint:allow: every benchmark schema declares tables
             .name
             .clone();
         names.push(start);
@@ -505,13 +506,13 @@ impl<'a> QueryGenerator<'a> {
     fn gen_predicate(&mut self, chosen: &[Chosen]) -> Expr {
         let c = chosen
             .choose(&mut self.rng)
-            .expect("chosen non-empty")
+            .expect("chosen non-empty") // lint:allow: chosen set built non-empty
             .clone();
-        let table = self.schema.table(&c.table).expect("chosen from schema");
+        let table = self.schema.table(&c.table).expect("chosen from schema"); // lint:allow: name came from this schema
         let col = table
             .columns
             .choose(&mut self.rng)
-            .expect("tables have columns")
+            .expect("tables have columns") // lint:allow: benchmark tables declare columns
             .clone();
         let qualifier = self.qualifier_for(chosen, &c);
         let col_expr = Expr::column(qualifier.as_deref(), &col.name);
@@ -528,7 +529,7 @@ impl<'a> QueryGenerator<'a> {
                             CompareOp::LtEq,
                         ]
                         .choose(&mut self.rng)
-                        .expect("non-empty");
+                        .expect("non-empty"); // lint:allow: drawn from a non-empty set
                         col_expr.compare(op, Expr::number(self.gen_number(col.ty)))
                     }
                     6..=7 => {
@@ -556,7 +557,7 @@ impl<'a> QueryGenerator<'a> {
             }
             SqlType::Text => {
                 if self.rng.gen_bool(0.35) {
-                    let word = TEXT_VOCAB.choose(&mut self.rng).expect("non-empty");
+                    let word = TEXT_VOCAB.choose(&mut self.rng).expect("non-empty"); // lint:allow: drawn from a non-empty set
                     let frag = &word[..word.len().min(3)];
                     Expr::Like {
                         expr: Box::new(col_expr),
@@ -564,7 +565,7 @@ impl<'a> QueryGenerator<'a> {
                         negated: false,
                     }
                 } else {
-                    let word = TEXT_VOCAB.choose(&mut self.rng).expect("non-empty");
+                    let word = TEXT_VOCAB.choose(&mut self.rng).expect("non-empty"); // lint:allow: drawn from a non-empty set
                     col_expr.compare(CompareOp::Eq, Expr::string(word))
                 }
             }
@@ -676,12 +677,12 @@ impl<'a> QueryGenerator<'a> {
         let mut items = Vec::new();
         let mut used: Vec<(String, String)> = Vec::new();
         for _ in 0..n {
-            let c = chosen.choose(&mut self.rng).expect("non-empty").clone();
-            let table = self.schema.table(&c.table).expect("chosen from schema");
+            let c = chosen.choose(&mut self.rng).expect("non-empty").clone(); // lint:allow: drawn from a non-empty set
+            let table = self.schema.table(&c.table).expect("chosen from schema"); // lint:allow: name came from this schema
             let col = table
                 .columns
                 .choose(&mut self.rng)
-                .expect("has columns")
+                .expect("has columns") // lint:allow: benchmark tables declare columns
                 .clone();
             let key = (c.binding.clone(), col.name.to_ascii_lowercase());
             if used.contains(&key) {
@@ -700,7 +701,7 @@ impl<'a> QueryGenerator<'a> {
         if items.is_empty() {
             // degenerate draw: project the first column of the first table
             let c = &chosen[0];
-            let table = self.schema.table(&c.table).expect("chosen from schema");
+            let table = self.schema.table(&c.table).expect("chosen from schema"); // lint:allow: name came from this schema
             let q = if chosen.len() > 1 {
                 Some(c.binding.clone())
             } else {
@@ -715,10 +716,10 @@ impl<'a> QueryGenerator<'a> {
         let name = match ty {
             SqlType::Int | SqlType::Float => *["ABS", "ROUND", "FLOOR", "CEILING"]
                 .choose(&mut self.rng)
-                .expect("non-empty"),
+                .expect("non-empty"), // lint:allow: drawn from a non-empty set
             SqlType::Text => *["UPPER", "LOWER", "TRIM", "LEN"]
                 .choose(&mut self.rng)
-                .expect("non-empty"),
+                .expect("non-empty"), // lint:allow: drawn from a non-empty set
             SqlType::Bool => return expr,
         };
         Expr::Function {
@@ -738,12 +739,12 @@ impl<'a> QueryGenerator<'a> {
         let mut keys: Vec<Expr> = Vec::new();
         let mut used = Vec::new();
         for _ in 0..n_keys {
-            let c = chosen.choose(&mut self.rng).expect("non-empty").clone();
-            let table = self.schema.table(&c.table).expect("chosen from schema");
+            let c = chosen.choose(&mut self.rng).expect("non-empty").clone(); // lint:allow: drawn from a non-empty set
+            let table = self.schema.table(&c.table).expect("chosen from schema"); // lint:allow: name came from this schema
             let col = table
                 .columns
                 .choose(&mut self.rng)
-                .expect("has columns")
+                .expect("has columns") // lint:allow: benchmark tables declare columns
                 .clone();
             let key = (c.binding.clone(), col.name.to_ascii_lowercase());
             if used.contains(&key) {
@@ -777,7 +778,7 @@ impl<'a> QueryGenerator<'a> {
                     Some((q, name)) => Expr::Function {
                         name: (*["AVG", "SUM", "MIN", "MAX"]
                             .choose(&mut self.rng)
-                            .expect("non-empty"))
+                            .expect("non-empty")) // lint:allow: drawn from a non-empty set
                         .to_string(),
                         args: vec![Expr::column(q.as_deref(), &name)],
                         distinct: false,

@@ -1,0 +1,322 @@
+//! Repo-level developer tasks, invoked as `cargo run -p xtask -- <task>`.
+//!
+//! `lint` — forbid `.unwrap()`, `.expect(` and `panic!` in library code.
+//!
+//! The benchmark's library crates must not abort on malformed input: the
+//! whole point of the analyzer stack is to turn bad SQL into diagnostics.
+//! This pass scans every `crates/*/src` library file (binaries, `main.rs`,
+//! and `#[cfg(test)]` modules are exempt) with a comment/string-stripping
+//! token matcher — no `syn`, no dependencies — and reports each banned
+//! call site. A site that is genuinely infallible can be waived with a
+//! `lint:allow` comment on the same line, which doubles as documentation
+//! of *why* the panic cannot fire.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Marker comment that waives a banned call on its line.
+const WAIVER: &str = "lint:allow";
+
+/// Patterns banned in library code, matched against comment- and
+/// string-stripped text. `Option::expect`/`Result::expect` always take a
+/// string-literal message in this codebase, so after stripping they read
+/// `.expect()` — which cleanly excludes same-named inherent methods with
+/// non-string arguments (e.g. the parser's `self.expect(&TokenKind, …)`).
+const BANNED: &[&str] = &[".unwrap()", ".expect()", "panic!"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = repo_root();
+            let findings = lint_repo(&root);
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                eprintln!(
+                    "xtask lint: {} banned call site(s); add a `// {WAIVER}: why` \
+                     comment only when the panic is provably unreachable",
+                    findings.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown task {other:?} (available: lint)");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives at <root>/crates/xtask") // lint:allow: layout is fixed by the workspace
+        .to_path_buf()
+}
+
+/// Lint every library source file under `crates/*/src`; returns one
+/// rendered finding per banned call site.
+fn lint_repo(root: &Path) -> Vec<String> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir).expect("read crates/"); // lint:allow: cli tool
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_library_sources(&dir.join("src"), &mut files);
+    }
+    files.sort();
+    for file in files {
+        let text = std::fs::read_to_string(&file).expect("read source file"); // lint:allow: cli tool
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        for (line_no, pattern, line) in scan_source(&text) {
+            let mut f = String::new();
+            let _ = write!(f, "{rel}:{line_no}: banned `{pattern}` — {}", line.trim());
+            findings.push(f);
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `src`, skipping `bin/` trees and
+/// `main.rs` (binaries may abort; libraries must not).
+fn collect_library_sources(src: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(src) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_library_sources(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs")
+            && p.file_name().is_some_and(|n| n != "main.rs")
+        {
+            out.push(p);
+        }
+    }
+}
+
+/// Scan one source text; yields `(1-based line, pattern, line text)` for
+/// every banned call outside comments, strings, and `#[cfg(test)]` regions.
+fn scan_source(text: &str) -> Vec<(usize, &'static str, String)> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    // Depth of the `#[cfg(test)]`-gated item we are inside, if any:
+    // `None` outside, `Some(depth)` counts unclosed braces of the region.
+    let mut test_region: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_noncode(raw, &mut in_block_comment);
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if let Some(depth) = &mut test_region {
+            *depth += opens - closes;
+            if *depth <= 0 {
+                test_region = None;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            // the attribute's item starts here; its region lasts until the
+            // braces it opens are closed again
+            if opens > closes {
+                test_region = Some(opens - closes);
+            } else if !code.trim().is_empty() && opens == 0 {
+                // single-line gated item (e.g. `mod tests;`)
+                pending_cfg_test = false;
+            }
+            if test_region.is_some() {
+                pending_cfg_test = false;
+            }
+            continue;
+        }
+        if raw.contains(WAIVER) {
+            continue;
+        }
+        for pattern in BANNED {
+            if code.contains(pattern) {
+                out.push((idx + 1, *pattern, raw.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Remove comments and string/char-literal contents from one line,
+/// carrying block-comment state across lines. The goal is token-accurate
+/// matching of the banned patterns, not full Rust lexing: string contents
+/// are blanked so `"panic!"` in a message never matches.
+fn strip_noncode(line: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'r' if bytes.get(i + 1) == Some(&b'"') || bytes.get(i + 1) == Some(&b'#') => {
+                // raw string: r"…" or r#"…"# (single hash level is enough
+                // for this codebase)
+                let hashes = if bytes.get(i + 1) == Some(&b'#') {
+                    1
+                } else {
+                    0
+                };
+                let open = i + 1 + hashes;
+                if bytes.get(open) == Some(&b'"') {
+                    let close: &[u8] = if hashes == 1 { b"\"#" } else { b"\"" };
+                    let rest = &bytes[open + 1..];
+                    let end = rest
+                        .windows(close.len())
+                        .position(|w| w == close)
+                        .map(|p| open + 1 + p + close.len())
+                        .unwrap_or(bytes.len());
+                    i = end;
+                } else {
+                    out.push('r');
+                    i += 1;
+                }
+            }
+            b'"' => {
+                // ordinary string with escapes
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // char literal `'x'` / `'\n'`; anything else (lifetime)
+                // passes through
+                let is_char = match bytes.get(i + 1) {
+                    Some(b'\\') => true,
+                    Some(_) => bytes.get(i + 2) == Some(&b'\''),
+                    None => false,
+                };
+                if is_char {
+                    i += if bytes[i + 1] == b'\\' { 4 } else { 3 };
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Vec<(usize, &'static str)> {
+        scan_source(text)
+            .into_iter()
+            .map(|(l, p, _)| (l, p))
+            .collect()
+    }
+
+    #[test]
+    fn flags_banned_calls() {
+        let found =
+            scan("fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"no\");\n}\n");
+        assert_eq!(
+            found,
+            vec![(2, ".unwrap()"), (3, ".expect()"), (4, "panic!")]
+        );
+    }
+
+    #[test]
+    fn error_returning_expect_methods_are_not_flagged() {
+        // an inherent `expect` taking a non-string argument is the
+        // parser's fallible helper, not Option::expect
+        let text = "fn f() { self.expect(&TokenKind::LParen, \"msg\")?; }\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_match() {
+        let text = "fn f() {\n    // x.unwrap() in a comment\n    let s = \"panic! .unwrap()\";\n    /* .expect( */\n}\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn block_comment_state_spans_lines() {
+        let text = "/*\n x.unwrap()\n*/\nfn g() { h.unwrap(); }\n";
+        assert_eq!(scan(text), vec![(4, ".unwrap()")]);
+    }
+
+    #[test]
+    fn waiver_comment_exempts_the_line() {
+        let text =
+            "fn f() {\n    x.unwrap(); // lint:allow: index checked above\n    y.unwrap();\n}\n";
+        assert_eq!(scan(text), vec![(3, ".unwrap()")]);
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() { y.unwrap(); }\n";
+        assert_eq!(scan(text), vec![(7, ".unwrap()")]);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let text = "fn f() { let s = r\"panic!\"; let t = r#\".unwrap()\"#; }\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let text = "fn f<'a>(c: char) -> bool { c == '\"' }\nfn g() { x.unwrap(); }\n";
+        assert_eq!(scan(text), vec![(2, ".unwrap()")]);
+    }
+}
