@@ -6,6 +6,9 @@
 //! repro --ablations        # run the ablation / extension studies
 //! repro --export [DIR]     # export every labeled dataset as JSONL
 //! repro --audit            # statically audit every ground-truth label
+//! repro --faults heavy     # run the benchmark through a fault-injecting transport
+//! repro --faults none --fault-gate 0.02   # CI gate on the needs_review rate
+//! repro --fault-seed 7     # reseed the fault injector (default 0)
 //! repro --seed 7           # different master seed
 //! repro --jobs 4           # worker threads (default: all cores, 1 = sequential)
 //! repro --timings          # print a per-phase wall-clock report
@@ -16,14 +19,16 @@
 //! tabular artifacts). Suite construction and artifact execution fan out
 //! over `--jobs` threads; output order and content are identical for
 //! every job count. Each run also writes machine-readable span timings to
-//! `target/repro/timings.json`.
+//! `target/repro/timings.json`; `--faults` writes `target/repro/faults.json`,
+//! byte-identical for any `--jobs` count.
 
+use squ::llm::FaultProfile;
 use squ::{run_ablation, run_experiment, AblationId, Artifact, ExperimentId, Suite, PAPER_SEED};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 struct Opts {
     list: bool,
     ablations: bool,
@@ -31,6 +36,12 @@ struct Opts {
     timings: bool,
     export: Option<String>,
     only: Option<String>,
+    /// Fault-injection profile name (`none`, `light`, `heavy`, `flaky`).
+    faults: Option<String>,
+    /// Seed for the fault injector (independent of the suite seed).
+    fault_seed: u64,
+    /// Fail (exit 1) if the needs_review rate exceeds this bound.
+    fault_gate: Option<f64>,
     seed: u64,
     /// Worker threads; `None` means all available cores.
     jobs: Option<usize>,
@@ -45,6 +56,9 @@ impl Default for Opts {
             timings: false,
             export: None,
             only: None,
+            faults: None,
+            fault_seed: 0,
+            fault_gate: None,
             seed: PAPER_SEED,
             jobs: None,
         }
@@ -74,6 +88,42 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--only" => {
                 opts.only =
                     Some(value_of(args, i).ok_or_else(|| "--only needs a slug".to_string())?);
+                i += 1;
+            }
+            "--faults" => {
+                let name = value_of(args, i).ok_or_else(|| {
+                    format!(
+                        "--faults needs a profile name (one of {})",
+                        FaultProfile::NAMES.join(", ")
+                    )
+                })?;
+                if FaultProfile::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown fault profile {name:?} (one of {})",
+                        FaultProfile::NAMES.join(", ")
+                    ));
+                }
+                opts.faults = Some(name);
+                i += 1;
+            }
+            "--fault-seed" => {
+                let raw =
+                    value_of(args, i).ok_or_else(|| "--fault-seed needs an integer".to_string())?;
+                opts.fault_seed = raw
+                    .parse()
+                    .map_err(|_| format!("--fault-seed needs an integer, got {raw:?}"))?;
+                i += 1;
+            }
+            "--fault-gate" => {
+                let raw = value_of(args, i)
+                    .ok_or_else(|| "--fault-gate needs a rate in [0,1]".to_string())?;
+                let rate: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--fault-gate needs a rate in [0,1], got {raw:?}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--fault-gate needs a rate in [0,1], got {raw:?}"));
+                }
+                opts.fault_gate = Some(rate);
                 i += 1;
             }
             "--seed" => {
@@ -168,6 +218,53 @@ fn main() {
         finish_timings(&opts, &out_dir, jobs_n, run_start);
         if !report.is_clean() {
             std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Some(name) = &opts.faults {
+        let profile = FaultProfile::by_name(name)
+            .unwrap_or_else(|| die(&format!("unknown fault profile {name:?}")));
+        let report = squ::timing::time("faults.total", || {
+            squ::run_fault_report(&suite, profile, opts.fault_seed, jobs_n)
+        });
+        let path = out_dir.join("faults.json");
+        fs::write(&path, report.to_json()).expect("write faults.json");
+        println!(
+            "fault profile {:?} (fault seed {}): {} calls, {} attempts, {} exhausted, {} needs_review ({:.2}%)",
+            report.profile,
+            report.fault_seed,
+            report.calls,
+            report.attempts,
+            report.exhausted,
+            report.needs_review,
+            100.0 * report.needs_review_rate
+        );
+        for stats in &report.by_fault {
+            if stats.calls > 0 {
+                println!(
+                    "  {:<14} {:>5} calls, {:>5} survived extraction ({:.1}%)",
+                    stats.kind,
+                    stats.calls,
+                    stats.survived,
+                    100.0 * stats.survival_rate
+                );
+            }
+        }
+        println!("fault report written to {}", path.display());
+        finish_timings(&opts, &out_dir, jobs_n, run_start);
+        if let Some(gate) = opts.fault_gate {
+            if report.needs_review_rate > gate {
+                eprintln!(
+                    "error: needs_review rate {:.4} exceeds --fault-gate {gate}",
+                    report.needs_review_rate
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "gate ok: needs_review rate {:.4} <= {gate}",
+                report.needs_review_rate
+            );
         }
         return;
     }
@@ -308,6 +405,41 @@ mod tests {
         assert!(opts.audit);
         assert_eq!(opts.jobs, Some(2));
         assert_eq!(opts.seed, 9);
+    }
+
+    #[test]
+    fn faults_flags() {
+        let opts = parse_args(&argv(&["--faults", "heavy"])).unwrap();
+        assert_eq!(opts.faults.as_deref(), Some("heavy"));
+        assert_eq!(opts.fault_seed, 0);
+        assert_eq!(opts.fault_gate, None);
+        // composes with the fault seed, gate, and the shared seed/jobs flags
+        let opts = parse_args(&argv(&[
+            "--faults",
+            "none",
+            "--fault-seed",
+            "9",
+            "--fault-gate",
+            "0.02",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.faults.as_deref(), Some("none"));
+        assert_eq!(opts.fault_seed, 9);
+        assert_eq!(opts.fault_gate, Some(0.02));
+        assert_eq!(opts.jobs, Some(4));
+        // every profile name parses; anything else is rejected up front
+        for name in FaultProfile::NAMES {
+            assert!(parse_args(&argv(&["--faults", name])).is_ok());
+        }
+        assert!(parse_args(&argv(&["--faults"])).is_err());
+        assert!(parse_args(&argv(&["--faults", "catastrophic"])).is_err());
+        assert!(parse_args(&argv(&["--fault-seed"])).is_err());
+        assert!(parse_args(&argv(&["--fault-seed", "abc"])).is_err());
+        assert!(parse_args(&argv(&["--fault-gate"])).is_err());
+        assert!(parse_args(&argv(&["--fault-gate", "1.5"])).is_err());
+        assert!(parse_args(&argv(&["--fault-gate", "-0.1"])).is_err());
     }
 
     #[test]

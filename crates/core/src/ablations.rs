@@ -16,12 +16,12 @@
 //!   operating points modeled as error-rate reductions, re-run through the
 //!   full pipeline.
 
-use crate::pipeline::{dataset_id, run_syntax};
+use crate::pipeline::{dataset_id, run_syntax, run_syntax_client};
 use crate::render::{f2, TextTable};
 use crate::suite::Suite;
 use crate::Artifact;
 use squ_eval::{BinaryCounts, Cell, PropertySlice, SubtypeBreakdown};
-use squ_llm::{ModelId, SimConfig, SimulatedModel};
+use squ_llm::{FaultKind, FaultProfile, ModelId, SimConfig, SimulatedModel, Transport};
 use squ_workload::Workload;
 
 /// Identifier of one ablation/extension experiment.
@@ -35,11 +35,12 @@ pub enum AblationId {
     Baselines,
     Rubric,
     Prompt,
+    Faults,
 }
 
 impl AblationId {
     /// All ablation/extension experiments.
-    pub const ALL: [AblationId; 7] = [
+    pub const ALL: [AblationId; 8] = [
         AblationId::Tilt,
         AblationId::Subtype,
         AblationId::Witness,
@@ -47,6 +48,7 @@ impl AblationId {
         AblationId::Baselines,
         AblationId::Rubric,
         AblationId::Prompt,
+        AblationId::Faults,
     ];
 
     /// Slug for `--only` filters and file names.
@@ -59,6 +61,7 @@ impl AblationId {
             AblationId::Baselines => "ext-baselines",
             AblationId::Rubric => "ext-rubric",
             AblationId::Prompt => "ablation-prompt",
+            AblationId::Faults => "ext-faults",
         }
     }
 
@@ -78,6 +81,7 @@ pub fn run_ablation(suite: &Suite, id: AblationId) -> Artifact {
         AblationId::Baselines => ext_baselines(suite),
         AblationId::Rubric => ext_rubric(suite),
         AblationId::Prompt => ablation_prompt(suite),
+        AblationId::Faults => ext_faults(suite),
     }
 }
 
@@ -552,6 +556,73 @@ pub fn ablation_prompt(suite: &Suite) -> Artifact {
         csv: Some(t.to_csv()),
         body: format!(
             "{}\nThe paper selected its prompts by exactly this procedure; the\nselected candidate (*) is the published one or statistically tied\nwith it.\n",
+            t.render()
+        ),
+    }
+}
+
+/// Extension: the syntax task under an unreliable transport. Each model
+/// is re-run on SDSS through a fault-injecting [`Transport`] at every
+/// profile; the table shows how much of the paper's signal survives
+/// response corruption and transient transport failures.
+pub fn ext_faults(suite: &Suite) -> Artifact {
+    let examples = suite.syntax_for(Workload::Sdss);
+    let mut t = TextTable::new(&[
+        "Model",
+        "profile",
+        "mean attempts",
+        "exhausted %",
+        "needs_review %",
+        "accuracy",
+    ]);
+    for m in ModelId::ALL {
+        for profile_name in FaultProfile::NAMES {
+            let profile = match FaultProfile::by_name(profile_name) {
+                Some(p) => p,
+                None => continue,
+            };
+            let client = Transport::new(SimulatedModel::new(m), profile, 7);
+            let outcomes = run_syntax_client(&client, dataset_id(Workload::Sdss), examples);
+            let n = outcomes.len() as f64;
+            let attempts: usize = outcomes.iter().map(|o| o.call.attempts as usize).sum();
+            let exhausted = outcomes.iter().filter(|o| o.call.exhausted).count();
+            let review = outcomes.iter().filter(|o| o.needs_review).count();
+            let acc = BinaryCounts::from_pairs(
+                outcomes.iter().map(|o| (o.example.has_error, o.said_error)),
+            )
+            .accuracy();
+            t.row(&[
+                m.name().to_string(),
+                profile_name.to_string(),
+                f2(attempts as f64 / n),
+                f2(100.0 * exhausted as f64 / n),
+                f2(100.0 * review as f64 / n),
+                f2(acc),
+            ]);
+        }
+    }
+    let survived_kinds = {
+        let client = Transport::new(SimulatedModel::new(ModelId::Gpt4), FaultProfile::heavy(), 7);
+        let outcomes = run_syntax_client(&client, dataset_id(Workload::Sdss), examples);
+        FaultKind::ALL
+            .iter()
+            .map(|k| {
+                let hit = outcomes.iter().filter(|o| o.call.saw(*k)).count();
+                let ok = outcomes
+                    .iter()
+                    .filter(|o| o.call.saw(*k) && !o.needs_review)
+                    .count();
+                format!("{}: {ok}/{hit}", k.name())
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    Artifact {
+        id: AblationId::Faults.slug().to_string(),
+        title: "Extension: fault-injected transport (SDSS syntax task)".into(),
+        csv: Some(t.to_csv()),
+        body: format!(
+            "{}\nTransient faults (unavailable, latency spikes) are absorbed by the\nretry policy and leave accuracy untouched; response corruptions\n(refusal, truncation, echo) land in the manual-review bucket instead\nof silently flipping answers. Per-fault survival under `heavy`\n(GPT4): {survived_kinds}.\n",
             t.render()
         ),
     }

@@ -28,6 +28,7 @@ pub mod ablations;
 pub mod audit;
 pub mod experiments;
 pub mod export;
+pub mod faults;
 pub mod par;
 pub mod pipeline;
 #[cfg(test)]
@@ -40,6 +41,7 @@ pub use ablations::{run_ablation, run_all_ablations, AblationId};
 pub use audit::{audit_suite, AuditReport, Violation};
 pub use experiments::{run_all, run_experiment, Artifact, ExperimentId};
 pub use export::{export_suite, Manifest};
+pub use faults::{run_fault_report, FaultCell, FaultKindStats, FaultReport};
 pub use suite::{Suite, PAPER_SEED};
 
 // Re-export the layers a downstream user composes with.

@@ -1,14 +1,21 @@
-//! The model-evaluation pipeline: labeled example → prompt → model →
-//! verbose response → extraction → prediction record.
+//! The model-evaluation pipeline: labeled example → prompt → transport →
+//! model → verbose response → extraction → prediction record.
 //!
 //! Everything downstream of the response string is *measured* — the same
 //! extraction code would process a real API's output. Responses the
 //! extractor cannot parse are flagged `needs_review` and default to the
 //! negative answer (the paper routed these to manual review).
+//!
+//! Model calls go through the [`ModelClient`] transport boundary: the
+//! plain `run_*` entry points wrap the model in a pass-through
+//! [`DirectClient`], while the `run_*_client` variants accept any client —
+//! in particular a fault-injecting [`squ_llm::Transport`] — and each
+//! outcome carries the transport's [`CallRecord`] (attempt count, fault
+//! kinds survived, whether retries were exhausted).
 
 use squ_llm::{
-    extract_binary, extract_label, extract_position, extract_word, prompts, GroundTruth,
-    LanguageModel, Request, Task,
+    extract_binary, extract_label, extract_position, extract_word, prompts, CallRecord,
+    DirectClient, GroundTruth, LanguageModel, ModelClient, Request, Task,
 };
 use squ_llm::{DatasetId, ModelId};
 use squ_tasks::{EquivExample, ExplainExample, PerfExample, SyntaxExample, TokenExample};
@@ -37,11 +44,22 @@ pub struct SyntaxOutcome {
     pub said_type: Option<String>,
     /// Response could not be parsed automatically.
     pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
 }
 
-/// Run a model over the syntax dataset.
+/// Run a model over the syntax dataset (pass-through transport).
 pub fn run_syntax(
     model: &dyn LanguageModel,
+    ds: DatasetId,
+    examples: &[SyntaxExample],
+) -> Vec<SyntaxOutcome> {
+    run_syntax_client(&DirectClient(model), ds, examples)
+}
+
+/// Run any transport client over the syntax dataset.
+pub fn run_syntax_client(
+    client: &dyn ModelClient,
     ds: DatasetId,
     examples: &[SyntaxExample],
 ) -> Vec<SyntaxOutcome> {
@@ -60,7 +78,7 @@ pub fn run_syntax(
                 },
                 props: e.props.clone(),
             };
-            let response = model.respond(&req);
+            let (response, call) = client.call(&req);
             let bin = extract_binary(&response);
             let said_error = bin.value().unwrap_or(false);
             let labels: Vec<&str> = squ_tasks::SyntaxErrorType::ALL
@@ -78,6 +96,7 @@ pub fn run_syntax(
                 said_type,
                 needs_review: bin.value().is_none(),
                 response,
+                call,
             }
         })
         .collect()
@@ -100,11 +119,22 @@ pub struct TokenOutcome {
     pub said_word: Option<String>,
     /// Response could not be parsed automatically.
     pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
 }
 
-/// Run a model over the missing-token dataset.
+/// Run a model over the missing-token dataset (pass-through transport).
 pub fn run_token(
     model: &dyn LanguageModel,
+    ds: DatasetId,
+    examples: &[TokenExample],
+) -> Vec<TokenOutcome> {
+    run_token_client(&DirectClient(model), ds, examples)
+}
+
+/// Run any transport client over the missing-token dataset.
+pub fn run_token_client(
+    client: &dyn ModelClient,
     ds: DatasetId,
     examples: &[TokenExample],
 ) -> Vec<TokenOutcome> {
@@ -126,7 +156,7 @@ pub fn run_token(
                 },
                 props: e.props.clone(),
             };
-            let response = model.respond(&req);
+            let (response, call) = client.call(&req);
             let bin = extract_binary(&response);
             let said_missing = bin.value().unwrap_or(false);
             let labels: Vec<&str> = squ_tasks::TokenType::ALL
@@ -150,6 +180,7 @@ pub fn run_token(
                 said_word,
                 needs_review: bin.value().is_none(),
                 response,
+                call,
             }
         })
         .collect()
@@ -168,11 +199,22 @@ pub struct EquivOutcome {
     pub said_type: Option<String>,
     /// Response could not be parsed automatically.
     pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
 }
 
-/// Run a model over the equivalence dataset.
+/// Run a model over the equivalence dataset (pass-through transport).
 pub fn run_equiv(
     model: &dyn LanguageModel,
+    ds: DatasetId,
+    examples: &[EquivExample],
+) -> Vec<EquivOutcome> {
+    run_equiv_client(&DirectClient(model), ds, examples)
+}
+
+/// Run any transport client over the equivalence dataset.
+pub fn run_equiv_client(
+    client: &dyn ModelClient,
     ds: DatasetId,
     examples: &[EquivExample],
 ) -> Vec<EquivOutcome> {
@@ -196,7 +238,7 @@ pub fn run_equiv(
                 },
                 props: e.props.clone(),
             };
-            let response = model.respond(&req);
+            let (response, call) = client.call(&req);
             let bin = extract_binary(&response);
             let said_equivalent = bin.value().unwrap_or(false);
             let said_type = if said_equivalent {
@@ -210,6 +252,7 @@ pub fn run_equiv(
                 said_type,
                 needs_review: bin.value().is_none(),
                 response,
+                call,
             }
         })
         .collect()
@@ -226,10 +269,17 @@ pub struct PerfOutcome {
     pub said_costly: bool,
     /// Response could not be parsed automatically.
     pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
 }
 
-/// Run a model over the performance dataset.
+/// Run a model over the performance dataset (pass-through transport).
 pub fn run_perf(model: &dyn LanguageModel, examples: &[PerfExample]) -> Vec<PerfOutcome> {
+    run_perf_client(&DirectClient(model), examples)
+}
+
+/// Run any transport client over the performance dataset.
+pub fn run_perf_client(client: &dyn ModelClient, examples: &[PerfExample]) -> Vec<PerfOutcome> {
     let instruction = prompts::task_prompt(Task::Perf);
     examples
         .iter()
@@ -244,13 +294,14 @@ pub fn run_perf(model: &dyn LanguageModel, examples: &[PerfExample]) -> Vec<Perf
                 },
                 props: e.props.clone(),
             };
-            let response = model.respond(&req);
+            let (response, call) = client.call(&req);
             let bin = extract_binary(&response);
             PerfOutcome {
                 example: e.clone(),
                 said_costly: bin.value().unwrap_or(false),
                 needs_review: bin.value().is_none(),
                 response,
+                call,
             }
         })
         .collect()
@@ -265,10 +316,20 @@ pub struct ExplainOutcome {
     pub explanation: String,
     /// Rubric score.
     pub rubric: squ_eval::RubricScore,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
 }
 
-/// Run a model over the explanation dataset.
+/// Run a model over the explanation dataset (pass-through transport).
 pub fn run_explain(model: &dyn LanguageModel, examples: &[ExplainExample]) -> Vec<ExplainOutcome> {
+    run_explain_client(&DirectClient(model), examples)
+}
+
+/// Run any transport client over the explanation dataset.
+pub fn run_explain_client(
+    client: &dyn ModelClient,
+    examples: &[ExplainExample],
+) -> Vec<ExplainOutcome> {
     let instruction = prompts::task_prompt(Task::Explain);
     examples
         .iter()
@@ -285,12 +346,13 @@ pub fn run_explain(model: &dyn LanguageModel, examples: &[ExplainExample]) -> Ve
                 },
                 props: e.props.clone(),
             };
-            let explanation = model.respond(&req);
+            let (explanation, call) = client.call(&req);
             let rubric = squ_eval::score_explanation(&explanation, &e.facts);
             ExplainOutcome {
                 example: e.clone(),
                 explanation,
                 rubric,
+                call,
             }
         })
         .collect()

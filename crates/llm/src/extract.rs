@@ -5,6 +5,12 @@
 //! escape hatch for unparseable responses — the automated-scripts-plus-
 //! manual-checks pipeline of the paper, with the manual bucket made
 //! explicit.
+//!
+//! Matching is word-boundary aware throughout: a leading "Note…" is not a
+//! *no* answer, the label `aggr` does not fire inside `aggr-having`, and
+//! the `category` tag does not fire inside "categorical". Ambiguous
+//! responses (two labels tied at the same position) go to `NeedsReview`
+//! rather than being resolved by iteration order.
 
 use serde::{Deserialize, Serialize};
 
@@ -28,19 +34,67 @@ impl<T> Extracted<T> {
     }
 }
 
+/// Word characters for boundary checks: alphanumerics plus the `-`/`_`
+/// that appear inside benchmark labels (`aggr-having`, `latency_spike`).
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_'
+}
+
+/// Every word-boundary occurrence of `needle` in `haystack`.
+///
+/// Both sides are expected pre-lowercased. A hit requires the characters
+/// on both sides of the match to be non-word bytes (or the string edge),
+/// so `aggr` does not match inside `aggr-having` and `category` does not
+/// match inside `categorical`. Multi-byte UTF-8 neighbours count as
+/// boundaries.
+fn word_find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    if needle.is_empty() {
+        return out;
+    }
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(i) = haystack[from..].find(needle) {
+        let at = from + i;
+        let end = at + needle.len();
+        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = end.max(at + 1);
+    }
+    out
+}
+
+/// First word-boundary occurrence of `needle` in `haystack` (pre-lowered).
+fn word_find(haystack: &str, needle: &str) -> Option<usize> {
+    word_find_all(haystack, needle).first().copied()
+}
+
+/// The first word of the response: the leading run of word characters,
+/// skipping any opening punctuation or whitespace.
+fn leading_word(lower: &str) -> &str {
+    let rest = lower.trim_start_matches(|c: char| !c.is_ascii_alphanumeric());
+    let end = rest
+        .bytes()
+        .position(|b| !is_word_byte(b))
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
 /// Extract a binary yes/no decision from a verbose response.
 ///
-/// Handles leading "Yes"/"No", hedged forms ("I believe …"), and
-/// characteristic affirmative / negative phrasings.
+/// Handles leading "Yes"/"No" (as whole words only — "Note…", "Now…",
+/// "None…", "Notably…" are *not* negative answers), hedged forms
+/// ("I believe …"), and characteristic affirmative/negative phrasings.
 pub fn extract_binary(text: &str) -> Extracted<bool> {
     let lower = text.to_lowercase();
-    let trimmed = lower.trim_start();
-    // direct leading answer
-    if trimmed.starts_with("yes") {
-        return Extracted::Value(true);
-    }
-    if trimmed.starts_with("no") && !trimmed.starts_with("not") {
-        return Extracted::Value(false);
+    // direct leading answer, whole-word
+    match leading_word(&lower) {
+        "yes" => return Extracted::Value(true),
+        "no" => return Extracted::Value(false),
+        _ => {}
     }
     // negative idioms first (a "no" answer often embeds positive words
     // like "errors" in "does not contain any syntax errors")
@@ -75,42 +129,60 @@ pub fn extract_binary(text: &str) -> Extracted<bool> {
 }
 
 /// Extract a class label from a response given the closed label set.
-/// Picks the label mentioned in the text; when several are mentioned the
-/// one tagged as the classification ("error type: …", "category",
-/// "transformation: …") wins, else the last mention.
+///
+/// Labels match only at word boundaries (`aggr` never wins inside
+/// `aggr-having`). The label mentioned after a classification tag
+/// ("error type: …", "category: …", "transformation: …") wins, else the
+/// last mention anywhere. When two distinct labels are tied at the exact
+/// same position the response is ambiguous and goes to `NeedsReview`.
 pub fn extract_label(text: &str, labels: &[&str]) -> Extracted<String> {
     let lower = text.to_lowercase();
-    // tagged forms
+    let lowered: Vec<(String, &str)> = labels.iter().map(|l| (l.to_lowercase(), *l)).collect();
+    // tagged forms; the bare "category" tag is word-bounded so it does
+    // not fire inside "categorical"
     for tag in [
         "error type:",
         "transformation:",
         "missing token type:",
         "category",
     ] {
-        if let Some(pos) = lower.find(tag) {
+        let tag_word = tag.trim_end_matches(':');
+        if let Some(pos) = word_find(&lower, tag_word) {
             let rest = &lower[pos..];
-            if let Some(best) = labels
+            let hits: Vec<(usize, &str)> = lowered
                 .iter()
-                .filter_map(|l| rest.find(&l.to_lowercase()).map(|i| (i, *l)))
-                .min_by_key(|(i, _)| *i)
-            {
-                return Extracted::Value(best.1.to_string());
+                .filter_map(|(ll, orig)| word_find(rest, ll).map(|i| (i, *orig)))
+                .collect();
+            if let Some(best) = resolve_at(&hits, |a, b| a < b) {
+                return best;
             }
         }
     }
-    // fall back: last mention anywhere
-    let mut found: Option<(usize, &str)> = None;
-    for l in labels {
-        if let Some(i) = lower.rfind(&l.to_lowercase()) {
-            if found.map(|(j, _)| i > j).unwrap_or(true) {
-                found = Some((i, l));
-            }
-        }
-    }
-    match found {
-        Some((_, l)) => Extracted::Value(l.to_string()),
-        None => Extracted::NeedsReview,
-    }
+    // fall back: last word-boundary mention anywhere
+    let hits: Vec<(usize, &str)> = lowered
+        .iter()
+        .filter_map(|(ll, orig)| word_find_all(&lower, ll).last().map(|i| (*i, *orig)))
+        .collect();
+    resolve_at(&hits, |a, b| a > b).unwrap_or(Extracted::NeedsReview)
+}
+
+/// Pick the hit whose position wins under `prefer` (strictly earlier for
+/// tagged matches, strictly later for the fallback). Distinct labels tied
+/// at the winning position are ambiguous → `NeedsReview`. `None` when
+/// there are no hits at all (so tagged search can fall through).
+fn resolve_at(
+    hits: &[(usize, &str)],
+    prefer: impl Fn(usize, usize) -> bool,
+) -> Option<Extracted<String>> {
+    let (best_pos, best_label) = *hits
+        .iter()
+        .reduce(|a, b| if prefer(b.0, a.0) { b } else { a })?;
+    let tied = hits.iter().any(|(p, l)| *p == best_pos && *l != best_label);
+    Some(if tied {
+        Extracted::NeedsReview
+    } else {
+        Extracted::Value(best_label.to_string())
+    })
 }
 
 /// Extract the predicted word position from a missing-token response.
@@ -132,24 +204,89 @@ pub fn extract_position(text: &str) -> Extracted<usize> {
     Extracted::NeedsReview
 }
 
+/// Case-insensitive (ASCII) byte position of `needle` in `text`.
+fn find_ci(text: &str, needle: &str) -> Option<usize> {
+    let n = needle.len();
+    if n == 0 || text.len() < n {
+        return None;
+    }
+    text.as_bytes()
+        .windows(n)
+        .position(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
+}
+
+/// Case-insensitive (ASCII) containment.
+fn contains_ci(text: &str, needle: &str) -> bool {
+    find_ci(text, needle).is_some()
+}
+
+/// Quote styles the word extractor accepts: ASCII, typographic, backtick.
+const QUOTE_PAIRS: [(char, char); 3] = [('"', '"'), ('“', '”'), ('`', '`')];
+
+/// Trim whitespace and trailing punctuation off an extracted word.
+fn clean_word(raw: &str) -> &str {
+    raw.trim()
+        .trim_end_matches(['.', ',', ';', ':', '!', '?', '…'])
+}
+
+/// The first quoted token inside `span`, any accepted quote style.
+fn first_quoted(span: &str) -> Option<String> {
+    first_quoted_from(span, 0, span)
+}
+
+/// The first quoted token whose *opening* quote lies inside `span`, where
+/// `span` is `&text[span_start..span_start + span.len()]`. The closing
+/// quote may fall beyond the span: sentence splitting cuts at `.`, and a
+/// quoted token like `"FROM."` carries its terminator inside the quotes.
+fn first_quoted_from(text: &str, span_start: usize, span: &str) -> Option<String> {
+    let (at, open, close) = QUOTE_PAIRS
+        .iter()
+        .filter_map(|(o, c)| span.find(*o).map(|i| (i, *o, *c)))
+        .min_by_key(|(i, _, _)| *i)?;
+    let start = span_start + at + open.len_utf8();
+    let len = text[start..].find(close)?;
+    let word = clean_word(&text[start..start + len]);
+    (!word.is_empty()).then(|| word.to_string())
+}
+
 /// Extract the guessed missing word (quoted token or `Missing word: X`).
+///
+/// A response may echo the query itself — and the query may contain quoted
+/// strings — so a quoted token only counts when it shares a sentence with
+/// a mention of "missing" (sentence boundaries include newlines, which
+/// separate an echoed query from the surrounding prose). Accepts ASCII,
+/// typographic (“ ”), and backtick quotes, and strips trailing
+/// punctuation off the extracted word.
 pub fn extract_word(text: &str) -> Extracted<String> {
-    if let Some(start) = text.find('"') {
-        if let Some(len) = text[start + 1..].find('"') {
-            return Extracted::Value(text[start + 1..start + 1 + len].to_string());
+    let mentions_missing = contains_ci(text, "missing");
+    if mentions_missing {
+        // quoted token opening in a sentence that talks about the missing
+        // word (its closing quote may sit past the sentence terminator)
+        let mut offset = 0;
+        for sentence in text.split_inclusive(['.', '!', '?', '\n']) {
+            if contains_ci(sentence, "missing") {
+                if let Some(word) = first_quoted_from(text, offset, sentence) {
+                    return Extracted::Value(word);
+                }
+            }
+            offset += sentence.len();
         }
-    }
-    if let Some(pos) = text.find("Missing word:") {
-        let rest = text[pos + "Missing word:".len()..].trim_start();
-        let word: String = rest
-            .chars()
-            .take_while(|c| !c.is_whitespace() && *c != '.' && *c != ',')
-            .collect();
-        if !word.is_empty() {
-            return Extracted::Value(word);
+        // tagged form: "Missing word: X"
+        if let Some(pos) = find_ci(text, "missing word:") {
+            let rest = text[pos + "missing word:".len()..].trim_start();
+            let raw: String = rest.chars().take_while(|c| !c.is_whitespace()).collect();
+            let word = clean_word(&raw);
+            if !word.is_empty() {
+                return Extracted::Value(word.to_string());
+            }
         }
+        return Extracted::NeedsReview;
     }
-    Extracted::NeedsReview
+    // no "missing" anywhere: any quoted token is the best guess
+    match first_quoted(text) {
+        Some(word) => Extracted::Value(word),
+        None => Extracted::NeedsReview,
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +304,7 @@ mod tests {
             Extracted::Value(false)
         );
         assert_eq!(extract_binary("  yes — definitely"), Extracted::Value(true));
+        assert_eq!(extract_binary("\"No.\""), Extracted::Value(false));
     }
 
     #[test]
@@ -198,12 +336,49 @@ mod tests {
     }
 
     #[test]
+    fn binary_no_requires_a_word_boundary() {
+        // every one of these begins with "no" as a prefix but is NOT a
+        // negative answer — the seed bug classified them all as `false`
+        assert_eq!(
+            extract_binary("Notably, the query contains a syntax error."),
+            Extracted::Value(true)
+        );
+        assert_eq!(
+            extract_binary("Note that a word is missing here; the FROM keyword is missing."),
+            Extracted::Value(true)
+        );
+        assert_eq!(
+            extract_binary("None of the rewrites change results — the queries are equivalent."),
+            Extracted::Value(true)
+        );
+        assert_eq!(
+            extract_binary("Now, this query looks costly; it should take longer."),
+            Extracted::Value(true)
+        );
+        // and "Note…" phrasings that really are negative still resolve
+        // through the idioms, not the leading pseudo-"no"
+        assert_eq!(
+            extract_binary("Note that the query looks valid to me."),
+            Extracted::Value(false)
+        );
+        // "not" is not "no" either (pre-existing behavior, still holds)
+        assert_eq!(
+            extract_binary("Not equivalent — these differ."),
+            Extracted::Value(false)
+        );
+    }
+
+    #[test]
     fn binary_unparseable_goes_to_review() {
         assert_eq!(
             extract_binary("As an AI model I cannot run SQL."),
             Extracted::NeedsReview
         );
         assert_eq!(extract_binary(""), Extracted::NeedsReview);
+        assert_eq!(
+            extract_binary("Nothing conclusive can be said."),
+            Extracted::NeedsReview
+        );
     }
 
     #[test]
@@ -226,6 +401,60 @@ mod tests {
         assert_eq!(
             extract_label("something else entirely", &labels),
             Extracted::NeedsReview
+        );
+    }
+
+    #[test]
+    fn label_substring_cannot_win() {
+        // `aggr` must not fire inside `aggr-having`
+        let labels = ["aggr", "aggr-having"];
+        assert_eq!(
+            extract_label("error type: aggr-having, clearly.", &labels),
+            Extracted::Value("aggr-having".to_string())
+        );
+        assert_eq!(
+            extract_label("I'd call this plain aggr trouble.", &labels),
+            Extracted::Value("aggr".to_string())
+        );
+        // `value` must not fire inside `value-change`
+        let labels = ["value", "value-change"];
+        assert_eq!(
+            extract_label("transformation: value-change", &labels),
+            Extracted::Value("value-change".to_string())
+        );
+    }
+
+    #[test]
+    fn label_category_tag_is_word_bounded() {
+        let labels = ["keyword", "column"];
+        // "categorical" must not be read as the "category" tag: the only
+        // real signal here is the later plain mention of "column"
+        assert_eq!(
+            extract_label(
+                "The data is categorical. keyword aside, the issue is the column.",
+                &labels
+            ),
+            Extracted::Value("column".to_string())
+        );
+        // a real "category: X" tag still works
+        assert_eq!(
+            extract_label("category: keyword (not a column issue)", &labels),
+            Extracted::Value("keyword".to_string())
+        );
+    }
+
+    #[test]
+    fn label_exact_ties_go_to_review() {
+        // distinct labels matching at the same position = ambiguous
+        let labels = ["order", "order by clause"];
+        assert_eq!(
+            extract_label("error type: order by clause", &labels),
+            Extracted::NeedsReview
+        );
+        // …but an unambiguous response still resolves
+        assert_eq!(
+            extract_label("error type: order, specifically.", &labels),
+            Extracted::Value("order".to_string())
         );
     }
 
@@ -253,5 +482,38 @@ mod tests {
             Extracted::Value("plate".to_string())
         );
         assert_eq!(extract_word("unknown"), Extracted::NeedsReview);
+    }
+
+    #[test]
+    fn word_extraction_skips_echoed_query_quotes() {
+        // the echoed query contains a quoted literal; the answer's quote
+        // must win because it shares a sentence with "missing"
+        let echoed = "You asked: Is a word missing from this SQL query?\n\nSELECT name FROM t WHERE status = \"high\"\n\nYes — the missing word is a keyword; most likely \"FROM\".";
+        assert_eq!(extract_word(echoed), Extracted::Value("FROM".to_string()));
+        // echoed query + tagged answer with no quotes at all
+        let tagged = "You asked: what is the missing word?\n\nSELECT \"x\" FROM t\n\nMissing word: GROUP. Position: 7.";
+        assert_eq!(extract_word(tagged), Extracted::Value("GROUP".to_string()));
+    }
+
+    #[test]
+    fn word_extraction_typographic_quotes_and_punctuation() {
+        assert_eq!(
+            extract_word("The missing word is “WHERE”, I believe."),
+            Extracted::Value("WHERE".to_string())
+        );
+        assert_eq!(
+            extract_word("The missing token is `JOIN`."),
+            Extracted::Value("JOIN".to_string())
+        );
+        // trailing punctuation inside the quotes is stripped
+        assert_eq!(
+            extract_word("The missing word is \"FROM.\""),
+            Extracted::Value("FROM".to_string())
+        );
+        // tagged form with trailing punctuation beyond . and ,
+        assert_eq!(
+            extract_word("Missing word: plate; position 4."),
+            Extracted::Value("plate".to_string())
+        );
     }
 }

@@ -19,8 +19,12 @@ mod model;
 pub mod profiles;
 pub mod prompts;
 mod simulate;
+mod transport;
 
 pub use extract::{extract_binary, extract_label, extract_position, extract_word, Extracted};
 pub use model::{GroundTruth, LanguageModel, Request, Task};
 pub use profiles::{DatasetId, ModelId};
 pub use simulate::{SimConfig, SimulatedModel};
+pub use transport::{
+    CallRecord, DirectClient, FaultKind, FaultProfile, ModelClient, RetryPolicy, Transport,
+};

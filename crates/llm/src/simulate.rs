@@ -236,6 +236,8 @@ fn respond_syntax(
             "No, the query does not contain any syntax errors. It follows standard SQL structure and all clauses are well-formed.",
             "After reviewing the statement, I don't see a syntax error here; the query looks valid.",
             "The query appears to be syntactically correct — no errors detected.",
+            "Note that all clauses are well-formed; the query looks valid to me.",
+            "None of the usual failure modes apply here — no errors detected.",
         ]);
     }
 
@@ -252,6 +254,7 @@ fn respond_syntax(
         format!("Yes, the query contains a syntax error. Specifically, {description} (error type: {reported})."),
         format!("Yes — there is a problem with this query: {description}. I would classify this as a {reported} error."),
         format!("I believe the query has an error. {description}. This corresponds to the {reported} category."),
+        format!("Notably, the query contains a syntax error: {description} (error type: {reported})."),
     ])
 }
 
@@ -345,6 +348,7 @@ fn respond_token(
             "No, the query has no syntax errors and no missing words; it is complete as written.",
             "The statement appears complete — I do not detect any missing token.",
             "No — nothing seems to be missing from this query.",
+            "Note: nothing seems to be missing from this query; it reads as complete.",
         ]);
     }
 
@@ -376,6 +380,7 @@ fn respond_token(
         format!("Yes, the query has a syntax error — a word is missing. The missing word is a {reported_type}; most likely \"{guessed_word}\". It should appear at word position {reported_pos}."),
         format!("Yes. Something is missing here: a {reported_type} token (probably \"{guessed_word}\") around position {reported_pos} in the statement."),
         format!("Yes — the query is incomplete. Missing token type: {reported_type}. Missing word: {guessed_word}. Position: {reported_pos}."),
+        format!("Notably, a word is missing from this statement. Missing token type: {reported_type}. Missing word: {guessed_word}. Position: {reported_pos}."),
     ])
 }
 
@@ -462,6 +467,7 @@ fn respond_equiv(
             "No, the two queries are not equivalent — they can produce different results on the same database.",
             "These queries are not equivalent; the transformation changes the result set.",
             "No. Although the queries look similar, they differ semantically and will not always return the same rows.",
+            "Note that the pair is not equivalent — the rewrite changes which rows are returned.",
         ]);
     }
 
@@ -477,6 +483,7 @@ fn respond_equiv(
         format!("Yes, the two queries are equivalent: {why} (transformation: {reported})."),
         format!("Yes — they produce the same results on any database. The rewrite is a {reported}: {why}."),
         format!("I believe these queries are equivalent. The second query applies a {reported} transformation; {why}."),
+        format!("Notably, the queries are equivalent — {why} (transformation: {reported})."),
     ])
 }
 
@@ -547,12 +554,14 @@ fn respond_perf(
             "Yes, this query will likely take longer than usual to run: it touches large tables and its conditions require scanning many rows.",
             "Yes — given the joins and the number of predicates involved, I would expect this query to be expensive.",
             "This query looks costly; yes, it should take longer than a typical query.",
+            "Now, given the scan volume involved, this query looks costly and will take longer than usual.",
         ])
     } else {
         pick(rng, &[
             "No, this query should run quickly — it is selective and touches a limited amount of data.",
             "No; the query is simple enough that it should not take longer than usual.",
             "I would not expect this query to be slow. No.",
+            "Note that the query is quite selective; it should run quickly.",
         ])
     }
 }

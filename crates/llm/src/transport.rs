@@ -1,0 +1,701 @@
+//! The transport boundary between the pipeline and a model.
+//!
+//! A production inference stack cannot assume a model call succeeds, stays
+//! within its latency budget, or returns clean text. [`ModelClient`] is the
+//! seam the pipeline talks through: one *logical* call in, final text plus
+//! a [`CallRecord`] out. Two implementations ship:
+//!
+//! * [`DirectClient`] — pass-through, byte-identical to calling the model;
+//! * [`Transport`] — wraps any [`LanguageModel`] with a deterministic,
+//!   seedable **fault injector** ([`FaultProfile`]) and a **retry policy**
+//!   ([`RetryPolicy`]: bounded attempts, exponential backoff with
+//!   deterministic jitter, per-call timeout budget). Transient faults
+//!   (`Unavailable`, a latency spike blowing the attempt timeout) are
+//!   retried; response corruptions (truncation, refusal boilerplate,
+//!   prompt echoes, garbled or duplicated sentences) are passed to the
+//!   extraction layer, which must survive them. When retries are
+//!   exhausted the transport **fails open**: it returns empty text, which
+//!   the extractors map to `NeedsReview` — the paper's manual-review
+//!   bucket, measured under stress instead of merely tolerated.
+//!
+//! All randomness derives from a per-(seed, profile, model, task, example)
+//! hash, so every call — and therefore every artifact built on top — is
+//! reproducible and independent of thread scheduling. Time is *virtual*:
+//! latency and backoff accumulate in [`CallRecord::virtual_ms`] without
+//! sleeping, which is what makes the retry schedule unit-testable.
+
+use crate::model::{LanguageModel, Request};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+
+/// One kind of injected (or observed) fault on a model call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The response was cut off mid-sentence.
+    Truncation,
+    /// Refusal boilerplate replaced the answer.
+    Refusal,
+    /// The prompt (query included) was echoed back before the answer.
+    Echo,
+    /// A garbled sentence was spliced into the answer.
+    Garble,
+    /// The whole answer was duplicated.
+    Duplication,
+    /// Transient server error; the attempt produced nothing (retried).
+    Unavailable,
+    /// A latency spike; when it exceeds the attempt timeout the attempt
+    /// is abandoned and retried.
+    LatencySpike,
+}
+
+impl FaultKind {
+    /// Every fault kind, in reporting order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Truncation,
+        FaultKind::Refusal,
+        FaultKind::Echo,
+        FaultKind::Garble,
+        FaultKind::Duplication,
+        FaultKind::Unavailable,
+        FaultKind::LatencySpike,
+    ];
+
+    /// Stable snake_case name (used as the JSON key in fault reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Truncation => "truncation",
+            FaultKind::Refusal => "refusal",
+            FaultKind::Echo => "echo",
+            FaultKind::Garble => "garble",
+            FaultKind::Duplication => "duplication",
+            FaultKind::Unavailable => "unavailable",
+            FaultKind::LatencySpike => "latency_spike",
+        }
+    }
+
+    /// Transient faults fail the attempt and are retried; the rest corrupt
+    /// the response text and are handed to extraction.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FaultKind::Unavailable | FaultKind::LatencySpike)
+    }
+}
+
+/// Per-attempt fault probabilities plus the latency model.
+///
+/// Probabilities are drawn independently per attempt from the call's
+/// deterministic RNG. `none()` injects nothing and adds no latency — a
+/// [`Transport`] with the `none` profile behaves byte-identically to
+/// [`DirectClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultProfile {
+    /// Profile name (hashes into the per-call seed).
+    pub name: &'static str,
+    /// P(response truncated mid-sentence).
+    pub p_truncation: f64,
+    /// P(refusal boilerplate replaces the answer).
+    pub p_refusal: f64,
+    /// P(prompt echoed back before the answer).
+    pub p_echo: f64,
+    /// P(a garbled sentence spliced in).
+    pub p_garble: f64,
+    /// P(answer duplicated).
+    pub p_duplication: f64,
+    /// P(transient server error per attempt).
+    pub p_unavailable: f64,
+    /// P(latency spike per attempt).
+    pub p_latency_spike: f64,
+    /// Baseline virtual latency per attempt (ms).
+    pub base_latency_ms: u64,
+    /// Multiplier applied to the baseline latency on a spike.
+    pub spike_factor: u64,
+}
+
+impl FaultProfile {
+    /// No faults, no latency: today's behavior, exactly.
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            name: "none",
+            p_truncation: 0.0,
+            p_refusal: 0.0,
+            p_echo: 0.0,
+            p_garble: 0.0,
+            p_duplication: 0.0,
+            p_unavailable: 0.0,
+            p_latency_spike: 0.0,
+            base_latency_ms: 0,
+            spike_factor: 1,
+        }
+    }
+
+    /// Mild corruption: the occasional echo, truncation, or hiccup.
+    pub fn light() -> FaultProfile {
+        FaultProfile {
+            name: "light",
+            p_truncation: 0.05,
+            p_refusal: 0.02,
+            p_echo: 0.08,
+            p_garble: 0.05,
+            p_duplication: 0.04,
+            p_unavailable: 0.03,
+            p_latency_spike: 0.03,
+            base_latency_ms: 120,
+            spike_factor: 20,
+        }
+    }
+
+    /// Sustained stress: every response at risk, frequent retries.
+    pub fn heavy() -> FaultProfile {
+        FaultProfile {
+            name: "heavy",
+            p_truncation: 0.20,
+            p_refusal: 0.10,
+            p_echo: 0.25,
+            p_garble: 0.20,
+            p_duplication: 0.15,
+            p_unavailable: 0.12,
+            p_latency_spike: 0.10,
+            base_latency_ms: 150,
+            spike_factor: 25,
+        }
+    }
+
+    /// Transport-dominated failures: mostly `Unavailable` and spikes, so
+    /// the retry/backoff path (and its exhaustion) carries the story.
+    pub fn flaky() -> FaultProfile {
+        FaultProfile {
+            name: "flaky",
+            p_truncation: 0.02,
+            p_refusal: 0.01,
+            p_echo: 0.02,
+            p_garble: 0.02,
+            p_duplication: 0.01,
+            p_unavailable: 0.30,
+            p_latency_spike: 0.20,
+            base_latency_ms: 200,
+            spike_factor: 30,
+        }
+    }
+
+    /// The named profiles `repro --faults` accepts.
+    pub const NAMES: [&'static str; 4] = ["none", "light", "heavy", "flaky"];
+
+    /// Look a profile up by name.
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        match name {
+            "none" => Some(FaultProfile::none()),
+            "light" => Some(FaultProfile::light()),
+            "heavy" => Some(FaultProfile::heavy()),
+            "flaky" => Some(FaultProfile::flaky()),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff, deterministic jitter, and a
+/// per-call virtual-time budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts per logical call (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (ms).
+    pub base_backoff_ms: u64,
+    /// Multiplier between consecutive backoffs.
+    pub backoff_multiplier: u32,
+    /// Ceiling on a single backoff (ms).
+    pub max_backoff_ms: u64,
+    /// An attempt whose latency exceeds this is abandoned (ms).
+    pub attempt_timeout_ms: u64,
+    /// Total virtual-time budget for the call; when the next wait would
+    /// blow it, the transport fails open instead (ms).
+    pub call_budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 100,
+            backoff_multiplier: 2,
+            max_backoff_ms: 2_000,
+            attempt_timeout_ms: 1_500,
+            call_budget_ms: 8_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based), with "equal
+    /// jitter": half the exponential step plus a jittered half, `jitter`
+    /// in `[0, 1)`. Deterministic given the same jitter draw.
+    pub fn backoff_ms(&self, retry: u32, jitter: f64) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(u64::from(self.backoff_multiplier).saturating_pow(retry - 1))
+            .min(self.max_backoff_ms);
+        let half = exp / 2;
+        half + (jitter.clamp(0.0, 1.0) * (exp - half) as f64).round() as u64
+    }
+}
+
+/// Telemetry for one logical model call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallRecord {
+    /// Attempts made (1 when the first try succeeded).
+    pub attempts: u32,
+    /// Fault kinds observed across all attempts (sorted, deduplicated).
+    pub faults: Vec<FaultKind>,
+    /// Virtual milliseconds consumed: latency plus backoff waits.
+    pub virtual_ms: u64,
+    /// Each backoff wait taken, in order — the retry schedule.
+    pub backoffs_ms: Vec<u64>,
+    /// Retries exhausted (or budget blown): the call failed open and the
+    /// empty response routes to `NeedsReview`.
+    pub exhausted: bool,
+}
+
+impl CallRecord {
+    /// The record of an unmediated, fault-free call.
+    pub fn direct() -> CallRecord {
+        CallRecord {
+            attempts: 1,
+            faults: Vec::new(),
+            virtual_ms: 0,
+            backoffs_ms: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Did this call observe `kind` on any attempt?
+    pub fn saw(&self, kind: FaultKind) -> bool {
+        self.faults.contains(&kind)
+    }
+
+    fn push_fault(&mut self, kind: FaultKind) {
+        if !self.faults.contains(&kind) {
+            self.faults.push(kind);
+        }
+    }
+
+    fn finish(mut self) -> CallRecord {
+        self.faults.sort();
+        self
+    }
+}
+
+/// The transport boundary: one logical call, final text plus telemetry.
+///
+/// The pipeline is written against this trait, so swapping the pass-through
+/// client for a fault-injecting (or, eventually, real network) transport
+/// changes no evaluation code.
+pub trait ModelClient {
+    /// Display name of the wrapped model.
+    fn model_name(&self) -> &str;
+
+    /// Perform one logical call, including any internal retries.
+    fn call(&self, req: &Request) -> (String, CallRecord);
+}
+
+/// Pass-through client: no faults, no retries, no latency.
+pub struct DirectClient<'a>(pub &'a dyn LanguageModel);
+
+impl ModelClient for DirectClient<'_> {
+    fn model_name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn call(&self, req: &Request) -> (String, CallRecord) {
+        (self.0.respond(req), CallRecord::direct())
+    }
+}
+
+/// Production transport: any model behind a seedable fault injector and a
+/// retry policy. Deterministic for a given `(seed, profile, model, task,
+/// example)` regardless of call order or thread count.
+pub struct Transport<M: LanguageModel> {
+    model: M,
+    profile: FaultProfile,
+    policy: RetryPolicy,
+    seed: u64,
+}
+
+impl<M: LanguageModel> Transport<M> {
+    /// Wrap `model` with `profile` under the default retry policy.
+    pub fn new(model: M, profile: FaultProfile, seed: u64) -> Transport<M> {
+        Transport {
+            model,
+            profile,
+            policy: RetryPolicy::default(),
+            seed,
+        }
+    }
+
+    /// Wrap `model` with an explicit retry policy.
+    pub fn with_policy(
+        model: M,
+        profile: FaultProfile,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> Transport<M> {
+        Transport {
+            model,
+            profile,
+            policy,
+            seed,
+        }
+    }
+
+    /// The active fault profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    fn rng_for(&self, req: &Request) -> StdRng {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        self.profile.name.hash(&mut h);
+        self.model.name().hash(&mut h);
+        req.task.name().hash(&mut h);
+        req.example_id.hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    }
+
+    /// Draw with probability `p`, never panicking on degenerate profiles.
+    fn hit(rng: &mut StdRng, p: f64) -> bool {
+        p > 0.0 && rng.gen_bool(p.min(1.0))
+    }
+}
+
+impl<M: LanguageModel> ModelClient for Transport<M> {
+    fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn call(&self, req: &Request) -> (String, CallRecord) {
+        let mut rng = self.rng_for(req);
+        let mut rec = CallRecord {
+            attempts: 0,
+            faults: Vec::new(),
+            virtual_ms: 0,
+            backoffs_ms: Vec::new(),
+            exhausted: false,
+        };
+        loop {
+            rec.attempts += 1;
+            // latency for this attempt, on the virtual clock
+            let mut latency = self.profile.base_latency_ms;
+            if Self::hit(&mut rng, self.profile.p_latency_spike) {
+                rec.push_fault(FaultKind::LatencySpike);
+                latency = latency.saturating_mul(self.profile.spike_factor.max(1));
+            }
+            let timed_out = latency > self.policy.attempt_timeout_ms;
+            rec.virtual_ms += latency.min(self.policy.attempt_timeout_ms);
+
+            let unavailable = !timed_out && Self::hit(&mut rng, self.profile.p_unavailable);
+            if unavailable {
+                rec.push_fault(FaultKind::Unavailable);
+            }
+
+            if timed_out || unavailable {
+                // transient failure: back off and retry, unless attempts
+                // or the call budget are exhausted — then fail open
+                if rec.attempts >= self.policy.max_attempts {
+                    rec.exhausted = true;
+                    return (String::new(), rec.finish());
+                }
+                let backoff = self.policy.backoff_ms(rec.attempts, rng.gen::<f64>());
+                if rec.virtual_ms.saturating_add(backoff) > self.policy.call_budget_ms {
+                    rec.exhausted = true;
+                    return (String::new(), rec.finish());
+                }
+                rec.virtual_ms += backoff;
+                rec.backoffs_ms.push(backoff);
+                continue;
+            }
+
+            // the attempt landed: corrupt the response per the profile
+            let mut text = self.model.respond(req);
+            if Self::hit(&mut rng, self.profile.p_refusal) {
+                rec.push_fault(FaultKind::Refusal);
+                text = refusal_boilerplate(&mut rng);
+            } else {
+                if Self::hit(&mut rng, self.profile.p_echo) {
+                    rec.push_fault(FaultKind::Echo);
+                    text = format!("You asked: {}\n\n{}", req.prompt, text);
+                }
+                if Self::hit(&mut rng, self.profile.p_duplication) {
+                    rec.push_fault(FaultKind::Duplication);
+                    text = format!("{text} {text}");
+                }
+                if Self::hit(&mut rng, self.profile.p_garble) {
+                    rec.push_fault(FaultKind::Garble);
+                    text = garble(&text, &mut rng);
+                }
+                if Self::hit(&mut rng, self.profile.p_truncation) {
+                    rec.push_fault(FaultKind::Truncation);
+                    text = truncate(&text, &mut rng);
+                }
+            }
+            return (text, rec.finish());
+        }
+    }
+}
+
+/// Refusal boilerplate — phrasings real APIs actually return, including
+/// the "Note:"-style openings that once fooled the binary extractor.
+fn refusal_boilerplate(rng: &mut StdRng) -> String {
+    const REFUSALS: [&str; 4] = [
+        "As an AI language model, I cannot execute SQL queries or access your database. Could you clarify what you would like me to check?",
+        "I'm sorry, but I am unable to analyze this request. Please provide more context about your database schema.",
+        "Note: I cannot assist with running queries against a live system. My capabilities are limited to general guidance.",
+        "Unfortunately I can't determine that from the information given. Consider consulting your database administrator.",
+    ];
+    (*REFUSALS.choose(rng).expect("non-empty")).to_string() // lint:allow: drawn from a non-empty set
+}
+
+/// Splice a word-shuffled copy of the first sentence into the response —
+/// the "model glitched mid-generation" shape.
+fn garble(text: &str, rng: &mut StdRng) -> String {
+    let first_sentence = text.split('.').next().unwrap_or(text);
+    let mut words: Vec<&str> = first_sentence.split_whitespace().collect();
+    if words.is_empty() {
+        return text.to_string();
+    }
+    words.shuffle(rng);
+    format!("{} {}.", text, words.join(" "))
+}
+
+/// Cut the response at a char boundary, 20–90% of the way in.
+fn truncate(text: &str, rng: &mut StdRng) -> String {
+    if text.is_empty() {
+        return String::new();
+    }
+    let frac = 0.2 + 0.7 * rng.gen::<f64>();
+    let cut = ((text.len() as f64) * frac) as usize;
+    let mut cut = cut.min(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GroundTruth, Task};
+    use crate::profiles::DatasetId;
+    use squ_workload::QueryProps;
+
+    struct Fixed(&'static str);
+    impl LanguageModel for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn respond(&self, _req: &Request) -> String {
+            self.0.to_string()
+        }
+    }
+
+    fn request(id: &str) -> Request {
+        Request {
+            task: Task::Perf,
+            dataset: DatasetId::Sdss,
+            example_id: id.to_string(),
+            prompt: "Will the following query take long? SELECT plate FROM SpecObj".into(),
+            truth: GroundTruth::Perf { costly: false },
+            props: QueryProps {
+                char_count: 60,
+                word_count: 10,
+                query_type: "SELECT".into(),
+                table_count: 1,
+                join_count: 0,
+                column_count: 2,
+                function_count: 0,
+                predicate_count: 1,
+                nestedness: 0,
+                aggregate: false,
+            },
+        }
+    }
+
+    #[test]
+    fn none_profile_is_pass_through() {
+        let model = Fixed("No, this query should run quickly.");
+        let t = Transport::new(
+            Fixed("No, this query should run quickly."),
+            FaultProfile::none(),
+            7,
+        );
+        let direct = DirectClient(&model);
+        for i in 0..50 {
+            let req = request(&format!("p-{i}"));
+            let (dt, dr) = direct.call(&req);
+            let (tt, tr) = t.call(&req);
+            assert_eq!(dt, tt);
+            assert_eq!(dr, tr, "none-profile record must equal direct");
+        }
+    }
+
+    #[test]
+    fn calls_are_deterministic_and_seed_sensitive() {
+        let t1 = Transport::new(Fixed("Yes, it will take longer."), FaultProfile::heavy(), 1);
+        let t2 = Transport::new(Fixed("Yes, it will take longer."), FaultProfile::heavy(), 1);
+        let t3 = Transport::new(Fixed("Yes, it will take longer."), FaultProfile::heavy(), 2);
+        let mut diverged = false;
+        for i in 0..100 {
+            let req = request(&format!("d-{i}"));
+            assert_eq!(t1.call(&req), t2.call(&req), "same seed must agree");
+            if t1.call(&req) != t3.call(&req) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds should inject different faults");
+    }
+
+    #[test]
+    fn always_unavailable_exhausts_with_exponential_schedule() {
+        let profile = FaultProfile {
+            p_unavailable: 1.0,
+            ..FaultProfile::none()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 100,
+            backoff_multiplier: 2,
+            max_backoff_ms: 10_000,
+            attempt_timeout_ms: 1_000,
+            call_budget_ms: 60_000,
+        };
+        let t = Transport::with_policy(Fixed("irrelevant"), profile, policy, 11);
+        let (text, rec) = t.call(&request("x-1"));
+        assert_eq!(text, "");
+        assert!(rec.exhausted);
+        assert_eq!(rec.attempts, 4);
+        assert!(rec.saw(FaultKind::Unavailable));
+        // three backoffs, each within the equal-jitter envelope of its step
+        assert_eq!(rec.backoffs_ms.len(), 3);
+        for (i, &b) in rec.backoffs_ms.iter().enumerate() {
+            let exp = 100u64 << i;
+            assert!(
+                b >= exp / 2 && b <= exp,
+                "backoff {i} = {b} outside [{}, {exp}]",
+                exp / 2
+            );
+        }
+        // virtual time = latencies (0 here) + backoffs; nothing slept
+        assert_eq!(rec.virtual_ms, rec.backoffs_ms.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_open_before_max_attempts() {
+        let profile = FaultProfile {
+            p_unavailable: 1.0,
+            ..FaultProfile::none()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 100,
+            backoff_multiplier: 2,
+            max_backoff_ms: 10_000,
+            attempt_timeout_ms: 1_000,
+            call_budget_ms: 250, // fits ~2 backoffs at most
+        };
+        let t = Transport::with_policy(Fixed("irrelevant"), profile, policy, 3);
+        let (text, rec) = t.call(&request("x-2"));
+        assert_eq!(text, "");
+        assert!(rec.exhausted);
+        assert!(rec.attempts < 10, "budget must cut retries short");
+        assert!(rec.virtual_ms <= 250);
+    }
+
+    #[test]
+    fn latency_spike_times_out_and_retries() {
+        let profile = FaultProfile {
+            p_latency_spike: 1.0,
+            base_latency_ms: 200,
+            spike_factor: 10, // 2000 ms > 1500 ms attempt timeout
+            ..FaultProfile::none()
+        };
+        let t = Transport::new(Fixed("irrelevant"), profile, 5);
+        let (text, rec) = t.call(&request("x-3"));
+        assert_eq!(text, "");
+        assert!(rec.exhausted);
+        assert!(rec.saw(FaultKind::LatencySpike));
+        assert_eq!(rec.attempts, RetryPolicy::default().max_attempts);
+    }
+
+    #[test]
+    fn transient_fault_then_success_returns_clean_text() {
+        // unavailable on some attempts but never exhausted under a long
+        // budget: whenever text comes back it must be the model's text
+        let profile = FaultProfile {
+            p_unavailable: 0.5,
+            ..FaultProfile::none()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 32,
+            ..RetryPolicy::default()
+        };
+        let t = Transport::with_policy(Fixed("Yes."), profile, policy, 13);
+        let mut retried = 0;
+        for i in 0..60 {
+            let (text, rec) = t.call(&request(&format!("r-{i}")));
+            if rec.exhausted {
+                continue;
+            }
+            assert_eq!(text, "Yes.");
+            if rec.attempts > 1 {
+                retried += 1;
+                assert_eq!(rec.backoffs_ms.len() as u32, rec.attempts - 1);
+            }
+        }
+        assert!(retried > 5, "p=0.5 must force retries");
+    }
+
+    #[test]
+    fn corruptions_record_their_kinds() {
+        let profile = FaultProfile {
+            p_echo: 1.0,
+            p_truncation: 1.0,
+            ..FaultProfile::none()
+        };
+        let t = Transport::new(
+            Fixed("No, this query should run quickly and cheaply on any backend."),
+            profile,
+            9,
+        );
+        let (text, rec) = t.call(&request("c-1"));
+        assert!(rec.saw(FaultKind::Echo));
+        assert!(rec.saw(FaultKind::Truncation));
+        assert!(text.starts_with("You asked: "));
+        assert!(!rec.exhausted);
+        // truncation respected char boundaries (would have panicked above
+        // otherwise) and left a strict prefix of the echoed text
+        assert!(text.len() < "You asked: Will the following query take long? SELECT plate FROM SpecObj\n\nNo, this query should run quickly and cheaply on any backend.".len());
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jitter_bounded() {
+        let p = RetryPolicy {
+            base_backoff_ms: 1_000,
+            backoff_multiplier: 3,
+            max_backoff_ms: 2_500,
+            ..RetryPolicy::default()
+        };
+        assert!(p.backoff_ms(1, 0.0) >= 500 && p.backoff_ms(1, 1.0) <= 1_000);
+        // step 3 would be 9000 uncapped; the cap bounds it to 2500
+        assert!(p.backoff_ms(3, 1.0) <= 2_500);
+        assert!(p.backoff_ms(3, 0.0) >= 1_250);
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        for name in FaultProfile::NAMES {
+            let p = FaultProfile::by_name(name).expect("named profile resolves");
+            assert_eq!(p.name, name);
+        }
+        assert!(FaultProfile::by_name("chaos-monkey").is_none());
+    }
+}

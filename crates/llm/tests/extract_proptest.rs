@@ -1,0 +1,62 @@
+//! Property tests for the response extractors: totality (no panics on
+//! arbitrary, truncated, or non-ASCII input) and non-degenerate output
+//! (extracted labels and words are never the empty string).
+
+use proptest::prelude::*;
+use squ_llm::{extract_binary, extract_label, extract_position, extract_word};
+
+const LABELS: [&str; 5] = ["aggr", "aggr-having", "keyword", "column", "value-change"];
+
+/// Truncate at the nearest char boundary at or below `cut` — models a
+/// response cut mid-stream, like the transport's truncation fault.
+fn truncate_at(s: &str, cut: usize) -> &str {
+    let mut cut = cut.min(s.len());
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &s[..cut]
+}
+
+proptest! {
+    /// Arbitrary text (the `.` strategy mixes in multi-byte UTF-8) must
+    /// never panic any extractor.
+    #[test]
+    fn extractors_are_total(s in ".{0,240}") {
+        let _ = extract_binary(&s);
+        let _ = extract_label(&s, &LABELS);
+        let _ = extract_position(&s);
+        let _ = extract_word(&s);
+    }
+
+    /// Realistic response shapes — tags, quotes of every style, echoed
+    /// queries, refusals — never panic and never yield empty labels/words.
+    #[test]
+    fn realistic_shapes_never_yield_empty(
+        s in "(Yes|No|Note|Notably|None of|Now)(, .{0,40})?[.!] (error type: |Missing word: |Missing token type: |category: |Position: )?(\"[A-Za-z]{0,8}\"|“[A-Za-z]{0,8}”|`[A-Za-z]{0,8}`|[a-z-]{0,12}|[0-9]{0,4})[.]?( The missing word is .{0,20})?"
+    ) {
+        prop_assert!(extract_label(&s, &LABELS).value().as_deref() != Some(""));
+        prop_assert!(extract_word(&s).value().as_deref() != Some(""));
+        let _ = extract_binary(&s);
+        let _ = extract_position(&s);
+    }
+
+    /// Truncating a response at any char boundary — mid-word, mid-quote,
+    /// mid-tag — must not panic or produce an empty extraction.
+    #[test]
+    fn truncated_responses_are_safe(
+        s in "(Yes|Note)[,.] the missing word is (\"FROM\"|“WHERE”|`JOIN`)\\. (error type: aggr-having\\. )?Position: [0-9]{1,3}\\. é中🙂",
+        cut in 0usize..120
+    ) {
+        let t = truncate_at(&s, cut);
+        let _ = extract_binary(t);
+        prop_assert!(extract_label(t, &LABELS).value().as_deref() != Some(""));
+        let _ = extract_position(t);
+        prop_assert!(extract_word(t).value().as_deref() != Some(""));
+    }
+
+    /// An empty label set can never produce a value (and never panics).
+    #[test]
+    fn empty_label_set_always_reviews(s in ".{0,120}") {
+        prop_assert_eq!(extract_label(&s, &[]).value(), None);
+    }
+}

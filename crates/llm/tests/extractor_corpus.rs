@@ -1,0 +1,107 @@
+//! Fixture-driven extractor tests: every case in
+//! `fixtures/extractor_corpus.json` is a real-shaped model response with a
+//! hand-checked expected extraction (`null` = NeedsReview). Cases tagged
+//! `regression` pin the word-boundary and quote-handling bug fixes.
+
+use serde_json::Value;
+use squ_llm::{extract_binary, extract_label, extract_position, extract_word};
+
+fn corpus() -> Value {
+    let raw = include_str!("fixtures/extractor_corpus.json");
+    serde_json::from_str(raw).expect("fixture parses")
+}
+
+fn cases(corpus: &Value) -> &Vec<Value> {
+    corpus["cases"].as_array().expect("cases array")
+}
+
+/// Run one case; `None` on pass, a diagnostic string on failure.
+fn check(case: &Value) -> Option<String> {
+    let id = case["id"].as_str().expect("case id");
+    let extractor = case["extractor"].as_str().expect("extractor name");
+    let text = case["text"].as_str().expect("case text");
+    let expect = &case["expect"];
+    let fail = |got: &str| {
+        Some(format!(
+            "{id}: {extractor}({text:?}) = {got}, expected {expect}"
+        ))
+    };
+    match extractor {
+        "binary" => {
+            let got = extract_binary(text).value();
+            if got == expect.as_bool() {
+                return None;
+            }
+            fail(&format!("{got:?}"))
+        }
+        "label" => {
+            let labels: Vec<&str> = case["labels"]
+                .as_array()
+                .expect("label cases carry a label set")
+                .iter()
+                .map(|l| l.as_str().expect("label string"))
+                .collect();
+            let got = extract_label(text, &labels).value();
+            if got.as_deref() == expect.as_str() {
+                return None;
+            }
+            fail(&format!("{got:?}"))
+        }
+        "position" => {
+            let got = extract_position(text).value();
+            if got.map(|v| v as u64) == expect.as_u64() {
+                return None;
+            }
+            fail(&format!("{got:?}"))
+        }
+        "word" => {
+            let got = extract_word(text).value();
+            if got.as_deref() == expect.as_str() {
+                return None;
+            }
+            fail(&format!("{got:?}"))
+        }
+        other => Some(format!("{id}: unknown extractor {other:?}")),
+    }
+}
+
+#[test]
+fn corpus_is_well_formed() {
+    let corpus = corpus();
+    let cases = cases(&corpus);
+    assert!(
+        cases.len() >= 40,
+        "corpus should stay adversarial: {} cases < 40",
+        cases.len()
+    );
+    let mut ids = std::collections::HashSet::new();
+    for case in cases {
+        let id = case["id"].as_str().expect("case id");
+        assert!(ids.insert(id), "duplicate case id {id:?}");
+    }
+    // every extractor and every fixed bug class is represented
+    for extractor in ["binary", "label", "position", "word"] {
+        assert!(
+            cases
+                .iter()
+                .any(|c| c["extractor"].as_str() == Some(extractor)),
+            "no cases for {extractor}"
+        );
+    }
+    assert!(
+        cases.iter().any(|c| c["regression"].as_str().is_some()),
+        "no regression cases"
+    );
+}
+
+#[test]
+fn every_corpus_case_extracts_as_labeled() {
+    let corpus = corpus();
+    let failures: Vec<String> = cases(&corpus).iter().filter_map(check).collect();
+    assert!(
+        failures.is_empty(),
+        "{} corpus failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
