@@ -11,6 +11,8 @@
 //! repro --fault-seed 7     # reseed the fault injector (default 0)
 //! repro --seed 7           # different master seed
 //! repro --jobs 4           # worker threads (default: all cores, 1 = sequential)
+//! repro --resume           # reuse fingerprint-matched stages from target/repro/store
+//! repro --store-stats      # print per-stage store hit/miss/byte counters
 //! repro --timings          # print a per-phase wall-clock report
 //! repro --list             # list artifact slugs
 //! ```
@@ -21,9 +23,20 @@
 //! every job count. Each run also writes machine-readable span timings to
 //! `target/repro/timings.json`; `--faults` writes `target/repro/faults.json`,
 //! byte-identical for any `--jobs` count.
+//!
+//! `--resume` routes every stage — sampled workloads, derived task
+//! datasets, paper artifacts, audit and fault reports — through the
+//! content-addressed store under `target/repro/store/`: stages whose
+//! fingerprint (seed + builder versions + upstream fingerprints) already
+//! has a verified entry are loaded instead of rebuilt, byte-identically.
+//! A warm resume performs no suite-build or model-call work at all.
 
 use squ::llm::FaultProfile;
-use squ::{run_ablation, run_experiment, AblationId, Artifact, ExperimentId, Suite, PAPER_SEED};
+use squ::store::{fp_artifact, fp_audit, fp_faults};
+use squ::{
+    run_ablation, run_experiment, AblationId, Artifact, AuditReport, ExperimentId, FaultReport,
+    Store, Suite, PAPER_SEED,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -45,6 +58,10 @@ struct Opts {
     seed: u64,
     /// Worker threads; `None` means all available cores.
     jobs: Option<usize>,
+    /// Reuse fingerprint-matched stages from the artifact store.
+    resume: bool,
+    /// Print per-stage store counters (implies using the store).
+    store_stats: bool,
 }
 
 impl Default for Opts {
@@ -61,6 +78,8 @@ impl Default for Opts {
             fault_gate: None,
             seed: PAPER_SEED,
             jobs: None,
+            resume: false,
+            store_stats: false,
         }
     }
 }
@@ -78,6 +97,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--ablations" => opts.ablations = true,
             "--audit" => opts.audit = true,
             "--timings" => opts.timings = true,
+            "--resume" => opts.resume = true,
+            "--store-stats" => opts.store_stats = true,
             "--export" => {
                 let dir = value_of(args, i);
                 if dir.is_some() {
@@ -158,6 +179,16 @@ enum Job {
     Ablation(AblationId),
 }
 
+impl Job {
+    /// `(store stage, entry name, is_ablation)` for the artifact store.
+    fn store_key(&self) -> (&'static str, &'static str, bool) {
+        match self {
+            Job::Paper(id) => ("artifact", id.slug(), false),
+            Job::Ablation(id) => ("ablation", id.slug(), true),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args).unwrap_or_else(|e| die(&e));
@@ -186,19 +217,34 @@ fn main() {
         None => ExperimentId::ALL.iter().map(|e| Job::Paper(*e)).collect(),
     };
 
+    let out_dir = PathBuf::from("target/repro");
+    fs::create_dir_all(&out_dir).expect("create target/repro");
+    let mut store: Option<Store> =
+        (opts.resume || opts.store_stats).then(|| Store::open(out_dir.join("store")));
+
     eprintln!(
         "building benchmark suite (seed {}, {} jobs)…",
         opts.seed, jobs_n
     );
     let t0 = std::time::Instant::now();
-    let suite = Suite::new_with_jobs(opts.seed, jobs_n);
+    let suite = match store.as_mut() {
+        Some(store) => Suite::load_or_build(opts.seed, jobs_n, store),
+        None => Suite::new_with_jobs(opts.seed, jobs_n),
+    };
     eprintln!("suite ready in {:.1?}", t0.elapsed());
 
-    let out_dir = PathBuf::from("target/repro");
-    fs::create_dir_all(&out_dir).expect("create target/repro");
-
     if opts.audit {
-        let report = squ::timing::time("audit.total", || squ::audit_suite(&suite, jobs_n));
+        let fp = fp_audit(opts.seed);
+        let cached = store
+            .as_mut()
+            .and_then(|s| s.load_value::<AuditReport>("audit", "audit", fp));
+        let report = cached.unwrap_or_else(|| {
+            let report = squ::timing::time("audit.total", || squ::audit_suite(&suite, jobs_n));
+            if let Some(s) = store.as_mut() {
+                s.save_value("audit", "audit", fp, &report);
+            }
+            report
+        });
         let path = out_dir.join("audit.json");
         fs::write(&path, report.to_json()).expect("write audit.json");
         println!(
@@ -215,6 +261,7 @@ fn main() {
             );
         }
         println!("audit report written to {}", path.display());
+        finish_store(&opts, store.as_ref());
         finish_timings(&opts, &out_dir, jobs_n, run_start);
         if !report.is_clean() {
             std::process::exit(1);
@@ -225,8 +272,18 @@ fn main() {
     if let Some(name) = &opts.faults {
         let profile = FaultProfile::by_name(name)
             .unwrap_or_else(|| die(&format!("unknown fault profile {name:?}")));
-        let report = squ::timing::time("faults.total", || {
-            squ::run_fault_report(&suite, profile, opts.fault_seed, jobs_n)
+        let fp = fp_faults(opts.seed, name, opts.fault_seed);
+        let cached = store
+            .as_mut()
+            .and_then(|s| s.load_value::<FaultReport>("faults", name, fp));
+        let report = cached.unwrap_or_else(|| {
+            let report = squ::timing::time("faults.total", || {
+                squ::run_fault_report(&suite, profile, opts.fault_seed, jobs_n)
+            });
+            if let Some(s) = store.as_mut() {
+                s.save_value("faults", name, fp, &report);
+            }
+            report
         });
         let path = out_dir.join("faults.json");
         fs::write(&path, report.to_json()).expect("write faults.json");
@@ -252,6 +309,7 @@ fn main() {
             }
         }
         println!("fault report written to {}", path.display());
+        finish_store(&opts, store.as_ref());
         finish_timings(&opts, &out_dir, jobs_n, run_start);
         if let Some(gate) = opts.fault_gate {
             if report.needs_review_rate > gate {
@@ -279,13 +337,29 @@ fn main() {
             manifest.files.iter().map(|f| f.records).sum::<usize>(),
             dir.display()
         );
+        finish_store(&opts, store.as_ref());
         finish_timings(&opts, &out_dir, jobs_n, run_start);
         return;
     }
 
     // run artifacts on the worker pool; results come back in queue order,
-    // so stdout is identical whatever the job count
-    let artifacts: Vec<(Artifact, std::time::Duration)> = squ::par::map(jobs_n, queue, |job| {
+    // so stdout is identical whatever the job count. With a store, cached
+    // artifacts fill their queue slot up front and only misses hit the pool.
+    let mut slots: Vec<Option<(Artifact, std::time::Duration)>> =
+        queue.iter().map(|_| None).collect();
+    let mut misses: Vec<(usize, Job)> = Vec::new();
+    for (i, job) in queue.iter().enumerate() {
+        let (stage, slug, ablation) = job.store_key();
+        let t = std::time::Instant::now();
+        let cached = store
+            .as_mut()
+            .and_then(|s| s.load_value::<Artifact>(stage, slug, fp_artifact(opts.seed, slug, ablation)));
+        match cached {
+            Some(artifact) => slots[i] = Some((artifact, t.elapsed())),
+            None => misses.push((i, *job)),
+        }
+    }
+    let computed = squ::par::map(jobs_n, misses, |(i, job)| {
         let t = std::time::Instant::now();
         let artifact = match job {
             Job::Paper(id) => squ::timing::time(&format!("artifact.{}", id.slug()), || {
@@ -295,8 +369,19 @@ fn main() {
                 run_ablation(&suite, id)
             }),
         };
-        (artifact, t.elapsed())
+        (i, job, artifact, t.elapsed())
     });
+    for (i, job, artifact, elapsed) in computed {
+        if let Some(s) = store.as_mut() {
+            let (stage, slug, ablation) = job.store_key();
+            s.save_value(stage, slug, fp_artifact(opts.seed, slug, ablation), &artifact);
+        }
+        slots[i] = Some((artifact, elapsed));
+    }
+    let artifacts: Vec<(Artifact, std::time::Duration)> = slots
+        .into_iter()
+        .map(|s| s.expect("every artifact slot is filled"))
+        .collect();
 
     for (artifact, elapsed) in &artifacts {
         println!("\n================================================================");
@@ -314,7 +399,16 @@ fn main() {
         }
     }
     eprintln!("\nartifacts written to {}", out_dir.display());
+    finish_store(&opts, store.as_ref());
     finish_timings(&opts, &out_dir, jobs_n, run_start);
+}
+
+/// Print the artifact-store counters when `--store-stats` was given.
+fn finish_store(opts: &Opts, store: Option<&Store>) {
+    let Some(store) = store else { return };
+    if opts.store_stats {
+        println!("\n{}", store.render_stats());
+    }
 }
 
 /// Drain the span registry: always persist `timings.json`, and print the
@@ -440,6 +534,30 @@ mod tests {
         assert!(parse_args(&argv(&["--fault-gate"])).is_err());
         assert!(parse_args(&argv(&["--fault-gate", "1.5"])).is_err());
         assert!(parse_args(&argv(&["--fault-gate", "-0.1"])).is_err());
+    }
+
+    #[test]
+    fn resume_and_store_stats_flags() {
+        let opts = parse_args(&argv(&["--resume"])).unwrap();
+        assert!(opts.resume);
+        assert!(!opts.store_stats);
+        let opts = parse_args(&argv(&["--store-stats"])).unwrap();
+        assert!(opts.store_stats);
+        assert!(!opts.resume);
+        // compose with each other and with the standalone modes
+        let opts = parse_args(&argv(&[
+            "--resume",
+            "--store-stats",
+            "--audit",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(opts.resume && opts.store_stats && opts.audit);
+        assert_eq!(opts.jobs, Some(2));
+        let opts = parse_args(&argv(&["--faults", "none", "--resume"])).unwrap();
+        assert!(opts.resume);
+        assert_eq!(opts.faults.as_deref(), Some("none"));
     }
 
     #[test]

@@ -474,7 +474,7 @@ pub fn ext_rubric(suite: &Suite) -> Artifact {
         "wrong ordering %",
     ]);
     for m in ModelId::ALL {
-        let outcomes = run_explain(&SimulatedModel::new(m), &suite.explain);
+        let outcomes = run_explain(&SimulatedModel::new(m), suite.explain());
         let n = outcomes.len() as f64;
         let mean = outcomes.iter().map(|o| o.rubric.score).sum::<f64>() / n;
         let complete = outcomes.iter().filter(|o| o.rubric.is_complete()).count() as f64 / n;

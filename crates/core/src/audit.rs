@@ -5,7 +5,10 @@
 //! ground truth — "this query has an aggregation error at bytes 7..12",
 //! "these two queries are equivalent". The auditor re-derives each label
 //! from the analyzer alone and reports every disagreement as a
-//! [`Violation`]:
+//! [`Violation`]. The per-task invariants live with the tasks themselves
+//! ([`squ_tasks::Task::audit`]); this module contributes the one check that
+//! is not task-shaped — every sampled workload query must lint clean — and
+//! the generic driver that fans all sections over the worker pool:
 //!
 //! * every sampled workload query, perf example, and explain example must
 //!   lint clean (no error-severity diagnostics; `SQU1xx` warnings are
@@ -26,37 +29,17 @@
 //! order, rule hits in a [`BTreeMap`], and nothing in the output depends
 //! on the thread count used to run the audit.
 
+use crate::suite::TaskSet;
 use crate::{par, Suite};
-use serde::Serialize;
-use squ_lexer::word_index_at;
-use squ_lint::{lint, LintReport};
-use squ_tasks::{
-    EquivExample, ExplainExample, PerfExample, SyntaxExample, TokenExample, TokenType,
-};
-use squ_workload::{schema_for, Dataset, Workload};
-use std::collections::{BTreeMap, HashMap};
+use serde::{Deserialize, Serialize};
+use squ_tasks::AuditCtx;
+use squ_workload::{Dataset, Workload};
+use std::collections::BTreeMap;
 
-/// Word-distance slack allowed between a parse error's reported location
-/// and a token deletion's labeled position. The recursive-descent parser
-/// cannot reject before the deletion site, but bounded lookahead means the
-/// error can surface up to two words earlier than the splice point.
-const PARSE_LOCATION_SLACK: usize = 2;
-
-/// One audited invariant that did not hold.
-#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
-pub struct Violation {
-    /// Which dataset the artifact came from, e.g. `syntax/sdss`.
-    pub dataset: String,
-    /// Source query id of the artifact.
-    pub query_id: String,
-    /// Machine-readable invariant name, e.g. `positive-expected-diagnostic`.
-    pub invariant: String,
-    /// Human-readable explanation.
-    pub detail: String,
-}
+pub use squ_tasks::Violation;
 
 /// Outcome of auditing one suite.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct AuditReport {
     /// Master seed of the audited suite.
     pub seed: u64,
@@ -84,74 +67,20 @@ impl AuditReport {
     }
 }
 
-/// Per-job accumulator, merged in canonical order after the parallel pass.
-#[derive(Default)]
-struct Section {
-    checked: usize,
-    hits: BTreeMap<String, usize>,
-    violations: Vec<Violation>,
-}
-
-impl Section {
-    /// Lint `sql` and count rule hits; returns the report for the caller's
-    /// invariant checks.
-    fn lint(&mut self, sql: &str, schema: &squ_schema::Schema) -> LintReport {
-        let report = lint(sql, schema);
-        for d in &report.diagnostics {
-            *self.hits.entry(d.code.to_string()).or_insert(0) += 1;
-        }
-        self.checked += 1;
-        report
-    }
-
-    fn violation(&mut self, dataset: &str, query_id: &str, invariant: &str, detail: String) {
-        self.violations.push(Violation {
-            dataset: dataset.to_string(),
-            query_id: query_id.to_string(),
-            invariant: invariant.to_string(),
-            detail,
-        });
-    }
-}
-
-/// Memoizing schema lookup: SQLShare/Spider resolve schemas by name from a
-/// zoo, so per-example lookups inside one job are cached.
-struct Schemas {
-    workload: Workload,
-    cache: HashMap<String, squ_schema::Schema>,
-}
-
-impl Schemas {
-    fn new(workload: Workload) -> Schemas {
-        Schemas {
-            workload,
-            cache: HashMap::new(),
-        }
-    }
-
-    fn get(&mut self, name: &str) -> &squ_schema::Schema {
-        let w = self.workload;
-        self.cache
-            .entry(name.to_string())
-            .or_insert_with(|| schema_for(w, name))
-    }
-}
-
-/// One unit of audit work; the enum lets heterogeneous checks share the
-/// deterministic worker pool, mirroring suite construction.
+/// One unit of audit work: a sampled workload, or one `(task, workload)`
+/// set checked through [`squ_tasks::Task::audit`]. The enum lets
+/// heterogeneous checks share the deterministic worker pool, mirroring
+/// suite construction.
 enum AuditJob<'a> {
     Workload(&'a Dataset),
-    Syntax(Workload, &'a [SyntaxExample]),
-    Tokens(Workload, &'a [TokenExample]),
-    Equiv(Workload, &'a [EquivExample]),
-    Perf(&'a [PerfExample]),
-    Explain(&'a [ExplainExample]),
+    Set(&'a TaskSet),
 }
 
 /// Audit every artifact of `suite` on up to `jobs` worker threads.
 ///
 /// The result is byte-identical for every job count: each job accumulates
-/// its own section and sections are merged in the fixed job-list order.
+/// its own section and sections are merged in the fixed job-list order —
+/// the four workloads, then every task set in canonical registry order.
 pub fn audit_suite(suite: &Suite, jobs: usize) -> AuditReport {
     let mut job_list: Vec<AuditJob<'_>> = Vec::new();
     for w in [
@@ -162,25 +91,17 @@ pub fn audit_suite(suite: &Suite, jobs: usize) -> AuditReport {
     ] {
         job_list.push(AuditJob::Workload(suite.dataset(w)));
     }
-    for (w, v) in &suite.syntax {
-        job_list.push(AuditJob::Syntax(*w, v));
+    for set in suite.sets() {
+        job_list.push(AuditJob::Set(set));
     }
-    for (w, v) in &suite.tokens {
-        job_list.push(AuditJob::Tokens(*w, v));
-    }
-    for (w, v) in &suite.equiv {
-        job_list.push(AuditJob::Equiv(*w, v));
-    }
-    job_list.push(AuditJob::Perf(&suite.perf));
-    job_list.push(AuditJob::Explain(&suite.explain));
 
     let sections = par::map(jobs, job_list, |job| match job {
         AuditJob::Workload(ds) => audit_workload(ds),
-        AuditJob::Syntax(w, v) => audit_syntax(w, v),
-        AuditJob::Tokens(w, v) => audit_tokens(w, v),
-        AuditJob::Equiv(w, v) => audit_equiv(w, v),
-        AuditJob::Perf(v) => audit_perf(v),
-        AuditJob::Explain(v) => audit_explain(v),
+        AuditJob::Set(set) => {
+            let mut ctx = AuditCtx::new(set.workload());
+            set.task().audit(set.workload(), set.examples(), &mut ctx);
+            ctx
+        }
     });
 
     let mut report = AuditReport {
@@ -198,233 +119,14 @@ pub fn audit_suite(suite: &Suite, jobs: usize) -> AuditReport {
 }
 
 /// Sampled workload queries must all lint clean.
-fn audit_workload(ds: &Dataset) -> Section {
-    let mut s = Section::default();
-    let mut schemas = Schemas::new(ds.workload);
+fn audit_workload(ds: &Dataset) -> AuditCtx {
+    let mut ctx = AuditCtx::new(ds.workload);
     let name = format!("workload/{}", ds.workload.name());
     for wq in &ds.queries {
-        let report = s.lint(&wq.sql, schemas.get(&wq.schema_name));
-        require_clean(&mut s, &name, &wq.id, &report, &wq.sql);
+        let report = ctx.lint(&wq.sql, &wq.schema_name);
+        ctx.require_clean(&name, &wq.id, &report, &wq.sql);
     }
-    s
-}
-
-/// Syntax positives must carry the labeled diagnostic at the labeled span;
-/// negatives must lint clean.
-fn audit_syntax(w: Workload, examples: &[SyntaxExample]) -> Section {
-    let mut s = Section::default();
-    let mut schemas = Schemas::new(w);
-    let name = format!("syntax/{}", w.name());
-    for ex in examples {
-        let report = s.lint(&ex.sql, schemas.get(&ex.schema_name));
-        if !ex.has_error {
-            require_clean(&mut s, &name, &ex.query_id, &report, &ex.sql);
-            continue;
-        }
-        let (Some(ty), Some((start, end))) = (ex.error_type, ex.expected_span) else {
-            s.violation(
-                &name,
-                &ex.query_id,
-                "positive-label-complete",
-                "positive example lacks error_type or expected_span".into(),
-            );
-            continue;
-        };
-        let code = ty.expected_diagnostic().code();
-        let hit = report
-            .diagnostics
-            .iter()
-            .any(|d| d.code == code && d.overlaps(start, end));
-        if !hit {
-            s.violation(
-                &name,
-                &ex.query_id,
-                "positive-expected-diagnostic",
-                format!(
-                    "no {code} diagnostic overlapping bytes {start}..{end} (got {})",
-                    render_codes(&report)
-                ),
-            );
-        }
-    }
-    s
-}
-
-/// Token-deletion positives must be detectable by the analyzer (except the
-/// whole-predicate class), with parse errors locating near the labeled
-/// word position; negatives must lint clean.
-fn audit_tokens(w: Workload, examples: &[TokenExample]) -> Section {
-    let mut s = Section::default();
-    let mut schemas = Schemas::new(w);
-    let name = format!("tokens/{}", w.name());
-    for ex in examples {
-        let report = s.lint(&ex.sql, schemas.get(&ex.schema_name));
-        if !ex.has_missing {
-            require_clean(&mut s, &name, &ex.query_id, &report, &ex.sql);
-            continue;
-        }
-        let (Some(ty), Some(position)) = (ex.token_type, ex.position) else {
-            s.violation(
-                &name,
-                &ex.query_id,
-                "positive-label-complete",
-                "positive example lacks token_type or position".into(),
-            );
-            continue;
-        };
-        // The labeled position and the recorded splice offset must agree.
-        // A deletion that removed the tail of a word (e.g. the column of a
-        // `t.plate` qualified name) leaves the splice point on the word
-        // boundary *after* the remaining fragment, so when the splice abuts
-        // a preceding non-whitespace character the next word index is also
-        // accepted.
-        if let Some(at) = ex.removed_at {
-            let wi = word_index_at(&ex.sql, at);
-            let tail_of_word =
-                at > 0 && !ex.sql.as_bytes()[at - 1].is_ascii_whitespace() && wi == position + 1;
-            if wi != position && !tail_of_word {
-                s.violation(
-                    &name,
-                    &ex.query_id,
-                    "position-matches-splice",
-                    format!("splice offset {at} is word {wi}, labeled position {position}"),
-                );
-            }
-        }
-        if ty == TokenType::Predicate {
-            // The paper's hard class: deleting a whole predicate often
-            // yields a valid query, so no detectability is required.
-            continue;
-        }
-        if report.is_clean() {
-            s.violation(
-                &name,
-                &ex.query_id,
-                "positive-detectable",
-                format!("deleting {ty} token left an analyzably-clean query"),
-            );
-            continue;
-        }
-        // Any parse error must locate at (or within lookahead slack of)
-        // the deletion site — the parser cannot reject an intact prefix.
-        for d in report.errors() {
-            if d.code != "SQU001" && d.code != "SQU002" {
-                continue; // binder errors point at uses, not the splice
-            }
-            let Some(span) = d.span else { continue };
-            let wi = word_index_at(&ex.sql, span.start);
-            if wi + PARSE_LOCATION_SLACK < position {
-                s.violation(
-                    &name,
-                    &ex.query_id,
-                    "parse-error-near-site",
-                    format!(
-                        "{} reported at word {wi}, {} words before labeled position {position}",
-                        d.code,
-                        position - wi
-                    ),
-                );
-            }
-        }
-    }
-    s
-}
-
-/// Both sides of every pair must lint clean; equivalent pairs must have
-/// identical resolution signatures, non-equivalent pairs must differ.
-fn audit_equiv(w: Workload, examples: &[EquivExample]) -> Section {
-    let mut s = Section::default();
-    let mut schemas = Schemas::new(w);
-    let name = format!("equiv/{}", w.name());
-    for ex in examples {
-        let r1 = s.lint(&ex.sql1, schemas.get(&ex.schema_name));
-        let r2 = s.lint(&ex.sql2, schemas.get(&ex.schema_name));
-        require_clean(&mut s, &name, &ex.query_id, &r1, &ex.sql1);
-        require_clean(&mut s, &name, &ex.query_id, &r2, &ex.sql2);
-        if ex.equivalent {
-            match (&r1.resolution, &r2.resolution) {
-                (Some(a), Some(b)) if a == b => {}
-                (Some(a), Some(b)) => s.violation(
-                    &name,
-                    &ex.query_id,
-                    "equivalent-same-resolution",
-                    format!(
-                        "{} rewrite changed resolution: {} vs {}",
-                        ex.transform,
-                        a.render(),
-                        b.render()
-                    ),
-                ),
-                _ => s.violation(
-                    &name,
-                    &ex.query_id,
-                    "equivalent-same-resolution",
-                    format!("{} pair has an unanalyzable side", ex.transform),
-                ),
-            }
-        } else if ex.sql1 == ex.sql2 {
-            s.violation(
-                &name,
-                &ex.query_id,
-                "non-equivalent-differs",
-                format!("{} pair is textually identical", ex.transform),
-            );
-        }
-    }
-    s
-}
-
-/// Performance examples (real SDSS queries) must lint clean.
-fn audit_perf(examples: &[PerfExample]) -> Section {
-    let mut s = Section::default();
-    let mut schemas = Schemas::new(Workload::Sdss);
-    for ex in examples {
-        let report = s.lint(&ex.sql, schemas.get("sdss"));
-        require_clean(&mut s, "perf/sdss", &ex.query_id, &report, &ex.sql);
-    }
-    s
-}
-
-/// Explanation examples (Spider queries) must lint clean.
-fn audit_explain(examples: &[ExplainExample]) -> Section {
-    let mut s = Section::default();
-    let mut schemas = Schemas::new(Workload::Spider);
-    for ex in examples {
-        let report = s.lint(&ex.sql, schemas.get(&ex.schema_name));
-        require_clean(&mut s, "explain/spider", &ex.query_id, &report, &ex.sql);
-    }
-    s
-}
-
-/// Record a `clean-analysis` violation for every error-severity finding.
-fn require_clean(s: &mut Section, dataset: &str, query_id: &str, report: &LintReport, sql: &str) {
-    if report.is_clean() {
-        return;
-    }
-    let detail = format!("{} in `{sql}`", render_codes(report));
-    s.violation(dataset, query_id, "clean-analysis", detail);
-}
-
-/// Render a report's error codes for violation details, e.g. `[SQU011 x2]`.
-fn render_codes(report: &LintReport) -> String {
-    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
-    for d in report.errors() {
-        *counts.entry(d.code).or_insert(0) += 1;
-    }
-    if counts.is_empty() {
-        return "[no errors]".to_string();
-    }
-    let parts: Vec<String> = counts
-        .iter()
-        .map(|(c, n)| {
-            if *n == 1 {
-                (*c).to_string()
-            } else {
-                format!("{c} x{n}")
-            }
-        })
-        .collect();
-    format!("[{}]", parts.join(" "))
+    ctx
 }
 
 #[cfg(test)]
@@ -454,23 +156,24 @@ mod tests {
     }
 
     #[test]
-    fn render_codes_counts_errors() {
-        use squ_schema::schemas::sdss;
-        let schema = sdss();
-        let report = lint("SELECT nosuch, nosuch2 FROM SpecObj", &schema);
-        let rendered = render_codes(&report);
-        assert_eq!(rendered, "[SQU011 x2]", "{rendered}");
-        let clean = lint("SELECT plate FROM SpecObj", &schema);
-        assert_eq!(render_codes(&clean), "[no errors]");
-    }
-
-    #[test]
-    fn section_lint_counts_hits() {
-        use squ_schema::schemas::sdss;
-        let mut s = Section::default();
-        s.lint("SELECT nosuch FROM SpecObj", &sdss());
-        s.lint("SELECT plate FROM SpecObj", &sdss());
-        assert_eq!(s.checked, 2);
-        assert_eq!(s.hits.get("SQU011"), Some(&1));
+    fn reports_round_trip_through_json() {
+        let mut r = AuditReport {
+            seed: 7,
+            checked: 3,
+            ..AuditReport::default()
+        };
+        r.rule_hits.insert("SQU011".into(), 2);
+        r.violations.push(Violation {
+            dataset: "perf/sdss".into(),
+            query_id: "sdss-0002".into(),
+            invariant: "clean-analysis".into(),
+            detail: "[SQU011] in `x`".into(),
+        });
+        let json = r.to_json();
+        let back: AuditReport = serde_json::from_str(&json).expect("audit report deserializes");
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.checked, 3);
+        assert_eq!(back.rule_hits.get("SQU011"), Some(&2));
+        assert_eq!(back.violations, r.violations);
     }
 }

@@ -97,7 +97,7 @@ impl ExperimentId {
 }
 
 /// One reproduced artifact.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Artifact {
     /// Artifact slug.
     pub id: String,
@@ -641,7 +641,7 @@ fn table5(suite: &Suite) -> Artifact {
 fn table6(suite: &Suite) -> Artifact {
     let mut t = TextTable::new(&["Model", "Prec.", "Rec.", "F1"]);
     for m in ModelId::ALL {
-        let outcomes = run_perf(&model(m), &suite.perf);
+        let outcomes = run_perf(&model(m), suite.perf());
         let c = BinaryCounts::from_pairs(
             outcomes
                 .iter()
@@ -665,7 +665,7 @@ fn table6(suite: &Suite) -> Artifact {
 // ---------------- Figure 10: perf failures (MistralAI) ----------------
 
 fn fig10(suite: &Suite) -> Artifact {
-    let outcomes = run_perf(&model(ModelId::MistralAi), &suite.perf);
+    let outcomes = run_perf(&model(ModelId::MistralAi), suite.perf());
     let mut body = String::new();
     for prop in ["word_count", "column_count"] {
         let slice = PropertySlice::build(

@@ -3,7 +3,9 @@
 //! The paper publishes its task-driven benchmark ("Our SQL task-driven
 //! data benchmark is publicly available"); this module writes the same
 //! deliverable: one JSON-lines file per task dataset plus a manifest, so
-//! the labeled data can be consumed without Rust.
+//! the labeled data can be consumed without Rust. Task files come from one
+//! generic loop over [`Suite::sets`]; the records themselves are rendered
+//! by [`crate::registry::DynTask::export_lines`].
 
 use crate::suite::Suite;
 use serde::Serialize;
@@ -33,24 +35,28 @@ pub struct Manifest {
     pub files: Vec<ExportedFile>,
 }
 
-fn write_jsonl<T: Serialize>(
+/// Lowercased, dash-free workload slug for file names.
+fn slug(name: &str) -> String {
+    name.to_lowercase().replace('-', "")
+}
+
+fn write_lines(
     dir: &Path,
     name: &str,
     task: &str,
     workload: &str,
-    items: &[T],
+    lines: &[String],
 ) -> std::io::Result<ExportedFile> {
     let path = dir.join(name);
     let mut f = fs::File::create(&path)?;
-    for item in items {
-        let line = serde_json::to_string(item).expect("benchmark records serialize"); // lint:allow: plain data structs always serialize
+    for line in lines {
         writeln!(f, "{line}")?;
     }
     Ok(ExportedFile {
         file: name.to_string(),
         task: task.to_string(),
         workload: workload.to_string(),
-        records: items.len(),
+        records: lines.len(),
     })
 }
 
@@ -67,44 +73,21 @@ pub fn export_suite(suite: &Suite, dir: &Path) -> std::io::Result<Manifest> {
         squ_workload::Workload::Spider,
     ] {
         let ds = suite.dataset(w);
-        let name = format!(
-            "workload_{}.jsonl",
-            w.name().to_lowercase().replace('-', "")
-        );
-        files.push(write_jsonl(dir, &name, "workload", w.name(), &ds.queries)?);
+        let lines: Vec<String> = ds
+            .queries
+            .iter()
+            .map(|q| serde_json::to_string(q).expect("benchmark records serialize")) // lint:allow: plain data structs always serialize
+            .collect();
+        let name = format!("workload_{}.jsonl", slug(w.name()));
+        files.push(write_lines(dir, &name, "workload", w.name(), &lines)?);
     }
-    for (w, examples) in &suite.syntax {
-        let name = format!("syntax_{}.jsonl", w.name().to_lowercase().replace('-', ""));
-        files.push(write_jsonl(dir, &name, "syntax_error", w.name(), examples)?);
+    for set in suite.sets() {
+        let id = set.task().id();
+        let w = set.workload();
+        let name = format!("{}_{}.jsonl", id.file_stem(), slug(w.name()));
+        let lines = set.task().export_lines(set.examples());
+        files.push(write_lines(dir, &name, id.name(), w.name(), &lines)?);
     }
-    for (w, examples) in &suite.tokens {
-        let name = format!(
-            "miss_token_{}.jsonl",
-            w.name().to_lowercase().replace('-', "")
-        );
-        files.push(write_jsonl(dir, &name, "miss_token", w.name(), examples)?);
-    }
-    for (w, examples) in &suite.equiv {
-        let name = format!(
-            "query_equiv_{}.jsonl",
-            w.name().to_lowercase().replace('-', "")
-        );
-        files.push(write_jsonl(dir, &name, "query_equiv", w.name(), examples)?);
-    }
-    files.push(write_jsonl(
-        dir,
-        "performance_pred_sdss.jsonl",
-        "performance_pred",
-        "SDSS",
-        &suite.perf,
-    )?);
-    files.push(write_jsonl(
-        dir,
-        "query_exp_spider.jsonl",
-        "query_exp",
-        "Spider",
-        &suite.explain,
-    )?);
 
     let manifest = Manifest {
         seed: suite.seed,

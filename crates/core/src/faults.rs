@@ -1,13 +1,18 @@
 //! Fault-injection measurement: the benchmark under an unreliable
 //! transport (`repro --faults <profile>`).
 //!
-//! Every task dataset is run for every model through a fault-injecting
-//! [`Transport`], and the outcomes are folded into a [`FaultReport`]:
-//! per-call attempt counts, retry exhaustion, the `needs_review` rate the
-//! paper routes to manual review, and — the regression surface for the
-//! extraction layer — **per-fault-kind survival**: of the calls whose
-//! response was corrupted by a given fault kind, how many did the
-//! extractors still parse?
+//! Every reviewable task dataset is run for every model through a
+//! fault-injecting [`Transport`], and the outcomes are folded into a
+//! [`FaultReport`]: per-call attempt counts, retry exhaustion, the
+//! `needs_review` rate the paper routes to manual review, and — the
+//! regression surface for the extraction layer — **per-fault-kind
+//! survival**: of the calls whose response was corrupted by a given fault
+//! kind, how many did the extractors still parse?
+//!
+//! The sweep is one generic loop over the task registry: every task whose
+//! [`squ_tasks::TaskId::reviewable`] flag is set (the explanation task has
+//! no `needs_review` notion and is excluded) contributes one cell per
+//! `(model, workload)` pair through [`crate::registry::DynTask::call_facts`].
 //!
 //! The report is deterministic: all randomness hangs off
 //! `(fault_seed, profile, model, task, example)` hashes and aggregation
@@ -17,19 +22,18 @@
 //! pipeline's behavior exactly — `tests/faults.rs` pins that, and CI gates
 //! on the committed `none`-profile baseline.
 
-use crate::pipeline::{
-    dataset_id, run_equiv_client, run_perf_client, run_syntax_client, run_token_client,
-};
+use crate::pipeline::dataset_id;
+use crate::registry::{registry, DynTask};
 use crate::suite::Suite;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use squ_llm::{CallRecord, FaultKind, FaultProfile, ModelId, SimulatedModel, Transport};
 use squ_workload::Workload;
 
 /// Survival statistics for one fault kind.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct FaultKindStats {
     /// Stable fault-kind name (`truncation`, `refusal`, …).
-    pub kind: &'static str,
+    pub kind: String,
     /// Calls whose record saw this fault on at least one attempt.
     pub calls: usize,
     /// Of those, calls the extractors still parsed (`!needs_review`).
@@ -41,7 +45,7 @@ pub struct FaultKindStats {
 }
 
 /// One (model, task, dataset) cell of the report.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct FaultCell {
     /// Model display name.
     pub model: String,
@@ -61,7 +65,7 @@ pub struct FaultCell {
 }
 
 /// The full fault-injection report behind `target/repro/faults.json`.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct FaultReport {
     /// Fault profile name.
     pub profile: String,
@@ -104,8 +108,21 @@ type CallFact = (bool, CallRecord);
 #[derive(Clone, Copy)]
 struct FaultJob {
     model: ModelId,
-    task: &'static str,
-    workload: Option<Workload>,
+    task: &'static dyn DynTask,
+    workload: Workload,
+}
+
+impl FaultJob {
+    /// The dataset label of the report cell. Multi-workload tasks use the
+    /// dataset display name; single-workload tasks keep the historical
+    /// lowercase slug (`performance_pred` has always reported `sdss`).
+    fn dataset_label(&self) -> String {
+        if self.task.id().workloads().len() > 1 {
+            dataset_id(self.workload).name().to_string()
+        } else {
+            self.workload.name().to_lowercase()
+        }
+    }
 }
 
 /// Run the full fault-injection sweep and fold the report.
@@ -122,47 +139,36 @@ pub fn run_fault_report(
     let mut queue: Vec<FaultJob> = Vec::new();
     for model in ModelId::ALL {
         for w in Workload::task_workloads() {
-            for task in ["syntax_error", "miss_token", "query_equiv"] {
+            for task in registry() {
+                if task.id().reviewable() && task.id().workloads().len() > 1 {
+                    queue.push(FaultJob {
+                        model,
+                        task,
+                        workload: w,
+                    });
+                }
+            }
+        }
+        for task in registry() {
+            if task.id().reviewable() && task.id().workloads().len() == 1 {
                 queue.push(FaultJob {
                     model,
                     task,
-                    workload: Some(w),
+                    workload: task.id().workloads()[0],
                 });
             }
         }
-        queue.push(FaultJob {
-            model,
-            task: "performance_pred",
-            workload: None,
-        });
     }
 
     let results: Vec<(FaultJob, Vec<CallFact>)> = crate::par::map(jobs, queue, |job| {
         let client = Transport::new(SimulatedModel::new(job.model), profile, fault_seed);
-        let facts: Vec<CallFact> = match (job.task, job.workload) {
-            ("syntax_error", Some(w)) => {
-                run_syntax_client(&client, dataset_id(w), suite.syntax_for(w))
-                    .into_iter()
-                    .map(|o| (o.needs_review, o.call))
-                    .collect()
-            }
-            ("miss_token", Some(w)) => {
-                run_token_client(&client, dataset_id(w), suite.tokens_for(w))
-                    .into_iter()
-                    .map(|o| (o.needs_review, o.call))
-                    .collect()
-            }
-            ("query_equiv", Some(w)) => {
-                run_equiv_client(&client, dataset_id(w), suite.equiv_for(w))
-                    .into_iter()
-                    .map(|o| (o.needs_review, o.call))
-                    .collect()
-            }
-            _ => run_perf_client(&client, &suite.perf)
-                .into_iter()
-                .map(|o| (o.needs_review, o.call))
-                .collect(),
-        };
+        let facts = suite
+            .set(job.task.id(), job.workload)
+            .map(|set| {
+                job.task
+                    .call_facts(&client, dataset_id(job.workload), set.examples())
+            })
+            .unwrap_or_default();
         (job, facts)
     });
 
@@ -184,11 +190,8 @@ fn fold_report(
     for (job, facts) in results {
         let mut cell = FaultCell {
             model: job.model.name().to_string(),
-            task: job.task.to_string(),
-            dataset: job
-                .workload
-                .map(|w| dataset_id(w).name().to_string())
-                .unwrap_or_else(|| "sdss".to_string()),
+            task: job.task.id().name().to_string(),
+            dataset: job.dataset_label(),
             calls: facts.len(),
             attempts: 0,
             exhausted: 0,
@@ -216,7 +219,7 @@ fn fold_report(
         .iter()
         .enumerate()
         .map(|(i, kind)| FaultKindStats {
-            kind: kind.name(),
+            kind: kind.name().to_string(),
             calls: kind_calls[i],
             survived: kind_survived[i],
             survival_rate: if kind_calls[i] == 0 {

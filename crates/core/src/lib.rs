@@ -33,7 +33,9 @@ pub mod par;
 pub mod pipeline;
 #[cfg(test)]
 mod pipeline_tests;
+pub mod registry;
 pub mod render;
+pub mod store;
 mod suite;
 pub mod timing;
 
@@ -42,7 +44,9 @@ pub use audit::{audit_suite, AuditReport, Violation};
 pub use experiments::{run_all, run_experiment, Artifact, ExperimentId};
 pub use export::{export_suite, Manifest};
 pub use faults::{run_fault_report, FaultCell, FaultKindStats, FaultReport};
-pub use suite::{Suite, PAPER_SEED};
+pub use registry::{registry, DynTask};
+pub use store::{suite_fingerprint, Store};
+pub use suite::{Suite, TaskSet, PAPER_SEED};
 
 // Re-export the layers a downstream user composes with.
 pub use squ_eval as eval;

@@ -6,46 +6,27 @@
 //! extractor cannot parse are flagged `needs_review` and default to the
 //! negative answer (the paper routed these to manual review).
 //!
-//! Model calls go through the [`ModelClient`] transport boundary: the
-//! plain `run_*` entry points wrap the model in a pass-through
-//! [`DirectClient`], while the `run_*_client` variants accept any client —
-//! in particular a fault-injecting [`squ_llm::Transport`] — and each
-//! outcome carries the transport's [`CallRecord`] (attempt count, fault
-//! kinds survived, whether retries were exhausted).
+//! The per-task logic lives in the [`squ_llm::RunTask`] impls; the one
+//! generic driver is [`squ_llm::run_task`]. The `run_*` / `run_*_client`
+//! functions below are compatibility shims over that driver: the plain
+//! entry points wrap the model in a pass-through [`DirectClient`], the
+//! `_client` variants accept any [`ModelClient`] — in particular a
+//! fault-injecting [`squ_llm::Transport`] — and each outcome carries the
+//! transport's [`squ_llm::CallRecord`].
 
-use squ_llm::{
-    extract_binary, extract_label, extract_position, extract_word, prompts, CallRecord,
-    DirectClient, GroundTruth, LanguageModel, ModelClient, Request, Task,
-};
+use squ_llm::{run_task, run_task_direct, DirectClient, LanguageModel, ModelClient};
 use squ_llm::{DatasetId, ModelId};
-use squ_tasks::{EquivExample, ExplainExample, PerfExample, SyntaxExample, TokenExample};
+use squ_tasks::{
+    EquivExample, EquivTask, ExplainExample, ExplainTask, PerfExample, PerfTask, SyntaxExample,
+    SyntaxTask, TokenExample, TokenTask,
+};
 use squ_workload::Workload;
+
+pub use squ_llm::{EquivOutcome, ExplainOutcome, PerfOutcome, SyntaxOutcome, TokenOutcome};
 
 /// Map a workload to its dataset id.
 pub fn dataset_id(w: Workload) -> DatasetId {
-    match w {
-        Workload::Sdss => DatasetId::Sdss,
-        Workload::SqlShare => DatasetId::SqlShare,
-        Workload::JoinOrder => DatasetId::JoinOrder,
-        Workload::Spider => DatasetId::Spider,
-    }
-}
-
-/// Outcome of one syntax-task example.
-#[derive(Debug, Clone)]
-pub struct SyntaxOutcome {
-    /// The labeled example.
-    pub example: SyntaxExample,
-    /// Raw model response.
-    pub response: String,
-    /// Extracted binary answer (false when unparseable).
-    pub said_error: bool,
-    /// Extracted error-type label, if the model named one.
-    pub said_type: Option<String>,
-    /// Response could not be parsed automatically.
-    pub needs_review: bool,
-    /// Transport telemetry for the call behind this outcome.
-    pub call: CallRecord,
+    DatasetId::from(w)
 }
 
 /// Run a model over the syntax dataset (pass-through transport).
@@ -54,7 +35,7 @@ pub fn run_syntax(
     ds: DatasetId,
     examples: &[SyntaxExample],
 ) -> Vec<SyntaxOutcome> {
-    run_syntax_client(&DirectClient(model), ds, examples)
+    run_task_direct(&SyntaxTask, model, ds, examples)
 }
 
 /// Run any transport client over the syntax dataset.
@@ -63,64 +44,7 @@ pub fn run_syntax_client(
     ds: DatasetId,
     examples: &[SyntaxExample],
 ) -> Vec<SyntaxOutcome> {
-    let instruction = prompts::task_prompt(Task::Syntax);
-    examples
-        .iter()
-        .map(|e| {
-            let req = Request {
-                task: Task::Syntax,
-                dataset: ds,
-                example_id: e.query_id.clone(),
-                prompt: prompts::render_prompt(instruction, &e.sql),
-                truth: GroundTruth::Syntax {
-                    has_error: e.has_error,
-                    error_type: e.error_type.map(|t| t.label().to_string()),
-                },
-                props: e.props.clone(),
-            };
-            let (response, call) = client.call(&req);
-            let bin = extract_binary(&response);
-            let said_error = bin.value().unwrap_or(false);
-            let labels: Vec<&str> = squ_tasks::SyntaxErrorType::ALL
-                .iter()
-                .map(|t| t.label())
-                .collect();
-            let said_type = if said_error {
-                extract_label(&response, &labels).value()
-            } else {
-                None
-            };
-            SyntaxOutcome {
-                example: e.clone(),
-                said_error,
-                said_type,
-                needs_review: bin.value().is_none(),
-                response,
-                call,
-            }
-        })
-        .collect()
-}
-
-/// Outcome of one missing-token example.
-#[derive(Debug, Clone)]
-pub struct TokenOutcome {
-    /// The labeled example.
-    pub example: TokenExample,
-    /// Raw model response.
-    pub response: String,
-    /// Extracted binary answer.
-    pub said_missing: bool,
-    /// Extracted token-type label.
-    pub said_type: Option<String>,
-    /// Extracted position.
-    pub said_position: Option<usize>,
-    /// Extracted guess for the missing word itself.
-    pub said_word: Option<String>,
-    /// Response could not be parsed automatically.
-    pub needs_review: bool,
-    /// Transport telemetry for the call behind this outcome.
-    pub call: CallRecord,
+    run_task(&SyntaxTask, client, ds, examples)
 }
 
 /// Run a model over the missing-token dataset (pass-through transport).
@@ -129,7 +53,7 @@ pub fn run_token(
     ds: DatasetId,
     examples: &[TokenExample],
 ) -> Vec<TokenOutcome> {
-    run_token_client(&DirectClient(model), ds, examples)
+    run_task_direct(&TokenTask, model, ds, examples)
 }
 
 /// Run any transport client over the missing-token dataset.
@@ -138,69 +62,7 @@ pub fn run_token_client(
     ds: DatasetId,
     examples: &[TokenExample],
 ) -> Vec<TokenOutcome> {
-    let instruction = prompts::task_prompt(Task::MissToken);
-    examples
-        .iter()
-        .map(|e| {
-            let req = Request {
-                task: Task::MissToken,
-                dataset: ds,
-                example_id: e.query_id.clone(),
-                prompt: prompts::render_prompt(instruction, &e.sql),
-                truth: GroundTruth::Token {
-                    missing: e.has_missing,
-                    token_type: e.token_type.map(|t| t.label().to_string()),
-                    removed: e.removed_text.clone(),
-                    position: e.position,
-                    word_count: e.props.word_count,
-                },
-                props: e.props.clone(),
-            };
-            let (response, call) = client.call(&req);
-            let bin = extract_binary(&response);
-            let said_missing = bin.value().unwrap_or(false);
-            let labels: Vec<&str> = squ_tasks::TokenType::ALL
-                .iter()
-                .map(|t| t.label())
-                .collect();
-            let (said_type, said_position, said_word) = if said_missing {
-                (
-                    extract_label(&response, &labels).value(),
-                    extract_position(&response).value(),
-                    extract_word(&response).value(),
-                )
-            } else {
-                (None, None, None)
-            };
-            TokenOutcome {
-                example: e.clone(),
-                said_missing,
-                said_type,
-                said_position,
-                said_word,
-                needs_review: bin.value().is_none(),
-                response,
-                call,
-            }
-        })
-        .collect()
-}
-
-/// Outcome of one equivalence example.
-#[derive(Debug, Clone)]
-pub struct EquivOutcome {
-    /// The labeled pair.
-    pub example: EquivExample,
-    /// Raw model response.
-    pub response: String,
-    /// Extracted answer.
-    pub said_equivalent: bool,
-    /// Extracted transform label.
-    pub said_type: Option<String>,
-    /// Response could not be parsed automatically.
-    pub needs_review: bool,
-    /// Transport telemetry for the call behind this outcome.
-    pub call: CallRecord,
+    run_task(&TokenTask, client, ds, examples)
 }
 
 /// Run a model over the equivalence dataset (pass-through transport).
@@ -209,7 +71,7 @@ pub fn run_equiv(
     ds: DatasetId,
     examples: &[EquivExample],
 ) -> Vec<EquivOutcome> {
-    run_equiv_client(&DirectClient(model), ds, examples)
+    run_task_direct(&EquivTask, model, ds, examples)
 }
 
 /// Run any transport client over the equivalence dataset.
@@ -218,59 +80,7 @@ pub fn run_equiv_client(
     ds: DatasetId,
     examples: &[EquivExample],
 ) -> Vec<EquivOutcome> {
-    let instruction = prompts::task_prompt(Task::Equiv);
-    let equiv_labels: Vec<&str> = squ_tasks::EquivType::ALL
-        .iter()
-        .map(|t| t.label())
-        .collect();
-    examples
-        .iter()
-        .map(|e| {
-            let payload = format!("Query 1: {}\nQuery 2: {}", e.sql1, e.sql2);
-            let req = Request {
-                task: Task::Equiv,
-                dataset: ds,
-                example_id: e.query_id.clone(),
-                prompt: prompts::render_prompt(instruction, &payload),
-                truth: GroundTruth::Equiv {
-                    equivalent: e.equivalent,
-                    transform: e.transform.clone(),
-                },
-                props: e.props.clone(),
-            };
-            let (response, call) = client.call(&req);
-            let bin = extract_binary(&response);
-            let said_equivalent = bin.value().unwrap_or(false);
-            let said_type = if said_equivalent {
-                extract_label(&response, &equiv_labels).value()
-            } else {
-                None
-            };
-            EquivOutcome {
-                example: e.clone(),
-                said_equivalent,
-                said_type,
-                needs_review: bin.value().is_none(),
-                response,
-                call,
-            }
-        })
-        .collect()
-}
-
-/// Outcome of one performance-prediction example.
-#[derive(Debug, Clone)]
-pub struct PerfOutcome {
-    /// The labeled example.
-    pub example: PerfExample,
-    /// Raw model response.
-    pub response: String,
-    /// Extracted answer.
-    pub said_costly: bool,
-    /// Response could not be parsed automatically.
-    pub needs_review: bool,
-    /// Transport telemetry for the call behind this outcome.
-    pub call: CallRecord,
+    run_task(&EquivTask, client, ds, examples)
 }
 
 /// Run a model over the performance dataset (pass-through transport).
@@ -280,44 +90,7 @@ pub fn run_perf(model: &dyn LanguageModel, examples: &[PerfExample]) -> Vec<Perf
 
 /// Run any transport client over the performance dataset.
 pub fn run_perf_client(client: &dyn ModelClient, examples: &[PerfExample]) -> Vec<PerfOutcome> {
-    let instruction = prompts::task_prompt(Task::Perf);
-    examples
-        .iter()
-        .map(|e| {
-            let req = Request {
-                task: Task::Perf,
-                dataset: DatasetId::Sdss,
-                example_id: e.query_id.clone(),
-                prompt: prompts::render_prompt(instruction, &e.sql),
-                truth: GroundTruth::Perf {
-                    costly: e.is_costly,
-                },
-                props: e.props.clone(),
-            };
-            let (response, call) = client.call(&req);
-            let bin = extract_binary(&response);
-            PerfOutcome {
-                example: e.clone(),
-                said_costly: bin.value().unwrap_or(false),
-                needs_review: bin.value().is_none(),
-                response,
-                call,
-            }
-        })
-        .collect()
-}
-
-/// Outcome of one explanation example.
-#[derive(Debug, Clone)]
-pub struct ExplainOutcome {
-    /// The labeled example.
-    pub example: ExplainExample,
-    /// The model's explanation.
-    pub explanation: String,
-    /// Rubric score.
-    pub rubric: squ_eval::RubricScore,
-    /// Transport telemetry for the call behind this outcome.
-    pub call: CallRecord,
+    run_task(&PerfTask, client, DatasetId::Sdss, examples)
 }
 
 /// Run a model over the explanation dataset (pass-through transport).
@@ -330,32 +103,7 @@ pub fn run_explain_client(
     client: &dyn ModelClient,
     examples: &[ExplainExample],
 ) -> Vec<ExplainOutcome> {
-    let instruction = prompts::task_prompt(Task::Explain);
-    examples
-        .iter()
-        .map(|e| {
-            let req = Request {
-                task: Task::Explain,
-                dataset: DatasetId::Spider,
-                example_id: e.query_id.clone(),
-                prompt: prompts::render_prompt(instruction, &e.sql),
-                truth: GroundTruth::Explain {
-                    reference: e.reference.clone(),
-                    facts: e.facts.clone(),
-                    sql: e.sql.clone(),
-                },
-                props: e.props.clone(),
-            };
-            let (explanation, call) = client.call(&req);
-            let rubric = squ_eval::score_explanation(&explanation, &e.facts);
-            ExplainOutcome {
-                example: e.clone(),
-                explanation,
-                rubric,
-                call,
-            }
-        })
-        .collect()
+    run_task(&ExplainTask, client, DatasetId::Spider, examples)
 }
 
 /// A model registry entry: the five simulated paper models.

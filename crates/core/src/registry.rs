@@ -1,0 +1,166 @@
+//! The type-erased task registry: the one place in the core crate that
+//! enumerates all five task families.
+//!
+//! Every generic driver (suite construction, audit, faults, export, the
+//! artifact store) iterates [`registry`] instead of matching five
+//! hard-coded variants. Adding a task means implementing
+//! [`squ_tasks::Task`] + [`squ_llm::RunTask`] and appending one line here;
+//! no driver changes. The `xtask lint` rule banning five-armed per-task
+//! `match` statements in this crate exempts this module.
+
+use squ_llm::{run_task, CallRecord, DatasetId, ModelClient, RunTask};
+use squ_tasks::{AuditCtx, EquivTask, ExplainTask, PerfTask, SyntaxTask, TaskId, TokenTask};
+use squ_workload::{Dataset, Workload};
+use std::any::Any;
+
+/// A type-erased set of task examples (`Vec<T::Example>` behind `Any`).
+pub type ExampleSet = Box<dyn Any + Send + Sync>;
+
+/// Object-safe view of one task family, erasing the associated `Example`
+/// and `Outcome` types so heterogeneous tasks share one driver loop.
+pub trait DynTask: Send + Sync {
+    /// Which task family this is (all static metadata hangs off the id).
+    fn id(&self) -> TaskId;
+
+    /// Builder version tag, part of the artifact-store fingerprint.
+    fn version(&self) -> u32;
+
+    /// Derive the labeled dataset from a sampled workload.
+    fn build(&self, ds: &Dataset, seed: u64) -> ExampleSet;
+
+    /// Number of examples in a set built by this task.
+    fn set_len(&self, set: &ExampleSet) -> usize;
+
+    /// Run a transport client over the set and report the
+    /// `(needs_review, call record)` facts fault reports fold.
+    fn call_facts(
+        &self,
+        client: &dyn ModelClient,
+        ds: DatasetId,
+        set: &ExampleSet,
+    ) -> Vec<(bool, CallRecord)>;
+
+    /// Statically audit every label in the set onto `ctx`.
+    fn audit(&self, w: Workload, set: &ExampleSet, ctx: &mut AuditCtx);
+
+    /// One compact-JSON line per example, for the benchmark export.
+    fn export_lines(&self, set: &ExampleSet) -> Vec<String>;
+
+    /// Serialize a set for the artifact store (compact JSON array).
+    fn encode_set(&self, set: &ExampleSet) -> String;
+
+    /// Decode a set stored by [`DynTask::encode_set`].
+    fn decode_set(&self, json: &str) -> Result<ExampleSet, String>;
+}
+
+/// Adapter erasing a typed [`RunTask`] into a [`DynTask`].
+struct Erased<T: RunTask + Send + Sync>(T);
+
+impl<T: RunTask + Send + Sync> Erased<T> {
+    fn slice<'a>(&self, set: &'a ExampleSet) -> &'a [T::Example] {
+        set.downcast_ref::<Vec<T::Example>>()
+            .expect("example set downcasts to its own task's example type") // lint:allow: sets are keyed by task in every driver
+            .as_slice()
+    }
+}
+
+impl<T: RunTask + Send + Sync> DynTask for Erased<T> {
+    fn id(&self) -> TaskId {
+        self.0.id()
+    }
+
+    fn version(&self) -> u32 {
+        self.0.version()
+    }
+
+    fn build(&self, ds: &Dataset, seed: u64) -> ExampleSet {
+        Box::new(self.0.build(ds, seed))
+    }
+
+    fn set_len(&self, set: &ExampleSet) -> usize {
+        self.slice(set).len()
+    }
+
+    fn call_facts(
+        &self,
+        client: &dyn ModelClient,
+        ds: DatasetId,
+        set: &ExampleSet,
+    ) -> Vec<(bool, CallRecord)> {
+        run_task(&self.0, client, ds, self.slice(set))
+            .iter()
+            .map(|o| {
+                let (review, call) = T::call_fact(o);
+                (review, call.clone())
+            })
+            .collect()
+    }
+
+    fn audit(&self, w: Workload, set: &ExampleSet, ctx: &mut AuditCtx) {
+        self.0.audit(w, self.slice(set), ctx);
+    }
+
+    fn export_lines(&self, set: &ExampleSet) -> Vec<String> {
+        self.slice(set)
+            .iter()
+            .map(|e| {
+                serde_json::to_string(e).expect("benchmark records serialize") // lint:allow: plain data structs always serialize
+            })
+            .collect()
+    }
+
+    fn encode_set(&self, set: &ExampleSet) -> String {
+        serde_json::to_string(&self.slice(set).to_vec())
+            .expect("benchmark records serialize") // lint:allow: plain data structs always serialize
+    }
+
+    fn decode_set(&self, json: &str) -> Result<ExampleSet, String> {
+        serde_json::from_str::<Vec<T::Example>>(json)
+            .map(|v| Box::new(v) as ExampleSet)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// The five paper tasks, in canonical order (matches [`TaskId::ALL`]).
+pub fn registry() -> [&'static dyn DynTask; 5] {
+    [
+        &Erased(SyntaxTask),
+        &Erased(TokenTask),
+        &Erased(EquivTask),
+        &Erased(PerfTask),
+        &Erased(ExplainTask),
+    ]
+}
+
+/// Look up one task by id.
+pub fn task(id: TaskId) -> &'static dyn DynTask {
+    let idx = TaskId::ALL
+        .iter()
+        .position(|t| *t == id)
+        .expect("TaskId::ALL contains every variant"); // lint:allow: ALL is exhaustive by construction
+    registry()[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_task_id_order() {
+        let ids: Vec<TaskId> = registry().iter().map(|t| t.id()).collect();
+        assert_eq!(ids, TaskId::ALL.to_vec());
+        for id in TaskId::ALL {
+            assert_eq!(task(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn sets_round_trip_through_the_store_encoding() {
+        let t = task(TaskId::Syntax);
+        let examples: Vec<squ_tasks::SyntaxExample> = Vec::new();
+        let set: ExampleSet = Box::new(examples);
+        let json = t.encode_set(&set);
+        let back = t.decode_set(&json).expect("decodes");
+        assert_eq!(t.set_len(&back), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Content-addressed artifact store behind `repro --resume`.
+//!
+//! Every stage output of a reproduction run — sampled workloads, derived
+//! task datasets, paper artifacts, audit/fault reports — can be persisted
+//! under `target/repro/store/` keyed by a **fingerprint** of everything
+//! that determines its bytes: the master seed, the task id, the builder's
+//! version tag, and the fingerprints of its upstream stages. Fingerprints
+//! are computed from those inputs alone (never from wall-clock or file
+//! contents), so a stage's key is known before the stage runs and a warm
+//! run can skip the work entirely.
+//!
+//! Entries are one file each: a JSON header line carrying the fingerprint
+//! and an FNV-1a hash of the payload, then the payload itself (the stage
+//! output serialized with the vendored serde stack). A load verifies both;
+//! any mismatch — truncation, corruption, a stale fingerprint — is treated
+//! as a miss and the stage is rebuilt and re-written. Hits therefore
+//! reproduce the original bytes exactly or not at all.
+//!
+//! The store keeps per-stage hit/miss/byte counters for `--store-stats`.
+
+use crate::registry::{registry, DynTask};
+use serde::{Deserialize, Serialize};
+use squ_workload::Workload;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump to invalidate every stored entry (file-format changes).
+const STORE_FORMAT: u32 = 1;
+/// Version tag of the workload samplers.
+const WORKLOAD_VERSION: u32 = 1;
+/// Version tag of the paper-artifact experiments.
+const ARTIFACT_VERSION: u32 = 1;
+/// Version tag of the dataset auditor.
+const AUDIT_VERSION: u32 = 1;
+/// Version tag of the fault-injection sweep.
+const FAULTS_VERSION: u32 = 1;
+/// Version tag of the ablation studies.
+const ABLATION_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over a byte stream.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash a payload (for corruption detection on load).
+fn payload_hash(payload: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write(payload.as_bytes());
+    h.finish()
+}
+
+/// Fingerprint builder: feeds length-delimited parts into FNV-1a so
+/// `("ab","c")` and `("a","bc")` hash differently.
+pub struct Fingerprint(Fnv);
+
+impl Fingerprint {
+    /// Start a fingerprint for one stage kind.
+    pub fn new(tag: &str) -> Fingerprint {
+        let mut fp = Fingerprint(Fnv::new());
+        fp.0.write(&STORE_FORMAT.to_le_bytes());
+        fp.push(tag);
+        fp
+    }
+
+    /// Mix in one string part.
+    pub fn push(&mut self, part: &str) -> &mut Self {
+        self.0.write(&(part.len() as u64).to_le_bytes());
+        self.0.write(part.as_bytes());
+        self
+    }
+
+    /// Mix in one integer part (seeds, version tags, upstream prints).
+    pub fn num(&mut self, n: u64) -> &mut Self {
+        self.0.write(&n.to_le_bytes());
+        self
+    }
+
+    /// The 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+}
+
+/// Fingerprint of one sampled workload: `(format, seed, workload,
+/// sampler version)`.
+pub fn fp_workload(seed: u64, w: Workload) -> u64 {
+    Fingerprint::new("workload")
+        .num(u64::from(WORKLOAD_VERSION))
+        .push(w.name())
+        .num(seed)
+        .finish()
+}
+
+/// Fingerprint of one derived task dataset: `(format, seed, task id,
+/// builder version, upstream workload fingerprint)`.
+pub fn fp_dataset(seed: u64, task: &dyn DynTask, w: Workload) -> u64 {
+    Fingerprint::new("dataset")
+        .push(task.id().name())
+        .num(u64::from(task.version()))
+        .push(w.name())
+        .num(seed)
+        .num(fp_workload(seed, w))
+        .finish()
+}
+
+/// Fingerprint of the whole suite: folds every workload and dataset
+/// fingerprint, so any builder bump invalidates all downstream stages.
+pub fn suite_fingerprint(seed: u64) -> u64 {
+    let mut fp = Fingerprint::new("suite");
+    fp.num(seed);
+    for w in [
+        Workload::Sdss,
+        Workload::SqlShare,
+        Workload::JoinOrder,
+        Workload::Spider,
+    ] {
+        fp.num(fp_workload(seed, w));
+    }
+    for task in registry() {
+        for w in task.id().workloads() {
+            fp.num(fp_dataset(seed, task, *w));
+        }
+    }
+    fp.finish()
+}
+
+/// Fingerprint of one paper/ablation artifact.
+pub fn fp_artifact(seed: u64, slug: &str, ablation: bool) -> u64 {
+    let (tag, version) = if ablation {
+        ("ablation", ABLATION_VERSION)
+    } else {
+        ("artifact", ARTIFACT_VERSION)
+    };
+    Fingerprint::new(tag)
+        .num(u64::from(version))
+        .push(slug)
+        .num(suite_fingerprint(seed))
+        .finish()
+}
+
+/// Fingerprint of the audit report.
+pub fn fp_audit(seed: u64) -> u64 {
+    Fingerprint::new("audit")
+        .num(u64::from(AUDIT_VERSION))
+        .num(suite_fingerprint(seed))
+        .finish()
+}
+
+/// Fingerprint of one fault-injection report.
+pub fn fp_faults(seed: u64, profile: &str, fault_seed: u64) -> u64 {
+    Fingerprint::new("faults")
+        .num(u64::from(FAULTS_VERSION))
+        .push(profile)
+        .num(fault_seed)
+        .num(suite_fingerprint(seed))
+        .finish()
+}
+
+/// Per-stage hit/miss/byte counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StageStats {
+    /// Entries served from the store.
+    pub hits: usize,
+    /// Entries that had to be (re)built: absent, stale, or corrupt.
+    pub misses: usize,
+    /// Payload bytes read on hits.
+    pub bytes_read: u64,
+    /// Payload bytes written after misses.
+    pub bytes_written: u64,
+}
+
+/// Header line preceding every payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    stage: String,
+    name: String,
+    fingerprint: String,
+    payload_hash: String,
+    bytes: u64,
+}
+
+/// The on-disk artifact store.
+pub struct Store {
+    root: PathBuf,
+    stats: BTreeMap<String, StageStats>,
+}
+
+impl Store {
+    /// Open (or lazily create) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Store {
+        Store {
+            root: root.into(),
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of one entry.
+    fn entry_path(&self, stage: &str, name: &str, fp: u64) -> PathBuf {
+        self.root.join(stage).join(format!("{name}-{fp:016x}.json"))
+    }
+
+    fn stage_stats(&mut self, stage: &str) -> &mut StageStats {
+        self.stats.entry(stage.to_string()).or_default()
+    }
+
+    /// Load one stage payload, verifying fingerprint and payload hash.
+    /// Any mismatch (absent, stale, truncated, corrupted) is a miss.
+    pub fn load(&mut self, stage: &str, name: &str, fp: u64) -> Option<String> {
+        let path = self.entry_path(stage, name, fp);
+        let verified = fs::read_to_string(&path).ok().and_then(|text| {
+            let (header_line, payload) = text.split_once('\n')?;
+            let header: Header = serde_json::from_str(header_line).ok()?;
+            let intact = header.stage == stage
+                && header.name == name
+                && header.fingerprint == format!("{fp:016x}")
+                && header.bytes == payload.len() as u64
+                && header.payload_hash == format!("{:016x}", payload_hash(payload));
+            intact.then(|| payload.to_string())
+        });
+        let s = self.stage_stats(stage);
+        match verified {
+            Some(payload) => {
+                s.hits += 1;
+                s.bytes_read += payload.len() as u64;
+                Some(payload)
+            }
+            None => {
+                s.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Persist one stage payload under its fingerprint.
+    pub fn save(&mut self, stage: &str, name: &str, fp: u64, payload: &str) {
+        let header = Header {
+            stage: stage.to_string(),
+            name: name.to_string(),
+            fingerprint: format!("{fp:016x}"),
+            payload_hash: format!("{:016x}", payload_hash(payload)),
+            bytes: payload.len() as u64,
+        };
+        let header_line =
+            serde_json::to_string(&header).expect("store header serializes"); // lint:allow: plain data structs always serialize
+        let path = self.entry_path(stage, name, fp);
+        let written = path
+            .parent()
+            .map(fs::create_dir_all)
+            .transpose()
+            .and_then(|_| fs::write(&path, format!("{header_line}\n{payload}")));
+        if let Err(e) = written {
+            // The store is a cache: failing to persist must never fail the
+            // run, but the user should know resume won't help next time.
+            eprintln!("warning: could not write store entry {}: {e}", path.display());
+            return;
+        }
+        self.stage_stats(stage).bytes_written += payload.len() as u64;
+    }
+
+    /// Typed wrapper over [`Store::load`] (compact-JSON payloads).
+    pub fn load_value<T: Deserialize>(&mut self, stage: &str, name: &str, fp: u64) -> Option<T> {
+        let payload = self.load(stage, name, fp)?;
+        match serde_json::from_str(&payload) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                // Undecodable despite an intact hash: a format drift bug.
+                // Demote the recorded hit to a miss and rebuild.
+                eprintln!("warning: store entry {stage}/{name} undecodable: {e}");
+                let s = self.stage_stats(stage);
+                s.hits -= 1;
+                s.bytes_read -= payload.len() as u64;
+                s.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Typed wrapper over [`Store::save`].
+    pub fn save_value<T: Serialize>(&mut self, stage: &str, name: &str, fp: u64, value: &T) {
+        let payload =
+            serde_json::to_string(value).expect("store payloads serialize"); // lint:allow: plain data structs always serialize
+        self.save(stage, name, fp, &payload);
+    }
+
+    /// Per-stage counters accumulated by this `Store` instance.
+    pub fn stats(&self) -> &BTreeMap<String, StageStats> {
+        &self.stats
+    }
+
+    /// Total misses across all stages (0 on a fully warm run).
+    pub fn total_misses(&self) -> usize {
+        self.stats.values().map(|s| s.misses).sum()
+    }
+
+    /// Plain-text stats table for `--store-stats`.
+    pub fn render_stats(&self) -> String {
+        let mut out = format!("artifact store ({})\n", self.root.display());
+        out.push_str(&format!(
+            "  {:<10} {:>6} {:>6} {:>12} {:>14}\n",
+            "stage", "hits", "misses", "bytes_read", "bytes_written"
+        ));
+        for (stage, s) in &self.stats {
+            out.push_str(&format!(
+                "  {:<10} {:>6} {:>6} {:>12} {:>14}\n",
+                stage, s.hits, s.misses, s.bytes_read, s.bytes_written
+            ));
+        }
+        let (hits, misses): (usize, usize) = self
+            .stats
+            .values()
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+        out.push_str(&format!("  total: {hits} hits, {misses} misses\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("squ-store-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        Store::open(dir)
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        assert_eq!(fp_workload(7, Workload::Sdss), fp_workload(7, Workload::Sdss));
+        assert_ne!(fp_workload(7, Workload::Sdss), fp_workload(8, Workload::Sdss));
+        assert_ne!(
+            fp_workload(7, Workload::Sdss),
+            fp_workload(7, Workload::Spider)
+        );
+        assert_ne!(suite_fingerprint(7), suite_fingerprint(8));
+        assert_ne!(fp_artifact(7, "table3", false), fp_artifact(7, "table4", false));
+        assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "heavy", 0));
+        assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "none", 1));
+    }
+
+    #[test]
+    fn save_then_load_hits() {
+        let mut store = temp_store("roundtrip");
+        assert_eq!(store.load("artifact", "t", 42), None);
+        store.save("artifact", "t", 42, "payload bytes");
+        assert_eq!(store.load("artifact", "t", 42).as_deref(), Some("payload bytes"));
+        let s = store.stats()["artifact"];
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.bytes_written, 13);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_miss() {
+        let mut store = temp_store("corrupt");
+        store.save("dataset", "syntax_sdss", 7, r#"[{"k":1}]"#);
+        let path = store.entry_path("dataset", "syntax_sdss", 7);
+        let mangled = fs::read_to_string(&path).unwrap().replace("\"k\":1", "\"k\":2");
+        fs::write(&path, mangled).unwrap();
+        assert_eq!(store.load("dataset", "syntax_sdss", 7), None);
+        assert_eq!(store.stats()["dataset"].misses, 1);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_a_miss() {
+        let mut store = temp_store("stale");
+        store.save("audit", "audit", 1, "{}");
+        assert_eq!(store.load("audit", "audit", 2), None);
+        assert!(store.total_misses() >= 1);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn stats_render_mentions_every_stage() {
+        let mut store = temp_store("render");
+        store.save("workload", "sdss", 3, "x");
+        store.load("workload", "sdss", 3);
+        let table = store.render_stats();
+        assert!(table.contains("workload"), "{table}");
+        assert!(table.contains("total: 1 hits, 0 misses"), "{table}");
+        fs::remove_dir_all(store.root()).ok();
+    }
+}

@@ -1,18 +1,56 @@
 //! The benchmark suite: all sampled workloads and derived task datasets,
 //! built deterministically from one master seed.
+//!
+//! Task datasets are held as type-erased [`TaskSet`]s in canonical
+//! registry order — one per `(task, workload)` pair from
+//! [`crate::registry::registry`] — so every driver (audit, faults,
+//! export) iterates [`Suite::sets`] instead of five per-task fields.
 
+use crate::registry::{registry, DynTask, ExampleSet};
+use crate::store::{fp_dataset, fp_workload, Store};
 use crate::{par, timing};
-use squ_tasks::{
-    build_equiv_dataset, build_explain_dataset, build_perf_dataset, build_syntax_dataset,
-    build_token_dataset, EquivExample, ExplainExample, PerfExample, SyntaxExample, TokenExample,
-};
+use squ_tasks::{EquivExample, ExplainExample, PerfExample, SyntaxExample, TaskId, TokenExample};
 use squ_workload::{build, Dataset, Workload};
 
 /// The paper's master seed (the year of the SDSS log slice).
 pub const PAPER_SEED: u64 = 2023;
 
+/// One derived task dataset: a task, the workload it came from, and the
+/// type-erased examples (`Vec<Example>` behind `Any`).
+pub struct TaskSet {
+    task: &'static dyn DynTask,
+    workload: Workload,
+    examples: ExampleSet,
+}
+
+impl TaskSet {
+    /// The owning task.
+    pub fn task(&self) -> &'static dyn DynTask {
+        self.task
+    }
+
+    /// The workload the examples derive from.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The type-erased example set (downcast through the task).
+    pub fn examples(&self) -> &ExampleSet {
+        &self.examples
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.task.set_len(&self.examples)
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// All datasets of the benchmark, fully materialized.
-#[derive(Debug, Clone)]
 pub struct Suite {
     /// Master seed.
     pub seed: u64,
@@ -24,35 +62,41 @@ pub struct Suite {
     pub joborder: Dataset,
     /// Spider sampled workload (200 queries, with descriptions).
     pub spider: Dataset,
-    /// Syntax-error task data per task workload.
-    pub syntax: Vec<(Workload, Vec<SyntaxExample>)>,
-    /// Missing-token task data per task workload.
-    pub tokens: Vec<(Workload, Vec<TokenExample>)>,
-    /// Equivalence task data per task workload.
-    pub equiv: Vec<(Workload, Vec<EquivExample>)>,
-    /// Performance task data (SDSS only).
-    pub perf: Vec<PerfExample>,
-    /// Explanation task data (Spider only).
-    pub explain: Vec<ExplainExample>,
+    /// Derived task datasets, in canonical registry order.
+    sets: Vec<TaskSet>,
 }
 
-/// One derived-dataset build job; the enum lets heterogeneous builds
-/// share a single deterministic worker pool.
-enum DerivedJob<'a> {
-    Syntax(&'a Dataset),
-    Tokens(&'a Dataset),
-    Equiv(&'a Dataset),
-    Perf(&'a Dataset),
-    Explain(&'a Dataset),
+/// One derived-dataset build job: the canonical slot it fills, the task,
+/// and the source workload.
+struct BuildJob {
+    slot: usize,
+    task: &'static dyn DynTask,
+    workload: Workload,
 }
 
-/// Result of a [`DerivedJob`]; variants mirror the job list one-to-one.
-enum DerivedOut {
-    Syntax(Workload, Vec<SyntaxExample>),
-    Tokens(Workload, Vec<TokenExample>),
-    Equiv(Workload, Vec<EquivExample>),
-    Perf(Vec<PerfExample>),
-    Explain(Vec<ExplainExample>),
+/// Canonical `(task, workload)` job list, in registry order.
+fn canonical_jobs() -> Vec<BuildJob> {
+    let mut jobs = Vec::new();
+    for task in registry() {
+        for w in task.id().workloads() {
+            jobs.push(BuildJob {
+                slot: jobs.len(),
+                task,
+                workload: *w,
+            });
+        }
+    }
+    jobs
+}
+
+/// Timing-span name for one build job: multi-workload tasks carry the
+/// workload suffix, single-workload tasks keep the bare task name.
+fn span_name(task: &dyn DynTask, w: Workload) -> String {
+    if task.id().workloads().len() > 1 {
+        format!("suite.task.{}.{}", task.id().short(), w.name())
+    } else {
+        format!("suite.task.{}", task.id().short())
+    }
 }
 
 impl Suite {
@@ -69,76 +113,119 @@ impl Suite {
     /// Build the full suite on up to `jobs` worker threads (`1` =
     /// sequential). Determinism is unconditional: every dataset is built
     /// from its own seeded generator and results are reassembled in
-    /// canonical declaration order, so the suite content does not depend
-    /// on `jobs` or thread scheduling.
+    /// canonical registry order, so the suite content does not depend on
+    /// `jobs` or thread scheduling.
     pub fn new_with_jobs(seed: u64, jobs: usize) -> Suite {
+        Suite::assemble(seed, jobs, None)
+    }
+
+    /// Build the suite through an artifact [`Store`]: workloads and task
+    /// datasets whose fingerprints are already stored load instead of
+    /// building; misses build exactly as [`Suite::new_with_jobs`] would
+    /// and are written back. Loaded stages are byte-identical to built
+    /// ones (the store verifies payload hashes and the serde stack
+    /// round-trips every example type exactly).
+    pub fn load_or_build(seed: u64, jobs: usize, store: &mut Store) -> Suite {
+        Suite::assemble(seed, jobs, Some(store))
+    }
+
+    fn assemble(seed: u64, jobs: usize, mut store: Option<&mut Store>) -> Suite {
         let start = std::time::Instant::now();
 
         // phase 1: the four sampled workloads, mutually independent
-        let workloads = par::map(
-            jobs,
-            vec![
-                Workload::Sdss,
-                Workload::SqlShare,
-                Workload::JoinOrder,
-                Workload::Spider,
-            ],
-            |w| timing::time(&format!("suite.workload.{}", w.name()), || build(w, seed)),
-        );
-        let [sdss, sqlshare, joborder, spider]: [Dataset; 4] =
-            workloads.try_into().expect("four workloads in, four out"); // lint:allow: map preserves length
-
-        // phase 2: derived task datasets. Equivalence jobs lead the queue
-        // because differential verification dominates the wall-clock, so
-        // they get threads first; output order is fixed by the job list.
-        let task_sets = [&sdss, &sqlshare, &joborder];
-        let mut jobs_list: Vec<DerivedJob<'_>> = Vec::new();
-        jobs_list.extend(task_sets.iter().map(|ds| DerivedJob::Equiv(ds)));
-        jobs_list.extend(task_sets.iter().map(|ds| DerivedJob::Syntax(ds)));
-        jobs_list.extend(task_sets.iter().map(|ds| DerivedJob::Tokens(ds)));
-        jobs_list.push(DerivedJob::Perf(&sdss));
-        jobs_list.push(DerivedJob::Explain(&spider));
-
-        let outputs = par::map(jobs, jobs_list, |job| match job {
-            DerivedJob::Syntax(ds) => {
-                timing::time(&format!("suite.task.syntax.{}", ds.workload.name()), || {
-                    DerivedOut::Syntax(ds.workload, build_syntax_dataset(ds, seed))
-                })
-            }
-            DerivedJob::Tokens(ds) => {
-                timing::time(&format!("suite.task.tokens.{}", ds.workload.name()), || {
-                    DerivedOut::Tokens(ds.workload, build_token_dataset(ds, seed))
-                })
-            }
-            DerivedJob::Equiv(ds) => {
-                timing::time(&format!("suite.task.equiv.{}", ds.workload.name()), || {
-                    DerivedOut::Equiv(ds.workload, build_equiv_dataset(ds, seed))
-                })
-            }
-            DerivedJob::Perf(ds) => timing::time("suite.task.perf", || {
-                DerivedOut::Perf(build_perf_dataset(ds))
-            }),
-            DerivedJob::Explain(ds) => timing::time("suite.task.explain", || {
-                DerivedOut::Explain(build_explain_dataset(ds))
-            }),
+        let workload_ids = [
+            Workload::Sdss,
+            Workload::SqlShare,
+            Workload::JoinOrder,
+            Workload::Spider,
+        ];
+        let mut loaded: Vec<Option<Dataset>> = workload_ids
+            .iter()
+            .map(|w| {
+                store
+                    .as_mut()?
+                    .load_value::<Dataset>("workload", &slug(w.name()), fp_workload(seed, *w))
+            })
+            .collect();
+        let missing: Vec<Workload> = workload_ids
+            .iter()
+            .copied()
+            .filter(|w| loaded[workload_slot(*w)].is_none())
+            .collect();
+        let built = par::map(jobs, missing, |w| {
+            (
+                w,
+                timing::time(&format!("suite.workload.{}", w.name()), || build(w, seed)),
+            )
         });
-
-        // reassemble in canonical field order (syntax, tokens, equiv each
-        // in task-workload order) regardless of the queue order above
-        let mut syntax = Vec::new();
-        let mut tokens = Vec::new();
-        let mut equiv = Vec::new();
-        let mut perf = Vec::new();
-        let mut explain = Vec::new();
-        for out in outputs {
-            match out {
-                DerivedOut::Syntax(w, v) => syntax.push((w, v)),
-                DerivedOut::Tokens(w, v) => tokens.push((w, v)),
-                DerivedOut::Equiv(w, v) => equiv.push((w, v)),
-                DerivedOut::Perf(v) => perf = v,
-                DerivedOut::Explain(v) => explain = v,
+        for (w, ds) in built {
+            if let Some(store) = store.as_mut() {
+                store.save_value("workload", &slug(w.name()), fp_workload(seed, w), &ds);
             }
+            loaded[workload_slot(w)] = Some(ds);
         }
+        let [sdss, sqlshare, joborder, spider]: [Dataset; 4] = loaded
+            .into_iter()
+            .map(|d| d.expect("all four workloads materialized")) // lint:allow: every slot is filled above
+            .collect::<Vec<_>>()
+            .try_into()
+            .expect("four workloads in, four out"); // lint:allow: fixed-size list
+        let datasets = [&sdss, &sqlshare, &joborder, &spider];
+        let dataset_of =
+            |w: Workload| -> &Dataset { datasets[workload_slot(w)] };
+
+        // phase 2: derived task datasets. Store hits fill their canonical
+        // slot immediately; misses go to the worker pool with equivalence
+        // jobs leading the queue (differential verification dominates the
+        // wall-clock, so they get threads first). Output order is fixed by
+        // the canonical slot, not the queue.
+        let mut jobs_list = canonical_jobs();
+        let mut slots: Vec<Option<TaskSet>> = jobs_list.iter().map(|_| None).collect();
+        if let Some(store) = store.as_mut() {
+            jobs_list.retain(|job| {
+                let fp = fp_dataset(seed, job.task, job.workload);
+                let hit = store
+                    .load("dataset", &set_name(job.task, job.workload), fp)
+                    .and_then(|payload| job.task.decode_set(&payload).ok());
+                match hit {
+                    Some(examples) => {
+                        slots[job.slot] = Some(TaskSet {
+                            task: job.task,
+                            workload: job.workload,
+                            examples,
+                        });
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
+        jobs_list.sort_by_key(|job| job.task.id().schedule_class());
+        let outputs = par::map(jobs, jobs_list, |job| {
+            let examples = timing::time(&span_name(job.task, job.workload), || {
+                job.task.build(dataset_of(job.workload), seed)
+            });
+            (job, examples)
+        });
+        for (job, examples) in outputs {
+            if let Some(store) = store.as_mut() {
+                store.save(
+                    "dataset",
+                    &set_name(job.task, job.workload),
+                    fp_dataset(seed, job.task, job.workload),
+                    &job.task.encode_set(&examples),
+                );
+            }
+            slots[job.slot] = Some(TaskSet {
+                task: job.task,
+                workload: job.workload,
+                examples,
+            });
+        }
+        let sets: Vec<TaskSet> = slots
+            .into_iter()
+            .map(|s| s.expect("every canonical slot is filled")) // lint:allow: hits and misses cover all slots
+            .collect();
         timing::record("suite.total", start.elapsed());
 
         Suite {
@@ -147,11 +234,7 @@ impl Suite {
             sqlshare,
             joborder,
             spider,
-            syntax,
-            tokens,
-            equiv,
-            perf,
-            explain,
+            sets,
         }
     }
 
@@ -165,30 +248,70 @@ impl Suite {
         }
     }
 
+    /// All derived task datasets, in canonical registry order.
+    pub fn sets(&self) -> impl Iterator<Item = &TaskSet> {
+        self.sets.iter()
+    }
+
+    /// The set of one `(task, workload)` pair, if the task derives from
+    /// that workload.
+    pub fn set(&self, id: TaskId, w: Workload) -> Option<&TaskSet> {
+        self.sets
+            .iter()
+            .find(|s| s.task.id() == id && s.workload == w)
+    }
+
+    /// Typed examples of one `(task, workload)` pair (empty when the task
+    /// does not derive from `w`).
+    fn typed<E: 'static>(&self, id: TaskId, w: Workload) -> &[E] {
+        self.set(id, w)
+            .and_then(|s| s.examples.downcast_ref::<Vec<E>>())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
     /// Syntax task examples for a workload.
     pub fn syntax_for(&self, w: Workload) -> &[SyntaxExample] {
-        self.syntax
-            .iter()
-            .find(|(wk, _)| *wk == w)
-            .map(|(_, v)| v.as_slice())
-            .unwrap_or(&[])
+        self.typed(TaskId::Syntax, w)
     }
 
     /// Token task examples for a workload.
     pub fn tokens_for(&self, w: Workload) -> &[TokenExample] {
-        self.tokens
-            .iter()
-            .find(|(wk, _)| *wk == w)
-            .map(|(_, v)| v.as_slice())
-            .unwrap_or(&[])
+        self.typed(TaskId::MissToken, w)
     }
 
     /// Equivalence task examples for a workload.
     pub fn equiv_for(&self, w: Workload) -> &[EquivExample] {
-        self.equiv
-            .iter()
-            .find(|(wk, _)| *wk == w)
-            .map(|(_, v)| v.as_slice())
-            .unwrap_or(&[])
+        self.typed(TaskId::Equiv, w)
     }
+
+    /// Performance task examples (SDSS only).
+    pub fn perf(&self) -> &[PerfExample] {
+        self.typed(TaskId::Perf, Workload::Sdss)
+    }
+
+    /// Explanation task examples (Spider only).
+    pub fn explain(&self) -> &[ExplainExample] {
+        self.typed(TaskId::Explain, Workload::Spider)
+    }
+}
+
+/// Canonical slot of a workload in the fixed four-element build list.
+fn workload_slot(w: Workload) -> usize {
+    match w {
+        Workload::Sdss => 0,
+        Workload::SqlShare => 1,
+        Workload::JoinOrder => 2,
+        Workload::Spider => 3,
+    }
+}
+
+/// Store entry name of one task set, e.g. `syntax_sdss`.
+fn set_name(task: &dyn DynTask, w: Workload) -> String {
+    format!("{}_{}", task.id().short(), slug(w.name()))
+}
+
+/// Lowercased, dash-free workload slug (`Join-Order` → `joinorder`).
+fn slug(name: &str) -> String {
+    name.to_lowercase().replace('-', "")
 }

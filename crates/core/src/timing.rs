@@ -124,7 +124,7 @@ mod tests {
         let text = report(&spans);
         assert!(text.contains("suite.total") && text.contains("1234.5 ms"));
         let json = to_json(&spans, 8, Duration::from_millis(1500));
-        let doc = serde_json::from_str(&json).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(doc["jobs"], 8u64);
         assert_eq!(doc["spans"][0]["name"], "suite.total");
         assert!(doc["total_ms"].as_f64().unwrap() >= 1500.0);

@@ -78,9 +78,44 @@ fn ratio(num: usize, den: usize) -> f64 {
 }
 
 /// Multi-class confusion matrix over string labels.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct Confusion {
     counts: BTreeMap<(String, String), usize>,
+}
+
+// Hand-written: the map serializer renders each `(truth, predicted)` key as
+// its compact-JSON string (`["t","p"]`), so decoding parses the key back.
+impl Deserialize for Confusion {
+    fn from_json_value(v: &serde::Json) -> Result<Self, serde::DeError> {
+        let fields = match v {
+            serde::Json::Object(fields) => fields,
+            other => {
+                return Err(serde::DeError(format!(
+                    "expected object for Confusion, got {other}"
+                )))
+            }
+        };
+        let counts_json = fields
+            .iter()
+            .find(|(k, _)| k == "counts")
+            .map(|(_, val)| val)
+            .ok_or_else(|| serde::DeError("Confusion missing field `counts`".to_string()))?;
+        let entries = match counts_json {
+            serde::Json::Object(entries) => entries,
+            other => {
+                return Err(serde::DeError(format!(
+                    "expected object for Confusion.counts, got {other}"
+                )))
+            }
+        };
+        let mut counts = BTreeMap::new();
+        for (key, val) in entries {
+            let pair: (String, String) = serde_json::from_str(key)
+                .map_err(|e| serde::DeError(format!("bad Confusion key {key:?}: {e}")))?;
+            counts.insert(pair, usize::from_json_value(val)?);
+        }
+        Ok(Confusion { counts })
+    }
 }
 
 impl Confusion {

@@ -18,11 +18,16 @@ mod extract;
 mod model;
 pub mod profiles;
 pub mod prompts;
+mod run;
 mod simulate;
 mod transport;
 
 pub use extract::{extract_binary, extract_label, extract_position, extract_word, Extracted};
 pub use model::{GroundTruth, LanguageModel, Request, Task};
+pub use run::{
+    run_task, run_task_direct, EquivOutcome, ExplainOutcome, PerfOutcome, RunTask, SyntaxOutcome,
+    TokenOutcome,
+};
 pub use profiles::{DatasetId, ModelId};
 pub use simulate::{SimConfig, SimulatedModel};
 pub use transport::{

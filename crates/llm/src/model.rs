@@ -10,83 +10,12 @@
 //! would simply ignore [`Request::truth`].
 
 use crate::profiles::DatasetId;
-use serde::{Deserialize, Serialize};
-use squ_tasks::KeyFacts;
 use squ_workload::QueryProps;
 
-/// The composite task families, one per paper prompt (§3.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Task {
-    /// `syntax_error` + `syntax_error_type` (one composite prompt).
-    Syntax,
-    /// `miss_token` + `miss_token_type` + missing word + `miss_token_loc`.
-    MissToken,
-    /// `query_equiv` + `query_equiv_type`.
-    Equiv,
-    /// `performance_pred`.
-    Perf,
-    /// `query_exp`.
-    Explain,
-}
-
-impl Task {
-    /// Paper-style identifier.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Task::Syntax => "syntax_error",
-            Task::MissToken => "miss_token",
-            Task::Equiv => "query_equiv",
-            Task::Perf => "performance_pred",
-            Task::Explain => "query_exp",
-        }
-    }
-}
-
-/// Ground truth attached to a request (consumed only by simulators).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub enum GroundTruth {
-    /// Syntax-error task truth.
-    Syntax {
-        /// Does the query contain an error?
-        has_error: bool,
-        /// Error-type label if any.
-        error_type: Option<String>,
-    },
-    /// Missing-token task truth.
-    Token {
-        /// Is a token missing?
-        missing: bool,
-        /// Token-type label if any.
-        token_type: Option<String>,
-        /// The removed text.
-        removed: Option<String>,
-        /// Word position of the removal.
-        position: Option<usize>,
-        /// Word count of the shown query.
-        word_count: usize,
-    },
-    /// Query-equivalence task truth.
-    Equiv {
-        /// Are the two queries equivalent?
-        equivalent: bool,
-        /// Transformation label.
-        transform: String,
-    },
-    /// Performance-prediction task truth.
-    Perf {
-        /// Is the query costly (> 200 ms)?
-        costly: bool,
-    },
-    /// Explanation task truth.
-    Explain {
-        /// Reference description.
-        reference: String,
-        /// Rubric key facts.
-        facts: KeyFacts,
-        /// The SQL being explained.
-        sql: String,
-    },
-}
+/// The task-family id and ground-truth types live with the task builders
+/// in `squ-tasks` (the [`squ_tasks::Task`] trait owns them); this module
+/// re-exports them under the names the model layer has always used.
+pub use squ_tasks::{GroundTruth, TaskId as Task};
 
 /// One model call.
 #[derive(Debug, Clone)]

@@ -1,0 +1,321 @@
+//! The generic task runner: one driver for all five task families.
+//!
+//! [`RunTask`] extends [`squ_tasks::Task`] with the model-facing half of
+//! the contract — prompt rendering, free-text extraction, and scoring —
+//! which has to live here because the extractors and prompts do. The
+//! [`run_task`] driver is the single prompt → transport → response →
+//! extraction loop the whole benchmark funnels through; per-task behavior
+//! varies only through the trait implementations below.
+//!
+//! Everything downstream of the response string is *measured* — the same
+//! extraction code would process a real API's output. Responses the
+//! extractor cannot parse are flagged `needs_review` and default to the
+//! negative answer (the paper routed these to manual review).
+
+use crate::extract::{extract_binary, extract_label, extract_position, extract_word};
+use crate::model::{LanguageModel, Request};
+use crate::profiles::DatasetId;
+use crate::prompts;
+use crate::transport::{CallRecord, DirectClient, ModelClient};
+use squ_tasks::{
+    EquivExample, EquivTask, ExplainExample, ExplainTask, PerfExample, PerfTask, SyntaxExample,
+    SyntaxTask, TokenExample, TokenTask,
+};
+use squ_workload::Workload;
+
+/// Map a workload to its dataset id.
+impl From<Workload> for DatasetId {
+    fn from(w: Workload) -> DatasetId {
+        match w {
+            Workload::Sdss => DatasetId::Sdss,
+            Workload::SqlShare => DatasetId::SqlShare,
+            Workload::JoinOrder => DatasetId::JoinOrder,
+            Workload::Spider => DatasetId::Spider,
+        }
+    }
+}
+
+/// The model-facing extension of [`squ_tasks::Task`]: how a task's
+/// examples become prompts and how verbose responses become outcomes.
+pub trait RunTask: squ_tasks::Task {
+    /// What one evaluated example produces.
+    type Outcome: std::fmt::Debug + Clone + Send + Sync + 'static;
+
+    /// Render the full prompt for one example: the task's published
+    /// instruction followed by the example payload.
+    fn render_prompt(&self, e: &Self::Example) -> String {
+        prompts::render_prompt(prompts::task_prompt(self.id()), &self.payload(e))
+    }
+
+    /// Turn a raw response (and its transport record) into an outcome by
+    /// running the extraction layer.
+    fn extract(&self, e: &Self::Example, response: String, call: CallRecord) -> Self::Outcome;
+
+    /// Task-level per-example score, for tasks that define one (the
+    /// explanation rubric). Classification tasks are scored downstream by
+    /// `squ-eval` metrics over whole outcome sets.
+    fn score(&self, _e: &Self::Example, _response: &str) -> Option<squ_eval::RubricScore> {
+        None
+    }
+
+    /// `(needs_review, call record)` — the per-call facts fault-injection
+    /// reports fold. Tasks without a review bucket report `false`.
+    fn call_fact(o: &Self::Outcome) -> (bool, &CallRecord);
+}
+
+/// Run any transport client over one task dataset (the generic driver).
+pub fn run_task<T: RunTask>(
+    task: &T,
+    client: &dyn ModelClient,
+    ds: DatasetId,
+    examples: &[T::Example],
+) -> Vec<T::Outcome> {
+    examples
+        .iter()
+        .map(|e| {
+            let req = Request {
+                task: task.id(),
+                dataset: ds,
+                example_id: task.example_id(e).to_string(),
+                prompt: task.render_prompt(e),
+                truth: task.ground_truth(e),
+                props: task.props(e).clone(),
+            };
+            let (response, call) = client.call(&req);
+            task.extract(e, response, call)
+        })
+        .collect()
+}
+
+/// Run a model over one task dataset through a pass-through transport.
+pub fn run_task_direct<T: RunTask>(
+    task: &T,
+    model: &dyn LanguageModel,
+    ds: DatasetId,
+    examples: &[T::Example],
+) -> Vec<T::Outcome> {
+    run_task(task, &DirectClient(model), ds, examples)
+}
+
+/// Outcome of one syntax-task example.
+#[derive(Debug, Clone)]
+pub struct SyntaxOutcome {
+    /// The labeled example.
+    pub example: SyntaxExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted binary answer (false when unparseable).
+    pub said_error: bool,
+    /// Extracted error-type label, if the model named one.
+    pub said_type: Option<String>,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
+}
+
+impl RunTask for SyntaxTask {
+    type Outcome = SyntaxOutcome;
+
+    fn extract(&self, e: &SyntaxExample, response: String, call: CallRecord) -> SyntaxOutcome {
+        let bin = extract_binary(&response);
+        let said_error = bin.value().unwrap_or(false);
+        let labels: Vec<&str> = squ_tasks::SyntaxErrorType::ALL
+            .iter()
+            .map(|t| t.label())
+            .collect();
+        let said_type = if said_error {
+            extract_label(&response, &labels).value()
+        } else {
+            None
+        };
+        SyntaxOutcome {
+            example: e.clone(),
+            said_error,
+            said_type,
+            needs_review: bin.value().is_none(),
+            response,
+            call,
+        }
+    }
+
+    fn call_fact(o: &SyntaxOutcome) -> (bool, &CallRecord) {
+        (o.needs_review, &o.call)
+    }
+}
+
+/// Outcome of one missing-token example.
+#[derive(Debug, Clone)]
+pub struct TokenOutcome {
+    /// The labeled example.
+    pub example: TokenExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted binary answer.
+    pub said_missing: bool,
+    /// Extracted token-type label.
+    pub said_type: Option<String>,
+    /// Extracted position.
+    pub said_position: Option<usize>,
+    /// Extracted guess for the missing word itself.
+    pub said_word: Option<String>,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
+}
+
+impl RunTask for TokenTask {
+    type Outcome = TokenOutcome;
+
+    fn extract(&self, e: &TokenExample, response: String, call: CallRecord) -> TokenOutcome {
+        let bin = extract_binary(&response);
+        let said_missing = bin.value().unwrap_or(false);
+        let labels: Vec<&str> = squ_tasks::TokenType::ALL
+            .iter()
+            .map(|t| t.label())
+            .collect();
+        let (said_type, said_position, said_word) = if said_missing {
+            (
+                extract_label(&response, &labels).value(),
+                extract_position(&response).value(),
+                extract_word(&response).value(),
+            )
+        } else {
+            (None, None, None)
+        };
+        TokenOutcome {
+            example: e.clone(),
+            said_missing,
+            said_type,
+            said_position,
+            said_word,
+            needs_review: bin.value().is_none(),
+            response,
+            call,
+        }
+    }
+
+    fn call_fact(o: &TokenOutcome) -> (bool, &CallRecord) {
+        (o.needs_review, &o.call)
+    }
+}
+
+/// Outcome of one equivalence example.
+#[derive(Debug, Clone)]
+pub struct EquivOutcome {
+    /// The labeled pair.
+    pub example: EquivExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted answer.
+    pub said_equivalent: bool,
+    /// Extracted transform label.
+    pub said_type: Option<String>,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
+}
+
+impl RunTask for EquivTask {
+    type Outcome = EquivOutcome;
+
+    fn extract(&self, e: &EquivExample, response: String, call: CallRecord) -> EquivOutcome {
+        let bin = extract_binary(&response);
+        let said_equivalent = bin.value().unwrap_or(false);
+        let equiv_labels: Vec<&str> = squ_tasks::EquivType::ALL
+            .iter()
+            .map(|t| t.label())
+            .collect();
+        let said_type = if said_equivalent {
+            extract_label(&response, &equiv_labels).value()
+        } else {
+            None
+        };
+        EquivOutcome {
+            example: e.clone(),
+            said_equivalent,
+            said_type,
+            needs_review: bin.value().is_none(),
+            response,
+            call,
+        }
+    }
+
+    fn call_fact(o: &EquivOutcome) -> (bool, &CallRecord) {
+        (o.needs_review, &o.call)
+    }
+}
+
+/// Outcome of one performance-prediction example.
+#[derive(Debug, Clone)]
+pub struct PerfOutcome {
+    /// The labeled example.
+    pub example: PerfExample,
+    /// Raw model response.
+    pub response: String,
+    /// Extracted answer.
+    pub said_costly: bool,
+    /// Response could not be parsed automatically.
+    pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
+}
+
+impl RunTask for PerfTask {
+    type Outcome = PerfOutcome;
+
+    fn extract(&self, e: &PerfExample, response: String, call: CallRecord) -> PerfOutcome {
+        let bin = extract_binary(&response);
+        PerfOutcome {
+            example: e.clone(),
+            said_costly: bin.value().unwrap_or(false),
+            needs_review: bin.value().is_none(),
+            response,
+            call,
+        }
+    }
+
+    fn call_fact(o: &PerfOutcome) -> (bool, &CallRecord) {
+        (o.needs_review, &o.call)
+    }
+}
+
+/// Outcome of one explanation example.
+#[derive(Debug, Clone)]
+pub struct ExplainOutcome {
+    /// The labeled example.
+    pub example: ExplainExample,
+    /// The model's explanation.
+    pub explanation: String,
+    /// Rubric score.
+    pub rubric: squ_eval::RubricScore,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
+}
+
+impl RunTask for ExplainTask {
+    type Outcome = ExplainOutcome;
+
+    fn extract(&self, e: &ExplainExample, response: String, call: CallRecord) -> ExplainOutcome {
+        let rubric = self
+            .score(e, &response)
+            .unwrap_or_else(|| squ_eval::score_explanation(&response, &e.facts));
+        ExplainOutcome {
+            example: e.clone(),
+            explanation: response,
+            rubric,
+            call,
+        }
+    }
+
+    fn score(&self, e: &ExplainExample, response: &str) -> Option<squ_eval::RubricScore> {
+        Some(squ_eval::score_explanation(response, &e.facts))
+    }
+
+    fn call_fact(o: &ExplainOutcome) -> (bool, &CallRecord) {
+        // Explanations are rubric-scored free text: no review bucket.
+        (false, &o.call)
+    }
+}

@@ -13,11 +13,13 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod equiv;
 pub mod explain;
 pub mod normalize;
 pub mod perf;
 pub mod syntax;
+pub mod task;
 pub mod token;
 
 pub use equiv::{
@@ -29,3 +31,8 @@ pub use normalize::{normal_form_sql, normal_forms_equal, normalize};
 pub use perf::{build_perf_dataset, PerfExample, COST_THRESHOLD_MS};
 pub use syntax::{build_syntax_dataset, inject_error, SyntaxErrorType, SyntaxExample};
 pub use token::{build_token_dataset, delete_token, TokenExample, TokenType};
+
+pub use audit::{AuditCtx, Violation};
+pub use task::{
+    EquivTask, ExplainTask, GroundTruth, PerfTask, SyntaxTask, Task, TaskId, TokenTask,
+};

@@ -1,0 +1,596 @@
+//! The [`Task`] abstraction: one trait implemented by each of the paper's
+//! five task families, so every downstream layer (suite construction,
+//! pipeline, audit, faults, export) can iterate a registry of trait
+//! objects instead of matching five hard-coded variants.
+//!
+//! The trait lives here — next to the dataset builders — and covers
+//! everything derivable from an example alone: identity, dataset
+//! construction, the prompt payload, the ground truth handed to
+//! simulators, and the static audit of the labels. Model-facing behavior
+//! (prompt rendering, response extraction, scoring) extends this trait as
+//! `RunTask` in `squ-llm`, which owns the extractors.
+//!
+//! `TaskId` metadata (names, workloads, schedule class) is the single
+//! source of truth the registry exposes; the per-variant `match`es below
+//! are the one place in the workspace allowed to enumerate all five tasks.
+
+use crate::audit::AuditCtx;
+use crate::{
+    build_equiv_dataset, build_explain_dataset, build_perf_dataset, build_syntax_dataset,
+    build_token_dataset, EquivExample, ExplainExample, KeyFacts, PerfExample, SyntaxExample,
+    TokenExample, TokenType,
+};
+use serde::{Deserialize, Serialize};
+use squ_lexer::word_index_at;
+use squ_workload::{Dataset, QueryProps, Workload};
+
+/// The composite task families, one per paper prompt (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskId {
+    /// `syntax_error` + `syntax_error_type` (one composite prompt).
+    Syntax,
+    /// `miss_token` + `miss_token_type` + missing word + `miss_token_loc`.
+    MissToken,
+    /// `query_equiv` + `query_equiv_type`.
+    Equiv,
+    /// `performance_pred`.
+    Perf,
+    /// `query_exp`.
+    Explain,
+}
+
+impl TaskId {
+    /// All five tasks, in canonical registry order.
+    pub const ALL: [TaskId; 5] = [
+        TaskId::Syntax,
+        TaskId::MissToken,
+        TaskId::Equiv,
+        TaskId::Perf,
+        TaskId::Explain,
+    ];
+
+    /// Paper-style identifier.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskId::Syntax => "syntax_error",
+            TaskId::MissToken => "miss_token",
+            TaskId::Equiv => "query_equiv",
+            TaskId::Perf => "performance_pred",
+            TaskId::Explain => "query_exp",
+        }
+    }
+
+    /// Short slug used in timing spans and audit section names.
+    pub fn short(&self) -> &'static str {
+        match self {
+            TaskId::Syntax => "syntax",
+            TaskId::MissToken => "tokens",
+            TaskId::Equiv => "equiv",
+            TaskId::Perf => "perf",
+            TaskId::Explain => "explain",
+        }
+    }
+
+    /// File-name stem of the task's benchmark export.
+    pub fn file_stem(&self) -> &'static str {
+        match self {
+            TaskId::Syntax => "syntax",
+            TaskId::MissToken => "miss_token",
+            TaskId::Equiv => "query_equiv",
+            TaskId::Perf => "performance_pred",
+            TaskId::Explain => "query_exp",
+        }
+    }
+
+    /// Workloads the task derives its dataset from.
+    pub fn workloads(&self) -> &'static [Workload] {
+        const TASK_WORKLOADS: [Workload; 3] =
+            [Workload::Sdss, Workload::SqlShare, Workload::JoinOrder];
+        match self {
+            TaskId::Syntax | TaskId::MissToken | TaskId::Equiv => &TASK_WORKLOADS,
+            TaskId::Perf => &[Workload::Sdss],
+            TaskId::Explain => &[Workload::Spider],
+        }
+    }
+
+    /// Build-scheduling priority class: lower runs earlier. Equivalence
+    /// datasets lead the queue because differential verification dominates
+    /// the suite's wall-clock, so they get worker threads first.
+    pub fn schedule_class(&self) -> u8 {
+        match self {
+            TaskId::Equiv => 0,
+            _ => 1,
+        }
+    }
+
+    /// Whether the task's outcomes carry a `needs_review` bucket (binary
+    /// extraction). The explanation task is rubric-scored free text and has
+    /// no review routing, so fault-injection sweeps exclude it.
+    pub fn reviewable(&self) -> bool {
+        !matches!(self, TaskId::Explain)
+    }
+}
+
+/// Ground truth attached to a request (consumed only by simulators).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GroundTruth {
+    /// Syntax-error task truth.
+    Syntax {
+        /// Does the query contain an error?
+        has_error: bool,
+        /// Error-type label if any.
+        error_type: Option<String>,
+    },
+    /// Missing-token task truth.
+    Token {
+        /// Is a token missing?
+        missing: bool,
+        /// Token-type label if any.
+        token_type: Option<String>,
+        /// The removed text.
+        removed: Option<String>,
+        /// Word position of the removal.
+        position: Option<usize>,
+        /// Word count of the shown query.
+        word_count: usize,
+    },
+    /// Query-equivalence task truth.
+    Equiv {
+        /// Are the two queries equivalent?
+        equivalent: bool,
+        /// Transformation label.
+        transform: String,
+    },
+    /// Performance-prediction task truth.
+    Perf {
+        /// Is the query costly (> 200 ms)?
+        costly: bool,
+    },
+    /// Explanation task truth.
+    Explain {
+        /// Reference description.
+        reference: String,
+        /// Rubric key facts.
+        facts: KeyFacts,
+        /// The SQL being explained.
+        sql: String,
+    },
+}
+
+/// One of the paper's five task families.
+///
+/// Implementations are stateless unit structs; everything varies through
+/// the associated `Example` type and the methods. The contract:
+///
+/// * [`build`](Task::build) is deterministic in `(dataset, seed)` and is
+///   the only way examples come into existence;
+/// * [`payload`](Task::payload) is the task-specific part of the prompt
+///   (the instruction preamble is owned by `squ-llm`);
+/// * [`ground_truth`](Task::ground_truth) packages the labels a simulator
+///   consumes (a real API backend never sees it);
+/// * [`audit`](Task::audit) statically re-proves every label with the
+///   `squ-lint` analyzer, reporting disagreements on the context.
+pub trait Task {
+    /// The labeled example type this task derives.
+    type Example: Clone + Serialize + Deserialize + Send + Sync + 'static;
+
+    /// Which task family this is.
+    fn id(&self) -> TaskId;
+
+    /// Bump when the builder's output changes for the same inputs; part of
+    /// the artifact-store fingerprint, so stale caches self-invalidate.
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Derive the labeled dataset from a sampled workload.
+    fn build(&self, ds: &Dataset, seed: u64) -> Vec<Self::Example>;
+
+    /// Stable example id (also the simulator randomness seed component).
+    fn example_id<'a>(&self, e: &'a Self::Example) -> &'a str;
+
+    /// The task-specific prompt payload (what follows the instruction).
+    fn payload(&self, e: &Self::Example) -> String;
+
+    /// Syntactic properties of the example's (first) query.
+    fn props<'a>(&self, e: &'a Self::Example) -> &'a QueryProps;
+
+    /// Ground truth for simulators.
+    fn ground_truth(&self, e: &Self::Example) -> GroundTruth;
+
+    /// Statically audit every label against the analyzer.
+    fn audit(&self, w: Workload, examples: &[Self::Example], ctx: &mut AuditCtx);
+}
+
+/// Word-distance slack allowed between a parse error's reported location
+/// and a token deletion's labeled position. The recursive-descent parser
+/// cannot reject before the deletion site, but bounded lookahead means the
+/// error can surface up to two words earlier than the splice point.
+const PARSE_LOCATION_SLACK: usize = 2;
+
+/// The syntax-error detection task (§3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntaxTask;
+
+impl Task for SyntaxTask {
+    type Example = SyntaxExample;
+
+    fn id(&self) -> TaskId {
+        TaskId::Syntax
+    }
+
+    fn build(&self, ds: &Dataset, seed: u64) -> Vec<SyntaxExample> {
+        build_syntax_dataset(ds, seed)
+    }
+
+    fn example_id<'a>(&self, e: &'a SyntaxExample) -> &'a str {
+        &e.query_id
+    }
+
+    fn payload(&self, e: &SyntaxExample) -> String {
+        e.sql.clone()
+    }
+
+    fn props<'a>(&self, e: &'a SyntaxExample) -> &'a QueryProps {
+        &e.props
+    }
+
+    fn ground_truth(&self, e: &SyntaxExample) -> GroundTruth {
+        GroundTruth::Syntax {
+            has_error: e.has_error,
+            error_type: e.error_type.map(|t| t.label().to_string()),
+        }
+    }
+
+    /// Syntax positives must carry the labeled diagnostic at the labeled
+    /// span; negatives must lint clean.
+    fn audit(&self, w: Workload, examples: &[SyntaxExample], ctx: &mut AuditCtx) {
+        let name = format!("syntax/{}", w.name());
+        for ex in examples {
+            let report = ctx.lint(&ex.sql, &ex.schema_name);
+            if !ex.has_error {
+                ctx.require_clean(&name, &ex.query_id, &report, &ex.sql);
+                continue;
+            }
+            let (Some(ty), Some((start, end))) = (ex.error_type, ex.expected_span) else {
+                ctx.violation(
+                    &name,
+                    &ex.query_id,
+                    "positive-label-complete",
+                    "positive example lacks error_type or expected_span".into(),
+                );
+                continue;
+            };
+            let code = ty.expected_diagnostic().code();
+            let hit = report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == code && d.overlaps(start, end));
+            if !hit {
+                ctx.violation(
+                    &name,
+                    &ex.query_id,
+                    "positive-expected-diagnostic",
+                    format!(
+                        "no {code} diagnostic overlapping bytes {start}..{end} (got {})",
+                        crate::audit::render_codes(&report)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The missing-token task (§3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenTask;
+
+impl Task for TokenTask {
+    type Example = TokenExample;
+
+    fn id(&self) -> TaskId {
+        TaskId::MissToken
+    }
+
+    fn build(&self, ds: &Dataset, seed: u64) -> Vec<TokenExample> {
+        build_token_dataset(ds, seed)
+    }
+
+    fn example_id<'a>(&self, e: &'a TokenExample) -> &'a str {
+        &e.query_id
+    }
+
+    fn payload(&self, e: &TokenExample) -> String {
+        e.sql.clone()
+    }
+
+    fn props<'a>(&self, e: &'a TokenExample) -> &'a QueryProps {
+        &e.props
+    }
+
+    fn ground_truth(&self, e: &TokenExample) -> GroundTruth {
+        GroundTruth::Token {
+            missing: e.has_missing,
+            token_type: e.token_type.map(|t| t.label().to_string()),
+            removed: e.removed_text.clone(),
+            position: e.position,
+            word_count: e.props.word_count,
+        }
+    }
+
+    /// Token-deletion positives must be detectable by the analyzer (except
+    /// the whole-predicate class), with parse errors locating near the
+    /// labeled word position; negatives must lint clean.
+    fn audit(&self, w: Workload, examples: &[TokenExample], ctx: &mut AuditCtx) {
+        let name = format!("tokens/{}", w.name());
+        for ex in examples {
+            let report = ctx.lint(&ex.sql, &ex.schema_name);
+            if !ex.has_missing {
+                ctx.require_clean(&name, &ex.query_id, &report, &ex.sql);
+                continue;
+            }
+            let (Some(ty), Some(position)) = (ex.token_type, ex.position) else {
+                ctx.violation(
+                    &name,
+                    &ex.query_id,
+                    "positive-label-complete",
+                    "positive example lacks token_type or position".into(),
+                );
+                continue;
+            };
+            // The labeled position and the recorded splice offset must agree.
+            // A deletion that removed the tail of a word (e.g. the column of a
+            // `t.plate` qualified name) leaves the splice point on the word
+            // boundary *after* the remaining fragment, so when the splice abuts
+            // a preceding non-whitespace character the next word index is also
+            // accepted.
+            if let Some(at) = ex.removed_at {
+                let wi = word_index_at(&ex.sql, at);
+                let tail_of_word = at > 0
+                    && !ex.sql.as_bytes()[at - 1].is_ascii_whitespace()
+                    && wi == position + 1;
+                if wi != position && !tail_of_word {
+                    ctx.violation(
+                        &name,
+                        &ex.query_id,
+                        "position-matches-splice",
+                        format!("splice offset {at} is word {wi}, labeled position {position}"),
+                    );
+                }
+            }
+            if ty == TokenType::Predicate {
+                // The paper's hard class: deleting a whole predicate often
+                // yields a valid query, so no detectability is required.
+                continue;
+            }
+            if report.is_clean() {
+                ctx.violation(
+                    &name,
+                    &ex.query_id,
+                    "positive-detectable",
+                    format!("deleting {ty} token left an analyzably-clean query"),
+                );
+                continue;
+            }
+            // Any parse error must locate at (or within lookahead slack of)
+            // the deletion site — the parser cannot reject an intact prefix.
+            for d in report.errors() {
+                if d.code != "SQU001" && d.code != "SQU002" {
+                    continue; // binder errors point at uses, not the splice
+                }
+                let Some(span) = d.span else { continue };
+                let wi = word_index_at(&ex.sql, span.start);
+                if wi + PARSE_LOCATION_SLACK < position {
+                    ctx.violation(
+                        &name,
+                        &ex.query_id,
+                        "parse-error-near-site",
+                        format!(
+                            "{} reported at word {wi}, {} words before labeled position {position}",
+                            d.code,
+                            position - wi
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The query-equivalence task (§3.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EquivTask;
+
+impl Task for EquivTask {
+    type Example = EquivExample;
+
+    fn id(&self) -> TaskId {
+        TaskId::Equiv
+    }
+
+    fn build(&self, ds: &Dataset, seed: u64) -> Vec<EquivExample> {
+        build_equiv_dataset(ds, seed)
+    }
+
+    fn example_id<'a>(&self, e: &'a EquivExample) -> &'a str {
+        &e.query_id
+    }
+
+    fn payload(&self, e: &EquivExample) -> String {
+        format!("Query 1: {}\nQuery 2: {}", e.sql1, e.sql2)
+    }
+
+    fn props<'a>(&self, e: &'a EquivExample) -> &'a QueryProps {
+        &e.props
+    }
+
+    fn ground_truth(&self, e: &EquivExample) -> GroundTruth {
+        GroundTruth::Equiv {
+            equivalent: e.equivalent,
+            transform: e.transform.clone(),
+        }
+    }
+
+    /// Both sides of every pair must lint clean; equivalent pairs must have
+    /// identical resolution signatures, non-equivalent pairs must differ.
+    fn audit(&self, w: Workload, examples: &[EquivExample], ctx: &mut AuditCtx) {
+        let name = format!("equiv/{}", w.name());
+        for ex in examples {
+            let r1 = ctx.lint(&ex.sql1, &ex.schema_name);
+            let r2 = ctx.lint(&ex.sql2, &ex.schema_name);
+            ctx.require_clean(&name, &ex.query_id, &r1, &ex.sql1);
+            ctx.require_clean(&name, &ex.query_id, &r2, &ex.sql2);
+            if ex.equivalent {
+                match (&r1.resolution, &r2.resolution) {
+                    (Some(a), Some(b)) if a == b => {}
+                    (Some(a), Some(b)) => ctx.violation(
+                        &name,
+                        &ex.query_id,
+                        "equivalent-same-resolution",
+                        format!(
+                            "{} rewrite changed resolution: {} vs {}",
+                            ex.transform,
+                            a.render(),
+                            b.render()
+                        ),
+                    ),
+                    _ => ctx.violation(
+                        &name,
+                        &ex.query_id,
+                        "equivalent-same-resolution",
+                        format!("{} pair has an unanalyzable side", ex.transform),
+                    ),
+                }
+            } else if ex.sql1 == ex.sql2 {
+                ctx.violation(
+                    &name,
+                    &ex.query_id,
+                    "non-equivalent-differs",
+                    format!("{} pair is textually identical", ex.transform),
+                );
+            }
+        }
+    }
+}
+
+/// The performance-prediction task (§3.2, SDSS only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfTask;
+
+impl Task for PerfTask {
+    type Example = PerfExample;
+
+    fn id(&self) -> TaskId {
+        TaskId::Perf
+    }
+
+    fn build(&self, ds: &Dataset, _seed: u64) -> Vec<PerfExample> {
+        build_perf_dataset(ds)
+    }
+
+    fn example_id<'a>(&self, e: &'a PerfExample) -> &'a str {
+        &e.query_id
+    }
+
+    fn payload(&self, e: &PerfExample) -> String {
+        e.sql.clone()
+    }
+
+    fn props<'a>(&self, e: &'a PerfExample) -> &'a QueryProps {
+        &e.props
+    }
+
+    fn ground_truth(&self, e: &PerfExample) -> GroundTruth {
+        GroundTruth::Perf {
+            costly: e.is_costly,
+        }
+    }
+
+    /// Performance examples (real SDSS queries) must lint clean.
+    fn audit(&self, _w: Workload, examples: &[PerfExample], ctx: &mut AuditCtx) {
+        for ex in examples {
+            let report = ctx.lint(&ex.sql, "sdss");
+            ctx.require_clean("perf/sdss", &ex.query_id, &report, &ex.sql);
+        }
+    }
+}
+
+/// The query-explanation task (§3.2, Spider only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExplainTask;
+
+impl Task for ExplainTask {
+    type Example = ExplainExample;
+
+    fn id(&self) -> TaskId {
+        TaskId::Explain
+    }
+
+    fn build(&self, ds: &Dataset, _seed: u64) -> Vec<ExplainExample> {
+        build_explain_dataset(ds)
+    }
+
+    fn example_id<'a>(&self, e: &'a ExplainExample) -> &'a str {
+        &e.query_id
+    }
+
+    fn payload(&self, e: &ExplainExample) -> String {
+        e.sql.clone()
+    }
+
+    fn props<'a>(&self, e: &'a ExplainExample) -> &'a QueryProps {
+        &e.props
+    }
+
+    fn ground_truth(&self, e: &ExplainExample) -> GroundTruth {
+        GroundTruth::Explain {
+            reference: e.reference.clone(),
+            facts: e.facts.clone(),
+            sql: e.sql.clone(),
+        }
+    }
+
+    /// Explanation examples (Spider queries) must lint clean.
+    fn audit(&self, _w: Workload, examples: &[ExplainExample], ctx: &mut AuditCtx) {
+        for ex in examples {
+            let report = ctx.lint(&ex.sql, &ex.schema_name);
+            ctx.require_clean("explain/spider", &ex.query_id, &report, &ex.sql);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_ids_enumerate_all_families() {
+        let names: Vec<&str> = TaskId::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "syntax_error",
+                "miss_token",
+                "query_equiv",
+                "performance_pred",
+                "query_exp"
+            ]
+        );
+    }
+
+    #[test]
+    fn workload_lists_match_paper() {
+        assert_eq!(TaskId::Syntax.workloads().len(), 3);
+        assert_eq!(TaskId::Perf.workloads(), &[Workload::Sdss]);
+        assert_eq!(TaskId::Explain.workloads(), &[Workload::Spider]);
+        assert!(!TaskId::Explain.reviewable());
+        assert!(TaskId::Perf.reviewable());
+    }
+
+    #[test]
+    fn equiv_schedules_first() {
+        let mut order: Vec<TaskId> = TaskId::ALL.to_vec();
+        order.sort_by_key(|t| t.schedule_class());
+        assert_eq!(order[0], TaskId::Equiv);
+    }
+}

@@ -1,6 +1,7 @@
 //! Repo-level developer tasks, invoked as `cargo run -p xtask -- <task>`.
 //!
-//! `lint` — forbid `.unwrap()`, `.expect(` and `panic!` in library code.
+//! `lint` — forbid `.unwrap()`, `.expect(` and `panic!` in library code,
+//! and per-task `match` dispatch in the core crate.
 //!
 //! The benchmark's library crates must not abort on malformed input: the
 //! whole point of the analyzer stack is to turn bad SQL into diagnostics.
@@ -10,6 +11,13 @@
 //! call site. A site that is genuinely infallible can be waived with a
 //! `lint:allow` comment on the same line, which doubles as documentation
 //! of *why* the panic cannot fire.
+//!
+//! The second rule guards the task-registry refactor: a `match` in
+//! `crates/core/src` whose arms enumerate most of the five task families
+//! (syntax / tokens / equivalence / performance / explanation) reintroduces
+//! the duplicated per-task drivers the [`DynTask`] registry replaced. Only
+//! `crates/core/src/registry.rs` — the one designated enumeration point —
+//! is exempt.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -23,6 +31,38 @@ const WAIVER: &str = "lint:allow";
 /// `.expect()` — which cleanly excludes same-named inherent methods with
 /// non-string arguments (e.g. the parser's `self.expect(&TokenKind, …)`).
 const BANNED: &[&str] = &[".unwrap()", ".expect()", "panic!"];
+
+/// Marker substrings identifying each task family. A `match` block in the
+/// core crate that mentions at least [`TASK_MATCH_THRESHOLD`] distinct
+/// families is flagged as per-task dispatch that belongs in the registry.
+const TASK_FAMILIES: &[(&str, &[&str])] = &[
+    (
+        "syntax",
+        &["TaskId::Syntax", "Task::Syntax", "SyntaxTask", "run_syntax", "\"syntax_error\""],
+    ),
+    (
+        "tokens",
+        &["TaskId::MissToken", "Task::MissToken", "TokenTask", "run_token", "\"miss_token\""],
+    ),
+    (
+        "equiv",
+        &["TaskId::Equiv", "Task::Equiv", "EquivTask", "run_equiv", "\"query_equiv\""],
+    ),
+    (
+        "perf",
+        &["TaskId::Perf", "Task::Perf", "PerfTask", "run_perf", "\"performance_pred\""],
+    ),
+    (
+        "explain",
+        &["TaskId::Explain", "Task::Explain", "ExplainTask", "run_explain", "\"query_exp\""],
+    ),
+];
+
+/// Distinct task families one `match` may mention before it counts as a
+/// banned five-armed per-task dispatch (arms plus a catch-all `_` arm is
+/// how the pre-registry drivers spelled it, so near-complete coverage is
+/// already a violation).
+const TASK_MATCH_THRESHOLD: usize = 4;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,8 +133,97 @@ fn lint_repo(root: &Path) -> Vec<String> {
             let _ = write!(f, "{rel}:{line_no}: banned `{pattern}` — {}", line.trim());
             findings.push(f);
         }
+        // per-task dispatch belongs in the registry module, nowhere else
+        // in the core crate
+        if rel.starts_with("crates/core/src") && !rel.ends_with("registry.rs") {
+            for (line_no, families) in scan_task_matches(&text) {
+                let mut f = String::new();
+                let _ = write!(
+                    f,
+                    "{rel}:{line_no}: per-task `match` spanning {} task families ({}) — \
+                     iterate the registry (crates/core/src/registry.rs) instead",
+                    families.len(),
+                    families.join(", ")
+                );
+                findings.push(f);
+            }
+        }
     }
     findings
+}
+
+/// Scan one core-crate source text for `match` blocks whose raw text
+/// mentions at least [`TASK_MATCH_THRESHOLD`] distinct task families.
+/// Yields `(1-based line of the match, family names)` per violation.
+/// A `lint:allow` comment on the `match` line waives it.
+fn scan_task_matches(text: &str) -> Vec<(usize, Vec<&'static str>)> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    // (start line, brace depth, waived, per-family seen flags)
+    let mut block: Option<(usize, i64, bool, [bool; 5])> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_noncode(raw, &mut in_block_comment);
+        if let Some((start, depth, waived, seen)) = &mut block {
+            if !code.trim().is_empty() {
+                mark_families(raw, seen);
+            }
+            *depth += code.matches('{').count() as i64 - code.matches('}').count() as i64;
+            if *depth <= 0 {
+                let families: Vec<&'static str> = TASK_FAMILIES
+                    .iter()
+                    .zip(seen.iter())
+                    .filter(|(_, hit)| **hit)
+                    .map(|((name, _), _)| *name)
+                    .collect();
+                if families.len() >= TASK_MATCH_THRESHOLD && !*waived {
+                    out.push((*start, families));
+                }
+                block = None;
+            }
+            continue;
+        }
+        if let Some(at) = find_match_keyword(&code) {
+            let after = &code[at..];
+            let opens = after.matches('{').count() as i64;
+            let closes = after.matches('}').count() as i64;
+            let mut seen = [false; 5];
+            if !code.trim().is_empty() {
+                mark_families(raw, &mut seen);
+            }
+            if opens > closes {
+                block = Some((idx + 1, opens - closes, raw.contains(WAIVER), seen));
+            }
+        }
+    }
+    out
+}
+
+/// Set the seen-flag of every task family whose marker appears in `line`.
+fn mark_families(line: &str, seen: &mut [bool; 5]) {
+    for (i, (_, markers)) in TASK_FAMILIES.iter().enumerate() {
+        if markers.iter().any(|m| line.contains(m)) {
+            seen[i] = true;
+        }
+    }
+}
+
+/// Byte offset of a `match` keyword in comment/string-stripped code, if
+/// present as a standalone token.
+fn find_match_keyword(code: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("match") {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_'
+                && code.as_bytes()[at - 1] != b'.';
+        let after = code.as_bytes().get(at + 5);
+        let after_ok = after.is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 5;
+    }
+    None
 }
 
 /// Recursively collect `.rs` files under `src`, skipping `bin/` trees and
@@ -318,5 +447,47 @@ mod tests {
     fn char_literals_and_lifetimes_survive() {
         let text = "fn f<'a>(c: char) -> bool { c == '\"' }\nfn g() { x.unwrap(); }\n";
         assert_eq!(scan(text), vec![(2, ".unwrap()")]);
+    }
+
+    #[test]
+    fn five_armed_task_match_is_flagged() {
+        let text = "fn dispatch(id: TaskId) {\n    match id {\n        TaskId::Syntax => run_syntax(),\n        TaskId::MissToken => run_token(),\n        TaskId::Equiv => run_equiv(),\n        TaskId::Perf => run_perf(),\n        TaskId::Explain => run_explain(),\n    }\n}\n";
+        let found = scan_task_matches(text);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, 2);
+        assert_eq!(found[0].1.len(), 5);
+    }
+
+    #[test]
+    fn four_armed_match_with_catch_all_is_flagged() {
+        // how the pre-registry fault driver spelled it: string slugs plus
+        // a `_` arm standing in for the fifth family
+        let text = "fn go(task: &str) {\n    match task {\n        \"syntax_error\" => a(),\n        \"miss_token\" => b(),\n        \"query_equiv\" => c(),\n        _ => run_perf(),\n    }\n}\n";
+        let found = scan_task_matches(text);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1, vec!["syntax", "tokens", "equiv", "perf"]);
+    }
+
+    #[test]
+    fn narrow_task_matches_are_allowed() {
+        // a two-family oracle (e.g. the parser ablation) is fine
+        let text = "fn respond(t: Task) {\n    match t {\n        Task::Syntax => parse(),\n        Task::MissToken => probe(),\n        _ => other(),\n    }\n}\n";
+        assert!(scan_task_matches(text).is_empty());
+        // families spread across *separate* matches are fine too
+        let text = "fn a(t: Task) { match t { Task::Syntax => s(), _ => n() } }\nfn b(t: Task) { match t { Task::Equiv => e(), _ => n() } }\nfn c(t: Task) { match t { Task::Perf => p(), _ => n() } }\nfn d(t: Task) { match t { Task::Explain => x(), _ => n() } }\n";
+        assert!(scan_task_matches(text).is_empty());
+    }
+
+    #[test]
+    fn task_match_waiver_on_match_line() {
+        let text = "fn dispatch(id: TaskId) {\n    match id { // lint:allow: registry seam\n        TaskId::Syntax => a(),\n        TaskId::MissToken => b(),\n        TaskId::Equiv => c(),\n        TaskId::Perf => d(),\n        TaskId::Explain => e(),\n    }\n}\n";
+        assert!(scan_task_matches(text).is_empty());
+    }
+
+    #[test]
+    fn match_keyword_is_token_matched() {
+        // `.matches(` and identifiers containing "match" never open a block
+        let text = "fn f(s: &str) { let n = s.matches('x').count(); let rematch = 1; }\n";
+        assert!(scan_task_matches(text).is_empty());
     }
 }

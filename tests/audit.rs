@@ -48,13 +48,12 @@ fn audit_report_is_job_count_invariant() {
 
 #[test]
 fn audit_flags_a_poisoned_label() {
-    // flip one correct syntax example's label to "error": the auditor
-    // must notice the missing diagnostic
-    let mut poisoned = suite().clone();
-    let (_, examples) = poisoned
-        .syntax
-        .first_mut()
-        .expect("suite has syntax datasets");
+    // flip one correct syntax example's label to "error": the task's
+    // audit — the same check audit_suite fans out — must notice the
+    // missing diagnostic
+    use squ::tasks::{AuditCtx, SyntaxTask, Task};
+    use squ::workload::Workload;
+    let mut examples = suite().syntax_for(Workload::Sdss).to_vec();
     let ex = examples
         .iter_mut()
         .find(|e| !e.has_error)
@@ -62,13 +61,13 @@ fn audit_flags_a_poisoned_label() {
     ex.has_error = true;
     ex.error_type = Some(squ_tasks::SyntaxErrorType::AggrAttr);
     ex.expected_span = Some((0, ex.sql.len()));
-    let report = audit_suite(&poisoned, 2);
+    let mut ctx = AuditCtx::new(Workload::Sdss);
+    SyntaxTask.audit(Workload::Sdss, &examples, &mut ctx);
     assert!(
-        report
-            .violations
+        ctx.violations
             .iter()
             .any(|v| v.invariant == "positive-expected-diagnostic"),
         "poisoned label not caught: {:?}",
-        report.violations
+        ctx.violations
     );
 }

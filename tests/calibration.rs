@@ -100,7 +100,7 @@ fn perf_f1_within_band() {
     use squ_llm::profiles::perf_target;
     let mut failures = Vec::new();
     for m in ModelId::ALL {
-        let outcomes = run_perf(&SimulatedModel::new(m), &suite().perf);
+        let outcomes = run_perf(&SimulatedModel::new(m), suite().perf());
         let c = BinaryCounts::from_pairs(
             outcomes
                 .iter()

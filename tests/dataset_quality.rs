@@ -148,7 +148,7 @@ fn equiv_pairs_execute() {
 /// Perf labels follow the threshold; the class split is non-degenerate.
 #[test]
 fn perf_labels_consistent() {
-    let perf = &suite().perf;
+    let perf = suite().perf();
     assert_eq!(perf.len(), 285);
     let costly = perf.iter().filter(|e| e.is_costly).count();
     assert!(costly > 85 && costly < 230, "degenerate split {costly}/285");
@@ -162,12 +162,12 @@ fn perf_labels_consistent() {
 #[test]
 fn explain_references_satisfy_rubric_mostly() {
     let mut total = 0.0;
-    for e in &suite().explain {
+    for e in suite().explain() {
         // the generated reference text is produced by the same template
         // vocabulary the rubric checks, so it should score highly
         let s = squ_eval::score_explanation(&e.reference, &e.facts);
         total += s.score;
     }
-    let avg = total / suite().explain.len() as f64;
+    let avg = total / suite().explain().len() as f64;
     assert!(avg > 0.9, "reference descriptions only score {avg:.2}");
 }

@@ -46,7 +46,7 @@ fn equiv_counts(m: ModelId, w: Workload) -> BinaryCounts {
 }
 
 fn perf_counts(m: ModelId) -> BinaryCounts {
-    let outcomes = run_perf(&SimulatedModel::new(m), &suite().perf);
+    let outcomes = run_perf(&SimulatedModel::new(m), suite().perf());
     BinaryCounts::from_pairs(
         outcomes
             .iter()
@@ -328,7 +328,7 @@ fn gpt4_best_at_location() {
 /// negatives (models equate length with cost).
 #[test]
 fn perf_fp_queries_are_longer_fig10() {
-    let outcomes = run_perf(&SimulatedModel::new(ModelId::MistralAi), &suite().perf);
+    let outcomes = run_perf(&SimulatedModel::new(ModelId::MistralAi), suite().perf());
     let slice = PropertySlice::build(
         "word_count",
         outcomes.iter().map(|o| {
@@ -390,7 +390,7 @@ fn equiv_fp_concentrate_on_condition_edits() {
 #[test]
 fn explanation_rubric_orders_models() {
     let avg = |m: ModelId| {
-        let outcomes = run_explain(&SimulatedModel::new(m), &suite().explain);
+        let outcomes = run_explain(&SimulatedModel::new(m), suite().explain());
         outcomes.iter().map(|o| o.rubric.score).sum::<f64>() / outcomes.len() as f64
     };
     let g4 = avg(ModelId::Gpt4);

@@ -65,11 +65,11 @@ fn default_build_matches_explicit_jobs() {
     let a = Suite::new(PAPER_SEED);
     let b = Suite::new_with_jobs(PAPER_SEED, 3);
     assert_eq!(a.sdss.queries.len(), b.sdss.queries.len());
-    assert_eq!(a.perf.len(), b.perf.len());
-    for (wa, wb) in a.equiv.iter().zip(b.equiv.iter()) {
-        assert_eq!(wa.0, wb.0);
-        assert_eq!(wa.1.len(), wb.1.len());
-        for (ea, eb) in wa.1.iter().zip(wb.1.iter()) {
+    assert_eq!(a.perf().len(), b.perf().len());
+    for w in squ::workload::Workload::task_workloads() {
+        let (ea_all, eb_all) = (a.equiv_for(w), b.equiv_for(w));
+        assert_eq!(ea_all.len(), eb_all.len());
+        for (ea, eb) in ea_all.iter().zip(eb_all.iter()) {
             assert_eq!(ea.query_id, eb.query_id);
             assert_eq!(ea.sql2, eb.sql2);
             assert_eq!(ea.equivalent, eb.equivalent);

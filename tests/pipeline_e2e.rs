@@ -42,7 +42,7 @@ fn extraction_review_rate_is_low() {
                 review += o.needs_review as usize;
             }
         }
-        for o in run_perf(&SimulatedModel::new(m), &suite().perf) {
+        for o in run_perf(&SimulatedModel::new(m), suite().perf()) {
             total += 1;
             review += o.needs_review as usize;
         }

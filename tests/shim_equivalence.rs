@@ -1,0 +1,137 @@
+//! Golden shim-equivalence tests: every legacy `pipeline::run_*` /
+//! `run_*_client` entry point must produce outcomes identical to the
+//! generic [`squ::llm::run_task`] driver it now wraps — for all five
+//! tasks, at the paper seed.
+//!
+//! Outcomes are compared through their `Debug` rendering, which covers
+//! every field (example, response, extracted answers, review flag, call
+//! record), so any drift between a shim and the trait-driven driver —
+//! prompt construction, extraction gating, transport telemetry — fails
+//! byte-for-byte.
+
+use squ::llm::{
+    run_task, run_task_direct, DirectClient, ModelId, SimulatedModel, Transport,
+};
+use squ::pipeline::{
+    dataset_id, run_equiv, run_equiv_client, run_explain, run_perf, run_syntax,
+    run_syntax_client, run_token,
+};
+use squ::tasks::{EquivTask, ExplainTask, PerfTask, SyntaxTask, TokenTask};
+use squ::workload::Workload;
+use squ::{Suite, PAPER_SEED};
+use std::sync::OnceLock;
+
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(|| Suite::new(PAPER_SEED))
+}
+
+const MODEL: ModelId = ModelId::Gpt4;
+
+#[test]
+fn syntax_shim_matches_generic_driver() {
+    for w in Workload::task_workloads() {
+        let shim = run_syntax(
+            &SimulatedModel::new(MODEL),
+            dataset_id(w),
+            suite().syntax_for(w),
+        );
+        let generic = run_task_direct(
+            &SyntaxTask,
+            &SimulatedModel::new(MODEL),
+            dataset_id(w),
+            suite().syntax_for(w),
+        );
+        assert_eq!(format!("{shim:?}"), format!("{generic:?}"), "{}", w.name());
+    }
+}
+
+#[test]
+fn token_shim_matches_generic_driver() {
+    for w in Workload::task_workloads() {
+        let shim = run_token(
+            &SimulatedModel::new(MODEL),
+            dataset_id(w),
+            suite().tokens_for(w),
+        );
+        let generic = run_task_direct(
+            &TokenTask,
+            &SimulatedModel::new(MODEL),
+            dataset_id(w),
+            suite().tokens_for(w),
+        );
+        assert_eq!(format!("{shim:?}"), format!("{generic:?}"), "{}", w.name());
+    }
+}
+
+#[test]
+fn equiv_shim_matches_generic_driver() {
+    for w in Workload::task_workloads() {
+        let shim = run_equiv(
+            &SimulatedModel::new(MODEL),
+            dataset_id(w),
+            suite().equiv_for(w),
+        );
+        let generic = run_task_direct(
+            &EquivTask,
+            &SimulatedModel::new(MODEL),
+            dataset_id(w),
+            suite().equiv_for(w),
+        );
+        assert_eq!(format!("{shim:?}"), format!("{generic:?}"), "{}", w.name());
+    }
+}
+
+#[test]
+fn perf_shim_matches_generic_driver() {
+    let shim = run_perf(&SimulatedModel::new(MODEL), suite().perf());
+    let generic = run_task_direct(
+        &PerfTask,
+        &SimulatedModel::new(MODEL),
+        dataset_id(Workload::Sdss),
+        suite().perf(),
+    );
+    assert_eq!(format!("{shim:?}"), format!("{generic:?}"));
+}
+
+#[test]
+fn explain_shim_matches_generic_driver() {
+    let shim = run_explain(&SimulatedModel::new(MODEL), suite().explain());
+    let generic = run_task_direct(
+        &ExplainTask,
+        &SimulatedModel::new(MODEL),
+        dataset_id(Workload::Spider),
+        suite().explain(),
+    );
+    assert_eq!(format!("{shim:?}"), format!("{generic:?}"));
+}
+
+#[test]
+fn client_shims_match_generic_driver_through_a_transport() {
+    // The `_client` shims accept arbitrary transports; pin equivalence
+    // through the fault-free Transport wrapper as well as DirectClient.
+    let w = Workload::Sdss;
+    let profile = squ::llm::FaultProfile::by_name("none").expect("none profile exists");
+    let shim = run_syntax_client(
+        &Transport::new(SimulatedModel::new(MODEL), profile, 0),
+        dataset_id(w),
+        suite().syntax_for(w),
+    );
+    let generic = run_task(
+        &SyntaxTask,
+        &Transport::new(SimulatedModel::new(MODEL), profile, 0),
+        dataset_id(w),
+        suite().syntax_for(w),
+    );
+    assert_eq!(format!("{shim:?}"), format!("{generic:?}"));
+
+    let model = SimulatedModel::new(MODEL);
+    let shim = run_equiv_client(&DirectClient(&model), dataset_id(w), suite().equiv_for(w));
+    let generic = run_task(
+        &EquivTask,
+        &DirectClient(&model),
+        dataset_id(w),
+        suite().equiv_for(w),
+    );
+    assert_eq!(format!("{shim:?}"), format!("{generic:?}"));
+}

@@ -1,0 +1,122 @@
+//! Artifact-store resume semantics, end to end through
+//! [`squ::Suite::load_or_build`]:
+//!
+//! * a cold build populates the store; a warm build loads every stage and
+//!   produces a byte-identical suite (verified through the JSONL export);
+//! * corrupting a cached entry's payload on disk is detected by the
+//!   payload hash, demoted to a miss, and the stage is rebuilt — again
+//!   byte-identically.
+
+use squ::{export_suite, Store, Suite, PAPER_SEED};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn export_to_bytes(suite: &Suite, dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    if dir.exists() {
+        fs::remove_dir_all(dir).expect("clean old export");
+    }
+    fs::create_dir_all(dir).expect("create export dir");
+    export_suite(suite, dir).expect("export suite");
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read export dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        files.insert(name, fs::read(entry.path()).expect("read exported file"));
+    }
+    files
+}
+
+fn fresh_store_root(tag: &str) -> PathBuf {
+    let root = PathBuf::from(format!("target/test-store-resume/{tag}"));
+    fs::remove_dir_all(&root).ok();
+    root
+}
+
+#[test]
+fn warm_resume_is_all_hits_and_byte_identical() {
+    let root = fresh_store_root("warm");
+
+    let mut cold = Store::open(&root);
+    let built = Suite::load_or_build(PAPER_SEED, 2, &mut cold);
+    assert_eq!(
+        cold.stats().values().map(|s| s.hits).sum::<usize>(),
+        0,
+        "cold build must not hit: {:?}",
+        cold.stats()
+    );
+    assert_eq!(cold.stats()["workload"].misses, 4);
+    assert_eq!(cold.stats()["dataset"].misses, 11);
+
+    let mut warm = Store::open(&root);
+    let resumed = Suite::load_or_build(PAPER_SEED, 2, &mut warm);
+    assert_eq!(warm.total_misses(), 0, "warm build missed: {:?}", warm.stats());
+    assert_eq!(warm.stats()["workload"].hits, 4);
+    assert_eq!(warm.stats()["dataset"].hits, 11);
+
+    let a = export_to_bytes(&built, Path::new("target/test-store-resume/export-cold"));
+    let b = export_to_bytes(&resumed, Path::new("target/test-store-resume/export-warm"));
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "exported file sets differ"
+    );
+    for (name, bytes) in &a {
+        assert_eq!(bytes, &b[name], "{name} differs between cold and warm build");
+    }
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupted_entry_is_detected_and_rebuilt() {
+    let root = fresh_store_root("corrupt");
+
+    let mut cold = Store::open(&root);
+    let built = Suite::load_or_build(PAPER_SEED, 2, &mut cold);
+
+    // Flip payload bytes in one cached dataset entry, leaving the header
+    // (and its recorded hash) intact.
+    let dataset_dir = root.join("dataset");
+    let victim = fs::read_dir(&dataset_dir)
+        .expect("store has a dataset stage")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("equiv_sdss-"))
+        })
+        .expect("equiv_sdss entry cached");
+    let text = fs::read_to_string(&victim).expect("read cached entry");
+    let mangled = text.replacen("\"equivalent\":true", "\"equivalent\":niet", 1);
+    assert_ne!(text, mangled, "corruption did not apply");
+    fs::write(&victim, mangled).expect("write corrupted entry");
+
+    let mut warm = Store::open(&root);
+    let resumed = Suite::load_or_build(PAPER_SEED, 2, &mut warm);
+    let stats = warm.stats()["dataset"];
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (10, 1),
+        "hash mismatch must demote exactly the corrupted entry to a miss"
+    );
+    assert_eq!(warm.stats()["workload"].hits, 4);
+
+    // The rebuilt stage replaces the corrupted bytes and matches the
+    // original build exactly.
+    let a = export_to_bytes(&built, Path::new("target/test-store-resume/export-orig"));
+    let b = export_to_bytes(&resumed, Path::new("target/test-store-resume/export-rebuilt"));
+    for (name, bytes) in &a {
+        assert_eq!(bytes, &b[name], "{name} differs after corruption rebuild");
+    }
+    let mut third = Store::open(&root);
+    Suite::load_or_build(PAPER_SEED, 2, &mut third);
+    assert_eq!(
+        third.total_misses(),
+        0,
+        "rebuild must re-persist the corrupted entry: {:?}",
+        third.stats()
+    );
+
+    fs::remove_dir_all(&root).ok();
+}

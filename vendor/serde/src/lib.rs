@@ -264,11 +264,172 @@ pub trait Serialize {
     fn to_json_value(&self) -> Json;
 }
 
-/// Marker for types the `Deserialize` derive has been applied to.
+/// Types that can be decoded from a [`Json`] tree.
 ///
-/// The workspace only deserializes untyped `serde_json::Value`s, so the
-/// stub derive emits a marker impl rather than a full decoder.
-pub trait Deserialize {}
+/// This is the read half of the vendored stack: `serde_json::from_str`
+/// parses text into a [`Json`] tree and this trait lifts the tree back
+/// into a typed value. The derive in the vendored `serde_derive` crate
+/// emits decoders matching the externally-tagged layout the `Serialize`
+/// derive writes, so `to_string` → `from_str` round-trips by
+/// construction.
+pub trait Deserialize: Sized {
+    /// Decode a value from a JSON tree.
+    fn from_json_value(v: &Json) -> Result<Self, DeError>;
+
+    /// Value to substitute when a struct field is absent from the
+    /// document. Errors by default; `Option<T>` decodes to `None`, which
+    /// is how `#[serde(default)]`-style optional fields behave.
+    fn missing_field(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}`")))
+    }
+}
+
+/// Deserialization error: a human-readable path/expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Decode one named field of an object (derive-internal helper).
+pub fn de_field<T: Deserialize>(v: &Json, field: &str) -> Result<T, DeError> {
+    match v.get(field) {
+        Some(inner) => T::from_json_value(inner)
+            .map_err(|e| DeError(format!("field `{field}`: {e}"))),
+        None => T::missing_field(field),
+    }
+}
+
+/// Decode one positional element of an array (derive-internal helper).
+pub fn de_index<T: Deserialize>(items: &[Json], idx: usize) -> Result<T, DeError> {
+    match items.get(idx) {
+        Some(inner) => T::from_json_value(inner),
+        None => Err(DeError(format!("missing tuple element {idx}"))),
+    }
+}
+
+fn de_expected<T>(what: &str, got: &Json) -> Result<T, DeError> {
+    Err(DeError(format!("expected {what}, got {got}")))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Json) -> Result<Self, DeError> {
+                match v.as_u64() {
+                    Some(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    None => de_expected("unsigned integer", v),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Json) -> Result<Self, DeError> {
+                let n = match *v {
+                    Json::I64(n) => n,
+                    Json::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    _ => return de_expected("signed integer", v),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        v.as_f64().map_or_else(|| de_expected("number", v), Ok)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        v.as_f64()
+            .map_or_else(|| de_expected("number", v), |n| Ok(n as f32))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        v.as_bool().map_or_else(|| de_expected("bool", v), Ok)
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        v.as_str()
+            .map_or_else(|| de_expected("string", v), |s| Ok(s.to_string()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => de_expected("array", other),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Array(items) if items.len() == 2 => {
+                Ok((de_index(items, 0)?, de_index(items, 1)?))
+            }
+            other => de_expected("2-element array", other),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_json_value(val)?)))
+                .collect(),
+            other => de_expected("object", other),
+        }
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json_value(v: &Json) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
 
 macro_rules! ser_uint {
     ($($t:ty),*) => {$(

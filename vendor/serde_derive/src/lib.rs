@@ -309,12 +309,97 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("derived Serialize impl parses")
 }
 
-/// `#[derive(Deserialize)]` — marker impl (the workspace only decodes
-/// untyped `serde_json::Value`s).
+/// `#[derive(Deserialize)]` — decodes the type from a `serde::Json` tree,
+/// inverting the layout the `Serialize` derive writes (externally-tagged
+/// enums, objects for structs). Absent struct fields defer to
+/// `Deserialize::missing_field`, so `Option` fields tolerate omission.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse_item(input);
-    let header = impl_header(&p, "::serde::Deserialize", None);
-    let out = format!("#[automatically_derived]\n{header} {{}}");
+    let name = &p.name;
+    let body = match &p.item {
+        Item::Struct { fields } => {
+            let gets = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__v, {f:?})?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match __v {{\n\
+                 ::serde::Json::Object(_) => Ok(Self {{\n{gets}\n}}),\n\
+                 __other => Err(::serde::DeError(format!(\"expected object for {name}, got {{__other}}\"))),\n\
+                 }}"
+            )
+        }
+        Item::Enum { variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok(Self::{}),", v.name, v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok(Self::{vname}(::serde::Deserialize::from_json_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::de_index(__items, {k})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "{vname:?} => match __inner {{\n\
+                                 ::serde::Json::Array(__items) if __items.len() == {n} => Ok(Self::{vname}({items})),\n\
+                                 __other => Err(::serde::DeError(format!(\"expected {n}-element array for {name}::{vname}, got {{__other}}\"))),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let gets = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(__inner, {f:?})?,"))
+                                .collect::<Vec<_>>()
+                                .join("\n");
+                            Some(format!(
+                                "{vname:?} => Ok(Self::{vname} {{\n{gets}\n}}),"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let mut arms = Vec::new();
+            if !unit_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Json::Str(__s) => match __s.as_str() {{\n{unit_arms}\n\
+                     __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},"
+                ));
+            }
+            if !tagged_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Json::Object(__fields) if __fields.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__fields[0];\n\
+                     match __tag.as_str() {{\n{tagged_arms}\n\
+                     __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }}\n\
+                     }},"
+                ));
+            }
+            arms.push(format!(
+                "__other => Err(::serde::DeError(format!(\"unexpected value for {name}: {{__other}}\"))),"
+            ));
+            format!("match __v {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    let header = impl_header(&p, "::serde::Deserialize", Some("::serde::Deserialize"));
+    let out = format!(
+        "#[automatically_derived]\n{header} {{\n    fn from_json_value(__v: &::serde::Json) -> Result<Self, ::serde::DeError> {{\n{body}\n    }}\n}}"
+    );
     out.parse().expect("derived Deserialize impl parses")
 }

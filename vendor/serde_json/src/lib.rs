@@ -4,7 +4,7 @@
 //! Provides `to_string`, `to_string_pretty`, `from_str`, and [`Value`]
 //! (an alias of [`serde::Json`]) — the surface this workspace uses.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// JSON value type (alias of the vendored [`serde::Json`]).
 pub type Value = serde::Json;
@@ -36,8 +36,9 @@ pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
     Ok(value.to_json_value())
 }
 
-/// Parse a JSON document into a [`Value`].
-pub fn from_str(s: &str) -> Result<Value, Error> {
+/// Parse a JSON document and decode it into `T` (use `T = Value` for an
+/// untyped tree).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -48,7 +49,12 @@ pub fn from_str(s: &str) -> Result<Value, Error> {
     if p.pos != p.bytes.len() {
         return Err(Error(format!("trailing input at byte {}", p.pos)));
     }
-    Ok(v)
+    from_value(&v)
+}
+
+/// Decode a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_json_value(v).map_err(|e| Error(e.to_string()))
 }
 
 struct Parser<'a> {
@@ -259,7 +265,7 @@ mod tests {
     #[test]
     fn round_trip_document() {
         let text = r#"{"seed": 2023, "ok": true, "files": [{"n": "a", "r": 1.5}], "none": null}"#;
-        let v = from_str(text).unwrap();
+        let v: Value = from_str(text).unwrap();
         assert_eq!(v["seed"], 2023u64);
         assert_eq!(v["ok"].as_bool(), Some(true));
         assert_eq!(v["files"][0]["n"], "a");
@@ -267,28 +273,28 @@ mod tests {
         assert!(v.get("none").is_some());
         // compact render re-parses to the same tree
         let rendered = v.to_compact_string();
-        assert_eq!(from_str(&rendered).unwrap(), v);
+        assert_eq!(from_str::<Value>(&rendered).unwrap(), v);
     }
 
     #[test]
     fn escapes_round_trip() {
         let v = Value::Str("a\"b\\c\nd".into());
         let s = v.to_compact_string();
-        assert_eq!(from_str(&s).unwrap(), v);
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
     }
 
     #[test]
     fn pretty_parses() {
-        let v = from_str(r#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap();
+        let v: Value = from_str(r#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap();
         let pretty = to_string_pretty(&v).unwrap();
-        assert_eq!(from_str(&pretty).unwrap(), v);
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(from_str("{").is_err());
-        assert!(from_str("[1,]").is_err());
-        assert!(from_str("nul").is_err());
-        assert!(from_str("1 2").is_err());
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
     }
 }
