@@ -9,6 +9,8 @@
 //! repro --faults heavy     # run the benchmark through a fault-injecting transport
 //! repro --faults none --fault-gate 0.02   # CI gate on the needs_review rate
 //! repro --fault-seed 7     # reseed the fault injector (default 0)
+//! repro --fuzz 500         # run 500 differential/metamorphic fuzz cases
+//! repro --fuzz 500 --fuzz-seed 7          # reseed the fuzz generator (default 0)
 //! repro --seed 7           # different master seed
 //! repro --jobs 4           # worker threads (default: all cores, 1 = sequential)
 //! repro --resume           # reuse fingerprint-matched stages from target/repro/store
@@ -25,11 +27,17 @@
 //! byte-identical for any `--jobs` count.
 //!
 //! `--resume` routes every stage — sampled workloads, derived task
-//! datasets, paper artifacts, audit and fault reports — through the
+//! datasets, paper artifacts, audit, fault, and fuzz reports — through the
 //! content-addressed store under `target/repro/store/`: stages whose
 //! fingerprint (seed + builder versions + upstream fingerprints) already
 //! has a verified entry are loaded instead of rebuilt, byte-identically.
 //! A warm resume performs no suite-build or model-call work at all.
+//!
+//! `--fuzz N` skips the suite entirely and instead runs N cases of the
+//! `squ-fuzz` subsystem (grammar-generated queries through the round-trip,
+//! differential, and metamorphic oracles), writing `target/repro/fuzz.json`
+//! — byte-identical for any `--jobs` count — and exiting 1 on any oracle
+//! violation.
 
 use squ::llm::FaultProfile;
 use squ::store::{fp_artifact, fp_audit, fp_faults};
@@ -55,6 +63,10 @@ struct Opts {
     fault_seed: u64,
     /// Fail (exit 1) if the needs_review rate exceeds this bound.
     fault_gate: Option<f64>,
+    /// Fuzz-case budget; `Some` switches the binary into fuzz mode.
+    fuzz: Option<u64>,
+    /// Seed for the fuzz generator (independent of the suite seed).
+    fuzz_seed: u64,
     seed: u64,
     /// Worker threads; `None` means all available cores.
     jobs: Option<usize>,
@@ -76,6 +88,8 @@ impl Default for Opts {
             faults: None,
             fault_seed: 0,
             fault_gate: None,
+            fuzz: None,
+            fuzz_seed: 0,
             seed: PAPER_SEED,
             jobs: None,
             resume: false,
@@ -85,13 +99,28 @@ impl Default for Opts {
 }
 
 /// Parse arguments (everything after the binary name).
+///
+/// Every flag may appear at most once, and the mode-selecting flags
+/// (`--list`, `--ablations`, `--audit`, `--export`, `--faults`, `--fuzz`,
+/// `--only`) are mutually exclusive — a repeated or conflicting flag is a
+/// hard error, never silently last-one-wins. Dependent flags
+/// (`--fault-seed`/`--fault-gate`, `--fuzz-seed`) require their parent
+/// mode, in any argument order.
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
+    let mut seen: Vec<String> = Vec::new();
     let mut i = 0;
     // a flag's value is the next token unless it is another flag
     let value_of =
         |args: &[String], i: usize| args.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
     while i < args.len() {
+        let flag = &args[i];
+        if flag.starts_with("--") {
+            if seen.contains(flag) {
+                return Err(format!("duplicate flag {flag}"));
+            }
+            seen.push(flag.clone());
+        }
         match args[i].as_str() {
             "--list" => opts.list = true,
             "--ablations" => opts.ablations = true,
@@ -147,6 +176,26 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.fault_gate = Some(rate);
                 i += 1;
             }
+            "--fuzz" => {
+                let raw =
+                    value_of(args, i).ok_or_else(|| "--fuzz needs a case count".to_string())?;
+                let n: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--fuzz needs a case count, got {raw:?}"))?;
+                if n == 0 {
+                    return Err("--fuzz needs a positive case count, got 0".to_string());
+                }
+                opts.fuzz = Some(n);
+                i += 1;
+            }
+            "--fuzz-seed" => {
+                let raw =
+                    value_of(args, i).ok_or_else(|| "--fuzz-seed needs an integer".to_string())?;
+                opts.fuzz_seed = raw
+                    .parse()
+                    .map_err(|_| format!("--fuzz-seed needs an integer, got {raw:?}"))?;
+                i += 1;
+            }
             "--seed" => {
                 let raw = value_of(args, i).ok_or_else(|| "--seed needs an integer".to_string())?;
                 opts.seed = raw
@@ -170,6 +219,51 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         }
         i += 1;
     }
+
+    // Mode flags are mutually exclusive. Checked after the full parse so
+    // the diagnosis is order-independent.
+    let mut modes: Vec<&str> = Vec::new();
+    if opts.list {
+        modes.push("--list");
+    }
+    if opts.ablations {
+        modes.push("--ablations");
+    }
+    if opts.audit {
+        modes.push("--audit");
+    }
+    if opts.export.is_some() {
+        modes.push("--export");
+    }
+    if opts.faults.is_some() {
+        modes.push("--faults");
+    }
+    if opts.fuzz.is_some() {
+        modes.push("--fuzz");
+    }
+    if opts.only.is_some() {
+        modes.push("--only");
+    }
+    if modes.len() > 1 {
+        return Err(format!(
+            "conflicting flags: {} select different modes; pick one",
+            modes.join(" and ")
+        ));
+    }
+
+    // Dependent flags need their parent mode.
+    let was_given = |flag: &str| seen.iter().any(|f| f == flag);
+    if opts.faults.is_none() {
+        for dep in ["--fault-seed", "--fault-gate"] {
+            if was_given(dep) {
+                return Err(format!("{dep} requires --faults"));
+            }
+        }
+    }
+    if was_given("--fuzz-seed") && opts.fuzz.is_none() {
+        return Err("--fuzz-seed requires --fuzz".to_string());
+    }
+
     Ok(opts)
 }
 
@@ -221,6 +315,43 @@ fn main() {
     fs::create_dir_all(&out_dir).expect("create target/repro");
     let mut store: Option<Store> =
         (opts.resume || opts.store_stats).then(|| Store::open(out_dir.join("store")));
+
+    // Fuzz mode needs no suite: cases are self-contained (generated
+    // schemas + witness databases), so it runs before suite construction.
+    if let Some(cases) = opts.fuzz {
+        eprintln!(
+            "fuzzing {cases} case(s) (fuzz seed {}, {jobs_n} jobs)…",
+            opts.fuzz_seed
+        );
+        let report = squ::timing::time("fuzz.total", || {
+            squ::run_fuzz(cases, opts.fuzz_seed, jobs_n, store.as_mut())
+        });
+        let path = out_dir.join("fuzz.json");
+        fs::write(&path, report.to_json()).expect("write fuzz.json");
+        println!("{}", report.summary_line());
+        for f in &report.failures {
+            println!(
+                "  case {} [{}{}]: {}\n    sql: {}\n    minimized ({} tokens): {}",
+                f.case,
+                f.oracle,
+                f.transform
+                    .as_deref()
+                    .map(|t| format!(" / {t}"))
+                    .unwrap_or_default(),
+                f.detail,
+                f.sql,
+                f.minimized_tokens,
+                f.minimized
+            );
+        }
+        println!("fuzz report written to {}", path.display());
+        finish_store(&opts, store.as_ref());
+        finish_timings(&opts, &out_dir, jobs_n, run_start);
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     eprintln!(
         "building benchmark suite (seed {}, {} jobs)…",
@@ -351,9 +482,9 @@ fn main() {
     for (i, job) in queue.iter().enumerate() {
         let (stage, slug, ablation) = job.store_key();
         let t = std::time::Instant::now();
-        let cached = store
-            .as_mut()
-            .and_then(|s| s.load_value::<Artifact>(stage, slug, fp_artifact(opts.seed, slug, ablation)));
+        let cached = store.as_mut().and_then(|s| {
+            s.load_value::<Artifact>(stage, slug, fp_artifact(opts.seed, slug, ablation))
+        });
         match cached {
             Some(artifact) => slots[i] = Some((artifact, t.elapsed())),
             None => misses.push((i, *job)),
@@ -374,7 +505,12 @@ fn main() {
     for (i, job, artifact, elapsed) in computed {
         if let Some(s) = store.as_mut() {
             let (stage, slug, ablation) = job.store_key();
-            s.save_value(stage, slug, fp_artifact(opts.seed, slug, ablation), &artifact);
+            s.save_value(
+                stage,
+                slug,
+                fp_artifact(opts.seed, slug, ablation),
+                &artifact,
+            );
         }
         slots[i] = Some((artifact, elapsed));
     }
@@ -567,5 +703,98 @@ mod tests {
         let opts = parse_args(&argv(&["--ablations", "--jobs", "2"])).unwrap();
         assert!(opts.ablations);
         assert_eq!(opts.jobs, Some(2));
+    }
+
+    #[test]
+    fn fuzz_flags() {
+        let opts = parse_args(&argv(&["--fuzz", "500"])).unwrap();
+        assert_eq!(opts.fuzz, Some(500));
+        assert_eq!(opts.fuzz_seed, 0);
+        let opts = parse_args(&argv(&["--fuzz", "500", "--fuzz-seed", "7"])).unwrap();
+        assert_eq!(opts.fuzz, Some(500));
+        assert_eq!(opts.fuzz_seed, 7);
+        // order-independent: the dependent flag may come first
+        let opts = parse_args(&argv(&["--fuzz-seed", "7", "--fuzz", "500"])).unwrap();
+        assert_eq!(opts.fuzz_seed, 7);
+        // composes with the shared execution flags
+        let opts = parse_args(&argv(&[
+            "--fuzz",
+            "100",
+            "--jobs",
+            "8",
+            "--resume",
+            "--store-stats",
+            "--timings",
+        ]))
+        .unwrap();
+        assert_eq!(opts.fuzz, Some(100));
+        assert_eq!(opts.jobs, Some(8));
+        assert!(opts.resume && opts.store_stats && opts.timings);
+        // value validation
+        assert!(parse_args(&argv(&["--fuzz"])).is_err());
+        assert!(parse_args(&argv(&["--fuzz", "0"])).is_err());
+        assert!(parse_args(&argv(&["--fuzz", "abc"])).is_err());
+        assert!(parse_args(&argv(&["--fuzz-seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        for dup in [
+            &["--resume", "--resume"][..],
+            &["--audit", "--timings", "--audit"][..],
+            &["--seed", "3", "--seed", "4"][..],
+            &["--jobs", "2", "--jobs", "2"][..],
+            &["--faults", "none", "--faults", "heavy"][..],
+            &["--fuzz", "10", "--fuzz", "20"][..],
+            &["--only", "table3", "--only", "table4"][..],
+            &["--export", "a", "--export", "b"][..],
+        ] {
+            let err = parse_args(&argv(dup)).unwrap_err();
+            assert!(
+                err.contains("duplicate flag"),
+                "{dup:?} should be a duplicate-flag error, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_modes_are_rejected() {
+        for conflict in [
+            &["--audit", "--faults", "none"][..],
+            &["--list", "--ablations"][..],
+            &["--fuzz", "10", "--audit"][..],
+            &["--export", "--only", "table3"][..],
+            &["--only", "table3", "--ablations"][..],
+            &["--fuzz", "10", "--faults", "heavy"][..],
+            &["--list", "--export"][..],
+        ] {
+            let err = parse_args(&argv(conflict)).unwrap_err();
+            assert!(
+                err.contains("conflicting flags"),
+                "{conflict:?} should be a mode conflict, got: {err}"
+            );
+        }
+        // both flags are named in the diagnosis
+        let err = parse_args(&argv(&["--audit", "--fuzz", "10"])).unwrap_err();
+        assert!(err.contains("--audit") && err.contains("--fuzz"), "{err}");
+    }
+
+    #[test]
+    fn dependent_flags_require_their_parent() {
+        for (args, parent) in [
+            (&["--fault-seed", "3"][..], "--faults"),
+            (&["--fault-gate", "0.5"][..], "--faults"),
+            (&["--fuzz-seed", "3"][..], "--fuzz"),
+            (&["--audit", "--fault-seed", "3"][..], "--faults"),
+        ] {
+            let err = parse_args(&argv(args)).unwrap_err();
+            assert!(
+                err.contains(parent),
+                "{args:?} should demand {parent}, got: {err}"
+            );
+        }
+        // with the parent present they parse, in any order
+        assert!(parse_args(&argv(&["--faults", "none", "--fault-seed", "3"])).is_ok());
+        assert!(parse_args(&argv(&["--fault-gate", "0.1", "--faults", "none"])).is_ok());
     }
 }

@@ -1,0 +1,103 @@
+//! Orchestration of `squ-fuzz` runs: parallel case execution over the
+//! [`par`] layer plus warm-resume through the artifact store.
+//!
+//! Each case is keyed in the store by `(fuzz seed, index)` via
+//! [`fp_fuzz`], so a re-run with `--resume` only
+//! executes cases the store has not judged yet — and because every case is
+//! fully determined by its key, a resumed report is byte-identical to a
+//! cold one.
+
+use crate::par;
+use crate::store::{fp_fuzz, Store};
+use squ_fuzz::{run_case, CaseReport, FuzzConfig, FuzzReport};
+
+/// Store stage name for fuzz cases.
+const STAGE: &str = "fuzz";
+
+/// Run `cases` fuzz cases under `fuzz_seed` with `jobs` workers.
+///
+/// When `store` is given, already-judged cases load from it and fresh
+/// results are saved back. Case order in the report is by index
+/// regardless of `jobs` or cache state.
+pub fn run_fuzz(
+    cases: u64,
+    fuzz_seed: u64,
+    jobs: usize,
+    mut store: Option<&mut Store>,
+) -> FuzzReport {
+    let cfg = FuzzConfig::new(fuzz_seed);
+
+    let mut slots: Vec<Option<CaseReport>> = Vec::with_capacity(cases as usize);
+    let mut pending: Vec<u64> = Vec::new();
+    for index in 0..cases {
+        let cached = store.as_mut().and_then(|s| {
+            s.load_value::<CaseReport>(STAGE, &format!("case{index}"), fp_fuzz(fuzz_seed, index))
+        });
+        if cached.is_none() {
+            pending.push(index);
+        }
+        slots.push(cached);
+    }
+
+    let computed = par::map(jobs, pending, |index| run_case(&cfg, index));
+
+    for report in computed {
+        let index = report.index;
+        if let Some(s) = store.as_mut() {
+            s.save_value(
+                STAGE,
+                &format!("case{index}"),
+                fp_fuzz(fuzz_seed, index),
+                &report,
+            );
+        }
+        slots[index as usize] = Some(report);
+    }
+
+    let ordered: Vec<CaseReport> = slots.into_iter().flatten().collect();
+    FuzzReport::from_cases(fuzz_seed, &ordered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, Store) {
+        let root = std::env::temp_dir().join(format!("squ-fuzz-run-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        (root.clone(), Store::open(root))
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_the_report() {
+        let a = run_fuzz(10, 3, 1, None);
+        let b = run_fuzz(10, 3, 4, None);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.is_clean(), "{}", a.to_json());
+    }
+
+    #[test]
+    fn warm_resume_skips_judged_cases_and_reproduces_the_report() {
+        let (root, mut store) = temp_store("resume");
+        let cold = run_fuzz(8, 5, 2, Some(&mut store));
+        assert_eq!(store.total_misses(), 8, "cold run must miss every case");
+
+        let mut store2 = Store::open(&root);
+        let warm = run_fuzz(8, 5, 2, Some(&mut store2));
+        let stats = store2.stats().get("fuzz").copied().unwrap_or_default();
+        assert_eq!(stats.hits, 8, "warm run must hit every case");
+        assert_eq!(cold.to_json(), warm.to_json());
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seed_changes_invalidate_the_cache() {
+        let (root, mut store) = temp_store("seedswap");
+        let _ = run_fuzz(4, 1, 1, Some(&mut store));
+        let mut store2 = Store::open(&root);
+        let _ = run_fuzz(4, 2, 1, Some(&mut store2));
+        assert_eq!(store2.total_misses(), 4, "a new seed must miss everywhere");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -110,8 +110,8 @@ impl<T: RunTask + Send + Sync> DynTask for Erased<T> {
     }
 
     fn encode_set(&self, set: &ExampleSet) -> String {
-        serde_json::to_string(&self.slice(set).to_vec())
-            .expect("benchmark records serialize") // lint:allow: plain data structs always serialize
+        let records = self.slice(set).to_vec();
+        serde_json::to_string(&records).expect("records serialize") // lint:allow: plain data structs always serialize
     }
 
     fn decode_set(&self, json: &str) -> Result<ExampleSet, String> {

@@ -37,6 +37,8 @@ const AUDIT_VERSION: u32 = 1;
 const FAULTS_VERSION: u32 = 1;
 /// Version tag of the ablation studies.
 const ABLATION_VERSION: u32 = 1;
+/// Bump when the fuzz generator, oracles, or case-report format change.
+const FUZZ_VERSION: u32 = 1;
 
 /// 64-bit FNV-1a over a byte stream.
 #[derive(Clone, Copy)]
@@ -173,6 +175,17 @@ pub fn fp_faults(seed: u64, profile: &str, fault_seed: u64) -> u64 {
         .finish()
 }
 
+/// Fingerprint of one fuzz case. Deliberately independent of the suite:
+/// a case is fully determined by `(fuzz seed, index)` plus the
+/// generator/oracle version, so fuzz results survive suite rebuilds.
+pub fn fp_fuzz(fuzz_seed: u64, index: u64) -> u64 {
+    Fingerprint::new("fuzz")
+        .num(u64::from(FUZZ_VERSION))
+        .num(fuzz_seed)
+        .num(index)
+        .finish()
+}
+
 /// Per-stage hit/miss/byte counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct StageStats {
@@ -262,8 +275,7 @@ impl Store {
             payload_hash: format!("{:016x}", payload_hash(payload)),
             bytes: payload.len() as u64,
         };
-        let header_line =
-            serde_json::to_string(&header).expect("store header serializes"); // lint:allow: plain data structs always serialize
+        let header_line = serde_json::to_string(&header).expect("store header serializes"); // lint:allow: plain data structs always serialize
         let path = self.entry_path(stage, name, fp);
         let written = path
             .parent()
@@ -273,7 +285,10 @@ impl Store {
         if let Err(e) = written {
             // The store is a cache: failing to persist must never fail the
             // run, but the user should know resume won't help next time.
-            eprintln!("warning: could not write store entry {}: {e}", path.display());
+            eprintln!(
+                "warning: could not write store entry {}: {e}",
+                path.display()
+            );
             return;
         }
         self.stage_stats(stage).bytes_written += payload.len() as u64;
@@ -299,8 +314,7 @@ impl Store {
 
     /// Typed wrapper over [`Store::save`].
     pub fn save_value<T: Serialize>(&mut self, stage: &str, name: &str, fp: u64, value: &T) {
-        let payload =
-            serde_json::to_string(value).expect("store payloads serialize"); // lint:allow: plain data structs always serialize
+        let payload = serde_json::to_string(value).expect("store payloads serialize"); // lint:allow: plain data structs always serialize
         self.save(stage, name, fp, &payload);
     }
 
@@ -348,14 +362,23 @@ mod tests {
 
     #[test]
     fn fingerprints_are_stable_and_distinct() {
-        assert_eq!(fp_workload(7, Workload::Sdss), fp_workload(7, Workload::Sdss));
-        assert_ne!(fp_workload(7, Workload::Sdss), fp_workload(8, Workload::Sdss));
+        assert_eq!(
+            fp_workload(7, Workload::Sdss),
+            fp_workload(7, Workload::Sdss)
+        );
+        assert_ne!(
+            fp_workload(7, Workload::Sdss),
+            fp_workload(8, Workload::Sdss)
+        );
         assert_ne!(
             fp_workload(7, Workload::Sdss),
             fp_workload(7, Workload::Spider)
         );
         assert_ne!(suite_fingerprint(7), suite_fingerprint(8));
-        assert_ne!(fp_artifact(7, "table3", false), fp_artifact(7, "table4", false));
+        assert_ne!(
+            fp_artifact(7, "table3", false),
+            fp_artifact(7, "table4", false)
+        );
         assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "heavy", 0));
         assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "none", 1));
     }
@@ -365,7 +388,10 @@ mod tests {
         let mut store = temp_store("roundtrip");
         assert_eq!(store.load("artifact", "t", 42), None);
         store.save("artifact", "t", 42, "payload bytes");
-        assert_eq!(store.load("artifact", "t", 42).as_deref(), Some("payload bytes"));
+        assert_eq!(
+            store.load("artifact", "t", 42).as_deref(),
+            Some("payload bytes")
+        );
         let s = store.stats()["artifact"];
         assert_eq!((s.hits, s.misses), (1, 1));
         assert_eq!(s.bytes_written, 13);
@@ -377,7 +403,9 @@ mod tests {
         let mut store = temp_store("corrupt");
         store.save("dataset", "syntax_sdss", 7, r#"[{"k":1}]"#);
         let path = store.entry_path("dataset", "syntax_sdss", 7);
-        let mangled = fs::read_to_string(&path).unwrap().replace("\"k\":1", "\"k\":2");
+        let mangled = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"k\":1", "\"k\":2");
         fs::write(&path, mangled).unwrap();
         assert_eq!(store.load("dataset", "syntax_sdss", 7), None);
         assert_eq!(store.stats()["dataset"].misses, 1);

@@ -142,9 +142,11 @@ impl Suite {
         let mut loaded: Vec<Option<Dataset>> = workload_ids
             .iter()
             .map(|w| {
-                store
-                    .as_mut()?
-                    .load_value::<Dataset>("workload", &slug(w.name()), fp_workload(seed, *w))
+                store.as_mut()?.load_value::<Dataset>(
+                    "workload",
+                    &slug(w.name()),
+                    fp_workload(seed, *w),
+                )
             })
             .collect();
         let missing: Vec<Workload> = workload_ids
@@ -171,8 +173,7 @@ impl Suite {
             .try_into()
             .expect("four workloads in, four out"); // lint:allow: fixed-size list
         let datasets = [&sdss, &sqlshare, &joborder, &spider];
-        let dataset_of =
-            |w: Workload| -> &Dataset { datasets[workload_slot(w)] };
+        let dataset_of = |w: Workload| -> &Dataset { datasets[workload_slot(w)] };
 
         // phase 2: derived task datasets. Store hits fill their canonical
         // slot immediately; misses go to the worker pool with equivalence

@@ -1,0 +1,162 @@
+//! Direct corruption-handling tests for `squ::store`.
+//!
+//! The store is a cache: every way an entry can rot on disk — truncation,
+//! bit flips, a store root that cannot be written — must demote to a miss
+//! (or a warning) and never a panic or a wrong payload.
+
+use squ::store::{fp_fuzz, Store};
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("squ-store-corrupt-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+/// The single entry file under `root`, assuming exactly one was saved.
+fn sole_entry(root: &PathBuf) -> PathBuf {
+    let mut found = Vec::new();
+    for stage in fs::read_dir(root).expect("store root exists") {
+        let stage = stage.expect("readable dir entry").path();
+        if stage.is_dir() {
+            for f in fs::read_dir(&stage).expect("stage dir readable") {
+                found.push(f.expect("readable dir entry").path());
+            }
+        }
+    }
+    assert_eq!(found.len(), 1, "expected exactly one store entry");
+    found.remove(0)
+}
+
+#[test]
+fn truncated_entry_is_a_miss_not_a_panic() {
+    let root = temp_root("truncate");
+    let fp = fp_fuzz(1, 0);
+    {
+        let mut store = Store::open(&root);
+        store.save("fuzz", "case0", fp, "{\"index\":0,\"payload\":\"intact\"}");
+    }
+    let path = sole_entry(&root);
+    let full = fs::read_to_string(&path).expect("entry readable");
+
+    // cut the file anywhere — inside the payload, inside the header, or
+    // down to nothing — and the load must cleanly miss
+    for keep in [full.len() - 3, full.len() / 2, 10, 0] {
+        fs::write(&path, &full[..keep]).expect("rewrite entry");
+        let mut store = Store::open(&root);
+        assert_eq!(store.load("fuzz", "case0", fp), None, "keep={keep}");
+        let s = store.stats().get("fuzz").copied().unwrap_or_default();
+        assert_eq!((s.hits, s.misses), (0, 1), "keep={keep}");
+        assert_eq!(s.bytes_read, 0, "keep={keep}");
+    }
+
+    // restore the original bytes: the entry must verify again
+    fs::write(&path, &full).expect("restore entry");
+    let mut store = Store::open(&root);
+    assert!(store.load("fuzz", "case0", fp).is_some());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn payload_tampering_fails_the_hash_check() {
+    let root = temp_root("tamper");
+    let fp = fp_fuzz(2, 5);
+    {
+        let mut store = Store::open(&root);
+        store.save("fuzz", "case5", fp, "{\"value\":\"original\"}");
+    }
+    let path = sole_entry(&root);
+    let full = fs::read_to_string(&path).expect("entry readable");
+
+    // same length, different bytes: the byte-count check passes, the
+    // payload hash must catch it
+    let tampered = full.replace("original", "0riginal");
+    assert_ne!(tampered, full, "the tamper must change the payload");
+    assert_eq!(tampered.len(), full.len());
+    fs::write(&path, &tampered).expect("rewrite entry");
+
+    let mut store = Store::open(&root);
+    assert_eq!(store.load("fuzz", "case5", fp), None);
+    let s = store.stats().get("fuzz").copied().unwrap_or_default();
+    assert_eq!((s.hits, s.misses), (0, 1));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unwritable_store_root_warns_and_degrades_to_miss() {
+    // a store rooted *under a regular file* can never create its stage
+    // directories, even for root: every save must warn (not panic, not
+    // exit) and every load must miss
+    let blocker =
+        std::env::temp_dir().join(format!("squ-store-corrupt-blocker-{}", std::process::id()));
+    fs::write(&blocker, "not a directory").expect("create blocker file");
+    let root = blocker.join("store");
+
+    let mut store = Store::open(&root);
+    let fp = fp_fuzz(3, 0);
+    store.save("fuzz", "case0", fp, "{\"doomed\":true}");
+    assert_eq!(store.load("fuzz", "case0", fp), None);
+    let s = store.stats().get("fuzz").copied().unwrap_or_default();
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.bytes_written, 0, "a failed save must not count bytes");
+
+    let _ = fs::remove_file(&blocker);
+}
+
+#[test]
+fn undecodable_payload_demotes_the_hit_to_a_miss() {
+    #[derive(serde::Serialize)]
+    struct V1 {
+        value: String,
+    }
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct V2 {
+        value: u64,
+    }
+
+    let root = temp_root("demote");
+    let fp = fp_fuzz(4, 0);
+    {
+        let mut store = Store::open(&root);
+        store.save_value(
+            "fuzz",
+            "case0",
+            fp,
+            &V1 {
+                value: "a string, not a number".to_string(),
+            },
+        );
+    }
+
+    // the entry is intact on disk (hash verifies) but does not decode as
+    // the newer shape: load_value must return None and the recorded hit
+    // must be demoted so `total_misses` reports the rebuild
+    let mut store = Store::open(&root);
+    let got: Option<V2> = store.load_value("fuzz", "case0", fp);
+    assert!(got.is_none());
+    let s = store.stats().get("fuzz").copied().unwrap_or_default();
+    assert_eq!((s.hits, s.misses), (0, 1));
+    assert_eq!(s.bytes_read, 0, "demotion must also return the bytes");
+    assert_eq!(store.total_misses(), 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn wrong_fingerprint_stage_or_name_is_a_miss() {
+    let root = temp_root("mismatch");
+    let fp = fp_fuzz(5, 1);
+    {
+        let mut store = Store::open(&root);
+        store.save("fuzz", "case1", fp, "{}");
+    }
+    let mut store = Store::open(&root);
+    // stale fingerprint (e.g. a version bump) — file name differs, miss
+    assert_eq!(store.load("fuzz", "case1", fp_fuzz(5, 2)), None);
+    // same fingerprint requested under another stage/name — miss
+    assert_eq!(store.load("artifact", "case1", fp), None);
+    assert_eq!(store.load("fuzz", "case2", fp), None);
+    // the genuine key still hits
+    assert!(store.load("fuzz", "case1", fp).is_some());
+    let _ = fs::remove_dir_all(&root);
+}

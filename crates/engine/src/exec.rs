@@ -797,7 +797,7 @@ impl<'a> Cx<'a> {
             }
             Expr::Cast { expr, type_name } => {
                 let v = self.expr_single(expr, frames)?;
-                Ok(cast(&v, type_name))
+                Ok(cast_value(&v, type_name))
             }
         }
     }
@@ -1240,7 +1240,9 @@ fn arith(op: char, l: &Value, r: &Value) -> Value {
     }
 }
 
-fn cast(v: &Value, type_name: &str) -> Value {
+/// CAST semantics, shared with the reference interpreter (the leaf value
+/// conversions are deliberately not part of the differential surface).
+pub(crate) fn cast_value(v: &Value, type_name: &str) -> Value {
     use squ_schema::SqlType;
     match SqlType::from_name(type_name) {
         SqlType::Int => match v {
@@ -1283,7 +1285,9 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     rec(s.as_bytes(), pattern.as_bytes())
 }
 
-fn scalar_function(name: &str, vals: &[Value]) -> Result<Value, ExecError> {
+/// Scalar-function library, shared with the reference interpreter (the
+/// leaf functions are deliberately not part of the differential surface).
+pub(crate) fn scalar_function(name: &str, vals: &[Value]) -> Result<Value, ExecError> {
     let s0 = || match vals.first() {
         Some(Value::Str(s)) => Some(s.clone()),
         Some(v) if !v.is_null() => Some(v.to_string()),

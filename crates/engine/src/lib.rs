@@ -29,6 +29,7 @@
 mod cost;
 mod exec;
 mod plan;
+mod reference;
 mod table;
 mod value;
 mod witness;
@@ -36,6 +37,7 @@ mod witness;
 pub use cost::CostModel;
 pub use exec::{execute, execute_query, like_match, ExecError, ExecStats};
 pub use plan::{explain, plan_query, Plan};
+pub use reference::{reference_execute, reference_query};
 pub use table::{Database, Relation};
 pub use value::Value;
 pub use witness::{

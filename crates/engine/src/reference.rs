@@ -1,0 +1,1115 @@
+//! Naive reference interpreter for differential testing.
+//!
+//! [`reference_query`] executes the same AST dialect as
+//! [`crate::execute_query`] but with none of its shortcuts: the FROM list is
+//! materialized as a full cross product before the WHERE clause runs (no
+//! per-conjunct predicate pushdown), and every join is a straight nested
+//! loop (the equi-join hash fast path does not exist here). There is no
+//! cost model and no statistics bookkeeping — just textbook semantics,
+//! written to be obviously correct rather than fast.
+//!
+//! The two interpreters share only the [`Value`] primitives and the leaf
+//! scalar-function library; all relational machinery (scans, joins,
+//! filtering, grouping, set operations, ordering) is implemented twice.
+//! `squ-fuzz` runs both over generated queries on witness databases and
+//! fails if they ever disagree under [`Relation::result_equal`], so a
+//! disagreement localizes a bug to one of the divergent layers — usually
+//! the optimized one.
+
+use crate::exec::{cast_value, scalar_function, ExecError};
+use crate::{like_match, Database, Relation, Value};
+use squ_parser::ast::*;
+use squ_parser::CompareOp;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Execute a statement on the reference interpreter. `CREATE TABLE … AS` /
+/// `CREATE VIEW` execute their defining query, like [`crate::execute`].
+pub fn reference_execute(stmt: &Statement, db: &Database) -> Result<Relation, ExecError> {
+    let q = stmt
+        .query()
+        .ok_or_else(|| ExecError::Unsupported("CREATE TABLE without AS SELECT".into()))?;
+    reference_query(q, db)
+}
+
+/// Execute a query with straight nested-loop semantics.
+pub fn reference_query(q: &Query, db: &Database) -> Result<Relation, ExecError> {
+    let mut cx = Rx {
+        db,
+        ctes: Vec::new(),
+    };
+    cx.query(q, &[])
+}
+
+/// Hard ceiling on any intermediate relation, mirroring the executor's
+/// guard. The reference engine hits it earlier than the optimized one on
+/// the same query (no pushdown shrinks the product), which the differential
+/// oracle treats as a skip, not a disagreement.
+const MAX_ROWS: usize = 120_000;
+
+/// A column of a working relation: optional table binding plus name.
+#[derive(Clone)]
+struct RCol {
+    binding: Option<String>,
+    name: String,
+}
+
+/// An intermediate relation with qualified columns.
+#[derive(Clone)]
+struct Rows {
+    cols: Vec<RCol>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// A correlation frame visible to subqueries.
+struct Scope<'a> {
+    cols: &'a [RCol],
+    row: &'a [Value],
+}
+
+struct Rx<'a> {
+    db: &'a Database,
+    ctes: Vec<HashMap<String, Relation>>,
+}
+
+impl<'a> Rx<'a> {
+    fn lookup_cte(&self, name: &str) -> Option<&Relation> {
+        self.ctes
+            .iter()
+            .rev()
+            .find_map(|env| env.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)))
+            .map(|(_, v)| v)
+    }
+
+    fn query(&mut self, q: &Query, env: &[Scope]) -> Result<Relation, ExecError> {
+        self.ctes.push(HashMap::new());
+        let result = (|| {
+            for cte in &q.ctes {
+                let rel = self.query(&cte.query, env)?;
+                if let Some(top) = self.ctes.last_mut() {
+                    top.insert(cte.name.clone(), rel);
+                }
+            }
+            let mut rel = self.set_expr(&q.body, &q.order_by, env)?;
+            let limit = q.limit.or(match &q.body {
+                SetExpr::Select(s) => s.top,
+                _ => None,
+            });
+            if let Some(n) = limit {
+                rel.rows.truncate(n as usize);
+            }
+            Ok(rel)
+        })();
+        self.ctes.pop();
+        result
+    }
+
+    fn set_expr(
+        &mut self,
+        body: &SetExpr,
+        order_by: &[OrderItem],
+        env: &[Scope],
+    ) -> Result<Relation, ExecError> {
+        match body {
+            SetExpr::Select(s) => self.select(s, order_by, env),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.set_expr(left, &[], env)?;
+                let r = self.set_expr(right, &[], env)?;
+                let mut rel = set_operation(op, *all, l, r);
+                if !order_by.is_empty() {
+                    sort_set_result(&mut rel, order_by)?;
+                }
+                Ok(rel)
+            }
+        }
+    }
+
+    fn select(
+        &mut self,
+        s: &Select,
+        order_by: &[OrderItem],
+        env: &[Scope],
+    ) -> Result<Relation, ExecError> {
+        // FROM: the full cross product of every item, with no early
+        // filtering whatsoever. The WHERE clause sees the complete product.
+        let mut working = Rows {
+            cols: Vec::new(),
+            rows: vec![Vec::new()], // one empty row for table-less SELECT
+        };
+        for tr in &s.from {
+            let next = self.table_ref(tr, env)?;
+            working = product(working, next)?;
+        }
+
+        // WHERE: the whole predicate, evaluated per surviving row.
+        if let Some(pred) = &s.selection {
+            let mut kept = Vec::new();
+            for row in working.rows {
+                let mut scopes = rescope(env);
+                scopes.push(Scope {
+                    cols: &working.cols,
+                    row: &row,
+                });
+                if self.eval(pred, &scopes)?.is_truthy() {
+                    kept.push(row);
+                }
+            }
+            working.rows = kept;
+        }
+
+        let grouped = !s.group_by.is_empty()
+            || s.items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || s.having.as_ref().is_some_and(|h| h.contains_aggregate())
+            || order_by.iter().any(|o| o.expr.contains_aggregate());
+
+        let (names, mut out) = if grouped {
+            self.project_grouped(s, order_by, env, &working)?
+        } else {
+            self.project_plain(s, order_by, env, &working)?
+        };
+
+        if s.distinct {
+            let mut seen = std::collections::HashSet::new();
+            out.retain(|(row, _)| seen.insert(row.clone()));
+        }
+
+        if !order_by.is_empty() {
+            out.sort_by(|(_, ka), (_, kb)| {
+                for ((va, item), vb) in ka.iter().zip(order_by).zip(kb.iter()) {
+                    let ord = va.total_cmp(vb);
+                    let ord = if item.desc { ord.reverse() } else { ord };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+        }
+
+        Ok(Relation::new(
+            names,
+            out.into_iter().map(|(r, _)| r).collect(),
+        ))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn project_plain(
+        &mut self,
+        s: &Select,
+        order_by: &[OrderItem],
+        env: &[Scope],
+        working: &Rows,
+    ) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), ExecError> {
+        let names = output_names(s, &working.cols);
+        let mut out = Vec::with_capacity(working.rows.len());
+        for row in &working.rows {
+            let mut scopes = rescope(env);
+            scopes.push(Scope {
+                cols: &working.cols,
+                row,
+            });
+            let mut vals = Vec::with_capacity(s.items.len());
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => vals.extend(row.iter().cloned()),
+                    SelectItem::QualifiedWildcard(q) => {
+                        for (c, v) in working.cols.iter().zip(row) {
+                            if c.binding
+                                .as_deref()
+                                .is_some_and(|b| b.eq_ignore_ascii_case(q))
+                            {
+                                vals.push(v.clone());
+                            }
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => vals.push(self.eval(expr, &scopes)?),
+                }
+            }
+            let mut keys = Vec::with_capacity(order_by.len());
+            for o in order_by {
+                match projected_key(&o.expr, s, &vals) {
+                    Some(v) => keys.push(v),
+                    None => keys.push(self.eval(&o.expr, &scopes)?),
+                }
+            }
+            out.push((vals, keys));
+        }
+        Ok((names, out))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn project_grouped(
+        &mut self,
+        s: &Select,
+        order_by: &[OrderItem],
+        env: &[Scope],
+        working: &Rows,
+    ) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), ExecError> {
+        // Group rows by the GROUP BY key vector, first-seen order.
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        for (ri, row) in working.rows.iter().enumerate() {
+            let mut scopes = rescope(env);
+            scopes.push(Scope {
+                cols: &working.cols,
+                row,
+            });
+            let mut key = Vec::with_capacity(s.group_by.len());
+            for g in &s.group_by {
+                key.push(self.eval(g, &scopes)?);
+            }
+            // Linear scan instead of a hash index: O(groups²) is fine for
+            // witness-sized data and keeps this implementation independent
+            // of Value's Hash impl.
+            match groups
+                .iter()
+                .position(|(k, _)| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a == b))
+            {
+                Some(gi) => groups[gi].1.push(ri),
+                None => groups.push((key, vec![ri])),
+            }
+        }
+        if groups.is_empty() && s.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        let names = output_names(s, &working.cols);
+        let mut out = Vec::with_capacity(groups.len());
+        for (_key, row_ids) in &groups {
+            let rows: Vec<&Vec<Value>> = row_ids.iter().map(|&i| &working.rows[i]).collect();
+            if let Some(h) = &s.having {
+                if !self.eval_grouped(h, env, &working.cols, &rows)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut vals = Vec::with_capacity(s.items.len());
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                        return Err(ExecError::Unsupported(
+                            "wildcard projection with GROUP BY".into(),
+                        ))
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        vals.push(self.eval_grouped(expr, env, &working.cols, &rows)?)
+                    }
+                }
+            }
+            let mut keys = Vec::with_capacity(order_by.len());
+            for o in order_by {
+                match projected_key(&o.expr, s, &vals) {
+                    Some(v) => keys.push(v),
+                    None => keys.push(self.eval_grouped(&o.expr, env, &working.cols, &rows)?),
+                }
+            }
+            out.push((vals, keys));
+        }
+        Ok((names, out))
+    }
+
+    fn table_ref(&mut self, tr: &TableRef, env: &[Scope]) -> Result<Rows, ExecError> {
+        match tr {
+            TableRef::Named { name, alias } => {
+                let rel = if let Some(r) = self.lookup_cte(name) {
+                    r.clone()
+                } else {
+                    self.db
+                        .table(name)
+                        .ok_or_else(|| ExecError::UnknownTable(name.clone()))?
+                        .clone()
+                };
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                Ok(Rows {
+                    cols: rel
+                        .columns
+                        .iter()
+                        .map(|c| RCol {
+                            binding: Some(binding.clone()),
+                            name: c.clone(),
+                        })
+                        .collect(),
+                    rows: rel.rows,
+                })
+            }
+            TableRef::Derived { query, alias } => {
+                let rel = self.query(query, env)?;
+                let binding = alias.clone().unwrap_or_default();
+                Ok(Rows {
+                    cols: rel
+                        .columns
+                        .iter()
+                        .map(|c| RCol {
+                            binding: Some(binding.clone()),
+                            name: c.clone(),
+                        })
+                        .collect(),
+                    rows: rel.rows,
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
+                let l = self.table_ref(left, env)?;
+                let r = self.table_ref(right, env)?;
+                self.nested_loop_join(l, r, *kind, constraint, env)
+            }
+        }
+    }
+
+    /// The only join algorithm the reference engine has.
+    fn nested_loop_join(
+        &mut self,
+        l: Rows,
+        r: Rows,
+        kind: JoinKind,
+        constraint: &JoinConstraint,
+        env: &[Scope],
+    ) -> Result<Rows, ExecError> {
+        if l.rows.len().saturating_mul(r.rows.len()) > MAX_ROWS {
+            return Err(ExecError::ResourceLimit);
+        }
+        let mut cols = l.cols.clone();
+        cols.extend(r.cols.clone());
+
+        // Resolve USING positions up front (errors even on empty inputs,
+        // matching the optimized engine).
+        let mut using_pairs = Vec::new();
+        if let JoinConstraint::Using(names) = constraint {
+            for n in names {
+                let li = l
+                    .cols
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(n))
+                    .ok_or_else(|| ExecError::UnknownColumn(n.clone()))?;
+                let ri = r
+                    .cols
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(n))
+                    .ok_or_else(|| ExecError::UnknownColumn(n.clone()))?;
+                using_pairs.push((li, ri));
+            }
+        }
+
+        let mut rows = Vec::new();
+        let mut right_matched = vec![false; r.rows.len()];
+        for lrow in &l.rows {
+            let mut matched = false;
+            for (ri, rrow) in r.rows.iter().enumerate() {
+                let hit = match constraint {
+                    JoinConstraint::None => true,
+                    JoinConstraint::On(e) => {
+                        let mut combined = lrow.clone();
+                        combined.extend(rrow.iter().cloned());
+                        let mut scopes = rescope(env);
+                        scopes.push(Scope {
+                            cols: &cols,
+                            row: &combined,
+                        });
+                        self.eval(e, &scopes)?.is_truthy()
+                    }
+                    JoinConstraint::Using(_) => using_pairs
+                        .iter()
+                        .all(|&(li, rj)| lrow[li].sql_eq(&rrow[rj]) == Some(true)),
+                };
+                if hit {
+                    matched = true;
+                    right_matched[ri] = true;
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                let mut row = lrow.clone();
+                row.extend(std::iter::repeat(Value::Null).take(r.cols.len()));
+                rows.push(row);
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (ri, rrow) in r.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut row: Vec<Value> =
+                        std::iter::repeat(Value::Null).take(l.cols.len()).collect();
+                    row.extend(rrow.iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+        Ok(Rows { cols, rows })
+    }
+
+    // ----- expressions -----
+
+    fn eval(&mut self, e: &Expr, scopes: &[Scope]) -> Result<Value, ExecError> {
+        match e {
+            Expr::Column(c) => resolve(c, scopes),
+            Expr::Literal(l) => Ok(match l {
+                Literal::Number(v) => Value::Num(*v),
+                Literal::String(s) => Value::Str(s.clone()),
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Null => Value::Null,
+            }),
+            Expr::Compare { op, left, right } => {
+                let l = self.eval(left, scopes)?;
+                let r = self.eval(right, scopes)?;
+                Ok(bool3(compare3(*op, &l, &r)))
+            }
+            Expr::And(a, b) => {
+                let ta = truth(&self.eval(a, scopes)?);
+                if ta == Some(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let tb = truth(&self.eval(b, scopes)?);
+                Ok(bool3(match (ta, tb) {
+                    (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                }))
+            }
+            Expr::Or(a, b) => {
+                let ta = truth(&self.eval(a, scopes)?);
+                if ta == Some(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let tb = truth(&self.eval(b, scopes)?);
+                Ok(bool3(match (ta, tb) {
+                    (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                }))
+            }
+            Expr::Not(inner) => Ok(bool3(truth(&self.eval(inner, scopes)?).map(|b| !b))),
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, scopes)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                // Desugared as the standard conjunction low <= v AND v <= high.
+                let v = self.eval(expr, scopes)?;
+                let lo = self.eval(low, scopes)?;
+                let hi = self.eval(high, scopes)?;
+                let ge = compare3(CompareOp::GtEq, &v, &lo);
+                let le = compare3(CompareOp::LtEq, &v, &hi);
+                let inside = match (ge, le) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                };
+                Ok(bool3(if *negated { inside.map(|b| !b) } else { inside }))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.eval(expr, scopes)?;
+                let mut base: Option<bool> = Some(false);
+                for item in list {
+                    let iv = self.eval(item, scopes)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => {
+                            base = Some(true);
+                            break;
+                        }
+                        None => base = None,
+                        Some(false) => {}
+                    }
+                }
+                Ok(bool3(if *negated { base.map(|b| !b) } else { base }))
+            }
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                let v = self.eval(expr, scopes)?;
+                let rel = self.query(subquery, scopes)?;
+                let mut base: Option<bool> = Some(false);
+                for r in &rel.rows {
+                    match r.first().map(|x| v.sql_eq(x)) {
+                        Some(Some(true)) => {
+                            base = Some(true);
+                            break;
+                        }
+                        Some(None) | None => base = None,
+                        Some(Some(false)) => {}
+                    }
+                }
+                Ok(bool3(if *negated { base.map(|b| !b) } else { base }))
+            }
+            Expr::Exists { subquery, negated } => {
+                let rel = self.query(subquery, scopes)?;
+                Ok(Value::Bool(rel.rows.is_empty() == *negated))
+            }
+            Expr::ScalarSubquery(q) => {
+                let rel = self.query(q, scopes)?;
+                match rel.rows.len() {
+                    0 => Ok(Value::Null),
+                    1 => Ok(rel.rows[0].first().cloned().unwrap_or(Value::Null)),
+                    _ => Err(ExecError::ScalarSubqueryMultiRow),
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.eval(expr, scopes)?;
+                let p = self.eval(pattern, scopes)?;
+                match (&v, &p) {
+                    (Value::Str(s), Value::Str(pat)) => {
+                        Ok(Value::Bool(like_match(s, pat) != *negated))
+                    }
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    _ => Ok(Value::Bool(false)),
+                }
+            }
+            Expr::Function { name, args, .. } => {
+                if is_aggregate_name(name) {
+                    return Err(ExecError::Unsupported(format!(
+                        "aggregate {name} outside GROUP BY context"
+                    )));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, scopes)?);
+                }
+                scalar_function(name, &vals)
+            }
+            Expr::Wildcard => Err(ExecError::Unsupported("bare * in expression".into())),
+            Expr::Arith { op, left, right } => {
+                let l = self.eval(left, scopes)?;
+                let r = self.eval(right, scopes)?;
+                Ok(arith3(*op, &l, &r))
+            }
+            Expr::Neg(inner) => Ok(match self.eval(inner, scopes)? {
+                Value::Num(x) => Value::Num(-x),
+                _ => Value::Null,
+            }),
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                let op_val = match operand {
+                    Some(op) => Some(self.eval(op, scopes)?),
+                    None => None,
+                };
+                for (w, t) in branches {
+                    let wv = self.eval(w, scopes)?;
+                    let hit = match &op_val {
+                        Some(ov) => ov.sql_eq(&wv) == Some(true),
+                        None => wv.is_truthy(),
+                    };
+                    if hit {
+                        return self.eval(t, scopes);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval(e, scopes),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Cast { expr, type_name } => {
+                let v = self.eval(expr, scopes)?;
+                Ok(cast_value(&v, type_name))
+            }
+        }
+    }
+
+    fn eval_grouped(
+        &mut self,
+        e: &Expr,
+        env: &[Scope],
+        cols: &[RCol],
+        rows: &[&Vec<Value>],
+    ) -> Result<Value, ExecError> {
+        match e {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } if is_aggregate_name(name) => self.aggregate(name, args, *distinct, env, cols, rows),
+            Expr::And(a, b) => {
+                let ta = truth(&self.eval_grouped(a, env, cols, rows)?);
+                if ta == Some(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let tb = truth(&self.eval_grouped(b, env, cols, rows)?);
+                Ok(bool3(match (ta, tb) {
+                    (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                }))
+            }
+            Expr::Or(a, b) => {
+                let ta = truth(&self.eval_grouped(a, env, cols, rows)?);
+                if ta == Some(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let tb = truth(&self.eval_grouped(b, env, cols, rows)?);
+                Ok(bool3(match (ta, tb) {
+                    (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                }))
+            }
+            Expr::Not(inner) => Ok(bool3(
+                truth(&self.eval_grouped(inner, env, cols, rows)?).map(|b| !b),
+            )),
+            Expr::Compare { op, left, right } => {
+                let l = self.eval_grouped(left, env, cols, rows)?;
+                let r = self.eval_grouped(right, env, cols, rows)?;
+                Ok(bool3(compare3(*op, &l, &r)))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = self.eval_grouped(left, env, cols, rows)?;
+                let r = self.eval_grouped(right, env, cols, rows)?;
+                Ok(arith3(*op, &l, &r))
+            }
+            other => match rows.first() {
+                Some(first) => {
+                    let mut scopes = rescope(env);
+                    scopes.push(Scope { cols, row: first });
+                    self.eval(other, &scopes)
+                }
+                None => Ok(Value::Null),
+            },
+        }
+    }
+
+    fn aggregate(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        distinct: bool,
+        env: &[Scope],
+        cols: &[RCol],
+        rows: &[&Vec<Value>],
+    ) -> Result<Value, ExecError> {
+        let upper = name.to_ascii_uppercase();
+        if upper == "COUNT" && matches!(args.first(), Some(Expr::Wildcard) | None) {
+            return Ok(Value::Num(rows.len() as f64));
+        }
+        let arg = args
+            .first()
+            .ok_or_else(|| ExecError::Unsupported(format!("{name}()")))?;
+        let mut vals = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut scopes = rescope(env);
+            scopes.push(Scope { cols, row });
+            let v = self.eval(arg, &scopes)?;
+            if !v.is_null() {
+                vals.push(v);
+            }
+        }
+        if distinct {
+            // Quadratic dedup: independent of Value's Hash implementation.
+            let mut uniq: Vec<Value> = Vec::new();
+            for v in vals {
+                if !uniq.contains(&v) {
+                    uniq.push(v);
+                }
+            }
+            vals = uniq;
+        }
+        Ok(match upper.as_str() {
+            "COUNT" => Value::Num(vals.len() as f64),
+            "SUM" => {
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Num(vals.iter().filter_map(|v| v.as_num()).sum())
+                }
+            }
+            "AVG" => {
+                let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Num(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            "MIN" => vals
+                .iter()
+                .min_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null),
+            "MAX" => vals
+                .iter()
+                .max_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null),
+            "STDEV" | "STDDEV" | "VAR" | "VARIANCE" => {
+                let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
+                if nums.len() < 2 {
+                    Value::Null
+                } else {
+                    let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+                    let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                        / (nums.len() - 1) as f64;
+                    if upper.starts_with("VAR") {
+                        Value::Num(var)
+                    } else {
+                        Value::Num(var.sqrt())
+                    }
+                }
+            }
+            _ => return Err(ExecError::Unsupported(format!("aggregate {name}"))),
+        })
+    }
+}
+
+// ----- free helpers -----
+
+fn rescope<'a>(env: &'a [Scope]) -> Vec<Scope<'a>> {
+    env.iter()
+        .map(|f| Scope {
+            cols: f.cols,
+            row: f.row,
+        })
+        .collect()
+}
+
+fn resolve(c: &ColumnRef, scopes: &[Scope]) -> Result<Value, ExecError> {
+    for scope in scopes.iter().rev() {
+        for (rc, v) in scope.cols.iter().zip(scope.row.iter()) {
+            if !rc.name.eq_ignore_ascii_case(&c.name) {
+                continue;
+            }
+            match &c.qualifier {
+                Some(q) => {
+                    if rc
+                        .binding
+                        .as_deref()
+                        .is_some_and(|b| b.eq_ignore_ascii_case(q))
+                    {
+                        return Ok(v.clone());
+                    }
+                }
+                None => return Ok(v.clone()),
+            }
+        }
+    }
+    Err(ExecError::UnknownColumn(format!("{c}")))
+}
+
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        _ => Some(false),
+    }
+}
+
+fn bool3(t: Option<bool>) -> Value {
+    match t {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn compare3(op: CompareOp, l: &Value, r: &Value) -> Option<bool> {
+    match op {
+        CompareOp::Eq => l.sql_eq(r),
+        CompareOp::NotEq => l.sql_eq(r).map(|b| !b),
+        CompareOp::Lt => l.sql_cmp(r).map(|o| o == Ordering::Less),
+        CompareOp::LtEq => l.sql_cmp(r).map(|o| o != Ordering::Greater),
+        CompareOp::Gt => l.sql_cmp(r).map(|o| o == Ordering::Greater),
+        CompareOp::GtEq => l.sql_cmp(r).map(|o| o != Ordering::Less),
+    }
+}
+
+fn arith3(op: char, l: &Value, r: &Value) -> Value {
+    match (l.as_num(), r.as_num()) {
+        (Some(a), Some(b)) => match op {
+            '+' => Value::Num(a + b),
+            '-' => Value::Num(a - b),
+            '*' => Value::Num(a * b),
+            '/' if b != 0.0 => Value::Num(a / b),
+            '%' if b != 0.0 => Value::Num(a % b),
+            _ => Value::Null,
+        },
+        _ => Value::Null,
+    }
+}
+
+fn product(l: Rows, r: Rows) -> Result<Rows, ExecError> {
+    if l.rows.len().saturating_mul(r.rows.len()) > MAX_ROWS {
+        return Err(ExecError::ResourceLimit);
+    }
+    let mut cols = l.cols;
+    cols.extend(r.cols);
+    let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
+    for lrow in &l.rows {
+        for rrow in &r.rows {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Ok(Rows { cols, rows })
+}
+
+fn output_names(s: &Select, cols: &[RCol]) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in &s.items {
+        match item {
+            SelectItem::Wildcard => out.extend(cols.iter().map(|c| c.name.clone())),
+            SelectItem::QualifiedWildcard(q) => out.extend(
+                cols.iter()
+                    .filter(|c| {
+                        c.binding
+                            .as_deref()
+                            .is_some_and(|b| b.eq_ignore_ascii_case(q))
+                    })
+                    .map(|c| c.name.clone()),
+            ),
+            SelectItem::Expr { expr, alias } => {
+                out.push(alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column(c) => c.name.clone(),
+                    Expr::Function { name, .. } => name.clone(),
+                    _ => "expr".to_string(),
+                }))
+            }
+        }
+    }
+    out
+}
+
+/// ORDER BY key that names a projection alias or repeats a projected
+/// expression: reuse the already-computed output value.
+fn projected_key(expr: &Expr, s: &Select, out_vals: &[Value]) -> Option<Value> {
+    if let Expr::Column(c) = expr {
+        if c.qualifier.is_none() {
+            for (i, item) in s.items.iter().enumerate() {
+                if let SelectItem::Expr { alias: Some(a), .. } = item {
+                    if a.eq_ignore_ascii_case(&c.name) {
+                        return out_vals.get(i).cloned();
+                    }
+                }
+            }
+        }
+    }
+    for (i, item) in s.items.iter().enumerate() {
+        if let SelectItem::Expr { expr: pe, .. } = item {
+            if exprs_match(pe, expr) {
+                return out_vals.get(i).cloned();
+            }
+        }
+    }
+    None
+}
+
+/// Structural equality with case-insensitive function names.
+fn exprs_match(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (
+            Expr::Function {
+                name: n1,
+                args: a1,
+                distinct: d1,
+            },
+            Expr::Function {
+                name: n2,
+                args: a2,
+                distinct: d2,
+            },
+        ) => {
+            n1.eq_ignore_ascii_case(n2)
+                && d1 == d2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| exprs_match(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+fn set_operation(op: &SetOp, all: bool, l: Relation, r: Relation) -> Relation {
+    let cols = l.columns.clone();
+    // Membership and dedup via linear scans over the canonical total order —
+    // deliberately not sharing the optimized engine's HashSet machinery.
+    let contains = |rows: &[Vec<Value>], row: &[Value]| {
+        rows.iter()
+            .any(|r| r.len() == row.len() && r.iter().zip(row).all(|(a, b)| a == b))
+    };
+    match op {
+        SetOp::Union => {
+            let mut rows = l.rows;
+            rows.extend(r.rows);
+            if !all {
+                let mut uniq: Vec<Vec<Value>> = Vec::new();
+                for row in rows {
+                    if !contains(&uniq, &row) {
+                        uniq.push(row);
+                    }
+                }
+                rows = uniq;
+            }
+            Relation::new(cols, rows)
+        }
+        SetOp::Intersect => {
+            let mut uniq: Vec<Vec<Value>> = Vec::new();
+            let mut rows = Vec::new();
+            for row in l.rows {
+                if contains(&r.rows, &row) && (all || !contains(&uniq, &row)) {
+                    if !all {
+                        uniq.push(row.clone());
+                    }
+                    rows.push(row);
+                }
+            }
+            Relation::new(cols, rows)
+        }
+        SetOp::Except => {
+            let mut uniq: Vec<Vec<Value>> = Vec::new();
+            let mut rows = Vec::new();
+            for row in l.rows {
+                if !contains(&r.rows, &row) && (all || !contains(&uniq, &row)) {
+                    if !all {
+                        uniq.push(row.clone());
+                    }
+                    rows.push(row);
+                }
+            }
+            Relation::new(cols, rows)
+        }
+    }
+}
+
+fn sort_set_result(rel: &mut Relation, order_by: &[OrderItem]) -> Result<(), ExecError> {
+    let mut keys = Vec::new();
+    for item in order_by {
+        match &item.expr {
+            Expr::Column(c) if c.qualifier.is_none() => {
+                let idx = rel
+                    .column_index(&c.name)
+                    .ok_or_else(|| ExecError::UnknownColumn(c.name.clone()))?;
+                keys.push((idx, item.desc));
+            }
+            other => {
+                return Err(ExecError::Unsupported(format!(
+                    "set-operation ORDER BY on expression {}",
+                    squ_parser::print_expr(other)
+                )))
+            }
+        }
+    }
+    rel.rows.sort_by(|a, b| {
+        for (idx, desc) in &keys {
+            let ord = a[*idx].total_cmp(&b[*idx]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute_query, witness_database};
+    use squ_parser::parse_query;
+    use squ_schema::schemas::sdss;
+
+    fn both(sql: &str) -> (Relation, Relation) {
+        let db = witness_database(&sdss(), 11, 6, 12);
+        let q = parse_query(sql).unwrap();
+        let (fast, _) = execute_query(&q, &db).unwrap();
+        let slow = reference_query(&q, &db).unwrap();
+        (fast, slow)
+    }
+
+    #[test]
+    fn agrees_on_filters_and_projection() {
+        let (fast, slow) = both("SELECT plate, z FROM SpecObj WHERE z > 200 AND plate < 900");
+        assert!(fast.result_equal(&slow));
+    }
+
+    #[test]
+    fn agrees_on_joins() {
+        let (fast, slow) = both(
+            "SELECT s.plate, p.objID FROM SpecObj AS s JOIN PhotoObj AS p \
+             ON s.bestObjID = p.objID WHERE p.type > 2",
+        );
+        assert!(fast.result_equal(&slow));
+    }
+
+    #[test]
+    fn agrees_on_left_join_null_padding() {
+        let (fast, slow) = both(
+            "SELECT s.plate, p.objID FROM SpecObj AS s LEFT JOIN PhotoObj AS p \
+             ON s.bestObjID = p.objID",
+        );
+        assert!(fast.result_equal(&slow));
+    }
+
+    #[test]
+    fn agrees_on_grouping_and_having() {
+        let (fast, slow) = both(
+            "SELECT type, COUNT(*) AS n, AVG(ra) FROM PhotoObj \
+             GROUP BY type HAVING COUNT(*) >= 1 ORDER BY n DESC",
+        );
+        assert!(fast.result_equal(&slow));
+    }
+
+    #[test]
+    fn agrees_on_set_operations() {
+        let (fast, slow) = both(
+            "SELECT plate FROM SpecObj WHERE z > 500 \
+             UNION SELECT plate FROM SpecObj WHERE z <= 500 ORDER BY plate",
+        );
+        assert!(fast.result_equal(&slow));
+    }
+
+    #[test]
+    fn agrees_on_subqueries() {
+        let (fast, slow) = both(
+            "SELECT plate FROM SpecObj WHERE bestObjID IN \
+             (SELECT objID FROM PhotoObj WHERE type > 1)",
+        );
+        assert!(fast.result_equal(&slow));
+    }
+
+    #[test]
+    fn agrees_on_order_by_limit() {
+        let (fast, slow) = both("SELECT plate, z FROM SpecObj ORDER BY z DESC, plate ASC LIMIT 4");
+        // LIMIT after ORDER BY: row-for-row, not just multiset.
+        assert_eq!(fast.rows, slow.rows);
+    }
+
+    #[test]
+    fn agrees_on_distinct_and_expressions() {
+        let (fast, slow) = both(
+            "SELECT DISTINCT type, CASE WHEN ra > 500 THEN 'hi' ELSE 'lo' END AS band \
+             FROM PhotoObj WHERE dec IS NOT NULL",
+        );
+        assert!(fast.result_equal(&slow));
+    }
+
+    #[test]
+    fn reference_has_no_pushdown_but_same_answer_on_implicit_joins() {
+        let (fast, slow) = both(
+            "SELECT s.plate FROM SpecObj AS s, PhotoObj AS p \
+             WHERE s.bestObjID = p.objID AND p.type > 1",
+        );
+        assert!(fast.result_equal(&slow));
+    }
+}

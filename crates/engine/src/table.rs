@@ -68,6 +68,53 @@ impl Relation {
     pub fn result_equal(&self, other: &Relation) -> bool {
         self.columns.len() == other.columns.len() && self.sorted_rows() == other.sorted_rows()
     }
+
+    /// Canonical form of the result: same columns, rows sorted into the
+    /// total order used by [`Relation::sorted_rows`]. Two relations are
+    /// [`Relation::result_equal`] iff their canonical forms have equal
+    /// column counts and identical row vectors — the form the differential
+    /// oracle compares and reports.
+    pub fn canonical(&self) -> Relation {
+        Relation {
+            columns: self.columns.clone(),
+            rows: self.sorted_rows(),
+        }
+    }
+
+    /// Stable 64-bit FNV-1a digest of the canonical form. Independent of
+    /// row order and of `HashMap` iteration; used by fuzz reports to name
+    /// a result compactly.
+    pub fn canonical_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&(self.columns.len() as u64).to_le_bytes());
+        for row in self.sorted_rows() {
+            eat(&[0xFE]); // row separator
+            for v in row {
+                match v {
+                    Value::Null => eat(&[0]),
+                    Value::Num(x) => {
+                        eat(&[1]);
+                        // normalize -0.0 so equal numbers digest equally
+                        let x = if x == 0.0 { 0.0 } else { x };
+                        eat(&x.to_bits().to_le_bytes());
+                    }
+                    Value::Str(s) => {
+                        eat(&[2]);
+                        eat(&(s.len() as u64).to_le_bytes());
+                        eat(s.as_bytes());
+                    }
+                    Value::Bool(b) => eat(&[3, u8::from(b)]),
+                }
+            }
+        }
+        h
+    }
 }
 
 /// A named database instance: tables with data.

@@ -1,0 +1,923 @@
+//! Seedable generation of random schemas and schema-valid queries.
+//!
+//! The generator is grammar-driven: it builds ASTs directly (never strings)
+//! over a small randomly generated star schema, then prints them with the
+//! canonical printer. Every emitted query is checked against the binder
+//! ([`squ_schema::analyze`]) before the oracles run; the grammar is tuned
+//! so that check almost always passes on the first attempt, with a trivial
+//! fallback query guaranteeing progress.
+//!
+//! Shapes covered: single-table selects, explicit `JOIN`/`LEFT JOIN` and
+//! implicit comma joins over foreign keys, projections with arithmetic and
+//! `CASE` expressions, `WHERE` trees over comparisons / `BETWEEN` / `IN` /
+//! `IS NULL` / `LIKE` with `AND`/`OR`/`NOT`, `IN`-subqueries and scalar
+//! aggregate subqueries, `GROUP BY` + aggregates + `HAVING`, `DISTINCT`,
+//! `ORDER BY`/`LIMIT`, set operations, CTEs, and derived tables.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use squ_engine::TEXT_VOCAB;
+use squ_parser::ast::*;
+use squ_parser::CompareOp;
+use squ_schema::{Schema, SqlType, Table};
+
+/// SplitMix64 — the standard way to derive independent sub-seeds from a
+/// master seed without correlating the resulting ChaCha streams.
+pub fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How many distinct schemas one run cycles through. Small enough that the
+/// witness-batch cache amortizes across cases, large enough for variety.
+pub const SCHEMA_POOL: u64 = 8;
+
+/// One generated column, with the type information the grammar needs.
+#[derive(Debug, Clone)]
+pub struct GenColumn {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// Is this an id-like column (witness domain `1..=12`, never NULL)?
+    pub id_like: bool,
+}
+
+/// One generated table.
+#[derive(Debug, Clone)]
+pub struct GenTable {
+    /// Table name (`t0`, `t1`, …).
+    pub name: String,
+    /// Columns; the first is always the primary key `t{i}id`, and every
+    /// table after the first carries a `t0id` foreign key.
+    pub columns: Vec<GenColumn>,
+}
+
+/// A generated schema plus the catalog form the binder and witnesses use.
+pub struct GenSchema {
+    /// Catalog for the binder and witness generator.
+    pub schema: Schema,
+    /// The generator's own view of the same tables.
+    pub tables: Vec<GenTable>,
+}
+
+/// Generate the schema for one pool slot of a run.
+pub fn generate_schema(seed: u64, slot: u64) -> GenSchema {
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0x5CE3_A000 ^ slot));
+    let n_tables = rng.gen_range(2..=3usize);
+    let mut tables = Vec::with_capacity(n_tables);
+    for ti in 0..n_tables {
+        let mut columns = vec![GenColumn {
+            name: format!("t{ti}id"),
+            ty: SqlType::Int,
+            id_like: true,
+        }];
+        if ti > 0 {
+            columns.push(GenColumn {
+                name: format!("fk{ti}t0id"),
+                ty: SqlType::Int,
+                id_like: true, // name ends in "id": witness domain 1..=12
+            });
+        }
+        let extras = rng.gen_range(2..=4usize);
+        for ci in 0..extras {
+            let ty = match rng.gen_range(0..5u32) {
+                0 | 1 => SqlType::Int,
+                2 => SqlType::Float,
+                3 => SqlType::Text,
+                _ => SqlType::Bool,
+            };
+            let prefix = match ty {
+                SqlType::Int => "v",
+                SqlType::Float => "f",
+                SqlType::Text => "s",
+                SqlType::Bool => "b",
+            };
+            columns.push(GenColumn {
+                name: format!("{prefix}{ti}x{ci}"),
+                ty,
+                id_like: false,
+            });
+        }
+        tables.push(GenTable {
+            name: format!("t{ti}"),
+            columns,
+        });
+    }
+
+    let mut schema = Schema::new(&format!("fuzz{slot}"));
+    for t in &tables {
+        let cols: Vec<(&str, SqlType)> =
+            t.columns.iter().map(|c| (c.name.as_str(), c.ty)).collect();
+        schema = schema.with_table(Table::new(&t.name, 40, &cols));
+    }
+    GenSchema { schema, tables }
+}
+
+/// A table in scope: its binding name (alias or table name) and columns.
+#[derive(Clone)]
+struct InScope {
+    binding: String,
+    columns: Vec<GenColumn>,
+}
+
+/// Generate one query AST over `gs`. The result is *intended* to be
+/// binder-clean; callers still gate it through [`squ_schema::analyze`].
+pub fn generate_query(rng: &mut StdRng, gs: &GenSchema) -> Query {
+    match rng.gen_range(0..10u32) {
+        0 => gen_set_op(rng, gs),
+        1 => gen_cte(rng, gs),
+        2 => gen_derived(rng, gs),
+        _ => gen_select_query(rng, gs, true),
+    }
+}
+
+/// The always-valid fallback used when the grammar's attempts keep
+/// tripping the binder (never observed in practice, but termination must
+/// not depend on that).
+pub fn fallback_query(gs: &GenSchema) -> Query {
+    let t = &gs.tables[0];
+    let mut s = Select::new();
+    s.items = vec![SelectItem::column(None, &t.columns[0].name)];
+    s.from = vec![TableRef::Named {
+        name: t.name.clone(),
+        alias: None,
+    }];
+    Query::from_select(s)
+}
+
+fn gen_select_query(rng: &mut StdRng, gs: &GenSchema, allow_subquery: bool) -> Query {
+    let (from, scopes) = gen_from(rng, gs);
+    let multi = scopes.len() > 1;
+
+    let grouped = rng.gen_bool(0.22);
+    let mut s = Select::new();
+    s.from = from;
+
+    if grouped {
+        let scope = &scopes[0];
+        let group_col = pick_column(rng, scope, |_| true);
+        let group_expr = column_expr(multi, scope, &group_col);
+        s.group_by = vec![group_expr.clone()];
+        let mut items = vec![SelectItem::Expr {
+            expr: group_expr.clone(),
+            alias: None,
+        }];
+        let (agg_expr, _) = gen_aggregate(rng, &scopes, multi);
+        items.push(SelectItem::Expr {
+            expr: agg_expr,
+            alias: Some("agg".to_string()),
+        });
+        s.items = items;
+        if rng.gen_bool(0.4) {
+            let (h_agg, _) = gen_aggregate(rng, &scopes, multi);
+            s.having = Some(Expr::Compare {
+                op: pick_compare(rng),
+                left: Box::new(h_agg),
+                right: Box::new(Expr::number(rng.gen_range(0..6) as f64)),
+            });
+        }
+    } else {
+        s.distinct = rng.gen_bool(0.15);
+        let n_items = rng.gen_range(1..=3usize);
+        let mut items = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            items.push(gen_select_item(rng, &scopes, multi, i));
+        }
+        s.items = items;
+    }
+
+    if rng.gen_bool(0.8) {
+        s.selection = Some(gen_predicate(rng, gs, &scopes, multi, 2, allow_subquery));
+    }
+
+    let mut q = Query::from_select(s);
+
+    if rng.gen_bool(0.4) {
+        q.order_by = gen_order_by(rng, &q);
+    }
+    if rng.gen_bool(0.3) {
+        q.limit = Some(rng.gen_range(1..=10u64));
+    }
+    q
+}
+
+/// FROM clause: single table, explicit join, or implicit comma join.
+fn gen_from(rng: &mut StdRng, gs: &GenSchema) -> (Vec<TableRef>, Vec<InScope>) {
+    let joinable = gs.tables.len() > 1;
+    match rng.gen_range(0..10u32) {
+        // explicit two-table join on the t0 foreign key
+        0..=2 if joinable => {
+            let right_idx = rng.gen_range(1..gs.tables.len());
+            let (a, b) = ("a".to_string(), "b".to_string());
+            let left = TableRef::Named {
+                name: gs.tables[0].name.clone(),
+                alias: Some(a.clone()),
+            };
+            let right = TableRef::Named {
+                name: gs.tables[right_idx].name.clone(),
+                alias: Some(b.clone()),
+            };
+            let on = Expr::Compare {
+                op: CompareOp::Eq,
+                left: Box::new(Expr::column(Some(&a), "t0id")),
+                right: Box::new(Expr::column(Some(&b), &format!("fk{right_idx}t0id"))),
+            };
+            let kind = if rng.gen_bool(0.3) {
+                JoinKind::Left
+            } else {
+                JoinKind::Inner
+            };
+            let join = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                constraint: JoinConstraint::On(on),
+            };
+            let scopes = vec![
+                InScope {
+                    binding: a,
+                    columns: gs.tables[0].columns.clone(),
+                },
+                InScope {
+                    binding: b,
+                    columns: gs.tables[right_idx].columns.clone(),
+                },
+            ];
+            (vec![join], scopes)
+        }
+        // implicit comma join; the FK equality lands in WHERE via the
+        // caller's predicate conjunction
+        3..=4 if joinable => {
+            let right_idx = rng.gen_range(1..gs.tables.len());
+            let (a, b) = ("a".to_string(), "b".to_string());
+            let refs = vec![
+                TableRef::Named {
+                    name: gs.tables[0].name.clone(),
+                    alias: Some(a.clone()),
+                },
+                TableRef::Named {
+                    name: gs.tables[right_idx].name.clone(),
+                    alias: Some(b.clone()),
+                },
+            ];
+            let scopes = vec![
+                InScope {
+                    binding: a,
+                    columns: gs.tables[0].columns.clone(),
+                },
+                InScope {
+                    binding: b,
+                    columns: gs.tables[right_idx].columns.clone(),
+                },
+            ];
+            (refs, scopes)
+        }
+        // single table, sometimes aliased
+        _ => {
+            let ti = rng.gen_range(0..gs.tables.len());
+            let alias = rng.gen_bool(0.4).then(|| "a".to_string());
+            let binding = alias.clone().unwrap_or_else(|| gs.tables[ti].name.clone());
+            let refs = vec![TableRef::Named {
+                name: gs.tables[ti].name.clone(),
+                alias,
+            }];
+            let scopes = vec![InScope {
+                binding,
+                columns: gs.tables[ti].columns.clone(),
+            }];
+            (refs, scopes)
+        }
+    }
+}
+
+fn pick_column<F: Fn(&GenColumn) -> bool>(rng: &mut StdRng, scope: &InScope, f: F) -> GenColumn {
+    let matching: Vec<&GenColumn> = scope.columns.iter().filter(|c| f(c)).collect();
+    match matching.choose(rng) {
+        Some(c) => (*c).clone(),
+        None => scope.columns[0].clone(),
+    }
+}
+
+fn pick_scope<'s>(rng: &mut StdRng, scopes: &'s [InScope]) -> &'s InScope {
+    &scopes[rng.gen_range(0..scopes.len())]
+}
+
+fn column_expr(multi: bool, scope: &InScope, col: &GenColumn) -> Expr {
+    let q = multi.then_some(scope.binding.as_str());
+    Expr::column(q, &col.name)
+}
+
+fn pick_compare(rng: &mut StdRng) -> CompareOp {
+    match rng.gen_range(0..6u32) {
+        0 => CompareOp::Eq,
+        1 => CompareOp::NotEq,
+        2 => CompareOp::Lt,
+        3 => CompareOp::LtEq,
+        4 => CompareOp::Gt,
+        _ => CompareOp::GtEq,
+    }
+}
+
+/// A literal matching the witness value domain for `col`.
+fn gen_literal(rng: &mut StdRng, col: &GenColumn) -> Expr {
+    if col.id_like {
+        return Expr::number(rng.gen_range(1..=12u32) as f64);
+    }
+    match col.ty {
+        SqlType::Int => Expr::number(rng.gen_range(0..1000u32) as f64),
+        SqlType::Float => Expr::number(rng.gen_range(0..10000u32) as f64 / 10.0),
+        SqlType::Text => match TEXT_VOCAB.choose(rng) {
+            Some(w) => Expr::string(w),
+            None => Expr::string("alpha"),
+        },
+        SqlType::Bool => Expr::Literal(Literal::Bool(rng.gen_bool(0.5))),
+    }
+}
+
+fn gen_select_item(rng: &mut StdRng, scopes: &[InScope], multi: bool, idx: usize) -> SelectItem {
+    let scope = pick_scope(rng, scopes);
+    match rng.gen_range(0..10u32) {
+        // arithmetic over a numeric column, always aliased
+        0..=1 => {
+            let col = pick_column(rng, scope, |c| {
+                matches!(c.ty, SqlType::Int | SqlType::Float)
+            });
+            let op = match rng.gen_range(0..3u32) {
+                0 => '+',
+                1 => '-',
+                _ => '*',
+            };
+            SelectItem::Expr {
+                expr: Expr::Arith {
+                    op,
+                    left: Box::new(column_expr(multi, scope, &col)),
+                    right: Box::new(Expr::number(rng.gen_range(1..9u32) as f64)),
+                },
+                alias: Some(format!("e{idx}")),
+            }
+        }
+        // searched CASE, always aliased
+        2 => {
+            let col = pick_column(rng, scope, |c| {
+                matches!(c.ty, SqlType::Int | SqlType::Float)
+            });
+            let pred = Expr::Compare {
+                op: CompareOp::Gt,
+                left: Box::new(column_expr(multi, scope, &col)),
+                right: Box::new(gen_literal(rng, &col)),
+            };
+            SelectItem::Expr {
+                expr: Expr::Case {
+                    operand: None,
+                    branches: vec![(pred, Expr::string("hi"))],
+                    else_expr: Some(Box::new(Expr::string("lo"))),
+                },
+                alias: Some(format!("e{idx}")),
+            }
+        }
+        // bare column
+        _ => {
+            let col = pick_column(rng, scope, |_| true);
+            SelectItem::Expr {
+                expr: column_expr(multi, scope, &col),
+                alias: None,
+            }
+        }
+    }
+}
+
+fn gen_aggregate(rng: &mut StdRng, scopes: &[InScope], multi: bool) -> (Expr, SqlType) {
+    let scope = pick_scope(rng, scopes);
+    if rng.gen_bool(0.3) {
+        return (
+            Expr::Function {
+                name: "COUNT".to_string(),
+                args: vec![Expr::Wildcard],
+                distinct: false,
+            },
+            SqlType::Int,
+        );
+    }
+    let col = pick_column(rng, scope, |c| {
+        matches!(c.ty, SqlType::Int | SqlType::Float)
+    });
+    let name = match rng.gen_range(0..5u32) {
+        0 => "SUM",
+        1 => "AVG",
+        2 => "MIN",
+        3 => "MAX",
+        _ => "COUNT",
+    };
+    (
+        Expr::Function {
+            name: name.to_string(),
+            args: vec![column_expr(multi, scope, &col)],
+            distinct: name == "COUNT" && rng.gen_bool(0.3),
+        },
+        SqlType::Float,
+    )
+}
+
+/// A WHERE predicate tree. When the FROM clause is an implicit comma join,
+/// the foreign-key equality is conjoined so the product stays meaningful.
+fn gen_predicate(
+    rng: &mut StdRng,
+    gs: &GenSchema,
+    scopes: &[InScope],
+    multi: bool,
+    depth: u32,
+    allow_subquery: bool,
+) -> Expr {
+    let mut pred = gen_pred_node(rng, gs, scopes, multi, depth, allow_subquery);
+    // Implicit join detection: two scopes and the FROM refs are plain named
+    // tables (the caller only builds comma joins that way).
+    if scopes.len() == 2 && rng.gen_bool(0.9) {
+        let right = &scopes[1];
+        if let Some(fk) = right.columns.iter().find(|c| c.name.starts_with("fk")) {
+            let link = Expr::Compare {
+                op: CompareOp::Eq,
+                left: Box::new(Expr::column(Some(&scopes[0].binding), "t0id")),
+                right: Box::new(Expr::column(Some(&right.binding), &fk.name)),
+            };
+            pred = Expr::And(Box::new(link), Box::new(pred));
+        }
+    }
+    pred
+}
+
+fn gen_pred_node(
+    rng: &mut StdRng,
+    gs: &GenSchema,
+    scopes: &[InScope],
+    multi: bool,
+    depth: u32,
+    allow_subquery: bool,
+) -> Expr {
+    if depth > 0 && rng.gen_bool(0.45) {
+        let l = gen_pred_node(rng, gs, scopes, multi, depth - 1, allow_subquery);
+        let r = gen_pred_node(rng, gs, scopes, multi, depth - 1, allow_subquery);
+        let node = if rng.gen_bool(0.5) {
+            Expr::And(Box::new(l), Box::new(r))
+        } else {
+            Expr::Or(Box::new(l), Box::new(r))
+        };
+        return if rng.gen_bool(0.15) {
+            Expr::Not(Box::new(node))
+        } else {
+            node
+        };
+    }
+    gen_pred_leaf(rng, gs, scopes, multi, allow_subquery)
+}
+
+fn gen_pred_leaf(
+    rng: &mut StdRng,
+    gs: &GenSchema,
+    scopes: &[InScope],
+    multi: bool,
+    allow_subquery: bool,
+) -> Expr {
+    let scope = pick_scope(rng, scopes);
+    match rng.gen_range(0..12u32) {
+        // BETWEEN on a numeric column
+        0..=1 => {
+            let col = pick_column(rng, scope, |c| {
+                matches!(c.ty, SqlType::Int | SqlType::Float)
+            });
+            let (mut lo, mut hi) = (rng.gen_range(0..800u32), rng.gen_range(0..800u32));
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            Expr::Between {
+                expr: Box::new(column_expr(multi, scope, &col)),
+                low: Box::new(Expr::number(lo as f64)),
+                high: Box::new(Expr::number((hi + rng.gen_range(0..200u32)) as f64)),
+                negated: rng.gen_bool(0.2),
+            }
+        }
+        // IN over a literal list
+        2..=3 => {
+            let col = pick_column(rng, scope, |_| true);
+            let n = rng.gen_range(2..=3usize);
+            let list = (0..n).map(|_| gen_literal(rng, &col)).collect();
+            Expr::InList {
+                expr: Box::new(column_expr(multi, scope, &col)),
+                list,
+                negated: rng.gen_bool(0.25),
+            }
+        }
+        // IS [NOT] NULL (id columns are never null in witnesses, so prefer
+        // nullable ones)
+        4 => {
+            let col = pick_column(rng, scope, |c| !c.id_like);
+            Expr::IsNull {
+                expr: Box::new(column_expr(multi, scope, &col)),
+                negated: rng.gen_bool(0.5),
+            }
+        }
+        // LIKE on a text column
+        5 => {
+            let col = pick_column(rng, scope, |c| c.ty == SqlType::Text);
+            if col.ty != SqlType::Text {
+                // scope had no text column; degrade to a comparison
+                return gen_compare_leaf(rng, scope, multi);
+            }
+            let word = TEXT_VOCAB.choose(rng).copied().unwrap_or("alpha");
+            let frag: String = word.chars().take(2).collect();
+            let pattern = match rng.gen_range(0..3u32) {
+                0 => format!("{frag}%"),
+                1 => format!("%{frag}%"),
+                _ => format!("%{frag}"),
+            };
+            Expr::Like {
+                expr: Box::new(column_expr(multi, scope, &col)),
+                pattern: Box::new(Expr::string(&pattern)),
+                negated: rng.gen_bool(0.2),
+            }
+        }
+        // IN (SELECT pk FROM other) — uncorrelated, single-column
+        6 if allow_subquery => {
+            let col = pick_column(rng, scope, |c| c.id_like);
+            let inner_t = &gs.tables[rng.gen_range(0..gs.tables.len())];
+            let mut inner = Select::new();
+            let ids: Vec<&GenColumn> = inner_t.columns.iter().filter(|c| c.id_like).collect();
+            let inner_col = match ids.choose(rng) {
+                Some(c) => (*c).clone(),
+                None => inner_t.columns[0].clone(),
+            };
+            inner.items = vec![SelectItem::column(None, &inner_col.name)];
+            inner.from = vec![TableRef::Named {
+                name: inner_t.name.clone(),
+                alias: None,
+            }];
+            if rng.gen_bool(0.5) {
+                let filter_col = inner_t.columns[rng.gen_range(0..inner_t.columns.len())].clone();
+                inner.selection = Some(Expr::Compare {
+                    op: pick_compare(rng),
+                    left: Box::new(Expr::column(None, &filter_col.name)),
+                    right: Box::new(gen_literal(rng, &filter_col)),
+                });
+            }
+            Expr::InSubquery {
+                expr: Box::new(column_expr(multi, scope, &col)),
+                subquery: Box::new(Query::from_select(inner)),
+                negated: rng.gen_bool(0.25),
+            }
+        }
+        // scalar aggregate subquery: col < (SELECT AVG(x) FROM t)
+        7 if allow_subquery => {
+            let col = pick_column(rng, scope, |c| {
+                matches!(c.ty, SqlType::Int | SqlType::Float)
+            });
+            let inner_t = &gs.tables[rng.gen_range(0..gs.tables.len())];
+            let nums: Vec<&GenColumn> = inner_t
+                .columns
+                .iter()
+                .filter(|c| matches!(c.ty, SqlType::Int | SqlType::Float))
+                .collect();
+            let inner_col = match nums.choose(rng) {
+                Some(c) => (*c).clone(),
+                None => inner_t.columns[0].clone(),
+            };
+            let mut inner = Select::new();
+            inner.items = vec![SelectItem::Expr {
+                expr: Expr::Function {
+                    name: if rng.gen_bool(0.5) { "AVG" } else { "MAX" }.to_string(),
+                    args: vec![Expr::column(None, &inner_col.name)],
+                    distinct: false,
+                },
+                alias: None,
+            }];
+            inner.from = vec![TableRef::Named {
+                name: inner_t.name.clone(),
+                alias: None,
+            }];
+            Expr::Compare {
+                op: pick_compare(rng),
+                left: Box::new(column_expr(multi, scope, &col)),
+                right: Box::new(Expr::ScalarSubquery(Box::new(Query::from_select(inner)))),
+            }
+        }
+        // plain comparison
+        _ => gen_compare_leaf(rng, scope, multi),
+    }
+}
+
+fn gen_compare_leaf(rng: &mut StdRng, scope: &InScope, multi: bool) -> Expr {
+    let col = pick_column(rng, scope, |_| true);
+    let op = if col.ty == SqlType::Bool || col.ty == SqlType::Text {
+        if rng.gen_bool(0.5) {
+            CompareOp::Eq
+        } else {
+            CompareOp::NotEq
+        }
+    } else {
+        pick_compare(rng)
+    };
+    Expr::Compare {
+        op,
+        left: Box::new(column_expr(multi, scope, &col)),
+        right: Box::new(gen_literal(rng, &col)),
+    }
+}
+
+/// ORDER BY over the query's *output* names only (plain columns/aliases),
+/// which both engines support everywhere — including over set operations.
+fn gen_order_by(rng: &mut StdRng, q: &Query) -> Vec<OrderItem> {
+    let names = output_names_of(q);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let n = rng.gen_range(1..=names.len().min(2));
+    let mut picked: Vec<String> = Vec::new();
+    let mut items = Vec::new();
+    for _ in 0..n {
+        if let Some(name) = names.choose(rng) {
+            if picked.contains(name) {
+                continue;
+            }
+            picked.push(name.clone());
+            items.push(OrderItem {
+                expr: Expr::column(None, name),
+                desc: rng.gen_bool(0.5),
+            });
+        }
+    }
+    items
+}
+
+/// Output column names usable as ORDER BY keys: plain projected columns
+/// (unqualified reference is unambiguous only if the name is unique) and
+/// explicit aliases.
+fn output_names_of(q: &Query) -> Vec<String> {
+    let s = match &q.body {
+        SetExpr::Select(s) => s,
+        SetExpr::SetOp { left, .. } => {
+            let mut probe = left;
+            loop {
+                match probe.as_ref() {
+                    SetExpr::Select(s) => break s,
+                    SetExpr::SetOp { left, .. } => probe = left,
+                }
+            }
+        }
+    };
+    let mut names = Vec::new();
+    for item in &s.items {
+        match item {
+            SelectItem::Expr { alias: Some(a), .. } => names.push(a.clone()),
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                alias: None,
+            } => names.push(c.name.clone()),
+            _ => {}
+        }
+    }
+    // drop duplicates: ORDER BY on a duplicated output name is ambiguous
+    let mut uniq = Vec::new();
+    for n in names {
+        let dup = uniq.iter().any(|u: &String| u.eq_ignore_ascii_case(&n));
+        if !dup {
+            uniq.push(n);
+        } else {
+            uniq.retain(|u| !u.eq_ignore_ascii_case(&n));
+        }
+    }
+    uniq
+}
+
+/// `left UNION/INTERSECT/EXCEPT right` over the same table with the same
+/// projection and different predicates.
+fn gen_set_op(rng: &mut StdRng, gs: &GenSchema) -> Query {
+    let ti = rng.gen_range(0..gs.tables.len());
+    let t = &gs.tables[ti];
+    let n_cols = rng.gen_range(1..=2usize);
+    let mut cols: Vec<GenColumn> = Vec::new();
+    for _ in 0..n_cols {
+        if let Some(c) = t.columns.choose(rng) {
+            if !cols.iter().any(|x| x.name == c.name) {
+                cols.push(c.clone());
+            }
+        }
+    }
+    let scope = InScope {
+        binding: t.name.clone(),
+        columns: t.columns.clone(),
+    };
+    let side = |rng: &mut StdRng| {
+        let mut s = Select::new();
+        s.items = cols
+            .iter()
+            .map(|c| SelectItem::column(None, &c.name))
+            .collect();
+        s.from = vec![TableRef::Named {
+            name: t.name.clone(),
+            alias: None,
+        }];
+        s.selection = Some(gen_pred_node(
+            rng,
+            gs,
+            std::slice::from_ref(&scope),
+            false,
+            1,
+            false,
+        ));
+        SetExpr::Select(Box::new(s))
+    };
+    let l = side(rng);
+    let r = side(rng);
+    let op = match rng.gen_range(0..3u32) {
+        0 => SetOp::Union,
+        1 => SetOp::Intersect,
+        _ => SetOp::Except,
+    };
+    let mut q = Query::from_select(Select::new());
+    q.body = SetExpr::SetOp {
+        op,
+        all: rng.gen_bool(0.4),
+        left: Box::new(l),
+        right: Box::new(r),
+    };
+    if rng.gen_bool(0.5) {
+        q.order_by = vec![OrderItem {
+            expr: Expr::column(None, &cols[0].name),
+            desc: rng.gen_bool(0.5),
+        }];
+    }
+    q
+}
+
+/// `WITH w AS (SELECT … FROM t WHERE …) SELECT … FROM w [WHERE …]`.
+fn gen_cte(rng: &mut StdRng, gs: &GenSchema) -> Query {
+    let ti = rng.gen_range(0..gs.tables.len());
+    let t = &gs.tables[ti];
+    let scope = InScope {
+        binding: t.name.clone(),
+        columns: t.columns.clone(),
+    };
+    let n_cols = rng.gen_range(2..=t.columns.len().min(4));
+    let cte_cols: Vec<GenColumn> = t.columns.iter().take(n_cols).cloned().collect();
+
+    let mut inner = Select::new();
+    inner.items = cte_cols
+        .iter()
+        .map(|c| SelectItem::column(None, &c.name))
+        .collect();
+    inner.from = vec![TableRef::Named {
+        name: t.name.clone(),
+        alias: None,
+    }];
+    inner.selection = Some(gen_pred_node(
+        rng,
+        gs,
+        std::slice::from_ref(&scope),
+        false,
+        1,
+        false,
+    ));
+
+    let w_scope = InScope {
+        binding: "w".to_string(),
+        columns: cte_cols.clone(),
+    };
+    let mut outer = Select::new();
+    let pick = rng.gen_range(0..cte_cols.len());
+    outer.items = vec![SelectItem::column(None, &cte_cols[pick].name)];
+    outer.from = vec![TableRef::Named {
+        name: "w".to_string(),
+        alias: None,
+    }];
+    if rng.gen_bool(0.6) {
+        outer.selection = Some(gen_pred_node(
+            rng,
+            gs,
+            std::slice::from_ref(&w_scope),
+            false,
+            1,
+            false,
+        ));
+    }
+    let mut q = Query::from_select(outer);
+    q.ctes = vec![Cte {
+        name: "w".to_string(),
+        query: Box::new(Query::from_select(inner)),
+    }];
+    q
+}
+
+/// `SELECT … FROM (SELECT … FROM t WHERE …) AS d [WHERE …]`.
+fn gen_derived(rng: &mut StdRng, gs: &GenSchema) -> Query {
+    let ti = rng.gen_range(0..gs.tables.len());
+    let t = &gs.tables[ti];
+    let scope = InScope {
+        binding: t.name.clone(),
+        columns: t.columns.clone(),
+    };
+    let n_cols = rng.gen_range(2..=t.columns.len().min(4));
+    let d_cols: Vec<GenColumn> = t.columns.iter().take(n_cols).cloned().collect();
+
+    let mut inner = Select::new();
+    inner.items = d_cols
+        .iter()
+        .map(|c| SelectItem::column(None, &c.name))
+        .collect();
+    inner.from = vec![TableRef::Named {
+        name: t.name.clone(),
+        alias: None,
+    }];
+    inner.selection = Some(gen_pred_node(
+        rng,
+        gs,
+        std::slice::from_ref(&scope),
+        false,
+        1,
+        false,
+    ));
+
+    let d_scope = InScope {
+        binding: "d".to_string(),
+        columns: d_cols.clone(),
+    };
+    let mut outer = Select::new();
+    let pick = rng.gen_range(0..d_cols.len());
+    outer.items = vec![SelectItem::column(None, &d_cols[pick].name)];
+    outer.from = vec![TableRef::Derived {
+        query: Box::new(Query::from_select(inner)),
+        alias: Some("d".to_string()),
+    }];
+    if rng.gen_bool(0.6) {
+        outer.selection = Some(gen_pred_node(
+            rng,
+            gs,
+            std::slice::from_ref(&d_scope),
+            false,
+            1,
+            false,
+        ));
+    }
+    Query::from_select(outer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_parser::{parse_query, print_query};
+    use squ_schema::analyze;
+
+    #[test]
+    fn schemas_are_deterministic_and_star_shaped() {
+        let a = generate_schema(7, 3);
+        let b = generate_schema(7, 3);
+        assert_eq!(a.schema.name, b.schema.name);
+        assert_eq!(a.tables.len(), b.tables.len());
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.name, tb.name);
+            let names_a: Vec<&String> = ta.columns.iter().map(|c| &c.name).collect();
+            let names_b: Vec<&String> = tb.columns.iter().map(|c| &c.name).collect();
+            assert_eq!(names_a, names_b);
+        }
+        // every non-hub table carries a t0 foreign key
+        for t in &a.tables[1..] {
+            assert!(t.columns.iter().any(|c| c.name.starts_with("fk")));
+        }
+    }
+
+    #[test]
+    fn generated_queries_are_overwhelmingly_binder_clean() {
+        let gs = generate_schema(42, 0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut clean = 0;
+        let total = 200;
+        for _ in 0..total {
+            let q = generate_query(&mut rng, &gs);
+            let sql = print_query(&q);
+            let parsed = parse_query(&sql).expect("generated SQL parses");
+            let stmt = Statement::Query(parsed);
+            if analyze(&stmt, &gs.schema).is_empty() {
+                clean += 1;
+            }
+        }
+        assert!(clean * 10 >= total * 9, "only {clean}/{total} binder-clean");
+    }
+
+    #[test]
+    fn fallback_is_always_clean() {
+        for slot in 0..SCHEMA_POOL {
+            let gs = generate_schema(9, slot);
+            let q = fallback_query(&gs);
+            let stmt = Statement::Query(q);
+            assert!(analyze(&stmt, &gs.schema).is_empty());
+        }
+    }
+
+    #[test]
+    fn mix_decorrelates_streams() {
+        assert_ne!(mix(7, 0), mix(7, 1));
+        assert_ne!(mix(7, 0), mix(8, 0));
+        assert_eq!(mix(7, 5), mix(7, 5));
+    }
+}

@@ -1,0 +1,34 @@
+//! # squ-fuzz — deterministic differential & metamorphic testing
+//!
+//! A seedable, dependency-free fuzzing subsystem for the whole
+//! lexer→parser→binder→engine stack. A grammar generator emits random
+//! schema-valid queries over random star schemas ([`gen`]); every case
+//! then runs three oracles ([`oracle`]):
+//!
+//! 1. **round-trip** — `parse(print(parse(q)))` is AST-identical, the
+//!    printer is a fixpoint, and lexer spans stay byte-consistent under
+//!    token-level mutation ([`mutate`]);
+//! 2. **differential** — the optimized engine and a naive reference
+//!    interpreter ([`squ_engine::reference_query`]) agree row-for-row
+//!    under canonical ordering on every witness database;
+//! 3. **metamorphic** — every equivalence-preserving transform in the
+//!    `squ-tasks` catalog keeps differential results equal, and every
+//!    equivalence-breaking transform is distinguishable by some witness.
+//!
+//! Violations are minimized by deterministic token deletion ([`shrink`])
+//! and reported as plain data ([`report`]) whose JSON rendering is
+//! byte-identical for any `--jobs` value.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod mutate;
+pub mod oracle;
+pub mod report;
+pub mod shrink;
+
+pub use gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, SCHEMA_POOL};
+pub use mutate::{check_reconstruction, check_span_consistency, mutants_of, Mutant};
+pub use oracle::{run_case, FuzzConfig};
+pub use report::{CaseReport, Failure, FuzzReport, OracleCounts};
+pub use shrink::shrink_sql;

@@ -1,0 +1,450 @@
+//! The three fuzz oracles and the per-case driver.
+//!
+//! Each case is fully determined by `(seed, index)`: the schema slot, the
+//! generated query, the token mutants, every transform's RNG stream, and
+//! the witness databases all derive from those two numbers. That is what
+//! makes `fuzz.json` byte-identical across `--jobs` values and lets the
+//! artifact store resume a run case-by-case.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use squ_engine::{
+    execute_query, reference_query, witness_batch_cached, Database, ExecError, Relation,
+};
+use squ_parser::ast::{Query, Statement};
+use squ_parser::{parse_query, print_query};
+use squ_schema::analyze;
+use squ_tasks::{transform_catalog, TransformInfo, TransformKind, Verdict};
+
+use crate::gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, SCHEMA_POOL};
+use crate::mutate::{check_reconstruction, check_span_consistency, mutants_of};
+use crate::report::{CaseReport, Failure};
+use crate::shrink::shrink_sql;
+
+/// How many times the generator may retry before falling back to the
+/// trivial always-valid query.
+const GEN_RETRIES: usize = 50;
+
+/// Token mutants per case.
+const MUTANTS_PER_CASE: usize = 3;
+
+/// Configuration for a fuzz run.
+pub struct FuzzConfig {
+    /// Master seed; every case derives its streams from `(seed, index)`.
+    pub seed: u64,
+    /// Transforms checked by the metamorphic oracle *in addition to* the
+    /// built-in catalog. Tests use this to inject a deliberately unsound
+    /// "preserving" transform and watch the harness convict it.
+    pub extra_transforms: Vec<TransformInfo>,
+}
+
+impl FuzzConfig {
+    /// A run over the built-in transform catalog only.
+    pub fn new(seed: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            extra_transforms: Vec::new(),
+        }
+    }
+}
+
+/// Is this query binder-clean against `schema`?
+fn clean(q: &Query, gs: &GenSchema) -> bool {
+    let stmt = Statement::Query(q.clone());
+    analyze(&stmt, &gs.schema).is_empty()
+}
+
+/// Generate the case's subject query: retry the grammar until the binder
+/// accepts the printed-and-reparsed form, with a guaranteed fallback.
+fn subject_query(rng: &mut StdRng, gs: &GenSchema) -> (Query, String) {
+    for _ in 0..GEN_RETRIES {
+        let q = generate_query(rng, gs);
+        let sql = print_query(&q);
+        let Ok(parsed) = parse_query(&sql) else {
+            continue;
+        };
+        if clean(&parsed, gs) {
+            return (parsed, sql);
+        }
+    }
+    let q = fallback_query(gs);
+    let sql = print_query(&q);
+    (q, sql)
+}
+
+/// Run every oracle on case `index` of the run described by `cfg`.
+pub fn run_case(cfg: &FuzzConfig, index: u64) -> CaseReport {
+    let slot = index % SCHEMA_POOL;
+    let gs = generate_schema(cfg.seed, slot);
+    let mut rng = StdRng::seed_from_u64(mix(cfg.seed, 0xCA5E_0000 ^ index));
+    let (query, sql) = subject_query(&mut rng, &gs);
+
+    let mut report = CaseReport {
+        index,
+        sql: sql.clone(),
+        ..CaseReport::default()
+    };
+
+    oracle_roundtrip(&mut report, &sql);
+    oracle_mutation(&mut report, &sql, &mut rng);
+
+    let witness_seed = mix(cfg.seed, 0xB17C_0000 ^ slot);
+    let witnesses = witness_batch_cached(&gs.schema, witness_seed);
+    oracle_differential(&mut report, &query, &sql, &gs, &witnesses);
+    oracle_metamorphic(cfg, &mut report, &query, &sql, &gs, &witnesses, index);
+
+    report
+}
+
+/// Does `sql` violate the round-trip law? Returns the violation detail.
+///
+/// The law, anchored at printed text: `sql` parses to `q`; `print(q)` is a
+/// fixpoint of parse∘print; and reparsing the print yields `q` again.
+fn roundtrip_violation(sql: &str) -> Option<String> {
+    let q = match parse_query(sql) {
+        Ok(q) => q,
+        // the subject query always parses; mutants may not, and that is
+        // not a round-trip violation
+        Err(_) => return None,
+    };
+    let printed = print_query(&q);
+    let q2 = match parse_query(&printed) {
+        Ok(q2) => q2,
+        Err(e) => return Some(format!("printed form fails to parse: {e}")),
+    };
+    if q2 != q {
+        return Some("reparse of printed form differs from original AST".to_string());
+    }
+    let printed2 = print_query(&q2);
+    if printed2 != printed {
+        return Some("printer is not a fixpoint over parse".to_string());
+    }
+    None
+}
+
+fn oracle_roundtrip(report: &mut CaseReport, sql: &str) {
+    match roundtrip_violation(sql) {
+        None => report.counts.roundtrip_pass += 1,
+        Some(detail) => {
+            report.counts.roundtrip_fail += 1;
+            let (minimized, minimized_tokens) =
+                shrink_sql(sql, |s| roundtrip_violation(s).is_some());
+            report.failures.push(Failure {
+                case: report.index,
+                oracle: "round-trip".to_string(),
+                transform: None,
+                sql: sql.to_string(),
+                detail,
+                minimized,
+                minimized_tokens,
+            });
+        }
+    }
+}
+
+/// Span-consistency + conditional round-trip over token-level mutants.
+fn oracle_mutation(report: &mut CaseReport, sql: &str, rng: &mut StdRng) {
+    for m in mutants_of(sql, rng, MUTANTS_PER_CASE) {
+        let violation = check_span_consistency(&m.sql)
+            .err()
+            .or_else(|| check_reconstruction(&m.sql).err())
+            .or_else(|| roundtrip_violation(&m.sql));
+        match violation {
+            None => report.counts.mutation_pass += 1,
+            Some(detail) => {
+                report.counts.mutation_fail += 1;
+                let (minimized, minimized_tokens) = shrink_sql(&m.sql, |s| {
+                    check_span_consistency(s).is_err()
+                        || check_reconstruction(s).is_err()
+                        || roundtrip_violation(s).is_some()
+                });
+                report.failures.push(Failure {
+                    case: report.index,
+                    oracle: "mutation".to_string(),
+                    transform: Some(m.kind.to_string()),
+                    sql: m.sql.clone(),
+                    detail,
+                    minimized,
+                    minimized_tokens,
+                });
+            }
+        }
+    }
+}
+
+/// Outcome of comparing the two interpreters on one database.
+enum DiffOutcome {
+    Agree,
+    Skip,
+    Disagree(String),
+}
+
+/// Compare `execute_query` and `reference_query` on one witness database.
+///
+/// Both failing is agreement (the oracle does not compare error *kinds*:
+/// evaluation order legitimately differs). A lone `ResourceLimit` is a
+/// skip — the reference interpreter has no predicate pushdown, so it can
+/// exhaust the intermediate-row budget on inputs the optimized engine
+/// handles. Any other one-sided error, or differing rows, is a violation.
+fn diff_on(q: &Query, db: &Database) -> DiffOutcome {
+    let fast = execute_query(q, db).map(|(r, _)| r);
+    let slow = reference_query(q, db);
+    match (fast, slow) {
+        (Ok(a), Ok(b)) => {
+            if relations_agree(&a, &b) {
+                DiffOutcome::Agree
+            } else {
+                DiffOutcome::Disagree(format!(
+                    "engine returned {} row(s), reference {} row(s), canonical digests {:#x} vs {:#x}",
+                    a.rows.len(),
+                    b.rows.len(),
+                    a.canonical_digest(),
+                    b.canonical_digest(),
+                ))
+            }
+        }
+        (Err(_), Err(_)) => DiffOutcome::Agree,
+        (Ok(_), Err(ExecError::ResourceLimit)) | (Err(ExecError::ResourceLimit), Ok(_)) => {
+            DiffOutcome::Skip
+        }
+        (Ok(_), Err(e)) => DiffOutcome::Disagree(format!("reference failed where engine ran: {e}")),
+        (Err(e), Ok(_)) => DiffOutcome::Disagree(format!("engine failed where reference ran: {e}")),
+    }
+}
+
+/// Row-for-row agreement when the query pins an order (ORDER BY up to
+/// ties), canonical-order agreement otherwise. Because both interpreters
+/// emit rows in the same pre-sort order and sort stably, comparing
+/// canonically is sound for ordered queries too — and necessary for
+/// unordered ones.
+fn relations_agree(a: &Relation, b: &Relation) -> bool {
+    a.columns.len() == b.columns.len() && a.canonical_digest() == b.canonical_digest()
+}
+
+fn oracle_differential(
+    report: &mut CaseReport,
+    query: &Query,
+    sql: &str,
+    gs: &GenSchema,
+    witnesses: &[Database],
+) {
+    for db in witnesses {
+        match diff_on(query, db) {
+            DiffOutcome::Agree => report.counts.differential_pass += 1,
+            DiffOutcome::Skip => report.counts.differential_skip += 1,
+            DiffOutcome::Disagree(detail) => {
+                report.counts.differential_fail += 1;
+                let (minimized, minimized_tokens) = shrink_sql(sql, |s| {
+                    let Ok(q) = parse_query(s) else { return false };
+                    if !clean(&q, gs) {
+                        return false;
+                    }
+                    witnesses
+                        .iter()
+                        .any(|db| matches!(diff_on(&q, db), DiffOutcome::Disagree(_)))
+                });
+                report.failures.push(Failure {
+                    case: report.index,
+                    oracle: "differential".to_string(),
+                    transform: None,
+                    sql: sql.to_string(),
+                    detail,
+                    minimized,
+                    minimized_tokens,
+                });
+                // one failure per case is enough signal; further witnesses
+                // would shrink the same query again
+                break;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn oracle_metamorphic(
+    cfg: &FuzzConfig,
+    report: &mut CaseReport,
+    query: &Query,
+    sql: &str,
+    gs: &GenSchema,
+    witnesses: &[Database],
+    index: u64,
+) {
+    let catalog = transform_catalog();
+    let all: Vec<&TransformInfo> = catalog.iter().chain(cfg.extra_transforms.iter()).collect();
+    for (ti, tinfo) in all.iter().enumerate() {
+        let tseed = mix(cfg.seed, mix(index, 0x7A0F_0000 ^ ti as u64));
+        let mut trng = StdRng::seed_from_u64(tseed);
+        let Some((q1, q2)) = tinfo.apply(query, &mut trng) else {
+            continue; // transform not applicable to this query shape
+        };
+        if !clean(&q1, gs) || !clean(&q2, gs) {
+            report.counts.metamorphic_skip += 1;
+            continue;
+        }
+        let verdict = differential_verdict_skipping_limits(&q1, &q2, witnesses);
+        match (tinfo.kind(), verdict) {
+            (_, Verdict::Failed) => report.counts.metamorphic_skip += 1,
+            (TransformKind::Preserving, Verdict::AgreedEverywhere) => {
+                report.counts.preserving_pass += 1
+            }
+            (TransformKind::Preserving, Verdict::Differed) => {
+                report.counts.preserving_fail += 1;
+                let label = tinfo.label();
+                let (minimized, minimized_tokens) = shrink_sql(sql, |s| {
+                    let Ok(q) = parse_query(s) else { return false };
+                    if !clean(&q, gs) {
+                        return false;
+                    }
+                    let mut r = StdRng::seed_from_u64(tseed);
+                    let Some((a, b)) = tinfo.apply(&q, &mut r) else {
+                        return false;
+                    };
+                    clean(&a, gs)
+                        && clean(&b, gs)
+                        && differential_verdict_skipping_limits(&a, &b, witnesses)
+                            == Verdict::Differed
+                });
+                report.failures.push(Failure {
+                    case: report.index,
+                    oracle: "metamorphic".to_string(),
+                    transform: Some(label.to_string()),
+                    sql: sql.to_string(),
+                    detail: format!(
+                        "transform `{label}` claims to preserve results but a witness distinguished the pair"
+                    ),
+                    minimized,
+                    minimized_tokens,
+                });
+            }
+            (TransformKind::Breaking, Verdict::Differed) => {
+                report.counts.breaking_distinguished += 1
+            }
+            (TransformKind::Breaking, Verdict::AgreedEverywhere) => {
+                report.counts.breaking_undistinguished += 1
+            }
+        }
+    }
+}
+
+/// [`squ_tasks::differential_verdict`] over both queries, except that a
+/// `ResourceLimit` on either side skips that witness instead of failing
+/// the pair (mirrors the differential oracle's budget policy).
+fn differential_verdict_skipping_limits(q1: &Query, q2: &Query, witnesses: &[Database]) -> Verdict {
+    let mut any = false;
+    for db in witnesses {
+        let r1 = execute_query(q1, db);
+        let r2 = execute_query(q2, db);
+        match (r1, r2) {
+            (Ok((a, _)), Ok((b, _))) => {
+                any = true;
+                if !a.result_equal(&b) {
+                    return Verdict::Differed;
+                }
+            }
+            (Err(ExecError::ResourceLimit), _) | (_, Err(ExecError::ResourceLimit)) => continue,
+            _ => return Verdict::Failed,
+        }
+    }
+    if any {
+        Verdict::AgreedEverywhere
+    } else {
+        Verdict::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::FuzzReport;
+    use squ_parser::ast::{Expr, SetExpr};
+    use squ_parser::CompareOp;
+
+    #[test]
+    fn a_small_seeded_run_is_clean_and_deterministic() {
+        let cfg = FuzzConfig::new(11);
+        let a: Vec<CaseReport> = (0..12).map(|i| run_case(&cfg, i)).collect();
+        let b: Vec<CaseReport> = (0..12).map(|i| run_case(&cfg, i)).collect();
+        assert_eq!(a, b, "same (seed, index) must reproduce byte-identically");
+        let report = FuzzReport::from_cases(11, &a);
+        assert!(
+            report.is_clean(),
+            "oracle violations on a clean build:\n{}",
+            report.to_json()
+        );
+        assert!(report.counts.roundtrip_pass >= 12);
+        assert!(report.counts.differential_pass > 0);
+        assert!(report.counts.preserving_pass > 0);
+        assert!(report.counts.breaking_distinguished > 0);
+    }
+
+    /// A transform that *claims* to preserve equivalence but flips the
+    /// first comparison operator it finds — the harness must convict it
+    /// and shrink the reproducer to a handful of tokens.
+    fn flip_first_comparison(q: &Query, _rng: &mut StdRng) -> Option<(Query, Query)> {
+        fn flip(e: &mut Expr) -> bool {
+            match e {
+                Expr::Compare { op, .. } => {
+                    *op = match *op {
+                        CompareOp::Lt => CompareOp::GtEq,
+                        CompareOp::LtEq => CompareOp::Gt,
+                        CompareOp::Gt => CompareOp::LtEq,
+                        CompareOp::GtEq => CompareOp::Lt,
+                        CompareOp::Eq => CompareOp::NotEq,
+                        CompareOp::NotEq => CompareOp::Eq,
+                    };
+                    true
+                }
+                Expr::And(a, b) | Expr::Or(a, b) => flip(a) || flip(b),
+                Expr::Not(inner) => flip(inner),
+                _ => false,
+            }
+        }
+        let mut q2 = q.clone();
+        let sel = match &mut q2.body {
+            SetExpr::Select(s) => s,
+            SetExpr::SetOp { .. } => return None,
+        };
+        let flipped = match sel.selection.as_mut() {
+            Some(pred) => flip(pred),
+            None => false,
+        };
+        flipped.then(|| (q.clone(), q2))
+    }
+
+    #[test]
+    fn an_unsound_transform_is_convicted_with_a_small_reproducer() {
+        let mut cfg = FuzzConfig::new(7);
+        cfg.extra_transforms.push(TransformInfo::custom(
+            "flip-first-comparison",
+            TransformKind::Preserving,
+            flip_first_comparison,
+        ));
+        let mut convictions = Vec::new();
+        for i in 0..24 {
+            let r = run_case(&cfg, i);
+            convictions.extend(
+                r.failures
+                    .into_iter()
+                    .filter(|f| f.transform.as_deref() == Some("flip-first-comparison")),
+            );
+        }
+        assert!(
+            !convictions.is_empty(),
+            "24 seeded cases never convicted the planted unsound transform"
+        );
+        let smallest = convictions
+            .iter()
+            .map(|f| f.minimized_tokens)
+            .min()
+            .unwrap_or(u64::MAX);
+        assert!(
+            smallest <= 20,
+            "expected a reproducer of at most 20 tokens, smallest was {smallest}"
+        );
+        for f in &convictions {
+            assert!(f.minimized_tokens > 0);
+            assert!(!f.minimized.is_empty());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Fuzz-run result types and their deterministic JSON rendering.
+//!
+//! Everything here is plain data with a fixed serialization order and no
+//! timestamps or host-dependent fields, so a run's `fuzz.json` is
+//! byte-identical for any `--jobs` value and across machines.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-oracle tallies, summed over cases. All fields count *checks*: one
+/// round-trip check per case, one mutation check per mutant, one
+/// differential check per witness database, one metamorphic check per
+/// applicable transform.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleCounts {
+    /// `parse(print(parse(q)))` identical and print is a fixpoint.
+    pub roundtrip_pass: u64,
+    /// Round-trip violations.
+    pub roundtrip_fail: u64,
+    /// Token-level mutants whose spans stayed byte-consistent.
+    pub mutation_pass: u64,
+    /// Mutants with out-of-bounds / overlapping / non-reconstructing spans,
+    /// or whose reparsed form broke the round-trip law.
+    pub mutation_fail: u64,
+    /// Witness databases on which engine and reference agreed.
+    pub differential_pass: u64,
+    /// Witness databases skipped because exactly one side hit its
+    /// intermediate-row budget (the reference engine has no pushdown, so it
+    /// legitimately exhausts the budget earlier).
+    pub differential_skip: u64,
+    /// Witness databases on which the two interpreters disagreed.
+    pub differential_fail: u64,
+    /// Equivalence-preserving transforms that agreed on every witness.
+    pub preserving_pass: u64,
+    /// Equivalence-preserving transforms caught changing results.
+    pub preserving_fail: u64,
+    /// Equivalence-breaking transforms distinguished by some witness.
+    pub breaking_distinguished: u64,
+    /// Equivalence-breaking transforms no witness distinguished (reported,
+    /// not failed: witnesses are probabilistic distinguishers).
+    pub breaking_undistinguished: u64,
+    /// Transform applications skipped (rewrite produced a query the binder
+    /// rejects, or execution failed on a witness).
+    pub metamorphic_skip: u64,
+}
+
+impl OracleCounts {
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: &OracleCounts) {
+        self.roundtrip_pass += other.roundtrip_pass;
+        self.roundtrip_fail += other.roundtrip_fail;
+        self.mutation_pass += other.mutation_pass;
+        self.mutation_fail += other.mutation_fail;
+        self.differential_pass += other.differential_pass;
+        self.differential_skip += other.differential_skip;
+        self.differential_fail += other.differential_fail;
+        self.preserving_pass += other.preserving_pass;
+        self.preserving_fail += other.preserving_fail;
+        self.breaking_distinguished += other.breaking_distinguished;
+        self.breaking_undistinguished += other.breaking_undistinguished;
+        self.metamorphic_skip += other.metamorphic_skip;
+    }
+
+    /// Any hard oracle violation? (Skips and undistinguished-breaking
+    /// checks are not violations.)
+    pub fn has_failures(&self) -> bool {
+        self.roundtrip_fail > 0
+            || self.mutation_fail > 0
+            || self.differential_fail > 0
+            || self.preserving_fail > 0
+    }
+}
+
+/// One oracle violation, with its shrunk reproducer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Failure {
+    /// Index of the generated case that exposed it.
+    pub case: u64,
+    /// Which oracle fired: `round-trip`, `mutation`, `differential`, or
+    /// `metamorphic`.
+    pub oracle: String,
+    /// Transform label for metamorphic failures.
+    pub transform: Option<String>,
+    /// The original failing SQL.
+    pub sql: String,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+    /// Token-deletion-minimized SQL that still fails the same predicate.
+    pub minimized: String,
+    /// Token count of `minimized`.
+    pub minimized_tokens: u64,
+}
+
+/// The outcome of one generated case: its tallies plus any failures.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CaseReport {
+    /// Case index within the run.
+    pub index: u64,
+    /// The generated (valid) SQL this case exercised.
+    pub sql: String,
+    /// Oracle tallies for this case.
+    pub counts: OracleCounts,
+    /// Violations found in this case.
+    pub failures: Vec<Failure>,
+}
+
+/// A whole fuzz run, written to `target/repro/fuzz.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuzzReport {
+    /// Report format version.
+    pub version: u32,
+    /// Generator seed for the run.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Aggregated oracle tallies.
+    pub counts: OracleCounts,
+    /// Every violation, in case order.
+    pub failures: Vec<Failure>,
+}
+
+impl FuzzReport {
+    /// Aggregate per-case reports (in case order) into a run report.
+    pub fn from_cases(seed: u64, cases: &[CaseReport]) -> FuzzReport {
+        let mut counts = OracleCounts::default();
+        let mut failures = Vec::new();
+        for c in cases {
+            counts.absorb(&c.counts);
+            failures.extend(c.failures.iter().cloned());
+        }
+        FuzzReport {
+            version: 1,
+            seed,
+            cases: cases.len() as u64,
+            counts,
+            failures,
+        }
+    }
+
+    /// Did every hard oracle hold?
+    pub fn is_clean(&self) -> bool {
+        !self.counts.has_failures()
+    }
+
+    /// Deterministic pretty JSON (field order is struct order; no maps).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// One-line human summary for the console.
+    pub fn summary_line(&self) -> String {
+        let c = &self.counts;
+        format!(
+            "fuzz: {} cases, roundtrip {}/{} fail, mutation {}/{} fail, \
+             differential {} pass / {} skip / {} fail, metamorphic {} pass / {} fail \
+             ({} breaking distinguished, {} undistinguished, {} skipped)",
+            self.cases,
+            c.roundtrip_fail,
+            c.roundtrip_pass + c.roundtrip_fail,
+            c.mutation_fail,
+            c.mutation_pass + c.mutation_fail,
+            c.differential_pass,
+            c.differential_skip,
+            c.differential_fail,
+            c.preserving_pass,
+            c.preserving_fail,
+            c.breaking_distinguished,
+            c.breaking_undistinguished,
+            c.metamorphic_skip,
+        )
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic token-deletion shrinking.
+//!
+//! Given a failing SQL string and a predicate that recognizes the failure,
+//! greedily delete tokens left-to-right (restarting after each successful
+//! deletion round) until no single-token deletion preserves the failure.
+//! Purely deterministic: same input and predicate → same minimized output.
+
+use squ_lexer::tokenize;
+
+/// Maximum predicate evaluations per shrink, a safety valve so a slow
+/// predicate on a long query cannot stall the run.
+const MAX_PROBES: usize = 2_000;
+
+/// Shrink `sql` while `still_fails` holds.
+///
+/// The candidate at each step is the remaining token texts joined with
+/// single spaces (token text is re-read from the source via spans, so
+/// quoted forms survive). Returns the minimized SQL and its token count;
+/// when `sql` does not tokenize, it is returned unshrunk with count 0.
+pub fn shrink_sql<F: FnMut(&str) -> bool>(sql: &str, mut still_fails: F) -> (String, u64) {
+    let Ok(tokens) = tokenize(sql) else {
+        return (sql.to_string(), 0);
+    };
+    let mut pieces: Vec<String> = tokens
+        .iter()
+        .map(|t| t.span.slice(sql).to_string())
+        .collect();
+
+    let mut probes = 0usize;
+    let mut changed = true;
+    while changed && probes < MAX_PROBES {
+        changed = false;
+        let mut i = 0;
+        while i < pieces.len() {
+            if pieces.len() == 1 {
+                break;
+            }
+            let mut candidate_pieces = pieces.clone();
+            candidate_pieces.remove(i);
+            let candidate = candidate_pieces.join(" ");
+            probes += 1;
+            if probes >= MAX_PROBES {
+                break;
+            }
+            if still_fails(&candidate) {
+                pieces = candidate_pieces;
+                changed = true;
+                // do not advance: the next token shifted into slot i
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let minimized = pieces.join(" ");
+    let count = pieces.len() as u64;
+    (minimized, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failure_kernel() {
+        // "failure" = the text contains the token `poison`
+        let sql = "SELECT a , b , poison , c FROM t WHERE a > 3";
+        let (min, n) = shrink_sql(sql, |s| s.contains("poison"));
+        assert_eq!(min, "poison");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn deterministic_and_stable_when_nothing_shrinks() {
+        let sql = "SELECT a FROM t";
+        let (min1, n1) = shrink_sql(sql, |_| false);
+        let (min2, n2) = shrink_sql(sql, |_| false);
+        assert_eq!(min1, min2);
+        assert_eq!(n1, n2);
+        assert_eq!(min1, "SELECT a FROM t");
+        assert_eq!(n1, 4);
+    }
+
+    #[test]
+    fn untokenizable_input_is_returned_unshrunk() {
+        let (min, n) = shrink_sql("'open string", |_| true);
+        assert_eq!(min, "'open string");
+        assert_eq!(n, 0);
+    }
+}

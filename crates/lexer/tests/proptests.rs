@@ -51,3 +51,82 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Full-UTF-8 totality + span contract: on *arbitrary* unicode input
+    /// (not just printable ASCII) the lossy lexer must not panic, and every
+    /// span must be in-bounds, non-empty, char-boundary-aligned, strictly
+    /// ordered, and non-overlapping.
+    #[test]
+    fn utf8_spans_are_ordered_and_disjoint(s in ".{0,250}") {
+        let (toks, _) = tokenize_lossy(&s);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.span.start < t.span.end, "empty/inverted span");
+            prop_assert!(t.span.end <= s.len(), "span past end of input");
+            prop_assert!(s.is_char_boundary(t.span.start));
+            prop_assert!(s.is_char_boundary(t.span.end));
+            prop_assert!(t.span.start >= prev_end,
+                "span {}..{} overlaps previous token ending at {}",
+                t.span.start, t.span.end, prev_end);
+            prev_end = t.span.end;
+        }
+    }
+
+    /// Span slices plus the gaps between them concatenate back to the
+    /// input, byte for byte. (`Token::text` is normalized — quotes are
+    /// stripped, escapes decoded — so reconstruction MUST go through
+    /// spans; this pins that contract on arbitrary UTF-8.)
+    #[test]
+    fn utf8_spans_reconstruct_the_input(s in ".{0,250}") {
+        let (toks, _) = tokenize_lossy(&s);
+        let mut rebuilt = String::with_capacity(s.len());
+        let mut cursor = 0usize;
+        for t in &toks {
+            prop_assert!(t.span.start >= cursor);
+            rebuilt.push_str(&s[cursor..t.span.start]);
+            rebuilt.push_str(&s[t.span.start..t.span.end]);
+            cursor = t.span.end;
+        }
+        rebuilt.push_str(&s[cursor..]);
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    /// The same contract for the strict tokenizer on inputs it accepts:
+    /// SQL-looking text interleaved with multibyte identifiers.
+    #[test]
+    fn strict_spans_reconstruct_accepted_input(
+        s in "(SELECT|FROM|WHERE|étoile|数据|x1|[0-9]{1,3}|'lit'|\"qid\"|=|,|\\(|\\)|  ){1,30}"
+    ) {
+        if let Ok(toks) = tokenize(&s) {
+            let mut rebuilt = String::with_capacity(s.len());
+            let mut cursor = 0usize;
+            for t in &toks {
+                prop_assert!(t.span.start >= cursor, "overlap in strict lexer spans");
+                rebuilt.push_str(&s[cursor..t.span.start]);
+                rebuilt.push_str(&s[t.span.start..t.span.end]);
+                cursor = t.span.end;
+            }
+            rebuilt.push_str(&s[cursor..]);
+            prop_assert_eq!(rebuilt, s);
+        }
+    }
+
+    /// The strict tokenizer is a refinement of the lossy one: when it
+    /// accepts, both see the same spans; when it rejects, lossy still
+    /// returns the prefix it could lex plus at least one error.
+    #[test]
+    fn strict_and_lossy_agree(s in ".{0,200}") {
+        let (lossy_toks, errors) = tokenize_lossy(&s);
+        match tokenize(&s) {
+            Ok(toks) => {
+                prop_assert!(errors.is_empty());
+                let a: Vec<_> = toks.iter().map(|t| t.span).collect();
+                let b: Vec<_> = lossy_toks.iter().map(|t| t.span).collect();
+                prop_assert_eq!(a, b);
+            }
+            Err(_) => prop_assert!(!errors.is_empty(),
+                "strict rejected but lossy reported no error"),
+        }
+    }
+}

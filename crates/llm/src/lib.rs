@@ -24,11 +24,11 @@ mod transport;
 
 pub use extract::{extract_binary, extract_label, extract_position, extract_word, Extracted};
 pub use model::{GroundTruth, LanguageModel, Request, Task};
+pub use profiles::{DatasetId, ModelId};
 pub use run::{
     run_task, run_task_direct, EquivOutcome, ExplainOutcome, PerfOutcome, RunTask, SyntaxOutcome,
     TokenOutcome,
 };
-pub use profiles::{DatasetId, ModelId};
 pub use simulate::{SimConfig, SimulatedModel};
 pub use transport::{
     CallRecord, DirectClient, FaultKind, FaultProfile, ModelClient, RetryPolicy, Transport,

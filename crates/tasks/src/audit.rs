@@ -148,7 +148,12 @@ mod tests {
     fn require_clean_records_violation() {
         let mut ctx = AuditCtx::new(Workload::Sdss);
         let report = ctx.lint("SELECT nosuch FROM SpecObj", "sdss");
-        ctx.require_clean("perf/sdss", "sdss-0001", &report, "SELECT nosuch FROM SpecObj");
+        ctx.require_clean(
+            "perf/sdss",
+            "sdss-0001",
+            &report,
+            "SELECT nosuch FROM SpecObj",
+        );
         assert_eq!(ctx.violations.len(), 1);
         assert_eq!(ctx.violations[0].invariant, "clean-analysis");
     }

@@ -21,6 +21,7 @@ pub mod perf;
 pub mod syntax;
 pub mod task;
 pub mod token;
+pub mod transforms;
 
 pub use equiv::{
     apply_equiv, apply_non_equiv, build_equiv_dataset, differential_verdict, EquivExample,
@@ -31,6 +32,7 @@ pub use normalize::{normal_form_sql, normal_forms_equal, normalize};
 pub use perf::{build_perf_dataset, PerfExample, COST_THRESHOLD_MS};
 pub use syntax::{build_syntax_dataset, inject_error, SyntaxErrorType, SyntaxExample};
 pub use token::{build_token_dataset, delete_token, TokenExample, TokenType};
+pub use transforms::{transform_catalog, TransformFn, TransformInfo, TransformKind};
 
 pub use audit::{AuditCtx, Violation};
 pub use task::{

@@ -1,0 +1,149 @@
+//! Introspection over the equivalence-transform catalog.
+//!
+//! The equivalence task applies its rewrites through per-type entry points
+//! ([`apply_equiv`] / [`apply_non_equiv`]); this module exposes the whole
+//! catalog as one uniform list so generic drivers — `squ-fuzz`'s
+//! metamorphic oracle in particular — can iterate every transform without
+//! matching on the type enums. [`TransformInfo::custom`] additionally lets
+//! a test inject a transform that is *not* in the catalog (for example, one
+//! that claims to preserve equivalence but does not) to prove the harness
+//! catches it.
+
+use crate::equiv::{apply_equiv, apply_non_equiv, EquivType, NonEquivType};
+use rand::rngs::StdRng;
+use squ_parser::ast::Query;
+
+/// Does a transform claim to preserve result equivalence?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformKind {
+    /// The rewritten query must return the same results everywhere.
+    Preserving,
+    /// The rewrite must be distinguishable on some witness database.
+    Breaking,
+}
+
+/// A custom rewrite: `(original) -> Option<(query1, query2)>`, like the
+/// catalog entry points. `None` means "not applicable to this query".
+pub type TransformFn = fn(&Query, &mut StdRng) -> Option<(Query, Query)>;
+
+enum Apply {
+    Equiv(EquivType),
+    NonEquiv(NonEquivType),
+    Custom(TransformFn),
+}
+
+/// One introspectable transform: a stable label, whether it claims to
+/// preserve equivalence, and the rewrite itself.
+pub struct TransformInfo {
+    label: &'static str,
+    kind: TransformKind,
+    apply: Apply,
+}
+
+impl TransformInfo {
+    /// A transform outside the built-in catalog (test harnesses only).
+    pub fn custom(label: &'static str, kind: TransformKind, f: TransformFn) -> TransformInfo {
+        TransformInfo {
+            label,
+            kind,
+            apply: Apply::Custom(f),
+        }
+    }
+
+    /// The transform's stable label (matches the dataset `transform` field
+    /// for catalog entries).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Preserving or breaking.
+    pub fn kind(&self) -> TransformKind {
+        self.kind
+    }
+
+    /// Apply the transform. Returns the `(query1, query2)` pair to compare,
+    /// or `None` when the rewrite does not apply to this query shape.
+    pub fn apply(&self, q: &Query, rng: &mut StdRng) -> Option<(Query, Query)> {
+        match &self.apply {
+            Apply::Equiv(ty) => apply_equiv(q, *ty, rng),
+            Apply::NonEquiv(ty) => apply_non_equiv(q, *ty, rng),
+            Apply::Custom(f) => f(q, rng),
+        }
+    }
+}
+
+/// Every transform the equivalence task knows: the ten
+/// equivalence-preserving rewrites followed by the eight
+/// equivalence-breaking ones, in their canonical (`ALL`) order.
+pub fn transform_catalog() -> Vec<TransformInfo> {
+    let mut out = Vec::with_capacity(EquivType::ALL.len() + NonEquivType::ALL.len());
+    for ty in EquivType::ALL {
+        out.push(TransformInfo {
+            label: ty.label(),
+            kind: TransformKind::Preserving,
+            apply: Apply::Equiv(ty),
+        });
+    }
+    for ty in NonEquivType::ALL {
+        out.push(TransformInfo {
+            label: ty.label(),
+            kind: TransformKind::Breaking,
+            apply: Apply::NonEquiv(ty),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use squ_parser::parse_query;
+
+    #[test]
+    fn catalog_covers_both_enums_with_matching_labels() {
+        let cat = transform_catalog();
+        assert_eq!(cat.len(), EquivType::ALL.len() + NonEquivType::ALL.len());
+        let preserving: Vec<&str> = cat
+            .iter()
+            .filter(|t| t.kind() == TransformKind::Preserving)
+            .map(|t| t.label())
+            .collect();
+        let breaking: Vec<&str> = cat
+            .iter()
+            .filter(|t| t.kind() == TransformKind::Breaking)
+            .map(|t| t.label())
+            .collect();
+        let want_p: Vec<&str> = EquivType::ALL.iter().map(|t| t.label()).collect();
+        let want_b: Vec<&str> = NonEquivType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(preserving, want_p);
+        assert_eq!(breaking, want_b);
+    }
+
+    #[test]
+    fn catalog_entries_dispatch_to_the_real_rewrites() {
+        let q = parse_query("SELECT a FROM t WHERE a > 1 AND b < 2").unwrap();
+        let cat = transform_catalog();
+        let reorder = cat
+            .iter()
+            .find(|t| t.label() == "reorder-conditions")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (q1, q2) = reorder.apply(&q, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let direct = apply_equiv(&q, EquivType::ReorderConditions, &mut rng).unwrap();
+        assert_eq!((q1, q2), direct);
+    }
+
+    #[test]
+    fn custom_transforms_are_injectable() {
+        fn identity_pair(q: &Query, _rng: &mut StdRng) -> Option<(Query, Query)> {
+            Some((q.clone(), q.clone()))
+        }
+        let t = TransformInfo::custom("identity", TransformKind::Preserving, identity_pair);
+        let q = parse_query("SELECT a FROM t").unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (a, b) = t.apply(&q, &mut rng).unwrap();
+        assert_eq!(a, b);
+    }
+}

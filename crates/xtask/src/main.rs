@@ -3,6 +3,10 @@
 //! `lint` — forbid `.unwrap()`, `.expect(` and `panic!` in library code,
 //! and per-task `match` dispatch in the core crate.
 //!
+//! `fuzz-smoke` — run the `squ-fuzz` oracles on a small fixed-seed budget
+//! (the CI smoke configuration): builds the `repro` binary in release mode
+//! and exits non-zero on any oracle violation.
+//!
 //! The benchmark's library crates must not abort on malformed input: the
 //! whole point of the analyzer stack is to turn bad SQL into diagnostics.
 //! This pass scans every `crates/*/src` library file (binaries, `main.rs`,
@@ -38,23 +42,53 @@ const BANNED: &[&str] = &[".unwrap()", ".expect()", "panic!"];
 const TASK_FAMILIES: &[(&str, &[&str])] = &[
     (
         "syntax",
-        &["TaskId::Syntax", "Task::Syntax", "SyntaxTask", "run_syntax", "\"syntax_error\""],
+        &[
+            "TaskId::Syntax",
+            "Task::Syntax",
+            "SyntaxTask",
+            "run_syntax",
+            "\"syntax_error\"",
+        ],
     ),
     (
         "tokens",
-        &["TaskId::MissToken", "Task::MissToken", "TokenTask", "run_token", "\"miss_token\""],
+        &[
+            "TaskId::MissToken",
+            "Task::MissToken",
+            "TokenTask",
+            "run_token",
+            "\"miss_token\"",
+        ],
     ),
     (
         "equiv",
-        &["TaskId::Equiv", "Task::Equiv", "EquivTask", "run_equiv", "\"query_equiv\""],
+        &[
+            "TaskId::Equiv",
+            "Task::Equiv",
+            "EquivTask",
+            "run_equiv",
+            "\"query_equiv\"",
+        ],
     ),
     (
         "perf",
-        &["TaskId::Perf", "Task::Perf", "PerfTask", "run_perf", "\"performance_pred\""],
+        &[
+            "TaskId::Perf",
+            "Task::Perf",
+            "PerfTask",
+            "run_perf",
+            "\"performance_pred\"",
+        ],
     ),
     (
         "explain",
-        &["TaskId::Explain", "Task::Explain", "ExplainTask", "run_explain", "\"query_exp\""],
+        &[
+            "TaskId::Explain",
+            "Task::Explain",
+            "ExplainTask",
+            "run_explain",
+            "\"query_exp\"",
+        ],
     ),
 ];
 
@@ -84,13 +118,51 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("fuzz-smoke") => {
+            let status = fuzz_smoke(&repo_root());
+            std::process::exit(status);
+        }
         Some(other) => {
-            eprintln!("unknown task {other:?} (available: lint)");
+            eprintln!("unknown task {other:?} (available: lint, fuzz-smoke)");
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint|fuzz-smoke>");
             std::process::exit(2);
+        }
+    }
+}
+
+/// Fixed-seed, fixed-budget fuzz run for CI: small enough to finish well
+/// inside a minute, deterministic so a red run is immediately
+/// reproducible with the same command line.
+const FUZZ_SMOKE_CASES: &str = "150";
+/// Seed for the smoke run (matches the documented acceptance seed).
+const FUZZ_SMOKE_SEED: &str = "7";
+
+/// Run `repro --fuzz` with the smoke budget; returns the exit code.
+fn fuzz_smoke(root: &Path) -> i32 {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "squ-bench",
+            "--bin",
+            "repro",
+            "--",
+            "--fuzz",
+            FUZZ_SMOKE_CASES,
+            "--fuzz-seed",
+            FUZZ_SMOKE_SEED,
+        ])
+        .status();
+    match status {
+        Ok(s) => s.code().unwrap_or(1), // lint:allow: cli tool
+        Err(e) => {
+            eprintln!("fuzz-smoke: failed to launch cargo: {e}");
+            1
         }
     }
 }
@@ -214,7 +286,8 @@ fn find_match_keyword(code: &str) -> Option<usize> {
     while let Some(rel) = code[from..].find("match") {
         let at = from + rel;
         let before_ok = at == 0
-            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_'
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric()
+                && code.as_bytes()[at - 1] != b'_'
                 && code.as_bytes()[at - 1] != b'.';
         let after = code.as_bytes().get(at + 5);
         let after_ok = after.is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_');

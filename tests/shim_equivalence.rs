@@ -9,12 +9,10 @@
 //! prompt construction, extraction gating, transport telemetry — fails
 //! byte-for-byte.
 
-use squ::llm::{
-    run_task, run_task_direct, DirectClient, ModelId, SimulatedModel, Transport,
-};
+use squ::llm::{run_task, run_task_direct, DirectClient, ModelId, SimulatedModel, Transport};
 use squ::pipeline::{
-    dataset_id, run_equiv, run_equiv_client, run_explain, run_perf, run_syntax,
-    run_syntax_client, run_token,
+    dataset_id, run_equiv, run_equiv_client, run_explain, run_perf, run_syntax, run_syntax_client,
+    run_token,
 };
 use squ::tasks::{EquivTask, ExplainTask, PerfTask, SyntaxTask, TokenTask};
 use squ::workload::Workload;

@@ -50,7 +50,12 @@ fn warm_resume_is_all_hits_and_byte_identical() {
 
     let mut warm = Store::open(&root);
     let resumed = Suite::load_or_build(PAPER_SEED, 2, &mut warm);
-    assert_eq!(warm.total_misses(), 0, "warm build missed: {:?}", warm.stats());
+    assert_eq!(
+        warm.total_misses(),
+        0,
+        "warm build missed: {:?}",
+        warm.stats()
+    );
     assert_eq!(warm.stats()["workload"].hits, 4);
     assert_eq!(warm.stats()["dataset"].hits, 11);
 
@@ -62,7 +67,10 @@ fn warm_resume_is_all_hits_and_byte_identical() {
         "exported file sets differ"
     );
     for (name, bytes) in &a {
-        assert_eq!(bytes, &b[name], "{name} differs between cold and warm build");
+        assert_eq!(
+            bytes, &b[name],
+            "{name} differs between cold and warm build"
+        );
     }
 
     fs::remove_dir_all(&root).ok();
@@ -105,7 +113,10 @@ fn corrupted_entry_is_detected_and_rebuilt() {
     // The rebuilt stage replaces the corrupted bytes and matches the
     // original build exactly.
     let a = export_to_bytes(&built, Path::new("target/test-store-resume/export-orig"));
-    let b = export_to_bytes(&resumed, Path::new("target/test-store-resume/export-rebuilt"));
+    let b = export_to_bytes(
+        &resumed,
+        Path::new("target/test-store-resume/export-rebuilt"),
+    );
     for (name, bytes) in &a {
         assert_eq!(bytes, &b[name], "{name} differs after corruption rebuild");
     }

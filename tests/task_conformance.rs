@@ -1,0 +1,132 @@
+//! Registry-driven conformance suite: properties every task family must
+//! satisfy, checked generically through the [`squ::DynTask`] erasure so a
+//! newly registered task is covered with zero test changes.
+//!
+//! 1. `audit` accepts its own `build` output — a task that convicts its
+//!    own labels has a broken builder or a broken auditor;
+//! 2. `TaskId` metadata survives the `DynTask` type erasure (`task(id)`
+//!    round-trips, names are unique and stable);
+//! 3. `encode_set`/`decode_set` round-trip through the artifact-store
+//!    encoding with length and export lines preserved.
+
+use squ::registry::task;
+use squ::tasks::{AuditCtx, TaskId};
+use squ::workload::{build, Workload};
+use squ::{registry, DynTask};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+const SEED: u64 = 424242; // deliberately not PAPER_SEED: conformance must not depend on the blessed seed
+
+/// Workload datasets, built once for the whole test binary.
+fn dataset(w: Workload) -> &'static squ::workload::Dataset {
+    static DATASETS: OnceLock<BTreeMap<&'static str, squ::workload::Dataset>> = OnceLock::new();
+    DATASETS
+        .get_or_init(|| {
+            [
+                Workload::Sdss,
+                Workload::SqlShare,
+                Workload::JoinOrder,
+                Workload::Spider,
+            ]
+            .into_iter()
+            .map(|w| (w.name(), build(w, SEED)))
+            .collect()
+        })
+        .get(w.name())
+        .expect("all four workloads are prebuilt")
+}
+
+#[test]
+fn every_task_audit_accepts_its_own_build() {
+    for t in registry() {
+        for w in t.id().workloads() {
+            let set = t.build(dataset(*w), SEED);
+            assert!(
+                t.set_len(&set) > 0,
+                "{}/{} built an empty set",
+                t.id().name(),
+                w.name()
+            );
+            let mut ctx = AuditCtx::new(*w);
+            t.audit(*w, &set, &mut ctx);
+            assert!(
+                ctx.violations.is_empty(),
+                "{}/{}: task convicts its own labels, first: {:?}",
+                t.id().name(),
+                w.name(),
+                ctx.violations.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn task_id_metadata_round_trips_through_type_erasure() {
+    // the registry enumerates exactly TaskId::ALL, in order
+    let ids: Vec<TaskId> = registry().iter().map(|t| t.id()).collect();
+    assert_eq!(ids, TaskId::ALL.to_vec());
+
+    for id in TaskId::ALL {
+        let t: &dyn DynTask = task(id);
+        // task(id) resolves to the task claiming that id
+        assert_eq!(t.id(), id);
+        // the static metadata visible through the erasure matches the
+        // id's own
+        assert_eq!(t.id().name(), id.name());
+        assert_eq!(t.id().workloads(), id.workloads());
+        assert!(t.version() >= 1, "{}: version 0 is reserved", id.name());
+        assert!(
+            !t.id().workloads().is_empty(),
+            "{}: a task with no workloads can never build",
+            id.name()
+        );
+    }
+
+    // names are unique — they key store stages and export files
+    let mut names: Vec<&str> = TaskId::ALL.iter().map(|id| id.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), TaskId::ALL.len(), "duplicate task names");
+}
+
+#[test]
+fn encode_decode_round_trips_every_set() {
+    for t in registry() {
+        let w = t.id().workloads()[0];
+        let set = t.build(dataset(w), SEED);
+        let json = t.encode_set(&set);
+        let back = t
+            .decode_set(&json)
+            .unwrap_or_else(|e| panic!("{}: decode of own encoding failed: {e}", t.id().name()));
+        assert_eq!(t.set_len(&set), t.set_len(&back), "{}", t.id().name());
+        // the decoded set is example-for-example identical as far as any
+        // driver can see: same export lines, same re-encoding
+        assert_eq!(
+            t.export_lines(&set),
+            t.export_lines(&back),
+            "{}",
+            t.id().name()
+        );
+        assert_eq!(json, t.encode_set(&back), "{}", t.id().name());
+        // and a decoded set still satisfies the task's own audit
+        let mut ctx = AuditCtx::new(w);
+        t.audit(w, &back, &mut ctx);
+        assert!(ctx.violations.is_empty(), "{}", t.id().name());
+    }
+}
+
+#[test]
+fn decode_rejects_malformed_payloads_but_accepts_the_empty_set() {
+    for t in registry() {
+        assert!(
+            t.decode_set("not json").is_err(),
+            "{}: junk must not decode",
+            t.id().name()
+        );
+        // an empty set is legal JSON for every task; it must decode to a
+        // zero-length set rather than error
+        let empty = t.decode_set("[]").expect("empty array decodes");
+        assert_eq!(t.set_len(&empty), 0);
+    }
+}
