@@ -37,7 +37,11 @@
 //! `squ-fuzz` subsystem (grammar-generated queries through the round-trip,
 //! differential, and metamorphic oracles), writing `target/repro/fuzz.json`
 //! — byte-identical for any `--jobs` count — and exiting 1 on any oracle
-//! violation.
+//! violation. The same case stream is then replayed single-threaded
+//! through the compiled engine and the tree-walking interpreter side by
+//! side; the phase timings, speedup ratio, and deterministic engine
+//! counters land in `timings.json`, and any compiled-vs-interpreter
+//! divergence also exits 1.
 
 use squ::llm::FaultProfile;
 use squ::store::{fp_artifact, fp_audit, fp_faults};
@@ -345,8 +349,46 @@ fn main() {
             );
         }
         println!("fuzz report written to {}", path.display());
+
+        // surface the run's deterministic engine counters in timings.json
+        let e = &report.engine;
+        squ::timing::count("fuzz.engine.rows_scanned", e.rows_scanned);
+        squ::timing::count("fuzz.engine.join_pairs", e.join_pairs);
+        squ::timing::count("fuzz.engine.batches", e.batches);
+        squ::timing::count("fuzz.engine.index_probes", e.index_probes);
+        squ::timing::count("fuzz.engine.index_hits", e.index_hits);
+        squ::timing::count("fuzz.engine.subquery_evals", e.subquery_evals);
+        squ::timing::count("fuzz.engine.compiled", e.compiled);
+        squ::timing::count("fuzz.engine.fallbacks", e.fallbacks);
+
+        // compiled-vs-interpreter benchmark over the same case stream
+        // (single-threaded: the ratio is a per-core comparison)
+        eprintln!("benchmarking compiled engine vs interpreter over the same stream…");
+        let bench = squ::run_engine_bench(cases, opts.fuzz_seed);
+        println!(
+            "engine bench: {} execution(s) per engine, differential {:.1?} compiled vs {:.1?} \
+             interpreted ({:.1}x), equiv-verify {:.1?} vs {:.1?} ({:.1}x), overall {:.1}x, \
+             {} divergence(s)",
+            bench.executions,
+            bench.differential_compiled,
+            bench.differential_interpreted,
+            bench.differential_speedup(),
+            bench.equiv_compiled,
+            bench.equiv_interpreted,
+            bench.equiv_speedup(),
+            bench.overall_speedup(),
+            bench.divergences,
+        );
+
         finish_store(&opts, store.as_ref());
         finish_timings(&opts, &out_dir, jobs_n, run_start);
+        if bench.divergences > 0 {
+            eprintln!(
+                "error: compiled engine diverged from the interpreter on {} run(s)",
+                bench.divergences
+            );
+            std::process::exit(1);
+        }
         if !report.is_clean() {
             std::process::exit(1);
         }
@@ -551,7 +593,8 @@ fn finish_store(opts: &Opts, store: Option<&Store>) {
 /// plain-text report when `--timings` was given.
 fn finish_timings(opts: &Opts, out_dir: &Path, jobs_n: usize, run_start: std::time::Instant) {
     let spans = squ::timing::drain();
-    let json = squ::timing::to_json(&spans, jobs_n, run_start.elapsed());
+    let counters = squ::timing::drain_counters();
+    let json = squ::timing::to_json(&spans, &counters, jobs_n, run_start.elapsed());
     let path = out_dir.join("timings.json");
     fs::write(&path, &json).expect("write timings.json");
     if opts.timings {

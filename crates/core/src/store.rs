@@ -38,7 +38,7 @@ const FAULTS_VERSION: u32 = 1;
 /// Version tag of the ablation studies.
 const ABLATION_VERSION: u32 = 1;
 /// Bump when the fuzz generator, oracles, or case-report format change.
-const FUZZ_VERSION: u32 = 1;
+const FUZZ_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over a byte stream.
 #[derive(Clone, Copy)]

@@ -22,9 +22,24 @@ pub struct Span {
     pub ms: f64,
 }
 
+/// One named integer counter (e.g. engine rows scanned). Unlike spans,
+/// counters are deterministic for a given run configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Counter {
+    /// Dotted counter name, e.g. `fuzz.engine.rows_scanned`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
 fn registry() -> &'static Mutex<Vec<Span>> {
     static SPANS: OnceLock<Mutex<Vec<Span>>> = OnceLock::new();
     SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn counter_registry() -> &'static Mutex<Vec<Counter>> {
+    static COUNTERS: OnceLock<Mutex<Vec<Counter>>> = OnceLock::new();
+    COUNTERS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// Record an already-measured duration under `name`.
@@ -42,6 +57,26 @@ pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
     let out = f();
     record(name, start.elapsed());
     out
+}
+
+/// Add `value` to the counter named `name` (created at zero on first use).
+pub fn count(name: &str, value: u64) {
+    let mut counters = counter_registry().lock().expect("timing counter lock"); // lint:allow: poisoned only if a worker already panicked
+    match counters.iter_mut().find(|c| c.name == name) {
+        Some(c) => c.value += value,
+        None => counters.push(Counter {
+            name: name.to_string(),
+            value,
+        }),
+    }
+}
+
+/// Take all recorded counters, sorted by name.
+pub fn drain_counters() -> Vec<Counter> {
+    let mut counters =
+        std::mem::take(&mut *counter_registry().lock().expect("timing counter lock")); // lint:allow: poisoned only if a worker already panicked
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    counters
 }
 
 /// Take all recorded spans, sorted by name (ties keep record order).
@@ -67,13 +102,14 @@ pub fn report(spans: &[Span]) -> String {
     out
 }
 
-/// Render spans plus run metadata as a JSON document:
-/// `{"jobs": N, "total_ms": T, "spans": [{"name": …, "ms": …}, …]}`.
-pub fn to_json(spans: &[Span], jobs: usize, total: Duration) -> String {
+/// Render spans, counters, and run metadata as a JSON document:
+/// `{"jobs": N, "total_ms": T, "spans": […], "counters": […]}`.
+pub fn to_json(spans: &[Span], counters: &[Counter], jobs: usize, total: Duration) -> String {
     let doc = TimingsDoc {
         jobs,
         total_ms: total.as_secs_f64() * 1e3,
         spans: spans.to_vec(),
+        counters: counters.to_vec(),
     };
     serde_json::to_string_pretty(&doc).expect("timings serialize") // lint:allow: plain data structs always serialize
 }
@@ -83,6 +119,7 @@ struct TimingsDoc {
     jobs: usize,
     total_ms: f64,
     spans: Vec<Span>,
+    counters: Vec<Counter>,
 }
 
 #[cfg(test)]
@@ -123,10 +160,32 @@ mod tests {
         ];
         let text = report(&spans);
         assert!(text.contains("suite.total") && text.contains("1234.5 ms"));
-        let json = to_json(&spans, 8, Duration::from_millis(1500));
+        let counters = vec![Counter {
+            name: "fuzz.engine.rows_scanned".into(),
+            value: 42,
+        }];
+        let json = to_json(&spans, &counters, 8, Duration::from_millis(1500));
         let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(doc["jobs"], 8u64);
         assert_eq!(doc["spans"][0]["name"], "suite.total");
         assert!(doc["total_ms"].as_f64().unwrap() >= 1500.0);
+        assert_eq!(doc["counters"][0]["name"], "fuzz.engine.rows_scanned");
+        assert_eq!(doc["counters"][0]["value"], 42u64);
+    }
+
+    #[test]
+    fn counters_accumulate_and_drain_sorted() {
+        count("test.counter.b", 3);
+        count("test.counter.a", 1);
+        count("test.counter.b", 4);
+        let counters: Vec<Counter> = drain_counters()
+            .into_iter()
+            .filter(|c| c.name.starts_with("test.counter."))
+            .collect();
+        let pairs: Vec<(&str, u64)> = counters
+            .iter()
+            .map(|c| (c.name.as_str(), c.value))
+            .collect();
+        assert_eq!(pairs, vec![("test.counter.a", 1), ("test.counter.b", 7)]);
     }
 }

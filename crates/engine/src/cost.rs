@@ -53,6 +53,38 @@ impl CostModel {
         total_rows / self.rows_per_ms
     }
 
+    /// Should a `col = constant` scan over a table of `rows` rows go
+    /// through a hash index? Building costs one pass over the table, but
+    /// the build is cached per database, so the bar is low — only
+    /// tiny tables lose.
+    pub fn index_probe_beneficial(&self, rows: f64) -> bool {
+        rows >= 8.0
+    }
+
+    /// Should an equi-join over inputs of `l` and `r` rows hash the right
+    /// side instead of scanning all `l × r` pairs?
+    pub fn hash_join_beneficial(&self, l: f64, r: f64) -> bool {
+        l * r > 256.0
+    }
+
+    /// Estimated cardinality of composing an accumulated input of `acc`
+    /// rows with a unit of `next` rows: damped equi-join growth
+    /// (larger side × √smaller) when `connected` by an equality
+    /// predicate, full cross product otherwise. Used by
+    /// [`crate::plan::greedy_join_order`].
+    pub fn comma_join_estimate(&self, acc: f64, next: f64, connected: bool) -> f64 {
+        if connected {
+            let (big, small) = if acc >= next {
+                (acc, next)
+            } else {
+                (next, acc)
+            };
+            (big * small.sqrt().max(1.0)).min(1e13)
+        } else {
+            (acc * next).min(1e13)
+        }
+    }
+
     /// Row-units charged to one query block (not descending into
     /// subqueries — `walk_queries` visits those separately).
     fn block_rows(&self, q: &Query, schema: &Schema) -> f64 {
@@ -214,5 +246,30 @@ mod tests {
     fn unknown_table_uses_default_card() {
         let t = ms("SELECT x FROM mystery");
         assert!(t > 0.0 && t < 10.0);
+    }
+
+    #[test]
+    fn index_probe_skips_tiny_tables() {
+        let m = CostModel::default();
+        assert!(!m.index_probe_beneficial(3.0));
+        assert!(m.index_probe_beneficial(8.0));
+        assert!(m.index_probe_beneficial(1e6));
+    }
+
+    #[test]
+    fn hash_join_needs_enough_pairs() {
+        let m = CostModel::default();
+        assert!(!m.hash_join_beneficial(4.0, 4.0));
+        assert!(m.hash_join_beneficial(100.0, 100.0));
+    }
+
+    #[test]
+    fn equi_connection_damps_join_estimates() {
+        let m = CostModel::default();
+        let cross = m.comma_join_estimate(1000.0, 400.0, false);
+        let equi = m.comma_join_estimate(1000.0, 400.0, true);
+        assert_eq!(cross, 400_000.0);
+        assert_eq!(equi, 20_000.0);
+        assert!(m.comma_join_estimate(1e9, 1e9, false) <= 1e13);
     }
 }

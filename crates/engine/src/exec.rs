@@ -54,6 +54,13 @@ impl std::error::Error for ExecError {}
 
 /// Counters accumulated during execution; input to cost-model validation
 /// and the Criterion benchmarks.
+///
+/// The compiled engine ([`crate::physical`]) fills the same counters with
+/// compiled-path meanings (an index probe counts only the fetched rows as
+/// scanned, a consumed hash-equi filter skips its join pairs), plus the
+/// compiled-only counters below. All counters are deterministic for a
+/// given (query, database) — independent of cache warmth or thread
+/// count — so fuzz reports stay byte-identical across `--jobs`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Base-table rows materialized into the pipeline.
@@ -64,6 +71,16 @@ pub struct ExecStats {
     pub rows_output: u64,
     /// Subquery (re-)executions, counting correlated re-evaluation.
     pub subquery_evals: u64,
+    /// Operator batches evaluated by the vectorized filter path.
+    pub batches: u64,
+    /// Hash-index equality probes issued.
+    pub index_probes: u64,
+    /// Rows fetched via index probes.
+    pub index_hits: u64,
+    /// 1 if the query ran on the compiled engine.
+    pub compiled: u64,
+    /// 1 if compilation was rejected and the interpreter ran instead.
+    pub fallbacks: u64,
 }
 
 /// Execute a statement. `CREATE TABLE … AS` / `CREATE VIEW` execute their
@@ -76,7 +93,29 @@ pub fn execute(stmt: &Statement, db: &Database) -> Result<Relation, ExecError> {
 }
 
 /// Execute a query, returning the result relation and execution statistics.
+///
+/// Hybrid entry point: the query is first lowered by
+/// [`crate::physical::compile_query`]; any construct the compiler does not
+/// cover rejects compilation and the whole query falls back to the
+/// tree-walking interpreter ([`execute_query_interpreted`]), which remains
+/// the semantics definition. [`ExecStats::compiled`] /
+/// [`ExecStats::fallbacks`] record which path ran.
 pub fn execute_query(q: &Query, db: &Database) -> Result<(Relation, ExecStats), ExecError> {
+    if let Some(cq) = crate::physical::compile_query(q, db) {
+        return cq.execute(db);
+    }
+    let (rel, mut stats) = execute_query_interpreted(q, db)?;
+    stats.fallbacks = 1;
+    Ok((rel, stats))
+}
+
+/// Execute a query on the tree-walking interpreter, bypassing the
+/// compiled engine. This is the executable semantics the compiled path is
+/// differentially verified against (and the baseline for perf ratios).
+pub fn execute_query_interpreted(
+    q: &Query,
+    db: &Database,
+) -> Result<(Relation, ExecStats), ExecError> {
     let mut cx = Cx {
         db,
         ctes: Vec::new(),
@@ -89,9 +128,9 @@ pub fn execute_query(q: &Query, db: &Database) -> Result<(Relation, ExecStats), 
 
 /// A qualified column in a working row.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct QCol {
-    binding: Option<String>,
-    name: String,
+pub(crate) struct QCol {
+    pub(crate) binding: Option<String>,
+    pub(crate) name: String,
 }
 
 /// One working relation: qualified columns + rows.
@@ -903,51 +942,61 @@ impl<'a> Cx<'a> {
             let mut seen = std::collections::HashSet::new();
             vals.retain(|v| seen.insert(v.clone()));
         }
-        Ok(match upper.as_str() {
-            "COUNT" => Value::Num(vals.len() as f64),
-            "SUM" => {
-                if vals.is_empty() {
-                    Value::Null
-                } else {
-                    Value::Num(vals.iter().filter_map(|v| v.as_num()).sum())
-                }
-            }
-            "AVG" => {
-                let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
-                if nums.is_empty() {
-                    Value::Null
-                } else {
-                    Value::Num(nums.iter().sum::<f64>() / nums.len() as f64)
-                }
-            }
-            "MIN" => vals
-                .iter()
-                .min_by(|a, b| a.total_cmp(b))
-                .cloned()
-                .unwrap_or(Value::Null),
-            "MAX" => vals
-                .iter()
-                .max_by(|a, b| a.total_cmp(b))
-                .cloned()
-                .unwrap_or(Value::Null),
-            "STDEV" | "STDDEV" | "VAR" | "VARIANCE" => {
-                let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
-                if nums.len() < 2 {
-                    Value::Null
-                } else {
-                    let mean = nums.iter().sum::<f64>() / nums.len() as f64;
-                    let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                        / (nums.len() - 1) as f64;
-                    if upper.starts_with("VAR") {
-                        Value::Num(var)
-                    } else {
-                        Value::Num(var.sqrt())
-                    }
-                }
-            }
-            _ => return Err(ExecError::Unsupported(format!("aggregate {name}"))),
-        })
+        aggregate_value(&upper, &vals)
+            .ok_or_else(|| ExecError::Unsupported(format!("aggregate {name}")))
     }
+}
+
+/// Finish an aggregate over the non-null (and, if requested, deduplicated)
+/// argument values. `None` for an unrecognized aggregate name — callers
+/// produce the interpreter's `Unsupported` error (the compiled engine
+/// rejects unknown aggregates at compile time instead). Shared by both
+/// engines so the leaf arithmetic is not part of the differential surface.
+pub(crate) fn aggregate_value(upper: &str, vals: &[Value]) -> Option<Value> {
+    Some(match upper {
+        "COUNT" => Value::Num(vals.len() as f64),
+        "SUM" => {
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                Value::Num(vals.iter().filter_map(|v| v.as_num()).sum())
+            }
+        }
+        "AVG" => {
+            let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Num(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        "MIN" => vals
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        "MAX" => vals
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        "STDEV" | "STDDEV" | "VAR" | "VARIANCE" => {
+            let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_num()).collect();
+            if nums.len() < 2 {
+                Value::Null
+            } else {
+                let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+                let var =
+                    nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nums.len() - 1) as f64;
+                if upper.starts_with("VAR") {
+                    Value::Num(var)
+                } else {
+                    Value::Num(var.sqrt())
+                }
+            }
+        }
+        _ => return None,
+    })
 }
 
 impl<'a> Cx<'a> {
@@ -980,7 +1029,11 @@ impl<'a> Cx<'a> {
 
 /// If `e` is a single equality between one column of `lcols` and one of
 /// `rcols`, return their indices (left, right).
-fn equi_join_columns(e: &Expr, lcols: &[QCol], rcols: &[QCol]) -> Option<(usize, usize)> {
+pub(crate) fn equi_join_columns(
+    e: &Expr,
+    lcols: &[QCol],
+    rcols: &[QCol],
+) -> Option<(usize, usize)> {
     let Expr::Compare {
         op: CompareOp::Eq,
         left,
@@ -1015,7 +1068,7 @@ fn equi_join_columns(e: &Expr, lcols: &[QCol], rcols: &[QCol]) -> Option<(usize,
 }
 
 /// Flatten a WHERE tree into its top-level AND conjuncts.
-fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+pub(crate) fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
     match e {
         Expr::And(a, b) => {
             split_conjuncts(a, out);
@@ -1060,7 +1113,7 @@ fn conjunct_resolvable(e: &Expr, cols: &[QCol]) -> bool {
 
 // ----- helpers -----
 
-fn projection_names(s: &Select, working_cols: &[QCol]) -> Vec<String> {
+pub(crate) fn projection_names(s: &Select, working_cols: &[QCol]) -> Vec<String> {
     let mut out = Vec::new();
     for item in &s.items {
         match item {
@@ -1114,7 +1167,7 @@ fn alias_key(expr: &Expr, s: &Select, out_vals: &[Value]) -> Option<Value> {
 
 /// Structural equality with case-insensitive function names (ORDER BY
 /// `count(*)` must match projected `COUNT(*)`).
-fn exprs_equal_modulo_case(a: &Expr, b: &Expr) -> bool {
+pub(crate) fn exprs_equal_modulo_case(a: &Expr, b: &Expr) -> bool {
     match (a, b) {
         (
             Expr::Function {
@@ -1166,7 +1219,7 @@ fn resolve_value(c: &ColumnRef, frames: &[Frame]) -> Result<Value, ExecError> {
 
 /// Three-valued (Kleene) boolean view of a value: `Some(bool)` or `None`
 /// for NULL/unknown. Non-boolean values are falsy.
-fn tri(v: &Value) -> Option<bool> {
+pub(crate) fn tri(v: &Value) -> Option<bool> {
     match v {
         Value::Bool(b) => Some(*b),
         Value::Null => None,
@@ -1174,18 +1227,18 @@ fn tri(v: &Value) -> Option<bool> {
     }
 }
 
-fn from_tri(t: Option<bool>) -> Value {
+pub(crate) fn from_tri(t: Option<bool>) -> Value {
     match t {
         Some(b) => Value::Bool(b),
         None => Value::Null,
     }
 }
 
-fn not3(t: Option<bool>) -> Option<bool> {
+pub(crate) fn not3(t: Option<bool>) -> Option<bool> {
     t.map(|b| !b)
 }
 
-fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -1193,7 +1246,7 @@ fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(true), _) | (_, Some(true)) => Some(true),
         (Some(false), Some(false)) => Some(false),
@@ -1201,7 +1254,7 @@ fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn compare(op: CompareOp, l: &Value, r: &Value) -> Value {
+pub(crate) fn compare(op: CompareOp, l: &Value, r: &Value) -> Value {
     let res = match op {
         CompareOp::Eq => l.sql_eq(r),
         CompareOp::NotEq => l.sql_eq(r).map(|b| !b),
@@ -1214,7 +1267,7 @@ fn compare(op: CompareOp, l: &Value, r: &Value) -> Value {
     from_tri(res)
 }
 
-fn arith(op: char, l: &Value, r: &Value) -> Value {
+pub(crate) fn arith(op: char, l: &Value, r: &Value) -> Value {
     match (l.as_num(), r.as_num()) {
         (Some(a), Some(b)) => match op {
             '+' => Value::Num(a + b),
@@ -1243,8 +1296,14 @@ fn arith(op: char, l: &Value, r: &Value) -> Value {
 /// CAST semantics, shared with the reference interpreter (the leaf value
 /// conversions are deliberately not part of the differential surface).
 pub(crate) fn cast_value(v: &Value, type_name: &str) -> Value {
+    cast_typed(v, squ_schema::SqlType::from_name(type_name))
+}
+
+/// CAST with the target type already resolved (`SqlType::from_name` is
+/// total, so the compiled engine resolves it once at compile time).
+pub(crate) fn cast_typed(v: &Value, ty: squ_schema::SqlType) -> Value {
     use squ_schema::SqlType;
-    match SqlType::from_name(type_name) {
+    match ty {
         SqlType::Int => match v {
             Value::Num(x) => Value::Num(x.trunc()),
             Value::Str(s) => s
@@ -1272,22 +1331,63 @@ pub(crate) fn cast_value(v: &Value, type_name: &str) -> Value {
     }
 }
 
-/// SQL LIKE with `%` and `_` wildcards (case-sensitive).
+/// SQL LIKE with `%` and `_` wildcards (case-sensitive). Builds a
+/// [`crate::like::LikeMatcher`] per call; hot paths (the compiled engine,
+/// and any caller matching one pattern against many strings) should build
+/// the matcher once instead.
 pub fn like_match(s: &str, pattern: &str) -> bool {
-    fn rec(s: &[u8], p: &[u8]) -> bool {
-        match p.split_first() {
-            None => s.is_empty(),
-            Some((b'%', rest)) => (0..=s.len()).any(|i| rec(&s[i..], rest)),
-            Some((b'_', rest)) => !s.is_empty() && rec(&s[1..], rest),
-            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
-        }
-    }
-    rec(s.as_bytes(), pattern.as_bytes())
+    crate::like::LikeMatcher::new(pattern).matches(s)
 }
 
 /// Scalar-function library, shared with the reference interpreter (the
 /// leaf functions are deliberately not part of the differential surface).
 pub(crate) fn scalar_function(name: &str, vals: &[Value]) -> Result<Value, ExecError> {
+    scalar_function_upper(&name.to_ascii_uppercase(), vals)
+}
+
+/// Names [`scalar_function`] implements, upper-cased — the compiled
+/// engine's whitelist (any other name must reject compilation so the
+/// interpreter's `Unsupported` error is preserved).
+pub(crate) fn is_supported_scalar(upper: &str) -> bool {
+    matches!(
+        upper,
+        "UPPER"
+            | "UCASE"
+            | "LOWER"
+            | "LCASE"
+            | "LEN"
+            | "LENGTH"
+            | "DATALENGTH"
+            | "ABS"
+            | "ROUND"
+            | "FLOOR"
+            | "CEILING"
+            | "CEIL"
+            | "SQRT"
+            | "POWER"
+            | "POW"
+            | "LOG"
+            | "LOG10"
+            | "EXP"
+            | "SUBSTR"
+            | "SUBSTRING"
+            | "LEFT"
+            | "RIGHT"
+            | "TRIM"
+            | "LTRIM"
+            | "RTRIM"
+            | "CONCAT"
+            | "REPLACE"
+            | "COALESCE"
+            | "NULLIF"
+            | "STR"
+            | "SIGN"
+    )
+}
+
+/// [`scalar_function`] with the name pre-uppercased (the compiled engine
+/// uppercases once at compile time).
+pub(crate) fn scalar_function_upper(upper: &str, vals: &[Value]) -> Result<Value, ExecError> {
     let s0 = || match vals.first() {
         Some(Value::Str(s)) => Some(s.clone()),
         Some(v) if !v.is_null() => Some(v.to_string()),
@@ -1295,7 +1395,7 @@ pub(crate) fn scalar_function(name: &str, vals: &[Value]) -> Result<Value, ExecE
     };
     let n0 = || vals.first().and_then(|v| v.as_num());
     let n = |i: usize| vals.get(i).and_then(|v| v.as_num());
-    Ok(match name.to_ascii_uppercase().as_str() {
+    Ok(match upper {
         "UPPER" | "UCASE" => s0()
             .map(|s| Value::Str(s.to_uppercase()))
             .unwrap_or(Value::Null),
@@ -1404,7 +1504,7 @@ pub(crate) fn scalar_function(name: &str, vals: &[Value]) -> Result<Value, ExecE
 /// of rows per table, so legitimate plans stay far below this; only
 /// accidental cross products (e.g. a rewrite that destroys predicate
 /// pushdown on a 12-table Join-Order query) can reach it.
-const MAX_INTERMEDIATE_ROWS: usize = 120_000;
+pub(crate) const MAX_INTERMEDIATE_ROWS: usize = 120_000;
 
 fn cross_product(stats: &mut ExecStats, l: Working, r: Working) -> Result<Working, ExecError> {
     if l.rows.len().saturating_mul(r.rows.len()) > MAX_INTERMEDIATE_ROWS {
@@ -1424,7 +1524,7 @@ fn cross_product(stats: &mut ExecStats, l: Working, r: Working) -> Result<Workin
     Ok(Working { cols, rows })
 }
 
-fn combine_set(op: &SetOp, all: bool, l: Relation, r: Relation) -> Relation {
+pub(crate) fn combine_set(op: &SetOp, all: bool, l: Relation, r: Relation) -> Relation {
     use std::collections::HashSet;
     let cols = l.columns.clone();
     match op {

@@ -2,10 +2,15 @@
 //!
 //! Three substrates the benchmark needs from a database engine:
 //!
-//! * an **executor** ([`execute_query`]) — a tree-walking interpreter over
-//!   the `squ-parser` AST with joins, grouping, correlated subqueries,
-//!   CTEs, and set operations, used to *differentially verify* every
-//!   equivalence / non-equivalence label the benchmark produces;
+//! * an **executor** ([`execute_query`]) — a hybrid engine: queries are
+//!   lowered by [`compile_query`] into a compiled plan of columnar batch
+//!   operators (vectorized filters, hash joins, hash-index probes, a
+//!   cost-driven join order), and anything the compiler does not cover
+//!   falls back to the tree-walking interpreter
+//!   ([`execute_query_interpreted`]), which remains the executable
+//!   semantics. Both paths are differentially verified against each other
+//!   and used to verify every equivalence / non-equivalence label the
+//!   benchmark produces;
 //! * a **witness-database generator** ([`witness_batch`]) — small,
 //!   adversarial random instances of a schema on which transformed query
 //!   pairs are compared;
@@ -28,15 +33,24 @@
 
 mod cost;
 mod exec;
+mod index;
+mod like;
+mod physical;
 mod plan;
+mod program;
 mod reference;
 mod table;
 mod value;
 mod witness;
 
 pub use cost::CostModel;
-pub use exec::{execute, execute_query, like_match, ExecError, ExecStats};
-pub use plan::{explain, plan_query, Plan};
+pub use exec::{
+    execute, execute_query, execute_query_interpreted, like_match, ExecError, ExecStats,
+};
+pub use index::{indexes_enabled, set_indexes_enabled};
+pub use like::LikeMatcher;
+pub use physical::{compile_query, CompiledQuery};
+pub use plan::{explain, greedy_join_order, plan_query, Plan};
 pub use reference::{reference_execute, reference_query};
 pub use table::{Database, Relation};
 pub use value::Value;

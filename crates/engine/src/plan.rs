@@ -281,6 +281,54 @@ fn plan_table_ref(tr: &TableRef, schema: &Schema, model: &CostModel) -> Plan {
     }
 }
 
+/// Greedy cost-driven join order for implicit (comma) joins, used by the
+/// compiled engine ([`crate::physical`]).
+///
+/// `cards[i]` estimates the cardinality of FROM unit `i`; `edges` lists
+/// unit pairs connected by an equality predicate. Starts from the
+/// smallest unit, then repeatedly appends the unit with the lowest
+/// [`CostModel::comma_join_estimate`] against the accumulated prefix (a
+/// unit counts as connected once any edge links it to a placed unit).
+/// All ties keep the lowest index, so the result is deterministic and is
+/// the identity order whenever the estimates give no reason to deviate.
+pub fn greedy_join_order(model: &CostModel, cards: &[f64], edges: &[(usize, usize)]) -> Vec<usize> {
+    let n = cards.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut start = 0;
+    for (i, c) in cards.iter().enumerate().skip(1) {
+        if *c < cards[start] {
+            start = i;
+        }
+    }
+    let mut placed = vec![false; n];
+    placed[start] = true;
+    let mut order = vec![start];
+    let mut acc = cards[start].max(1.0);
+    while order.len() < n {
+        let mut best: Option<(usize, f64)> = None;
+        for (j, c) in cards.iter().enumerate() {
+            if placed[j] {
+                continue;
+            }
+            let connected = edges
+                .iter()
+                .any(|&(a, b)| (a == j && placed[b]) || (b == j && placed[a]));
+            let est = model.comma_join_estimate(acc, c.max(1.0), connected);
+            match best {
+                Some((_, b)) if est >= b => {}
+                _ => best = Some((j, est)),
+            }
+        }
+        let Some((j, est)) = best else { break };
+        placed[j] = true;
+        order.push(j);
+        acc = est;
+    }
+    order
+}
+
 /// Equi-join cardinality estimate matching the cost model's damping:
 /// larger side × √(smaller side).
 fn join_estimate(l: f64, r: f64) -> f64 {
@@ -449,6 +497,37 @@ mod tests {
         assert!(e.starts_with("estimated cost:"), "{e}");
         let c = explain(&parse("CREATE TABLE t (id INT)").unwrap(), &sdss());
         assert!(c.contains("no query plan"));
+    }
+
+    #[test]
+    fn greedy_order_is_identity_without_a_reason_to_deviate() {
+        let m = CostModel::default();
+        // equal cards, no edges: every tie keeps the lowest index
+        assert_eq!(
+            greedy_join_order(&m, &[100.0, 100.0, 100.0], &[]),
+            vec![0, 1, 2]
+        );
+        assert_eq!(greedy_join_order(&m, &[5.0], &[]), vec![0]);
+        assert_eq!(greedy_join_order(&m, &[], &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn greedy_order_starts_small_and_follows_equi_edges() {
+        let m = CostModel::default();
+        // unit 2 is tiny; unit 0 is equi-connected to 2, unit 1 is not —
+        // damping makes the connected unit the cheaper next step
+        let cards = [10_000.0, 9_000.0, 10.0];
+        let order = greedy_join_order(&m, &cards, &[(0, 2)]);
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn greedy_order_is_a_permutation() {
+        let m = CostModel::default();
+        let cards = [40.0, 10.0, 90.0, 20.0, 70.0];
+        let mut order = greedy_join_order(&m, &cards, &[(0, 1), (2, 3)]);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! In-memory relations and databases.
 
+use crate::index::IndexCache;
 use crate::Value;
 use std::collections::HashMap;
 
@@ -123,6 +124,9 @@ pub struct Database {
     /// Database name.
     pub name: String,
     tables: HashMap<String, Relation>,
+    /// Lazily-built equality indexes (cleared whenever tables change;
+    /// clones start cold — see [`crate::index`]).
+    indexes: IndexCache,
 }
 
 impl Database {
@@ -131,12 +135,19 @@ impl Database {
         Database {
             name: name.to_string(),
             tables: HashMap::new(),
+            indexes: IndexCache::default(),
         }
     }
 
     /// Insert (or replace) a table.
     pub fn insert_table(&mut self, name: &str, rel: Relation) {
+        self.indexes.invalidate();
         self.tables.insert(name.to_ascii_lowercase(), rel);
+    }
+
+    /// The database's equality-index cache.
+    pub(crate) fn indexes(&self) -> &IndexCache {
+        &self.indexes
     }
 
     /// Case-insensitive table lookup.

@@ -24,11 +24,13 @@
 pub mod gen;
 pub mod mutate;
 pub mod oracle;
+pub mod perf;
 pub mod report;
 pub mod shrink;
 
 pub use gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, SCHEMA_POOL};
 pub use mutate::{check_reconstruction, check_span_consistency, mutants_of, Mutant};
 pub use oracle::{run_case, FuzzConfig};
-pub use report::{CaseReport, Failure, FuzzReport, OracleCounts};
+pub use perf::{engine_bench, EngineBench};
+pub use report::{CaseReport, EngineCounters, Failure, FuzzReport, OracleCounts};
 pub use shrink::shrink_sql;

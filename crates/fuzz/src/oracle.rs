@@ -18,7 +18,7 @@ use squ_tasks::{transform_catalog, TransformInfo, TransformKind, Verdict};
 
 use crate::gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, SCHEMA_POOL};
 use crate::mutate::{check_reconstruction, check_span_consistency, mutants_of};
-use crate::report::{CaseReport, Failure};
+use crate::report::{CaseReport, EngineCounters, Failure};
 use crate::shrink::shrink_sql;
 
 /// How many times the generator may retry before falling back to the
@@ -56,7 +56,7 @@ fn clean(q: &Query, gs: &GenSchema) -> bool {
 
 /// Generate the case's subject query: retry the grammar until the binder
 /// accepts the printed-and-reparsed form, with a guaranteed fallback.
-fn subject_query(rng: &mut StdRng, gs: &GenSchema) -> (Query, String) {
+pub(crate) fn subject_query(rng: &mut StdRng, gs: &GenSchema) -> (Query, String) {
     for _ in 0..GEN_RETRIES {
         let q = generate_query(rng, gs);
         let sql = print_query(&q);
@@ -186,8 +186,22 @@ enum DiffOutcome {
 /// skip — the reference interpreter has no predicate pushdown, so it can
 /// exhaust the intermediate-row budget on inputs the optimized engine
 /// handles. Any other one-sided error, or differing rows, is a violation.
-fn diff_on(q: &Query, db: &Database) -> DiffOutcome {
-    let fast = execute_query(q, db).map(|(r, _)| r);
+///
+/// Engine-side [`squ_engine::ExecStats`] from the successful hybrid run
+/// are folded into `eng` (failed runs contribute nothing, keeping the
+/// tally deterministic regardless of which side errors first).
+fn diff_on(q: &Query, db: &Database, eng: &mut EngineCounters) -> DiffOutcome {
+    let fast = execute_query(q, db).map(|(r, s)| {
+        eng.rows_scanned += s.rows_scanned;
+        eng.join_pairs += s.join_pairs;
+        eng.batches += s.batches;
+        eng.index_probes += s.index_probes;
+        eng.index_hits += s.index_hits;
+        eng.subquery_evals += s.subquery_evals;
+        eng.compiled += s.compiled;
+        eng.fallbacks += s.fallbacks;
+        r
+    });
     let slow = reference_query(q, db);
     match (fast, slow) {
         (Ok(a), Ok(b)) => {
@@ -229,7 +243,7 @@ fn oracle_differential(
     witnesses: &[Database],
 ) {
     for db in witnesses {
-        match diff_on(query, db) {
+        match diff_on(query, db, &mut report.engine) {
             DiffOutcome::Agree => report.counts.differential_pass += 1,
             DiffOutcome::Skip => report.counts.differential_skip += 1,
             DiffOutcome::Disagree(detail) => {
@@ -239,9 +253,12 @@ fn oracle_differential(
                     if !clean(&q, gs) {
                         return false;
                     }
+                    // shrink probes run against a scratch tally so the
+                    // reported counters reflect only the subject query
+                    let mut scratch = EngineCounters::default();
                     witnesses
                         .iter()
-                        .any(|db| matches!(diff_on(&q, db), DiffOutcome::Disagree(_)))
+                        .any(|db| matches!(diff_on(&q, db, &mut scratch), DiffOutcome::Disagree(_)))
                 });
                 report.failures.push(Failure {
                     case: report.index,

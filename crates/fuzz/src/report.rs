@@ -70,6 +70,45 @@ impl OracleCounts {
     }
 }
 
+/// Engine execution counters accumulated over the differential oracle's
+/// subject-query runs (the hybrid engine side only — reference runs and
+/// shrink-predicate probes are not counted). Every field is deterministic
+/// for a given `(seed, index)`, so these survive the byte-identical
+/// across-`--jobs` guarantee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineCounters {
+    /// Base-table rows materialized into the pipeline.
+    pub rows_scanned: u64,
+    /// Row pairs considered by join loops.
+    pub join_pairs: u64,
+    /// Operator batches evaluated by the vectorized filter path.
+    pub batches: u64,
+    /// Hash-index equality probes issued.
+    pub index_probes: u64,
+    /// Rows fetched via index probes.
+    pub index_hits: u64,
+    /// Subquery (re-)executions.
+    pub subquery_evals: u64,
+    /// Queries that ran on the compiled engine.
+    pub compiled: u64,
+    /// Queries that fell back to the tree-walking interpreter.
+    pub fallbacks: u64,
+}
+
+impl EngineCounters {
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: &EngineCounters) {
+        self.rows_scanned += other.rows_scanned;
+        self.join_pairs += other.join_pairs;
+        self.batches += other.batches;
+        self.index_probes += other.index_probes;
+        self.index_hits += other.index_hits;
+        self.subquery_evals += other.subquery_evals;
+        self.compiled += other.compiled;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
 /// One oracle violation, with its shrunk reproducer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Failure {
@@ -99,6 +138,8 @@ pub struct CaseReport {
     pub sql: String,
     /// Oracle tallies for this case.
     pub counts: OracleCounts,
+    /// Engine counters from the differential oracle's subject runs.
+    pub engine: EngineCounters,
     /// Violations found in this case.
     pub failures: Vec<Failure>,
 }
@@ -114,6 +155,8 @@ pub struct FuzzReport {
     pub cases: u64,
     /// Aggregated oracle tallies.
     pub counts: OracleCounts,
+    /// Aggregated engine counters.
+    pub engine: EngineCounters,
     /// Every violation, in case order.
     pub failures: Vec<Failure>,
 }
@@ -122,16 +165,19 @@ impl FuzzReport {
     /// Aggregate per-case reports (in case order) into a run report.
     pub fn from_cases(seed: u64, cases: &[CaseReport]) -> FuzzReport {
         let mut counts = OracleCounts::default();
+        let mut engine = EngineCounters::default();
         let mut failures = Vec::new();
         for c in cases {
             counts.absorb(&c.counts);
+            engine.absorb(&c.engine);
             failures.extend(c.failures.iter().cloned());
         }
         FuzzReport {
-            version: 1,
+            version: 2,
             seed,
             cases: cases.len() as u64,
             counts,
+            engine,
             failures,
         }
     }
@@ -152,7 +198,8 @@ impl FuzzReport {
         format!(
             "fuzz: {} cases, roundtrip {}/{} fail, mutation {}/{} fail, \
              differential {} pass / {} skip / {} fail, metamorphic {} pass / {} fail \
-             ({} breaking distinguished, {} undistinguished, {} skipped)",
+             ({} breaking distinguished, {} undistinguished, {} skipped), \
+             engine {} compiled / {} fallback",
             self.cases,
             c.roundtrip_fail,
             c.roundtrip_pass + c.roundtrip_fail,
@@ -166,6 +213,8 @@ impl FuzzReport {
             c.breaking_distinguished,
             c.breaking_undistinguished,
             c.metamorphic_skip,
+            self.engine.compiled,
+            self.engine.fallbacks,
         )
     }
 }

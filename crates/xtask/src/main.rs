@@ -7,6 +7,11 @@
 //! (the CI smoke configuration): builds the `repro` binary in release mode
 //! and exits non-zero on any oracle violation.
 //!
+//! `perf-smoke` — seeded 300-case differential fuzz run executed by both
+//! the compiled engine and the interpreter on one worker; phase timings
+//! and engine counters land in `target/repro/timings.json`, and any
+//! compiled-vs-reference divergence fails the task.
+//!
 //! The benchmark's library crates must not abort on malformed input: the
 //! whole point of the analyzer stack is to turn bad SQL into diagnostics.
 //! This pass scans every `crates/*/src` library file (binaries, `main.rs`,
@@ -122,12 +127,16 @@ fn main() {
             let status = fuzz_smoke(&repo_root());
             std::process::exit(status);
         }
+        Some("perf-smoke") => {
+            let status = perf_smoke(&repo_root());
+            std::process::exit(status);
+        }
         Some(other) => {
-            eprintln!("unknown task {other:?} (available: lint, fuzz-smoke)");
+            eprintln!("unknown task {other:?} (available: lint, fuzz-smoke, perf-smoke)");
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- <lint|fuzz-smoke>");
+            eprintln!("usage: cargo run -p xtask -- <lint|fuzz-smoke|perf-smoke>");
             std::process::exit(2);
         }
     }
@@ -142,6 +151,31 @@ const FUZZ_SMOKE_SEED: &str = "7";
 
 /// Run `repro --fuzz` with the smoke budget; returns the exit code.
 fn fuzz_smoke(root: &Path) -> i32 {
+    run_repro_fuzz(root, "fuzz-smoke", FUZZ_SMOKE_CASES, &[])
+}
+
+/// Case budget for the perf smoke: large enough for the compiled-engine
+/// speedup to dominate noise, small enough for CI.
+const PERF_SMOKE_CASES: &str = "300";
+
+/// Seeded 300-case differential fuzz run through both engines on one
+/// worker. The fuzz mode itself benchmarks compiled vs interpreted over
+/// the same stream, writes the phase timings and engine counters to
+/// `target/repro/timings.json`, and exits non-zero on any
+/// compiled-vs-reference divergence — this wrapper just pins the CI
+/// budget and `--jobs 1` (the speedup ratio is a per-core comparison).
+fn perf_smoke(root: &Path) -> i32 {
+    run_repro_fuzz(
+        root,
+        "perf-smoke",
+        PERF_SMOKE_CASES,
+        &["--jobs", "1", "--timings"],
+    )
+}
+
+/// Launch `repro --fuzz <cases> --fuzz-seed 7 [extra…]`; returns the exit
+/// code.
+fn run_repro_fuzz(root: &Path, label: &str, cases: &str, extra: &[&str]) -> i32 {
     let status = std::process::Command::new(env!("CARGO"))
         .current_dir(root)
         .args([
@@ -153,15 +187,16 @@ fn fuzz_smoke(root: &Path) -> i32 {
             "repro",
             "--",
             "--fuzz",
-            FUZZ_SMOKE_CASES,
+            cases,
             "--fuzz-seed",
             FUZZ_SMOKE_SEED,
         ])
+        .args(extra)
         .status();
     match status {
         Ok(s) => s.code().unwrap_or(1), // lint:allow: cli tool
         Err(e) => {
-            eprintln!("fuzz-smoke: failed to launch cargo: {e}");
+            eprintln!("{label}: failed to launch cargo: {e}");
             1
         }
     }
@@ -290,7 +325,7 @@ fn find_match_keyword(code: &str) -> Option<usize> {
                 && code.as_bytes()[at - 1] != b'_'
                 && code.as_bytes()[at - 1] != b'.';
         let after = code.as_bytes().get(at + 5);
-        let after_ok = after.is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_');
+        let after_ok = !after.is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
         if before_ok && after_ok {
             return Some(at);
         }
