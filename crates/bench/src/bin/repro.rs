@@ -360,6 +360,20 @@ fn main() {
         squ::timing::count("fuzz.engine.subquery_evals", e.subquery_evals);
         squ::timing::count("fuzz.engine.compiled", e.compiled);
         squ::timing::count("fuzz.engine.fallbacks", e.fallbacks);
+        squ::timing::count("fuzz.engine.empty_prunes", e.empty_prunes);
+
+        // ... and the semantic-analysis oracle's counters
+        let s = &report.sema;
+        squ::timing::count("fuzz.sema.queries_analyzed", s.queries_analyzed);
+        squ::timing::count("fuzz.sema.empties_proven", s.empties_proven);
+        squ::timing::count("fuzz.sema.empty_checks", s.empty_checks);
+        squ::timing::count("fuzz.sema.redundancy_checks", s.redundancy_checks);
+        squ::timing::count("fuzz.sema.bound_checks", s.bound_checks);
+        squ::timing::count("fuzz.sema.certified_equivalent", s.certified_equivalent);
+        squ::timing::count("fuzz.sema.certified_inequivalent", s.certified_inequivalent);
+        squ::timing::count("fuzz.sema.certified_unknown", s.certified_unknown);
+        squ::timing::count("fuzz.sema.soundness_pass", s.soundness_pass);
+        squ::timing::count("fuzz.sema.soundness_fail", s.soundness_fail);
 
         // compiled-vs-interpreter benchmark over the same case stream
         // (single-threaded: the ratio is a per-core comparison)
@@ -427,6 +441,30 @@ fn main() {
             report.rule_hits.len(),
             report.violations.len()
         );
+        let c = &report.certs;
+        println!(
+            "sema certifier: {} pairs ({} equivalent / {} inequivalent / {} unknown), \
+             statically convicted {}/{} non-equivalence labels ({:.1}%) without execution",
+            c.pairs,
+            c.certified_equivalent,
+            c.certified_inequivalent,
+            c.certified_unknown,
+            c.noneq_convicted,
+            c.noneq_pairs,
+            c.conviction_rate(),
+        );
+        squ::timing::count("audit.sema.pairs", c.pairs as u64);
+        squ::timing::count(
+            "audit.sema.certified_equivalent",
+            c.certified_equivalent as u64,
+        );
+        squ::timing::count(
+            "audit.sema.certified_inequivalent",
+            c.certified_inequivalent as u64,
+        );
+        squ::timing::count("audit.sema.certified_unknown", c.certified_unknown as u64);
+        squ::timing::count("audit.sema.noneq_pairs", c.noneq_pairs as u64);
+        squ::timing::count("audit.sema.noneq_convicted", c.noneq_convicted as u64);
         for v in &report.violations {
             println!(
                 "  {} {} {}: {}",

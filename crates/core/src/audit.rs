@@ -23,7 +23,11 @@
 //!   still checked for label consistency);
 //! * every equivalence pair must have both sides lint clean; equivalent
 //!   pairs must additionally have identical binder resolution signatures,
-//!   and non-equivalent pairs must differ textually.
+//!   and non-equivalent pairs must differ textually;
+//! * every equivalence pair runs through the `squ-sema` static certifier,
+//!   whose verdict must never contradict the label — the report tallies
+//!   how many non-equivalence labels the certifier proves without ever
+//!   executing a query ([`CertStats`]).
 //!
 //! The report is deterministic: violations appear in canonical dataset
 //! order, rule hits in a [`BTreeMap`], and nothing in the output depends
@@ -36,7 +40,7 @@ use squ_tasks::AuditCtx;
 use squ_workload::{Dataset, Workload};
 use std::collections::BTreeMap;
 
-pub use squ_tasks::Violation;
+pub use squ_tasks::{CertStats, Violation};
 
 /// Outcome of auditing one suite.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
@@ -48,6 +52,9 @@ pub struct AuditReport {
     /// How many times each `SQU0xx` rule fired across all lint passes,
     /// warnings included.
     pub rule_hits: BTreeMap<String, usize>,
+    /// Static equivalence-certification tallies from the `squ-sema`
+    /// certifier across every equivalence pair.
+    pub certs: CertStats,
     /// Every invariant violation, in canonical dataset order.
     pub violations: Vec<Violation>,
 }
@@ -113,6 +120,7 @@ pub fn audit_suite(suite: &Suite, jobs: usize) -> AuditReport {
         for (code, n) in s.hits {
             *report.rule_hits.entry(code).or_insert(0) += n;
         }
+        report.certs.absorb(&s.certs);
         report.violations.extend(s.violations);
     }
     report

@@ -85,6 +85,7 @@ pub fn run_engine_bench(cases: u64, fuzz_seed: u64) -> EngineBench {
     timing::count("fuzz.bench.subquery_evals", c.subquery_evals);
     timing::count("fuzz.bench.compiled", c.compiled);
     timing::count("fuzz.bench.fallbacks", c.fallbacks);
+    timing::count("fuzz.bench.empty_prunes", c.empty_prunes);
     timing::count("fuzz.bench.executions", bench.executions);
     timing::count("fuzz.bench.budget_skips", bench.budget_skips);
     timing::count("fuzz.bench.divergences", bench.divergences);

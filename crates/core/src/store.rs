@@ -32,13 +32,13 @@ const WORKLOAD_VERSION: u32 = 1;
 /// Version tag of the paper-artifact experiments.
 const ARTIFACT_VERSION: u32 = 1;
 /// Version tag of the dataset auditor.
-const AUDIT_VERSION: u32 = 1;
+const AUDIT_VERSION: u32 = 2;
 /// Version tag of the fault-injection sweep.
 const FAULTS_VERSION: u32 = 1;
 /// Version tag of the ablation studies.
 const ABLATION_VERSION: u32 = 1;
 /// Bump when the fuzz generator, oracles, or case-report format change.
-const FUZZ_VERSION: u32 = 2;
+const FUZZ_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a over a byte stream.
 #[derive(Clone, Copy)]

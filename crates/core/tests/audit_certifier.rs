@@ -1,0 +1,66 @@
+//! Integration tests for the audit's static equivalence certifier: the
+//! paper-seed suite audits clean (the certifier never contradicts a
+//! label), the certifier convicts a substantial fraction of
+//! non-equivalence labels without executing a single query, and the
+//! report is byte-identical for any job count.
+
+use squ::{audit_suite, Suite, PAPER_SEED};
+use std::sync::OnceLock;
+
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(|| Suite::new(PAPER_SEED))
+}
+
+/// The full paper-seed audit holds every invariant, including the new
+/// label-vs-certificate consistency checks.
+#[test]
+fn paper_seed_audit_is_clean() {
+    let report = audit_suite(suite(), 2);
+    assert!(
+        report.is_clean(),
+        "audit violations: {:#?}",
+        report.violations
+    );
+    assert!(report.checked > 1000, "suite too small: {}", report.checked);
+}
+
+/// Acceptance floor: the certifier statically convicts at least 30% of
+/// non-equivalence-labeled pairs — inequivalence proven from the ASTs
+/// alone, with no engine execution.
+#[test]
+fn certifier_convicts_at_least_thirty_percent_of_noneq_pairs() {
+    let report = audit_suite(suite(), 2);
+    let c = &report.certs;
+    assert!(c.noneq_pairs > 100, "too few pairs: {}", c.noneq_pairs);
+    assert!(
+        c.conviction_rate() >= 30.0,
+        "conviction rate {:.1}% ({}/{}) below the 30% floor",
+        c.conviction_rate(),
+        c.noneq_convicted,
+        c.noneq_pairs
+    );
+    assert!(
+        c.certified_equivalent > 0,
+        "no pair certified equivalent at all"
+    );
+    assert_eq!(
+        c.pairs,
+        c.certified_equivalent + c.certified_inequivalent + c.certified_unknown,
+        "certificate tallies must partition the pairs"
+    );
+}
+
+/// Certifier tallies land in the serialized report and survive a JSON
+/// round trip, and the whole report is thread-count independent.
+#[test]
+fn audit_report_is_jobs_independent_and_round_trips() {
+    let a = audit_suite(suite(), 1);
+    let b = audit_suite(suite(), 4);
+    assert_eq!(a.to_json(), b.to_json());
+
+    let back: squ::AuditReport =
+        serde_json::from_str(&a.to_json()).expect("audit report deserializes");
+    assert_eq!(back.certs, a.certs);
+    assert!(a.to_json().contains("noneq_convicted"), "{}", a.to_json());
+}

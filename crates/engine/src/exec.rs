@@ -81,6 +81,10 @@ pub struct ExecStats {
     pub compiled: u64,
     /// 1 if compilation was rejected and the interpreter ran instead.
     pub fallbacks: u64,
+    /// Select blocks short-circuited because the semantic analyzer proved
+    /// their WHERE clause unsatisfiable at compile time (compiled engine
+    /// only; the interpreter stays the unoptimized semantics definition).
+    pub empty_prunes: u64,
 }
 
 /// Execute a statement. `CREATE TABLE … AS` / `CREATE VIEW` execute their

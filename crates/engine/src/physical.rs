@@ -147,6 +147,10 @@ struct PhysSelect {
     top: Option<u64>,
     /// Output column names.
     out_cols: Vec<String>,
+    /// The semantic analyzer proved the WHERE clause unsatisfiable at
+    /// compile time: this ungrouped block can never emit a row, so
+    /// execution skips scans, joins, and subquery slots entirely.
+    empty_prune: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -1214,6 +1218,14 @@ impl<'a> Compiler<'a> {
             .collect();
 
         let out_cols = projection_names(s, &layout);
+        // Empty-prune: an unsatisfiable WHERE on an ungrouped block (no
+        // aggregates, so empty input means empty output) can never emit a
+        // row. Proven with no data assumptions, so it is sound for any
+        // database, not just generated witnesses.
+        let empty_prune = grouping.is_none()
+            && s.selection
+                .as_ref()
+                .is_some_and(|w| squ_sema::never_true(w, &squ_sema::Assumptions::none()));
         Some(PhysSelect {
             units,
             exec_order,
@@ -1229,6 +1241,7 @@ impl<'a> Compiler<'a> {
             distinct: s.distinct,
             top: s.top,
             out_cols,
+            empty_prune,
         })
     }
 
@@ -1737,6 +1750,15 @@ impl PhysSelect {
         frame: Option<&CteFrame<'_>>,
         stats: &mut ExecStats,
     ) -> Result<Relation, ExecError> {
+        // short-circuit a block whose WHERE was proven unsatisfiable at
+        // compile time: no scan, join, or slot work can contribute a row
+        if self.empty_prune {
+            stats.empty_prunes += 1;
+            return Ok(Relation {
+                columns: self.out_cols.clone(),
+                rows: Vec::new(),
+            });
+        }
         // uncorrelated subqueries: evaluated once, eagerly (compiled slots
         // are total, so eager evaluation is unobservable vs the
         // interpreter's lazy per-use evaluation)
@@ -2674,6 +2696,30 @@ mod tests {
     fn simple_filter_compiles_and_agrees() {
         let stats = parity("SELECT name FROM users WHERE dept = 1 AND id > 3");
         assert!(stats.batches > 0, "vectorized path not exercised");
+    }
+
+    #[test]
+    fn provably_empty_where_short_circuits() {
+        // contradictory range: the analyzer proves the block empty, so the
+        // compiled engine skips the scan entirely (and still agrees with
+        // the interpreter, which runs unpruned)
+        let stats = parity("SELECT name FROM users WHERE id > 5 AND id < 3");
+        assert_eq!(stats.empty_prunes, 1);
+        assert_eq!(stats.rows_scanned, 0, "prune must skip the scan");
+
+        // NULL comparisons never evaluate to TRUE either
+        let stats = parity("SELECT name FROM users WHERE dept = NULL");
+        assert_eq!(stats.empty_prunes, 1);
+
+        // a satisfiable WHERE must not prune
+        let stats = parity("SELECT name FROM users WHERE id > 3 AND id < 5");
+        assert_eq!(stats.empty_prunes, 0);
+        assert!(stats.rows_scanned > 0);
+
+        // aggregates produce their empty-input row, so grouped blocks are
+        // exempt even when the WHERE is contradictory
+        let stats = parity("SELECT COUNT(*) FROM users WHERE id > 5 AND id < 3");
+        assert_eq!(stats.empty_prunes, 0);
     }
 
     #[test]

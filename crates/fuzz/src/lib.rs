@@ -13,7 +13,13 @@
 //!    under canonical ordering on every witness database;
 //! 3. **metamorphic** — every equivalence-preserving transform in the
 //!    `squ-tasks` catalog keeps differential results equal, and every
-//!    equivalence-breaking transform is distinguishable by some witness.
+//!    equivalence-breaking transform is distinguishable by some witness;
+//! 4. **sema** — every claim the `squ-sema` abstract interpreter makes
+//!    (provably-empty results, redundant conjuncts, row bounds, and
+//!    equivalence/inequivalence certificates for transform pairs) is
+//!    cross-checked against real execution; a provably-empty query that
+//!    returns rows or a certified-equivalent pair that diverges is a hard
+//!    failure.
 //!
 //! Violations are minimized by deterministic token deletion ([`shrink`])
 //! and reported as plain data ([`report`]) whose JSON rendering is
@@ -32,5 +38,5 @@ pub use gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, S
 pub use mutate::{check_reconstruction, check_span_consistency, mutants_of, Mutant};
 pub use oracle::{run_case, FuzzConfig};
 pub use perf::{engine_bench, EngineBench};
-pub use report::{CaseReport, EngineCounters, Failure, FuzzReport, OracleCounts};
+pub use report::{CaseReport, EngineCounters, Failure, FuzzReport, OracleCounts, SemaCounters};
 pub use shrink::shrink_sql;

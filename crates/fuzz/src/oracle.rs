@@ -20,6 +20,8 @@ use crate::gen::{fallback_query, generate_query, generate_schema, mix, GenSchema
 use crate::mutate::{check_reconstruction, check_span_consistency, mutants_of};
 use crate::report::{CaseReport, EngineCounters, Failure};
 use crate::shrink::shrink_sql;
+use squ_parser::ast::SetExpr;
+use squ_sema::Certificate;
 
 /// How many times the generator may retry before falling back to the
 /// trivial always-valid query.
@@ -91,9 +93,178 @@ pub fn run_case(cfg: &FuzzConfig, index: u64) -> CaseReport {
     let witness_seed = mix(cfg.seed, 0xB17C_0000 ^ slot);
     let witnesses = witness_batch_cached(&gs.schema, witness_seed);
     oracle_differential(&mut report, &query, &sql, &gs, &witnesses);
+    oracle_sema(&mut report, &query, &sql, &gs, &witnesses);
     oracle_metamorphic(cfg, &mut report, &query, &sql, &gs, &witnesses, index);
 
     report
+}
+
+/// Execution-check every claim `squ-sema` makes about the subject query:
+/// a provably-empty verdict must see zero rows on every witness, a proven
+/// redundant conjunct must be droppable without changing any result, and a
+/// proven `max_rows` bound must dominate every executed row count. Any
+/// counterexample is a hard soundness failure with a shrunk reproducer.
+fn oracle_sema(
+    report: &mut CaseReport,
+    query: &Query,
+    sql: &str,
+    gs: &GenSchema,
+    witnesses: &[Database],
+) {
+    let analysis = squ_sema::analyze_query(query, &gs.schema);
+    report.sema.queries_analyzed += 1;
+
+    if analysis.provably_empty {
+        report.sema.empties_proven += 1;
+        for db in witnesses {
+            let Ok(r) = reference_query(query, db) else {
+                continue; // budget exhaustion cannot confirm or refute
+            };
+            report.sema.empty_checks += 1;
+            if r.rows.is_empty() {
+                report.sema.soundness_pass += 1;
+            } else {
+                report.sema.soundness_fail += 1;
+                sema_failure(
+                    report,
+                    sql,
+                    gs,
+                    witnesses,
+                    format!(
+                        "sema proved the result empty but a witness returned {} row(s)",
+                        r.rows.len()
+                    ),
+                );
+                break;
+            }
+        }
+    }
+
+    if let SetExpr::Select(s) = &query.body {
+        if let Some(w) = &s.selection {
+            for &ci in &analysis.redundant_conjuncts {
+                let mut dropped = query.clone();
+                if let SetExpr::Select(ds) = &mut dropped.body {
+                    ds.selection = squ_sema::analyze::drop_conjunct_at(w, ci);
+                }
+                let mut failed = false;
+                for db in witnesses {
+                    let (Ok(a), Ok(b)) =
+                        (reference_query(query, db), reference_query(&dropped, db))
+                    else {
+                        continue;
+                    };
+                    report.sema.redundancy_checks += 1;
+                    if a.result_equal(&b) {
+                        report.sema.soundness_pass += 1;
+                    } else {
+                        report.sema.soundness_fail += 1;
+                        sema_failure(report, sql, gs, witnesses, format!(
+                            "sema proved WHERE conjunct #{ci} redundant but dropping it changed a witness result"
+                        ));
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed {
+                    break;
+                }
+            }
+        }
+    }
+
+    if let Some(bound) = analysis.max_rows {
+        for db in witnesses {
+            let Ok(r) = reference_query(query, db) else {
+                continue;
+            };
+            report.sema.bound_checks += 1;
+            if r.rows.len() as u64 <= bound {
+                report.sema.soundness_pass += 1;
+            } else {
+                report.sema.soundness_fail += 1;
+                sema_failure(
+                    report,
+                    sql,
+                    gs,
+                    witnesses,
+                    format!(
+                        "sema bounded the result at {bound} row(s) but a witness returned {}",
+                        r.rows.len()
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Record one sema soundness failure, shrinking to the smallest SQL on
+/// which *any* sema claim still contradicts execution.
+fn sema_failure(
+    report: &mut CaseReport,
+    sql: &str,
+    gs: &GenSchema,
+    witnesses: &[Database],
+    detail: String,
+) {
+    let (minimized, minimized_tokens) = shrink_sql(sql, |s| sema_claims_refuted(s, gs, witnesses));
+    report.failures.push(Failure {
+        case: report.index,
+        oracle: "sema".to_string(),
+        transform: None,
+        sql: sql.to_string(),
+        detail,
+        minimized,
+        minimized_tokens,
+    });
+}
+
+/// Shrink predicate: does execution on some witness refute any sema claim
+/// (emptiness, conjunct redundancy, or row bound) about `s`?
+fn sema_claims_refuted(s: &str, gs: &GenSchema, witnesses: &[Database]) -> bool {
+    let Ok(q) = parse_query(s) else { return false };
+    if !clean(&q, gs) {
+        return false;
+    }
+    let analysis = squ_sema::analyze_query(&q, &gs.schema);
+    if analysis.provably_empty {
+        for db in witnesses {
+            if let Ok(r) = reference_query(&q, db) {
+                if !r.rows.is_empty() {
+                    return true;
+                }
+            }
+        }
+    }
+    if let SetExpr::Select(sel) = &q.body {
+        if let Some(w) = &sel.selection {
+            for &ci in &analysis.redundant_conjuncts {
+                let mut dropped = q.clone();
+                if let SetExpr::Select(ds) = &mut dropped.body {
+                    ds.selection = squ_sema::analyze::drop_conjunct_at(w, ci);
+                }
+                for db in witnesses {
+                    if let (Ok(a), Ok(b)) = (reference_query(&q, db), reference_query(&dropped, db))
+                    {
+                        if !a.result_equal(&b) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(bound) = analysis.max_rows {
+        for db in witnesses {
+            if let Ok(r) = reference_query(&q, db) {
+                if r.rows.len() as u64 > bound {
+                    return true;
+                }
+            }
+        }
+    }
+    false
 }
 
 /// Does `sql` violate the round-trip law? Returns the violation detail.
@@ -200,6 +371,7 @@ fn diff_on(q: &Query, db: &Database, eng: &mut EngineCounters) -> DiffOutcome {
         eng.subquery_evals += s.subquery_evals;
         eng.compiled += s.compiled;
         eng.fallbacks += s.fallbacks;
+        eng.empty_prunes += s.empty_prunes;
         r
     });
     let slow = reference_query(q, db);
@@ -300,6 +472,7 @@ fn oracle_metamorphic(
             continue;
         }
         let verdict = differential_verdict_skipping_limits(&q1, &q2, witnesses);
+        check_certificate(report, tinfo, tseed, &q1, &q2, sql, gs, witnesses, verdict);
         match (tinfo.kind(), verdict) {
             (_, Verdict::Failed) => report.counts.metamorphic_skip += 1,
             (TransformKind::Preserving, Verdict::AgreedEverywhere) => {
@@ -342,6 +515,81 @@ fn oracle_metamorphic(
             }
         }
     }
+}
+
+/// Cross-check a static pair certificate against the transform's label and
+/// the executed verdict. Two contradictions are hard soundness failures:
+///
+/// - **Equivalent + Differed** — the certifier (i.e. the canonicalizer)
+///   claimed result equality but a witness database distinguished the pair.
+/// - **Inequivalent + preserving transform** — the certifier statically
+///   convicted a transform that is equivalence-preserving by construction.
+#[allow(clippy::too_many_arguments)]
+fn check_certificate(
+    report: &mut CaseReport,
+    tinfo: &TransformInfo,
+    tseed: u64,
+    q1: &Query,
+    q2: &Query,
+    sql: &str,
+    gs: &GenSchema,
+    witnesses: &[Database],
+    verdict: Verdict,
+) {
+    let cert = squ_sema::certify_pair(q1, q2, &gs.schema);
+    match cert {
+        Certificate::Equivalent(_) => report.sema.certified_equivalent += 1,
+        Certificate::Inequivalent(_) => report.sema.certified_inequivalent += 1,
+        Certificate::Unknown => report.sema.certified_unknown += 1,
+    }
+    let label = tinfo.label();
+    let contradiction = match cert {
+        Certificate::Equivalent(_) if verdict == Verdict::Differed => Some(format!(
+            "pair from `{label}` was certified equivalent ({}) but a witness distinguished it",
+            cert.reason().unwrap_or(""),
+        )),
+        Certificate::Inequivalent(_) if tinfo.kind() == TransformKind::Preserving => Some(format!(
+            "preserving transform `{label}` was statically convicted ({})",
+            cert.reason().unwrap_or(""),
+        )),
+        _ => None,
+    };
+    let Some(detail) = contradiction else {
+        if cert != Certificate::Unknown {
+            report.sema.soundness_pass += 1;
+        }
+        return;
+    };
+    report.sema.soundness_fail += 1;
+    let (minimized, minimized_tokens) = shrink_sql(sql, |s| {
+        let Ok(q) = parse_query(s) else { return false };
+        if !clean(&q, gs) {
+            return false;
+        }
+        let mut r = StdRng::seed_from_u64(tseed);
+        let Some((a, b)) = tinfo.apply(&q, &mut r) else {
+            return false;
+        };
+        if !clean(&a, gs) || !clean(&b, gs) {
+            return false;
+        }
+        match squ_sema::certify_pair(&a, &b, &gs.schema) {
+            Certificate::Equivalent(_) => {
+                differential_verdict_skipping_limits(&a, &b, witnesses) == Verdict::Differed
+            }
+            Certificate::Inequivalent(_) => tinfo.kind() == TransformKind::Preserving,
+            Certificate::Unknown => false,
+        }
+    });
+    report.failures.push(Failure {
+        case: report.index,
+        oracle: "sema-certificate".to_string(),
+        transform: Some(label.to_string()),
+        sql: sql.to_string(),
+        detail,
+        minimized,
+        minimized_tokens,
+    });
 }
 
 /// [`squ_tasks::differential_verdict`] over both queries, except that a

@@ -140,6 +140,7 @@ fn run_compiled(q: &Query, dbs: &[Database], bench: &mut EngineBench) -> Vec<Tim
             bench.counters.subquery_evals += s.subquery_evals;
             bench.counters.compiled += s.compiled;
             bench.counters.fallbacks += s.fallbacks;
+            bench.counters.empty_prunes += s.empty_prunes;
             r
         });
         out.push((res, elapsed));

@@ -93,6 +93,9 @@ pub struct EngineCounters {
     pub compiled: u64,
     /// Queries that fell back to the tree-walking interpreter.
     pub fallbacks: u64,
+    /// Select blocks short-circuited because `squ-sema` proved their WHERE
+    /// unsatisfiable at compile time.
+    pub empty_prunes: u64,
 }
 
 impl EngineCounters {
@@ -106,6 +109,52 @@ impl EngineCounters {
         self.subquery_evals += other.subquery_evals;
         self.compiled += other.compiled;
         self.fallbacks += other.fallbacks;
+        self.empty_prunes += other.empty_prunes;
+    }
+}
+
+/// Tallies of the semantic-analysis oracle: every `squ-sema` claim that was
+/// cross-checked against real execution, plus certificate statistics from
+/// the metamorphic pairs. Deterministic per `(seed, index)` like everything
+/// else in the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemaCounters {
+    /// Subject queries run through `squ_sema::analyze_query`.
+    pub queries_analyzed: u64,
+    /// Queries proven empty by the analyzer.
+    pub empties_proven: u64,
+    /// Emptiness proofs confirmed by execution (zero rows on a witness).
+    pub empty_checks: u64,
+    /// Redundant-conjunct proofs cross-checked by executing the query with
+    /// the conjunct dropped.
+    pub redundancy_checks: u64,
+    /// `max_rows` bounds cross-checked against executed row counts.
+    pub bound_checks: u64,
+    /// Metamorphic pairs certified equivalent.
+    pub certified_equivalent: u64,
+    /// Metamorphic pairs certified inequivalent.
+    pub certified_inequivalent: u64,
+    /// Metamorphic pairs the certifier left undecided.
+    pub certified_unknown: u64,
+    /// Execution-checked sema claims that held.
+    pub soundness_pass: u64,
+    /// Execution-checked sema claims that did **not** hold — hard failures.
+    pub soundness_fail: u64,
+}
+
+impl SemaCounters {
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: &SemaCounters) {
+        self.queries_analyzed += other.queries_analyzed;
+        self.empties_proven += other.empties_proven;
+        self.empty_checks += other.empty_checks;
+        self.redundancy_checks += other.redundancy_checks;
+        self.bound_checks += other.bound_checks;
+        self.certified_equivalent += other.certified_equivalent;
+        self.certified_inequivalent += other.certified_inequivalent;
+        self.certified_unknown += other.certified_unknown;
+        self.soundness_pass += other.soundness_pass;
+        self.soundness_fail += other.soundness_fail;
     }
 }
 
@@ -140,6 +189,8 @@ pub struct CaseReport {
     pub counts: OracleCounts,
     /// Engine counters from the differential oracle's subject runs.
     pub engine: EngineCounters,
+    /// Semantic-analysis oracle tallies for this case.
+    pub sema: SemaCounters,
     /// Violations found in this case.
     pub failures: Vec<Failure>,
 }
@@ -157,6 +208,8 @@ pub struct FuzzReport {
     pub counts: OracleCounts,
     /// Aggregated engine counters.
     pub engine: EngineCounters,
+    /// Aggregated semantic-analysis oracle tallies.
+    pub sema: SemaCounters,
     /// Every violation, in case order.
     pub failures: Vec<Failure>,
 }
@@ -166,25 +219,28 @@ impl FuzzReport {
     pub fn from_cases(seed: u64, cases: &[CaseReport]) -> FuzzReport {
         let mut counts = OracleCounts::default();
         let mut engine = EngineCounters::default();
+        let mut sema = SemaCounters::default();
         let mut failures = Vec::new();
         for c in cases {
             counts.absorb(&c.counts);
             engine.absorb(&c.engine);
+            sema.absorb(&c.sema);
             failures.extend(c.failures.iter().cloned());
         }
         FuzzReport {
-            version: 2,
+            version: 3,
             seed,
             cases: cases.len() as u64,
             counts,
             engine,
+            sema,
             failures,
         }
     }
 
     /// Did every hard oracle hold?
     pub fn is_clean(&self) -> bool {
-        !self.counts.has_failures()
+        !self.counts.has_failures() && self.sema.soundness_fail == 0
     }
 
     /// Deterministic pretty JSON (field order is struct order; no maps).
@@ -199,7 +255,8 @@ impl FuzzReport {
             "fuzz: {} cases, roundtrip {}/{} fail, mutation {}/{} fail, \
              differential {} pass / {} skip / {} fail, metamorphic {} pass / {} fail \
              ({} breaking distinguished, {} undistinguished, {} skipped), \
-             engine {} compiled / {} fallback",
+             engine {} compiled / {} fallback, \
+             sema {} empties / {} certified eq / {} ineq, {} soundness fail",
             self.cases,
             c.roundtrip_fail,
             c.roundtrip_pass + c.roundtrip_fail,
@@ -215,6 +272,10 @@ impl FuzzReport {
             c.metamorphic_skip,
             self.engine.compiled,
             self.engine.fallbacks,
+            self.sema.empties_proven,
+            self.sema.certified_equivalent,
+            self.sema.certified_inequivalent,
+            self.sema.soundness_fail,
         )
     }
 }

@@ -10,7 +10,9 @@
 //! [`lint`] to *prove* ground-truth labels: injected errors must produce a
 //! diagnostic of the expected paper category overlapping the labeled span,
 //! and correct samples must produce no error-severity diagnostics at all.
-//! Warnings (`SQU1xx`) are style advisories and never fail an audit.
+//! Warnings (`SQU1xx`) are style advisories (`SQU10x`) and `squ-sema`
+//! semantic advisories (`SQU11x`, e.g. a provably-empty result); they never
+//! fail an audit.
 
 #![warn(missing_docs)]
 
@@ -130,6 +132,22 @@ pub fn lint(sql: &str, schema: &Schema) -> LintReport {
     report.resolution = Some(analysis.resolution);
 
     advisories(&stmt, &mut report.diagnostics);
+
+    // semantic advisories run only on queries the binder fully resolved:
+    // sema's assumptions (id-column NOT NULL, table shapes) are only
+    // meaningful for bound names
+    if report.is_clean() {
+        if let Some(analysis) = squ_sema::analyze_statement(&stmt, schema) {
+            for f in analysis.findings {
+                report.diagnostics.push(LintDiagnostic {
+                    code: f.code,
+                    severity: Severity::Warning,
+                    span: f.span,
+                    message: f.message,
+                });
+            }
+        }
+    }
     report
 }
 

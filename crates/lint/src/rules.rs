@@ -10,7 +10,8 @@
 //! | `SQU01x` | name resolution (binder) |
 //! | `SQU02x` | aggregation / grouping (binder) |
 //! | `SQU03x` | types and cardinality (binder) |
-//! | `SQU1xx` | style advisories (warnings, never audit failures) |
+//! | `SQU10x` | style advisories (warnings, never audit failures) |
+//! | `SQU11x` | semantic advisories from `squ-sema` (warnings) |
 
 use std::fmt;
 
@@ -124,6 +125,30 @@ pub const REGISTRY: &[RuleInfo] = &[
         severity: Severity::Warning,
         paper_label: None,
         summary: "LIMIT/TOP without ORDER BY (non-deterministic row choice)",
+    },
+    RuleInfo {
+        code: "SQU110",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "query result is provably empty (contradictory predicates or empty input)",
+    },
+    RuleInfo {
+        code: "SQU111",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "WHERE conjunct is provably true on every row (redundant)",
+    },
+    RuleInfo {
+        code: "SQU112",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "comparison against a NULL literal never evaluates to TRUE",
+    },
+    RuleInfo {
+        code: "SQU113",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "BETWEEN range is empty (lower bound exceeds upper bound)",
     },
 ];
 

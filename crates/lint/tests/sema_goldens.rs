@@ -1,0 +1,115 @@
+//! Golden fixtures for the `SQU11x` semantic advisories.
+//!
+//! Each fixture pins the exact codes *and* the source text their spans
+//! cover, so span regressions (not just code regressions) fail loudly.
+
+use squ_lint::lint;
+use squ_schema::schemas::sdss;
+
+/// All SQU11x diagnostics for `sql` as `(code, span slice)` pairs, using
+/// `"<none>"` when a diagnostic carries no span.
+fn sema_codes(sql: &str) -> Vec<(String, String)> {
+    lint(sql, &sdss())
+        .diagnostics
+        .iter()
+        .filter(|d| d.code >= "SQU110")
+        .map(|d| {
+            (
+                d.code.to_string(),
+                d.span
+                    .map(|s| s.slice(sql).to_string())
+                    .unwrap_or_else(|| "<none>".to_string()),
+            )
+        })
+        .collect()
+}
+
+fn check(sql: &str, expected: &[(&str, &str)]) {
+    let got = sema_codes(sql);
+    let want: Vec<(String, String)> = expected
+        .iter()
+        .map(|(c, s)| (c.to_string(), s.to_string()))
+        .collect();
+    assert_eq!(got, want, "fixture: {sql}");
+}
+
+#[test]
+fn contradictory_where_is_provably_empty() {
+    check(
+        "SELECT plate FROM SpecObj WHERE z > 5 AND z < 3",
+        &[("SQU110", "z")],
+    );
+}
+
+#[test]
+fn tautological_conjunct_under_id_assumption() {
+    check(
+        "SELECT plate FROM SpecObj WHERE specobjid = specobjid AND z > 1",
+        &[("SQU111", "specobjid")],
+    );
+}
+
+#[test]
+fn nullable_self_comparison_is_not_tautological() {
+    // z is not id-like, so `z = z` is UNKNOWN on NULL rows: no finding
+    check("SELECT plate FROM SpecObj WHERE z = z AND z > 1", &[]);
+}
+
+#[test]
+fn null_literal_comparison() {
+    check(
+        "SELECT plate FROM SpecObj WHERE z = NULL",
+        &[("SQU112", "z"), ("SQU110", "z")],
+    );
+}
+
+#[test]
+fn empty_between_range() {
+    check(
+        "SELECT plate FROM SpecObj WHERE plate BETWEEN 10 AND 5",
+        &[("SQU113", "plate"), ("SQU110", "plate")],
+    );
+}
+
+#[test]
+fn ungrouped_aggregate_is_not_empty() {
+    // one summary row always comes back, even over an empty input
+    check("SELECT COUNT(*) FROM SpecObj WHERE z > 5 AND z < 3", &[]);
+}
+
+#[test]
+fn limit_zero_is_empty() {
+    check(
+        "SELECT plate FROM SpecObj WHERE z > 1 LIMIT 0",
+        &[("SQU110", "z")],
+    );
+}
+
+#[test]
+fn clean_query_has_no_semantic_findings() {
+    check("SELECT plate, mjd FROM SpecObj WHERE z > 0.5", &[]);
+}
+
+#[test]
+fn sema_advisories_never_make_a_report_unclean() {
+    let r = lint("SELECT plate FROM SpecObj WHERE z > 5 AND z < 3", &sdss());
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert!(r.diagnostics.iter().any(|d| d.code == "SQU110"));
+}
+
+#[test]
+fn unresolvable_queries_get_no_sema_pass() {
+    // binder errors suppress semantic advisories entirely
+    let r = lint("SELECT nosuch FROM SpecObj WHERE z > 5 AND z < 3", &sdss());
+    assert!(!r.is_clean());
+    assert!(r.diagnostics.iter().all(|d| d.code < "SQU110"));
+}
+
+#[test]
+fn every_squ11x_code_is_registered_as_warning() {
+    use squ_lint::{rule, Severity};
+    for code in ["SQU110", "SQU111", "SQU112", "SQU113"] {
+        let info = rule(code).unwrap_or_else(|| panic!("unregistered {code}"));
+        assert_eq!(info.severity, Severity::Warning, "{code}");
+    }
+}

@@ -1,0 +1,628 @@
+//! Whole-query semantic analysis: provable emptiness, redundant predicates,
+//! cardinality bounds, and SQU11x findings.
+//!
+//! The analyzer flows the feasibility domains of [`crate::feasible`]
+//! through the query structure (WHERE/HAVING, join trees, set operations,
+//! CTEs, derived tables) and reports only *proofs*:
+//!
+//! - [`Analysis::provably_empty`] — the query returns zero rows on **every**
+//!   database satisfying the stated assumptions. The ungrouped-aggregate
+//!   shape (`SELECT COUNT(*) … WHERE FALSE` returns one row), outer-join
+//!   padding, and set-operation algebra are all accounted for.
+//! - [`Analysis::redundant_conjuncts`] — top-level WHERE conjuncts that
+//!   evaluate to TRUE on every row (removing one cannot change any result).
+//! - [`Analysis::max_rows`] — an upper bound on the result cardinality
+//!   (`LIMIT`/`TOP`, the single-row aggregate shape, `DISTINCT` over fully
+//!   pinned projections).
+//!
+//! Assumptions mirror witness-database generation ([`is_id_column`] base
+//!   table columns are never NULL); primary-key *uniqueness* is deliberately
+//!   **not** assumed — witness generators draw key values with replacement.
+
+use crate::feasible::{always_true, col_key, never_true, Assumptions, ColKey};
+use squ_lexer::Span;
+use squ_parser::ast::{
+    expr_span, Expr, JoinKind, Query, Select, SelectItem, SetExpr, SetOp, Statement, TableRef,
+};
+use squ_schema::Schema;
+use std::collections::BTreeSet;
+
+/// Mirror of the witness generator's id-column heuristic
+/// (`squ_engine::witness::is_id_column`): id-like columns are generated
+/// non-NULL. Kept in sync by a cross-crate test in `squ-fuzz`.
+pub fn is_id_column(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower == "id" || lower.ends_with("id")
+}
+
+/// One semantic finding, in SQU1xx code space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaFinding {
+    /// Stable code (`SQU110`–`SQU113`).
+    pub code: &'static str,
+    /// Byte span of the offending construct, when one is known.
+    pub span: Option<Span>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Semantic facts proven about one query.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// The result is empty on every database satisfying the assumptions.
+    pub provably_empty: bool,
+    /// Indices (into the WHERE's top-level conjunct list, left to right) of
+    /// conjuncts proven TRUE on every row; removing one preserves results.
+    /// Only populated for plain-select bodies.
+    pub redundant_conjuncts: Vec<usize>,
+    /// Proven upper bound on result row count.
+    pub max_rows: Option<u64>,
+    /// SQU11x findings for lint surfacing.
+    pub findings: Vec<SemaFinding>,
+}
+
+/// Analyze the query of a statement; `None` for non-query statements
+/// without a source query.
+pub fn analyze_statement(stmt: &Statement, schema: &Schema) -> Option<Analysis> {
+    stmt.query().map(|q| analyze_query(q, schema))
+}
+
+/// Analyze a bound query against `schema`.
+pub fn analyze_query(q: &Query, schema: &Schema) -> Analysis {
+    let mut a = Analysis::default();
+    let mut cte_empty: Vec<(String, bool)> = Vec::new();
+    for cte in &q.ctes {
+        let sub = analyze_subquery(&cte.query, schema, &cte_empty);
+        cte_empty.push((cte.name.clone(), sub));
+    }
+    // an aggregate in ORDER BY forces the grouped path even without GROUP BY
+    let order_agg = q.order_by.iter().any(|o| o.expr.contains_aggregate());
+    let surface = Surface {
+        syntactic: true,
+        // conjunct indices are only meaningful for a sole select body
+        tautologies: matches!(&q.body, SetExpr::Select(_)),
+    };
+    let body_empty = set_expr_empty(&q.body, schema, &cte_empty, &mut a, surface, order_agg);
+    let limit = q.limit.or(match &q.body {
+        SetExpr::Select(s) => s.top,
+        _ => None,
+    });
+    a.provably_empty = body_empty || limit == Some(0);
+    if a.provably_empty {
+        let span = match &q.body {
+            SetExpr::Select(s) => s.selection.as_ref().and_then(expr_span),
+            _ => None,
+        };
+        a.findings.push(SemaFinding {
+            code: "SQU110",
+            span: span.or(if q.span.is_empty() {
+                None
+            } else {
+                Some(q.span)
+            }),
+            message: "query result is provably empty".into(),
+        });
+    }
+    // cardinality bounds
+    let mut bound: Option<u64> = limit;
+    if a.provably_empty {
+        bound = Some(0);
+    } else if let SetExpr::Select(s) = &q.body {
+        if let Some(b) = select_row_bound(s, schema, &cte_empty) {
+            bound = Some(bound.map_or(b, |l| l.min(b)));
+        }
+    }
+    a.max_rows = bound;
+    a
+}
+
+/// Which findings a traversal may surface.
+#[derive(Clone, Copy)]
+struct Surface {
+    /// SQU112/SQU113 (purely syntactic, safe anywhere).
+    syntactic: bool,
+    /// SQU111 + redundant-conjunct indices (sole select body only).
+    tautologies: bool,
+}
+
+impl Surface {
+    fn off() -> Self {
+        Surface {
+            syntactic: false,
+            tautologies: false,
+        }
+    }
+}
+
+/// Emptiness of a nested query (findings not surfaced).
+fn analyze_subquery(q: &Query, schema: &Schema, cte_empty: &[(String, bool)]) -> bool {
+    let mut scratch = Analysis::default();
+    let order_agg = q.order_by.iter().any(|o| o.expr.contains_aggregate());
+    let empty = set_expr_empty(
+        &q.body,
+        schema,
+        cte_empty,
+        &mut scratch,
+        Surface::off(),
+        order_agg,
+    );
+    let limit = q.limit.or(match &q.body {
+        SetExpr::Select(s) => s.top,
+        _ => None,
+    });
+    empty || limit == Some(0)
+}
+
+/// Is the set-expression provably empty? `surface` controls which findings
+/// are recorded on `a`.
+fn set_expr_empty(
+    se: &SetExpr,
+    schema: &Schema,
+    cte_empty: &[(String, bool)],
+    a: &mut Analysis,
+    surface: Surface,
+    order_agg: bool,
+) -> bool {
+    match se {
+        SetExpr::Select(s) => select_empty(s, schema, cte_empty, a, surface, order_agg),
+        SetExpr::SetOp {
+            op, left, right, ..
+        } => {
+            let branch = Surface {
+                syntactic: surface.syntactic,
+                tautologies: false,
+            };
+            let l = set_expr_empty(left, schema, cte_empty, a, branch, false);
+            let r = set_expr_empty(right, schema, cte_empty, a, branch, false);
+            match op {
+                SetOp::Union => l && r,
+                SetOp::Intersect => l || r,
+                SetOp::Except => l,
+            }
+        }
+    }
+}
+
+/// Does this select (or any aggregate anywhere in it) aggregate its input
+/// into groups?
+fn is_grouped(s: &Select) -> bool {
+    !s.group_by.is_empty()
+        || s.items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || s.having.as_ref().is_some_and(|h| h.contains_aggregate())
+}
+
+fn select_empty(
+    s: &Select,
+    schema: &Schema,
+    cte_empty: &[(String, bool)],
+    a: &mut Analysis,
+    surface: Surface,
+    order_agg: bool,
+) -> bool {
+    let assume = select_assumptions(s, schema, cte_empty);
+    if surface.syntactic || surface.tautologies {
+        surface_findings(s, &assume, a, surface);
+    }
+    // TOP 0 empties any shape
+    if s.top == Some(0) {
+        return true;
+    }
+    // HAVING that can never hold filters away every group, grouped or not
+    if let Some(h) = &s.having {
+        if never_true(h, &assume) {
+            return true;
+        }
+    }
+    // an input-level emptiness proof: the FROM product is empty, or the
+    // WHERE rejects every row
+    let from_empty = s
+        .from
+        .iter()
+        .any(|tr| table_ref_empty(tr, schema, cte_empty));
+    let where_unsat = s.selection.as_ref().is_some_and(|w| never_true(w, &assume));
+    let input_empty = from_empty || (where_unsat && !s.from.is_empty());
+    if !input_empty {
+        return false;
+    }
+    // empty input ⇒ empty output, except the ungrouped-aggregate shape
+    // (one summary row) — which an explicit GROUP BY removes again
+    if (is_grouped(s) || order_agg) && s.group_by.is_empty() {
+        return false;
+    }
+    true
+}
+
+/// Is the table reference provably empty as a row source? Outer joins pad
+/// the surviving side, so only the non-preserved side's emptiness counts.
+fn table_ref_empty(tr: &TableRef, schema: &Schema, cte_empty: &[(String, bool)]) -> bool {
+    match tr {
+        TableRef::Named { name, .. } => cte_empty
+            .iter()
+            .rev()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .is_some_and(|(_, e)| *e),
+        TableRef::Derived { query, .. } => analyze_subquery(query, schema, cte_empty),
+        TableRef::Join {
+            left, right, kind, ..
+        } => {
+            let l = table_ref_empty(left, schema, cte_empty);
+            let r = table_ref_empty(right, schema, cte_empty);
+            match kind {
+                JoinKind::Inner | JoinKind::Cross => l || r,
+                JoinKind::Left => l,
+                JoinKind::Right => r,
+                JoinKind::Full => l && r,
+            }
+        }
+    }
+}
+
+/// [`select_assumptions`] for callers that track CTE names without
+/// emptiness verdicts (the certifier).
+pub(crate) fn select_assumptions_for(
+    s: &Select,
+    schema: &Schema,
+    cte_names: &[String],
+) -> Assumptions {
+    let shaped: Vec<(String, bool)> = cte_names.iter().map(|n| (n.clone(), false)).collect();
+    select_assumptions(s, schema, &shaped)
+}
+
+/// NOT NULL assumptions visible to this select's predicates: id-like
+/// columns of base tables (the witness generator never NULLs them), except
+/// bindings on the padded side of an outer join.
+fn select_assumptions(s: &Select, schema: &Schema, cte_empty: &[(String, bool)]) -> Assumptions {
+    let mut assume = Assumptions::none();
+    let mut sources: Vec<(String, &str)> = Vec::new(); // (binding, table name)
+    let cte_names: BTreeSet<String> = cte_empty
+        .iter()
+        .map(|(n, _)| n.to_ascii_lowercase())
+        .collect();
+    fn collect<'a>(
+        tr: &'a TableRef,
+        padded: bool,
+        cte_names: &BTreeSet<String>,
+        out: &mut Vec<(String, &'a str)>,
+    ) {
+        match tr {
+            TableRef::Named { name, alias } => {
+                if !padded && !cte_names.contains(&name.to_ascii_lowercase()) {
+                    let binding = alias.as_deref().unwrap_or(name);
+                    out.push((binding.to_ascii_lowercase(), name));
+                }
+            }
+            TableRef::Derived { .. } => {}
+            TableRef::Join {
+                left, right, kind, ..
+            } => {
+                let (pad_l, pad_r) = match kind {
+                    JoinKind::Inner | JoinKind::Cross => (false, false),
+                    JoinKind::Left => (false, true),
+                    JoinKind::Right => (true, false),
+                    JoinKind::Full => (true, true),
+                };
+                collect(left, padded || pad_l, cte_names, out);
+                collect(right, padded || pad_r, cte_names, out);
+            }
+        }
+    }
+    for tr in &s.from {
+        collect(tr, false, &cte_names, &mut sources);
+    }
+    // qualified keys: binding.column for every id-like base column
+    for (binding, tname) in &sources {
+        let Some(table) = schema.table(tname) else {
+            continue;
+        };
+        for col in table.column_names() {
+            if is_id_column(col) {
+                assume
+                    .not_null
+                    .insert((Some(binding.clone()), col.to_ascii_lowercase()));
+            }
+        }
+    }
+    // unqualified keys: only when exactly one in-scope source has the column
+    let mut seen: std::collections::BTreeMap<String, usize> = Default::default();
+    for (_, tname) in &sources {
+        if let Some(table) = schema.table(tname) {
+            for col in table.column_names() {
+                *seen.entry(col.to_ascii_lowercase()).or_insert(0) += 1;
+            }
+        }
+    }
+    for (binding, tname) in &sources {
+        let Some(table) = schema.table(tname) else {
+            continue;
+        };
+        let _ = binding;
+        for col in table.column_names() {
+            let lower = col.to_ascii_lowercase();
+            if is_id_column(col) && seen.get(&lower) == Some(&1) {
+                assume.not_null.insert((None, lower));
+            }
+        }
+    }
+    assume
+}
+
+/// Record per-conjunct findings for a select's WHERE.
+fn surface_findings(s: &Select, assume: &Assumptions, a: &mut Analysis, surface: Surface) {
+    let Some(w) = &s.selection else { return };
+    for (i, conjunct) in top_conjuncts(w).into_iter().enumerate() {
+        if surface.syntactic {
+            // SQU112: comparison against a NULL literal is never TRUE
+            let mut null_cmp = None;
+            find_null_comparison(conjunct, &mut null_cmp);
+            if let Some(span) = null_cmp {
+                a.findings.push(SemaFinding {
+                    code: "SQU112",
+                    span,
+                    message: "comparison with NULL is never true; use IS NULL".into(),
+                });
+            }
+            // SQU113: BETWEEN with an empty constant range
+            let mut empty_between = None;
+            find_empty_between(conjunct, &mut empty_between);
+            if let Some(span) = empty_between {
+                a.findings.push(SemaFinding {
+                    code: "SQU113",
+                    span,
+                    message: "BETWEEN range is empty (low bound exceeds high bound)".into(),
+                });
+            }
+        }
+        // SQU111: a conjunct that is TRUE on every row
+        if surface.tautologies && always_true(conjunct, assume) {
+            a.redundant_conjuncts.push(i);
+            a.findings.push(SemaFinding {
+                code: "SQU111",
+                span: expr_span(conjunct),
+                message: "predicate is always true; the conjunct is redundant".into(),
+            });
+        }
+    }
+}
+
+fn find_null_comparison(e: &Expr, out: &mut Option<Option<Span>>) {
+    if out.is_some() {
+        return;
+    }
+    if let Expr::Compare { left, right, .. } = e {
+        if matches!(&**left, Expr::Literal(squ_parser::ast::Literal::Null))
+            || matches!(&**right, Expr::Literal(squ_parser::ast::Literal::Null))
+        {
+            *out = Some(expr_span(e));
+            return;
+        }
+    }
+    e.for_each_child(&mut |c| find_null_comparison(c, out));
+}
+
+fn find_empty_between(e: &Expr, out: &mut Option<Option<Span>>) {
+    if out.is_some() {
+        return;
+    }
+    if let Expr::Between {
+        low,
+        high,
+        negated: false,
+        ..
+    } = e
+    {
+        if let (
+            Expr::Literal(squ_parser::ast::Literal::Number(lo)),
+            Expr::Literal(squ_parser::ast::Literal::Number(hi)),
+        ) = (&**low, &**high)
+        {
+            if lo > hi {
+                *out = Some(expr_span(e));
+                return;
+            }
+        }
+    }
+    e.for_each_child(&mut |c| find_empty_between(c, out));
+}
+
+/// Row bound for a plain select body (before LIMIT): the single-row
+/// ungrouped-aggregate shape, or DISTINCT over a projection pinned to
+/// constants.
+fn select_row_bound(s: &Select, schema: &Schema, cte_empty: &[(String, bool)]) -> Option<u64> {
+    if is_grouped(s) && s.group_by.is_empty() {
+        // one summary row, possibly removed by HAVING
+        return Some(1);
+    }
+    if !s.distinct || s.items.is_empty() || s.from.is_empty() {
+        return None;
+    }
+    // DISTINCT with every projected item pinned to a single constant
+    let assume = select_assumptions(s, schema, cte_empty);
+    let w = s.selection.as_ref()?;
+    let dnf = crate::feasible::to_dnf(w, crate::feasible::Polarity::IsTrue);
+    if dnf.len() != 1 {
+        return None; // multiple branches could pin different constants
+    }
+    let mut model = crate::feasible::solve_branch(&dnf[0], &assume)?;
+    let mut keys: Vec<ColKey> = Vec::new();
+    for item in &s.items {
+        match item {
+            SelectItem::Expr {
+                expr: Expr::Literal(_),
+                ..
+            } => {}
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => keys.push(col_key(c)),
+            _ => return None,
+        }
+    }
+    for k in &keys {
+        model.pinned_value(k)?;
+    }
+    Some(1)
+}
+
+/// Flatten a predicate into its top-level AND conjuncts, left to right.
+pub fn top_conjuncts(e: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Rebuild a WHERE from conjuncts with one index removed; `None` when the
+/// list becomes empty (drop the WHERE entirely).
+pub fn drop_conjunct_at(w: &Expr, index: usize) -> Option<Expr> {
+    let parts = top_conjuncts(w);
+    let kept: Vec<Expr> = parts
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| i != index)
+        .map(|(_, e)| e.clone())
+        .collect();
+    let mut it = kept.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, p| acc.and(p)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_parser::parse;
+    use squ_schema::SqlType;
+    use squ_schema::{Schema, Table};
+
+    fn schema() -> Schema {
+        Schema::new("test")
+            .with_table(Table::new(
+                "t",
+                100,
+                &[
+                    ("tid", SqlType::Int),
+                    ("v", SqlType::Int),
+                    ("s", SqlType::Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "u",
+                50,
+                &[("uid", SqlType::Int), ("w", SqlType::Int)],
+            ))
+    }
+
+    fn analyze(sql: &str) -> Analysis {
+        let stmt = parse(sql).expect("parse");
+        analyze_statement(&stmt, &schema()).expect("query")
+    }
+
+    #[test]
+    fn contradiction_is_empty() {
+        assert!(analyze("SELECT v FROM t WHERE v > 5 AND v < 3").provably_empty);
+        assert!(!analyze("SELECT v FROM t WHERE v > 5 AND v < 9").provably_empty);
+    }
+
+    #[test]
+    fn ungrouped_aggregate_is_never_empty() {
+        let a = analyze("SELECT COUNT(*) FROM t WHERE v > 5 AND v < 3");
+        assert!(!a.provably_empty);
+        assert_eq!(a.max_rows, Some(1));
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_is_empty() {
+        let a = analyze("SELECT v, COUNT(*) FROM t WHERE v > 5 AND v < 3 GROUP BY v");
+        assert!(a.provably_empty);
+        assert_eq!(a.max_rows, Some(0));
+    }
+
+    #[test]
+    fn limit_zero_is_empty() {
+        assert!(analyze("SELECT v FROM t LIMIT 0").provably_empty);
+        assert!(analyze("SELECT TOP 0 v FROM t").provably_empty);
+    }
+
+    #[test]
+    fn set_op_emptiness_composes() {
+        let both = "SELECT v FROM t WHERE 1 = 2 UNION SELECT w FROM u WHERE 2 = 3";
+        assert!(analyze(both).provably_empty);
+        let one = "SELECT v FROM t WHERE 1 = 2 UNION SELECT w FROM u";
+        assert!(!analyze(one).provably_empty);
+        let intersect = "SELECT v FROM t INTERSECT SELECT w FROM u WHERE 1 = 0";
+        assert!(analyze(intersect).provably_empty);
+        let except = "SELECT v FROM t WHERE 1 = 0 EXCEPT SELECT w FROM u";
+        assert!(analyze(except).provably_empty);
+    }
+
+    #[test]
+    fn left_join_padding_blocks_id_assumption() {
+        // u.uid can be NULL after a LEFT JOIN pad, so `u.uid = u.uid` is
+        // not always-true there
+        let padded = "SELECT t.v FROM t LEFT JOIN u ON t.tid = u.uid WHERE u.uid = u.uid";
+        assert!(analyze(padded).redundant_conjuncts.is_empty());
+        let inner = "SELECT t.v FROM t JOIN u ON t.tid = u.uid WHERE u.uid = u.uid";
+        assert_eq!(analyze(inner).redundant_conjuncts, vec![0]);
+    }
+
+    #[test]
+    fn tautology_under_id_assumption() {
+        let a = analyze("SELECT v FROM t WHERE tid = tid AND v > 5");
+        assert_eq!(a.redundant_conjuncts, vec![0]);
+        assert!(a.findings.iter().any(|f| f.code == "SQU111"));
+        // nullable column: x = x is not always-true
+        let b = analyze("SELECT v FROM t WHERE v = v AND v > 5");
+        assert!(b.redundant_conjuncts.is_empty());
+    }
+
+    #[test]
+    fn null_comparison_finding() {
+        let a = analyze("SELECT v FROM t WHERE v = NULL");
+        assert!(a.findings.iter().any(|f| f.code == "SQU112"));
+        assert!(a.provably_empty);
+    }
+
+    #[test]
+    fn empty_between_finding() {
+        let a = analyze("SELECT v FROM t WHERE v BETWEEN 10 AND 2");
+        assert!(a.findings.iter().any(|f| f.code == "SQU113"));
+        assert!(a.provably_empty);
+    }
+
+    #[test]
+    fn distinct_pinned_bound() {
+        let a = analyze("SELECT DISTINCT v FROM t WHERE v = 5");
+        assert_eq!(a.max_rows, Some(1));
+        let b = analyze("SELECT DISTINCT v FROM t WHERE v > 5");
+        assert_eq!(b.max_rows, None);
+    }
+
+    #[test]
+    fn empty_derived_table_propagates() {
+        let a = analyze("SELECT d.v FROM (SELECT v FROM t WHERE 1 = 2) AS d");
+        assert!(a.provably_empty);
+    }
+
+    #[test]
+    fn empty_cte_propagates() {
+        let a = analyze(
+            "WITH c AS (SELECT v FROM t WHERE 1 = 2) SELECT c.v FROM c JOIN u ON c.v = u.uid",
+        );
+        assert!(a.provably_empty);
+    }
+
+    #[test]
+    fn having_contradiction_empties_even_aggregates() {
+        let a = analyze("SELECT COUNT(*) FROM t HAVING 1 = 2");
+        assert!(a.provably_empty);
+    }
+}

@@ -1,0 +1,753 @@
+//! Equivalence / inequivalence certificates for query pairs.
+//!
+//! [`certify_pair`] first canonicalizes both queries ([`crate::canon`]);
+//! identical canonical forms are an **equivalence** certificate (every
+//! rewrite in the canonicalizer is individually sound). Otherwise a small
+//! set of tightly-guarded structural-difference patterns can produce an
+//! **inequivalence** certificate: a proof that some database — drawn from
+//! the witness families, whose id-like columns are never NULL but whose
+//! keys are *not* unique — distinguishes the two queries. Anything outside
+//! the patterns is [`Certificate::Unknown`].
+//!
+//! Inequivalence patterns deliberately refuse to fire when a subquery
+//! appears in the differing predicates (`IN (SELECT …)` vs `EXISTS` forms
+//! of one query are equivalent but structurally incomparable) — every
+//! pattern's applicability conditions are chosen so that a sound
+//! transformation of a query can never be convicted.
+
+use crate::analyze::select_assumptions_for;
+use crate::canon::canonicalize;
+use crate::feasible::{any_constructive, col_key, to_dnf, Assumptions, Dnf, Polarity};
+use squ_lexer::CompareOp;
+use squ_parser::ast::{is_aggregate_name, Expr, JoinKind, Query, Select, SelectItem, TableRef};
+use squ_schema::Schema;
+
+/// Outcome of static pair certification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certificate {
+    /// The queries provably return equal results on every database.
+    Equivalent(&'static str),
+    /// Some witness-style database provably distinguishes the queries.
+    Inequivalent(&'static str),
+    /// The domains cannot decide the pair.
+    Unknown,
+}
+
+impl Certificate {
+    /// Short label for counters and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Certificate::Equivalent(_) => "equivalent",
+            Certificate::Inequivalent(_) => "inequivalent",
+            Certificate::Unknown => "unknown",
+        }
+    }
+
+    /// The reason string, when decided.
+    pub fn reason(&self) -> Option<&'static str> {
+        match self {
+            Certificate::Equivalent(r) | Certificate::Inequivalent(r) => Some(r),
+            Certificate::Unknown => None,
+        }
+    }
+}
+
+/// Statically certify a pair of queries as equivalent or inequivalent.
+pub fn certify_pair(q1: &Query, q2: &Query, schema: &Schema) -> Certificate {
+    let c1 = canonicalize(q1);
+    let c2 = canonicalize(q2);
+    if c1 == c2 {
+        return Certificate::Equivalent("canonical forms coincide");
+    }
+    classify(&c1, &c2, schema)
+}
+
+/// Tightly-guarded structural difference classification on canonical forms.
+fn classify(c1: &Query, c2: &Query, schema: &Schema) -> Certificate {
+    // the patterns only cover plain single-select bodies with shared
+    // prologue and epilogue
+    if c1.ctes != c2.ctes || c1.order_by != c2.order_by || c1.limit != c2.limit {
+        return Certificate::Unknown;
+    }
+    let (Some(s1), Some(s2)) = (c1.as_select(), c2.as_select()) else {
+        return Certificate::Unknown;
+    };
+    if s1.top != s2.top {
+        return Certificate::Unknown;
+    }
+    let cte_names: Vec<String> = c1.ctes.iter().map(|c| c.name.clone()).collect();
+
+    if s1.from == s2.from {
+        if s1.items == s2.items && s1.selection == s2.selection && same_grouping(s1, s2) {
+            return distinct_toggle(s1, s2, schema, &cte_names, c1);
+        }
+        if s1.distinct == s2.distinct && s1.items == s2.items && same_grouping(s1, s2) {
+            return where_differs(s1, s2, schema, &cte_names, c1);
+        }
+        if s1.distinct == s2.distinct && s1.selection == s2.selection && same_grouping(s1, s2) {
+            return items_differ(s1, s2, schema, &cte_names, c1);
+        }
+        return Certificate::Unknown;
+    }
+    if s1.items == s2.items
+        && s1.selection == s2.selection
+        && s1.distinct == s2.distinct
+        && same_grouping(s1, s2)
+    {
+        return join_kind_differs(s1, s2, schema, &cte_names, c1);
+    }
+    Certificate::Unknown
+}
+
+fn same_grouping(s1: &Select, s2: &Select) -> bool {
+    s1.group_by == s2.group_by && s1.having == s2.having
+}
+
+/// Is the select a plain row-for-row pipeline (no grouping, aggregation,
+/// dedup, truncation) whose extra/missing rows are observable?
+fn observable_rows(s: &Select, q: &Query) -> bool {
+    !s.distinct
+        && s.group_by.is_empty()
+        && s.having.is_none()
+        && s.top.is_none()
+        && q.limit.is_none()
+        && !s
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+}
+
+fn subquery_free(e: &Expr) -> bool {
+    let mut free = !matches!(
+        e,
+        Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_)
+    );
+    if free {
+        e.for_each_child(&mut |c| {
+            if !subquery_free(c) {
+                free = false;
+            }
+        });
+    }
+    free
+}
+
+/// Only base tables in FROM (emptiness and row construction are then under
+/// the adversary's control).
+fn base_tables_only(s: &Select, schema: &Schema, cte_names: &[String]) -> bool {
+    fn check(tr: &TableRef, schema: &Schema, cte_names: &[String]) -> bool {
+        match tr {
+            TableRef::Named { name, .. } => {
+                schema.has_table(name) && !cte_names.iter().any(|c| c.eq_ignore_ascii_case(name))
+            }
+            TableRef::Derived { .. } => false,
+            TableRef::Join { left, right, .. } => {
+                check(left, schema, cte_names) && check(right, schema, cte_names)
+            }
+        }
+    }
+    s.from.iter().all(|tr| check(tr, schema, cte_names))
+}
+
+/// Conjunction of the WHERE and every inner-join ON predicate — the row
+/// constraints an output row must satisfy when only inner/cross joins
+/// appear.
+fn row_constraints(s: &Select) -> Option<Expr> {
+    let mut parts: Vec<Expr> = Vec::new();
+    fn collect(tr: &TableRef, parts: &mut Vec<Expr>, ok: &mut bool) {
+        match tr {
+            TableRef::Named { .. } => {}
+            TableRef::Derived { .. } => *ok = false,
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
+                if !matches!(kind, JoinKind::Inner | JoinKind::Cross) {
+                    *ok = false;
+                    return;
+                }
+                if let squ_parser::ast::JoinConstraint::On(e) = constraint {
+                    parts.push(e.clone());
+                }
+                collect(left, parts, ok);
+                collect(right, parts, ok);
+            }
+        }
+    }
+    let mut ok = true;
+    for tr in &s.from {
+        collect(tr, &mut parts, &mut ok);
+    }
+    if !ok {
+        return None;
+    }
+    if let Some(w) = &s.selection {
+        parts.push(w.clone());
+    }
+    let mut it = parts.into_iter();
+    let first = it
+        .next()
+        .unwrap_or(Expr::Literal(squ_parser::ast::Literal::Bool(true)));
+    Some(it.fold(first, |acc, p| acc.and(p)))
+}
+
+/// Can a database give this select at least one output row? (Conservative:
+/// `false` means "can't prove".)
+fn reachable(s: &Select, schema: &Schema, cte_names: &[String], assume: &Assumptions) -> bool {
+    if s.from.is_empty() || !base_tables_only(s, schema, cte_names) {
+        return false;
+    }
+    let Some(constraints) = row_constraints(s) else {
+        return false;
+    };
+    if !subquery_free(&constraints) {
+        return false;
+    }
+    any_constructive(&to_dnf(&constraints, Polarity::IsTrue), assume).is_some()
+}
+
+fn conj(a: Dnf, b: Dnf) -> Dnf {
+    let mut out = Vec::new();
+    for x in &a {
+        for y in &b {
+            let mut branch = x.clone();
+            branch.extend(y.iter().cloned());
+            out.push(branch);
+            if out.len() > 4096 {
+                return Vec::new(); // give up: no conviction
+            }
+        }
+    }
+    out
+}
+
+/// `DISTINCT` toggled, all else equal: base-table rows can always be
+/// duplicated (no uniqueness constraints exist), so a reachable projection
+/// distinguishes the two.
+fn distinct_toggle(
+    s1: &Select,
+    s2: &Select,
+    schema: &Schema,
+    cte_names: &[String],
+    q: &Query,
+) -> Certificate {
+    if s1.distinct == s2.distinct {
+        return Certificate::Unknown;
+    }
+    let plain = |s: &Select| {
+        s.group_by.is_empty()
+            && s.having.is_none()
+            && s.top.is_none()
+            && !s
+                .items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+    };
+    if !plain(s1) || !plain(s2) || q.limit.is_some() {
+        return Certificate::Unknown;
+    }
+    let assume = select_assumptions_for(s1, schema, cte_names);
+    if reachable(s1, schema, cte_names, &assume) {
+        Certificate::Inequivalent("DISTINCT toggled on a reachable duplicate-capable projection")
+    } else {
+        Certificate::Unknown
+    }
+}
+
+/// WHERE predicates differ, all else equal: convict when some row satisfies
+/// one predicate but not the other (and rows are observable).
+fn where_differs(
+    s1: &Select,
+    s2: &Select,
+    schema: &Schema,
+    cte_names: &[String],
+    q: &Query,
+) -> Certificate {
+    if !observable_rows(s1, q) || !observable_rows(s2, q) {
+        return Certificate::Unknown;
+    }
+    let t = Expr::Literal(squ_parser::ast::Literal::Bool(true));
+    let w1 = s1.selection.as_ref().unwrap_or(&t);
+    let w2 = s2.selection.as_ref().unwrap_or(&t);
+    if !subquery_free(w1) || !subquery_free(w2) {
+        return Certificate::Unknown;
+    }
+    // the distinguishing row must also be *producible* by the FROM
+    if s1.from.is_empty() || !base_tables_only(s1, schema, cte_names) {
+        return Certificate::Unknown;
+    }
+    let Some(base) = row_constraints(&Select {
+        selection: None,
+        ..s1.clone()
+    }) else {
+        return Certificate::Unknown;
+    };
+    if !subquery_free(&base) {
+        return Certificate::Unknown;
+    }
+    let assume = select_assumptions_for(s1, schema, cte_names);
+    let base_dnf = to_dnf(&base, Polarity::IsTrue);
+    let one_not_other = |a: &Expr, b: &Expr| {
+        let mixed = conj(
+            conj(base_dnf.clone(), to_dnf(a, Polarity::IsTrue)),
+            to_dnf(b, Polarity::NotTrue),
+        );
+        any_constructive(&mixed, &assume).is_some()
+    };
+    if one_not_other(w1, w2) || one_not_other(w2, w1) {
+        Certificate::Inequivalent("a constructible row satisfies one WHERE but not the other")
+    } else {
+        Certificate::Unknown
+    }
+}
+
+/// Projection lists differ, all else equal.
+fn items_differ(
+    s1: &Select,
+    s2: &Select,
+    schema: &Schema,
+    cte_names: &[String],
+    q: &Query,
+) -> Certificate {
+    let assume = select_assumptions_for(s1, schema, cte_names);
+    // arity difference: any database yielding a row distinguishes the pair
+    if s1.items.len() != s2.items.len() {
+        let agg_shape = |s: &Select| {
+            s.group_by.is_empty()
+                && s.having.is_none()
+                && s.top.is_none()
+                && s.items.iter().all(
+                    |i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+                )
+        };
+        // ungrouped aggregates always return exactly one row
+        if agg_shape(s1) && agg_shape(s2) && q.limit != Some(0) && !s1.items.is_empty() {
+            return Certificate::Inequivalent("projection arity differs on single-row aggregates");
+        }
+        if observable_rows(s1, q)
+            && observable_rows(s2, q)
+            && reachable(s1, schema, cte_names, &assume)
+        {
+            return Certificate::Inequivalent("projection arity differs on a reachable select");
+        }
+        return Certificate::Unknown;
+    }
+    // same arity: find the differing positions
+    let diffs: Vec<usize> = (0..s1.items.len())
+        .filter(|i| s1.items[*i] != s2.items[*i])
+        .collect();
+    if diffs.len() != 1 {
+        return Certificate::Unknown;
+    }
+    let (i1, i2) = (&s1.items[diffs[0]], &s2.items[diffs[0]]);
+    let (SelectItem::Expr { expr: e1, .. }, SelectItem::Expr { expr: e2, .. }) = (i1, i2) else {
+        return Certificate::Unknown;
+    };
+    match (e1, e2) {
+        // two different plain columns whose values are not forced equal
+        (Expr::Column(a), Expr::Column(b)) => {
+            if !observable_rows(s1, q) || !reachable(s1, schema, cte_names, &assume) {
+                return Certificate::Unknown;
+            }
+            let Some(base) = row_constraints(s1) else {
+                return Certificate::Unknown;
+            };
+            if !subquery_free(&base) {
+                return Certificate::Unknown;
+            }
+            let differs =
+                Expr::Column(a.clone()).compare(CompareOp::NotEq, Expr::Column(b.clone()));
+            let mixed = conj(
+                to_dnf(&base, Polarity::IsTrue),
+                to_dnf(&differs, Polarity::IsTrue),
+            );
+            if any_constructive(&mixed, &assume).is_some() {
+                Certificate::Inequivalent("projected columns can hold different values")
+            } else {
+                Certificate::Unknown
+            }
+        }
+        // an aggregate function swap over the same argument
+        (
+            Expr::Function {
+                name: n1,
+                args: a1,
+                distinct: d1,
+            },
+            Expr::Function {
+                name: n2,
+                args: a2,
+                distinct: d2,
+            },
+        ) => aggregate_swap(s1, s2, q, schema, cte_names, (n1, a1, *d1), (n2, a2, *d2)),
+        _ => Certificate::Unknown,
+    }
+}
+
+/// `SUM↔AVG` / `MIN↔MAX` swaps: construct a group with two rows whose
+/// values force the aggregates apart.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_swap(
+    s1: &Select,
+    s2: &Select,
+    q: &Query,
+    schema: &Schema,
+    cte_names: &[String],
+    f1: (&str, &[Expr], bool),
+    f2: (&str, &[Expr], bool),
+) -> Certificate {
+    let (n1, args1, d1) = f1;
+    let (n2, args2, d2) = f2;
+    let (u1, u2) = (n1.to_ascii_uppercase(), n2.to_ascii_uppercase());
+    if u1 == u2
+        || d1
+        || d2
+        || args1 != args2
+        || !is_aggregate_name(&u1)
+        || !is_aggregate_name(&u2)
+        || !matches!(u1.as_str(), "SUM" | "AVG" | "MIN" | "MAX")
+        || !matches!(u2.as_str(), "SUM" | "AVG" | "MIN" | "MAX")
+    {
+        return Certificate::Unknown;
+    }
+    let [Expr::Column(arg)] = args1 else {
+        return Certificate::Unknown;
+    };
+    // grouping/filters that could hide the distinguishing group must be
+    // absent; the swap itself is the only aggregate difference
+    if s1.having.is_some()
+        || s2.having.is_some()
+        || s1.distinct
+        || s2.distinct
+        || s1.top.is_some()
+        || q.limit.is_some()
+    {
+        return Certificate::Unknown;
+    }
+    if s1.from.is_empty() || !base_tables_only(s1, schema, cte_names) {
+        return Certificate::Unknown;
+    }
+    let Some(constraints) = row_constraints(s1) else {
+        return Certificate::Unknown;
+    };
+    if !subquery_free(&constraints) {
+        return Certificate::Unknown;
+    }
+    let assume = select_assumptions_for(s1, schema, cte_names);
+    let dnf = to_dnf(&constraints, Polarity::IsTrue);
+    let key = col_key(arg);
+    for branch in &dnf {
+        // conviction needs must-exist rows: skip opaque or unrealizable
+        // branches
+        if branch
+            .iter()
+            .any(|a| matches!(a, crate::feasible::Atom::Opaque { .. }))
+        {
+            continue;
+        }
+        if let Some(mut model) = crate::feasible::solve_branch(branch, &assume) {
+            if !model.is_constructive() {
+                continue;
+            }
+            // SUM vs anything: two equal non-zero rows; others: two
+            // distinct values
+            let distinguishes = if u1 == "SUM" || u2 == "SUM" {
+                model.allows_nonzero(&key)
+            } else {
+                model.allows_two_values(&key)
+            };
+            if distinguishes {
+                return Certificate::Inequivalent(
+                    "a two-row group separates the swapped aggregates",
+                );
+            }
+        }
+    }
+    Certificate::Unknown
+}
+
+/// Join kind differs on an otherwise identical two-table join: an empty
+/// padded side distinguishes outer from inner joins.
+fn join_kind_differs(
+    s1: &Select,
+    s2: &Select,
+    schema: &Schema,
+    cte_names: &[String],
+    q: &Query,
+) -> Certificate {
+    if !observable_rows(s1, q) || !observable_rows(s2, q) {
+        return Certificate::Unknown;
+    }
+    if s1.from.len() != 1 || s2.from.len() != 1 {
+        return Certificate::Unknown;
+    }
+    let (
+        TableRef::Join {
+            left: l1,
+            right: r1,
+            kind: k1,
+            constraint: c1,
+        },
+        TableRef::Join {
+            left: l2,
+            right: r2,
+            kind: k2,
+            constraint: c2,
+        },
+    ) = (&s1.from[0], &s2.from[0])
+    else {
+        return Certificate::Unknown;
+    };
+    if l1 != l2 || r1 != r2 || c1 != c2 || k1 == k2 {
+        return Certificate::Unknown;
+    }
+    let (
+        TableRef::Named {
+            name: ln,
+            alias: la,
+        },
+        TableRef::Named {
+            name: rn,
+            alias: ra,
+        },
+    ) = (&**l1, &**r1)
+    else {
+        return Certificate::Unknown;
+    };
+    if !schema.has_table(ln)
+        || !schema.has_table(rn)
+        || cte_names
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(ln) || c.eq_ignore_ascii_case(rn))
+    {
+        return Certificate::Unknown;
+    }
+    // one side inner, the other padding the right (LEFT/FULL) or the left
+    // (RIGHT/FULL)
+    let pads_right = |k: JoinKind| matches!(k, JoinKind::Left | JoinKind::Full);
+    let pads_left = |k: JoinKind| matches!(k, JoinKind::Right | JoinKind::Full);
+    let (inner_kind, outer_kind) = if *k1 == JoinKind::Inner {
+        (*k1, *k2)
+    } else if *k2 == JoinKind::Inner {
+        (*k2, *k1)
+    } else {
+        return Certificate::Unknown;
+    };
+    let _ = inner_kind;
+    // pick the surviving side whose rows the WHERE must constrain
+    let survivor = if pads_right(outer_kind) {
+        la.as_deref().unwrap_or(ln)
+    } else if pads_left(outer_kind) {
+        ra.as_deref().unwrap_or(rn)
+    } else {
+        return Certificate::Unknown;
+    };
+    // WHERE must touch only the surviving side (all refs qualified by it),
+    // so a padded row passes it
+    let t = Expr::Literal(squ_parser::ast::Literal::Bool(true));
+    let w = s1.selection.as_ref().unwrap_or(&t);
+    if !subquery_free(w) || !refs_only(w, survivor) {
+        return Certificate::Unknown;
+    }
+    let assume = select_assumptions_for(s1, schema, cte_names);
+    if any_constructive(&to_dnf(w, Polarity::IsTrue), &assume).is_some() {
+        Certificate::Inequivalent("an empty padded side separates outer from inner join")
+    } else {
+        Certificate::Unknown
+    }
+}
+
+/// Every column reference is qualified by `binding`.
+fn refs_only(e: &Expr, binding: &str) -> bool {
+    let mut ok = true;
+    fn walk(e: &Expr, binding: &str, ok: &mut bool) {
+        if let Expr::Column(c) = e {
+            match &c.qualifier {
+                Some(q) if q.eq_ignore_ascii_case(binding) => {}
+                _ => *ok = false,
+            }
+        }
+        e.for_each_child(&mut |ch| walk(ch, binding, ok));
+    }
+    walk(e, binding, &mut ok);
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squ_parser::parse;
+    use squ_schema::SqlType;
+    use squ_schema::{Schema, Table};
+
+    fn schema() -> Schema {
+        Schema::new("test")
+            .with_table(Table::new(
+                "t",
+                100,
+                &[
+                    ("tid", SqlType::Int),
+                    ("v", SqlType::Int),
+                    ("s", SqlType::Text),
+                ],
+            ))
+            .with_table(Table::new(
+                "u",
+                50,
+                &[("uid", SqlType::Int), ("w", SqlType::Int)],
+            ))
+    }
+
+    fn q(sql: &str) -> squ_parser::ast::Query {
+        match parse(sql).expect("parse") {
+            squ_parser::Statement::Query(q) => q,
+            _ => panic!("not a query"),
+        }
+    }
+
+    fn cert(a: &str, b: &str) -> Certificate {
+        certify_pair(&q(a), &q(b), &schema())
+    }
+
+    fn is_equiv(c: Certificate) -> bool {
+        matches!(c, Certificate::Equivalent(_))
+    }
+
+    fn is_inequiv(c: Certificate) -> bool {
+        matches!(c, Certificate::Inequivalent(_))
+    }
+
+    #[test]
+    fn preserving_shapes_certify_equivalent() {
+        assert!(is_equiv(cert(
+            "SELECT v FROM t WHERE v > 1 AND s = 'a'",
+            "SELECT v FROM t WHERE s = 'a' AND v > 1"
+        )));
+        assert!(is_equiv(cert(
+            "SELECT v FROM t WHERE v BETWEEN 1 AND 5",
+            "SELECT v FROM t WHERE v >= 1 AND v <= 5"
+        )));
+        assert!(is_equiv(cert(
+            "SELECT v FROM t WHERE v IN (1, 2)",
+            "SELECT v FROM t WHERE v = 1 OR v = 2"
+        )));
+        assert!(is_equiv(cert(
+            "SELECT v FROM t WHERE v > 1 AND s = 'a'",
+            "SELECT v FROM t WHERE NOT (NOT (v > 1) OR NOT (s = 'a'))"
+        )));
+        assert!(is_equiv(cert(
+            "SELECT a.v FROM t AS a WHERE a.v > 1",
+            "SELECT b.v FROM t AS b WHERE b.v > 1"
+        )));
+        assert!(is_equiv(cert(
+            "SELECT v FROM t WHERE v > 1",
+            "WITH w AS (SELECT v FROM t WHERE v > 1) SELECT * FROM w"
+        )));
+    }
+
+    #[test]
+    fn value_change_convicts() {
+        assert!(is_inequiv(cert(
+            "SELECT v FROM t WHERE v > 5",
+            "SELECT v FROM t WHERE v > 300"
+        )));
+    }
+
+    #[test]
+    fn comparison_direction_convicts() {
+        assert!(is_inequiv(cert(
+            "SELECT v FROM t WHERE v > 5",
+            "SELECT v FROM t WHERE v < 5"
+        )));
+    }
+
+    #[test]
+    fn and_to_or_convicts() {
+        assert!(is_inequiv(cert(
+            "SELECT v FROM t WHERE v > 5 AND s = 'a'",
+            "SELECT v FROM t WHERE v > 5 OR s = 'a'"
+        )));
+    }
+
+    #[test]
+    fn where_drop_convicts_but_not_tautology_drop() {
+        assert!(is_inequiv(cert(
+            "SELECT v FROM t WHERE v > 5 AND s = 'a'",
+            "SELECT v FROM t WHERE v > 5"
+        )));
+        // dropping an always-true conjunct is NOT convictable
+        assert!(!is_inequiv(cert(
+            "SELECT v FROM t WHERE tid = tid AND v > 5",
+            "SELECT v FROM t WHERE v > 5"
+        )));
+    }
+
+    #[test]
+    fn distinct_toggle_convicts() {
+        assert!(is_inequiv(cert(
+            "SELECT v FROM t WHERE v > 5",
+            "SELECT DISTINCT v FROM t WHERE v > 5"
+        )));
+    }
+
+    #[test]
+    fn projection_drop_convicts() {
+        assert!(is_inequiv(cert(
+            "SELECT tid, v FROM t WHERE v > 5",
+            "SELECT tid FROM t WHERE v > 5"
+        )));
+    }
+
+    #[test]
+    fn aggregate_swap_convicts() {
+        assert!(is_inequiv(cert(
+            "SELECT AVG(v) FROM t",
+            "SELECT SUM(v) FROM t"
+        )));
+        assert!(is_inequiv(cert(
+            "SELECT MIN(v) FROM t WHERE v > 2",
+            "SELECT MAX(v) FROM t WHERE v > 2"
+        )));
+        // a pinned column makes MIN and MAX coincide: no conviction
+        assert!(!is_inequiv(cert(
+            "SELECT MIN(v) FROM t WHERE v = 5",
+            "SELECT MAX(v) FROM t WHERE v = 5"
+        )));
+    }
+
+    #[test]
+    fn join_kind_convicts() {
+        assert!(is_inequiv(cert(
+            "SELECT a.v FROM t AS a JOIN u AS b ON a.tid = b.uid WHERE a.v > 1",
+            "SELECT a.v FROM t AS a LEFT JOIN u AS b ON a.tid = b.uid WHERE a.v > 1"
+        )));
+        // WHERE touching the padded side blocks the conviction
+        assert!(!is_inequiv(cert(
+            "SELECT a.v FROM t AS a JOIN u AS b ON a.tid = b.uid WHERE b.w > 1",
+            "SELECT a.v FROM t AS a LEFT JOIN u AS b ON a.tid = b.uid WHERE b.w > 1"
+        )));
+    }
+
+    #[test]
+    fn subquery_forms_stay_unknown() {
+        // IN ↔ EXISTS rewrites are equivalent; the classifier must not
+        // convict them
+        let c = cert(
+            "SELECT v FROM t WHERE tid IN (SELECT uid FROM u)",
+            "SELECT v FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.uid = t.tid)",
+        );
+        assert!(!is_inequiv(c));
+    }
+
+    #[test]
+    fn equal_queries_with_unsat_wheres_do_not_convict() {
+        // both empty on every database: the classifier must not claim
+        // inequivalence just because the predicates differ
+        assert!(!is_inequiv(cert(
+            "SELECT v FROM t WHERE v > 5 AND v < 3",
+            "SELECT v FROM t WHERE v > 9 AND v < 7"
+        )));
+    }
+}

@@ -1,0 +1,36 @@
+//! squ-sema: abstract-interpretation semantic analyzer for bound SQL.
+//!
+//! The crate layers four modules:
+//!
+//! - [`feasible`] — a branch-satisfiability engine over a three-valued
+//!   (Kleene) logic: predicates lower to DNF over comparison/null atoms and
+//!   each branch is checked against per-equivalence-class interval, string,
+//!   and boolean domains. `never_true`/`always_true` answers of `true` are
+//!   proofs; `false` means "could not prove".
+//! - [`canon`] — a sound canonicalizer (alias renaming, `BETWEEN`/`IN`
+//!   expansion, negation push-down, conjunct sorting, wrapper inlining,
+//!   `TOP`→`LIMIT` folding) whose fixed point equates many syntactic
+//!   variants.
+//! - [`analyze`] — per-query dataflow producing [`analyze::Analysis`]:
+//!   provable emptiness, redundant conjuncts, row-count bounds, and
+//!   `SQU11x` findings for the linter.
+//! - [`certify`] — pair certification: canonical-form equality yields
+//!   equivalence certificates, guarded structural-difference patterns yield
+//!   inequivalence certificates, and everything else is `Unknown`.
+//!
+//! Every verdict is designed to be *execution-checked*: the fuzz oracle in
+//! `squ-fuzz` replays analyses and certificates against the reference
+//! engine on witness databases, so an unsound rule here is a hard fuzz
+//! failure, not a silent report skew.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod canon;
+pub mod certify;
+pub mod feasible;
+
+pub use analyze::{analyze_query, analyze_statement, Analysis, SemaFinding};
+pub use canon::canonicalize;
+pub use certify::{certify_pair, Certificate};
+pub use feasible::{always_true, any_satisfiable, never_true, to_dnf, Assumptions, Polarity};

@@ -24,6 +24,48 @@ pub struct Violation {
     pub detail: String,
 }
 
+/// Static-certification tallies from the `squ-sema` equivalence certifier,
+/// accumulated over every equivalence pair an audit touches. Deterministic
+/// for a given suite, merged across sections in canonical order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CertStats {
+    /// Equivalence pairs run through the certifier.
+    pub pairs: usize,
+    /// Pairs certified equivalent (canonical forms coincide).
+    pub certified_equivalent: usize,
+    /// Pairs certified inequivalent (a distinguishing witness provably
+    /// exists).
+    pub certified_inequivalent: usize,
+    /// Pairs the certifier left undecided.
+    pub certified_unknown: usize,
+    /// Pairs labeled non-equivalent by the dataset builder.
+    pub noneq_pairs: usize,
+    /// Non-equivalent-labeled pairs the certifier statically convicted —
+    /// inequivalence proven without executing either query.
+    pub noneq_convicted: usize,
+}
+
+impl CertStats {
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: &CertStats) {
+        self.pairs += other.pairs;
+        self.certified_equivalent += other.certified_equivalent;
+        self.certified_inequivalent += other.certified_inequivalent;
+        self.certified_unknown += other.certified_unknown;
+        self.noneq_pairs += other.noneq_pairs;
+        self.noneq_convicted += other.noneq_convicted;
+    }
+
+    /// Fraction of non-equivalent-labeled pairs statically convicted, in
+    /// percent (0 when no such pairs were seen).
+    pub fn conviction_rate(&self) -> f64 {
+        if self.noneq_pairs == 0 {
+            return 0.0;
+        }
+        100.0 * self.noneq_convicted as f64 / self.noneq_pairs as f64
+    }
+}
+
 /// Memoizing schema lookup: SQLShare/Spider resolve schemas by name from a
 /// zoo, so per-example lookups inside one audit section are cached.
 struct Schemas {
@@ -51,6 +93,8 @@ pub struct AuditCtx {
     pub hits: BTreeMap<String, usize>,
     /// Violations recorded so far, in check order.
     pub violations: Vec<Violation>,
+    /// Static equivalence-certification tallies.
+    pub certs: CertStats,
 }
 
 impl AuditCtx {
@@ -64,7 +108,13 @@ impl AuditCtx {
             checked: 0,
             hits: BTreeMap::new(),
             violations: Vec::new(),
+            certs: CertStats::default(),
         }
+    }
+
+    /// Resolve the named schema (memoized) for certifier calls.
+    pub fn schema(&mut self, name: &str) -> &squ_schema::Schema {
+        self.schemas.get(name)
     }
 
     /// Lint `sql` against the named schema and count rule hits; returns the

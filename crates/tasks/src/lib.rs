@@ -34,7 +34,7 @@ pub use syntax::{build_syntax_dataset, inject_error, SyntaxErrorType, SyntaxExam
 pub use token::{build_token_dataset, delete_token, TokenExample, TokenType};
 pub use transforms::{transform_catalog, TransformFn, TransformInfo, TransformKind};
 
-pub use audit::{AuditCtx, Violation};
+pub use audit::{AuditCtx, CertStats, Violation};
 pub use task::{
     EquivTask, ExplainTask, GroundTruth, PerfTask, SyntaxTask, Task, TaskId, TokenTask,
 };

@@ -433,6 +433,12 @@ impl Task for EquivTask {
 
     /// Both sides of every pair must lint clean; equivalent pairs must have
     /// identical resolution signatures, non-equivalent pairs must differ.
+    /// Every pair additionally runs through the `squ-sema` certifier, which
+    /// must never contradict the label: an equivalent pair statically
+    /// convicted, or a non-equivalent pair certified equivalent, is a
+    /// violation. Certifier tallies (including the fraction of
+    /// non-equivalence labels proven without execution) accumulate on the
+    /// context.
     fn audit(&self, w: Workload, examples: &[EquivExample], ctx: &mut AuditCtx) {
         let name = format!("equiv/{}", w.name());
         for ex in examples {
@@ -440,6 +446,7 @@ impl Task for EquivTask {
             let r2 = ctx.lint(&ex.sql2, &ex.schema_name);
             ctx.require_clean(&name, &ex.query_id, &r1, &ex.sql1);
             ctx.require_clean(&name, &ex.query_id, &r2, &ex.sql2);
+            certify_example(&name, ex, ctx);
             if ex.equivalent {
                 match (&r1.resolution, &r2.resolution) {
                     (Some(a), Some(b)) if a == b => {}
@@ -470,6 +477,62 @@ impl Task for EquivTask {
                 );
             }
         }
+    }
+}
+
+/// Run one equivalence pair through the static certifier, recording the
+/// tally and any label contradiction. Unparseable sides (never produced by
+/// the builder) simply count as undecided.
+fn certify_example(dataset: &str, ex: &EquivExample, ctx: &mut AuditCtx) {
+    use squ_sema::Certificate;
+
+    ctx.certs.pairs += 1;
+    if !ex.equivalent {
+        ctx.certs.noneq_pairs += 1;
+    }
+    let (Ok(q1), Ok(q2)) = (
+        squ_parser::parse_query(&ex.sql1),
+        squ_parser::parse_query(&ex.sql2),
+    ) else {
+        ctx.certs.certified_unknown += 1;
+        return;
+    };
+    let cert = {
+        let schema = ctx.schema(&ex.schema_name);
+        squ_sema::certify_pair(&q1, &q2, schema)
+    };
+    match cert {
+        Certificate::Equivalent(reason) => {
+            ctx.certs.certified_equivalent += 1;
+            if !ex.equivalent {
+                ctx.violation(
+                    dataset,
+                    &ex.query_id,
+                    "non-equivalent-not-certified-equivalent",
+                    format!(
+                        "{} pair is labeled non-equivalent but certified equivalent ({reason})",
+                        ex.transform
+                    ),
+                );
+            }
+        }
+        Certificate::Inequivalent(reason) => {
+            ctx.certs.certified_inequivalent += 1;
+            if ex.equivalent {
+                ctx.violation(
+                    dataset,
+                    &ex.query_id,
+                    "equivalent-not-statically-convicted",
+                    format!(
+                        "{} pair is labeled equivalent but statically convicted ({reason})",
+                        ex.transform
+                    ),
+                );
+            } else {
+                ctx.certs.noneq_convicted += 1;
+            }
+        }
+        Certificate::Unknown => ctx.certs.certified_unknown += 1,
     }
 }
 

@@ -12,6 +12,13 @@
 //! and engine counters land in `target/repro/timings.json`, and any
 //! compiled-vs-reference divergence fails the task.
 //!
+//! `sema-smoke` — exercise the `squ-sema` semantic analyzer end to end:
+//! `repro --audit` (the static equivalence certifier must convict its
+//! non-equivalence floor with zero label contradictions) followed by a
+//! seeded fuzz run whose sema oracle cross-checks every analyzer claim
+//! against execution. Both reports land in `target/repro/` for CI's
+//! artifact upload; any violation exits non-zero.
+//!
 //! The benchmark's library crates must not abort on malformed input: the
 //! whole point of the analyzer stack is to turn bad SQL into diagnostics.
 //! This pass scans every `crates/*/src` library file (binaries, `main.rs`,
@@ -27,6 +34,12 @@
 //! the duplicated per-task drivers the [`DynTask`] registry replaced. Only
 //! `crates/core/src/registry.rs` — the one designated enumeration point —
 //! is exempt.
+//!
+//! The third rule keeps the diagnostic-code documentation in sync: every
+//! `SQUxxx` code registered in `crates/lint/src/rules.rs::REGISTRY` must
+//! have a row in DESIGN.md's diagnostic-code table, and every code the
+//! table documents must exist in the registry. A code added on one side
+//! only fails `lint` (and therefore CI).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -108,7 +121,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("lint") => {
             let root = repo_root();
-            let findings = lint_repo(&root);
+            let mut findings = lint_repo(&root);
+            findings.extend(doc_sync(&root));
             if findings.is_empty() {
                 println!("xtask lint: clean");
             } else {
@@ -131,12 +145,18 @@ fn main() {
             let status = perf_smoke(&repo_root());
             std::process::exit(status);
         }
+        Some("sema-smoke") => {
+            let status = sema_smoke(&repo_root());
+            std::process::exit(status);
+        }
         Some(other) => {
-            eprintln!("unknown task {other:?} (available: lint, fuzz-smoke, perf-smoke)");
+            eprintln!(
+                "unknown task {other:?} (available: lint, fuzz-smoke, perf-smoke, sema-smoke)"
+            );
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- <lint|fuzz-smoke|perf-smoke>");
+            eprintln!("usage: cargo run -p xtask -- <lint|fuzz-smoke|perf-smoke|sema-smoke>");
             std::process::exit(2);
         }
     }
@@ -171,6 +191,39 @@ fn perf_smoke(root: &Path) -> i32 {
         PERF_SMOKE_CASES,
         &["--jobs", "1", "--timings"],
     )
+}
+
+/// Fuzz-case budget for the sema smoke: every case runs the sema oracle
+/// (emptiness / redundancy / bound claims re-checked by execution,
+/// certificates checked against the metamorphic verdict).
+const SEMA_SMOKE_CASES: &str = "200";
+
+/// Exercise the semantic analyzer end to end: the audit's static
+/// certifier first (`repro --audit` exits non-zero on any label
+/// contradiction), then a seeded fuzz run with the sema oracle active.
+fn sema_smoke(root: &Path) -> i32 {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "squ-bench",
+            "--bin",
+            "repro",
+            "--",
+            "--audit",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => return s.code().unwrap_or(1), // lint:allow: cli tool
+        Err(e) => {
+            eprintln!("sema-smoke: failed to launch cargo: {e}");
+            return 1;
+        }
+    }
+    run_repro_fuzz(root, "sema-smoke", SEMA_SMOKE_CASES, &["--timings"])
 }
 
 /// Launch `repro --fuzz <cases> --fuzz-seed 7 [extra…]`; returns the exit
@@ -257,6 +310,78 @@ fn lint_repo(root: &Path) -> Vec<String> {
         }
     }
     findings
+}
+
+/// Diagnostic-code documentation sync: the `SQUxxx` codes registered in
+/// `crates/lint/src/rules.rs::REGISTRY` and the rows of DESIGN.md's
+/// diagnostic-code table must list exactly the same codes, in both
+/// directions. Returns one rendered finding per out-of-sync code.
+fn doc_sync(root: &Path) -> Vec<String> {
+    let rules_path = root.join("crates/lint/src/rules.rs");
+    let design_path = root.join("DESIGN.md");
+    let rules = std::fs::read_to_string(&rules_path).expect("read rules.rs"); // lint:allow: cli tool
+    let design = std::fs::read_to_string(&design_path).expect("read DESIGN.md"); // lint:allow: cli tool
+    let registry = registry_codes(&rules);
+    let documented = design_codes(&design);
+    let mut findings = Vec::new();
+    for code in &registry {
+        if !documented.contains(code) {
+            findings.push(format!(
+                "DESIGN.md: code `{code}` is in crates/lint/src/rules.rs::REGISTRY \
+                 but missing from the diagnostic-code table"
+            ));
+        }
+    }
+    for code in &documented {
+        if !registry.contains(code) {
+            findings.push(format!(
+                "DESIGN.md: code `{code}` is documented in the diagnostic-code table \
+                 but not registered in crates/lint/src/rules.rs::REGISTRY"
+            ));
+        }
+    }
+    findings
+}
+
+/// Extract the `SQUxxx` codes of every `RuleInfo` in the registry source:
+/// `code: "SQUxxx"` fields between the `REGISTRY` declaration and its
+/// closing `];`.
+fn registry_codes(rules_src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_registry = false;
+    for line in rules_src.lines() {
+        if line.contains("REGISTRY") && line.contains("&[RuleInfo]") {
+            in_registry = true;
+            continue;
+        }
+        if !in_registry {
+            continue;
+        }
+        if line.trim_start().starts_with("];") {
+            break;
+        }
+        if let Some(rest) = line.trim_start().strip_prefix("code: \"") {
+            if let Some(code) = rest.split('"').next() {
+                out.push(code.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Extract the codes documented in DESIGN.md's diagnostic-code table:
+/// rows of the form `` | `SQUxxx` | … `` anywhere in the document.
+fn design_codes(design_src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in design_src.lines() {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("| `SQU") {
+            if let Some(digits) = rest.split('`').next() {
+                out.push(format!("SQU{digits}"));
+            }
+        }
+    }
+    out
 }
 
 /// Scan one core-crate source text for `match` blocks whose raw text
@@ -597,5 +722,52 @@ mod tests {
         // `.matches(` and identifiers containing "match" never open a block
         let text = "fn f(s: &str) { let n = s.matches('x').count(); let rematch = 1; }\n";
         assert!(scan_task_matches(text).is_empty());
+    }
+
+    #[test]
+    fn registry_codes_extract_only_registry_fields() {
+        let src = "pub const REGISTRY: &[RuleInfo] = &[\n    RuleInfo {\n        code: \"SQU001\",\n    },\n    RuleInfo {\n        code: \"SQU110\",\n    },\n];\n// elsewhere: code: \"SQU999\" must not count\n";
+        assert_eq!(registry_codes(src), vec!["SQU001", "SQU110"]);
+    }
+
+    #[test]
+    fn design_codes_extract_table_rows() {
+        let src = "| Code | Severity |\n|---|---|\n| `SQU001` | error |\n| `SQU110` | warning |\nprose mentioning `SQU555` is not a row\n";
+        assert_eq!(design_codes(src), vec!["SQU001", "SQU110"]);
+    }
+
+    /// The registry and DESIGN.md's code table are in sync right now —
+    /// the same check `cargo run -p xtask -- lint` (and therefore CI)
+    /// enforces.
+    #[test]
+    fn doc_sync_holds_in_this_repo() {
+        let findings = doc_sync(&repo_root());
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    /// Regression pin for the panic ban's coverage: the fuzz, lint, and
+    /// sema library crates are scanned (non-empty file sets) and are
+    /// currently clean. Un-waived `.unwrap()` creeping into any of them
+    /// fails here and in `xtask lint`.
+    #[test]
+    fn ban_covers_fuzz_lint_and_sema_library_code() {
+        let root = repo_root();
+        for krate in ["fuzz", "lint", "sema"] {
+            let mut files = Vec::new();
+            collect_library_sources(&root.join("crates").join(krate).join("src"), &mut files);
+            assert!(
+                !files.is_empty(),
+                "no library sources collected under crates/{krate}/src"
+            );
+            for file in files {
+                let text = std::fs::read_to_string(&file).expect("source file readable");
+                let hits = scan_source(&text);
+                assert!(
+                    hits.is_empty(),
+                    "banned call in {}: {hits:?}",
+                    file.display()
+                );
+            }
+        }
     }
 }
