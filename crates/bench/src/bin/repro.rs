@@ -11,6 +11,9 @@
 //! repro --fault-seed 7     # reseed the fault injector (default 0)
 //! repro --fuzz 500         # run 500 differential/metamorphic fuzz cases
 //! repro --fuzz 500 --fuzz-seed 7          # reseed the fuzz generator (default 0)
+//! repro --serve 127.0.0.1:0               # serve /eval /suite /healthz /statz
+//! repro --serve ADDR --serve-store DIR    # serve over an explicit store root
+//! repro --serve ADDR --serve-inflight 4   # cap concurrent evaluations
 //! repro --seed 7           # different master seed
 //! repro --jobs 4           # worker threads (default: all cores, 1 = sequential)
 //! repro --resume           # reuse fingerprint-matched stages from target/repro/store
@@ -71,6 +74,12 @@ struct Opts {
     fuzz: Option<u64>,
     /// Seed for the fuzz generator (independent of the suite seed).
     fuzz_seed: u64,
+    /// Bind address for server mode (`--serve`); port 0 is ephemeral.
+    serve: Option<String>,
+    /// Store root for server mode (default `target/repro/store`).
+    serve_store: Option<String>,
+    /// In-flight evaluation cap for server mode (default 8).
+    serve_inflight: Option<usize>,
     seed: u64,
     /// Worker threads; `None` means all available cores.
     jobs: Option<usize>,
@@ -94,6 +103,9 @@ impl Default for Opts {
             fault_gate: None,
             fuzz: None,
             fuzz_seed: 0,
+            serve: None,
+            serve_store: None,
+            serve_inflight: None,
             seed: PAPER_SEED,
             jobs: None,
             resume: false,
@@ -192,6 +204,29 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.fuzz = Some(n);
                 i += 1;
             }
+            "--serve" => {
+                opts.serve = Some(
+                    value_of(args, i)
+                        .ok_or_else(|| "--serve needs a bind address (host:port)".to_string())?,
+                );
+                i += 1;
+            }
+            "--serve-store" => {
+                opts.serve_store = Some(
+                    value_of(args, i)
+                        .ok_or_else(|| "--serve-store needs a directory".to_string())?,
+                );
+                i += 1;
+            }
+            "--serve-inflight" => {
+                let raw = value_of(args, i)
+                    .ok_or_else(|| "--serve-inflight needs an integer".to_string())?;
+                opts.serve_inflight = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--serve-inflight needs an integer, got {raw:?}"))?,
+                );
+                i += 1;
+            }
             "--fuzz-seed" => {
                 let raw =
                     value_of(args, i).ok_or_else(|| "--fuzz-seed needs an integer".to_string())?;
@@ -248,6 +283,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     if opts.only.is_some() {
         modes.push("--only");
     }
+    if opts.serve.is_some() {
+        modes.push("--serve");
+    }
     if modes.len() > 1 {
         return Err(format!(
             "conflicting flags: {} select different modes; pick one",
@@ -266,6 +304,13 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if was_given("--fuzz-seed") && opts.fuzz.is_none() {
         return Err("--fuzz-seed requires --fuzz".to_string());
+    }
+    if opts.serve.is_none() {
+        for dep in ["--serve-store", "--serve-inflight"] {
+            if was_given(dep) {
+                return Err(format!("{dep} requires --serve"));
+            }
+        }
     }
 
     Ok(opts)
@@ -297,6 +342,35 @@ fn main() {
         }
         for id in AblationId::ALL {
             println!("{}", id.slug());
+        }
+        return;
+    }
+
+    // Server mode: stand up the evaluation service and never return.
+    // The bound address is printed to stdout (and flushed) first, so a
+    // harness binding port 0 can discover the real port.
+    if let Some(addr) = &opts.serve {
+        use std::io::Write as _;
+        let config = squ_serve::ServerConfig {
+            store_root: opts
+                .serve_store
+                .clone()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("target/repro/store")),
+            max_in_flight: opts
+                .serve_inflight
+                .unwrap_or(squ_serve::ServerConfig::default().max_in_flight),
+            ..squ_serve::ServerConfig::default()
+        };
+        let server = squ_serve::Server::bind(addr, config)
+            .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+        let bound = server
+            .local_addr()
+            .unwrap_or_else(|e| die(&format!("cannot read bound address: {e}")));
+        println!("serving on {bound}");
+        std::io::stdout().flush().expect("flush bound address");
+        if let Err(e) = server.run() {
+            die(&format!("server failed: {e}"));
         }
         return;
     }
@@ -816,6 +890,38 @@ mod tests {
         assert!(parse_args(&argv(&["--fuzz", "0"])).is_err());
         assert!(parse_args(&argv(&["--fuzz", "abc"])).is_err());
         assert!(parse_args(&argv(&["--fuzz-seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        let opts = parse_args(&argv(&["--serve", "127.0.0.1:0"])).unwrap();
+        assert_eq!(opts.serve.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.serve_store, None);
+        assert_eq!(opts.serve_inflight, None);
+        let opts = parse_args(&argv(&[
+            "--serve",
+            "127.0.0.1:8080",
+            "--serve-store",
+            "/tmp/store",
+            "--serve-inflight",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.serve_store.as_deref(), Some("/tmp/store"));
+        assert_eq!(opts.serve_inflight, Some(4));
+        // value validation and parent requirements
+        assert!(parse_args(&argv(&["--serve"])).is_err());
+        assert!(parse_args(&argv(&["--serve", "a", "--serve-inflight", "x"])).is_err());
+        for dep in [
+            &["--serve-store", "/tmp/x"][..],
+            &["--serve-inflight", "4"][..],
+        ] {
+            let err = parse_args(&argv(dep)).unwrap_err();
+            assert!(err.contains("--serve"), "{dep:?}: {err}");
+        }
+        // --serve is a mode: it conflicts with the others
+        let err = parse_args(&argv(&["--serve", "a", "--audit"])).unwrap_err();
+        assert!(err.contains("conflicting flags"), "{err}");
     }
 
     #[test]

@@ -26,7 +26,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Bump to invalidate every stored entry (file-format changes).
-const STORE_FORMAT: u32 = 1;
+/// Format 2: fingerprint parts carry one-byte type tags (see
+/// [`Fingerprint::push`]), so entries keyed by untagged format-1 prints
+/// self-invalidate.
+const STORE_FORMAT: u32 = 2;
 /// Version tag of the workload samplers.
 const WORKLOAD_VERSION: u32 = 1;
 /// Version tag of the paper-artifact experiments.
@@ -68,9 +71,16 @@ fn payload_hash(payload: &str) -> u64 {
     h.finish()
 }
 
-/// Fingerprint builder: feeds length-delimited parts into FNV-1a so
-/// `("ab","c")` and `("a","bc")` hash differently.
+/// Fingerprint builder: feeds type-tagged, length-delimited parts into
+/// FNV-1a so `("ab","c")` and `("a","bc")` hash differently — and so do
+/// parts of different *types*. Without the tags `push("")` and `num(0)`
+/// fed identical bytes, as did any 8-byte string vs. a `num` pair.
 pub struct Fingerprint(Fnv);
+
+/// Type tag preceding every string part.
+const PART_STR: u8 = 1;
+/// Type tag preceding every integer part.
+const PART_NUM: u8 = 2;
 
 impl Fingerprint {
     /// Start a fingerprint for one stage kind.
@@ -83,6 +93,7 @@ impl Fingerprint {
 
     /// Mix in one string part.
     pub fn push(&mut self, part: &str) -> &mut Self {
+        self.0.write(&[PART_STR]);
         self.0.write(&(part.len() as u64).to_le_bytes());
         self.0.write(part.as_bytes());
         self
@@ -90,6 +101,7 @@ impl Fingerprint {
 
     /// Mix in one integer part (seeds, version tags, upstream prints).
     pub fn num(&mut self, n: u64) -> &mut Self {
+        self.0.write(&[PART_NUM]);
         self.0.write(&n.to_le_bytes());
         self
     }
@@ -209,6 +221,33 @@ struct Header {
     bytes: u64,
 }
 
+/// Write `contents` to `path` atomically: a uniquely named tempfile in
+/// the same directory, then `rename` into place. A concurrent reader —
+/// two `repro` processes, or two server requests sharing the store as a
+/// hot cache — sees either the previous entry or the complete new one,
+/// never a torn prefix that would demote to a miss and trigger a rebuild
+/// storm.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let dir = path.parent().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "entry path has no parent")
+    })?;
+    fs::create_dir_all(dir)?;
+    // pid + process-wide sequence keep concurrent writers (threads or
+    // processes) on distinct temp names; rename is what makes the final
+    // path atomic, the name only avoids temp-file collisions
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+    let tmp = dir.join(format!(".{file_name}.{}-{seq}.tmp", std::process::id()));
+    fs::write(&tmp, contents)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
 /// The on-disk artifact store.
 pub struct Store {
     root: PathBuf,
@@ -277,12 +316,7 @@ impl Store {
         };
         let header_line = serde_json::to_string(&header).expect("store header serializes"); // lint:allow: plain data structs always serialize
         let path = self.entry_path(stage, name, fp);
-        let written = path
-            .parent()
-            .map(fs::create_dir_all)
-            .transpose()
-            .and_then(|_| fs::write(&path, format!("{header_line}\n{payload}")));
-        if let Err(e) = written {
+        if let Err(e) = write_atomic(&path, &format!("{header_line}\n{payload}")) {
             // The store is a cache: failing to persist must never fail the
             // run, but the user should know resume won't help next time.
             eprintln!(
@@ -381,6 +415,85 @@ mod tests {
         );
         assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "heavy", 0));
         assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "none", 1));
+    }
+
+    #[test]
+    fn part_types_are_disambiguated() {
+        // the format-1 collisions, pinned fixed: an empty string part vs a
+        // zero integer part...
+        assert_ne!(
+            Fingerprint::new("t").push("").finish(),
+            Fingerprint::new("t").num(0).finish()
+        );
+        // ...and any 8-byte string vs the (len, value) pair of a num
+        let s = "ABCDEFGH";
+        let as_num = u64::from_le_bytes(*b"ABCDEFGH");
+        assert_ne!(
+            Fingerprint::new("t").push(s).finish(),
+            Fingerprint::new("t").num(8).num(as_num).finish()
+        );
+        // adjacent-part boundaries still matter
+        assert_ne!(
+            Fingerprint::new("t").push("ab").push("c").finish(),
+            Fingerprint::new("t").push("a").push("bc").finish()
+        );
+        // tagging is deterministic
+        assert_eq!(
+            Fingerprint::new("t").push("x").num(3).finish(),
+            Fingerprint::new("t").push("x").num(3).finish()
+        );
+    }
+
+    #[test]
+    fn concurrent_writer_never_tears_a_reader() {
+        // One key hammered from a writer thread while a reader polls it:
+        // with atomic tempfile+rename writes every load observes a
+        // complete entry (old or new), so after the first save lands the
+        // reader must never see a miss. Payload sizes differ wildly so a
+        // torn write would fail the header's byte/hash check.
+        let root = std::env::temp_dir().join(format!(
+            "squ-store-stress-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&root).ok();
+        let small = "s".repeat(8);
+        let large = "L".repeat(64 * 1024);
+        {
+            let mut w = Store::open(&root);
+            w.save("artifact", "hot", 99, &small);
+        }
+        const ROUNDS: usize = 300;
+        std::thread::scope(|scope| {
+            let (root_w, small_w, large_w) = (&root, &small, &large);
+            scope.spawn(move || {
+                let mut w = Store::open(root_w);
+                for i in 0..ROUNDS {
+                    let payload = if i % 2 == 0 { large_w } else { small_w };
+                    w.save("artifact", "hot", 99, payload);
+                }
+            });
+            let reader = scope.spawn(move || {
+                let mut r = Store::open(root_w);
+                let mut hits = 0;
+                for _ in 0..ROUNDS {
+                    match r.load("artifact", "hot", 99) {
+                        Some(p) => {
+                            assert!(
+                                p == *small_w || p == *large_w,
+                                "torn or foreign payload ({} bytes)",
+                                p.len()
+                            );
+                            hits += 1;
+                        }
+                        None => panic!("reader saw a miss: torn store write"),
+                    }
+                }
+                hits
+            });
+            assert_eq!(reader.join().expect("reader thread"), ROUNDS);
+        });
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]

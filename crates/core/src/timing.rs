@@ -1,15 +1,24 @@
 //! Lightweight wall-clock phase timing.
 //!
-//! A process-global span registry: any layer can wrap work in
-//! [`time`] (or [`record`] a measured duration), and the driver decides at
-//! the end whether to [`drain`] the spans into a human-readable report
-//! ([`report`]) and machine-readable JSON ([`to_json`]). When nothing
-//! drains the registry the overhead is one mutex push per span.
+//! Spans and counters accumulate in a [`TimingSession`]: any layer can
+//! wrap work in [`TimingSession::time`] (or [`TimingSession::record`] a
+//! measured duration), and the owner decides at the end whether to
+//! [`TimingSession::drain`] the spans into a human-readable report
+//! ([`report`]) and machine-readable JSON ([`to_json`]).
+//!
+//! The module-level [`record`] / [`time`] / [`count`] / [`drain`]
+//! functions delegate to one process-global **default session** — the
+//! CLI path, where exactly one run owns the process and drains once at
+//! exit. Concurrent owners (the evaluation server, tests running in
+//! parallel) must *not* share that default: `drain` is destructive, so
+//! one request's drain would steal another's spans. Each owner holds its
+//! own `TimingSession` instead and drains only what it recorded.
 //!
 //! Span names are dotted paths (`suite.task.equiv.sdss`) so reports group
 //! naturally when sorted.
 
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -32,59 +41,104 @@ pub struct Counter {
     pub value: u64,
 }
 
-fn registry() -> &'static Mutex<Vec<Span>> {
-    static SPANS: OnceLock<Mutex<Vec<Span>>> = OnceLock::new();
-    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+/// A scoped span/counter registry.
+///
+/// Each concurrent owner — a server request, a test, a background job —
+/// holds its own session, so recording and draining never interleave
+/// across owners. The CLI path uses the process-global default session
+/// through the module-level free functions, which keeps its single-run
+/// `timings.json` byte-identical to the pre-session format.
+#[derive(Debug, Default)]
+pub struct TimingSession {
+    spans: Mutex<Vec<Span>>,
+    counters: Mutex<BTreeMap<String, u64>>,
 }
 
-fn counter_registry() -> &'static Mutex<Vec<Counter>> {
-    static COUNTERS: OnceLock<Mutex<Vec<Counter>>> = OnceLock::new();
-    COUNTERS.get_or_init(|| Mutex::new(Vec::new()))
-}
+impl TimingSession {
+    /// An empty session.
+    pub fn new() -> TimingSession {
+        TimingSession::default()
+    }
 
-/// Record an already-measured duration under `name`.
-pub fn record(name: &str, elapsed: Duration) {
-    let mut spans = registry().lock().expect("timing registry lock"); // lint:allow: poisoned only if a worker already panicked
-    spans.push(Span {
-        name: name.to_string(),
-        ms: elapsed.as_secs_f64() * 1e3,
-    });
-}
-
-/// Run `f`, recording its wall-clock time under `name`.
-pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
-    let start = Instant::now();
-    let out = f();
-    record(name, start.elapsed());
-    out
-}
-
-/// Add `value` to the counter named `name` (created at zero on first use).
-pub fn count(name: &str, value: u64) {
-    let mut counters = counter_registry().lock().expect("timing counter lock"); // lint:allow: poisoned only if a worker already panicked
-    match counters.iter_mut().find(|c| c.name == name) {
-        Some(c) => c.value += value,
-        None => counters.push(Counter {
+    /// Record an already-measured duration under `name`.
+    pub fn record(&self, name: &str, elapsed: Duration) {
+        let mut spans = self.spans.lock().expect("timing registry lock"); // lint:allow: poisoned only if a worker already panicked
+        spans.push(Span {
             name: name.to_string(),
-            value,
-        }),
+            ms: elapsed.as_secs_f64() * 1e3,
+        });
+    }
+
+    /// Run `f`, recording its wall-clock time under `name`.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Add `value` to the counter named `name` (created at zero on first
+    /// use). Counters live in a `BTreeMap`, so accumulation is O(log n)
+    /// in the number of distinct counters and draining is already sorted.
+    pub fn count(&self, name: &str, value: u64) {
+        let mut counters = self.counters.lock().expect("timing counter lock"); // lint:allow: poisoned only if a worker already panicked
+        match counters.get_mut(name) {
+            Some(v) => *v += value,
+            None => {
+                counters.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Take all recorded counters, sorted by name.
+    pub fn drain_counters(&self) -> Vec<Counter> {
+        let counters = std::mem::take(&mut *self.counters.lock().expect("timing counter lock")); // lint:allow: poisoned only if a worker already panicked
+        counters
+            .into_iter()
+            .map(|(name, value)| Counter { name, value })
+            .collect()
+    }
+
+    /// Take all recorded spans, sorted by name (ties keep record order).
+    /// Sorting makes the report stable however threads interleaved.
+    pub fn drain(&self) -> Vec<Span> {
+        let mut spans = std::mem::take(&mut *self.spans.lock().expect("timing registry lock")); // lint:allow: poisoned only if a worker already panicked
+        spans.sort_by(|a, b| a.name.cmp(&b.name));
+        spans
     }
 }
 
-/// Take all recorded counters, sorted by name.
-pub fn drain_counters() -> Vec<Counter> {
-    let mut counters =
-        std::mem::take(&mut *counter_registry().lock().expect("timing counter lock")); // lint:allow: poisoned only if a worker already panicked
-    counters.sort_by(|a, b| a.name.cmp(&b.name));
-    counters
+/// The process-global default session behind the module-level functions.
+/// Exactly one logical run (the CLI) should drain it; concurrent owners
+/// create their own [`TimingSession`].
+pub fn default_session() -> &'static TimingSession {
+    static DEFAULT: OnceLock<TimingSession> = OnceLock::new();
+    DEFAULT.get_or_init(TimingSession::new)
 }
 
-/// Take all recorded spans, sorted by name (ties keep record order).
-/// Sorting makes the report stable however threads interleaved.
+/// Record an already-measured duration under `name` (default session).
+pub fn record(name: &str, elapsed: Duration) {
+    default_session().record(name, elapsed);
+}
+
+/// Run `f`, recording its wall-clock time under `name` (default session).
+pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    default_session().time(name, f)
+}
+
+/// Add `value` to the counter named `name` (default session).
+pub fn count(name: &str, value: u64) {
+    default_session().count(name, value);
+}
+
+/// Take the default session's counters, sorted by name.
+pub fn drain_counters() -> Vec<Counter> {
+    default_session().drain_counters()
+}
+
+/// Take the default session's spans, sorted by name.
 pub fn drain() -> Vec<Span> {
-    let mut spans = std::mem::take(&mut *registry().lock().expect("timing registry lock")); // lint:allow: poisoned only if a worker already panicked
-    spans.sort_by(|a, b| a.name.cmp(&b.name));
-    spans
+    default_session().drain()
 }
 
 /// Render spans as an aligned plain-text table.
@@ -171,6 +225,64 @@ mod tests {
         assert!(doc["total_ms"].as_f64().unwrap() >= 1500.0);
         assert_eq!(doc["counters"][0]["name"], "fuzz.engine.rows_scanned");
         assert_eq!(doc["counters"][0]["value"], 42u64);
+    }
+
+    #[test]
+    fn sessions_are_isolated_from_each_other_and_the_default() {
+        let a = TimingSession::new();
+        let b = TimingSession::new();
+        a.record("session.a", Duration::from_millis(1));
+        a.count("session.a.counter", 2);
+        b.record("session.b", Duration::from_millis(1));
+        time("session.global", || ());
+        // draining one session never steals another's spans
+        let a_spans = a.drain();
+        assert_eq!(a_spans.len(), 1);
+        assert_eq!(a_spans[0].name, "session.a");
+        assert_eq!(a.drain_counters().len(), 1);
+        let b_spans = b.drain();
+        assert_eq!(b_spans.len(), 1);
+        assert_eq!(b_spans[0].name, "session.b");
+        // ... and the default session still holds the global span
+        let global: Vec<Span> = drain()
+            .into_iter()
+            .filter(|s| s.name.starts_with("session."))
+            .collect();
+        assert_eq!(global.len(), 1);
+        assert_eq!(global[0].name, "session.global");
+        // a drained session is empty, not poisoned
+        assert!(a.drain().is_empty());
+        assert!(a.drain_counters().is_empty());
+    }
+
+    #[test]
+    fn concurrent_session_drains_do_not_interleave() {
+        // two owners record + drain in parallel; each must get exactly
+        // its own spans back — the bug class the global drain had
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|owner| {
+                    scope.spawn(move || {
+                        let session = TimingSession::new();
+                        for i in 0..50 {
+                            session.record(&format!("owner{owner}.span{i}"), Duration::ZERO);
+                            session.count(&format!("owner{owner}.counter"), 1);
+                        }
+                        let spans = session.drain();
+                        let counters = session.drain_counters();
+                        (owner, spans, counters)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (owner, spans, counters) = h.join().expect("session thread");
+                assert_eq!(spans.len(), 50);
+                let prefix = format!("owner{owner}.");
+                assert!(spans.iter().all(|s| s.name.starts_with(&prefix)));
+                assert_eq!(counters.len(), 1);
+                assert_eq!(counters[0].value, 50);
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Wire-level fault injection: the `Transport` fault model pointed at
+//! the server's front door.
+//!
+//! `squ_llm::FaultProfile` describes how a flaky model-API connection
+//! misbehaves; [`WireFaultClient`] reuses those probabilities one layer
+//! down, mapping each fault kind onto an HTTP-level misbehavior:
+//!
+//! | model-transport fault | wire behavior                               |
+//! |-----------------------|---------------------------------------------|
+//! | `Truncation`          | request cut off mid-bytes, socket closed    |
+//! | `Garble`              | request head corrupted before sending       |
+//! | `Refusal`             | bogus method token (`bogus!`)               |
+//! | `Duplication`         | request pipelined twice on one connection   |
+//! | `Unavailable`         | connect, then drop without sending a byte   |
+//! | `LatencySpike`        | head and body written with a stall between  |
+//! | `Echo`                | an unknown path is requested (`/echo/...`)  |
+//!
+//! Fault selection is deterministic per `(seed, profile, index)`, so a
+//! soak run is replayable. The server's obligation under every one of
+//! these: a structured 4xx or a quiet disconnect — never a panic, never
+//! a 5xx, never unbounded memory.
+
+use crate::client::read_response;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use squ_llm::{FaultKind, FaultProfile};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// What one faulted exchange did, from the client's side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// The server answered; statuses in exchange order (duplication
+    /// yields two).
+    Responses(Vec<u16>),
+    /// The client aborted by design (named fault); no response read.
+    Aborted(&'static str),
+    /// Transport error talking to the server (it may have hung up on a
+    /// malformed request before our write finished — that is graceful
+    /// degradation, not a server failure).
+    NoResponse,
+}
+
+/// Tallies across a soak run.
+#[derive(Debug, Default, Clone)]
+pub struct WireReport {
+    /// Exchanges fired.
+    pub requests: u64,
+    /// Exchanges that carried an injected fault.
+    pub faulted: u64,
+    /// 2xx responses observed.
+    pub ok: u64,
+    /// 4xx responses observed (the server defending itself).
+    pub rejected: u64,
+    /// 5xx responses observed — the soak asserts this stays 0.
+    pub server_errors: u64,
+    /// Exchanges with no readable response (aborts + disconnects).
+    pub silent: u64,
+    /// Injected fault counts by kind name.
+    pub by_kind: BTreeMap<String, u64>,
+}
+
+impl WireReport {
+    /// Fold one outcome into the tallies.
+    pub fn observe(&mut self, injected: Option<FaultKind>, outcome: &WireOutcome) {
+        self.requests += 1;
+        if let Some(kind) = injected {
+            self.faulted += 1;
+            *self.by_kind.entry(kind.name().to_string()).or_insert(0) += 1;
+        }
+        match outcome {
+            WireOutcome::Responses(statuses) => {
+                for s in statuses {
+                    match s {
+                        200..=299 => self.ok += 1,
+                        500..=599 => self.server_errors += 1,
+                        _ => self.rejected += 1,
+                    }
+                }
+                if statuses.is_empty() {
+                    self.silent += 1;
+                }
+            }
+            WireOutcome::Aborted(_) | WireOutcome::NoResponse => self.silent += 1,
+        }
+    }
+}
+
+/// A deterministic wire-fault load client.
+pub struct WireFaultClient {
+    profile: FaultProfile,
+    seed: u64,
+    timeout: Duration,
+}
+
+impl WireFaultClient {
+    /// A client injecting `profile`'s faults, seeded by `seed`.
+    pub fn new(profile: FaultProfile, seed: u64) -> WireFaultClient {
+        WireFaultClient {
+            profile,
+            seed,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Override the socket timeout (default 10 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> WireFaultClient {
+        self.timeout = timeout;
+        self
+    }
+
+    fn rng_for(&self, index: u64) -> StdRng {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        self.profile.name.hash(&mut h);
+        index.hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    }
+
+    /// The fault (if any) exchange `index` will carry.
+    pub fn fault_for(&self, index: u64) -> Option<FaultKind> {
+        let mut rng = self.rng_for(index);
+        let p = &self.profile;
+        // sampled in FaultKind::ALL order, first hit wins, mirroring the
+        // per-attempt draws in squ_llm::Transport
+        let draws = [
+            (FaultKind::Truncation, p.p_truncation),
+            (FaultKind::Refusal, p.p_refusal),
+            (FaultKind::Echo, p.p_echo),
+            (FaultKind::Garble, p.p_garble),
+            (FaultKind::Duplication, p.p_duplication),
+            (FaultKind::Unavailable, p.p_unavailable),
+            (FaultKind::LatencySpike, p.p_latency_spike),
+        ];
+        for (kind, prob) in draws {
+            if prob > 0.0 && rng.gen_bool(prob.min(1.0)) {
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Fire exchange `index`: a `POST path` with `body`, carrying the
+    /// fault [`WireFaultClient::fault_for`] selected.
+    pub fn fire(
+        &self,
+        addr: SocketAddr,
+        index: u64,
+        path: &str,
+        body: &[u8],
+    ) -> (Option<FaultKind>, WireOutcome) {
+        let fault = self.fault_for(index);
+        let outcome = self.fire_with(addr, fault, path, body);
+        (fault, outcome)
+    }
+
+    fn raw_request(&self, path: &str, body: &[u8]) -> Vec<u8> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: squ-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut raw = head.into_bytes();
+        raw.extend_from_slice(body);
+        raw
+    }
+
+    fn fire_with(
+        &self,
+        addr: SocketAddr,
+        fault: Option<FaultKind>,
+        path: &str,
+        body: &[u8],
+    ) -> WireOutcome {
+        let stream = match TcpStream::connect_timeout(&addr, self.timeout) {
+            Ok(s) => s,
+            Err(_) => return WireOutcome::NoResponse,
+        };
+        let _ = stream.set_read_timeout(Some(self.timeout));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+
+        match fault {
+            Some(FaultKind::Unavailable) => {
+                // connect, say nothing, vanish
+                drop(stream);
+                WireOutcome::Aborted("unavailable")
+            }
+            Some(FaultKind::Truncation) => {
+                let raw = self.raw_request(path, body);
+                let cut = raw.len() / 2;
+                let mut stream = stream;
+                let _ = stream.write_all(&raw[..cut]);
+                let _ = stream.flush();
+                drop(stream);
+                WireOutcome::Aborted("truncation")
+            }
+            Some(FaultKind::Refusal) => {
+                // a method token the grammar refuses
+                let raw = format!("bogus! {path} HTTP/1.1\r\nHost: squ-serve\r\n\r\n");
+                self.exchange(stream, raw.into_bytes(), 1)
+            }
+            Some(FaultKind::Garble) => {
+                // corrupt the head: lowercase method + an illegal header
+                let raw = format!(
+                    "post {path} HTTP/1.1\r\nbad header no colon\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                );
+                let mut bytes = raw.into_bytes();
+                bytes.extend_from_slice(body);
+                self.exchange(stream, bytes, 1)
+            }
+            Some(FaultKind::Echo) => {
+                // an off-route request: the server must 404, not guess
+                let raw = self.raw_request(&format!("/echo{path}"), body);
+                self.exchange(stream, raw, 1)
+            }
+            Some(FaultKind::Duplication) => {
+                // the same request pipelined twice on one connection
+                let mut raw = self.raw_request(path, body);
+                let again = raw.clone();
+                raw.extend_from_slice(&again);
+                self.exchange(stream, raw, 2)
+            }
+            Some(FaultKind::LatencySpike) => {
+                // stall between head and body (bounded: the point is a
+                // slow sender, not a stuck soak)
+                let raw = self.raw_request(path, body);
+                let cut = raw.len().saturating_sub(body.len().max(1));
+                let mut stream = stream;
+                if stream.write_all(&raw[..cut]).is_err() {
+                    return WireOutcome::NoResponse;
+                }
+                let _ = stream.flush();
+                std::thread::sleep(Duration::from_millis(25));
+                if stream.write_all(&raw[cut..]).is_err() {
+                    return WireOutcome::NoResponse;
+                }
+                let _ = stream.flush();
+                self.read_statuses(stream, 1)
+            }
+            None => {
+                let raw = self.raw_request(path, body);
+                self.exchange(stream, raw, 1)
+            }
+        }
+    }
+
+    fn exchange(&self, mut stream: TcpStream, raw: Vec<u8>, expect: usize) -> WireOutcome {
+        if stream.write_all(&raw).is_err() || stream.flush().is_err() {
+            // the server may legally reset a malformed connection before
+            // our write completes
+            return WireOutcome::NoResponse;
+        }
+        self.read_statuses(stream, expect)
+    }
+
+    fn read_statuses(&self, stream: TcpStream, expect: usize) -> WireOutcome {
+        let mut reader = match stream.try_clone() {
+            Ok(s) => BufReader::new(s),
+            Err(_) => return WireOutcome::NoResponse,
+        };
+        let mut statuses = Vec::new();
+        for _ in 0..expect {
+            match read_response(&mut reader) {
+                Ok(resp) => statuses.push(resp.status),
+                Err(_) => break, // server hung up (allowed after a 4xx)
+            }
+        }
+        if statuses.is_empty() {
+            WireOutcome::NoResponse
+        } else {
+            WireOutcome::Responses(statuses)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_selection_is_deterministic_and_profile_shaped() {
+        let heavy = WireFaultClient::new(FaultProfile::heavy(), 42);
+        let again = WireFaultClient::new(FaultProfile::heavy(), 42);
+        let picks: Vec<Option<FaultKind>> = (0..200).map(|i| heavy.fault_for(i)).collect();
+        let picks2: Vec<Option<FaultKind>> = (0..200).map(|i| again.fault_for(i)).collect();
+        assert_eq!(picks, picks2, "same seed, same schedule");
+        let faulted = picks.iter().filter(|p| p.is_some()).count();
+        assert!(faulted > 50, "heavy profile faults often, got {faulted}");
+
+        let none = WireFaultClient::new(FaultProfile::none(), 42);
+        assert!((0..200).all(|i| none.fault_for(i).is_none()));
+
+        let other_seed = WireFaultClient::new(FaultProfile::heavy(), 43);
+        let picks3: Vec<Option<FaultKind>> = (0..200).map(|i| other_seed.fault_for(i)).collect();
+        assert_ne!(picks, picks3, "different seed, different schedule");
+    }
+
+    #[test]
+    fn report_tallies_split_status_classes() {
+        let mut report = WireReport::default();
+        report.observe(None, &WireOutcome::Responses(vec![200]));
+        report.observe(Some(FaultKind::Garble), &WireOutcome::Responses(vec![400]));
+        report.observe(
+            Some(FaultKind::Truncation),
+            &WireOutcome::Aborted("truncation"),
+        );
+        report.observe(
+            Some(FaultKind::Duplication),
+            &WireOutcome::Responses(vec![200, 200]),
+        );
+        assert_eq!(report.requests, 4);
+        assert_eq!(report.faulted, 3);
+        assert_eq!(report.ok, 3);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.server_errors, 0);
+        assert_eq!(report.silent, 1);
+        assert_eq!(report.by_kind.get("garble"), Some(&1));
+    }
+}

@@ -1,0 +1,43 @@
+//! # squ-serve — benchmark-as-a-service over the artifact store
+//!
+//! The paper's evaluation is a one-shot batch run; this crate turns it
+//! into a long-running service. A hand-rolled HTTP/1.1 server (no async
+//! runtime — the vendored offline stack has none) exposes the evaluation
+//! pipeline behind four endpoints:
+//!
+//! | endpoint        | purpose                                             |
+//! |-----------------|-----------------------------------------------------|
+//! | `POST /eval`    | one `(task, workload, model)` → scored outcome      |
+//! | `POST /suite`   | a suite spec → streamed NDJSON results (chunked)    |
+//! | `GET /healthz`  | liveness                                            |
+//! | `GET /statz`    | store hit/miss, latency histograms, in-flight gauge |
+//!
+//! Every request shares one process-wide `squ::store::Store` as a hot
+//! cache: complete `/eval` bodies are content-addressed in a `serve`
+//! stage, so a repeated identical request is a pure store hit with a
+//! **byte-identical** body (the `X-Squ-Cache` header tells hit from
+//! miss), and datasets share the CLI suite's `dataset` stage, fingerprint
+//! for fingerprint.
+//!
+//! Overload and hostility are first-class: bounded in-flight permits and
+//! per-client token buckets answer 429 with `Retry-After`; oversized,
+//! malformed, or truncated requests get structured 4xxs; `/suite`
+//! streams through a bounded queue so a slow reader blocks the producer
+//! instead of growing a buffer; and handler panics become one 500, not a
+//! dead process. [`WireFaultClient`] reuses the `squ_llm` fault profiles
+//! at the wire to soak-test exactly those properties.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod faultnet;
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use client::{once, Conn, HttpResponse};
+pub use faultnet::{WireFaultClient, WireOutcome, WireReport};
+pub use server::{AdmissionGate, ClientBuckets, Server, ServerConfig};
+pub use service::{CacheStatus, EvalService, EvalSpec, SuiteSpec, SERVE_VERSION};
+pub use stats::ServerStats;

@@ -1,0 +1,257 @@
+//! Lock-free server telemetry behind `GET /statz`.
+//!
+//! Every counter is a plain atomic so the hot request path never takes a
+//! lock to account for itself. Latencies land in a log₂-bucketed
+//! [`Histogram`] per endpoint (buckets in microseconds, doubling from
+//! 1 µs to ~34 s), which is coarse but monotone-merge-safe across
+//! threads and cheap to snapshot.
+
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ latency buckets (`2^0 .. 2^24` µs, plus overflow).
+pub const BUCKETS: usize = 26;
+
+/// Build a JSON object from `(key, value)` pairs (the vendored stack has
+/// no `json!` macro).
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = (64 - u64::leading_zeros(us.max(1)) as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of non-empty buckets as `(upper_bound_us, count)` pairs.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (1u64 << (i + 1), c))
+            })
+            .collect()
+    }
+}
+
+/// Telemetry for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Requests that completed with a 2xx.
+    pub ok: AtomicU64,
+    /// Requests answered with a 4xx.
+    pub rejected: AtomicU64,
+    /// Requests answered with a 5xx.
+    pub failed: AtomicU64,
+    /// Latency distribution of all completed requests.
+    pub latency: Histogram,
+}
+
+impl EndpointStats {
+    /// Account one completed exchange.
+    pub fn record(&self, status: u16, us: u64) {
+        let cell = match status {
+            200..=299 => &self.ok,
+            500..=599 => &self.failed,
+            _ => &self.rejected,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe_us(us);
+    }
+
+    fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .latency
+            .snapshot()
+            .into_iter()
+            .map(|(le_us, n)| obj(vec![("le_us", Value::U64(le_us)), ("count", Value::U64(n))]))
+            .collect();
+        obj(vec![
+            ("ok", Value::U64(self.ok.load(Ordering::Relaxed))),
+            (
+                "rejected",
+                Value::U64(self.rejected.load(Ordering::Relaxed)),
+            ),
+            ("failed", Value::U64(self.failed.load(Ordering::Relaxed))),
+            (
+                "latency",
+                obj(vec![
+                    ("count", Value::U64(self.latency.count())),
+                    ("mean_us", Value::U64(self.latency.mean_us())),
+                    ("buckets", Value::Array(buckets)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Whole-server telemetry, shared by every connection thread.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted since boot.
+    pub connections: AtomicU64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: AtomicU64,
+    /// Requests turned away by admission control or client budgets.
+    pub throttled: AtomicU64,
+    /// Handler panics converted to structured 500s.
+    pub panics: AtomicU64,
+    /// Requests currently being served (the in-flight gauge).
+    pub in_flight: AtomicU64,
+    /// `POST /eval` telemetry.
+    pub eval: EndpointStats,
+    /// `POST /suite` telemetry.
+    pub suite: EndpointStats,
+    /// `GET /healthz` + `GET /statz` telemetry.
+    pub control: EndpointStats,
+}
+
+impl ServerStats {
+    /// Endpoint bucket for a request path.
+    pub fn endpoint(&self, path: &str) -> &EndpointStats {
+        match path {
+            "/eval" => &self.eval,
+            "/suite" => &self.suite,
+            _ => &self.control,
+        }
+    }
+
+    /// Render the `/statz` document. `store_stats` is the store's
+    /// per-stage hit/miss table serialized by the service layer.
+    pub fn statz_json(&self, store_stats: Value) -> String {
+        let doc = obj(vec![
+            (
+                "connections",
+                Value::U64(self.connections.load(Ordering::Relaxed)),
+            ),
+            (
+                "protocol_errors",
+                Value::U64(self.protocol_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "throttled",
+                Value::U64(self.throttled.load(Ordering::Relaxed)),
+            ),
+            ("panics", Value::U64(self.panics.load(Ordering::Relaxed))),
+            (
+                "in_flight",
+                Value::U64(self.in_flight.load(Ordering::Relaxed)),
+            ),
+            (
+                "endpoints",
+                obj(vec![
+                    ("eval", self.eval.to_json()),
+                    ("suite", self.suite.to_json()),
+                    ("control", self.control.to_json()),
+                ]),
+            ),
+            ("store", store_stats),
+        ]);
+        doc.to_pretty_string()
+    }
+}
+
+/// RAII guard for the in-flight gauge.
+pub struct InFlight<'a>(&'a ServerStats);
+
+impl<'a> InFlight<'a> {
+    /// Bump the gauge; it drops back down with the guard.
+    pub fn enter(stats: &'a ServerStats) -> InFlight<'a> {
+        stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight(stats)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2_and_totals_add_up() {
+        let h = Histogram::default();
+        h.observe_us(0); // clamps to the 1 µs bucket
+        h.observe_us(1);
+        h.observe_us(3);
+        h.observe_us(1000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean_us(), (1 + 3 + 1000) / 4);
+        let snap = h.snapshot();
+        assert!(snap.iter().any(|(le, n)| *le == 2 && *n == 2));
+        assert!(snap.iter().any(|(le, n)| *le == 4 && *n == 1));
+        assert!(snap.iter().any(|(le, n)| *le == 1024 && *n == 1));
+        let total: u64 = snap.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn huge_latencies_land_in_the_overflow_bucket() {
+        let h = Histogram::default();
+        h.observe_us(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, 1);
+    }
+
+    #[test]
+    fn endpoint_stats_split_by_status_class() {
+        let e = EndpointStats::default();
+        e.record(200, 10);
+        e.record(429, 5);
+        e.record(500, 7);
+        assert_eq!(e.ok.load(Ordering::Relaxed), 1);
+        assert_eq!(e.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(e.failed.load(Ordering::Relaxed), 1);
+        assert_eq!(e.latency.count(), 3);
+    }
+
+    #[test]
+    fn in_flight_gauge_is_raii_and_statz_parses() {
+        let s = ServerStats::default();
+        {
+            let _a = InFlight::enter(&s);
+            let _b = InFlight::enter(&s);
+            assert_eq!(s.in_flight.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(s.in_flight.load(Ordering::Relaxed), 0);
+        s.eval.record(200, 42);
+        let doc: Value = serde_json::from_str(&s.statz_json(obj(vec![]))).expect("statz parses");
+        assert_eq!(doc["in_flight"], 0u64);
+        assert_eq!(doc["endpoints"]["eval"]["ok"], 1u64);
+    }
+}

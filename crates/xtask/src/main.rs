@@ -19,6 +19,15 @@
 //! against execution. Both reports land in `target/repro/` for CI's
 //! artifact upload; any violation exits non-zero.
 //!
+//! `serve-smoke` — boot the `squ-serve` evaluation server on an ephemeral
+//! port over a scratch store and drive it with `servectl`: a cold/warm
+//! /eval pair (the warm reply must be a store hit with a byte-identical
+//! body), the seeded 50-exchange mixed workload under the heavy
+//! wire-fault profile (any 5xx fails), a /statz snapshot written to
+//! `target/repro/serve-smoke/statz.json` (any recorded panic fails), a
+//! torn-store-entry scan, and a second zero-permit server that must
+//! answer a deterministic 429 while /healthz stays reachable.
+//!
 //! The benchmark's library crates must not abort on malformed input: the
 //! whole point of the analyzer stack is to turn bad SQL into diagnostics.
 //! This pass scans every `crates/*/src` library file (binaries, `main.rs`,
@@ -149,14 +158,21 @@ fn main() {
             let status = sema_smoke(&repo_root());
             std::process::exit(status);
         }
+        Some("serve-smoke") => {
+            let status = serve_smoke(&repo_root());
+            std::process::exit(status);
+        }
         Some(other) => {
             eprintln!(
-                "unknown task {other:?} (available: lint, fuzz-smoke, perf-smoke, sema-smoke)"
+                "unknown task {other:?} (available: lint, fuzz-smoke, perf-smoke, sema-smoke, \
+                 serve-smoke)"
             );
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- <lint|fuzz-smoke|perf-smoke|sema-smoke>");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint|fuzz-smoke|perf-smoke|sema-smoke|serve-smoke>"
+            );
             std::process::exit(2);
         }
     }
@@ -224,6 +240,260 @@ fn sema_smoke(root: &Path) -> i32 {
         }
     }
     run_repro_fuzz(root, "sema-smoke", SEMA_SMOKE_CASES, &["--timings"])
+}
+
+/// Soak budget for the serve smoke: enough exchanges to cycle every
+/// load coordinate several times and draw every wire-fault kind from the
+/// heavy profile, small enough to finish in seconds against a warm store.
+const SERVE_SMOKE_LOAD: &str = "50";
+/// Wire-fault profile injected during the soak.
+const SERVE_SMOKE_PROFILE: &str = "heavy";
+/// Seed for the soak's deterministic fault schedule (the paper seed, so a
+/// red run is reproducible with `servectl ADDR load 50 heavy 2023`).
+const SERVE_SMOKE_SEED: &str = "2023";
+
+/// The /eval request the cold/warm byte-equality diff replays. Matches
+/// one coordinate of the `servectl load` cycle so the soak also replays
+/// it as a store hit.
+const SERVE_SMOKE_EVAL: &str =
+    r#"{"task":"syntax","workload":"joinorder","model":"GPT4","profile":"none","seed":5}"#;
+
+/// End-to-end smoke of the evaluation server over a real socket:
+///
+/// 1. boot `repro --serve 127.0.0.1:0` on a scratch store and parse the
+///    bound address off its stdout;
+/// 2. replay one /eval cold then warm — the warm reply must be a store
+///    hit with a byte-identical body;
+/// 3. drive the seeded 50-exchange mixed workload through the heavy
+///    wire-fault profile (`servectl load`, which exits non-zero on any
+///    5xx);
+/// 4. snapshot /statz to `target/repro/serve-smoke/statz.json` and fail
+///    on any recorded panic, then scan the store for torn entries
+///    (leftover `.tmp` files from interrupted atomic writes);
+/// 5. boot a second server with `--serve-inflight 0` and require the
+///    deterministic 429 + Retry-After rejection.
+fn serve_smoke(root: &Path) -> i32 {
+    // build the server and client binaries once up front so the spawns
+    // below run fixed artifacts instead of racing `cargo run` locks
+    let build = std::process::Command::new(env!("CARGO"))
+        .current_dir(root)
+        .args(["build", "--release", "-p", "squ-bench", "--bins"])
+        .status();
+    match build {
+        Ok(s) if s.success() => {}
+        Ok(s) => return s.code().unwrap_or(1), // lint:allow: cli tool
+        Err(e) => {
+            eprintln!("serve-smoke: failed to launch cargo: {e}");
+            return 1;
+        }
+    }
+
+    let out_dir = root.join("target").join("repro").join("serve-smoke");
+    let store = out_dir.join("store");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("serve-smoke: cannot create {}: {e}", out_dir.display());
+        return 1;
+    }
+
+    let mut server = match spawn_server(root, &store, &[]) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("serve-smoke: {msg}");
+            return 1;
+        }
+    };
+    let verdict = drive_serve_smoke(root, &server.addr, &out_dir, &store);
+    server.shutdown();
+    if let Err(msg) = verdict {
+        eprintln!("serve-smoke: {msg}");
+        return 1;
+    }
+
+    // saturation: a server with zero in-flight permits must turn every
+    // evaluation away with a deterministic 429, never an error or a hang
+    let sat_store = out_dir.join("sat-store");
+    let mut server = match spawn_server(root, &sat_store, &["--serve-inflight", "0"]) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("serve-smoke: {msg}");
+            return 1;
+        }
+    };
+    let verdict = expect_saturated_429(root, &server.addr);
+    server.shutdown();
+    match verdict {
+        Ok(()) => {
+            println!("serve-smoke: ok");
+            0
+        }
+        Err(msg) => {
+            eprintln!("serve-smoke: {msg}");
+            1
+        }
+    }
+}
+
+/// A spawned `repro --serve` child plus the address it bound.
+struct ServeChild {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ServeChild {
+    fn shutdown(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Boot `repro --serve 127.0.0.1:0 --serve-store <store> [extra…]` and
+/// parse the `serving on ADDR` banner off its stdout.
+fn spawn_server(root: &Path, store: &Path, extra: &[&str]) -> Result<ServeChild, String> {
+    use std::io::BufRead;
+    let repro = root.join("target").join("release").join("repro");
+    let mut child = std::process::Command::new(&repro)
+        .current_dir(root)
+        .args(["--serve", "127.0.0.1:0", "--serve-store"])
+        .arg(store)
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", repro.display()))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| "server child has no stdout".to_string())?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line.map_err(|e| format!("reading server stdout: {e}"))?;
+        if let Some(addr) = line.strip_prefix("serving on ") {
+            return Ok(ServeChild {
+                child,
+                addr: addr.trim().to_string(),
+            });
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    Err("server exited before printing its bound address".to_string())
+}
+
+/// Run one `servectl` subcommand, capturing stdout (stderr is inherited
+/// so failures surface in the CI log). Returns `(exit_code, stdout)`.
+fn run_servectl(root: &Path, addr: &str, args: &[&str]) -> Result<(i32, String), String> {
+    let ctl = root.join("target").join("release").join("servectl");
+    let out = std::process::Command::new(&ctl)
+        .current_dir(root)
+        .arg(addr)
+        .args(args)
+        .output()
+        .map_err(|e| format!("cannot spawn {}: {e}", ctl.display()))?;
+    let code = out.status.code().unwrap_or(1); // lint:allow: cli tool
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    Ok((code, stdout))
+}
+
+/// Steps 2–4 of the smoke against the primary server.
+fn drive_serve_smoke(root: &Path, addr: &str, out_dir: &Path, store: &Path) -> Result<(), String> {
+    let (code, _) = run_servectl(root, addr, &["health"])?;
+    if code != 0 {
+        return Err(format!("healthz failed with exit code {code}"));
+    }
+
+    // cold, then warm: the second reply must come out of the store with a
+    // byte-identical body
+    let (code, cold) = run_servectl(root, addr, &["eval", SERVE_SMOKE_EVAL])?;
+    if code != 0 || !cold.starts_with("HTTP 200 cache=miss") {
+        return Err(format!("cold eval: exit {code}, output:\n{cold}"));
+    }
+    let (code, warm) = run_servectl(root, addr, &["eval", SERVE_SMOKE_EVAL])?;
+    if code != 0 || !warm.starts_with("HTTP 200 cache=hit") {
+        return Err(format!(
+            "warm eval was not a store hit: exit {code}, output:\n{warm}"
+        ));
+    }
+    let body = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+    if body(&cold) != body(&warm) {
+        return Err(format!(
+            "warm body differs from cold body\ncold:\n{cold}\nwarm:\n{warm}"
+        ));
+    }
+    println!("serve-smoke: cold/warm /eval bodies byte-identical (miss → hit)");
+
+    // seeded mixed workload under wire faults; servectl exits non-zero
+    // if the server ever answers 5xx
+    let (code, load) = run_servectl(
+        root,
+        addr,
+        &[
+            "load",
+            SERVE_SMOKE_LOAD,
+            SERVE_SMOKE_PROFILE,
+            SERVE_SMOKE_SEED,
+        ],
+    )?;
+    print!("{load}");
+    if code != 0 {
+        return Err(format!("fault-injected load failed with exit code {code}"));
+    }
+
+    // statz snapshot is the CI artifact; a panicking handler fails the run
+    let (code, statz) = run_servectl(root, addr, &["statz"])?;
+    if code != 0 {
+        return Err(format!("statz failed with exit code {code}"));
+    }
+    let snapshot = out_dir.join("statz.json");
+    std::fs::write(&snapshot, &statz)
+        .map_err(|e| format!("writing {}: {e}", snapshot.display()))?;
+    println!("serve-smoke: /statz snapshot at {}", snapshot.display());
+    if !statz.contains("\"panics\": 0") {
+        return Err(format!("statz reports handler panics:\n{statz}"));
+    }
+
+    // a torn store entry would strand a `.tmp` file next to the target
+    let torn = torn_entries(store)?;
+    if !torn.is_empty() {
+        return Err(format!("torn store entries after soak: {torn:?}"));
+    }
+    Ok(())
+}
+
+/// Recursively list leftover atomic-write tempfiles under `dir`.
+fn torn_entries(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut torn = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = std::fs::read_dir(&d).map_err(|e| format!("reading {}: {e}", d.display()))?;
+        for entry in entries {
+            let path = entry
+                .map_err(|e| format!("reading {}: {e}", d.display()))?
+                .path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|x| x == "tmp") {
+                torn.push(path);
+            }
+        }
+    }
+    Ok(torn)
+}
+
+/// Against a zero-permit server, /eval must be a deterministic 429 while
+/// /healthz stays reachable.
+fn expect_saturated_429(root: &Path, addr: &str) -> Result<(), String> {
+    let (code, out) = run_servectl(root, addr, &["eval", SERVE_SMOKE_EVAL])?;
+    if code != 1 || !out.starts_with("HTTP 429") {
+        return Err(format!(
+            "saturated server should answer 429 (servectl exit 1), got exit {code}:\n{out}"
+        ));
+    }
+    let (code, _) = run_servectl(root, addr, &["health"])?;
+    if code != 0 {
+        return Err("healthz must stay reachable on a saturated server".to_string());
+    }
+    println!("serve-smoke: saturated server rejects /eval with 429, /healthz still up");
+    Ok(())
 }
 
 /// Launch `repro --fuzz <cases> --fuzz-seed 7 [extra…]`; returns the exit
