@@ -11,6 +11,7 @@
 //! repro --fault-seed 7     # reseed the fault injector (default 0)
 //! repro --fuzz 500         # run 500 differential/metamorphic fuzz cases
 //! repro --fuzz 500 --fuzz-seed 7          # reseed the fuzz generator (default 0)
+//! repro --fuzz 500 --dialect tsql         # per-dialect corpus (sqlite/postgres/mysql/tsql)
 //! repro --serve 127.0.0.1:0               # serve /eval /suite /healthz /statz
 //! repro --serve ADDR --serve-store DIR    # serve over an explicit store root
 //! repro --serve ADDR --serve-inflight 4   # cap concurrent evaluations
@@ -48,6 +49,7 @@
 
 use squ::llm::FaultProfile;
 use squ::store::{fp_artifact, fp_audit, fp_faults};
+use squ_parser::Dialect;
 use squ::{
     run_ablation, run_experiment, AblationId, Artifact, AuditReport, ExperimentId, FaultReport,
     Store, Suite, PAPER_SEED,
@@ -74,6 +76,9 @@ struct Opts {
     fuzz: Option<u64>,
     /// Seed for the fuzz generator (independent of the suite seed).
     fuzz_seed: u64,
+    /// Corpus dialect for fuzz mode (`squ`, `sqlite`, `postgres`,
+    /// `mysql`, `tsql`); `None` means the default `squ` corpus.
+    dialect: Option<String>,
     /// Bind address for server mode (`--serve`); port 0 is ephemeral.
     serve: Option<String>,
     /// Store root for server mode (default `target/repro/store`).
@@ -103,6 +108,7 @@ impl Default for Opts {
             fault_gate: None,
             fuzz: None,
             fuzz_seed: 0,
+            dialect: None,
             serve: None,
             serve_store: None,
             serve_inflight: None,
@@ -227,6 +233,22 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 );
                 i += 1;
             }
+            "--dialect" => {
+                let name = value_of(args, i).ok_or_else(|| {
+                    format!(
+                        "--dialect needs a dialect name (one of {})",
+                        Dialect::NAMES.join(", ")
+                    )
+                })?;
+                if Dialect::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown dialect {name:?} (one of {})",
+                        Dialect::NAMES.join(", ")
+                    ));
+                }
+                opts.dialect = Some(name);
+                i += 1;
+            }
             "--fuzz-seed" => {
                 let raw =
                     value_of(args, i).ok_or_else(|| "--fuzz-seed needs an integer".to_string())?;
@@ -304,6 +326,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if was_given("--fuzz-seed") && opts.fuzz.is_none() {
         return Err("--fuzz-seed requires --fuzz".to_string());
+    }
+    if was_given("--dialect") && opts.fuzz.is_none() {
+        return Err("--dialect requires --fuzz".to_string());
     }
     if opts.serve.is_none() {
         for dep in ["--serve-store", "--serve-inflight"] {
@@ -397,12 +422,19 @@ fn main() {
     // Fuzz mode needs no suite: cases are self-contained (generated
     // schemas + witness databases), so it runs before suite construction.
     if let Some(cases) = opts.fuzz {
+        // parse_args validated the name, so the lookup cannot fail here
+        let dialect = opts
+            .dialect
+            .as_deref()
+            .and_then(Dialect::by_name)
+            .unwrap_or(Dialect::Squ);
         eprintln!(
-            "fuzzing {cases} case(s) (fuzz seed {}, {jobs_n} jobs)…",
-            opts.fuzz_seed
+            "fuzzing {cases} case(s) (fuzz seed {}, {} corpus, {jobs_n} jobs)…",
+            opts.fuzz_seed,
+            dialect.name()
         );
         let report = squ::timing::time("fuzz.total", || {
-            squ::run_fuzz(cases, opts.fuzz_seed, jobs_n, store.as_mut())
+            squ::run_fuzz_dialect(cases, opts.fuzz_seed, jobs_n, store.as_mut(), dialect)
         });
         let path = out_dir.join("fuzz.json");
         fs::write(&path, report.to_json()).expect("write fuzz.json");
@@ -890,6 +922,32 @@ mod tests {
         assert!(parse_args(&argv(&["--fuzz", "0"])).is_err());
         assert!(parse_args(&argv(&["--fuzz", "abc"])).is_err());
         assert!(parse_args(&argv(&["--fuzz-seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn dialect_flag() {
+        let opts = parse_args(&argv(&["--fuzz", "100"])).unwrap();
+        assert_eq!(opts.dialect, None);
+        // every dialect name parses, in any argument order
+        for name in Dialect::NAMES {
+            let opts = parse_args(&argv(&["--fuzz", "100", "--dialect", name])).unwrap();
+            assert_eq!(opts.dialect.as_deref(), Some(name));
+            let opts = parse_args(&argv(&["--dialect", name, "--fuzz", "100"])).unwrap();
+            assert_eq!(opts.dialect.as_deref(), Some(name));
+        }
+        // unknown values and a missing value are rejected with the list
+        let err = parse_args(&argv(&["--fuzz", "100", "--dialect", "oracle"])).unwrap_err();
+        assert!(
+            err.contains("unknown dialect") && err.contains("tsql"),
+            "{err}"
+        );
+        let err = parse_args(&argv(&["--fuzz", "100", "--dialect"])).unwrap_err();
+        assert!(err.contains("--dialect needs a dialect name"), "{err}");
+        // the dependent flag demands its parent mode
+        let err = parse_args(&argv(&["--dialect", "tsql"])).unwrap_err();
+        assert!(err.contains("--dialect requires --fuzz"), "{err}");
+        let err = parse_args(&argv(&["--audit", "--dialect", "tsql"])).unwrap_err();
+        assert!(err.contains("--dialect requires --fuzz"), "{err}");
     }
 
     #[test]

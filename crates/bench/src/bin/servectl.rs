@@ -3,8 +3,11 @@
 //! ```text
 //! servectl ADDR health                 # GET /healthz, exit 0 iff 200
 //! servectl ADDR statz                  # GET /statz, print the snapshot
-//! servectl ADDR eval JSON              # POST /eval; line 1: "HTTP <status> cache=<hit|miss>",
-//!                                      # then the raw response body
+//! servectl ADDR eval JSON [DIALECT]    # POST /eval; line 1: "HTTP <status> cache=<hit|miss>",
+//!                                      # then the raw response body. DIALECT is
+//!                                      # injected into the body as "dialect"
+//!                                      # (overriding any value already there);
+//!                                      # the server validates it (unknown → 400)
 //! servectl ADDR suite JSON             # POST /suite; stream the NDJSON lines
 //! servectl ADDR load N PROFILE SEED    # seeded mixed workload: N exchanges cycling
 //!                                      # tasks × workloads × models with PROFILE's
@@ -50,9 +53,13 @@ fn main() {
             }
         }
         "eval" => {
-            let body = rest
-                .first()
-                .unwrap_or_else(|| die("eval needs a JSON body argument"));
+            let body = match rest.as_slice() {
+                [body] => body.clone(),
+                [body, dialect] => {
+                    with_dialect(body, dialect).unwrap_or_else(|e| die(&format!("eval: {e}")))
+                }
+                _ => die("usage: servectl ADDR eval JSON [DIALECT]"),
+            };
             let resp = exchange(addr, "POST", "/eval", body.as_bytes());
             let cache = resp.header("x-squ-cache").unwrap_or("-");
             println!("HTTP {} cache={cache}", resp.status);
@@ -143,6 +150,23 @@ fn run_load(addr: SocketAddr, n: u64, profile: FaultProfile, seed: u64) -> WireR
     report
 }
 
+/// Inject (or override) the `"dialect"` key in a JSON `/eval` body.
+/// Validation of the name itself is the server's job — forwarding an
+/// unknown dialect verbatim lets the 400 (with the valid list) surface.
+fn with_dialect(body: &str, dialect: &str) -> Result<String, String> {
+    let mut doc: serde_json::Value =
+        serde_json::from_str(body).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let serde_json::Value::Object(fields) = &mut doc else {
+        return Err("body must be a JSON object".to_string());
+    };
+    fields.retain(|(k, _)| k != "dialect");
+    fields.push((
+        "dialect".to_string(),
+        serde_json::Value::Str(dialect.to_string()),
+    ));
+    serde_json::to_string(&doc).map_err(|e| format!("re-encoding body failed: {e}"))
+}
+
 fn resolve(raw: &str) -> SocketAddr {
     raw.to_socket_addrs()
         .ok()
@@ -165,4 +189,39 @@ fn exchange(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> squ_serv
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::with_dialect;
+
+    #[test]
+    fn dialect_is_injected_into_the_body() {
+        let out = with_dialect(r#"{"task":"syntax","workload":"sdss","model":"GPT4"}"#, "tsql")
+            .expect("injects");
+        let doc: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(doc["dialect"], "tsql");
+        assert_eq!(doc["task"], "syntax");
+    }
+
+    #[test]
+    fn dialect_argument_overrides_an_existing_key() {
+        let out = with_dialect(r#"{"task":"syntax","dialect":"mysql"}"#, "postgres")
+            .expect("overrides");
+        let doc: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(doc["dialect"], "postgres");
+    }
+
+    #[test]
+    fn unknown_names_are_forwarded_not_rejected_locally() {
+        // client-side leniency: the server owns the valid list and its 400
+        let out = with_dialect(r#"{"task":"syntax"}"#, "oracle").expect("forwards");
+        assert!(out.contains(r#""dialect":"oracle""#) || out.contains(r#""dialect": "oracle""#));
+    }
+
+    #[test]
+    fn malformed_bodies_error_before_the_wire() {
+        assert!(with_dialect("not json", "tsql").is_err());
+        assert!(with_dialect("[1,2]", "tsql").is_err());
+    }
 }

@@ -120,8 +120,13 @@ mod tests {
     fn export_writes_all_datasets() {
         let dir = std::env::temp_dir().join(format!("squ-export-{}", std::process::id()));
         let manifest = export_suite(suite(), &dir).expect("export succeeds");
-        // 4 workloads + 3 syntax + 3 token + 3 equiv + perf + explain = 15
-        assert_eq!(manifest.files.len(), 15);
+        // 4 workloads + 3 syntax + 3 token + 3 equiv + perf + explain
+        // + 3 translate = 18
+        assert_eq!(manifest.files.len(), 18);
+        assert!(manifest
+            .files
+            .iter()
+            .any(|f| f.file == "dialect_translate_sdss.jsonl"));
         let total: usize = manifest.files.iter().map(|f| f.records).sum();
         assert!(total > 2000, "only {total} records exported");
         // manifest exists and round-trips as JSON

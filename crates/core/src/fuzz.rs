@@ -8,31 +8,56 @@
 //! cold one.
 
 use crate::par;
-use crate::store::{fp_fuzz, Store};
+use crate::store::{fp_fuzz_dialect, Store};
 use crate::timing;
-use squ_fuzz::{engine_bench, run_case, CaseReport, EngineBench, FuzzConfig, FuzzReport};
+use squ_fuzz::{engine_bench, run_case, CaseReport, Dialect, EngineBench, FuzzConfig, FuzzReport};
 
 /// Store stage name for fuzz cases.
 const STAGE: &str = "fuzz";
 
-/// Run `cases` fuzz cases under `fuzz_seed` with `jobs` workers.
+/// Store entry name of one fuzz case: the historical `case{index}` for
+/// the default `squ` corpus, `case{index}_{dialect}` for per-dialect
+/// corpora so a multi-dialect store stays readable.
+fn case_name(index: u64, dialect: Dialect) -> String {
+    if dialect == Dialect::Squ {
+        format!("case{index}")
+    } else {
+        format!("case{index}_{}", dialect.name())
+    }
+}
+
+/// Run `cases` fuzz cases under `fuzz_seed` with `jobs` workers, over the
+/// default `squ`-dialect corpus.
 ///
 /// When `store` is given, already-judged cases load from it and fresh
 /// results are saved back. Case order in the report is by index
 /// regardless of `jobs` or cache state.
-pub fn run_fuzz(
+pub fn run_fuzz(cases: u64, fuzz_seed: u64, jobs: usize, store: Option<&mut Store>) -> FuzzReport {
+    run_fuzz_dialect(cases, fuzz_seed, jobs, store, Dialect::Squ)
+}
+
+/// [`run_fuzz`] over a per-dialect corpus: every subject query is also
+/// translated into `dialect`, emitted as that dialect's text, and held to
+/// the dialect round-trip law. Store keys fold the dialect name, so each
+/// corpus resumes independently.
+pub fn run_fuzz_dialect(
     cases: u64,
     fuzz_seed: u64,
     jobs: usize,
     mut store: Option<&mut Store>,
+    dialect: Dialect,
 ) -> FuzzReport {
-    let cfg = FuzzConfig::new(fuzz_seed);
+    let cfg = FuzzConfig::for_dialect(fuzz_seed, dialect);
 
     let mut slots: Vec<Option<CaseReport>> = Vec::with_capacity(cases as usize);
     let mut pending: Vec<u64> = Vec::new();
     for index in 0..cases {
         let cached = store.as_mut().and_then(|s| {
-            s.load_value::<CaseReport>(STAGE, &format!("case{index}"), fp_fuzz(fuzz_seed, index))
+            s.load_value::<CaseReport>(
+                STAGE,
+                &case_name(index, dialect),
+                fp_fuzz_dialect(fuzz_seed, index, dialect.name()),
+            )
         });
         if cached.is_none() {
             pending.push(index);
@@ -47,8 +72,8 @@ pub fn run_fuzz(
         if let Some(s) = store.as_mut() {
             s.save_value(
                 STAGE,
-                &format!("case{index}"),
-                fp_fuzz(fuzz_seed, index),
+                &case_name(index, dialect),
+                fp_fuzz_dialect(fuzz_seed, index, dialect.name()),
                 &report,
             );
         }
@@ -56,7 +81,7 @@ pub fn run_fuzz(
     }
 
     let ordered: Vec<CaseReport> = slots.into_iter().flatten().collect();
-    FuzzReport::from_cases(fuzz_seed, &ordered)
+    FuzzReport::from_cases_in(fuzz_seed, dialect.name(), &ordered)
 }
 
 /// Run the compiled-vs-interpreter engine benchmark over the same
@@ -121,6 +146,30 @@ mod tests {
         let stats = store2.stats().get("fuzz").copied().unwrap_or_default();
         assert_eq!(stats.hits, 8, "warm run must hit every case");
         assert_eq!(cold.to_json(), warm.to_json());
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dialect_corpora_resume_independently() {
+        let (root, mut store) = temp_store("dialect");
+        let cold = run_fuzz_dialect(6, 5, 2, Some(&mut store), Dialect::Tsql);
+        assert_eq!(store.total_misses(), 6, "cold run must miss every case");
+        assert_eq!(cold.dialect, "tsql");
+        assert!(cold.is_clean(), "{}", cold.to_json());
+        assert_eq!(cold.counts.dialect_pass, 6);
+
+        let mut store2 = Store::open(&root);
+        let warm = run_fuzz_dialect(6, 5, 2, Some(&mut store2), Dialect::Tsql);
+        let stats = store2.stats().get("fuzz").copied().unwrap_or_default();
+        assert_eq!(stats.hits, 6, "warm run must hit every case");
+        assert_eq!(cold.to_json(), warm.to_json());
+
+        // another dialect over the same (seed, index) range shares nothing
+        let mut store3 = Store::open(&root);
+        let other = run_fuzz_dialect(6, 5, 2, Some(&mut store3), Dialect::Mysql);
+        assert_eq!(store3.total_misses(), 6, "dialects must not share entries");
+        assert_eq!(other.dialect, "mysql");
 
         let _ = std::fs::remove_dir_all(&root);
     }

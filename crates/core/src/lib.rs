@@ -1,10 +1,11 @@
 //! # squ — the SQL-understanding evaluation benchmark
 //!
 //! A full Rust reproduction of *Evaluating SQL Understanding in Large
-//! Language Models* (EDBT 2025): four sampled SQL workloads, five derived
-//! task datasets with machine-verified labels, five calibrated LLM
-//! simulators, the prompt → response → extraction pipeline, and a
-//! reproduction function for **every table and figure** in the paper.
+//! Language Models* (EDBT 2025): four sampled SQL workloads, six derived
+//! task datasets with machine-verified labels (the paper's five plus a
+//! dialect-translation extension), five calibrated LLM simulators, the
+//! prompt → response → extraction pipeline, and a reproduction function
+//! for **every table and figure** in the paper.
 //!
 //! ```no_run
 //! use squ::{run_experiment, ExperimentId, Suite, PAPER_SEED};
@@ -45,7 +46,7 @@ pub use audit::{audit_suite, AuditReport, Violation};
 pub use experiments::{run_all, run_experiment, Artifact, ExperimentId};
 pub use export::{export_suite, Manifest};
 pub use faults::{run_fault_report, FaultCell, FaultKindStats, FaultReport};
-pub use fuzz::{run_engine_bench, run_fuzz};
+pub use fuzz::{run_engine_bench, run_fuzz, run_fuzz_dialect};
 pub use registry::{registry, DynTask};
 pub use store::{suite_fingerprint, Store};
 pub use suite::{Suite, TaskSet, PAPER_SEED};

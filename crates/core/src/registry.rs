@@ -1,15 +1,18 @@
 //! The type-erased task registry: the one place in the core crate that
-//! enumerates all five task families.
+//! enumerates all six task families.
 //!
 //! Every generic driver (suite construction, audit, faults, export, the
-//! artifact store) iterates [`registry`] instead of matching five
+//! artifact store) iterates [`registry`] instead of matching per-task
 //! hard-coded variants. Adding a task means implementing
 //! [`squ_tasks::Task`] + [`squ_llm::RunTask`] and appending one line here;
-//! no driver changes. The `xtask lint` rule banning five-armed per-task
-//! `match` statements in this crate exempts this module.
+//! no driver changes — the dialect-translation family landed exactly this
+//! way. The `xtask lint` rule banning per-task `match` statements in this
+//! crate exempts this module.
 
 use squ_llm::{run_task, CallRecord, DatasetId, ModelClient, RunTask};
-use squ_tasks::{AuditCtx, EquivTask, ExplainTask, PerfTask, SyntaxTask, TaskId, TokenTask};
+use squ_tasks::{
+    AuditCtx, EquivTask, ExplainTask, PerfTask, SyntaxTask, TaskId, TokenTask, TranslateTask,
+};
 use squ_workload::{Dataset, Workload};
 use std::any::Any;
 
@@ -121,14 +124,16 @@ impl<T: RunTask + Send + Sync> DynTask for Erased<T> {
     }
 }
 
-/// The five paper tasks, in canonical order (matches [`TaskId::ALL`]).
-pub fn registry() -> [&'static dyn DynTask; 5] {
+/// The six tasks (the paper's five plus dialect translation), in
+/// canonical order (matches [`TaskId::ALL`]).
+pub fn registry() -> [&'static dyn DynTask; 6] {
     [
         &Erased(SyntaxTask),
         &Erased(TokenTask),
         &Erased(EquivTask),
         &Erased(PerfTask),
         &Erased(ExplainTask),
+        &Erased(TranslateTask),
     ]
 }
 

@@ -41,7 +41,8 @@ const FAULTS_VERSION: u32 = 1;
 /// Version tag of the ablation studies.
 const ABLATION_VERSION: u32 = 1;
 /// Bump when the fuzz generator, oracles, or case-report format change.
-const FUZZ_VERSION: u32 = 3;
+/// Version 4: per-dialect corpora (the case report gained dialect tallies).
+const FUZZ_VERSION: u32 = 4;
 
 /// 64-bit FNV-1a over a byte stream.
 #[derive(Clone, Copy)]
@@ -191,10 +192,18 @@ pub fn fp_faults(seed: u64, profile: &str, fault_seed: u64) -> u64 {
 /// a case is fully determined by `(fuzz seed, index)` plus the
 /// generator/oracle version, so fuzz results survive suite rebuilds.
 pub fn fp_fuzz(fuzz_seed: u64, index: u64) -> u64 {
+    fp_fuzz_dialect(fuzz_seed, index, "squ")
+}
+
+/// Fingerprint of one fuzz case of a per-dialect corpus run: [`fp_fuzz`]
+/// with the corpus dialect folded in, so `--dialect` runs never collide
+/// with each other or with the default `squ` corpus.
+pub fn fp_fuzz_dialect(fuzz_seed: u64, index: u64, dialect: &str) -> u64 {
     Fingerprint::new("fuzz")
         .num(u64::from(FUZZ_VERSION))
         .num(fuzz_seed)
         .num(index)
+        .push(dialect)
         .finish()
 }
 
@@ -415,6 +424,11 @@ mod tests {
         );
         assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "heavy", 0));
         assert_ne!(fp_faults(7, "none", 0), fp_faults(7, "none", 1));
+        // per-dialect fuzz corpora key separately from each other and from
+        // the default squ corpus
+        assert_eq!(fp_fuzz(5, 2), fp_fuzz_dialect(5, 2, "squ"));
+        assert_ne!(fp_fuzz(5, 2), fp_fuzz_dialect(5, 2, "tsql"));
+        assert_ne!(fp_fuzz_dialect(5, 2, "mysql"), fp_fuzz_dialect(5, 2, "tsql"));
     }
 
     #[test]

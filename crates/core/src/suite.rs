@@ -4,12 +4,15 @@
 //! Task datasets are held as type-erased [`TaskSet`]s in canonical
 //! registry order — one per `(task, workload)` pair from
 //! [`crate::registry::registry`] — so every driver (audit, faults,
-//! export) iterates [`Suite::sets`] instead of five per-task fields.
+//! export) iterates [`Suite::sets`] instead of per-task fields.
 
 use crate::registry::{registry, DynTask, ExampleSet};
 use crate::store::{fp_dataset, fp_workload, Store};
 use crate::{par, timing};
-use squ_tasks::{EquivExample, ExplainExample, PerfExample, SyntaxExample, TaskId, TokenExample};
+use squ_tasks::{
+    EquivExample, ExplainExample, PerfExample, SyntaxExample, TaskId, TokenExample,
+    TranslateExample,
+};
 use squ_workload::{build, Dataset, Workload};
 
 /// The paper's master seed (the year of the SDSS log slice).
@@ -294,6 +297,11 @@ impl Suite {
     /// Explanation task examples (Spider only).
     pub fn explain(&self) -> &[ExplainExample] {
         self.typed(TaskId::Explain, Workload::Spider)
+    }
+
+    /// Dialect-translation task examples for a workload.
+    pub fn translate_for(&self, w: Workload) -> &[TranslateExample] {
+        self.typed(TaskId::Translate, w)
     }
 }
 

@@ -21,6 +21,13 @@
 //!    returns rows or a certified-equivalent pair that diverges is a hard
 //!    failure.
 //!
+//! A run configured with a concrete [`Dialect`] (sqlite / postgres /
+//! mysql / tsql) additionally translates every subject query into that
+//! dialect — function and type-name spellings, quoting style,
+//! `LIMIT`/`TOP` — emits the corpus SQL in it, and holds the text to the
+//! dialect round-trip law, so each dialect frontend gets its own fuzzed
+//! corpus.
+//!
 //! Violations are minimized by deterministic token deletion ([`shrink`])
 //! and reported as plain data ([`report`]) whose JSON rendering is
 //! byte-identical for any `--jobs` value.
@@ -35,6 +42,7 @@ pub mod report;
 pub mod shrink;
 
 pub use gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, SCHEMA_POOL};
+pub use squ_parser::Dialect;
 pub use mutate::{check_reconstruction, check_span_consistency, mutants_of, Mutant};
 pub use oracle::{run_case, FuzzConfig};
 pub use perf::{engine_bench, EngineBench};

@@ -12,9 +12,9 @@ use squ_engine::{
     execute_query, reference_query, witness_batch_cached, Database, ExecError, Relation,
 };
 use squ_parser::ast::{Query, Statement};
-use squ_parser::{parse_query, print_query};
+use squ_parser::{parse_query, parse_query_dialect, print_query, print_query_dialect, Dialect};
 use squ_schema::analyze;
-use squ_tasks::{transform_catalog, TransformInfo, TransformKind, Verdict};
+use squ_tasks::{transform_catalog, translate_query, TransformInfo, TransformKind, Verdict};
 
 use crate::gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, SCHEMA_POOL};
 use crate::mutate::{check_reconstruction, check_span_consistency, mutants_of};
@@ -34,6 +34,12 @@ const MUTANTS_PER_CASE: usize = 3;
 pub struct FuzzConfig {
     /// Master seed; every case derives its streams from `(seed, index)`.
     pub seed: u64,
+    /// Corpus dialect. [`Dialect::Squ`] runs exactly the historical
+    /// oracles; a concrete dialect additionally translates every subject
+    /// query into that dialect (function/type spellings, quoting,
+    /// `LIMIT`/`TOP`), emits the case SQL in it, and checks the dialect
+    /// round-trip law on the result.
+    pub dialect: Dialect,
     /// Transforms checked by the metamorphic oracle *in addition to* the
     /// built-in catalog. Tests use this to inject a deliberately unsound
     /// "preserving" transform and watch the harness convict it.
@@ -43,8 +49,14 @@ pub struct FuzzConfig {
 impl FuzzConfig {
     /// A run over the built-in transform catalog only.
     pub fn new(seed: u64) -> FuzzConfig {
+        FuzzConfig::for_dialect(seed, Dialect::Squ)
+    }
+
+    /// A run whose corpus is rendered and round-tripped in `dialect`.
+    pub fn for_dialect(seed: u64, dialect: Dialect) -> FuzzConfig {
         FuzzConfig {
             seed,
+            dialect,
             extra_transforms: Vec::new(),
         }
     }
@@ -95,8 +107,65 @@ pub fn run_case(cfg: &FuzzConfig, index: u64) -> CaseReport {
     oracle_differential(&mut report, &query, &sql, &gs, &witnesses);
     oracle_sema(&mut report, &query, &sql, &gs, &witnesses);
     oracle_metamorphic(cfg, &mut report, &query, &sql, &gs, &witnesses, index);
+    if cfg.dialect != Dialect::Squ {
+        oracle_dialect(&mut report, &query, cfg.dialect);
+    }
 
     report
+}
+
+/// Does `sql`, read as `d`-dialect text, violate the dialect round-trip
+/// law? Mirrors [`roundtrip_violation`] with the dialect parser/printer:
+/// the text must parse in its own dialect (the subject is always our own
+/// printer's output, so a parse failure *is* a violation), the dialect
+/// print must be a parse∘print fixpoint, and the reparse must yield the
+/// same AST.
+fn dialect_roundtrip_violation(sql: &str, d: Dialect) -> Option<String> {
+    let q = match parse_query_dialect(sql, d) {
+        Ok(q) => q,
+        Err(e) => return Some(format!("does not parse as {} text: {e}", d.name())),
+    };
+    let printed = print_query_dialect(&q, d);
+    let q2 = match parse_query_dialect(&printed, d) {
+        Ok(q2) => q2,
+        Err(e) => return Some(format!("{} print fails to re-parse: {e}", d.name())),
+    };
+    if q2 != q {
+        return Some(format!(
+            "{} reparse of printed form differs from original AST",
+            d.name()
+        ));
+    }
+    if print_query_dialect(&q2, d) != printed {
+        return Some(format!("{} printer is not a fixpoint over parse", d.name()));
+    }
+    None
+}
+
+/// Per-dialect corpus oracle: translate the subject query into `d`
+/// (function and type-name spellings), render it with `d`'s printer
+/// (quoting style, `LIMIT`/`TOP` folding), make that text the case's
+/// corpus entry, and hold it to the dialect round-trip law.
+fn oracle_dialect(report: &mut CaseReport, query: &Query, d: Dialect) {
+    let dsql = print_query_dialect(&translate_query(query, d), d);
+    report.sql = dsql.clone();
+    match dialect_roundtrip_violation(&dsql, d) {
+        None => report.counts.dialect_pass += 1,
+        Some(detail) => {
+            report.counts.dialect_fail += 1;
+            let (minimized, minimized_tokens) =
+                shrink_sql(&dsql, |s| dialect_roundtrip_violation(s, d).is_some());
+            report.failures.push(Failure {
+                case: report.index,
+                oracle: "dialect-round-trip".to_string(),
+                transform: Some(d.name().to_string()),
+                sql: dsql,
+                detail,
+                minimized,
+                minimized_tokens,
+            });
+        }
+    }
 }
 
 /// Execution-check every claim `squ-sema` makes about the subject query:
@@ -641,6 +710,39 @@ mod tests {
         assert!(report.counts.differential_pass > 0);
         assert!(report.counts.preserving_pass > 0);
         assert!(report.counts.breaking_distinguished > 0);
+    }
+
+    #[test]
+    fn dialect_corpora_are_clean_and_rendered_in_their_dialect() {
+        let base: Vec<CaseReport> = {
+            let cfg = FuzzConfig::new(11);
+            (0..8).map(|i| run_case(&cfg, i)).collect()
+        };
+        for d in Dialect::CONCRETE {
+            let cfg = FuzzConfig::for_dialect(11, d);
+            let cases: Vec<CaseReport> = (0..8).map(|i| run_case(&cfg, i)).collect();
+            let report = FuzzReport::from_cases_in(11, d.name(), &cases);
+            assert!(report.is_clean(), "{}:\n{}", d.name(), report.to_json());
+            assert_eq!(report.counts.dialect_fail, 0);
+            assert_eq!(report.counts.dialect_pass, 8, "{}", d.name());
+            for (c, b) in cases.iter().zip(&base) {
+                // the corpus entry is the subject translated into the
+                // dialect and parses as that dialect's text
+                assert!(
+                    parse_query_dialect(&c.sql, d).is_ok(),
+                    "{} corpus entry does not parse: {}",
+                    d.name(),
+                    c.sql
+                );
+                // the execution-facing oracles are untouched: only the
+                // dialect tallies and the corpus text differ from a Squ run
+                let mut counts = c.counts;
+                counts.dialect_pass = 0;
+                assert_eq!(counts, b.counts);
+                assert_eq!(c.engine, b.engine);
+                assert_eq!(c.sema, b.sema);
+            }
+        }
     }
 
     /// A transform that *claims* to preserve equivalence but flips the

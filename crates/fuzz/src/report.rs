@@ -41,6 +41,12 @@ pub struct OracleCounts {
     /// Transform applications skipped (rewrite produced a query the binder
     /// rejects, or execution failed on a witness).
     pub metamorphic_skip: u64,
+    /// Dialect corpus entries (subject query translated into the run's
+    /// dialect) that held the dialect round-trip law. Always 0 for
+    /// `squ`-dialect runs.
+    pub dialect_pass: u64,
+    /// Dialect corpus entries that violated it.
+    pub dialect_fail: u64,
 }
 
 impl OracleCounts {
@@ -58,6 +64,8 @@ impl OracleCounts {
         self.breaking_distinguished += other.breaking_distinguished;
         self.breaking_undistinguished += other.breaking_undistinguished;
         self.metamorphic_skip += other.metamorphic_skip;
+        self.dialect_pass += other.dialect_pass;
+        self.dialect_fail += other.dialect_fail;
     }
 
     /// Any hard oracle violation? (Skips and undistinguished-breaking
@@ -67,6 +75,7 @@ impl OracleCounts {
             || self.mutation_fail > 0
             || self.differential_fail > 0
             || self.preserving_fail > 0
+            || self.dialect_fail > 0
     }
 }
 
@@ -202,6 +211,8 @@ pub struct FuzzReport {
     pub version: u32,
     /// Generator seed for the run.
     pub seed: u64,
+    /// Corpus dialect of the run (`squ` for the historical oracles).
+    pub dialect: String,
     /// Number of generated cases.
     pub cases: u64,
     /// Aggregated oracle tallies.
@@ -217,6 +228,11 @@ pub struct FuzzReport {
 impl FuzzReport {
     /// Aggregate per-case reports (in case order) into a run report.
     pub fn from_cases(seed: u64, cases: &[CaseReport]) -> FuzzReport {
+        FuzzReport::from_cases_in(seed, "squ", cases)
+    }
+
+    /// Aggregate per-case reports of a run whose corpus is in `dialect`.
+    pub fn from_cases_in(seed: u64, dialect: &str, cases: &[CaseReport]) -> FuzzReport {
         let mut counts = OracleCounts::default();
         let mut engine = EngineCounters::default();
         let mut sema = SemaCounters::default();
@@ -228,8 +244,9 @@ impl FuzzReport {
             failures.extend(c.failures.iter().cloned());
         }
         FuzzReport {
-            version: 3,
+            version: 4,
             seed,
+            dialect: dialect.to_string(),
             cases: cases.len() as u64,
             counts,
             engine,
@@ -251,12 +268,22 @@ impl FuzzReport {
     /// One-line human summary for the console.
     pub fn summary_line(&self) -> String {
         let c = &self.counts;
+        let dialect = if self.dialect == "squ" {
+            String::new()
+        } else {
+            format!(
+                ", dialect[{}] {}/{} fail",
+                self.dialect,
+                c.dialect_fail,
+                c.dialect_pass + c.dialect_fail
+            )
+        };
         format!(
             "fuzz: {} cases, roundtrip {}/{} fail, mutation {}/{} fail, \
              differential {} pass / {} skip / {} fail, metamorphic {} pass / {} fail \
              ({} breaking distinguished, {} undistinguished, {} skipped), \
              engine {} compiled / {} fallback, \
-             sema {} empties / {} certified eq / {} ineq, {} soundness fail",
+             sema {} empties / {} certified eq / {} ineq, {} soundness fail{dialect}",
             self.cases,
             c.roundtrip_fail,
             c.roundtrip_pass + c.roundtrip_fail,

@@ -3,25 +3,37 @@ use crate::{
     words::word_index_at,
     Keyword, LexError,
 };
+use squ_dialect::Dialect;
 
 /// Streaming SQL lexer over a source string.
 ///
 /// Most callers use the convenience functions [`tokenize`] /
 /// [`tokenize_lossy`]; the struct form exists for incremental use and for
-/// tests that want to observe errors mid-stream.
+/// tests that want to observe errors mid-stream. Dialect differences that
+/// live at the token level — which identifier quotes are legal, whether
+/// `#` opens a line comment or continues a word — come from the
+/// [`Dialect`] matrix; [`Lexer::new`] keeps the permissive
+/// [`Dialect::Squ`] union behavior.
 pub struct Lexer<'a> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    dialect: Dialect,
 }
 
 impl<'a> Lexer<'a> {
-    /// Create a lexer over `src`.
+    /// Create a lexer over `src` in the default [`Dialect::Squ`].
     pub fn new(src: &'a str) -> Self {
+        Lexer::with_dialect(src, Dialect::Squ)
+    }
+
+    /// Create a lexer over `src` with `dialect` token rules.
+    pub fn with_dialect(src: &'a str, dialect: Dialect) -> Self {
         Lexer {
             src,
             bytes: src.as_bytes(),
             pos: 0,
+            dialect,
         }
     }
 
@@ -49,6 +61,16 @@ impl<'a> Lexer<'a> {
                 }
                 Some(b'-') if self.peek2() == Some(b'-') => {
                     // line comment
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'#') if self.dialect.hash_line_comments() => {
+                    // MySQL-style `#` line comment (never a word sigil
+                    // there, so this cannot shadow `#temp` identifiers)
                     while let Some(b) = self.peek() {
                         if b == b'\n' {
                             break;
@@ -86,8 +108,9 @@ impl<'a> Lexer<'a> {
 
         let kind_text: (TokenKind, String) = match b {
             b'\'' => self.lex_string(start)?,
-            b'"' => self.lex_quoted_ident(start, b'"', b'"')?,
-            b'[' => self.lex_quoted_ident(start, b'[', b']')?,
+            b'"' if self.dialect.accepts_quote('"') => self.lex_quoted_ident(start, b'"', b'"')?,
+            b'[' if self.dialect.accepts_quote('[') => self.lex_quoted_ident(start, b'[', b']')?,
+            b'`' if self.dialect.accepts_quote('`') => self.lex_quoted_ident(start, b'`', b'`')?,
             b'0'..=b'9' => self.lex_number(start)?,
             b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number(start)?,
             b'.' => {
@@ -149,7 +172,10 @@ impl<'a> Lexer<'a> {
                     (TokenKind::CompareOp(CompareOp::Gt), ">".to_string())
                 }
             }
-            b if b.is_ascii_alphabetic() || b == b'_' || b == b'#' || b == b'@' => {
+            b if b.is_ascii_alphabetic()
+                || b == b'_'
+                || ((b == b'#' || b == b'@') && self.dialect.word_sigils()) =>
+            {
                 self.lex_word(start)
             }
             other => {
@@ -170,8 +196,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_word(&mut self, start: usize) -> (TokenKind, String) {
+        let sigils = self.dialect.word_sigils();
         while let Some(b) = self.peek() {
-            if b.is_ascii_alphanumeric() || b == b'_' || b == b'#' || b == b'@' || b == b'$' {
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (sigils && (b == b'#' || b == b'@' || b == b'$'))
+            {
                 self.pos += 1;
             } else {
                 break;
@@ -284,9 +314,16 @@ impl Iterator for Lexer<'_> {
     }
 }
 
-/// Tokenize `src` fully, failing on the first lexical error.
+/// Tokenize `src` fully in [`Dialect::Squ`], failing on the first
+/// lexical error.
 pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
-    Lexer::new(src).collect()
+    tokenize_dialect(src, Dialect::Squ)
+}
+
+/// Tokenize `src` fully under `dialect` token rules, failing on the
+/// first lexical error.
+pub fn tokenize_dialect(src: &str, dialect: Dialect) -> Result<Vec<Token>, LexError> {
+    Lexer::with_dialect(src, dialect).collect()
 }
 
 /// Tokenize `src`, skipping unlexable bytes instead of failing.
@@ -295,7 +332,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
 /// (the benchmark's error-injected corpora): returns all tokens that *can*
 /// be produced plus the list of errors encountered.
 pub fn tokenize_lossy(src: &str) -> (Vec<Token>, Vec<LexError>) {
-    let mut lx = Lexer::new(src);
+    tokenize_lossy_dialect(src, Dialect::Squ)
+}
+
+/// [`tokenize_lossy`] under `dialect` token rules.
+pub fn tokenize_lossy_dialect(src: &str, dialect: Dialect) -> (Vec<Token>, Vec<LexError>) {
+    let mut lx = Lexer::with_dialect(src, dialect);
     let mut toks = Vec::new();
     let mut errs = Vec::new();
     loop {
@@ -460,6 +502,48 @@ mod tests {
         let k = kinds("a || b;");
         assert!(k.contains(&TokenKind::Concat));
         assert!(k.contains(&TokenKind::Semicolon));
+    }
+
+    #[test]
+    fn dialect_quote_rules() {
+        // backtick quoting is a MySQL/SQLite thing, rejected elsewhere
+        let toks = tokenize_dialect("SELECT `weird name` FROM t", Dialect::Mysql).unwrap();
+        assert_eq!(toks[1].kind, TokenKind::QuotedIdent);
+        assert_eq!(toks[1].text, "weird name");
+        assert!(tokenize("SELECT `x` FROM t").is_err());
+        assert!(tokenize_dialect("SELECT `x` FROM t", Dialect::Postgres).is_err());
+        // brackets are Squ/SQLite/T-SQL, not Postgres or MySQL
+        assert!(tokenize_dialect("SELECT [x] FROM t", Dialect::Tsql).is_ok());
+        assert!(tokenize_dialect("SELECT [x] FROM t", Dialect::Postgres).is_err());
+        // double quotes are everywhere except MySQL
+        assert!(tokenize_dialect(r#"SELECT "x" FROM t"#, Dialect::Postgres).is_ok());
+        assert!(tokenize_dialect(r#"SELECT "x" FROM t"#, Dialect::Mysql).is_err());
+    }
+
+    #[test]
+    fn dialect_hash_comments_and_word_sigils() {
+        // `#` opens a line comment only in MySQL
+        let toks = tokenize_dialect("SELECT x # trailing\nFROM t", Dialect::Mysql).unwrap();
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["SELECT", "x", "FROM", "t"]);
+        // in Squ and T-SQL, `#` starts a word (CasJobs temp tables)
+        for d in [Dialect::Squ, Dialect::Tsql] {
+            let toks = tokenize_dialect("SELECT a FROM #tmp", d).unwrap();
+            assert_eq!(toks.last().unwrap().text, "#tmp");
+        }
+        // elsewhere `#` is simply an unexpected character
+        assert!(matches!(
+            tokenize_dialect("SELECT a FROM #tmp", Dialect::Postgres),
+            Err(LexError::UnexpectedChar { ch: '#', .. })
+        ));
+    }
+
+    #[test]
+    fn squ_dialect_is_the_default_behavior() {
+        let src = r#"SELECT "a", [b], #t, @v FROM x -- c"#;
+        let default = tokenize(src).unwrap();
+        let explicit = tokenize_dialect(src, Dialect::Squ).unwrap();
+        assert_eq!(default, explicit);
     }
 
     #[test]

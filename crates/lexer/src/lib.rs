@@ -35,6 +35,7 @@ mod words;
 
 pub use error::LexError;
 pub use keyword::Keyword;
-pub use lexer::{tokenize, tokenize_lossy, Lexer};
+pub use lexer::{tokenize, tokenize_dialect, tokenize_lossy, tokenize_lossy_dialect, Lexer};
+pub use squ_dialect::Dialect;
 pub use token::{CompareOp, Span, Token, TokenKind};
 pub use words::{char_count, word_count, word_index_at, words};

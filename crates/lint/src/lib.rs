@@ -19,8 +19,10 @@
 pub mod rules;
 
 pub use rules::{rule, RuleInfo, Severity, REGISTRY};
+pub use squ_dialect::Dialect as LintDialect;
 
-use squ_lexer::{tokenize, Span};
+use squ_dialect::Dialect;
+use squ_lexer::{tokenize, Span, TokenKind};
 use squ_parser::{parse, ParseError};
 use squ_schema::{analyze_statement, ResolutionSignature, Schema};
 
@@ -149,6 +151,102 @@ pub fn lint(sql: &str, schema: &Schema) -> LintReport {
         }
     }
     report
+}
+
+/// [`lint`], then check the SQL's *dialect conformance*: the statement is
+/// analyzed through the permissive Squ pipeline as usual, and any
+/// construct the target `dialect` would not accept — a foreign quote
+/// style, an unsupported `LIMIT`/`TOP` form, a function spelling outside
+/// the dialect's catalog, an identifier colliding with one of its
+/// reserved words — is reported as an `SQU12x` warning. With
+/// `Dialect::Squ` this is exactly [`lint`].
+pub fn lint_dialect(sql: &str, schema: &Schema, dialect: Dialect) -> LintReport {
+    let mut report = lint(sql, schema);
+    if dialect == Dialect::Squ {
+        return report;
+    }
+    dialect_advisories(sql, dialect, &mut report.diagnostics);
+    report
+}
+
+/// Append the `SQU12x` dialect-conformance advisories for `dialect`.
+fn dialect_advisories(sql: &str, dialect: Dialect, out: &mut Vec<LintDiagnostic>) {
+    let Ok(tokens) = tokenize(sql) else {
+        return; // a lex error is already an SQU001 in the report
+    };
+    for t in &tokens {
+        let span = Some(t.span);
+        match &t.kind {
+            TokenKind::QuotedIdent => {
+                let open = sql[t.span.start..].chars().next().unwrap_or('"');
+                if !dialect.accepts_quote(open) {
+                    out.push(LintDiagnostic {
+                        code: "SQU120",
+                        severity: Severity::Warning,
+                        span,
+                        message: format!(
+                            "{open}…-quoted identifier is not valid in {}",
+                            dialect.name()
+                        ),
+                    });
+                }
+            }
+            TokenKind::Keyword(squ_lexer::Keyword::Limit) if !dialect.supports_limit() => {
+                out.push(LintDiagnostic {
+                    code: "SQU121",
+                    severity: Severity::Warning,
+                    span,
+                    message: format!("{} has no LIMIT clause (use TOP)", dialect.name()),
+                });
+            }
+            TokenKind::Keyword(squ_lexer::Keyword::Top) if !dialect.supports_top() => {
+                out.push(LintDiagnostic {
+                    code: "SQU121",
+                    severity: Severity::Warning,
+                    span,
+                    message: format!("{} has no TOP clause (use LIMIT)", dialect.name()),
+                });
+            }
+            TokenKind::Ident => {
+                if dialect.is_reserved(&t.text) {
+                    out.push(LintDiagnostic {
+                        code: "SQU123",
+                        severity: Severity::Warning,
+                        span,
+                        message: format!(
+                            "identifier {:?} is a reserved word in {}",
+                            t.text,
+                            dialect.name()
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+        // a function call is an identifier-or-keyword token directly
+        // followed by `(`; check its spelling against the catalog
+        if matches!(t.kind, TokenKind::Ident | TokenKind::Keyword(_)) {
+            let is_call = tokens
+                .iter()
+                .find(|n| n.span.start >= t.span.end)
+                .is_some_and(|n| n.kind == TokenKind::LParen);
+            if is_call
+                && squ_dialect::lookup_function(&t.text).is_some()
+                && !dialect.knows_function(&t.text)
+            {
+                out.push(LintDiagnostic {
+                    code: "SQU122",
+                    severity: Severity::Warning,
+                    span: Some(t.span),
+                    message: format!(
+                        "{} spells this function {:?}",
+                        dialect.name(),
+                        dialect.function_spelling(&t.text).unwrap_or("differently")
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Append the `SQU1xx` style advisories for a parsed statement.
@@ -284,6 +382,55 @@ mod tests {
                 assert_eq!(info.severity, d.severity, "{}", d.code);
             }
         }
+    }
+
+    #[test]
+    fn dialect_advisories_squ12x() {
+        // wrong quote style for the target dialect
+        let sql = r#"SELECT "weird name" FROM SpecObj"#;
+        let r = lint_dialect(sql, &sdss(), Dialect::Mysql);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "SQU120")
+            .expect("quote-style advisory");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.map(|s| s.slice(sql)), Some("\"weird name\""));
+
+        // LIMIT where the dialect wants TOP, and vice versa
+        let r = lint_dialect(
+            "SELECT plate FROM SpecObj ORDER BY plate ASC LIMIT 5",
+            &sdss(),
+            Dialect::Tsql,
+        );
+        assert!(r.diagnostics.iter().any(|d| d.code == "SQU121"));
+        let r = lint_dialect("SELECT TOP 5 plate FROM SpecObj", &sdss(), Dialect::Sqlite);
+        assert!(r.diagnostics.iter().any(|d| d.code == "SQU121"));
+
+        // a catalog function under a spelling the dialect lacks
+        let sql = "SELECT plate FROM SpecObj WHERE LEN(class) > 3";
+        let r = lint_dialect(sql, &sdss(), Dialect::Postgres);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "SQU122")
+            .expect("function-spelling advisory");
+        assert!(d.message.contains("LENGTH"), "{}", d.message);
+
+        // reserved-word collision
+        let r = lint_dialect("SELECT rank FROM SpecObj", &sdss(), Dialect::Mysql);
+        assert!(r.diagnostics.iter().any(|d| d.code == "SQU123"));
+
+        // all SQU12x are warnings: the report stays clean
+        assert!(r.errors().next().map(|d| d.code) != Some("SQU123"));
+    }
+
+    #[test]
+    fn squ_dialect_lint_is_plain_lint() {
+        let sql = "SELECT TOP 5 \"weird\" FROM SpecObj WHERE LEN(class) > 3";
+        let a = lint(sql, &sdss());
+        let b = lint_dialect(sql, &sdss(), Dialect::Squ);
+        assert_eq!(a.diagnostics, b.diagnostics);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `SQU03x` | types and cardinality (binder) |
 //! | `SQU10x` | style advisories (warnings, never audit failures) |
 //! | `SQU11x` | semantic advisories from `squ-sema` (warnings) |
+//! | `SQU12x` | dialect-conformance advisories (warnings, via `lint_dialect`) |
 
 use std::fmt;
 
@@ -149,6 +150,30 @@ pub const REGISTRY: &[RuleInfo] = &[
         severity: Severity::Warning,
         paper_label: None,
         summary: "BETWEEN range is empty (lower bound exceeds upper bound)",
+    },
+    RuleInfo {
+        code: "SQU120",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "identifier quote style not accepted by the target dialect",
+    },
+    RuleInfo {
+        code: "SQU121",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "row-bound form (LIMIT/TOP) not supported by the target dialect",
+    },
+    RuleInfo {
+        code: "SQU122",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "function spelling unknown to the target dialect's catalog",
+    },
+    RuleInfo {
+        code: "SQU123",
+        severity: Severity::Warning,
+        paper_label: None,
+        summary: "identifier collides with a reserved word of the target dialect",
     },
 ];
 

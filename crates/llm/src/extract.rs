@@ -289,6 +289,40 @@ pub fn extract_word(text: &str) -> Extracted<String> {
     }
 }
 
+/// Extract the SQL query from a translation response.
+///
+/// Preference order: the first fenced code block (```` ``` ````, with an
+/// optional language tag), then the first line that starts with `SELECT`
+/// or `WITH` (the only statement heads the benchmark queries use). A
+/// trailing semicolon is stripped; prose-only responses go to review.
+pub fn extract_sql(text: &str) -> Extracted<String> {
+    if let Some(open) = text.find("```") {
+        let after = &text[open + 3..];
+        if let Some(close) = after.find("```") {
+            let mut body = &after[..close];
+            // drop a language tag on the opening line ("sql\n…")
+            if let Some(nl) = body.find('\n') {
+                let first = body[..nl].trim();
+                if first.chars().all(|c| c.is_ascii_alphanumeric()) {
+                    body = &body[nl + 1..];
+                }
+            }
+            let sql = body.trim().trim_end_matches(';').trim();
+            if !sql.is_empty() {
+                return Extracted::Value(sql.to_string());
+            }
+        }
+    }
+    for line in text.lines() {
+        let l = line.trim().trim_end_matches(';').trim();
+        let lower = l.to_lowercase();
+        if lower.starts_with("select ") || lower.starts_with("with ") {
+            return Extracted::Value(l.to_string());
+        }
+    }
+    Extracted::NeedsReview
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +527,30 @@ mod tests {
         // echoed query + tagged answer with no quotes at all
         let tagged = "You asked: what is the missing word?\n\nSELECT \"x\" FROM t\n\nMissing word: GROUP. Position: 7.";
         assert_eq!(extract_word(tagged), Extracted::Value("GROUP".to_string()));
+    }
+
+    #[test]
+    fn sql_extraction_prefers_fences() {
+        assert_eq!(
+            extract_sql("Here is the translation:\n```sql\nSELECT `a` FROM t;\n```\nDone."),
+            Extracted::Value("SELECT `a` FROM t".to_string())
+        );
+        assert_eq!(
+            extract_sql("```\nWITH c AS (SELECT 1) SELECT * FROM c\n```"),
+            Extracted::Value("WITH c AS (SELECT 1) SELECT * FROM c".to_string())
+        );
+    }
+
+    #[test]
+    fn sql_extraction_bare_line_and_review() {
+        assert_eq!(
+            extract_sql("The translated query is:\nSELECT plate FROM SpecObj;\nNote the quoting."),
+            Extracted::Value("SELECT plate FROM SpecObj".to_string())
+        );
+        assert_eq!(
+            extract_sql("I cannot translate this query."),
+            Extracted::NeedsReview
+        );
     }
 
     #[test]

@@ -22,12 +22,14 @@ mod run;
 mod simulate;
 mod transport;
 
-pub use extract::{extract_binary, extract_label, extract_position, extract_word, Extracted};
+pub use extract::{
+    extract_binary, extract_label, extract_position, extract_sql, extract_word, Extracted,
+};
 pub use model::{GroundTruth, LanguageModel, Request, Task};
 pub use profiles::{DatasetId, ModelId};
 pub use run::{
-    run_task, run_task_direct, EquivOutcome, ExplainOutcome, PerfOutcome, RunTask, SyntaxOutcome,
-    TokenOutcome,
+    run_task, run_task_direct, translation_matches_gold, EquivOutcome, ExplainOutcome,
+    PerfOutcome, RunTask, SyntaxOutcome, TokenOutcome, TranslateOutcome,
 };
 pub use simulate::{SimConfig, SimulatedModel};
 pub use transport::{

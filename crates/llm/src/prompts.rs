@@ -24,6 +24,9 @@ pub fn task_prompt(task: Task) -> &'static str {
         }
         Task::Perf => "Does the following query take longer than usual to run?",
         Task::Explain => "Provide a single statement describing this query:",
+        Task::Translate => {
+            "Translate the following SQL query from the source dialect to the target dialect. Reply with only the translated query."
+        }
     }
 }
 
@@ -51,6 +54,10 @@ pub fn candidate_prompts(task: Task) -> Vec<&'static str> {
         Task::Explain => vec![
             "Summarize what this SQL query computes in one sentence:",
             "Describe the output of the following query:",
+        ],
+        Task::Translate => vec![
+            "Rewrite this SQL query so it runs on the target dialect, preserving its results exactly.",
+            "Convert the query below from the source SQL dialect to the target SQL dialect and output only SQL.",
         ],
     });
     v
@@ -105,6 +112,7 @@ mod tests {
             Task::Equiv,
             Task::Perf,
             Task::Explain,
+            Task::Translate,
         ] {
             assert_eq!(candidate_prompts(task)[0], task_prompt(task));
             assert!(candidate_prompts(task).len() >= 3);

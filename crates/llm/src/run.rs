@@ -1,4 +1,4 @@
-//! The generic task runner: one driver for all five task families.
+//! The generic task runner: one driver for all six task families.
 //!
 //! [`RunTask`] extends [`squ_tasks::Task`] with the model-facing half of
 //! the contract — prompt rendering, free-text extraction, and scoring —
@@ -12,14 +12,14 @@
 //! extractor cannot parse are flagged `needs_review` and default to the
 //! negative answer (the paper routed these to manual review).
 
-use crate::extract::{extract_binary, extract_label, extract_position, extract_word};
+use crate::extract::{extract_binary, extract_label, extract_position, extract_sql, extract_word};
 use crate::model::{LanguageModel, Request};
 use crate::profiles::DatasetId;
 use crate::prompts;
 use crate::transport::{CallRecord, DirectClient, ModelClient};
 use squ_tasks::{
     EquivExample, EquivTask, ExplainExample, ExplainTask, PerfExample, PerfTask, SyntaxExample,
-    SyntaxTask, TokenExample, TokenTask,
+    SyntaxTask, TokenExample, TokenTask, TranslateExample, TranslateTask,
 };
 use squ_workload::Workload;
 
@@ -318,4 +318,65 @@ impl RunTask for ExplainTask {
         // Explanations are rubric-scored free text: no review bucket.
         (false, &o.call)
     }
+}
+
+/// Outcome of one dialect-translation example.
+#[derive(Debug, Clone)]
+pub struct TranslateOutcome {
+    /// The labeled example.
+    pub example: TranslateExample,
+    /// Raw model response.
+    pub response: String,
+    /// The SQL the extractor pulled out of the response, if any.
+    pub said_sql: Option<String>,
+    /// Whether the extracted SQL parses in the target dialect to the same
+    /// query as the gold translation (structural, not textual, equality).
+    pub correct: bool,
+    /// No SQL could be extracted from the response.
+    pub needs_review: bool,
+    /// Transport telemetry for the call behind this outcome.
+    pub call: CallRecord,
+}
+
+impl RunTask for TranslateTask {
+    type Outcome = TranslateOutcome;
+
+    fn extract(&self, e: &TranslateExample, response: String, call: CallRecord) -> TranslateOutcome {
+        let said_sql = extract_sql(&response).value();
+        let correct = said_sql
+            .as_deref()
+            .is_some_and(|sql| translation_matches_gold(sql, &e.gold_sql, &e.target_dialect));
+        TranslateOutcome {
+            example: e.clone(),
+            needs_review: said_sql.is_none(),
+            said_sql,
+            correct,
+            response,
+            call,
+        }
+    }
+
+    fn call_fact(o: &TranslateOutcome) -> (bool, &CallRecord) {
+        (o.needs_review, &o.call)
+    }
+}
+
+/// Does a candidate translation mean the same thing as the gold one?
+///
+/// Both texts are parsed in the *target* dialect and compared through the
+/// canonical printer, so surface freedoms the dialect allows (quote style,
+/// `TOP` vs `LIMIT` spelling where both exist, whitespace) do not count
+/// against the model, while any structural difference does. A candidate
+/// that does not parse in the target dialect is wrong by definition.
+pub fn translation_matches_gold(candidate: &str, gold: &str, target_dialect: &str) -> bool {
+    let Some(d) = squ_dialect::Dialect::by_name(target_dialect) else {
+        return false;
+    };
+    let (Ok(cq), Ok(gq)) = (
+        squ_parser::parse_query_dialect(candidate, d),
+        squ_parser::parse_query_dialect(gold, d),
+    ) else {
+        return false;
+    };
+    squ_parser::print_query(&cq) == squ_parser::print_query(&gq)
 }

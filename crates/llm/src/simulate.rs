@@ -157,6 +157,9 @@ impl LanguageModel for SimulatedModel {
             (GroundTruth::Explain { facts, sql, .. }, Task::Explain) => {
                 respond_explain(self.id, facts, sql, &mut rng)
             }
+            (GroundTruth::Translate { gold_sql, target }, Task::Translate) => {
+                respond_translate(self.id, self.config, req, gold_sql, target, &mut rng)
+            }
             _ => "I am unable to answer this request.".to_string(),
         }
     }
@@ -667,6 +670,43 @@ fn respond_explain(id: ModelId, facts: &KeyFacts, sql: &str, rng: &mut StdRng) -
     text
 }
 
+// ---------------- dialect translation ----------------
+
+fn respond_translate(
+    id: ModelId,
+    cfg: SimConfig,
+    req: &Request,
+    gold_sql: &str,
+    target: &str,
+    rng: &mut StdRng,
+) -> String {
+    let acc = translate_target(id, req.dataset);
+    let p_err = clamp_p(
+        cfg.error_scale
+            * (1.0 - acc)
+            * complexity_weight(&req.props, req.dataset, 0.8 * cfg.tilt_scale),
+    );
+    if !rng.gen_bool(p_err) {
+        // correct: the gold translation, wrapped in one of several verbose
+        // framings the extractor must see through
+        return pick_fmt(rng, &[
+            format!("Here is the query translated to {target}:\n```sql\n{gold_sql}\n```"),
+            format!("The {target} version of the query is:\n{gold_sql}"),
+            format!("Translated into the {target} dialect, the query reads:\n```\n{gold_sql};\n```\nAll identifiers were kept as-is."),
+        ]);
+    }
+    // failure mode: a subtly wrong translation (a DISTINCT slipped in —
+    // realistic semantic drift). Like every other simulated phrasing the
+    // response stays extractable; only *transport* faults produce
+    // review-bucket responses.
+    let wrong = gold_sql.replacen("SELECT", "SELECT DISTINCT", 1);
+    pick_fmt(rng, &[
+        format!("In {target} this would be:\n```sql\n{wrong}\n```"),
+        format!("The translated query is:\n{wrong}"),
+        format!("After adjusting it for {target}, the query becomes:\n```\n{wrong};\n```"),
+    ])
+}
+
 // ---------------- phrasing helpers ----------------
 
 fn pick(rng: &mut StdRng, options: &[&str]) -> String {
@@ -778,6 +818,33 @@ mod tests {
             long_miss > short_miss,
             "long {long_miss} vs short {short_miss}"
         );
+    }
+
+    #[test]
+    fn translate_responses_embed_gold_for_strong_models() {
+        let m = SimulatedModel::new(ModelId::Gpt4);
+        let gold = "SELECT plate FROM SpecObj WHERE z > 0.5 LIMIT 5";
+        let mut exact = 0;
+        for i in 0..200 {
+            let req = Request {
+                task: Task::Translate,
+                dataset: DatasetId::Sdss,
+                example_id: format!("t-{i}"),
+                prompt: "Translate…".into(),
+                truth: GroundTruth::Translate {
+                    gold_sql: gold.to_string(),
+                    target: "postgres".to_string(),
+                },
+                props: props(10),
+            };
+            let r = m.respond(&req);
+            assert_eq!(r, m.respond(&req), "deterministic");
+            if r.contains(gold) {
+                exact += 1;
+            }
+        }
+        // GPT4's target accuracy on SDSS is 0.92; short queries tilt even higher
+        assert!(exact > 150, "gold embedded only {exact}/200 times");
     }
 
     #[test]

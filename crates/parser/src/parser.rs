@@ -18,12 +18,20 @@
 
 use crate::ast::*;
 use crate::error::ParseError;
-use squ_lexer::{tokenize, Keyword, Span, Token, TokenKind};
+use squ_lexer::{tokenize_dialect, Dialect, Keyword, Span, Token, TokenKind};
 
-/// Parse a single SQL statement (trailing `;` tolerated).
+/// Parse a single SQL statement (trailing `;` tolerated) in the default
+/// [`Dialect::Squ`].
 pub fn parse(sql: &str) -> Result<Statement, ParseError> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser::new(tokens);
+    parse_dialect(sql, Dialect::Squ)
+}
+
+/// Parse a single SQL statement under `dialect` rules: the lexer applies
+/// the dialect's quote/comment matrix, and the grammar admits `LIMIT` /
+/// `TOP` / `||` only where the dialect does.
+pub fn parse_dialect(sql: &str, dialect: Dialect) -> Result<Statement, ParseError> {
+    let tokens = tokenize_dialect(sql, dialect)?;
+    let mut p = Parser::with_dialect(tokens, dialect);
     let stmt = p.parse_statement()?;
     p.eat_semicolons();
     if let Some(t) = p.peek() {
@@ -38,7 +46,12 @@ pub fn parse(sql: &str) -> Result<Statement, ParseError> {
 /// Parse a query (no DDL), convenience for the many call sites that only
 /// deal with `SELECT`s.
 pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
-    match parse(sql)? {
+    parse_query_dialect(sql, Dialect::Squ)
+}
+
+/// [`parse_query`] under `dialect` rules.
+pub fn parse_query_dialect(sql: &str, dialect: Dialect) -> Result<Query, ParseError> {
+    match parse_dialect(sql, dialect)? {
         Statement::Query(q) => Ok(q),
         other => Err(ParseError::Unexpected {
             expected: "a SELECT query".into(),
@@ -51,11 +64,16 @@ pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    dialect: Dialect,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+    fn with_dialect(tokens: Vec<Token>, dialect: Dialect) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            dialect,
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -278,7 +296,7 @@ impl Parser {
                 }
             }
         }
-        let limit = if self.eat_kw(Keyword::Limit) {
+        let limit = if self.dialect.supports_limit() && self.eat_kw(Keyword::Limit) {
             Some(self.number_u64("LIMIT count")?)
         } else {
             None
@@ -343,7 +361,7 @@ impl Parser {
             self.eat_kw(Keyword::All);
             false
         };
-        let top = if self.eat_kw(Keyword::Top) {
+        let top = if self.dialect.supports_top() && self.eat_kw(Keyword::Top) {
             Some(self.number_u64("TOP count")?)
         } else {
             None
@@ -664,7 +682,7 @@ impl Parser {
         loop {
             let op = match self.peek_kind() {
                 Some(TokenKind::ArithOp(c @ ('+' | '-'))) => *c,
-                Some(TokenKind::Concat) => {
+                Some(TokenKind::Concat) if self.dialect.concat_operator() => {
                     self.bump();
                     let right = self.parse_multiplicative()?;
                     left = Expr::Function {

@@ -6,82 +6,180 @@
 //! proptests and is what the benchmark's transformation machinery relies on:
 //! every injected error / deleted token / rewritten query is printed from an
 //! AST, so printer fidelity is label fidelity.
+//!
+//! The `_dialect` entry points render the same AST in a concrete dialect:
+//! identifiers that are not bare words in that dialect (or collide with its
+//! reserved words) are wrapped in the dialect's canonical quotes, and a
+//! top-level `LIMIT`/`TOP` is folded to whichever spelling the dialect
+//! accepts, so `parse_dialect(print_*_dialect(ast, d), d)` round-trips.
 
 use crate::ast::*;
+use squ_dialect::Dialect;
+use squ_lexer::Keyword;
 use std::fmt::Write;
 
-/// Render a statement as canonical SQL.
+/// Render a statement as canonical SQL (the default [`Dialect::Squ`]).
 pub fn print_statement(stmt: &Statement) -> String {
+    print_statement_dialect(stmt, Dialect::Squ)
+}
+
+/// Render a statement as canonical SQL in `dialect`.
+pub fn print_statement_dialect(stmt: &Statement, dialect: Dialect) -> String {
     let mut s = String::new();
-    write_statement(&mut s, stmt);
+    match stmt {
+        Statement::Query(q) => {
+            let mut q = q.clone();
+            fold_limit_top(&mut q, dialect);
+            write_query(&mut s, &q, dialect);
+        }
+        other => write_statement(&mut s, other, dialect),
+    }
     s
 }
 
-/// Render a query as canonical SQL.
+/// Render a query as canonical SQL (the default [`Dialect::Squ`]).
 pub fn print_query(q: &Query) -> String {
+    print_query_dialect(q, Dialect::Squ)
+}
+
+/// Render a query as canonical SQL in `dialect`, folding a top-level
+/// `LIMIT` / `TOP` into the spelling the dialect accepts.
+pub fn print_query_dialect(q: &Query, dialect: Dialect) -> String {
+    let mut q = q.clone();
+    fold_limit_top(&mut q, dialect);
     let mut s = String::new();
-    write_query(&mut s, q);
+    write_query(&mut s, &q, dialect);
     s
 }
 
 /// Render an expression as canonical SQL.
 pub fn print_expr(e: &Expr) -> String {
     let mut s = String::new();
-    write_expr(&mut s, e, 0);
+    write_expr(&mut s, e, Dialect::Squ);
     s
 }
 
-fn write_statement(out: &mut String, stmt: &Statement) {
+/// Move a top-level row bound to the spelling `dialect` accepts: `TOP n`
+/// becomes a trailing `LIMIT n` where `TOP` is unsupported, and vice
+/// versa. Only a plain-`SELECT` body participates; anything the fold
+/// cannot express stays faithful to the AST.
+fn fold_limit_top(q: &mut Query, dialect: Dialect) {
+    if !dialect.supports_top() {
+        if q.limit.is_none() {
+            if let SetExpr::Select(s) = &mut q.body {
+                if let Some(n) = s.top.take() {
+                    q.limit = Some(n);
+                }
+            }
+        }
+    }
+    if !dialect.supports_limit() {
+        if let Some(n) = q.limit {
+            if let SetExpr::Select(s) = &mut q.body {
+                if s.top.is_none() {
+                    s.top = Some(n);
+                    q.limit = None;
+                }
+            }
+        }
+    }
+}
+
+/// Is `part` a bare word of `dialect` (no quoting needed)?
+fn bare_word(part: &str, dialect: Dialect) -> bool {
+    let sigils = dialect.word_sigils();
+    let mut chars = part.chars();
+    let head_ok = matches!(
+        chars.next(),
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || (sigils && (c == '#' || c == '@'))
+    );
+    head_ok
+        && chars.all(|c| {
+            c.is_ascii_alphanumeric()
+                || c == '_'
+                || (sigils && (c == '#' || c == '@' || c == '$'))
+        })
+}
+
+/// Write one identifier (possibly `schema.name`-qualified), quoting each
+/// dot-separated part with the dialect's canonical quotes when it is not
+/// a bare word, collides with a lexer keyword, or is reserved in the
+/// dialect.
+fn write_ident(out: &mut String, name: &str, dialect: Dialect) {
+    for (i, part) in name.split('.').enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        if bare_word(part, dialect)
+            && Keyword::from_str_ci(part).is_none()
+            && !dialect.is_reserved(part)
+        {
+            out.push_str(part);
+        } else {
+            let (open, close) = dialect.canonical_quote();
+            out.push(open);
+            out.push_str(part);
+            out.push(close);
+        }
+    }
+}
+
+fn write_statement(out: &mut String, stmt: &Statement, d: Dialect) {
     match stmt {
-        Statement::Query(q) => write_query(out, q),
+        Statement::Query(q) => write_query(out, q, d),
         Statement::CreateTable {
             name,
             columns,
             source,
         } => {
-            let _ = write!(out, "CREATE TABLE {name}");
+            out.push_str("CREATE TABLE ");
+            write_ident(out, name, d);
             if let Some(q) = source {
                 out.push_str(" AS ");
-                write_query(out, q);
+                write_query(out, q, d);
             } else {
                 out.push_str(" (");
                 for (i, c) in columns.iter().enumerate() {
                     if i > 0 {
                         out.push_str(", ");
                     }
-                    let _ = write!(out, "{} {}", c.name, c.type_name);
+                    write_ident(out, &c.name, d);
+                    let _ = write!(out, " {}", c.type_name);
                 }
                 out.push(')');
             }
         }
         Statement::CreateView { name, query } => {
-            let _ = write!(out, "CREATE VIEW {name} AS ");
-            write_query(out, query);
+            out.push_str("CREATE VIEW ");
+            write_ident(out, name, d);
+            out.push_str(" AS ");
+            write_query(out, query, d);
         }
     }
 }
 
-fn write_query(out: &mut String, q: &Query) {
+fn write_query(out: &mut String, q: &Query, d: Dialect) {
     if !q.ctes.is_empty() {
         out.push_str("WITH ");
         for (i, cte) in q.ctes.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            let _ = write!(out, "{} AS (", cte.name);
-            write_query(out, &cte.query);
+            write_ident(out, &cte.name, d);
+            out.push_str(" AS (");
+            write_query(out, &cte.query, d);
             out.push(')');
         }
         out.push(' ');
     }
-    write_set_expr(out, &q.body);
+    write_set_expr(out, &q.body, d);
     if !q.order_by.is_empty() {
         out.push_str(" ORDER BY ");
         for (i, item) in q.order_by.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            write_expr(out, &item.expr, 0);
+            write_expr(out, &item.expr, d);
             if item.desc {
                 out.push_str(" DESC");
             } else {
@@ -94,16 +192,16 @@ fn write_query(out: &mut String, q: &Query) {
     }
 }
 
-fn write_set_expr(out: &mut String, body: &SetExpr) {
+fn write_set_expr(out: &mut String, body: &SetExpr, d: Dialect) {
     match body {
-        SetExpr::Select(s) => write_select(out, s),
+        SetExpr::Select(s) => write_select(out, s, d),
         SetExpr::SetOp {
             op,
             all,
             left,
             right,
         } => {
-            write_set_expr(out, left);
+            write_set_expr(out, left, d);
             let _ = write!(out, " {}", op.as_str());
             if *all {
                 out.push_str(" ALL");
@@ -113,16 +211,16 @@ fn write_set_expr(out: &mut String, body: &SetExpr) {
             // parentheses to round-trip
             if matches!(**right, SetExpr::SetOp { .. }) {
                 out.push('(');
-                write_set_expr(out, right);
+                write_set_expr(out, right, d);
                 out.push(')');
             } else {
-                write_set_expr(out, right);
+                write_set_expr(out, right, d);
             }
         }
     }
 }
 
-fn write_select(out: &mut String, s: &Select) {
+fn write_select(out: &mut String, s: &Select, d: Dialect) {
     out.push_str("SELECT ");
     if s.distinct {
         out.push_str("DISTINCT ");
@@ -137,12 +235,14 @@ fn write_select(out: &mut String, s: &Select) {
         match item {
             SelectItem::Wildcard => out.push('*'),
             SelectItem::QualifiedWildcard(q) => {
-                let _ = write!(out, "{q}.*");
+                write_ident(out, q, d);
+                out.push_str(".*");
             }
             SelectItem::Expr { expr, alias } => {
-                write_expr(out, expr, 0);
+                write_expr(out, expr, d);
                 if let Some(a) = alias {
-                    let _ = write!(out, " AS {a}");
+                    out.push_str(" AS ");
+                    write_ident(out, a, d);
                 }
             }
         }
@@ -153,12 +253,12 @@ fn write_select(out: &mut String, s: &Select) {
             if i > 0 {
                 out.push_str(", ");
             }
-            write_table_ref(out, tr);
+            write_table_ref(out, tr, d);
         }
     }
     if let Some(w) = &s.selection {
         out.push_str(" WHERE ");
-        write_expr(out, w, 0);
+        write_expr(out, w, d);
     }
     if !s.group_by.is_empty() {
         out.push_str(" GROUP BY ");
@@ -166,29 +266,31 @@ fn write_select(out: &mut String, s: &Select) {
             if i > 0 {
                 out.push_str(", ");
             }
-            write_expr(out, e, 0);
+            write_expr(out, e, d);
         }
     }
     if let Some(h) = &s.having {
         out.push_str(" HAVING ");
-        write_expr(out, h, 0);
+        write_expr(out, h, d);
     }
 }
 
-fn write_table_ref(out: &mut String, tr: &TableRef) {
+fn write_table_ref(out: &mut String, tr: &TableRef, d: Dialect) {
     match tr {
         TableRef::Named { name, alias } => {
-            out.push_str(name);
+            write_ident(out, name, d);
             if let Some(a) = alias {
-                let _ = write!(out, " AS {a}");
+                out.push_str(" AS ");
+                write_ident(out, a, d);
             }
         }
         TableRef::Derived { query, alias } => {
             out.push('(');
-            write_query(out, query);
+            write_query(out, query, d);
             out.push(')');
             if let Some(a) = alias {
-                let _ = write!(out, " AS {a}");
+                out.push_str(" AS ");
+                write_ident(out, a, d);
             }
         }
         TableRef::Join {
@@ -197,16 +299,23 @@ fn write_table_ref(out: &mut String, tr: &TableRef) {
             kind,
             constraint,
         } => {
-            write_table_ref(out, left);
+            write_table_ref(out, left, d);
             let _ = write!(out, " {} ", kind.as_str());
-            write_table_ref(out, right);
+            write_table_ref(out, right, d);
             match constraint {
                 JoinConstraint::On(e) => {
                     out.push_str(" ON ");
-                    write_expr(out, e, 0);
+                    write_expr(out, e, d);
                 }
                 JoinConstraint::Using(cols) => {
-                    let _ = write!(out, " USING ({})", cols.join(", "));
+                    out.push_str(" USING (");
+                    for (i, c) in cols.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        write_ident(out, c, d);
+                    }
+                    out.push(')');
                 }
                 JoinConstraint::None => {}
             }
@@ -235,43 +344,47 @@ fn expr_level(e: &Expr) -> u8 {
     }
 }
 
-fn write_child(out: &mut String, e: &Expr, min_level: u8) {
+fn write_child(out: &mut String, e: &Expr, min_level: u8, d: Dialect) {
     if expr_level(e) < min_level {
         out.push('(');
-        write_expr(out, e, 0);
+        write_expr(out, e, d);
         out.push(')');
     } else {
-        write_expr(out, e, min_level);
+        write_expr(out, e, d);
     }
 }
 
-fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
+fn write_expr(out: &mut String, e: &Expr, d: Dialect) {
     match e {
         Expr::Column(c) => {
-            let _ = write!(out, "{c}");
+            if let Some(q) = &c.qualifier {
+                write_ident(out, q, d);
+                out.push('.');
+            }
+            write_ident(out, &c.name, d);
         }
         Expr::Literal(l) => write_literal(out, l),
         Expr::Compare { op, left, right } => {
-            write_child(out, left, 5);
+            write_child(out, left, 5, d);
             let _ = write!(out, " {} ", op.as_str());
-            write_child(out, right, 5);
+            write_child(out, right, 5, d);
         }
         Expr::And(a, b) => {
-            write_child(out, a, 2);
+            write_child(out, a, 2, d);
             out.push_str(" AND ");
-            write_child(out, b, 3);
+            write_child(out, b, 3, d);
         }
         Expr::Or(a, b) => {
-            write_child(out, a, 1);
+            write_child(out, a, 1, d);
             out.push_str(" OR ");
-            write_child(out, b, 2);
+            write_child(out, b, 2, d);
         }
         Expr::Not(inner) => {
             out.push_str("NOT ");
-            write_child(out, inner, 4);
+            write_child(out, inner, 4, d);
         }
         Expr::IsNull { expr, negated } => {
-            write_child(out, expr, 5);
+            write_child(out, expr, 5, d);
             out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
         }
         Expr::Between {
@@ -280,28 +393,28 @@ fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
             high,
             negated,
         } => {
-            write_child(out, expr, 5);
+            write_child(out, expr, 5, d);
             out.push_str(if *negated {
                 " NOT BETWEEN "
             } else {
                 " BETWEEN "
             });
-            write_child(out, low, 5);
+            write_child(out, low, 5, d);
             out.push_str(" AND ");
-            write_child(out, high, 5);
+            write_child(out, high, 5, d);
         }
         Expr::InList {
             expr,
             list,
             negated,
         } => {
-            write_child(out, expr, 5);
+            write_child(out, expr, 5, d);
             out.push_str(if *negated { " NOT IN (" } else { " IN (" });
             for (i, item) in list.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_expr(out, item, 0);
+                write_expr(out, item, d);
             }
             out.push(')');
         }
@@ -310,19 +423,19 @@ fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
             subquery,
             negated,
         } => {
-            write_child(out, expr, 5);
+            write_child(out, expr, 5, d);
             out.push_str(if *negated { " NOT IN (" } else { " IN (" });
-            write_query(out, subquery);
+            write_query(out, subquery, d);
             out.push(')');
         }
         Expr::Exists { subquery, negated } => {
             out.push_str(if *negated { "NOT EXISTS (" } else { "EXISTS (" });
-            write_query(out, subquery);
+            write_query(out, subquery, d);
             out.push(')');
         }
         Expr::ScalarSubquery(q) => {
             out.push('(');
-            write_query(out, q);
+            write_query(out, q, d);
             out.push(')');
         }
         Expr::Like {
@@ -330,15 +443,17 @@ fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
             pattern,
             negated,
         } => {
-            write_child(out, expr, 5);
+            write_child(out, expr, 5, d);
             out.push_str(if *negated { " NOT LIKE " } else { " LIKE " });
-            write_child(out, pattern, 5);
+            write_child(out, pattern, 5, d);
         }
         Expr::Function {
             name,
             args,
             distinct,
         } => {
+            // function names are never quoted: a quoted name would not
+            // re-parse as a call, and every catalog spelling is a word
             let _ = write!(out, "{name}(");
             if *distinct {
                 out.push_str("DISTINCT ");
@@ -347,7 +462,7 @@ fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_expr(out, a, 0);
+                write_expr(out, a, d);
             }
             out.push(')');
         }
@@ -359,13 +474,13 @@ fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
                 '*' | '/' | '%' => (6, 7),
                 _ => (5, 6),
             };
-            write_child(out, left, lmin);
+            write_child(out, left, lmin, d);
             let _ = write!(out, " {op} ");
-            write_child(out, right, rmin);
+            write_child(out, right, rmin, d);
         }
         Expr::Neg(inner) => {
             out.push('-');
-            write_child(out, inner, 8);
+            write_child(out, inner, 8, d);
         }
         Expr::Case {
             operand,
@@ -375,23 +490,23 @@ fn write_expr(out: &mut String, e: &Expr, _ctx: u8) {
             out.push_str("CASE");
             if let Some(op) = operand {
                 out.push(' ');
-                write_expr(out, op, 0);
+                write_expr(out, op, d);
             }
             for (w, t) in branches {
                 out.push_str(" WHEN ");
-                write_expr(out, w, 0);
+                write_expr(out, w, d);
                 out.push_str(" THEN ");
-                write_expr(out, t, 0);
+                write_expr(out, t, d);
             }
             if let Some(e) = else_expr {
                 out.push_str(" ELSE ");
-                write_expr(out, e, 0);
+                write_expr(out, e, d);
             }
             out.push_str(" END");
         }
         Expr::Cast { expr, type_name } => {
             out.push_str("CAST(");
-            write_expr(out, expr, 0);
+            write_expr(out, expr, d);
             let _ = write!(out, " AS {type_name})");
         }
     }
@@ -417,7 +532,7 @@ fn write_literal(out: &mut String, l: &Literal) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::{parse, parse_query};
+    use crate::parser::{parse, parse_dialect, parse_query, parse_query_dialect};
 
     fn round_trip(sql: &str) {
         let q1 = parse(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
@@ -507,5 +622,103 @@ mod tests {
     #[test]
     fn string_escaping_round_trips() {
         round_trip("SELECT x FROM t WHERE name = 'it''s'");
+    }
+
+    #[test]
+    fn quoted_identifiers_now_round_trip() {
+        // identifiers that are not bare words come back out quoted
+        let q = parse_query(r#"SELECT "weird name" FROM t"#).unwrap();
+        let printed = print_query(&q);
+        assert_eq!(printed, r#"SELECT "weird name" FROM t"#);
+        assert_eq!(parse_query(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn dialect_canonical_quotes() {
+        let q = parse_query(r#"SELECT "weird name" FROM t"#).unwrap();
+        assert_eq!(
+            print_query_dialect(&q, Dialect::Mysql),
+            "SELECT `weird name` FROM t"
+        );
+        assert_eq!(
+            print_query_dialect(&q, Dialect::Tsql),
+            "SELECT [weird name] FROM t"
+        );
+        assert_eq!(
+            print_query_dialect(&q, Dialect::Postgres),
+            r#"SELECT "weird name" FROM t"#
+        );
+    }
+
+    #[test]
+    fn reserved_words_get_quoted_per_dialect() {
+        let q = parse_query("SELECT user FROM t").unwrap();
+        assert_eq!(
+            print_query_dialect(&q, Dialect::Postgres),
+            r#"SELECT "user" FROM t"#
+        );
+        // not reserved in SQLite: printed bare
+        assert_eq!(
+            print_query_dialect(&q, Dialect::Sqlite),
+            "SELECT user FROM t"
+        );
+    }
+
+    #[test]
+    fn limit_top_folding_per_dialect() {
+        let q = parse_query("SELECT x FROM t ORDER BY x ASC LIMIT 5").unwrap();
+        assert_eq!(
+            print_query_dialect(&q, Dialect::Tsql),
+            "SELECT TOP 5 x FROM t ORDER BY x ASC"
+        );
+        let q = parse_query("SELECT TOP 5 x FROM t").unwrap();
+        assert_eq!(
+            print_query_dialect(&q, Dialect::Sqlite),
+            "SELECT x FROM t LIMIT 5"
+        );
+        // Squ prints both faithfully
+        assert_eq!(print_query(&q), "SELECT TOP 5 x FROM t");
+    }
+
+    #[test]
+    fn dialect_prints_re_parse_in_their_dialect() {
+        for (sql, d) in [
+            ("SELECT x FROM t ORDER BY x ASC LIMIT 5", Dialect::Tsql),
+            ("SELECT TOP 5 x FROM t", Dialect::Mysql),
+            ("SELECT a || b FROM t", Dialect::Tsql),
+            (r#"SELECT "weird name" FROM #tmp"#, Dialect::Sqlite),
+        ] {
+            let q = parse_query(sql).unwrap();
+            let printed = print_query_dialect(&q, d);
+            parse_query_dialect(&printed, d)
+                .unwrap_or_else(|e| panic!("{printed:?} in {}: {e}", d.name()));
+        }
+    }
+
+    #[test]
+    fn concat_always_prints_as_function() {
+        // `||` is folded to CONCAT at parse time; the printer keeps the
+        // function form, which every dialect accepts
+        let q = parse_query("SELECT a || b FROM t").unwrap();
+        for d in Dialect::ALL {
+            assert_eq!(print_query_dialect(&q, d), "SELECT CONCAT(a, b) FROM t");
+        }
+    }
+
+    #[test]
+    fn dialect_fixpoint_on_own_parses() {
+        // print_dialect(parse_dialect(x, d), d) must re-parse to the same AST
+        for (sql, d) in [
+            ("SELECT `a b` FROM t LIMIT 3", Dialect::Mysql),
+            ("SELECT TOP 3 [a b] FROM t", Dialect::Tsql),
+            ("SELECT a || b FROM \"c d\"", Dialect::Postgres),
+            ("SELECT substr(x, 1, 2) FROM t LIMIT 1", Dialect::Sqlite),
+        ] {
+            let s1 = parse_dialect(sql, d).unwrap();
+            let printed = print_statement_dialect(&s1, d);
+            let s2 = parse_dialect(&printed, d)
+                .unwrap_or_else(|e| panic!("{printed:?} in {}: {e}", d.name()));
+            assert_eq!(s1, s2, "{sql:?} -> {printed:?} in {}", d.name());
+        }
     }
 }

@@ -772,20 +772,28 @@ fn literal_type(l: &Literal) -> Option<SqlType> {
     }
 }
 
-/// Result type of a function call. `arg_type` is consulted lazily for the
-/// aggregate functions whose type follows their argument.
+/// Result type of a function call, resolved through the dialect function
+/// catalog (case-insensitive under every dialect spelling — `count`,
+/// `Count`, `COUNT`, and `LEN`/`LENGTH` all land on one catalog row).
+/// `arg_type` is consulted lazily for the aggregate functions whose type
+/// follows their argument; names outside the catalog keep the historical
+/// numeric default.
 fn function_type(
     name: &str,
     args: &[Expr],
     arg_type: impl FnMut(&Expr) -> Option<SqlType>,
 ) -> SqlType {
-    match name.to_ascii_uppercase().as_str() {
-        "COUNT" => SqlType::Int,
-        "SUM" | "AVG" | "MIN" | "MAX" => args.first().and_then(arg_type).unwrap_or(SqlType::Float),
-        "UPPER" | "LOWER" | "SUBSTR" | "SUBSTRING" | "TRIM" | "CONCAT" | "LEFT" | "RIGHT"
-        | "REPLACE" | "LTRIM" | "RTRIM" | "STR" => SqlType::Text,
-        "LEN" | "LENGTH" | "CHARINDEX" | "DATALENGTH" => SqlType::Int,
-        _ => SqlType::Float,
+    use squ_dialect::FunctionResult;
+    match squ_dialect::lookup_function(name) {
+        Some(spec) => match spec.result {
+            FunctionResult::Int => SqlType::Int,
+            FunctionResult::Text => SqlType::Text,
+            FunctionResult::Float => SqlType::Float,
+            FunctionResult::FirstArg => {
+                args.first().and_then(arg_type).unwrap_or(SqlType::Float)
+            }
+        },
+        None => SqlType::Float,
     }
 }
 

@@ -37,7 +37,8 @@ impl SqlType {
     /// Unknown names default to [`SqlType::Text`].
     pub fn from_name(name: &str) -> SqlType {
         match name.to_ascii_uppercase().as_str() {
-            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" | "SERIAL" => SqlType::Int,
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" | "SERIAL" | "SIGNED"
+            | "UNSIGNED" => SqlType::Int,
             "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" | "MONEY" => SqlType::Float,
             "BOOL" | "BOOLEAN" | "BIT" => SqlType::Bool,
             _ => SqlType::Text,

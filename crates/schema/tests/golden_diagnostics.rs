@@ -98,3 +98,28 @@ fn clean_fixture_has_no_diagnostics() {
     let stmt = parse("SELECT plate, mjd FROM SpecObj WHERE z > 0.5").expect("parses");
     assert!(analyze(&stmt, &sdss()).is_empty());
 }
+
+#[test]
+fn function_resolution_is_case_insensitive_across_dialect_spellings() {
+    // Pins the catalog-backed resolution: every casing and every dialect
+    // spelling of a catalog function must land on the same row, so none
+    // of these produce a type diagnostic. A regression to case- or
+    // spelling-sensitive lookup would type `count(*)` as Float and flag
+    // `z = count(*)`-style comparisons, or mistype the string functions.
+    for sql in [
+        "SELECT plate, count(*) FROM SpecObj GROUP BY plate HAVING Count(*) > 1",
+        "SELECT plate, avg(z) FROM SpecObj GROUP BY plate HAVING AVG(z) > 0.5",
+        // LEN and LENGTH are one catalog row (T-SQL vs everyone else);
+        // both must type as Int, so comparing to a number is clean
+        "SELECT plate FROM SpecObj WHERE len(class) > 3",
+        "SELECT plate FROM SpecObj WHERE LENGTH(class) > 3",
+        // UCASE is the MySQL spelling of UPPER: both type as Text
+        "SELECT plate FROM SpecObj WHERE upper(class) = 'STAR'",
+        "SELECT plate FROM SpecObj WHERE UCASE(class) = 'STAR'",
+        "SELECT plate FROM SpecObj WHERE substr(class, 1, 1) = SUBSTRING(class, 1, 1)",
+    ] {
+        let stmt = parse(sql).expect("fixture parses");
+        let diags = analyze(&stmt, &sdss());
+        assert!(diags.is_empty(), "unexpected diagnostics for `{sql}`: {diags:?}");
+    }
+}

@@ -21,6 +21,7 @@ use serde_json::Value;
 use squ::registry::{task as task_by_id, DynTask, ExampleSet};
 use squ::store::{fp_dataset, Fingerprint, Store};
 use squ::PAPER_SEED;
+use squ_dialect::Dialect;
 use squ_llm::{DatasetId, FaultProfile, ModelId, SimulatedModel, Transport};
 use squ_tasks::TaskId;
 use squ_workload::Workload;
@@ -29,7 +30,10 @@ use std::sync::{Arc, Mutex};
 
 /// Bump when the `/eval` response schema changes: invalidates cached
 /// response bodies in the `serve` store stage.
-pub const SERVE_VERSION: u32 = 1;
+///
+/// Version 2: the response gained an echoed `dialect` field and the
+/// cache key folds the dialect coordinate.
+pub const SERVE_VERSION: u32 = 2;
 
 /// Cap on distinct example sets held in memory at once (each is a few
 /// hundred examples; the cap bounds server memory across many seeds).
@@ -54,6 +58,10 @@ pub struct EvalSpec {
     pub fault_seed: Option<u64>,
     /// Workload sampling seed; default [`PAPER_SEED`].
     pub seed: Option<u64>,
+    /// SQL dialect coordinate (`squ`, `sqlite`, `postgres`, `mysql`,
+    /// `tsql`); default `squ`. Validated against the dialect matrix and
+    /// folded into the cache key, so each dialect caches independently.
+    pub dialect: Option<String>,
 }
 
 /// `POST /suite` request body: the cross product of tasks × their
@@ -73,6 +81,8 @@ pub struct SuiteSpec {
     pub fault_seed: Option<u64>,
     /// Workload sampling seed; default [`PAPER_SEED`].
     pub seed: Option<u64>,
+    /// SQL dialect coordinate; default `squ`.
+    pub dialect: Option<String>,
 }
 
 /// One fault kind tally in an [`EvalResult`].
@@ -95,6 +105,8 @@ pub struct EvalResult {
     pub model: String,
     /// Fault profile applied at the model-transport layer.
     pub profile: String,
+    /// SQL dialect coordinate the evaluation was keyed under.
+    pub dialect: String,
     /// Workload sampling seed.
     pub seed: u64,
     /// Transport fault seed.
@@ -126,6 +138,8 @@ pub struct EvalKey {
     pub model: ModelId,
     /// Fault profile (referenced by name; profiles are static).
     pub profile: &'static str,
+    /// SQL dialect (referenced by canonical name; dialects are static).
+    pub dialect: &'static str,
     /// Transport fault seed.
     pub fault_seed: u64,
     /// Workload sampling seed.
@@ -212,6 +226,20 @@ fn resolve_profile(name: Option<&str>) -> Result<&'static str, Reject> {
         .ok_or_else(|| Reject::new(400, format!("unknown fault profile {name:?}")))
 }
 
+fn resolve_dialect(name: Option<&str>) -> Result<&'static str, Reject> {
+    let name = name.unwrap_or("squ");
+    let lower = name.to_ascii_lowercase();
+    Dialect::by_name(&lower).map(|d| d.name()).ok_or_else(|| {
+        Reject::new(
+            400,
+            format!(
+                "unknown dialect {name:?} (one of {})",
+                Dialect::NAMES.join(", ")
+            ),
+        )
+    })
+}
+
 fn dataset_id(w: Workload) -> DatasetId {
     squ::pipeline::dataset_id(w)
 }
@@ -251,6 +279,7 @@ impl EvalService {
         let workload = resolve_workload(&spec.workload)?;
         let model = resolve_model(&spec.model)?;
         let profile = resolve_profile(spec.profile.as_deref())?;
+        let dialect = resolve_dialect(spec.dialect.as_deref())?;
         if !task.workloads().contains(&workload) {
             return Err(Reject::new(
                 400,
@@ -270,6 +299,7 @@ impl EvalService {
             workload,
             model,
             profile,
+            dialect,
             fault_seed: spec.fault_seed.unwrap_or(0),
             seed: spec.seed.unwrap_or(PAPER_SEED),
         })
@@ -302,6 +332,7 @@ impl EvalService {
             ),
         };
         let profile = resolve_profile(spec.profile.as_deref())?;
+        let dialect = resolve_dialect(spec.dialect.as_deref())?;
         let mut keys = Vec::new();
         for task in &tasks {
             for workload in task.workloads() {
@@ -316,6 +347,7 @@ impl EvalService {
                         workload: *workload,
                         model: *model,
                         profile,
+                        dialect,
                         fault_seed: spec.fault_seed.unwrap_or(0),
                         seed: spec.seed.unwrap_or(PAPER_SEED),
                     });
@@ -343,6 +375,7 @@ impl EvalService {
                 ModelId::Gemini => "Gemini",
             })
             .push(key.profile)
+            .push(key.dialect)
             .num(key.fault_seed)
             .num(key.seed)
             .num(fp_dataset(key.seed, t, key.workload))
@@ -396,12 +429,19 @@ impl EvalService {
     /// store stage when an identical request was answered before.
     pub fn eval(&self, key: &EvalKey) -> (String, CacheStatus) {
         let fp = Self::fp_serve(key);
-        let name = format!(
+        // the historical name for the default dialect; a `_{dialect}`
+        // suffix otherwise, so dialects never clobber each other's
+        // name-keyed store entries
+        let mut name = format!(
             "eval_{}_{}_{}",
             key.task.short(),
             slug(key.workload.name()),
             slug(&key.model.name().replace('.', ""))
         );
+        if key.dialect != "squ" {
+            name.push('_');
+            name.push_str(key.dialect);
+        }
         if let Some(body) = self
             .store
             .lock()
@@ -441,6 +481,7 @@ impl EvalService {
             workload: key.workload.name().to_string(),
             model: key.model.name().to_string(),
             profile: key.profile.to_string(),
+            dialect: key.dialect.to_string(),
             seed: key.seed,
             fault_seed: key.fault_seed,
             examples,
@@ -535,6 +576,7 @@ mod tests {
                 profile: None,
                 fault_seed: None,
                 seed: None,
+                dialect: None,
             })
             .expect("resolves");
         assert_eq!(key.task, TaskId::Syntax);
@@ -552,6 +594,7 @@ mod tests {
                 profile: Some("heavy".into()),
                 fault_seed: Some(7),
                 seed: Some(11),
+                dialect: None,
             })
             .is_ok());
 
@@ -564,6 +607,7 @@ mod tests {
                 profile: None,
                 fault_seed: None,
                 seed: None,
+                dialect: None,
             })
             .expect_err("inadmissible combination");
         assert_eq!(err.status, 400);
@@ -582,6 +626,7 @@ mod tests {
                     profile,
                     fault_seed: None,
                     seed: None,
+                    dialect: None,
                 })
                 .expect_err("bad spec");
             assert_eq!(err.status, 400);
@@ -598,6 +643,7 @@ mod tests {
             profile: None,
             fault_seed: None,
             seed: None,
+            dialect: None,
         };
         let keys = svc.expand_suite(&spec).expect("expands");
         // syntax×sdss×2 models + perf×sdss×2 models
@@ -612,6 +658,7 @@ mod tests {
             profile: None,
             fault_seed: None,
             seed: None,
+            dialect: None,
         });
         assert!(matches!(none, Err(r) if r.status == 400));
     }
@@ -627,6 +674,7 @@ mod tests {
                 profile: Some("light".into()),
                 fault_seed: Some(3),
                 seed: Some(5),
+                dialect: None,
             })
             .expect("resolves");
         let (cold, status_cold) = svc.eval(&key);
@@ -651,6 +699,77 @@ mod tests {
     }
 
     #[test]
+    fn dialect_is_validated_echoed_and_keys_the_cache() {
+        let (_dir, svc) = service();
+
+        // unknown dialect → 400 listing the valid names
+        let err = svc
+            .resolve(&EvalSpec {
+                task: "syntax".into(),
+                workload: "sdss".into(),
+                model: "GPT4".into(),
+                profile: None,
+                fault_seed: None,
+                seed: None,
+                dialect: Some("oracle".into()),
+            })
+            .expect_err("unknown dialect");
+        assert_eq!(err.status, 400);
+        assert!(err.detail.contains("unknown dialect"), "{}", err.detail);
+        for name in Dialect::NAMES {
+            assert!(err.detail.contains(name), "{} missing {name}", err.detail);
+        }
+
+        // every known dialect resolves, case-insensitively
+        for name in Dialect::NAMES {
+            let key = svc
+                .resolve(&EvalSpec {
+                    task: "syntax".into(),
+                    workload: "joinorder".into(),
+                    model: "GPT4".into(),
+                    profile: None,
+                    fault_seed: None,
+                    seed: Some(5),
+                    dialect: Some(name.to_ascii_uppercase()),
+                })
+                .expect("known dialect resolves");
+            assert_eq!(key.dialect, name);
+        }
+
+        // omitted dialect defaults to squ and is echoed in the body
+        let base = svc
+            .resolve(&EvalSpec {
+                task: "syntax".into(),
+                workload: "joinorder".into(),
+                model: "GPT4".into(),
+                profile: None,
+                fault_seed: None,
+                seed: Some(5),
+                dialect: None,
+            })
+            .expect("resolves");
+        assert_eq!(base.dialect, "squ");
+        let (body, status) = svc.eval(&base);
+        assert_eq!(status, CacheStatus::Miss);
+        let doc: Value = serde_json::from_str(&body).expect("parses");
+        assert_eq!(doc["dialect"], "squ");
+
+        // a different dialect is a different cache coordinate
+        let tsql = EvalKey {
+            dialect: "tsql",
+            ..base
+        };
+        let (body_tsql, status_tsql) = svc.eval(&tsql);
+        assert_eq!(status_tsql, CacheStatus::Miss);
+        let doc: Value = serde_json::from_str(&body_tsql).expect("parses");
+        assert_eq!(doc["dialect"], "tsql");
+
+        // and each dialect hits its own warm entry independently
+        assert_eq!(svc.eval(&base).1, CacheStatus::Hit);
+        assert_eq!(svc.eval(&tsql).1, CacheStatus::Hit);
+    }
+
+    #[test]
     fn fresh_service_reuses_the_on_disk_store() {
         let dir = tempdir::TempDir::new();
         let root = dir.path().join("store");
@@ -664,6 +783,7 @@ mod tests {
                     profile: None,
                     fault_seed: None,
                     seed: Some(5),
+                    dialect: None,
                 })
                 .expect("resolves");
             svc.eval(&key);

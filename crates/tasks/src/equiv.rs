@@ -1154,7 +1154,7 @@ fn make_pair(
     }
 }
 
-fn seed_of(id: &str) -> u64 {
+pub(crate) fn seed_of(id: &str) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     id.hash(&mut h);

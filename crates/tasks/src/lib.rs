@@ -1,7 +1,7 @@
 //! # squ-tasks — labeled task-dataset generation
 //!
 //! Derives the paper's five task datasets (§3.1–3.2) from the sampled
-//! workloads:
+//! workloads, plus a sixth dialect-translation family:
 //!
 //! * [`syntax`] — six injected syntax-error types, binder-verified;
 //! * [`token`] — six missing-token types with exact word positions;
@@ -9,7 +9,9 @@
 //!   differentially verified on witness databases;
 //! * [`perf`] — the 200 ms SDSS runtime threshold labels;
 //! * [`explain`] — Spider queries with reference descriptions and rubric
-//!   key facts, incl. the paper's Q15–Q18 case study.
+//!   key facts, incl. the paper's Q15–Q18 case study;
+//! * [`translate`] — cross-dialect `(source, target)` query pairs whose
+//!   gold translations are differentially verified row-for-row.
 
 #![warn(missing_docs)]
 
@@ -22,6 +24,7 @@ pub mod syntax;
 pub mod task;
 pub mod token;
 pub mod transforms;
+pub mod translate;
 
 pub use equiv::{
     apply_equiv, apply_non_equiv, build_equiv_dataset, differential_verdict, EquivExample,
@@ -33,8 +36,12 @@ pub use perf::{build_perf_dataset, PerfExample, COST_THRESHOLD_MS};
 pub use syntax::{build_syntax_dataset, inject_error, SyntaxErrorType, SyntaxExample};
 pub use token::{build_token_dataset, delete_token, TokenExample, TokenType};
 pub use transforms::{transform_catalog, TransformFn, TransformInfo, TransformKind};
+pub use translate::{
+    build_translate_dataset, dialect_pairs, translate_query, TranslateExample,
+};
 
 pub use audit::{AuditCtx, CertStats, Violation};
 pub use task::{
     EquivTask, ExplainTask, GroundTruth, PerfTask, SyntaxTask, Task, TaskId, TokenTask,
+    TranslateTask,
 };

@@ -1,7 +1,8 @@
-//! The [`Task`] abstraction: one trait implemented by each of the paper's
-//! five task families, so every downstream layer (suite construction,
-//! pipeline, audit, faults, export) can iterate a registry of trait
-//! objects instead of matching five hard-coded variants.
+//! The [`Task`] abstraction: one trait implemented by each task family
+//! (the paper's five plus the dialect-translation extension), so every
+//! downstream layer (suite construction, pipeline, audit, faults, export)
+//! can iterate a registry of trait objects instead of matching hard-coded
+//! variants.
 //!
 //! The trait lives here — next to the dataset builders — and covers
 //! everything derivable from an example alone: identity, dataset
@@ -12,13 +13,14 @@
 //!
 //! `TaskId` metadata (names, workloads, schedule class) is the single
 //! source of truth the registry exposes; the per-variant `match`es below
-//! are the one place in the workspace allowed to enumerate all five tasks.
+//! are the one place in the workspace allowed to enumerate all six tasks.
 
 use crate::audit::AuditCtx;
+use crate::equiv::seed_of;
 use crate::{
     build_equiv_dataset, build_explain_dataset, build_perf_dataset, build_syntax_dataset,
-    build_token_dataset, EquivExample, ExplainExample, KeyFacts, PerfExample, SyntaxExample,
-    TokenExample, TokenType,
+    build_token_dataset, build_translate_dataset, EquivExample, ExplainExample, KeyFacts,
+    PerfExample, SyntaxExample, TokenExample, TokenType, TranslateExample,
 };
 use serde::{Deserialize, Serialize};
 use squ_lexer::word_index_at;
@@ -37,16 +39,21 @@ pub enum TaskId {
     Perf,
     /// `query_exp`.
     Explain,
+    /// `dialect_translate` (extension beyond the paper's five).
+    Translate,
 }
 
 impl TaskId {
-    /// All five tasks, in canonical registry order.
-    pub const ALL: [TaskId; 5] = [
+    /// All six tasks, in canonical registry order. [`TaskId::Translate`]
+    /// is appended last so the first five keep their slots (and store
+    /// fingerprints) from before the dialect extension.
+    pub const ALL: [TaskId; 6] = [
         TaskId::Syntax,
         TaskId::MissToken,
         TaskId::Equiv,
         TaskId::Perf,
         TaskId::Explain,
+        TaskId::Translate,
     ];
 
     /// Paper-style identifier.
@@ -57,6 +64,7 @@ impl TaskId {
             TaskId::Equiv => "query_equiv",
             TaskId::Perf => "performance_pred",
             TaskId::Explain => "query_exp",
+            TaskId::Translate => "dialect_translate",
         }
     }
 
@@ -68,6 +76,7 @@ impl TaskId {
             TaskId::Equiv => "equiv",
             TaskId::Perf => "perf",
             TaskId::Explain => "explain",
+            TaskId::Translate => "translate",
         }
     }
 
@@ -79,6 +88,7 @@ impl TaskId {
             TaskId::Equiv => "query_equiv",
             TaskId::Perf => "performance_pred",
             TaskId::Explain => "query_exp",
+            TaskId::Translate => "dialect_translate",
         }
     }
 
@@ -87,18 +97,21 @@ impl TaskId {
         const TASK_WORKLOADS: [Workload; 3] =
             [Workload::Sdss, Workload::SqlShare, Workload::JoinOrder];
         match self {
-            TaskId::Syntax | TaskId::MissToken | TaskId::Equiv => &TASK_WORKLOADS,
+            TaskId::Syntax | TaskId::MissToken | TaskId::Equiv | TaskId::Translate => {
+                &TASK_WORKLOADS
+            }
             TaskId::Perf => &[Workload::Sdss],
             TaskId::Explain => &[Workload::Spider],
         }
     }
 
     /// Build-scheduling priority class: lower runs earlier. Equivalence
-    /// datasets lead the queue because differential verification dominates
-    /// the suite's wall-clock, so they get worker threads first.
+    /// and translation datasets lead the queue because differential
+    /// verification dominates the suite's wall-clock, so they get worker
+    /// threads first.
     pub fn schedule_class(&self) -> u8 {
         match self {
-            TaskId::Equiv => 0,
+            TaskId::Equiv | TaskId::Translate => 0,
             _ => 1,
         }
     }
@@ -155,9 +168,17 @@ pub enum GroundTruth {
         /// The SQL being explained.
         sql: String,
     },
+    /// Dialect-translation task truth.
+    Translate {
+        /// The verified gold translation in the target dialect.
+        gold_sql: String,
+        /// Target dialect name.
+        target: String,
+    },
 }
 
-/// One of the paper's five task families.
+/// One task family (the paper's five, or the dialect-translation
+/// extension).
 ///
 /// Implementations are stateless unit structs; everything varies through
 /// the associated `Example` type and the methods. The contract:
@@ -622,6 +643,135 @@ impl Task for ExplainTask {
     }
 }
 
+/// The dialect-translation task (extension beyond the paper's five).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslateTask;
+
+impl Task for TranslateTask {
+    type Example = TranslateExample;
+
+    fn id(&self) -> TaskId {
+        TaskId::Translate
+    }
+
+    fn build(&self, ds: &Dataset, seed: u64) -> Vec<TranslateExample> {
+        build_translate_dataset(ds, seed)
+    }
+
+    fn example_id<'a>(&self, e: &'a TranslateExample) -> &'a str {
+        &e.query_id
+    }
+
+    fn payload(&self, e: &TranslateExample) -> String {
+        format!(
+            "Source dialect: {}\nTarget dialect: {}\nQuery: {}",
+            e.source_dialect, e.target_dialect, e.source_sql
+        )
+    }
+
+    fn props<'a>(&self, e: &'a TranslateExample) -> &'a QueryProps {
+        &e.props
+    }
+
+    fn ground_truth(&self, e: &TranslateExample) -> GroundTruth {
+        GroundTruth::Translate {
+            gold_sql: e.gold_sql.clone(),
+            target: e.target_dialect.clone(),
+        }
+    }
+
+    /// Re-prove every gold translation from scratch: dialect names must
+    /// resolve, both surfaces must parse in their own dialect, the
+    /// canonical form must lint clean, and source and gold must execute
+    /// row-for-row identically on every witness database — on both the
+    /// compiled engine and the independent reference interpreter (whose
+    /// row-cap failures count as skips, not violations). This is the
+    /// cross-dialect conformance gate: a translation that means something
+    /// different than its source cannot pass it.
+    fn audit(&self, w: Workload, examples: &[TranslateExample], ctx: &mut AuditCtx) {
+        use squ_engine::{execute_query, reference_query, witness_batch_cached};
+
+        let name = format!("translate/{}", w.name());
+        for ex in examples {
+            let (Some(from), Some(to)) = (
+                squ_dialect::Dialect::by_name(&ex.source_dialect),
+                squ_dialect::Dialect::by_name(&ex.target_dialect),
+            ) else {
+                ctx.violation(
+                    &name,
+                    &ex.query_id,
+                    "dialect-names-resolve",
+                    format!(
+                        "unresolvable dialect pair {} -> {}",
+                        ex.source_dialect, ex.target_dialect
+                    ),
+                );
+                continue;
+            };
+            let (Ok(q_src), Ok(q_gold)) = (
+                squ_parser::parse_query_dialect(&ex.source_sql, from),
+                squ_parser::parse_query_dialect(&ex.gold_sql, to),
+            ) else {
+                ctx.violation(
+                    &name,
+                    &ex.query_id,
+                    "parses-in-own-dialect",
+                    format!(
+                        "a surface does not parse in its own dialect: `{}` ({}) / `{}` ({})",
+                        ex.source_sql, ex.source_dialect, ex.gold_sql, ex.target_dialect
+                    ),
+                );
+                continue;
+            };
+            // Dialect surfaces may use quoting the Squ lexer rejects; lint
+            // the canonical re-print, which carries the same structure.
+            let canonical = squ_parser::print_query(&q_src);
+            let report = ctx.lint(&canonical, &ex.schema_name);
+            ctx.require_clean(&name, &ex.query_id, &report, &canonical);
+            let witnesses = {
+                let schema = ctx.schema(&ex.schema_name);
+                witness_batch_cached(schema, 0xBEE5 ^ seed_of(&ex.schema_name))
+            };
+            for (i, db) in witnesses.iter().enumerate() {
+                match (execute_query(&q_src, db), execute_query(&q_gold, db)) {
+                    (Ok((r1, _)), Ok((r2, _))) => {
+                        if !r1.result_equal(&r2) {
+                            ctx.violation(
+                                &name,
+                                &ex.query_id,
+                                "gold-agrees-on-engine",
+                                format!(
+                                    "witness {i}: source and gold rows differ ({} -> {})",
+                                    ex.source_dialect, ex.target_dialect
+                                ),
+                            );
+                        }
+                    }
+                    _ => ctx.violation(
+                        &name,
+                        &ex.query_id,
+                        "gold-agrees-on-engine",
+                        format!("witness {i}: a side failed to execute"),
+                    ),
+                }
+                // The reference interpreter caps row production earlier
+                // than the compiled engine; its errors are skips.
+                if let (Ok(r1), Ok(r2)) = (reference_query(&q_src, db), reference_query(&q_gold, db))
+                {
+                    if !r1.result_equal(&r2) {
+                        ctx.violation(
+                            &name,
+                            &ex.query_id,
+                            "gold-agrees-on-reference",
+                            format!("witness {i}: reference interpreter disagrees"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,7 +786,8 @@ mod tests {
                 "miss_token",
                 "query_equiv",
                 "performance_pred",
-                "query_exp"
+                "query_exp",
+                "dialect_translate"
             ]
         );
     }
@@ -655,5 +806,13 @@ mod tests {
         let mut order: Vec<TaskId> = TaskId::ALL.to_vec();
         order.sort_by_key(|t| t.schedule_class());
         assert_eq!(order[0], TaskId::Equiv);
+        assert_eq!(order[1], TaskId::Translate);
+    }
+
+    #[test]
+    fn translate_metadata() {
+        assert_eq!(TaskId::Translate.workloads().len(), 3);
+        assert_eq!(TaskId::Translate.short(), "translate");
+        assert!(TaskId::Translate.reviewable());
     }
 }

@@ -1,0 +1,368 @@
+//! Dialect-translation datasets (the sixth task family,
+//! `dialect_translate`).
+//!
+//! Each example asks for a workload query, rendered in a *source* SQL
+//! dialect, to be translated into a *target* dialect. The gold translation
+//! is produced mechanically — the parsed AST is rewritten through the
+//! [`squ_dialect`] catalog (function spellings, `CAST` type names) and
+//! re-printed with the target dialect's quoting and row-bound conventions —
+//! and then **differentially verified**: source and gold ASTs must execute
+//! row-for-row identically on every witness database of the query's schema.
+//! Both renderings must also round-trip through their own dialect's parser
+//! and analyze clean, so every published pair is machine-checked end to
+//! end.
+
+use serde::{Deserialize, Serialize};
+use squ_dialect::{translate_function, translate_type, Dialect};
+use squ_engine::witness_batch_cached;
+use squ_parser::ast::*;
+use squ_parser::{parse_query, parse_query_dialect, print_query_dialect};
+use squ_workload::{schema_for, Dataset, WorkloadQuery};
+
+use crate::equiv::{differential_verdict, seed_of, Verdict};
+
+/// One labeled translation example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TranslateExample {
+    /// Source workload query id.
+    pub query_id: String,
+    /// Schema the query runs against.
+    pub schema_name: String,
+    /// Source dialect name (one of [`Dialect::NAMES`], never `squ`).
+    pub source_dialect: String,
+    /// Target dialect name (one of [`Dialect::NAMES`], never `squ`).
+    pub target_dialect: String,
+    /// The query rendered in the source dialect.
+    pub source_sql: String,
+    /// The verified gold translation, rendered in the target dialect.
+    pub gold_sql: String,
+    /// Syntactic properties of the source rendering.
+    pub props: squ_workload::QueryProps,
+}
+
+/// The twelve ordered `(source, target)` pairs of concrete dialects
+/// (every pair of [`Dialect::CONCRETE`] with source ≠ target).
+pub fn dialect_pairs() -> Vec<(Dialect, Dialect)> {
+    let mut pairs = Vec::new();
+    for from in Dialect::CONCRETE {
+        for to in Dialect::CONCRETE {
+            if from != to {
+                pairs.push((from, to));
+            }
+        }
+    }
+    pairs
+}
+
+/// Rewrite a query AST for a target dialect: function names take the
+/// dialect's catalog spelling and `CAST` type names take the dialect's
+/// type alias. The rewrite descends into every subquery (CTEs, derived
+/// tables, `IN`/`EXISTS`/scalar subqueries), unlike the equivalence
+/// transforms which deliberately stop at subquery boundaries. Quoting and
+/// `LIMIT`/`TOP` are *printer* concerns — the AST keeps both fields and
+/// [`print_query_dialect`] folds them.
+pub fn translate_query(q: &Query, to: Dialect) -> Query {
+    let mut out = q.clone();
+    rewrite_query(&mut out, to);
+    out
+}
+
+fn rewrite_query(q: &mut Query, to: Dialect) {
+    for cte in &mut q.ctes {
+        rewrite_query(&mut cte.query, to);
+    }
+    rewrite_set_expr(&mut q.body, to);
+    for item in &mut q.order_by {
+        rewrite_expr(&mut item.expr, to);
+    }
+}
+
+fn rewrite_set_expr(body: &mut SetExpr, to: Dialect) {
+    match body {
+        SetExpr::Select(sel) => rewrite_select(sel, to),
+        SetExpr::SetOp { left, right, .. } => {
+            rewrite_set_expr(left, to);
+            rewrite_set_expr(right, to);
+        }
+    }
+}
+
+fn rewrite_select(sel: &mut Select, to: Dialect) {
+    for item in &mut sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            rewrite_expr(expr, to);
+        }
+    }
+    for t in &mut sel.from {
+        rewrite_table_ref(t, to);
+    }
+    if let Some(e) = &mut sel.selection {
+        rewrite_expr(e, to);
+    }
+    for e in &mut sel.group_by {
+        rewrite_expr(e, to);
+    }
+    if let Some(e) = &mut sel.having {
+        rewrite_expr(e, to);
+    }
+}
+
+fn rewrite_table_ref(t: &mut TableRef, to: Dialect) {
+    match t {
+        TableRef::Named { .. } => {}
+        TableRef::Derived { query, .. } => rewrite_query(query, to),
+        TableRef::Join {
+            left,
+            right,
+            constraint,
+            ..
+        } => {
+            rewrite_table_ref(left, to);
+            rewrite_table_ref(right, to);
+            if let JoinConstraint::On(e) = constraint {
+                rewrite_expr(e, to);
+            }
+        }
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, to: Dialect) {
+    match e {
+        Expr::Function { name, args, .. } => {
+            *name = translate_function(name, to);
+            for a in args {
+                rewrite_expr(a, to);
+            }
+        }
+        Expr::Cast { expr, type_name } => {
+            *type_name = translate_type(type_name, to);
+            rewrite_expr(expr, to);
+        }
+        Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+            rewrite_expr(left, to);
+            rewrite_expr(right, to);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            rewrite_expr(a, to);
+            rewrite_expr(b, to);
+        }
+        Expr::Not(x) | Expr::Neg(x) => rewrite_expr(x, to),
+        Expr::IsNull { expr, .. } => rewrite_expr(expr, to),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            rewrite_expr(expr, to);
+            rewrite_expr(low, to);
+            rewrite_expr(high, to);
+        }
+        Expr::InList { expr, list, .. } => {
+            rewrite_expr(expr, to);
+            for x in list {
+                rewrite_expr(x, to);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            rewrite_expr(expr, to);
+            rewrite_query(subquery, to);
+        }
+        Expr::Exists { subquery, .. } => rewrite_query(subquery, to),
+        Expr::ScalarSubquery(q) => rewrite_query(q, to),
+        Expr::Like { expr, pattern, .. } => {
+            rewrite_expr(expr, to);
+            rewrite_expr(pattern, to);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(op) = operand {
+                rewrite_expr(op, to);
+            }
+            for (w, t) in branches {
+                rewrite_expr(w, to);
+                rewrite_expr(t, to);
+            }
+            if let Some(x) = else_expr {
+                rewrite_expr(x, to);
+            }
+        }
+        Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => {}
+    }
+}
+
+/// Build the dialect-translation dataset: one `(source, target)` rendering
+/// per SELECT workload query, cycling through [`dialect_pairs`] (the cycle
+/// phase is seeded, the pair advances only when a query yields a verified
+/// example, so every pair stays represented). Labels are verified by
+/// differential execution on the schema's cached witness batch — the same
+/// batches the equivalence builder uses, so warm builds share the work.
+pub fn build_translate_dataset(ds: &Dataset, seed: u64) -> Vec<TranslateExample> {
+    let pairs = dialect_pairs();
+    // The seed fixes the starting phase of the pair cycle; everything
+    // after that is deterministic in the workload order.
+    let mut pair_idx = ((seed ^ 0xD1A1) % pairs.len() as u64) as usize;
+    let mut out = Vec::new();
+    for wq in &ds.queries {
+        if wq.props.query_type != "SELECT" {
+            continue;
+        }
+        let (from, to) = pairs[pair_idx];
+        if let Some(ex) = make_translation(wq, from, to) {
+            out.push(ex);
+            pair_idx = (pair_idx + 1) % pairs.len();
+        }
+    }
+    out
+}
+
+/// Produce one verified translation example, or `None` when any gate
+/// fails: the query must parse, both renderings must round-trip through
+/// their own dialect's parser (e.g. `TOP` inside a set-operation branch
+/// cannot be re-read by a `LIMIT`-only dialect), both ASTs must analyze
+/// clean against the schema, and differential execution must agree on
+/// every witness.
+fn make_translation(wq: &WorkloadQuery, from: Dialect, to: Dialect) -> Option<TranslateExample> {
+    let q = parse_query(&wq.sql).ok()?;
+    let q_src = translate_query(&q, from);
+    let q_gold = translate_query(&q, to);
+    let source_sql = print_query_dialect(&q_src, from);
+    let gold_sql = print_query_dialect(&q_gold, to);
+    // Round-trip gate: the printed text must re-parse in its own dialect
+    // to the same AST, otherwise the example's surface form would not
+    // mean what the label claims.
+    if parse_query_dialect(&source_sql, from).ok()? != q_src {
+        return None;
+    }
+    if parse_query_dialect(&gold_sql, to).ok()? != q_gold {
+        return None;
+    }
+    let schema = schema_for(wq.workload, &wq.schema_name);
+    let analyzes_clean =
+        |q: &Query| squ_schema::analyze(&Statement::Query(q.clone()), &schema).is_empty();
+    if !analyzes_clean(&q_src) || !analyzes_clean(&q_gold) {
+        return None;
+    }
+    // Same witness-seed key as the equivalence builder, so both task
+    // families share one memoized batch per schema.
+    let witnesses = witness_batch_cached(&schema, 0xBEE5 ^ seed_of(&wq.schema_name));
+    if differential_verdict(&q_src, &q_gold, &witnesses) != Verdict::AgreedEverywhere {
+        return None;
+    }
+    let props = squ_workload::query_props(&source_sql, &Statement::Query(q_src.clone()));
+    Some(TranslateExample {
+        query_id: wq.id.clone(),
+        schema_name: wq.schema_name.clone(),
+        source_dialect: from.name().to_string(),
+        target_dialect: to.name().to_string(),
+        source_sql,
+        gold_sql,
+        props,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_all_ordered_concrete_pairs() {
+        let pairs = dialect_pairs();
+        assert_eq!(pairs.len(), 12);
+        assert!(pairs.iter().all(|(a, b)| a != b));
+        assert!(pairs
+            .iter()
+            .all(|(a, b)| *a != Dialect::Squ && *b != Dialect::Squ));
+    }
+
+    #[test]
+    fn translate_renames_functions_and_types() {
+        let q = parse_query(
+            "SELECT UPPER(class), LENGTH(class), CAST(z AS FLOAT) FROM SpecObj \
+             WHERE SUBSTRING(class, 1, 1) = 'S'",
+        )
+        .unwrap();
+        let my = print_query_dialect(&translate_query(&q, Dialect::Mysql), Dialect::Mysql);
+        assert!(my.contains("UCASE("), "mysql spelling: {my}");
+        assert!(my.contains("CAST(z AS DECIMAL)"), "mysql type: {my}");
+        let ts = print_query_dialect(&translate_query(&q, Dialect::Tsql), Dialect::Tsql);
+        assert!(ts.contains("LEN("), "tsql spelling: {ts}");
+        let sq = print_query_dialect(&translate_query(&q, Dialect::Sqlite), Dialect::Sqlite);
+        assert!(sq.contains("SUBSTR("), "sqlite spelling: {sq}");
+    }
+
+    #[test]
+    fn translate_descends_into_subqueries() {
+        let q = parse_query(
+            "SELECT plate FROM SpecObj WHERE z IN (SELECT MAX(z) FROM SpecObj WHERE LENGTH(class) > 2)",
+        )
+        .unwrap();
+        let ts = print_query_dialect(&translate_query(&q, Dialect::Tsql), Dialect::Tsql);
+        assert!(ts.contains("LEN("), "subquery function renamed: {ts}");
+    }
+
+    #[test]
+    fn translated_queries_round_trip_their_dialect() {
+        let q = parse_query("SELECT TOP 5 plate, mjd FROM SpecObj WHERE z > 0.5 ORDER BY mjd")
+            .unwrap();
+        for d in Dialect::CONCRETE {
+            let t = translate_query(&q, d);
+            let sql = print_query_dialect(&t, d);
+            let back = parse_query_dialect(&sql, d)
+                .unwrap_or_else(|e| panic!("{}: `{sql}` did not re-parse: {e:?}", d.name()));
+            // Print → parse → print must be a fixed point (LIMIT-only
+            // dialects fold TOP into LIMIT on the first print, after which
+            // the rendering is stable).
+            assert_eq!(
+                print_query_dialect(&back, d),
+                sql,
+                "{}: unstable round-trip",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_examples_are_verified_and_cycle_pairs() {
+        let ds = squ_workload::build(squ_workload::Workload::JoinOrder, 2023);
+        let examples = build_translate_dataset(&ds, 2023);
+        assert!(!examples.is_empty());
+        let mut seen_pairs = std::collections::HashSet::new();
+        for ex in &examples {
+            let from = Dialect::by_name(&ex.source_dialect).unwrap();
+            let to = Dialect::by_name(&ex.target_dialect).unwrap();
+            assert_ne!(from, to, "{}", ex.query_id);
+            seen_pairs.insert((from, to));
+            // The published surfaces re-parse in their own dialects.
+            let q_src = parse_query_dialect(&ex.source_sql, from).unwrap();
+            let q_gold = parse_query_dialect(&ex.gold_sql, to).unwrap();
+            let schema = schema_for(squ_workload::Workload::JoinOrder, &ex.schema_name);
+            let witnesses = witness_batch_cached(&schema, 0xBEE5 ^ seed_of(&ex.schema_name));
+            assert_eq!(
+                differential_verdict(&q_src, &q_gold, &witnesses),
+                Verdict::AgreedEverywhere,
+                "{}: {} -> {}",
+                ex.query_id,
+                ex.source_sql,
+                ex.gold_sql
+            );
+        }
+        assert!(
+            seen_pairs.len() >= 6,
+            "pair cycle stuck: only {:?}",
+            seen_pairs
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ds = squ_workload::build(squ_workload::Workload::JoinOrder, 2023);
+        let a = build_translate_dataset(&ds, 7);
+        let b = build_translate_dataset(&ds, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source_sql, y.source_sql);
+            assert_eq!(x.gold_sql, y.gold_sql);
+        }
+    }
+}

@@ -28,6 +28,16 @@
 //! torn-store-entry scan, and a second zero-permit server that must
 //! answer a deterministic 429 while /healthz stays reachable.
 //!
+//! `dialect-smoke` — exercise the multi-dialect frontend end to end:
+//! `repro --audit` first (the dialect-translate task's gold translations
+//! are differentially verified row-for-row alongside every other
+//! family), then a seeded 150-case fuzz run per concrete dialect
+//! (sqlite / postgres / mysql / tsql) whose dialect oracle holds every
+//! emitted corpus entry to the dialect round-trip law. Each corpus is
+//! run twice (`--jobs 2` then `--jobs 1`) and the two reports must be
+//! byte-identical; per-dialect reports land in
+//! `target/repro/dialect-smoke/` for CI's artifact upload.
+//!
 //! The benchmark's library crates must not abort on malformed input: the
 //! whole point of the analyzer stack is to turn bad SQL into diagnostics.
 //! This pass scans every `crates/*/src` library file (binaries, `main.rs`,
@@ -38,8 +48,9 @@
 //! of *why* the panic cannot fire.
 //!
 //! The second rule guards the task-registry refactor: a `match` in
-//! `crates/core/src` whose arms enumerate most of the five task families
-//! (syntax / tokens / equivalence / performance / explanation) reintroduces
+//! `crates/core/src` whose arms enumerate most of the six task families
+//! (syntax / tokens / equivalence / performance / explanation /
+//! translation) reintroduces
 //! the duplicated per-task drivers the [`DynTask`] registry replaced. Only
 //! `crates/core/src/registry.rs` — the one designated enumeration point —
 //! is exempt.
@@ -49,6 +60,15 @@
 //! have a row in DESIGN.md's diagnostic-code table, and every code the
 //! table documents must exist in the registry. A code added on one side
 //! only fails `lint` (and therefore CI).
+//!
+//! The fourth rule guards the dialect matrix the same way the second
+//! guards the task registry: a library file outside `crates/dialect`
+//! whose non-test code names most of the concrete `Dialect::` variants
+//! (Sqlite / Postgres / Mysql / Tsql) is hand-rolling per-dialect
+//! dispatch that belongs in the matrix. Consumers are expected to go
+//! through the matrix queries (`supports_top()`, `canonical_quote()`,
+//! `translate_function()`, …) or iterate `Dialect::CONCRETE`, never to
+//! enumerate variants.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -117,7 +137,32 @@ const TASK_FAMILIES: &[(&str, &[&str])] = &[
             "\"query_exp\"",
         ],
     ),
+    (
+        "translate",
+        &[
+            "TaskId::Translate",
+            "Task::Translate",
+            "TranslateTask",
+            "run_translate",
+            "\"dialect_translate\"",
+        ],
+    ),
 ];
+
+/// Concrete dialect variants whose joint appearance in one non-test
+/// library file outside `crates/dialect` marks hand-rolled per-dialect
+/// dispatch that belongs in the dialect matrix.
+const DIALECT_VARIANTS: &[&str] = &[
+    "Dialect::Sqlite",
+    "Dialect::Postgres",
+    "Dialect::Mysql",
+    "Dialect::Tsql",
+];
+
+/// Distinct concrete `Dialect::` variants one file may name before it
+/// counts as per-dialect dispatch (near-complete coverage of the four
+/// concrete dialects, mirroring [`TASK_MATCH_THRESHOLD`]'s logic).
+const DIALECT_DISPATCH_THRESHOLD: usize = 3;
 
 /// Distinct task families one `match` may mention before it counts as a
 /// banned five-armed per-task dispatch (arms plus a catch-all `_` arm is
@@ -162,16 +207,21 @@ fn main() {
             let status = serve_smoke(&repo_root());
             std::process::exit(status);
         }
+        Some("dialect-smoke") => {
+            let status = dialect_smoke(&repo_root());
+            std::process::exit(status);
+        }
         Some(other) => {
             eprintln!(
                 "unknown task {other:?} (available: lint, fuzz-smoke, perf-smoke, sema-smoke, \
-                 serve-smoke)"
+                 serve-smoke, dialect-smoke)"
             );
             std::process::exit(2);
         }
         None => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|fuzz-smoke|perf-smoke|sema-smoke|serve-smoke>"
+                "usage: cargo run -p xtask -- \
+                 <lint|fuzz-smoke|perf-smoke|sema-smoke|serve-smoke|dialect-smoke>"
             );
             std::process::exit(2);
         }
@@ -496,6 +546,126 @@ fn expect_saturated_429(root: &Path, addr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Case budget per concrete dialect for the dialect smoke: the same
+/// budget as `fuzz-smoke`, run once per corpus.
+const DIALECT_SMOKE_CASES: &str = "150";
+
+/// The concrete corpora the dialect smoke fuzzes (canonical names as
+/// `repro --dialect` accepts them).
+const DIALECT_SMOKE_DIALECTS: &[&str] = &["sqlite", "postgres", "mysql", "tsql"];
+
+/// End-to-end smoke of the multi-dialect frontend:
+///
+/// 1. build the `repro` binary once in release mode;
+/// 2. `repro --audit` — the dialect-translate task's gold translations
+///    are differentially verified row-for-row against cached witness
+///    databases (alongside every other family's certificates);
+/// 3. per concrete dialect, a seeded 150-case fuzz run whose dialect
+///    oracle holds every corpus entry to the round-trip law, executed
+///    with `--jobs 2` and again with `--jobs 1` — the two reports must
+///    be byte-identical, and each lands in `target/repro/dialect-smoke/`
+///    for CI's artifact upload.
+fn dialect_smoke(root: &Path) -> i32 {
+    let build = std::process::Command::new(env!("CARGO"))
+        .current_dir(root)
+        .args(["build", "--release", "-p", "squ-bench", "--bins"])
+        .status();
+    match build {
+        Ok(s) if s.success() => {}
+        Ok(s) => return s.code().unwrap_or(1), // lint:allow: cli tool
+        Err(e) => {
+            eprintln!("dialect-smoke: failed to launch cargo: {e}");
+            return 1;
+        }
+    }
+
+    let repro = root.join("target").join("release").join("repro");
+    let audit = std::process::Command::new(&repro)
+        .current_dir(root)
+        .arg("--audit")
+        .status();
+    match audit {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("dialect-smoke: audit failed");
+            return s.code().unwrap_or(1); // lint:allow: cli tool
+        }
+        Err(e) => {
+            eprintln!("dialect-smoke: cannot spawn {}: {e}", repro.display());
+            return 1;
+        }
+    }
+
+    let out_dir = root.join("target").join("repro").join("dialect-smoke");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("dialect-smoke: cannot create {}: {e}", out_dir.display());
+        return 1;
+    }
+    let report_path = root.join("target").join("repro").join("fuzz.json");
+
+    for dialect in DIALECT_SMOKE_DIALECTS {
+        let mut first: Option<String> = None;
+        for jobs in ["2", "1"] {
+            let status = std::process::Command::new(&repro)
+                .current_dir(root)
+                .args([
+                    "--fuzz",
+                    DIALECT_SMOKE_CASES,
+                    "--fuzz-seed",
+                    FUZZ_SMOKE_SEED,
+                    "--dialect",
+                    dialect,
+                    "--jobs",
+                    jobs,
+                ])
+                .status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!("dialect-smoke: {dialect} corpus failed (--jobs {jobs})");
+                    return s.code().unwrap_or(1); // lint:allow: cli tool
+                }
+                Err(e) => {
+                    eprintln!("dialect-smoke: cannot spawn {}: {e}", repro.display());
+                    return 1;
+                }
+            }
+            let report = match std::fs::read_to_string(&report_path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("dialect-smoke: reading {}: {e}", report_path.display());
+                    return 1;
+                }
+            };
+            match &first {
+                None => {
+                    let saved = out_dir.join(format!("fuzz-{dialect}.json"));
+                    if let Err(e) = std::fs::write(&saved, &report) {
+                        eprintln!("dialect-smoke: writing {}: {e}", saved.display());
+                        return 1;
+                    }
+                    first = Some(report);
+                }
+                Some(baseline) if *baseline == report => {}
+                Some(_) => {
+                    eprintln!(
+                        "dialect-smoke: {dialect} report differs between --jobs 2 and --jobs 1"
+                    );
+                    return 1;
+                }
+            }
+        }
+        println!("dialect-smoke: {dialect} corpus clean, byte-identical across --jobs");
+    }
+    println!(
+        "dialect-smoke: ok ({} dialects × {DIALECT_SMOKE_CASES} cases, reports in {})",
+        DIALECT_SMOKE_DIALECTS.len(),
+        out_dir.display()
+    );
+    0
+}
+
 /// Launch `repro --fuzz <cases> --fuzz-seed 7 [extra…]`; returns the exit
 /// code.
 fn run_repro_fuzz(root: &Path, label: &str, cases: &str, extra: &[&str]) -> i32 {
@@ -574,6 +744,20 @@ fn lint_repo(root: &Path) -> Vec<String> {
                      iterate the registry (crates/core/src/registry.rs) instead",
                     families.len(),
                     families.join(", ")
+                );
+                findings.push(f);
+            }
+        }
+        // per-dialect dispatch belongs in the dialect matrix, nowhere else
+        if !rel.starts_with("crates/dialect/src") {
+            if let Some((line_no, variants)) = scan_dialect_dispatch(&text) {
+                let mut f = String::new();
+                let _ = write!(
+                    f,
+                    "{rel}:{line_no}: per-dialect dispatch naming {} concrete `Dialect::` \
+                     variants ({}) — extend the dialect matrix (crates/dialect) instead",
+                    variants.len(),
+                    variants.join(", ")
                 );
                 findings.push(f);
             }
@@ -662,7 +846,7 @@ fn scan_task_matches(text: &str) -> Vec<(usize, Vec<&'static str>)> {
     let mut out = Vec::new();
     let mut in_block_comment = false;
     // (start line, brace depth, waived, per-family seen flags)
-    let mut block: Option<(usize, i64, bool, [bool; 5])> = None;
+    let mut block: Option<(usize, i64, bool, [bool; 6])> = None;
     for (idx, raw) in text.lines().enumerate() {
         let code = strip_noncode(raw, &mut in_block_comment);
         if let Some((start, depth, waived, seen)) = &mut block {
@@ -688,7 +872,7 @@ fn scan_task_matches(text: &str) -> Vec<(usize, Vec<&'static str>)> {
             let after = &code[at..];
             let opens = after.matches('{').count() as i64;
             let closes = after.matches('}').count() as i64;
-            let mut seen = [false; 5];
+            let mut seen = [false; 6];
             if !code.trim().is_empty() {
                 mark_families(raw, &mut seen);
             }
@@ -701,7 +885,7 @@ fn scan_task_matches(text: &str) -> Vec<(usize, Vec<&'static str>)> {
 }
 
 /// Set the seen-flag of every task family whose marker appears in `line`.
-fn mark_families(line: &str, seen: &mut [bool; 5]) {
+fn mark_families(line: &str, seen: &mut [bool; 6]) {
     for (i, (_, markers)) in TASK_FAMILIES.iter().enumerate() {
         if markers.iter().any(|m| line.contains(m)) {
             seen[i] = true;
@@ -751,9 +935,10 @@ fn collect_library_sources(src: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Scan one source text; yields `(1-based line, pattern, line text)` for
-/// every banned call outside comments, strings, and `#[cfg(test)]` regions.
-fn scan_source(text: &str) -> Vec<(usize, &'static str, String)> {
+/// Comment/string-stripped code lines of one source text with
+/// `#[cfg(test)]` regions removed: `(1-based line, stripped code, raw
+/// line)` per surviving line.
+fn library_code_lines(text: &str) -> Vec<(usize, String, &str)> {
     let mut out = Vec::new();
     let mut in_block_comment = false;
     // Depth of the `#[cfg(test)]`-gated item we are inside, if any:
@@ -789,16 +974,48 @@ fn scan_source(text: &str) -> Vec<(usize, &'static str, String)> {
             }
             continue;
         }
+        out.push((idx + 1, code, raw));
+    }
+    out
+}
+
+/// Scan one source text; yields `(1-based line, pattern, line text)` for
+/// every banned call outside comments, strings, and `#[cfg(test)]` regions.
+fn scan_source(text: &str) -> Vec<(usize, &'static str, String)> {
+    let mut out = Vec::new();
+    for (line_no, code, raw) in library_code_lines(text) {
         if raw.contains(WAIVER) {
             continue;
         }
         for pattern in BANNED {
             if code.contains(pattern) {
-                out.push((idx + 1, *pattern, raw.to_string()));
+                out.push((line_no, *pattern, raw.to_string()));
             }
         }
     }
     out
+}
+
+/// Scan one non-dialect library source for per-dialect dispatch: when at
+/// least [`DIALECT_DISPATCH_THRESHOLD`] distinct concrete `Dialect::`
+/// variants appear in its non-test code, returns the first offending line
+/// and the variants seen. A `lint:allow` comment exempts its line.
+fn scan_dialect_dispatch(text: &str) -> Option<(usize, Vec<&'static str>)> {
+    let mut seen: Vec<(&'static str, usize)> = Vec::new();
+    for (line_no, code, raw) in library_code_lines(text) {
+        if raw.contains(WAIVER) {
+            continue;
+        }
+        for v in DIALECT_VARIANTS {
+            if code.contains(v) && !seen.iter().any(|(s, _)| s == v) {
+                seen.push((v, line_no));
+            }
+        }
+    }
+    (seen.len() >= DIALECT_DISPATCH_THRESHOLD).then(|| {
+        let first = seen.iter().map(|(_, l)| *l).min().unwrap_or(1);
+        (first, seen.iter().map(|(v, _)| *v).collect())
+    })
 }
 
 /// Remove comments and string/char-literal contents from one line,
@@ -992,6 +1209,63 @@ mod tests {
         // `.matches(` and identifiers containing "match" never open a block
         let text = "fn f(s: &str) { let n = s.matches('x').count(); let rematch = 1; }\n";
         assert!(scan_task_matches(text).is_empty());
+    }
+
+    #[test]
+    fn full_dialect_dispatch_is_flagged() {
+        let text = "fn quote(d: Dialect) -> char {\n    match d {\n        Dialect::Sqlite => '\"',\n        Dialect::Postgres => '\"',\n        Dialect::Mysql => '`',\n        Dialect::Tsql => '[',\n        _ => '\"',\n    }\n}\n";
+        let (line, variants) = scan_dialect_dispatch(text).expect("flagged");
+        assert_eq!(line, 3);
+        assert_eq!(variants.len(), 4);
+    }
+
+    #[test]
+    fn narrow_dialect_mentions_are_allowed() {
+        // naming one or two variants (e.g. a mysql-only special case) is
+        // fine; so is iterating Dialect::CONCRETE without naming any
+        let text = "fn f(d: Dialect) -> bool { d == Dialect::Mysql || d == Dialect::Tsql }\nfn g() { for d in Dialect::CONCRETE { run(d); } }\n";
+        assert!(scan_dialect_dispatch(text).is_none());
+    }
+
+    #[test]
+    fn dialect_dispatch_in_test_modules_is_exempt() {
+        // round-trip tests legitimately enumerate every dialect
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        for d in [Dialect::Sqlite, Dialect::Postgres, Dialect::Mysql, Dialect::Tsql] {\n            check(d);\n        }\n    }\n}\n";
+        assert!(scan_dialect_dispatch(text).is_none());
+    }
+
+    #[test]
+    fn dialect_dispatch_waiver_exempts_its_line() {
+        let text = "const ALL: [Dialect; 4] = [Dialect::Sqlite, Dialect::Postgres, Dialect::Mysql, Dialect::Tsql]; // lint:allow: the one enumeration\n";
+        assert!(scan_dialect_dispatch(text).is_none());
+    }
+
+    /// The dialect-dispatch rule holds across the repo right now: no
+    /// library file outside `crates/dialect` enumerates the concrete
+    /// variants. Same check `xtask lint` (and therefore CI) enforces.
+    #[test]
+    fn no_dialect_dispatch_outside_the_dialect_crate() {
+        let root = repo_root();
+        let mut files = Vec::new();
+        let entries = std::fs::read_dir(root.join("crates")).expect("read crates/");
+        for dir in entries.filter_map(|e| e.ok().map(|e| e.path())) {
+            if dir.is_dir()
+                && dir
+                    .file_name()
+                    .is_some_and(|n| n != "xtask" && n != "dialect")
+            {
+                collect_library_sources(&dir.join("src"), &mut files);
+            }
+        }
+        assert!(!files.is_empty());
+        for file in files {
+            let text = std::fs::read_to_string(&file).expect("source file readable");
+            assert!(
+                scan_dialect_dispatch(&text).is_none(),
+                "per-dialect dispatch in {}",
+                file.display()
+            );
+        }
     }
 
     #[test]

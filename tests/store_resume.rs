@@ -46,7 +46,7 @@ fn warm_resume_is_all_hits_and_byte_identical() {
         cold.stats()
     );
     assert_eq!(cold.stats()["workload"].misses, 4);
-    assert_eq!(cold.stats()["dataset"].misses, 11);
+    assert_eq!(cold.stats()["dataset"].misses, 14);
 
     let mut warm = Store::open(&root);
     let resumed = Suite::load_or_build(PAPER_SEED, 2, &mut warm);
@@ -57,7 +57,7 @@ fn warm_resume_is_all_hits_and_byte_identical() {
         warm.stats()
     );
     assert_eq!(warm.stats()["workload"].hits, 4);
-    assert_eq!(warm.stats()["dataset"].hits, 11);
+    assert_eq!(warm.stats()["dataset"].hits, 14);
 
     let a = export_to_bytes(&built, Path::new("target/test-store-resume/export-cold"));
     let b = export_to_bytes(&resumed, Path::new("target/test-store-resume/export-warm"));
@@ -105,7 +105,7 @@ fn corrupted_entry_is_detected_and_rebuilt() {
     let stats = warm.stats()["dataset"];
     assert_eq!(
         (stats.hits, stats.misses),
-        (10, 1),
+        (13, 1),
         "hash mismatch must demote exactly the corrupted entry to a miss"
     );
     assert_eq!(warm.stats()["workload"].hits, 4);
