@@ -12,6 +12,9 @@
 //! repro --fuzz 500         # run 500 differential/metamorphic fuzz cases
 //! repro --fuzz 500 --fuzz-seed 7          # reseed the fuzz generator (default 0)
 //! repro --fuzz 500 --dialect tsql         # per-dialect corpus (sqlite/postgres/mysql/tsql)
+//! repro --synth 1000000    # stream-synthesize 1M queries, write synth.json
+//! repro --synth 1000000 --shards 8        # build each round as 8 shard partitions
+//! repro --synth 50000 --target spec.json  # steer toward a distribution target
 //! repro --serve 127.0.0.1:0               # serve /eval /suite /healthz /statz
 //! repro --serve ADDR --serve-store DIR    # serve over an explicit store root
 //! repro --serve ADDR --serve-inflight 4   # cap concurrent evaluations
@@ -37,6 +40,16 @@
 //! has a verified entry are loaded instead of rebuilt, byte-identically.
 //! A warm resume performs no suite-build or model-call work at all.
 //!
+//! `--synth N` also skips the suite: it streams N accepted queries in the
+//! character of the SDSS workload (seeded by `--seed`) through the
+//! sharded synthesis pipeline and writes `target/repro/synth.json` —
+//! sketch summaries, histograms, chunk fingerprints, acceptance rates —
+//! byte-identical for any `--jobs` *and any `--shards`* value. Peak
+//! memory is bounded by the round budget, not N. With `--target` the run
+//! additionally steers the accepted distribution toward the spec and
+//! exits 1 if it cannot converge; a failed sketch spot-check or an
+//! exhausted round budget also exits 1.
+//!
 //! `--fuzz N` skips the suite entirely and instead runs N cases of the
 //! `squ-fuzz` subsystem (grammar-generated queries through the round-trip,
 //! differential, and metamorphic oracles), writing `target/repro/fuzz.json`
@@ -49,11 +62,11 @@
 
 use squ::llm::FaultProfile;
 use squ::store::{fp_artifact, fp_audit, fp_faults};
-use squ_parser::Dialect;
 use squ::{
     run_ablation, run_experiment, AblationId, Artifact, AuditReport, ExperimentId, FaultReport,
     Store, Suite, PAPER_SEED,
 };
+use squ_parser::Dialect;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -79,6 +92,12 @@ struct Opts {
     /// Corpus dialect for fuzz mode (`squ`, `sqlite`, `postgres`,
     /// `mysql`, `tsql`); `None` means the default `squ` corpus.
     dialect: Option<String>,
+    /// Accepted-query budget; `Some` switches into synthesis mode.
+    synth: Option<u64>,
+    /// Shard count for synthesis mode (default 1).
+    shards: Option<usize>,
+    /// Path of a distribution-target spec for synthesis mode.
+    target: Option<String>,
     /// Bind address for server mode (`--serve`); port 0 is ephemeral.
     serve: Option<String>,
     /// Store root for server mode (default `target/repro/store`).
@@ -109,6 +128,9 @@ impl Default for Opts {
             fuzz: None,
             fuzz_seed: 0,
             dialect: None,
+            synth: None,
+            shards: None,
+            target: None,
             serve: None,
             serve_store: None,
             serve_inflight: None,
@@ -249,6 +271,37 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.dialect = Some(name);
                 i += 1;
             }
+            "--synth" => {
+                let raw =
+                    value_of(args, i).ok_or_else(|| "--synth needs a query count".to_string())?;
+                let n: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--synth needs a query count, got {raw:?}"))?;
+                if n == 0 {
+                    return Err("--synth needs a positive query count, got 0".to_string());
+                }
+                opts.synth = Some(n);
+                i += 1;
+            }
+            "--shards" => {
+                let raw = value_of(args, i)
+                    .ok_or_else(|| "--shards needs a positive integer".to_string())?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--shards needs a positive integer, got {raw:?}"))?;
+                if n == 0 {
+                    return Err("--shards needs a positive integer, got 0".to_string());
+                }
+                opts.shards = Some(n);
+                i += 1;
+            }
+            "--target" => {
+                opts.target = Some(
+                    value_of(args, i)
+                        .ok_or_else(|| "--target needs a spec file path".to_string())?,
+                );
+                i += 1;
+            }
             "--fuzz-seed" => {
                 let raw =
                     value_of(args, i).ok_or_else(|| "--fuzz-seed needs an integer".to_string())?;
@@ -302,6 +355,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     if opts.fuzz.is_some() {
         modes.push("--fuzz");
     }
+    if opts.synth.is_some() {
+        modes.push("--synth");
+    }
     if opts.only.is_some() {
         modes.push("--only");
     }
@@ -334,6 +390,13 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         for dep in ["--serve-store", "--serve-inflight"] {
             if was_given(dep) {
                 return Err(format!("{dep} requires --serve"));
+            }
+        }
+    }
+    if opts.synth.is_none() {
+        for dep in ["--shards", "--target"] {
+            if was_given(dep) {
+                return Err(format!("{dep} requires --synth"));
             }
         }
     }
@@ -418,6 +481,90 @@ fn main() {
     fs::create_dir_all(&out_dir).expect("create target/repro");
     let mut store: Option<Store> =
         (opts.resume || opts.store_stats).then(|| Store::open(out_dir.join("store")));
+
+    // Synthesis mode needs no suite either: the stream is its own
+    // substrate. Base workload is fixed to SDSS (the paper's primary
+    // log-derived workload); the stream seed is --seed.
+    if let Some(n) = opts.synth {
+        let shards = opts.shards.unwrap_or(1);
+        let target_json = opts.target.as_ref().map(|path| {
+            fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read --target {path}: {e}")))
+        });
+        let cfg = squ::SynthConfig {
+            base: squ::workload::Workload::Sdss,
+            seed: opts.seed,
+            n,
+            shards,
+            jobs: jobs_n,
+            target_json,
+        };
+        eprintln!(
+            "synthesizing {n} quer{} (seed {}, {shards} shard(s), {jobs_n} jobs{})…",
+            if n == 1 { "y" } else { "ies" },
+            opts.seed,
+            if cfg.target_json.is_some() {
+                ", targeted"
+            } else {
+                ""
+            }
+        );
+        let report = squ::timing::time("synth.total", || {
+            squ::run_synth(&cfg, store.as_mut()).unwrap_or_else(|e| die(&e))
+        });
+        let path = out_dir.join("synth.json");
+        fs::write(&path, report.to_json()).expect("write synth.json");
+        println!(
+            "synthesized {} of {} requested ({} candidates, {} rounds, acceptance {:.1}%), \
+             fingerprint {} over {} chunk(s)",
+            report.accepted_considered.min(report.requested),
+            report.requested,
+            report.candidates,
+            report.rounds,
+            100.0 * report.acceptance_rate,
+            report.fingerprint,
+            report.chunks.len(),
+        );
+        for axis in &report.axes {
+            println!(
+                "  axis {:<16} deviation {:.4} (tolerance {:.4})",
+                axis.property,
+                axis.deviation,
+                report.target.as_ref().map(|t| t.tolerance).unwrap_or(0.0)
+            );
+        }
+        if let Some(check) = &report.sketch_check {
+            println!(
+                "  sketch check: max rel err {:.5} (bound {:.5}) — {}",
+                check.max_rel_err,
+                check.bound,
+                if check.pass { "pass" } else { "FAIL" }
+            );
+        }
+        println!("synth report written to {}", path.display());
+        finish_store(&opts, store.as_ref());
+        finish_timings(&opts, &out_dir, jobs_n, run_start);
+        let mut failed = false;
+        if report.exhausted {
+            eprintln!(
+                "error: round budget exhausted after {} rounds with {} of {} accepted",
+                report.rounds, report.accepted_considered, report.requested
+            );
+            failed = true;
+        }
+        if report.sketch_check.as_ref().is_some_and(|c| !c.pass) {
+            eprintln!("error: sketch spot-check exceeded its error bound");
+            failed = true;
+        }
+        if report.target.is_some() && !report.converged {
+            eprintln!("error: accepted distribution did not reach the target tolerance");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // Fuzz mode needs no suite: cases are self-contained (generated
     // schemas + witness databases), so it runs before suite construction.
@@ -948,6 +1095,64 @@ mod tests {
         assert!(err.contains("--dialect requires --fuzz"), "{err}");
         let err = parse_args(&argv(&["--audit", "--dialect", "tsql"])).unwrap_err();
         assert!(err.contains("--dialect requires --fuzz"), "{err}");
+    }
+
+    #[test]
+    fn synth_flags() {
+        let opts = parse_args(&argv(&["--synth", "1000000"])).unwrap();
+        assert_eq!(opts.synth, Some(1_000_000));
+        assert_eq!(opts.shards, None);
+        assert_eq!(opts.target, None);
+        let opts = parse_args(&argv(&[
+            "--synth",
+            "50000",
+            "--shards",
+            "8",
+            "--target",
+            "spec.json",
+        ]))
+        .unwrap();
+        assert_eq!(opts.synth, Some(50_000));
+        assert_eq!(opts.shards, Some(8));
+        assert_eq!(opts.target.as_deref(), Some("spec.json"));
+        // order-independent: dependents may come first
+        let opts = parse_args(&argv(&["--shards", "3", "--synth", "5000"])).unwrap();
+        assert_eq!(opts.shards, Some(3));
+        // composes with the shared execution flags
+        let opts = parse_args(&argv(&[
+            "--synth",
+            "5000",
+            "--jobs",
+            "4",
+            "--seed",
+            "7",
+            "--resume",
+            "--timings",
+        ]))
+        .unwrap();
+        assert_eq!(opts.synth, Some(5000));
+        assert_eq!(opts.jobs, Some(4));
+        assert_eq!(opts.seed, 7);
+        assert!(opts.resume && opts.timings);
+        // value validation
+        assert!(parse_args(&argv(&["--synth"])).is_err());
+        assert!(parse_args(&argv(&["--synth", "0"])).is_err());
+        assert!(parse_args(&argv(&["--synth", "abc"])).is_err());
+        assert!(parse_args(&argv(&["--synth", "10", "--shards", "0"])).is_err());
+        assert!(parse_args(&argv(&["--synth", "10", "--shards"])).is_err());
+        assert!(parse_args(&argv(&["--synth", "10", "--target"])).is_err());
+        // dependents demand their parent mode
+        for dep in [&["--shards", "4"][..], &["--target", "spec.json"][..]] {
+            let err = parse_args(&argv(dep)).unwrap_err();
+            assert!(err.contains("--synth"), "{dep:?}: {err}");
+        }
+        let err = parse_args(&argv(&["--audit", "--shards", "4"])).unwrap_err();
+        assert!(err.contains("--shards requires --synth"), "{err}");
+        // --synth is a mode: it conflicts with the others
+        let err = parse_args(&argv(&["--synth", "10", "--fuzz", "10"])).unwrap_err();
+        assert!(err.contains("conflicting flags"), "{err}");
+        let err = parse_args(&argv(&["--synth", "10", "--audit"])).unwrap_err();
+        assert!(err.contains("conflicting flags"), "{err}");
     }
 
     #[test]

@@ -197,8 +197,11 @@ mod tests {
 
     #[test]
     fn dialect_is_injected_into_the_body() {
-        let out = with_dialect(r#"{"task":"syntax","workload":"sdss","model":"GPT4"}"#, "tsql")
-            .expect("injects");
+        let out = with_dialect(
+            r#"{"task":"syntax","workload":"sdss","model":"GPT4"}"#,
+            "tsql",
+        )
+        .expect("injects");
         let doc: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
         assert_eq!(doc["dialect"], "tsql");
         assert_eq!(doc["task"], "syntax");
@@ -206,8 +209,8 @@ mod tests {
 
     #[test]
     fn dialect_argument_overrides_an_existing_key() {
-        let out = with_dialect(r#"{"task":"syntax","dialect":"mysql"}"#, "postgres")
-            .expect("overrides");
+        let out =
+            with_dialect(r#"{"task":"syntax","dialect":"mysql"}"#, "postgres").expect("overrides");
         let doc: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
         assert_eq!(doc["dialect"], "postgres");
     }

@@ -39,6 +39,7 @@ pub mod registry;
 pub mod render;
 pub mod store;
 mod suite;
+pub mod synth;
 pub mod timing;
 
 pub use ablations::{run_ablation, run_all_ablations, AblationId};
@@ -50,6 +51,7 @@ pub use fuzz::{run_engine_bench, run_fuzz, run_fuzz_dialect};
 pub use registry::{registry, DynTask};
 pub use store::{suite_fingerprint, Store};
 pub use suite::{Suite, TaskSet, PAPER_SEED};
+pub use synth::{run_synth, SynthConfig, SynthReport};
 
 // Re-export the layers a downstream user composes with.
 pub use squ_eval as eval;

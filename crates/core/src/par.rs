@@ -63,9 +63,46 @@ where
         .collect()
 }
 
+/// Split the index range `[start, start + len)` into `shards` contiguous,
+/// near-equal `(start, len)` ranges (the first `len % shards` ranges get
+/// one extra item). Concatenating the ranges in order always reproduces
+/// the input range exactly, which is what makes sharded stream builds
+/// merge back byte-identical to the unsharded build.
+pub fn shard_ranges(start: u64, len: u64, shards: usize) -> Vec<(u64, u64)> {
+    let shards = shards.max(1) as u64;
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards as usize);
+    let mut at = start;
+    for k in 0..shards {
+        let n = base + u64::from(k < extra);
+        out.push((at, n));
+        at += n;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_ranges_tile_the_input_exactly() {
+        for (start, len, shards) in [(0, 100, 1), (0, 100, 3), (7, 13, 8), (5, 0, 4), (0, 3, 7)] {
+            let ranges = shard_ranges(start, len, shards);
+            assert_eq!(ranges.len(), shards.max(1));
+            let mut at = start;
+            for &(s, n) in &ranges {
+                assert_eq!(s, at, "contiguous at {s}");
+                at += n;
+            }
+            assert_eq!(at, start + len, "covers the range");
+            let (min, max) = ranges
+                .iter()
+                .fold((u64::MAX, 0), |(lo, hi), &(_, n)| (lo.min(n), hi.max(n)));
+            assert!(max - min <= 1, "near-equal: {ranges:?}");
+        }
+    }
 
     #[test]
     fn matches_sequential_for_any_job_count() {

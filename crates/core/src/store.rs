@@ -43,6 +43,9 @@ const ABLATION_VERSION: u32 = 1;
 /// Bump when the fuzz generator, oracles, or case-report format change.
 /// Version 4: per-dialect corpora (the case report gained dialect tallies).
 const FUZZ_VERSION: u32 = 4;
+/// Bump when the streaming synthesis pipeline (stream layout, controller
+/// math, shard-summary format) changes.
+const SYNTH_VERSION: u32 = 1;
 
 /// 64-bit FNV-1a over a byte stream.
 #[derive(Clone, Copy)]
@@ -204,6 +207,34 @@ pub fn fp_fuzz_dialect(fuzz_seed: u64, index: u64, dialect: &str) -> u64 {
         .num(fuzz_seed)
         .num(index)
         .push(dialect)
+        .finish()
+}
+
+/// Fingerprint of one synthesis run's *specification*: everything that
+/// determines its output — base workload, stream seed, requested size,
+/// and the raw target-spec text (or "" without a target). Like
+/// [`fp_fuzz`], deliberately independent of the suite: a synthesis run
+/// is fully determined by its own inputs.
+pub fn fp_synth_spec(seed: u64, n: u64, base: Workload, target_json: &str) -> u64 {
+    Fingerprint::new("synth")
+        .num(u64::from(SYNTH_VERSION))
+        .push(base.name())
+        .num(seed)
+        .num(n)
+        .push(target_json)
+        .finish()
+}
+
+/// Fingerprint of one shard of one synthesis round:
+/// `fp_spec ⊕ round ⊕ shard_index ⊕ shard_count`. The shard count is
+/// folded in so a `3-of-8` partition never collides with `3-of-4` —
+/// shard summaries are only reusable under the exact same partition.
+pub fn fp_synth_shard(spec_fp: u64, round: u32, shard: usize, shards: usize) -> u64 {
+    Fingerprint::new("synth-shard")
+        .num(spec_fp)
+        .num(u64::from(round))
+        .num(shard as u64)
+        .num(shards as u64)
         .finish()
 }
 
@@ -428,7 +459,34 @@ mod tests {
         // the default squ corpus
         assert_eq!(fp_fuzz(5, 2), fp_fuzz_dialect(5, 2, "squ"));
         assert_ne!(fp_fuzz(5, 2), fp_fuzz_dialect(5, 2, "tsql"));
-        assert_ne!(fp_fuzz_dialect(5, 2, "mysql"), fp_fuzz_dialect(5, 2, "tsql"));
+        assert_ne!(
+            fp_fuzz_dialect(5, 2, "mysql"),
+            fp_fuzz_dialect(5, 2, "tsql")
+        );
+    }
+
+    #[test]
+    fn synth_fingerprints_key_on_every_input() {
+        let spec = fp_synth_spec(7, 1000, Workload::Sdss, "");
+        assert_eq!(spec, fp_synth_spec(7, 1000, Workload::Sdss, ""));
+        assert_ne!(spec, fp_synth_spec(8, 1000, Workload::Sdss, ""));
+        assert_ne!(spec, fp_synth_spec(7, 2000, Workload::Sdss, ""));
+        assert_ne!(spec, fp_synth_spec(7, 1000, Workload::Spider, ""));
+        assert_ne!(
+            spec,
+            fp_synth_spec(7, 1000, Workload::Sdss, "{\"axes\":[]}")
+        );
+        // shard summaries are only reusable under the exact partition:
+        // round, index, and count all key the entry
+        let shard = fp_synth_shard(spec, 0, 1, 3);
+        assert_eq!(shard, fp_synth_shard(spec, 0, 1, 3));
+        assert_ne!(shard, fp_synth_shard(spec, 1, 1, 3));
+        assert_ne!(shard, fp_synth_shard(spec, 0, 2, 3));
+        assert_ne!(shard, fp_synth_shard(spec, 0, 1, 8));
+        assert_ne!(
+            shard,
+            fp_synth_shard(fp_synth_spec(9, 1, Workload::Sdss, ""), 0, 1, 3)
+        );
     }
 
     #[test]

@@ -303,6 +303,29 @@ impl Suite {
     pub fn translate_for(&self, w: Workload) -> &[TranslateExample] {
         self.typed(TaskId::Translate, w)
     }
+
+    /// A [`crate::synth::SynthConfig`] seeded by this suite: streamed
+    /// synthesis in the character of `base`, keyed to the suite's master
+    /// seed so `repro --synth` runs are reproducible alongside the
+    /// pinned datasets (which stay untouched — synthesis never feeds
+    /// back into the suite).
+    pub fn synth_config(
+        &self,
+        base: Workload,
+        n: u64,
+        shards: usize,
+        jobs: usize,
+        target_json: Option<String>,
+    ) -> crate::synth::SynthConfig {
+        crate::synth::SynthConfig {
+            base,
+            seed: self.seed,
+            n,
+            shards,
+            jobs,
+            target_json,
+        }
+    }
 }
 
 /// Canonical slot of a workload in the fixed four-element build list.

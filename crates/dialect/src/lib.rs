@@ -348,14 +348,17 @@ const TYPE_MATRIX: &[(&str, [&str; 5])] = &[
     ("INT", ["INT", "INTEGER", "INTEGER", "SIGNED", "INT"]),
     ("FLOAT", ["FLOAT", "REAL", "NUMERIC", "DECIMAL", "FLOAT"]),
     ("VARCHAR", ["VARCHAR", "TEXT", "TEXT", "CHAR", "VARCHAR"]),
-    ("BOOLEAN", ["BOOLEAN", "BOOLEAN", "BOOLEAN", "SIGNED", "BIT"]),
+    (
+        "BOOLEAN",
+        ["BOOLEAN", "BOOLEAN", "BOOLEAN", "SIGNED", "BIT"],
+    ),
 ];
 
 /// Find the catalog row that lists `upper` under any dialect spelling.
 fn catalog_row(upper: &str) -> Option<&'static FunctionSpec> {
-    FUNCTIONS.iter().find(|spec| {
-        spec.canonical == upper || spec.names.iter().any(|n| *n == Some(upper))
-    })
+    FUNCTIONS
+        .iter()
+        .find(|spec| spec.canonical == upper || spec.names.contains(&Some(upper)))
 }
 
 /// Resolve a function name (any dialect spelling, any case) to its

@@ -141,6 +141,33 @@ impl CostModel {
         }
         cost
     }
+
+    /// Runtime bucket of `stmt` under [`RUNTIME_BUCKET_EDGES_MS`] —
+    /// the engine-measured axis used by distribution-targeted workload
+    /// synthesis. Deterministic (never wall-clock), so synthesized
+    /// datasets stay byte-identical across machines.
+    pub fn estimate_bucket(&self, stmt: &Statement, schema: &Schema) -> usize {
+        runtime_bucket(self.estimate_ms(stmt, schema))
+    }
+}
+
+/// Log-decade edges (ms) of the engine's runtime buckets: `< 1 ms`,
+/// `1–10`, `10–100`, `100–1 000`, `1 000–10 000`, `≥ 10 000`. The
+/// spacing mirrors the bimodal elapsed-time split in the paper's
+/// Figure 5, where sub-millisecond point lookups and multi-second
+/// scans dominate the two modes.
+pub const RUNTIME_BUCKET_EDGES_MS: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// Bucket of an elapsed-time estimate under
+/// [`RUNTIME_BUCKET_EDGES_MS`]: the first edge `e` with `ms < e`, else
+/// the overflow bucket (same convention as workload histograms).
+pub fn runtime_bucket(ms: f64) -> usize {
+    for (i, e) in RUNTIME_BUCKET_EDGES_MS.iter().enumerate() {
+        if ms < *e {
+            return i;
+        }
+    }
+    RUNTIME_BUCKET_EDGES_MS.len()
 }
 
 fn collect_cards(tr: &TableRef, schema: &Schema, default: f64, out: &mut Vec<f64>) {
@@ -271,5 +298,27 @@ mod tests {
         assert_eq!(cross, 400_000.0);
         assert_eq!(equi, 20_000.0);
         assert!(m.comma_join_estimate(1e9, 1e9, false) <= 1e13);
+    }
+
+    #[test]
+    fn runtime_buckets_follow_histogram_convention() {
+        assert_eq!(runtime_bucket(0.0), 0);
+        assert_eq!(runtime_bucket(0.999), 0);
+        assert_eq!(runtime_bucket(1.0), 1);
+        assert_eq!(runtime_bucket(99.9), 2);
+        assert_eq!(runtime_bucket(5_000.0), 4);
+        assert_eq!(runtime_bucket(10_000.0), 5);
+        assert_eq!(runtime_bucket(f64::INFINITY), 5);
+    }
+
+    #[test]
+    fn estimate_bucket_matches_estimate_ms() {
+        let m = CostModel::default();
+        let schema = sdss();
+        let stmt = parse("SELECT objid FROM photoobj WHERE objid = 1").unwrap();
+        assert_eq!(
+            m.estimate_bucket(&stmt, &schema),
+            runtime_bucket(m.estimate_ms(&stmt, &schema))
+        );
     }
 }

@@ -43,7 +43,7 @@ mod table;
 mod value;
 mod witness;
 
-pub use cost::CostModel;
+pub use cost::{runtime_bucket, CostModel, RUNTIME_BUCKET_EDGES_MS};
 pub use exec::{
     execute, execute_query, execute_query_interpreted, like_match, ExecError, ExecStats,
 };

@@ -42,9 +42,9 @@ pub mod report;
 pub mod shrink;
 
 pub use gen::{fallback_query, generate_query, generate_schema, mix, GenSchema, SCHEMA_POOL};
-pub use squ_parser::Dialect;
 pub use mutate::{check_reconstruction, check_span_consistency, mutants_of, Mutant};
 pub use oracle::{run_case, FuzzConfig};
 pub use perf::{engine_bench, EngineBench};
 pub use report::{CaseReport, EngineCounters, Failure, FuzzReport, OracleCounts, SemaCounters};
 pub use shrink::shrink_sql;
+pub use squ_parser::Dialect;

@@ -207,19 +207,17 @@ fn dialect_advisories(sql: &str, dialect: Dialect, out: &mut Vec<LintDiagnostic>
                     message: format!("{} has no TOP clause (use LIMIT)", dialect.name()),
                 });
             }
-            TokenKind::Ident => {
-                if dialect.is_reserved(&t.text) {
-                    out.push(LintDiagnostic {
-                        code: "SQU123",
-                        severity: Severity::Warning,
-                        span,
-                        message: format!(
-                            "identifier {:?} is a reserved word in {}",
-                            t.text,
-                            dialect.name()
-                        ),
-                    });
-                }
+            TokenKind::Ident if dialect.is_reserved(&t.text) => {
+                out.push(LintDiagnostic {
+                    code: "SQU123",
+                    severity: Severity::Warning,
+                    span,
+                    message: format!(
+                        "identifier {:?} is a reserved word in {}",
+                        t.text,
+                        dialect.name()
+                    ),
+                });
             }
             _ => {}
         }

@@ -28,8 +28,8 @@ pub use extract::{
 pub use model::{GroundTruth, LanguageModel, Request, Task};
 pub use profiles::{DatasetId, ModelId};
 pub use run::{
-    run_task, run_task_direct, translation_matches_gold, EquivOutcome, ExplainOutcome,
-    PerfOutcome, RunTask, SyntaxOutcome, TokenOutcome, TranslateOutcome,
+    run_task, run_task_direct, translation_matches_gold, EquivOutcome, ExplainOutcome, PerfOutcome,
+    RunTask, SyntaxOutcome, TokenOutcome, TranslateOutcome,
 };
 pub use simulate::{SimConfig, SimulatedModel};
 pub use transport::{

@@ -425,12 +425,15 @@ mod tests {
     fn translate_targets_order_models() {
         for ds in [DatasetId::Sdss, DatasetId::SqlShare, DatasetId::JoinOrder] {
             let g4 = translate_target(ModelId::Gpt4, ds);
-            for m in [ModelId::Gpt35, ModelId::Llama3, ModelId::MistralAi, ModelId::Gemini] {
+            for m in [
+                ModelId::Gpt35,
+                ModelId::Llama3,
+                ModelId::MistralAi,
+                ModelId::Gemini,
+            ] {
                 assert!(g4 > translate_target(m, ds), "{m} beats GPT4 on {ds}");
             }
-            assert!(
-                translate_target(ModelId::Gemini, ds) < translate_target(ModelId::Gpt35, ds)
-            );
+            assert!(translate_target(ModelId::Gemini, ds) < translate_target(ModelId::Gpt35, ds));
         }
     }
 

@@ -341,7 +341,12 @@ pub struct TranslateOutcome {
 impl RunTask for TranslateTask {
     type Outcome = TranslateOutcome;
 
-    fn extract(&self, e: &TranslateExample, response: String, call: CallRecord) -> TranslateOutcome {
+    fn extract(
+        &self,
+        e: &TranslateExample,
+        response: String,
+        call: CallRecord,
+    ) -> TranslateOutcome {
         let said_sql = extract_sql(&response).value();
         let correct = said_sql
             .as_deref()

@@ -700,11 +700,14 @@ fn respond_translate(
     // response stays extractable; only *transport* faults produce
     // review-bucket responses.
     let wrong = gold_sql.replacen("SELECT", "SELECT DISTINCT", 1);
-    pick_fmt(rng, &[
-        format!("In {target} this would be:\n```sql\n{wrong}\n```"),
-        format!("The translated query is:\n{wrong}"),
-        format!("After adjusting it for {target}, the query becomes:\n```\n{wrong};\n```"),
-    ])
+    pick_fmt(
+        rng,
+        &[
+            format!("In {target} this would be:\n```sql\n{wrong}\n```"),
+            format!("The translated query is:\n{wrong}"),
+            format!("After adjusting it for {target}, the query becomes:\n```\n{wrong};\n```"),
+        ],
+    )
 }
 
 // ---------------- phrasing helpers ----------------

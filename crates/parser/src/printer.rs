@@ -64,12 +64,10 @@ pub fn print_expr(e: &Expr) -> String {
 /// versa. Only a plain-`SELECT` body participates; anything the fold
 /// cannot express stays faithful to the AST.
 fn fold_limit_top(q: &mut Query, dialect: Dialect) {
-    if !dialect.supports_top() {
-        if q.limit.is_none() {
-            if let SetExpr::Select(s) = &mut q.body {
-                if let Some(n) = s.top.take() {
-                    q.limit = Some(n);
-                }
+    if !dialect.supports_top() && q.limit.is_none() {
+        if let SetExpr::Select(s) = &mut q.body {
+            if let Some(n) = s.top.take() {
+                q.limit = Some(n);
             }
         }
     }
@@ -95,9 +93,7 @@ fn bare_word(part: &str, dialect: Dialect) -> bool {
     );
     head_ok
         && chars.all(|c| {
-            c.is_ascii_alphanumeric()
-                || c == '_'
-                || (sigils && (c == '#' || c == '@' || c == '$'))
+            c.is_ascii_alphanumeric() || c == '_' || (sigils && (c == '#' || c == '@' || c == '$'))
         })
 }
 

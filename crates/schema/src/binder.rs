@@ -789,9 +789,7 @@ fn function_type(
             FunctionResult::Int => SqlType::Int,
             FunctionResult::Text => SqlType::Text,
             FunctionResult::Float => SqlType::Float,
-            FunctionResult::FirstArg => {
-                args.first().and_then(arg_type).unwrap_or(SqlType::Float)
-            }
+            FunctionResult::FirstArg => args.first().and_then(arg_type).unwrap_or(SqlType::Float),
         },
         None => SqlType::Float,
     }

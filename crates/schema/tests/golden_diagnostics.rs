@@ -120,6 +120,9 @@ fn function_resolution_is_case_insensitive_across_dialect_spellings() {
     ] {
         let stmt = parse(sql).expect("fixture parses");
         let diags = analyze(&stmt, &sdss());
-        assert!(diags.is_empty(), "unexpected diagnostics for `{sql}`: {diags:?}");
+        assert!(
+            diags.is_empty(),
+            "unexpected diagnostics for `{sql}`: {diags:?}"
+        );
     }
 }

@@ -36,9 +36,7 @@ pub use perf::{build_perf_dataset, PerfExample, COST_THRESHOLD_MS};
 pub use syntax::{build_syntax_dataset, inject_error, SyntaxErrorType, SyntaxExample};
 pub use token::{build_token_dataset, delete_token, TokenExample, TokenType};
 pub use transforms::{transform_catalog, TransformFn, TransformInfo, TransformKind};
-pub use translate::{
-    build_translate_dataset, dialect_pairs, translate_query, TranslateExample,
-};
+pub use translate::{build_translate_dataset, dialect_pairs, translate_query, TranslateExample};
 
 pub use audit::{AuditCtx, CertStats, Violation};
 pub use task::{

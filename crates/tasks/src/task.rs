@@ -756,7 +756,8 @@ impl Task for TranslateTask {
                 }
                 // The reference interpreter caps row production earlier
                 // than the compiled engine; its errors are skips.
-                if let (Ok(r1), Ok(r2)) = (reference_query(&q_src, db), reference_query(&q_gold, db))
+                if let (Ok(r1), Ok(r2)) =
+                    (reference_query(&q_src, db), reference_query(&q_gold, db))
                 {
                     if !r1.result_equal(&r2) {
                         ctx.violation(

@@ -303,8 +303,8 @@ mod tests {
 
     #[test]
     fn translated_queries_round_trip_their_dialect() {
-        let q = parse_query("SELECT TOP 5 plate, mjd FROM SpecObj WHERE z > 0.5 ORDER BY mjd")
-            .unwrap();
+        let q =
+            parse_query("SELECT TOP 5 plate, mjd FROM SpecObj WHERE z > 0.5 ORDER BY mjd").unwrap();
         for d in Dialect::CONCRETE {
             let t = translate_query(&q, d);
             let sql = print_query_dialect(&t, d);

@@ -215,6 +215,18 @@ impl<'a> QueryGenerator<'a> {
         }
     }
 
+    /// Reset the generator to the state of a fresh
+    /// `QueryGenerator::new(schema, profile, seed)` without recomputing the
+    /// join graph. The streaming synthesis path ([`crate::stream`]) reseeds
+    /// one generator per item from a `(stream seed, index)` mix, which is
+    /// what makes any cursor restart — and any shard partition — reproduce
+    /// byte-identical statements.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.counter = 0;
+        self.force = Force::default();
+    }
+
     /// Generate the next statement.
     pub fn generate(&mut self) -> Statement {
         self.generate_forced(Force::default())

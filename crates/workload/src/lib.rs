@@ -6,6 +6,13 @@
 //! provides the histogram / Pearson-correlation analyses behind the paper's
 //! Figures 1–4 and Table 2.
 //!
+//! Beyond the pinned paper datasets, the crate scales out: [`stream`] is a
+//! constant-memory, cursor-resumable query stream whose items depend only
+//! on `(seed, index)` — the substrate for sharded million-query synthesis —
+//! [`sketch`] summarizes streamed distributions with a mergeable quantile
+//! sketch, and [`target`] steers synthesis toward a requested histogram
+//! shape with a round-based accept/reject controller.
+//!
 //! ```
 //! use squ_workload::{build, Workload};
 //! let sdss = build(Workload::Sdss, 2023);
@@ -19,10 +26,16 @@ pub mod analysis;
 pub mod describe;
 pub mod gen;
 mod props;
+pub mod sketch;
+pub mod stream;
+pub mod target;
 mod workloads;
 
 pub use props::{
     function_count, join_count, predicate_count, query_props, select_column_count, table_count,
     uses_aggregate, QueryProps,
 };
-pub use workloads::{build, build_all, schema_for, Dataset, Workload, WorkloadQuery};
+pub use sketch::{exact_quantile, QuantileSketch};
+pub use stream::{mix, synth_profile, QueryStream, StreamCursor, StreamIter, MAX_COLLECT};
+pub use target::{accepts, AcceptRule, Controller, RoundCounts, RoundPlan, TargetSpec};
+pub use workloads::{base_profile, build, build_all, schema_for, Dataset, Workload, WorkloadQuery};

@@ -1,0 +1,346 @@
+//! Mergeable quantile sketch over non-negative values.
+//!
+//! A DDSketch-style log-bucketed sketch: each value lands in the bucket
+//! `ceil(ln(v) / ln γ)` with `γ = (1 + α)/(1 − α)`, so every bucket spans a
+//! fixed *relative* width and the representative value `2γ^k/(γ + 1)` is
+//! within `α` of any value in the bucket. Quantile answers therefore carry
+//! a documented relative-error bound of [`QuantileSketch::RELATIVE_ERROR`]
+//! (1%), while memory stays `O(log(max/min)/α)` — a few thousand buckets
+//! at the absolute worst, independent of how many values were inserted.
+//!
+//! The sketch exists to replace full-materialization statistics in the
+//! streamed synthesis path: per-shard summaries **merge** by adding bucket
+//! counts, which is commutative and exact, so `merge(a, b)` equals the
+//! single-pass sketch over the concatenated input *field for field* — not
+//! just within error bounds. That exactness is what keeps `synth.json`
+//! byte-identical for any shard count. (P² is not mergeable at all and GK
+//! merges only approximately, which is why neither is used here.)
+//!
+//! Values must be finite and non-negative: negatives are clamped to the
+//! exact zero bucket and NaNs are ignored. Recorded `min`/`max` are exact,
+//! and quantile answers are clamped into `[min, max]`.
+
+use serde::{Deserialize, Serialize};
+
+/// `α`: the relative-error bound of every quantile answer.
+const ALPHA: f64 = 0.01;
+/// Values below this are counted in the exact zero bucket.
+const MIN_TRACKED: f64 = 1e-12;
+
+/// A mergeable log-bucketed quantile sketch (see the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Total inserted values (zeros included, NaNs excluded).
+    count: u64,
+    /// Values below [`MIN_TRACKED`] (exact-zero bucket).
+    zeros: u64,
+    /// Exact minimum inserted value (0.0 when empty).
+    min: f64,
+    /// Exact maximum inserted value (0.0 when empty).
+    max: f64,
+    /// `(bucket key, count)` sorted by key.
+    buckets: Vec<(i32, u64)>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Documented relative-error bound: for any `q`, the answer `v̂`
+    /// satisfies `|v̂ − v| ≤ RELATIVE_ERROR · v` where `v` is the exact
+    /// nearest-rank `q`-quantile (zero-bucket values are answered exactly).
+    pub const RELATIVE_ERROR: f64 = ALPHA;
+
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            count: 0,
+            zeros: 0,
+            min: 0.0,
+            max: 0.0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// `γ = (1 + α)/(1 − α)`.
+    fn gamma() -> f64 {
+        (1.0 + ALPHA) / (1.0 - ALPHA)
+    }
+
+    /// Log-bucket key of a tracked (`>= MIN_TRACKED`) value.
+    fn key(v: f64) -> i32 {
+        (v.ln() / Self::gamma().ln()).ceil() as i32
+    }
+
+    /// Representative value of bucket `k`: the relative midpoint
+    /// `2γ^k/(γ + 1)`, within `α` of every value in the bucket.
+    fn representative(k: i32) -> f64 {
+        let gamma = Self::gamma();
+        2.0 / (gamma + 1.0) * (f64::from(k) * gamma.ln()).exp()
+    }
+
+    /// Insert one value. Negatives clamp to zero; NaN is ignored.
+    pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let v = v.max(0.0);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        if v < MIN_TRACKED {
+            self.zeros += 1;
+            return;
+        }
+        let key = Self::key(v);
+        match self.buckets.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (key, 1)),
+        }
+    }
+
+    /// Merge another sketch into this one. Bucket counts add, so the
+    /// result equals the single-pass sketch over the concatenated inputs
+    /// exactly (`PartialEq`-equal), in any merge order or grouping.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.zeros += other.zeros;
+        for &(key, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (key, n)),
+            }
+        }
+    }
+
+    /// Number of inserted values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Is the sketch empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum inserted value.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum inserted value.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of distinct log buckets in use (memory footprint proxy).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len() + usize::from(self.zeros > 0)
+    }
+
+    /// The `q`-quantile (nearest-rank definition: the `⌈q·n⌉`-th smallest
+    /// value, clamped to rank 1), within [`Self::RELATIVE_ERROR`] of the
+    /// exact answer. `None` on an empty sketch; `q` is clamped to [0, 1].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for &(key, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::representative(key).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Convenience: `(p50, p90, p99)`.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.90)?,
+            self.quantile(0.99)?,
+        ))
+    }
+}
+
+/// Exact nearest-rank quantile of a slice — the reference the sketch is
+/// tested against (and spot-checked against in `synth.json` for small
+/// runs). `None` on an empty slice.
+pub fn exact_quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(approx: f64, exact: f64) -> f64 {
+        if exact.abs() < MIN_TRACKED {
+            approx.abs()
+        } else {
+            (approx - exact).abs() / exact.abs()
+        }
+    }
+
+    fn assert_within_bound(values: &[f64]) {
+        let mut s = QuantileSketch::new();
+        for &v in values {
+            s.insert(v);
+        }
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let approx = s.quantile(q).unwrap();
+            let exact = exact_quantile(values, q).unwrap();
+            assert!(
+                rel_err(approx, exact) <= QuantileSketch::RELATIVE_ERROR + 1e-9,
+                "q={q}: sketch {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn sorted_reversed_constant_and_duplicates() {
+        let sorted: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_within_bound(&sorted);
+        let reversed: Vec<f64> = sorted.iter().rev().copied().collect();
+        assert_within_bound(&reversed);
+        assert_within_bound(&vec![42.0; 500]);
+        let mut dupes = Vec::new();
+        for v in [0.5, 3.0, 3.0, 700.0] {
+            dupes.extend(std::iter::repeat(v).take(200));
+        }
+        assert_within_bound(&dupes);
+    }
+
+    #[test]
+    fn f64_extremes_stay_bounded() {
+        let values = [f64::MIN_POSITIVE, 1e-300, 1e-9, 1.0, 1e9, 1e300, f64::MAX];
+        assert_within_bound(&values);
+        let mut s = QuantileSketch::new();
+        for v in values {
+            s.insert(v);
+        }
+        assert_eq!(s.min(), Some(f64::MIN_POSITIVE));
+        assert_eq!(s.max(), Some(f64::MAX));
+        assert!(s.quantile(1.0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn zeros_are_exact_and_negatives_clamp() {
+        let mut s = QuantileSketch::new();
+        for _ in 0..60 {
+            s.insert(0.0);
+        }
+        s.insert(-5.0); // clamps to zero
+        for _ in 0..39 {
+            s.insert(10.0);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert!(rel_err(s.quantile(0.99).unwrap(), 10.0) <= QuantileSketch::RELATIVE_ERROR);
+        // NaN is ignored entirely
+        s.insert(f64::NAN);
+        assert_eq!(s.count(), 100);
+    }
+
+    #[test]
+    fn merge_equals_single_pass_exactly() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| ((i * 2654435761u64 % 99991) as f64) / 7.0)
+            .collect();
+        let mut whole = QuantileSketch::new();
+        for &v in &values {
+            whole.insert(v);
+        }
+        for split in [0, 1, 17, 250, 499, 500] {
+            let (a, b) = values.split_at(split);
+            let mut left = QuantileSketch::new();
+            for &v in a {
+                left.insert(v);
+            }
+            let mut right = QuantileSketch::new();
+            for &v in b {
+                right.insert(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for i in 0..100 {
+            a.insert(i as f64);
+            b.insert((i * 31 % 97) as f64 + 0.5);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn bucket_memory_is_bounded_by_value_range_not_count() {
+        let mut s = QuantileSketch::new();
+        for i in 0..100_000u64 {
+            s.insert(1.0 + (i % 1000) as f64);
+        }
+        // 1000 distinct values in [1, 1000] need at most
+        // ln(1000)/ln(γ) ≈ 346 buckets however many values are inserted
+        assert!(s.bucket_count() <= 400, "{} buckets", s.bucket_count());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = QuantileSketch::new();
+        for i in 0..50 {
+            s.insert(i as f64 * 3.5);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: QuantileSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -62,7 +62,11 @@ impl Workload {
         }
     }
 
-    /// Number of sampled queries (Table 2).
+    /// Number of sampled queries (Table 2). These four counts are pinned
+    /// to the paper and never change: streamed synthesis
+    /// ([`crate::stream::QueryStream`]) produces *separate*, unbounded
+    /// `synth-*` datasets whose size is chosen by the caller
+    /// (`repro --synth N`) and is deliberately **not** reflected here.
     pub fn sampled_size(&self) -> usize {
         match self {
             Workload::Sdss => 285,
@@ -150,7 +154,11 @@ pub fn build(workload: Workload, seed: u64) -> Dataset {
     }
 }
 
-/// Build all four datasets.
+/// Build all four *sampled* datasets — always the paper's pinned sizes
+/// ([`Workload::sampled_size`]), never a synthesized stream. Synthetic
+/// workloads of arbitrary size go through [`crate::stream::QueryStream`],
+/// which only collects into a [`Dataset`] under the
+/// [`crate::stream::MAX_COLLECT`] cap; everything larger stays streaming.
 pub fn build_all(seed: u64) -> Vec<Dataset> {
     vec![
         build(Workload::Sdss, seed),
@@ -158,6 +166,95 @@ pub fn build_all(seed: u64) -> Vec<Dataset> {
         build(Workload::JoinOrder, seed),
         build(Workload::Spider, seed),
     ]
+}
+
+/// The distributional profile of one workload's generator — the knobs the
+/// quota-controlled builders below run with, shared with the streaming
+/// synthesis path ([`crate::stream`]). The `create`/`aggregate`/`nested`
+/// probabilities are zero here because the paper builders drive those
+/// choices by exact quota; [`crate::stream::synth_profile`] re-enables
+/// them as probabilities at the paper's observed rates.
+pub fn base_profile(workload: Workload) -> GenProfile {
+    match workload {
+        Workload::Sdss => GenProfile {
+            create_prob: 0.0, // driven by quota in the paper builder
+            aggregate_prob: 0.0,
+            nested_prob: 0.0,
+            cte_prob: 0.03,
+            table_count_weights: vec![(1, 0.45), (2, 0.35), (3, 0.15), (4, 0.05)],
+            extra_pred_range: (1, 7),
+            explicit_join_prob: 0.65,
+            alias_prob: 0.6,
+            top_prob: 0.3,
+            order_by_prob: 0.25,
+            limit_prob: 0.0,
+            scalar_fn_prob: 0.12,
+            star_prob: 0.06,
+            distinct_prob: 0.08,
+            proj_cols_range: (2, 7),
+        },
+        Workload::SqlShare => GenProfile {
+            create_prob: 0.0,
+            aggregate_prob: 0.0,
+            nested_prob: 0.0,
+            cte_prob: 0.04,
+            table_count_weights: vec![(1, 0.55), (2, 0.3), (3, 0.15)],
+            extra_pred_range: (0, 3),
+            explicit_join_prob: 0.8,
+            alias_prob: 0.9, // SQLShare's defining trait: heavy aliasing
+            top_prob: 0.05,
+            order_by_prob: 0.25,
+            limit_prob: 0.15,
+            scalar_fn_prob: 0.2,
+            star_prob: 0.12,
+            distinct_prob: 0.12,
+            proj_cols_range: (1, 4),
+        },
+        Workload::JoinOrder => GenProfile {
+            create_prob: 0.0,
+            aggregate_prob: 0.0,
+            nested_prob: 0.0, // Table 2: Join-Order has no nesting ("-")
+            cte_prob: 0.0,
+            table_count_weights: vec![
+                (4, 0.15),
+                (5, 0.15),
+                (6, 0.2),
+                (7, 0.15),
+                (8, 0.15),
+                (9, 0.1),
+                (10, 0.05),
+                (11, 0.03),
+                (12, 0.02),
+            ],
+            extra_pred_range: (3, 16),
+            explicit_join_prob: 0.25, // JOB famously uses implicit joins
+            alias_prob: 1.0,
+            top_prob: 0.0,
+            order_by_prob: 0.05,
+            limit_prob: 0.0,
+            scalar_fn_prob: 0.05,
+            star_prob: 0.0,
+            distinct_prob: 0.05,
+            proj_cols_range: (1, 4),
+        },
+        Workload::Spider => GenProfile {
+            create_prob: 0.0, // Table 2: Spider is 200 SELECT / 0 CREATE
+            aggregate_prob: 0.0,
+            nested_prob: 0.0,
+            cte_prob: 0.0,
+            table_count_weights: vec![(1, 0.4), (2, 0.4), (3, 0.2)],
+            extra_pred_range: (0, 3),
+            explicit_join_prob: 0.95,
+            alias_prob: 0.5,
+            top_prob: 0.0,
+            order_by_prob: 0.4,
+            limit_prob: 0.35, // Spider's ORDER BY … LIMIT 1 idiom
+            scalar_fn_prob: 0.05,
+            star_prob: 0.05,
+            distinct_prob: 0.1,
+            proj_cols_range: (1, 3),
+        },
+    }
 }
 
 /// Deterministic quota assignment: exactly `k` of `n` slots are `true`,
@@ -174,23 +271,7 @@ fn quota_flags(n: usize, k: usize, seed: u64) -> Vec<bool> {
 fn build_sdss(seed: u64) -> Dataset {
     let schema = schemas::sdss();
     let n = Workload::Sdss.sampled_size();
-    let profile = GenProfile {
-        create_prob: 0.0, // driven by quota below
-        aggregate_prob: 0.0,
-        nested_prob: 0.0,
-        cte_prob: 0.03,
-        table_count_weights: vec![(1, 0.45), (2, 0.35), (3, 0.15), (4, 0.05)],
-        extra_pred_range: (1, 7),
-        explicit_join_prob: 0.65,
-        alias_prob: 0.6,
-        top_prob: 0.3,
-        order_by_prob: 0.25,
-        limit_prob: 0.0,
-        scalar_fn_prob: 0.12,
-        star_prob: 0.06,
-        distinct_prob: 0.08,
-        proj_cols_range: (2, 7),
-    };
+    let profile = base_profile(Workload::Sdss);
     // Table 2: 21 aggregate / 264 non-aggregate; nesting levels 0 and 1
     // (Fig 1e); a small CREATE share (Fig 1a).
     let agg = quota_flags(n, 21, seed ^ 0xA66);
@@ -233,23 +314,7 @@ fn build_sdss(seed: u64) -> Dataset {
 fn build_sqlshare(seed: u64) -> Dataset {
     let zoo = schemas::sqlshare_zoo();
     let n = Workload::SqlShare.sampled_size();
-    let profile = GenProfile {
-        create_prob: 0.0,
-        aggregate_prob: 0.0,
-        nested_prob: 0.0,
-        cte_prob: 0.04,
-        table_count_weights: vec![(1, 0.55), (2, 0.3), (3, 0.15)],
-        extra_pred_range: (0, 3),
-        explicit_join_prob: 0.8,
-        alias_prob: 0.9, // SQLShare's defining trait: heavy aliasing
-        top_prob: 0.05,
-        order_by_prob: 0.25,
-        limit_prob: 0.15,
-        scalar_fn_prob: 0.2,
-        star_prob: 0.12,
-        distinct_prob: 0.12,
-        proj_cols_range: (1, 4),
-    };
+    let profile = base_profile(Workload::SqlShare);
     // Table 2: 59 aggregate / 192 non-aggregate (shares of 250), small
     // CREATE share (Fig 2a), nesting levels 0/1 (Fig 2e).
     let agg = quota_flags(n, 59, seed ^ 0xA66A);
@@ -293,33 +358,7 @@ fn build_sqlshare(seed: u64) -> Dataset {
 fn build_joborder(seed: u64) -> Dataset {
     let schema = schemas::imdb();
     let n = Workload::JoinOrder.sampled_size();
-    let profile = GenProfile {
-        create_prob: 0.0,
-        aggregate_prob: 0.0,
-        nested_prob: 0.0, // Table 2: Join-Order has no nesting ("-")
-        cte_prob: 0.0,
-        table_count_weights: vec![
-            (4, 0.15),
-            (5, 0.15),
-            (6, 0.2),
-            (7, 0.15),
-            (8, 0.15),
-            (9, 0.1),
-            (10, 0.05),
-            (11, 0.03),
-            (12, 0.02),
-        ],
-        extra_pred_range: (3, 16),
-        explicit_join_prob: 0.25, // JOB famously uses implicit joins
-        alias_prob: 1.0,
-        top_prob: 0.0,
-        order_by_prob: 0.05,
-        limit_prob: 0.0,
-        scalar_fn_prob: 0.05,
-        star_prob: 0.0,
-        distinct_prob: 0.05,
-        proj_cols_range: (1, 4),
-    };
+    let profile = base_profile(Workload::JoinOrder);
     // Table 2: 113 SELECT + 44 CREATE; 119 aggregate / 38 non-aggregate.
     let create = quota_flags(n, 44, seed ^ 0xC0EA8);
     let agg = quota_flags(n, 119, seed ^ 0xA66B);
@@ -353,23 +392,7 @@ fn build_joborder(seed: u64) -> Dataset {
 fn build_spider(seed: u64) -> Dataset {
     let zoo = schemas::spider_zoo();
     let n = Workload::Spider.sampled_size();
-    let profile = GenProfile {
-        create_prob: 0.0, // Table 2: Spider is 200 SELECT / 0 CREATE
-        aggregate_prob: 0.0,
-        nested_prob: 0.0,
-        cte_prob: 0.0,
-        table_count_weights: vec![(1, 0.4), (2, 0.4), (3, 0.2)],
-        extra_pred_range: (0, 3),
-        explicit_join_prob: 0.95,
-        alias_prob: 0.5,
-        top_prob: 0.0,
-        order_by_prob: 0.4,
-        limit_prob: 0.35, // Spider's ORDER BY … LIMIT 1 idiom
-        scalar_fn_prob: 0.05,
-        star_prob: 0.05,
-        distinct_prob: 0.1,
-        proj_cols_range: (1, 3),
-    };
+    let profile = base_profile(Workload::Spider);
     // Table 2: 96 aggregate / 104 non-aggregate; 185 level-0 / 15 level-1.
     let agg = quota_flags(n, 96, seed ^ 0xA66C);
     let nested = quota_flags(n, 15, seed ^ 0x0E59);

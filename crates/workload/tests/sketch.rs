@@ -1,0 +1,123 @@
+//! Property tests for the quantile sketch: quantile answers stay within
+//! the documented relative-error bound against the exact nearest-rank
+//! reference on adversarial inputs, and merging any partition of the
+//! input is *exactly* equal to the single-pass sketch (the invariant the
+//! sharded synthesis path's byte-identity rests on).
+
+use proptest::prelude::*;
+use squ_workload::{exact_quantile, QuantileSketch};
+
+const QS: [f64; 9] = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.insert(v);
+    }
+    s
+}
+
+fn assert_bounded(values: &[f64]) -> Result<(), TestCaseError> {
+    let s = sketch_of(values);
+    prop_assert_eq!(s.count(), values.len() as u64);
+    for q in QS {
+        let approx = s.quantile(q).expect("non-empty sketch answers");
+        let exact = exact_quantile(values, q).expect("non-empty slice answers");
+        let err = if exact.abs() < 1e-12 {
+            approx.abs()
+        } else {
+            (approx - exact).abs() / exact.abs()
+        };
+        prop_assert!(
+            err <= QuantileSketch::RELATIVE_ERROR + 1e-9,
+            "q={}: sketch {} vs exact {} (rel err {})",
+            q,
+            approx,
+            exact,
+            err
+        );
+    }
+    Ok(())
+}
+
+/// Non-negative finite values spanning many magnitudes, zeros included.
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![Just(0.0), 1e-6f64..1e9, 0.0f64..1.0, 1.0f64..1e3,],
+        1..300,
+    )
+}
+
+proptest! {
+    /// Every quantile of arbitrary non-negative input is within the
+    /// documented relative-error bound of the exact nearest-rank answer.
+    #[test]
+    fn quantiles_within_bound_on_arbitrary_input(vs in values()) {
+        assert_bounded(&vs)?;
+    }
+
+    /// Sorted and reversed presentations of the same multiset answer
+    /// identically (insertion order is irrelevant), and stay bounded.
+    #[test]
+    fn insertion_order_is_irrelevant(vs in values()) {
+        let mut vs = vs;
+        vs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let sorted = sketch_of(&vs);
+        vs.reverse();
+        let reversed = sketch_of(&vs);
+        prop_assert_eq!(&sorted, &reversed);
+        assert_bounded(&vs)?;
+    }
+
+    /// Heavy duplication (few distinct values, many repeats) keeps both
+    /// the error bound and a tiny memory footprint.
+    #[test]
+    fn heavy_duplicates_stay_bounded(
+        distinct in prop::collection::vec(1e-3f64..1e6, 1..5),
+        reps in 1usize..200,
+    ) {
+        let vs: Vec<f64> = distinct
+            .iter()
+            .flat_map(|&v| std::iter::repeat(v).take(reps))
+            .collect();
+        assert_bounded(&vs)?;
+        prop_assert!(sketch_of(&vs).bucket_count() <= distinct.len() + 1);
+    }
+
+    /// NaN-free f64 extremes: subnormal-adjacent through f64::MAX.
+    #[test]
+    fn extreme_magnitudes_stay_bounded(exps in prop::collection::vec(-300i32..300, 1..40)) {
+        let vs: Vec<f64> = exps.iter().map(|&e| 10f64.powi(e)).collect();
+        assert_bounded(&vs)?;
+    }
+
+    /// merge(a, b) over any split point equals the single-pass sketch
+    /// field-for-field, and merge order is irrelevant.
+    #[test]
+    fn merge_equals_single_pass(vs in values(), cut in 0.0f64..1.0) {
+        let split = ((vs.len() as f64) * cut) as usize;
+        let whole = sketch_of(&vs);
+        let (a, b) = vs.split_at(split.min(vs.len()));
+        let left = sketch_of(a);
+        let right = sketch_of(b);
+        let mut ab = left.clone();
+        ab.merge(&right);
+        prop_assert_eq!(&ab, &whole, "merge != single pass at split {}", split);
+        let mut ba = right;
+        ba.merge(&left);
+        prop_assert_eq!(&ba, &whole, "reversed merge != single pass");
+    }
+
+    /// Merging many shards in any grouping reproduces the single pass —
+    /// the exact situation the sharded synthesis merge loop is in.
+    #[test]
+    fn sharded_merge_is_exact(vs in values(), shards in 1usize..8) {
+        let whole = sketch_of(&vs);
+        let mut merged = QuantileSketch::new();
+        let chunk = vs.len().div_ceil(shards);
+        for part in vs.chunks(chunk.max(1)) {
+            merged.merge(&sketch_of(part));
+        }
+        prop_assert_eq!(&merged, &whole);
+    }
+}

@@ -38,6 +38,15 @@
 //! byte-identical; per-dialect reports land in
 //! `target/repro/dialect-smoke/` for CI's artifact upload.
 //!
+//! `synth-smoke` — exercise the streaming synthesis subsystem end to
+//! end: a 5 000-query synthesis on 3 shards × 2 jobs whose report must
+//! be byte-identical to the 1-shard × 1-job build, an embedded
+//! sketch-vs-exact spot check that must pass, and a 4×-larger run whose
+//! recorded peak RSS must stay well under 4× the small run's (memory is
+//! bounded by the round budget, not by `N`). `synth.json` and the
+//! large-run `timings.json` land in `target/repro/synth-smoke/` for
+//! CI's artifact upload.
+//!
 //! The benchmark's library crates must not abort on malformed input: the
 //! whole point of the analyzer stack is to turn bad SQL into diagnostics.
 //! This pass scans every `crates/*/src` library file (binaries, `main.rs`,
@@ -211,17 +220,21 @@ fn main() {
             let status = dialect_smoke(&repo_root());
             std::process::exit(status);
         }
+        Some("synth-smoke") => {
+            let status = synth_smoke(&repo_root());
+            std::process::exit(status);
+        }
         Some(other) => {
             eprintln!(
                 "unknown task {other:?} (available: lint, fuzz-smoke, perf-smoke, sema-smoke, \
-                 serve-smoke, dialect-smoke)"
+                 serve-smoke, dialect-smoke, synth-smoke)"
             );
             std::process::exit(2);
         }
         None => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
-                 <lint|fuzz-smoke|perf-smoke|sema-smoke|serve-smoke|dialect-smoke>"
+                 <lint|fuzz-smoke|perf-smoke|sema-smoke|serve-smoke|dialect-smoke|synth-smoke>"
             );
             std::process::exit(2);
         }
@@ -664,6 +677,163 @@ fn dialect_smoke(root: &Path) -> i32 {
         out_dir.display()
     );
     0
+}
+
+/// Small-run query budget for the synth smoke.
+const SYNTH_SMOKE_SMALL: &str = "5000";
+/// Large-run query budget (4× the small run) for the peak-RSS guard.
+const SYNTH_SMOKE_LARGE: &str = "20000";
+
+/// End-to-end smoke of the streaming synthesis subsystem:
+///
+/// 1. build the `repro` binary once in release mode;
+/// 2. `repro --synth 5000 --shards 3 --jobs 2 --timings` — the report
+///    must embed a passing sketch-vs-exact spot check (small runs retain
+///    exact values precisely so CI can hold the sketch to its documented
+///    error bound);
+/// 3. the same synthesis on 1 shard × 1 job — `synth.json` must be
+///    byte-identical (sharding and parallelism are pure optimizations);
+/// 4. `repro --synth 20000` (4× the queries, same shards/jobs) — its
+///    recorded peak RSS must stay under 3× the small run's, catching any
+///    accidental `O(N)` materialization in the streaming path.
+///
+/// The small-run `synth.json` and large-run `timings.json` land in
+/// `target/repro/synth-smoke/` for CI's artifact upload.
+fn synth_smoke(root: &Path) -> i32 {
+    let build = std::process::Command::new(env!("CARGO"))
+        .current_dir(root)
+        .args(["build", "--release", "-p", "squ-bench", "--bins"])
+        .status();
+    match build {
+        Ok(s) if s.success() => {}
+        Ok(s) => return s.code().unwrap_or(1), // lint:allow: cli tool
+        Err(e) => {
+            eprintln!("synth-smoke: failed to launch cargo: {e}");
+            return 1;
+        }
+    }
+
+    let out_dir = root.join("target").join("repro").join("synth-smoke");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("synth-smoke: cannot create {}: {e}", out_dir.display());
+        return 1;
+    }
+    let repro = root.join("target").join("release").join("repro");
+    let report_path = root.join("target").join("repro").join("synth.json");
+    let timings_path = root.join("target").join("repro").join("timings.json");
+
+    let run = |n: &str, shards: &str, jobs: &str| -> i32 {
+        let status = std::process::Command::new(&repro)
+            .current_dir(root)
+            .args([
+                "--synth",
+                n,
+                "--shards",
+                shards,
+                "--jobs",
+                jobs,
+                "--timings",
+            ])
+            .status();
+        match status {
+            Ok(s) if s.success() => 0,
+            Ok(s) => {
+                eprintln!("synth-smoke: --synth {n} --shards {shards} --jobs {jobs} failed");
+                s.code().unwrap_or(1) // lint:allow: cli tool
+            }
+            Err(e) => {
+                eprintln!("synth-smoke: cannot spawn {}: {e}", repro.display());
+                1
+            }
+        }
+    };
+
+    // 1) sharded small run: sketch check must be present and passing
+    let code = run(SYNTH_SMOKE_SMALL, "3", "2");
+    if code != 0 {
+        return code;
+    }
+    let sharded = match std::fs::read_to_string(&report_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("synth-smoke: reading {}: {e}", report_path.display());
+            return 1;
+        }
+    };
+    if !sharded.contains("\"sketch_check\"") || !sharded.contains("\"pass\": true") {
+        eprintln!("synth-smoke: report lacks a passing sketch-vs-exact spot check");
+        return 1;
+    }
+    if let Err(e) = std::fs::write(out_dir.join("synth.json"), &sharded) {
+        eprintln!("synth-smoke: writing artifact: {e}");
+        return 1;
+    }
+    let small_rss = read_counter(&timings_path, "synth.peak_rss_kb");
+    println!("synth-smoke: {SYNTH_SMOKE_SMALL}-query sharded run clean (sketch check passed)");
+
+    // 2) unsharded, sequential run: must be byte-identical
+    let code = run(SYNTH_SMOKE_SMALL, "1", "1");
+    if code != 0 {
+        return code;
+    }
+    match std::fs::read_to_string(&report_path) {
+        Ok(unsharded) if unsharded == sharded => {
+            println!("synth-smoke: report byte-identical across shard and job counts");
+        }
+        Ok(_) => {
+            eprintln!("synth-smoke: report differs between 3 shards × 2 jobs and 1 shard × 1 job");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("synth-smoke: reading {}: {e}", report_path.display());
+            return 1;
+        }
+    }
+
+    // 3) 4×-larger run: peak RSS must stay flat (round-budget bounded)
+    let code = run(SYNTH_SMOKE_LARGE, "3", "2");
+    if code != 0 {
+        return code;
+    }
+    let large_rss = read_counter(&timings_path, "synth.peak_rss_kb");
+    if let Ok(t) = std::fs::read_to_string(&timings_path) {
+        let _ = std::fs::write(out_dir.join("timings-large.json"), t);
+    }
+    match (small_rss, large_rss) {
+        (Some(small), Some(large)) if small > 0 && large > 0 => {
+            if large > small * 3 {
+                eprintln!(
+                    "synth-smoke: peak RSS grew {small} kB -> {large} kB over a 4x run \
+                     (streaming must keep memory independent of N)"
+                );
+                return 1;
+            }
+            println!(
+                "synth-smoke: peak RSS flat over a 4x run ({small} kB -> {large} kB, bound 3x)"
+            );
+        }
+        _ => println!("synth-smoke: peak RSS unavailable on this platform, guard skipped"),
+    }
+
+    println!("synth-smoke: ok (artifacts in {})", out_dir.display());
+    0
+}
+
+/// Extract the integer `value` of one named counter from `timings.json`
+/// without a JSON parser: finds `"name": "<counter>"` and reads the
+/// number after the following `"value":`.
+fn read_counter(timings: &Path, counter: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(timings).ok()?;
+    let at = text.find(&format!("\"{counter}\""))?;
+    let rest = &text[at..];
+    let val = rest.find("\"value\":")?;
+    let digits: String = rest[val + 8..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
 }
 
 /// Launch `repro --fuzz <cases> --fuzz-seed 7 [extra…]`; returns the exit

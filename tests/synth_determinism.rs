@@ -1,0 +1,102 @@
+//! Sharded, parallel workload synthesis must be a pure optimization:
+//! the synthesis report built on any `(jobs, shards)` combination is
+//! byte-identical to the sequential single-shard build, and a stream
+//! resumed from a cursor reproduces the exact suffix the uninterrupted
+//! stream would have produced.
+
+use squ::workload::{synth_profile, QueryStream, StreamCursor, Workload};
+use squ::{run_synth, SynthConfig};
+
+fn cfg(n: u64, shards: usize, jobs: usize, target_json: Option<String>) -> SynthConfig {
+    SynthConfig {
+        base: Workload::Sdss,
+        seed: squ::PAPER_SEED,
+        n,
+        shards,
+        jobs,
+        target_json,
+    }
+}
+
+#[test]
+fn synthesis_is_byte_identical_across_jobs_and_shards() {
+    let n = 10_000;
+    let baseline = run_synth(&cfg(n, 1, 1, None), None)
+        .expect("baseline synthesis")
+        .to_json();
+    for jobs in [1usize, 2, 4] {
+        for shards in [1usize, 3, 8] {
+            if (jobs, shards) == (1, 1) {
+                continue;
+            }
+            let got = run_synth(&cfg(n, shards, jobs, None), None)
+                .expect("sharded synthesis")
+                .to_json();
+            assert_eq!(
+                got, baseline,
+                "synth report drifted at jobs={jobs} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn targeted_synthesis_is_byte_identical_across_jobs_and_shards() {
+    // A targeted run exercises the full round loop: calibration, steering
+    // probabilities, profile annealing, and multi-round budget ramping.
+    let target = r#"{"tolerance": 0.1, "axes": [{"property": "nestedness",
+        "edges": [1.0], "weights": [0.55, 0.45]}]}"#;
+    let n = 4_000;
+    let baseline = run_synth(&cfg(n, 1, 1, Some(target.into())), None)
+        .expect("baseline targeted synthesis")
+        .to_json();
+    for (jobs, shards) in [(2usize, 3usize), (4, 8), (1, 5)] {
+        let got = run_synth(&cfg(n, shards, jobs, Some(target.into())), None)
+            .expect("sharded targeted synthesis")
+            .to_json();
+        assert_eq!(
+            got, baseline,
+            "targeted synth report drifted at jobs={jobs} shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn cursor_resume_reproduces_the_exact_suffix() {
+    let stream = QueryStream::with_profile(
+        Workload::Sdss,
+        synth_profile(Workload::Sdss),
+        squ::PAPER_SEED,
+    );
+    let mut iter = stream.iter();
+    let mut prefix = Vec::new();
+    for _ in 0..500 {
+        prefix.push(iter.next().expect("stream is infinite"));
+    }
+    let cursor = iter.cursor();
+    assert_eq!(
+        cursor,
+        StreamCursor {
+            seed: squ::PAPER_SEED,
+            index: 500
+        }
+    );
+    // continue the original iterator...
+    let suffix: Vec<_> = (0..500)
+        .map(|_| iter.next().expect("stream is infinite"))
+        .collect();
+    // ...and independently resume a fresh iterator from the cursor
+    let resumed: Vec<_> = stream.iter_from(cursor).take(500).collect();
+    for (i, (a, b)) in suffix.iter().zip(&resumed).enumerate() {
+        assert_eq!(a.id, b.id, "id diverged at suffix offset {i}");
+        assert_eq!(a.sql, b.sql, "sql diverged at suffix offset {i}");
+        assert_eq!(
+            a.elapsed_ms, b.elapsed_ms,
+            "elapsed diverged at suffix offset {i}"
+        );
+    }
+    // the resumed items never depend on the prefix having been generated
+    let direct = stream.get(750);
+    assert_eq!(direct.sql, resumed[250].sql);
+    assert_eq!(direct.id, resumed[250].id);
+}
